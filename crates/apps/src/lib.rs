@@ -1,0 +1,5 @@
+//! # hdm-apps
+//!
+//! Carrier package for the repository-level `examples/` binaries and
+//! `tests/` integration suites (Cargo targets must belong to a package;
+//! this one exposes every workspace crate to them).

@@ -1,0 +1,243 @@
+//! Criterion microbenchmarks of the hot data-path primitives: the row
+//! codec, the SPL buffer manager, the map-side sort buffer, ORC column
+//! encodings, the hash partitioner, and a small end-to-end shuffle on
+//! each engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hdm_common::kv::{BytesComparator, KvPair};
+use hdm_common::partition::{HashPartitioner, Partitioner};
+use hdm_common::row::Row;
+use hdm_common::value::{DataType, Value};
+use std::sync::Arc;
+
+fn sample_row(i: i64) -> Row {
+    Row::from(vec![
+        Value::Long(i),
+        Value::Str(format!("customer-{i}")),
+        Value::Double(i as f64 * 1.5),
+        Value::date_from_ymd(1995, 1 + (i % 12) as u32, 1 + (i % 28) as u32),
+    ])
+}
+
+fn bench_row_codec(c: &mut Criterion) {
+    let rows: Vec<Row> = (0..1000).map(sample_row).collect();
+    let mut g = c.benchmark_group("row_codec");
+    g.throughput(Throughput::Elements(rows.len() as u64));
+    g.bench_function("encode_1k_rows", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(64 * 1024);
+            for r in &rows {
+                r.encode(&mut buf);
+            }
+            buf
+        })
+    });
+    let mut encoded = Vec::new();
+    for r in &rows {
+        r.encode(&mut encoded);
+    }
+    g.bench_function("decode_1k_rows", |b| {
+        b.iter(|| {
+            let mut cursor = &encoded[..];
+            let mut out = Vec::with_capacity(1000);
+            while !cursor.is_empty() {
+                out.push(Row::decode(&mut cursor).expect("decode"));
+            }
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let keys: Vec<Vec<u8>> = (0..1000u32).map(|i| i.to_be_bytes().to_vec()).collect();
+    c.bench_function("hash_partition_1k_keys", |b| {
+        let p = HashPartitioner;
+        b.iter(|| keys.iter().map(|k| p.partition(k, 28)).sum::<usize>())
+    });
+}
+
+fn bench_spl(c: &mut Criterion) {
+    use hdm_datampi::buffer::SendPartitionList;
+    let pairs: Vec<(usize, KvPair)> = (0..1000)
+        .map(|i| {
+            (
+                i % 14,
+                KvPair::new(vec![(i % 251) as u8], vec![(i % 256) as u8; 24]),
+            )
+        })
+        .collect();
+    c.bench_function("spl_push_1k_pairs", |b| {
+        b.iter_batched(
+            || SendPartitionList::new(14, 16 << 10),
+            |mut spl| {
+                let mut flushed = 0;
+                for (dst, kv) in &pairs {
+                    if spl.push(*dst, kv).is_some() {
+                        flushed += 1;
+                    }
+                }
+                flushed + spl.flush().len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sort_buffer(c: &mut Criterion) {
+    use hdm_mapred::sort::SortBuffer;
+    let pairs: Vec<(usize, KvPair)> = (0..1000u32)
+        .map(|i| {
+            (
+                (i % 14) as usize,
+                KvPair::new(((i * 37) % 997).to_be_bytes().to_vec(), vec![0u8; 16]),
+            )
+        })
+        .collect();
+    c.bench_function("sort_buffer_1k_collect_finish", |b| {
+        b.iter_batched(
+            || SortBuffer::new(8 << 10, Arc::new(BytesComparator), None),
+            |mut buf| {
+                for (p, kv) in &pairs {
+                    buf.collect(*p, kv.clone());
+                }
+                buf.finish(14)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_orc(c: &mut Criterion) {
+    use hdm_core::Driver;
+    let mut g = c.benchmark_group("storage");
+    // Full table write+scan comparison through the public API.
+    for fmt in ["TEXTFILE", "ORC"] {
+        g.bench_function(format!("write_scan_2k_rows_{fmt}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut d = Driver::in_memory();
+                    d.execute(&format!(
+                        "CREATE TABLE t (a BIGINT, b STRING, c DOUBLE, d DATE) STORED AS {fmt}"
+                    ))
+                    .expect("ddl");
+                    let rows: Vec<Row> = (0..2000).map(sample_row).collect();
+                    d.load_rows("t", &rows).expect("load");
+                    d
+                },
+                |mut d| d.execute("SELECT a FROM t WHERE a < 100").expect("scan").rows.len(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_engines_shuffle(c: &mut Criterion) {
+    use hdm_common::partition::HashPartitioner;
+    let mut g = c.benchmark_group("engine_shuffle_8x4_2k_pairs");
+    g.sample_size(20);
+    g.bench_function("hadoop", |b| {
+        b.iter(|| {
+            let config = hdm_mapred::MapRedConfig {
+                map_tasks: 8,
+                reduce_tasks: 4,
+                sort_buffer_bytes: 64 << 10,
+                concurrency: 8,
+            };
+            hdm_mapred::run_mapreduce(
+                &config,
+                Arc::new(BytesComparator),
+                Arc::new(HashPartitioner),
+                Arc::new(|_r, ctx: &mut hdm_mapred::MapContext| {
+                    for i in 0..250u32 {
+                        ctx.collect(KvPair::new(i.to_be_bytes().to_vec(), vec![1u8; 16]))?;
+                    }
+                    Ok(())
+                }),
+                Arc::new(|_r, ctx: &mut hdm_mapred::ReduceContext| {
+                    let mut n = 0u64;
+                    while let Some((_k, vs)) = ctx.next_group() {
+                        n += vs.len() as u64;
+                    }
+                    Ok(n)
+                }),
+            )
+            .expect("mr")
+            .reduce_results
+            .iter()
+            .sum::<u64>()
+        })
+    });
+    g.bench_function("datampi", |b| {
+        b.iter(|| {
+            let config = hdm_datampi::DataMpiConfig {
+                o_tasks: 8,
+                a_tasks: 4,
+                send_partition_bytes: 4 << 10,
+                ..Default::default()
+            };
+            hdm_datampi::run_bipartite(
+                &config,
+                Arc::new(BytesComparator),
+                Arc::new(HashPartitioner),
+                Arc::new(|_r, ctx: &mut hdm_datampi::OContext| {
+                    for i in 0..250u32 {
+                        ctx.send(KvPair::new(i.to_be_bytes().to_vec(), vec![1u8; 16]))?;
+                    }
+                    Ok(())
+                }),
+                Arc::new(|_r, ctx: &mut hdm_datampi::AContext| {
+                    let mut n = 0u64;
+                    while let Some((_k, vs)) = ctx.next_group() {
+                        n += vs.len() as u64;
+                    }
+                    Ok(n)
+                }),
+            )
+            .expect("dm")
+            .a_results
+            .iter()
+            .sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_expr_eval(c: &mut Criterion) {
+    use hdm_core::parser::parse_statement;
+    let stmt = parse_statement("SELECT a FROM t WHERE a * 2 + 1 > 10 AND b LIKE 'customer%'").expect("sql");
+    let q = match stmt {
+        hdm_core::ast::Statement::Select(q) => q,
+        _ => unreachable!(),
+    };
+    let predicate = q.where_clause.expect("where");
+    let cols = ["a".to_string(), "b".to_string()];
+    let compiled = hdm_core::expr::compile_expr(&predicate, &move |_q: Option<&str>, n: &str| {
+        cols.iter().position(|c| c == n)
+    })
+    .expect("compile");
+    let rows: Vec<Row> = (0..1000)
+        .map(|i| Row::from(vec![Value::Long(i), Value::Str(format!("customer-{i}"))]))
+        .collect();
+    c.bench_function("predicate_eval_1k_rows", |b| {
+        b.iter(|| {
+            rows.iter()
+                .filter(|r| compiled.eval_predicate(r).expect("eval"))
+                .count()
+        })
+    });
+    let _ = DataType::Long;
+}
+
+criterion_group!(
+    benches,
+    bench_row_codec,
+    bench_partitioner,
+    bench_spl,
+    bench_sort_buffer,
+    bench_orc,
+    bench_engines_shuffle,
+    bench_expr_eval
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 1: execution-time breakdown of HiBench AGGREGATE and JOIN on
+//! Hive-on-Hadoop with a 20 GB data set, split into startup /
+//! Map-Shuffle / others. Paper: the Map-Shuffle operation averages over
+//! 50% of a job, startup ~5% — the two optimization opportunities.
+
+use hdm_bench::{pct, print_table, run_and_simulate, s1, Workload};
+use hdm_cluster::DataMpiSimOptions;
+use hdm_core::EngineKind;
+use hdm_workloads::hibench;
+
+fn main() {
+    let mut w = Workload::hibench();
+    let mut rows = Vec::new();
+    let mut ms_fracs = Vec::new();
+    let mut startup_fracs = Vec::new();
+    for (name, sql) in [
+        ("AGGREGATE", hibench::aggregate_query()),
+        ("JOIN", hibench::join_query()),
+    ] {
+        let (_, timelines, _) =
+            run_and_simulate(&mut w, sql, EngineKind::Hadoop, DataMpiSimOptions::default(), 20.0);
+        for (j, tl) in timelines.iter().enumerate() {
+            let b = tl.breakdown;
+            let total = b.total();
+            rows.push(vec![
+                format!("{name} job{}", j + 1),
+                s1(b.startup),
+                s1(b.map_shuffle),
+                s1(b.others),
+                pct(100.0 * b.map_shuffle / total),
+            ]);
+            ms_fracs.push(b.map_shuffle / total);
+            startup_fracs.push(b.startup / total);
+        }
+    }
+    print_table(
+        "Figure 1: Hive-on-Hadoop job breakdown, HiBench 20 GB (seconds)",
+        &["job", "startup", "map-shuffle", "others", "MS share"],
+        &rows,
+    );
+    let avg = |v: &[f64]| 100.0 * v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "average Map-Shuffle share: {} (paper: >50%)   average startup share: {} (paper: ~5%)",
+        pct(avg(&ms_fracs)),
+        pct(avg(&startup_fracs)),
+    );
+}

@@ -1,0 +1,92 @@
+//! Figure 6: blocking vs non-blocking DataMPI shuffle on HiBench
+//! AGGREGATE with a 20 GB data set. Paper: O tasks take 120 s blocking
+//! vs 61 s non-blocking (~1.97×), with blocking send sequences cut into
+//! fragments by synchronization waits.
+//!
+//! Two levels are reported: the *functional* engines (real threads, real
+//! data, wall-clock) and the *timing model* at paper scale.
+
+use hdm_bench::{print_table, s1, Workload};
+use hdm_cluster::{simulate_datampi, ClusterSpec, DataMpiSimOptions, TaskKind};
+use hdm_core::EngineKind;
+use hdm_workloads::hibench;
+
+fn main() {
+    let mut w = Workload::hibench();
+
+    // Functional level: run the same aggregation under both styles.
+    let mut functional = Vec::new();
+    for style in ["nonblocking", "blocking"] {
+        w.driver.conf_mut().set(hdm_common::conf::KEY_SHUFFLE_STYLE, style);
+        let start = std::time::Instant::now();
+        let result = w.run(hibench::aggregate_query(), EngineKind::DataMpi);
+        functional.push((style, start.elapsed().as_secs_f64(), result));
+    }
+    w.driver
+        .conf_mut()
+        .set(hdm_common::conf::KEY_SHUFFLE_STYLE, "nonblocking");
+
+    // Timing model at 20 GB nominal.
+    let scale = w.scale_for_gb(20.0);
+    let volumes = functional[0].2.stages[0].volumes.scaled(scale);
+    let spec = ClusterSpec::default();
+    let nb = simulate_datampi(&volumes, &spec, DataMpiSimOptions::default());
+    let bl = simulate_datampi(
+        &volumes,
+        &spec,
+        DataMpiSimOptions {
+            blocking: true,
+            ..Default::default()
+        },
+    );
+    let nb_o = nb.phase_end(TaskKind::OTask);
+    let bl_o = bl.phase_end(TaskKind::OTask);
+
+    let rows = vec![
+        vec![
+            "non-blocking".to_string(),
+            s1(nb_o),
+            format!("{:.3}", functional[0].1),
+            format!(
+                "{}",
+                nb.spans_of(TaskKind::OTask)
+                    .iter()
+                    .map(|s| s.send_events.len())
+                    .sum::<usize>()
+            ),
+        ],
+        vec![
+            "blocking".to_string(),
+            s1(bl_o),
+            format!("{:.3}", functional[1].1),
+            format!(
+                "{}",
+                bl.spans_of(TaskKind::OTask)
+                    .iter()
+                    .map(|s| s.send_events.len())
+                    .sum::<usize>()
+            ),
+        ],
+    ];
+    print_table(
+        "Figure 6: AGGREGATE 20 GB, O-task phase by shuffle style",
+        &["style", "O phase (sim s)", "functional wall (s)", "send events"],
+        &rows,
+    );
+    println!(
+        "blocking / non-blocking O-phase ratio: {:.2} (paper: 120 s / 61 s = 1.97)",
+        bl_o / nb_o
+    );
+
+    // Send-event fragments of the first O task (the paper plots these
+    // per-task time sequences).
+    if let Some(span) = bl.spans_of(TaskKind::OTask).first() {
+        let seq: Vec<String> = span
+            .send_events
+            .iter()
+            .take(8)
+            .map(|&(t, b)| format!("{t:.1}s/{b}B"))
+            .collect();
+        println!("blocking O0 first send events: {}", seq.join(" "));
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 8: tuning `hive.datampi.memusedpercent` and
+//! `hive.datampi.sendqueue` on HiBench JOIN and AGGREGATE with a 20 GB
+//! data set. Paper: best performance at memusedpercent = 0.4 (0 spills
+//! to disk, 1 starves the application / GC); send queue stabilizes at
+//! length ≥ 6.
+
+use hdm_bench::{print_table, s1, simulate, total_secs, Workload};
+use hdm_cluster::DataMpiSimOptions;
+use hdm_core::EngineKind;
+use hdm_workloads::hibench;
+
+fn main() {
+    let mut w = Workload::hibench();
+    // Shrink the modelled worker memory so the laptop-scale run really
+    // spills when the cache percentage is small.
+    let worker_mem = 384 << 10;
+    w.driver.conf_mut().set("datampi.worker.mem.bytes", worker_mem);
+
+    // ---- memusedpercent sweep ------------------------------------------------
+    let mut rows = Vec::new();
+    let mut best: Vec<(String, f64, f64)> = Vec::new();
+    for (name, sql) in [
+        ("AGGREGATE", hibench::aggregate_query()),
+        ("JOIN", hibench::join_query()),
+    ] {
+        let mut series = Vec::new();
+        for pctv in [0.05, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            w.driver
+                .conf_mut()
+                .set(hdm_common::conf::KEY_MEM_USED_PERCENT, pctv);
+            let result = w.run(sql, EngineKind::DataMpi);
+            let opts = DataMpiSimOptions {
+                mem_used_percent: pctv,
+                ..Default::default()
+            };
+            let secs = total_secs(&simulate(&result.stages, EngineKind::DataMpi, opts, w.scale_for_gb(20.0)));
+            let spills: f64 = result
+                .stages
+                .iter()
+                .flat_map(|s| s.volumes.reduces.iter())
+                .map(|r| r.spilled_fraction)
+                .sum();
+            series.push((pctv, secs, spills));
+        }
+        let best_point = series
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .copied()
+            .expect("series non-empty");
+        best.push((name.to_string(), best_point.0, best_point.1));
+        for (pctv, secs, spills) in series {
+            rows.push(vec![
+                name.to_string(),
+                format!("{pctv:.2}"),
+                s1(secs),
+                format!("{spills:.2}"),
+            ]);
+        }
+    }
+    w.driver.conf_mut().set(hdm_common::conf::KEY_MEM_USED_PERCENT, 0.4);
+    print_table(
+        "Figure 8 (left): cache-memory percentage sweep, 20 GB",
+        &["workload", "memusedpercent", "time (s)", "spill fraction sum"],
+        &rows,
+    );
+    for (name, at, secs) in &best {
+        println!("{name}: best at memusedpercent = {at:.2} ({} s; paper best: 0.40)", s1(*secs));
+    }
+
+    // ---- send queue sweep --------------------------------------------------------
+    let mut qrows = Vec::new();
+    for (name, sql) in [
+        ("AGGREGATE", hibench::aggregate_query()),
+        ("JOIN", hibench::join_query()),
+    ] {
+        let result = w.run(sql, EngineKind::DataMpi);
+        let mut prev: Option<f64> = None;
+        for q in [1usize, 2, 4, 6, 8, 12] {
+            let opts = DataMpiSimOptions {
+                send_queue_len: q,
+                ..Default::default()
+            };
+            let secs = total_secs(&simulate(&result.stages, EngineKind::DataMpi, opts, w.scale_for_gb(20.0)));
+            let delta = prev.map(|p| p - secs).unwrap_or(0.0);
+            prev = Some(secs);
+            qrows.push(vec![name.to_string(), q.to_string(), s1(secs), s1(delta)]);
+        }
+    }
+    print_table(
+        "Figure 8 (right): send block queue sweep, 20 GB",
+        &["workload", "queue len", "time (s)", "gain vs prev"],
+        &qrows,
+    );
+    println!("gains flatten past queue length 6 (paper: stable when > 6)");
+}

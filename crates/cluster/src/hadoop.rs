@@ -1,0 +1,353 @@
+//! The Hadoop-1.x pipeline timing model.
+//!
+//! Shapes modelled, matching the paper's Section III/V observations:
+//!
+//! * Per-job **startup**: JobTracker initialization plus per-task JVM
+//!   launch latency (the paper's ~5% startup share that DataMPI cuts by
+//!   ~30%).
+//! * Map tasks read their split (node-local fraction from the local
+//!   disk, the rest from a remote disk across the network), compute, and
+//!   **materialize** their sorted output on local disk (spills + final
+//!   segment).
+//! * Reduce tasks **pull**: each copier fetch becomes ready when its map
+//!   finishes, so the copy phase cannot end before the last map — the
+//!   coarse-grained overlap the paper contrasts with DataMPI's
+//!   partition-based push.
+//! * Reduce-side on-disk merge (write + read of the shuffled volume),
+//!   reduce compute, and a replicated DFS output write.
+//!
+//! Tasks run in **waves** over the cluster's slots; within a wave each
+//! pipeline stage is granted to the FIFO servers in time order (reads
+//! sorted by task start, writes sorted by compute end), which keeps the
+//! resource model causal.
+
+use crate::sched::Servers;
+use crate::spec::ClusterSpec;
+use crate::timeline::{JobTimeline, PhaseBreakdown, TaskKind, TaskSpan};
+use crate::volumes::JobVolumes;
+
+/// Assign `n` tasks to waves over `slot_free`, returning per-task
+/// `(slot, node, slot_available_time)` with slots claimed greedily
+/// earliest-first. The caller must write back task end times.
+pub(crate) fn assign_wave(slot_free: &[f64], nodes: usize, count: usize) -> Vec<(usize, usize, f64)> {
+    let mut order: Vec<usize> = (0..slot_free.len()).collect();
+    order.sort_by(|&a, &b| slot_free[a].total_cmp(&slot_free[b]).then(a.cmp(&b)));
+    order
+        .into_iter()
+        .take(count)
+        .map(|slot| (slot, slot % nodes, slot_free[slot]))
+        .collect()
+}
+
+/// Simulate one MapReduce job on the modelled cluster.
+pub fn simulate_hadoop(volumes: &JobVolumes, spec: &ClusterSpec) -> JobTimeline {
+    let mut servers = Servers::new(spec);
+    let mut spans = Vec::new();
+    let workers = spec.worker_nodes;
+    let launch_ready = spec.hadoop_job_init_s;
+    let total_slots = spec.total_slots();
+
+    // ---- Map waves --------------------------------------------------------
+    let n_maps = volumes.maps.len();
+    let mut map_node = vec![0usize; n_maps];
+    let mut map_end = vec![0f64; n_maps];
+    let mut map_start = vec![0f64; n_maps];
+    let mut slot_free = vec![launch_ready; total_slots];
+    let mut next_task = 0usize;
+    while next_task < n_maps {
+        let wave_n = total_slots.min(n_maps - next_task);
+        let assignment = assign_wave(&slot_free, workers, wave_n);
+        let wave: Vec<usize> = (next_task..next_task + wave_n).collect();
+        next_task += wave_n;
+
+        // Stage 1: split reads, granted in task-start order.
+        let mut reads: Vec<(usize, usize, usize, f64)> = wave
+            .iter()
+            .zip(&assignment)
+            .map(|(&t, &(slot, node, avail))| (t, slot, node, avail + spec.hadoop_task_launch_s))
+            .collect();
+        reads.sort_by(|a, b| a.3.total_cmp(&b.3));
+        let mut cpu_end = vec![0f64; n_maps];
+        for &(t, _slot, node, start) in &reads {
+            let mv = &volumes.maps[t];
+            map_start[t] = start;
+            map_node[t] = node;
+            let local = (mv.input_bytes as f64 * mv.local_fraction) as u64;
+            let remote = mv.input_bytes - local;
+            let mut ready = servers.disk_read(node, local, start);
+            if remote > 0 {
+                let src = (node + 1) % workers;
+                let read_done = servers.disk_read(src, remote, start);
+                ready = ready.max(servers.transfer(src, node, remote, read_done));
+            }
+            // Streaming scan: compute overlaps the split read.
+            let cpu_s = spec.compute_s(mv.records, mv.input_bytes, spec.map_cpu_s_per_record);
+            let c_end = ready.max(start + cpu_s);
+            servers.log_cpu(node, c_end - cpu_s, c_end);
+            cpu_end[t] = c_end;
+        }
+        // Stage 2: materialize map output, granted in compute-end order.
+        let mut writes: Vec<(usize, usize)> = wave.iter().zip(&assignment).map(|(&t, &(slot, ..))| (t, slot)).collect();
+        writes.sort_by(|a, b| cpu_end[a.0].total_cmp(&cpu_end[b.0]));
+        for (t, slot) in writes {
+            let mv = &volumes.maps[t];
+            let shuffle = mv.shuffle_bytes();
+            let mut end = servers.disk_write(map_node[t], mv.spill_bytes + shuffle, cpu_end[t]);
+            if shuffle > spec.hadoop_spill_threshold_bytes {
+                // Sort-buffer overflow: an extra read+write merge pass
+                // over the materialized output.
+                end = servers.disk_read(map_node[t], shuffle, end);
+                end = servers.disk_write(map_node[t], shuffle, end);
+            }
+            map_end[t] = end;
+            slot_free[slot] = end;
+            spans.push(TaskSpan {
+                kind: TaskKind::Map,
+                index: t,
+                node: map_node[t],
+                start: map_start[t],
+                end,
+                send_events: Vec::new(),
+            });
+        }
+    }
+    let map_phase_end = map_end.iter().copied().fold(0.0, f64::max);
+
+    // Copy order: reducers fetch from maps as they finish.
+    let mut finish_order: Vec<usize> = (0..n_maps).collect();
+    finish_order.sort_by(|&a, &b| map_end[a].total_cmp(&map_end[b]));
+    let slowstart_idx = ((n_maps as f64 * spec.hadoop_slowstart).ceil() as usize).min(n_maps.saturating_sub(1));
+    let slowstart_t = if n_maps == 0 {
+        launch_ready
+    } else {
+        map_end[finish_order[slowstart_idx]]
+    };
+
+    // ---- Reduce waves -----------------------------------------------------
+    let n_reds = volumes.reduces.len();
+    let mut red_slot_free = vec![launch_ready; total_slots];
+    let mut copy_end_max = 0f64;
+    let mut job_end: f64 = map_phase_end;
+    let mut next_red = 0usize;
+    while next_red < n_reds {
+        let wave_n = total_slots.min(n_reds - next_red);
+        let assignment = assign_wave(&red_slot_free, workers, wave_n);
+        let wave: Vec<usize> = (next_red..next_red + wave_n).collect();
+        next_red += wave_n;
+        // Copy stage in reducer order (copiers run concurrently; the
+        // FIFO servers arbitrate).
+        let mut copy_end = vec![0f64; n_reds];
+        let mut red_start = vec![0f64; n_reds];
+        let mut red_node = vec![0usize; n_reds];
+        for (&r, &(_slot, node, avail)) in wave.iter().zip(&assignment) {
+            let rv = &volumes.reduces[r];
+            let start = avail.max(slowstart_t) + spec.hadoop_task_launch_s;
+            red_start[r] = start;
+            red_node[r] = node;
+            let mut ce = start;
+            for &m in &finish_order {
+                let bytes = rv.shuffle_bytes_from.get(m).copied().unwrap_or(0);
+                if bytes == 0 {
+                    continue;
+                }
+                let ready = start.max(map_end[m]);
+                let read_done = servers.disk_read(map_node[m], bytes, ready);
+                ce = ce.max(servers.transfer(map_node[m], node, bytes, read_done));
+            }
+            copy_end[r] = ce;
+            copy_end_max = copy_end_max.max(ce);
+        }
+        // Merge + reduce stage, granted in copy-end order; output writes
+        // are a separate pass in cpu-done order so a reducer's replica
+        // writes never block another reducer's earlier-starting merge.
+        let mut merge_order: Vec<usize> = wave.clone();
+        merge_order.sort_by(|&a, &b| copy_end[a].total_cmp(&copy_end[b]));
+        let mut cpu_done = vec![0f64; n_reds];
+        for &r in &merge_order {
+            let rv = &volumes.reduces[r];
+            let node = red_node[r];
+            let shuffled = rv.shuffle_bytes();
+            servers.log_mem(node, copy_end[r], shuffled as i64);
+            let mut t = servers.disk_write(node, shuffled, copy_end[r]);
+            t = servers.disk_read(node, shuffled, t);
+            let done = t + spec.compute_s(rv.records, shuffled, spec.reduce_cpu_s_per_record);
+            servers.log_cpu(node, t, done);
+            cpu_done[r] = done;
+        }
+        let mut out_order: Vec<(usize, usize)> =
+            wave.iter().zip(&assignment).map(|(&r, &(slot, ..))| (r, slot)).collect();
+        out_order.sort_by(|a, b| cpu_done[a.0].total_cmp(&cpu_done[b.0]));
+        for (r, slot) in out_order {
+            let rv = &volumes.reduces[r];
+            let node = red_node[r];
+            let mut end = servers.disk_write(node, rv.output_bytes, cpu_done[r]);
+            for extra in 1..spec.dfs_replication {
+                let dst = (node + extra) % workers;
+                let arrived = servers.transfer(node, dst, rv.output_bytes, cpu_done[r]);
+                end = end.max(servers.disk_write(dst, rv.output_bytes, arrived));
+            }
+            servers.log_mem(node, end, -(rv.shuffle_bytes() as i64));
+            red_slot_free[slot] = end;
+            job_end = job_end.max(end);
+            spans.push(TaskSpan {
+                kind: TaskKind::Reduce,
+                index: r,
+                node,
+                start: red_start[r],
+                end,
+                send_events: Vec::new(),
+            });
+        }
+    }
+
+    let first_start = spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+    let ms_end = if n_reds == 0 {
+        map_phase_end
+    } else {
+        copy_end_max.max(map_phase_end)
+    };
+    JobTimeline {
+        name: volumes.name.clone(),
+        breakdown: PhaseBreakdown {
+            startup: first_start,
+            map_shuffle: (ms_end - first_start).max(0.0),
+            others: (job_end - ms_end).max(0.0),
+        },
+        spans,
+        end: job_end,
+        usage: servers.usage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volumes::{MapVolume, ReduceVolume};
+
+    fn uniform_job(maps: usize, reduces: usize, bytes_per_map: u64) -> JobVolumes {
+        JobVolumes {
+            name: "test".into(),
+            maps: (0..maps)
+                .map(|_| MapVolume {
+                    input_bytes: bytes_per_map,
+                    local_fraction: 1.0,
+                    records: bytes_per_map / 100,
+                    shuffle_bytes_per_dst: vec![bytes_per_map / (2 * reduces as u64); reduces],
+                    spill_bytes: 0,
+                })
+                .collect(),
+            reduces: (0..reduces)
+                .map(|_| ReduceVolume {
+                    shuffle_bytes_from: vec![bytes_per_map / (2 * reduces as u64); maps],
+                    records: maps as u64 * bytes_per_map / (200 * reduces as u64),
+                    output_bytes: 1000,
+                    spilled_fraction: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn startup_reflects_init_plus_launch() {
+        let spec = ClusterSpec::default();
+        let tl = simulate_hadoop(&uniform_job(4, 2, 64 << 20), &spec);
+        let expect = spec.hadoop_job_init_s + spec.hadoop_task_launch_s;
+        assert!(
+            (tl.breakdown.startup - expect).abs() < 1e-6,
+            "startup {} vs {expect}",
+            tl.breakdown.startup
+        );
+    }
+
+    #[test]
+    fn phases_are_positive_and_sum_to_total() {
+        let spec = ClusterSpec::default();
+        let tl = simulate_hadoop(&uniform_job(8, 4, 64 << 20), &spec);
+        let b = tl.breakdown;
+        assert!(b.startup > 0.0 && b.map_shuffle > 0.0 && b.others > 0.0);
+        assert!((b.total() - tl.end).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_data_takes_longer() {
+        let spec = ClusterSpec::default();
+        let small = simulate_hadoop(&uniform_job(8, 4, 16 << 20), &spec);
+        let big = simulate_hadoop(&uniform_job(8, 4, 256 << 20), &spec);
+        assert!(big.total() > small.total());
+    }
+
+    #[test]
+    fn waves_queue_on_slots() {
+        let spec = ClusterSpec::default();
+        // 56 maps over 28 slots: two waves; later maps start later.
+        let tl = simulate_hadoop(&uniform_job(56, 4, 64 << 20), &spec);
+        let maps = tl.spans_of(TaskKind::Map);
+        let first = maps.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        let last = maps.iter().map(|s| s.start).fold(0.0, f64::max);
+        assert!(last > first + 1.0, "expected wave separation: {first} vs {last}");
+    }
+
+    #[test]
+    fn copy_cannot_finish_before_last_map() {
+        let spec = ClusterSpec::default();
+        let tl = simulate_hadoop(&uniform_job(8, 4, 64 << 20), &spec);
+        let map_end = tl.phase_end(TaskKind::Map);
+        // MS phase (startup + map_shuffle boundary) must extend past maps.
+        let ms_boundary = tl.breakdown.startup + tl.breakdown.map_shuffle;
+        assert!(ms_boundary >= map_end - 1e-9);
+    }
+
+    #[test]
+    fn remote_reads_cost_more() {
+        let spec = ClusterSpec::default();
+        // I/O-bound maps (few records) so the read path is the critical
+        // path — streaming overlap hides remote reads under heavy CPU.
+        let mut local = uniform_job(8, 4, 128 << 20);
+        for m in &mut local.maps {
+            m.records = 1000;
+            m.local_fraction = 1.0;
+        }
+        let mut remote = local.clone();
+        for m in &mut remote.maps {
+            m.local_fraction = 0.0;
+        }
+        let tl_local = simulate_hadoop(&local, &spec);
+        let tl_remote = simulate_hadoop(&remote, &spec);
+        assert!(
+            tl_remote.total() > tl_local.total(),
+            "remote {} vs local {}",
+            tl_remote.total(),
+            tl_local.total()
+        );
+    }
+
+    #[test]
+    fn parallel_maps_on_one_node_share_its_disk_but_not_its_task_end() {
+        // Two maps on the same node: the second's read queues behind the
+        // first's read only (not behind the first's whole task).
+        let spec = ClusterSpec::default();
+        let tl = simulate_hadoop(&uniform_job(8, 1, 128 << 20), &spec);
+        let maps = tl.spans_of(TaskKind::Map);
+        let min_end = maps.iter().map(|s| s.end).fold(f64::INFINITY, f64::min);
+        let max_end = maps.iter().map(|s| s.end).fold(0.0, f64::max);
+        // The co-located map finishes at most one read-time later, far
+        // less than a whole task.
+        let read_s = spec.disk_read_s(128 << 20);
+        assert!(
+            max_end - min_end < 2.0 * read_s + 0.5,
+            "convoy detected: spread = {}",
+            max_end - min_end
+        );
+    }
+
+    #[test]
+    fn usage_log_not_empty_and_bounded() {
+        let spec = ClusterSpec::default();
+        let tl = simulate_hadoop(&uniform_job(4, 2, 64 << 20), &spec);
+        assert!(!tl.usage.is_empty());
+        for u in &tl.usage {
+            assert!(u.end >= u.start);
+            assert!(u.end <= tl.end + 1e-6, "usage past job end");
+        }
+    }
+}

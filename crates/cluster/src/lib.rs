@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # hdm-cluster
+//!
+//! A discrete-event timing model of the paper's 8-node testbed.
+//!
+//! The functional engines (`hdm-mapred`, `hdm-datampi`) execute real
+//! queries over real data at laptop scale and measure *volumes*: bytes
+//! read, records processed, per-destination shuffle bytes, spills. This
+//! crate converts those volumes into **timelines on the paper's
+//! cluster** — 1 master + 7 workers, 4 task slots each, one 7200 RPM
+//! SATA disk, Gigabit Ethernet — so the benchmark harness can regenerate
+//! the paper's figures at their original scale.
+//!
+//! Two pipeline models share one scheduling core ([`sched`]):
+//!
+//! * [`hadoop::simulate_hadoop`] — per-job JVM startup, heartbeat task
+//!   launch, map → sort/spill → **materialize to local disk** → reduce
+//!   *pull* shuffle (copiers start as maps finish, cannot complete before
+//!   the last map) → on-disk merge → reduce → replicated DFS write.
+//! * [`datampi::simulate_datampi`] — one lightweight `mpidrun` spawn
+//!   (the paper's ~30% startup saving), O tasks whose **non-blocking
+//!   push shuffle overlaps compute** (task ends at
+//!   `max(compute, network)`), A-side in-memory caching (merge reads
+//!   disk only for the spilled fraction), then reduce → DFS write. The
+//!   blocking style serializes each round behind an acknowledgement —
+//!   reproducing the Figure 6 gap.
+//!
+//! Every byte charged to a disk, NIC, or core is logged as a usage
+//! interval; [`trace::ResourceTrace`] bins those into the per-second
+//! dstat-style curves of Figure 13.
+//!
+//! The model constants in [`spec::ClusterSpec`] are calibrated to the
+//! paper's observed signals (peak disk ≈ 124 MB/s, peak network ≈
+//! 80 MB/s, startup gap ≈ 30%) and documented in DESIGN.md; shapes, not
+//! absolute seconds, are the reproduction target.
+
+pub mod datampi;
+pub mod hadoop;
+pub mod sched;
+pub mod spec;
+pub mod timeline;
+pub mod trace;
+pub mod volumes;
+
+pub use datampi::{simulate_datampi, DataMpiSimOptions};
+pub use hadoop::simulate_hadoop;
+pub use spec::ClusterSpec;
+pub use timeline::{JobTimeline, PhaseBreakdown, TaskKind, TaskSpan};
+pub use trace::ResourceTrace;
+pub use volumes::{JobVolumes, MapVolume, ReduceVolume};

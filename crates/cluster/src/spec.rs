@@ -1,0 +1,149 @@
+//! The modelled cluster: hardware and framework constants.
+
+/// Hardware + framework model constants.
+///
+/// Defaults describe the paper's testbed (Section V-A): 8 nodes (1
+/// master + 7 slaves) on Gigabit Ethernet, 2× Xeon E5620, 16 GB RAM,
+/// one 2 TB 7200 RPM SATA disk, 4 task slots per node, HDFS 64 MB
+/// blocks. Framework constants are calibrated so the *relative* effects
+/// the paper reports (≈30% startup saving, ≈80 MB/s network peaks,
+/// ≈124 MB/s disk peaks) fall out of the model.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Worker nodes (tasks never run on the master).
+    pub worker_nodes: usize,
+    /// Concurrent task slots per node (paper: 4).
+    pub slots_per_node: usize,
+    /// Sequential disk read bandwidth, bytes/s.
+    pub disk_read_bps: f64,
+    /// Sequential disk write bandwidth, bytes/s.
+    pub disk_write_bps: f64,
+    /// Per-direction NIC bandwidth, bytes/s (GigE minus framing).
+    pub net_bps: f64,
+    /// Network round-trip latency, seconds (blocking-style ACK cost).
+    pub net_rtt_s: f64,
+    /// Worker memory available for caching intermediate data, bytes.
+    pub worker_mem_bytes: u64,
+
+    /// Map/O-side CPU cost per record, seconds.
+    pub map_cpu_s_per_record: f64,
+    /// Reduce/A-side CPU cost per record, seconds.
+    pub reduce_cpu_s_per_record: f64,
+    /// CPU cost per byte pushed through an operator pipeline, seconds.
+    pub cpu_s_per_byte: f64,
+
+    /// Hadoop: job initialization (JobTracker submit → first launch), s.
+    pub hadoop_job_init_s: f64,
+    /// Hadoop: per-task JVM launch latency, s.
+    pub hadoop_task_launch_s: f64,
+    /// Hadoop: slow-start — fraction of maps done before reducers launch.
+    pub hadoop_slowstart: f64,
+    /// DataMPI: one `mpidrun` process spawn for the whole job, s.
+    pub datampi_spawn_s: f64,
+    /// DataMPI: per-process initialization after spawn, s.
+    pub datampi_task_init_s: f64,
+    /// DFS replication factor for job output writes.
+    pub dfs_replication: usize,
+    /// Hadoop: map outputs beyond this size overflow the sort buffer
+    /// and pay an extra on-disk merge pass (io.sort.mb analogue).
+    pub hadoop_spill_threshold_bytes: u64,
+    /// DataMPI: fraction of A-side merge/sort CPU hidden under the O
+    /// phase by the receive threads ("threads responsible for
+    /// collecting and merging data" while O tasks still run).
+    pub datampi_merge_overlap: f64,
+    /// Send-partition size assumed by the blocking-round model, bytes.
+    pub model_send_partition_bytes: u64,
+    /// Blocking style: peer-synchronization wait per all-to-all round, s.
+    pub blocking_round_sync_s: f64,
+    /// Blocking style: compute-stall multiplier. When the communication
+    /// thread blocks in `MPI_Waitall`, the full send queue back-pressures
+    /// the operator pipeline, stalling compute itself. Calibrated from
+    /// the paper's Figure 6 measurement (120 s vs 61 s O phases).
+    pub blocking_compute_stall: f64,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> ClusterSpec {
+        ClusterSpec {
+            worker_nodes: 7,
+            slots_per_node: 4,
+            disk_read_bps: 110.0e6,
+            disk_write_bps: 95.0e6,
+            net_bps: 85.0e6,
+            net_rtt_s: 300.0e-6,
+            worker_mem_bytes: 16 * 1024 * 1024 * 1024,
+            map_cpu_s_per_record: 2.0e-6,
+            reduce_cpu_s_per_record: 2.0e-6,
+            cpu_s_per_byte: 10.0e-9,
+            hadoop_job_init_s: 4.0,
+            hadoop_task_launch_s: 1.1,
+            hadoop_slowstart: 0.05,
+            datampi_spawn_s: 3.2,
+            datampi_task_init_s: 0.35,
+            dfs_replication: 3,
+            hadoop_spill_threshold_bytes: 768 << 20,
+            datampi_merge_overlap: 0.15,
+            model_send_partition_bytes: 256 * 1024,
+            blocking_round_sync_s: 2.0e-3,
+            blocking_compute_stall: 1.7,
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// Total task slots across the cluster (paper: 28).
+    pub fn total_slots(&self) -> usize {
+        self.worker_nodes * self.slots_per_node
+    }
+
+    /// Seconds to read `bytes` sequentially from one disk.
+    pub fn disk_read_s(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.disk_read_bps
+    }
+
+    /// Seconds to write `bytes` sequentially to one disk.
+    pub fn disk_write_s(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.disk_write_bps
+    }
+
+    /// Seconds to move `bytes` across one NIC direction.
+    pub fn net_s(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.net_bps
+    }
+
+    /// CPU seconds to process `records` totalling `bytes`.
+    pub fn compute_s(&self, records: u64, bytes: u64, per_record: f64) -> f64 {
+        records as f64 * per_record + bytes as f64 * self.cpu_s_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_slot_count() {
+        assert_eq!(ClusterSpec::default().total_slots(), 28);
+    }
+
+    #[test]
+    fn startup_constants_give_30pct_saving() {
+        // DataMPI total startup (spawn + init) should be roughly 30%
+        // below Hadoop's (init + launch), per Figure 10.
+        let s = ClusterSpec::default();
+        let hadoop = s.hadoop_job_init_s + s.hadoop_task_launch_s;
+        let datampi = s.datampi_spawn_s + s.datampi_task_init_s;
+        let saving = 1.0 - datampi / hadoop;
+        assert!((0.25..0.60).contains(&saving), "saving = {saving}");
+    }
+
+    #[test]
+    fn cost_helpers_scale_linearly() {
+        let s = ClusterSpec::default();
+        assert!((s.disk_read_s(220_000_000) - 2.0).abs() < 1e-9);
+        assert!(s.net_s(85_000_000) - 1.0 < 1e-9);
+        let c1 = s.compute_s(1000, 100_000, s.map_cpu_s_per_record);
+        let c2 = s.compute_s(2000, 200_000, s.map_cpu_s_per_record);
+        assert!((c2 - 2.0 * c1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,199 @@
+//! Simulated job timelines and the paper's phase breakdown.
+
+/// What kind of task a span describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Hadoop map task.
+    Map,
+    /// Hadoop reduce task.
+    Reduce,
+    /// DataMPI O task.
+    OTask,
+    /// DataMPI A task.
+    ATask,
+}
+
+/// One task's simulated lifetime.
+#[derive(Debug, Clone)]
+pub struct TaskSpan {
+    /// Task kind.
+    pub kind: TaskKind,
+    /// Task index within its kind.
+    pub index: usize,
+    /// Worker node the task ran on.
+    pub node: usize,
+    /// Launch time (after startup/launch latency), seconds.
+    pub start: f64,
+    /// Completion time, seconds.
+    pub end: f64,
+    /// Send-operation events `(time, bytes)` — the Figure 6 signal at
+    /// paper scale.
+    pub send_events: Vec<(f64, u64)>,
+}
+
+impl TaskSpan {
+    /// Task duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The paper's Figure 1 / Figure 10 decomposition of one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Submission → first task running (job init + launch latency).
+    pub startup: f64,
+    /// The Map-Shuffle phase: first map/O start → all intermediate data
+    /// available reduce-side (copy phase in Hadoop, O phase in DataMPI).
+    pub map_shuffle: f64,
+    /// Everything after: merge, reduce, output ("others").
+    pub others: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total job time.
+    pub fn total(&self) -> f64 {
+        self.startup + self.map_shuffle + self.others
+    }
+}
+
+/// One simulated job.
+#[derive(Debug, Clone)]
+pub struct JobTimeline {
+    /// Stage name (copied from the volumes).
+    pub name: String,
+    /// Phase decomposition.
+    pub breakdown: PhaseBreakdown,
+    /// Per-task spans.
+    pub spans: Vec<TaskSpan>,
+    /// Job completion time (= breakdown total), seconds.
+    pub end: f64,
+    /// Resource usage intervals (input to [`crate::trace::ResourceTrace`]).
+    pub usage: Vec<crate::trace::UsageInterval>,
+}
+
+impl JobTimeline {
+    /// Total simulated job time in seconds.
+    pub fn total(&self) -> f64 {
+        self.end
+    }
+
+    /// Spans of one kind, in index order.
+    pub fn spans_of(&self, kind: TaskKind) -> Vec<&TaskSpan> {
+        let mut v: Vec<&TaskSpan> = self.spans.iter().filter(|s| s.kind == kind).collect();
+        v.sort_by_key(|s| s.index);
+        v
+    }
+
+    /// Latest end time among spans of a kind (phase boundary).
+    pub fn phase_end(&self, kind: TaskKind) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.end)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A whole query: a chain of jobs executed sequentially (Hive stages).
+#[derive(Debug, Clone)]
+pub struct QueryTimeline {
+    /// Per-stage timelines in execution order.
+    pub jobs: Vec<JobTimeline>,
+    /// Query compile latency charged before the first stage, seconds.
+    pub compile_s: f64,
+}
+
+impl QueryTimeline {
+    /// End-to-end query latency.
+    pub fn total(&self) -> f64 {
+        self.compile_s + self.jobs.iter().map(JobTimeline::total).sum::<f64>()
+    }
+
+    /// Sum of per-stage phase breakdowns.
+    pub fn summed_breakdown(&self) -> PhaseBreakdown {
+        let mut b = PhaseBreakdown {
+            startup: 0.0,
+            map_shuffle: 0.0,
+            others: 0.0,
+        };
+        for j in &self.jobs {
+            b.startup += j.breakdown.startup;
+            b.map_shuffle += j.breakdown.map_shuffle;
+            b.others += j.breakdown.others;
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: TaskKind, index: usize, start: f64, end: f64) -> TaskSpan {
+        TaskSpan {
+            kind,
+            index,
+            node: 0,
+            start,
+            end,
+            send_events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn breakdown_total() {
+        let b = PhaseBreakdown {
+            startup: 1.0,
+            map_shuffle: 5.0,
+            others: 2.0,
+        };
+        assert!((b.total() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_queries() {
+        let tl = JobTimeline {
+            name: "j".into(),
+            breakdown: PhaseBreakdown {
+                startup: 1.0,
+                map_shuffle: 4.0,
+                others: 2.0,
+            },
+            spans: vec![
+                span(TaskKind::Map, 1, 1.0, 5.0),
+                span(TaskKind::Map, 0, 1.0, 4.0),
+                span(TaskKind::Reduce, 0, 5.0, 7.0),
+            ],
+            end: 7.0,
+            usage: Vec::new(),
+        };
+        assert_eq!(tl.spans_of(TaskKind::Map).len(), 2);
+        assert_eq!(tl.spans_of(TaskKind::Map)[0].index, 0);
+        assert!((tl.phase_end(TaskKind::Map) - 5.0).abs() < 1e-12);
+        assert!((tl.total() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_timeline_sums() {
+        let job = |t: f64| JobTimeline {
+            name: String::new(),
+            breakdown: PhaseBreakdown {
+                startup: 1.0,
+                map_shuffle: t,
+                others: 1.0,
+            },
+            spans: Vec::new(),
+            end: t + 2.0,
+            usage: Vec::new(),
+        };
+        let q = QueryTimeline {
+            jobs: vec![job(3.0), job(5.0)],
+            compile_s: 0.5,
+        };
+        assert!((q.total() - 12.5).abs() < 1e-12);
+        let b = q.summed_breakdown();
+        assert!((b.startup - 2.0).abs() < 1e-12);
+        assert!((b.map_shuffle - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,268 @@
+//! Engine-agnostic workload volumes: what a job *moved*, not how long
+//! it took. Produced from the functional engines' reports; consumed by
+//! the pipeline models.
+
+use serde::{Deserialize, Serialize};
+
+/// Measured volumes of one map/O task.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MapVolume {
+    /// Bytes read from the DFS for this task's split.
+    pub input_bytes: u64,
+    /// Fraction of the input readable from a node-local replica (0..=1).
+    pub local_fraction: f64,
+    /// Records pushed through the operator pipeline.
+    pub records: u64,
+    /// Shuffle payload bytes destined for each reduce/A task.
+    pub shuffle_bytes_per_dst: Vec<u64>,
+    /// Bytes written to spill runs (map-side sort overflows).
+    pub spill_bytes: u64,
+}
+
+impl MapVolume {
+    /// Total shuffle output of this task.
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.shuffle_bytes_per_dst.iter().sum()
+    }
+}
+
+/// Measured volumes of one reduce/A task.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReduceVolume {
+    /// Shuffle bytes received from each map/O task.
+    pub shuffle_bytes_from: Vec<u64>,
+    /// Records fed through the reduce-side pipeline.
+    pub records: u64,
+    /// Result bytes written to the DFS.
+    pub output_bytes: u64,
+    /// Fraction of the received data that exceeded the in-memory cache
+    /// and was spilled (DataMPI A-side; Hadoop treats all of it as
+    /// on-disk).
+    pub spilled_fraction: f64,
+}
+
+impl ReduceVolume {
+    /// Total shuffle input of this task.
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.shuffle_bytes_from.iter().sum()
+    }
+}
+
+/// Volumes of one complete job (one MapReduce stage of a query).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JobVolumes {
+    /// Human-readable stage name (e.g. `"q3-stage1"`).
+    pub name: String,
+    /// One entry per map/O task.
+    pub maps: Vec<MapVolume>,
+    /// One entry per reduce/A task.
+    pub reduces: Vec<ReduceVolume>,
+}
+
+impl JobVolumes {
+    /// Scale every byte/record count by `factor` — used to extrapolate a
+    /// laptop-scale functional run to the paper's nominal dataset size
+    /// (distributions are preserved; only magnitudes grow).
+    pub fn scaled(&self, factor: f64) -> JobVolumes {
+        let s = |v: u64| (v as f64 * factor).round() as u64;
+        JobVolumes {
+            name: self.name.clone(),
+            maps: self
+                .maps
+                .iter()
+                .map(|m| MapVolume {
+                    input_bytes: s(m.input_bytes),
+                    local_fraction: m.local_fraction,
+                    records: s(m.records),
+                    shuffle_bytes_per_dst: m.shuffle_bytes_per_dst.iter().map(|&b| s(b)).collect(),
+                    spill_bytes: s(m.spill_bytes),
+                })
+                .collect(),
+            reduces: self
+                .reduces
+                .iter()
+                .map(|r| ReduceVolume {
+                    shuffle_bytes_from: r.shuffle_bytes_from.iter().map(|&b| s(b)).collect(),
+                    records: s(r.records),
+                    output_bytes: s(r.output_bytes),
+                    spilled_fraction: r.spilled_fraction,
+                })
+                .collect(),
+        }
+    }
+
+    /// Re-split map tasks so no task reads more than `max_input_bytes`:
+    /// the simulated analogue of HDFS handing a 40 GB table to hundreds
+    /// of 64 MB-split map tasks. A laptop-scale functional run measures
+    /// few, small splits; after volume scaling each would represent
+    /// gigabytes read by a single task, under-filling the cluster's
+    /// slots and distorting wave behaviour — exactly what this undoes.
+    /// Reducer counts are left alone (they are a scheduling policy, not
+    /// a data property).
+    pub fn with_map_splits(&self, max_input_bytes: u64) -> JobVolumes {
+        let max_input_bytes = max_input_bytes.max(1);
+        // Columnar inputs read few bytes per record; split grain must
+        // track *work* as well as bytes (Hive's ORC split strategy sizes
+        // splits from stripe metadata, i.e. row counts), so cap records
+        // per task at a text-equivalent ~100 B/record as well.
+        let max_records = (max_input_bytes / 100).max(1);
+        let mut maps = Vec::new();
+        // parts[m] = how many tasks map m becomes.
+        let parts: Vec<u64> = self
+            .maps
+            .iter()
+            .map(|m| {
+                m.input_bytes
+                    .div_ceil(max_input_bytes)
+                    .max(m.records.div_ceil(max_records))
+                    .max(1)
+            })
+            .collect();
+        for (m, k) in self.maps.iter().zip(&parts) {
+            for _ in 0..*k {
+                maps.push(MapVolume {
+                    input_bytes: m.input_bytes / k,
+                    local_fraction: m.local_fraction,
+                    records: m.records / k,
+                    shuffle_bytes_per_dst: m.shuffle_bytes_per_dst.iter().map(|&b| b / k).collect(),
+                    spill_bytes: m.spill_bytes / k,
+                });
+            }
+        }
+        let reduces = self
+            .reduces
+            .iter()
+            .map(|r| ReduceVolume {
+                shuffle_bytes_from: r
+                    .shuffle_bytes_from
+                    .iter()
+                    .zip(&parts)
+                    .flat_map(|(&b, &k)| std::iter::repeat_n(b / k, k as usize))
+                    .collect(),
+                records: r.records,
+                output_bytes: r.output_bytes,
+                spilled_fraction: r.spilled_fraction,
+            })
+            .collect();
+        JobVolumes {
+            name: self.name.clone(),
+            maps,
+            reduces,
+        }
+    }
+
+    /// Total bytes crossing the shuffle.
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.maps.iter().map(MapVolume::shuffle_bytes).sum()
+    }
+
+    /// Total DFS input bytes.
+    pub fn total_input_bytes(&self) -> u64 {
+        self.maps.iter().map(|m| m.input_bytes).sum()
+    }
+
+    /// Total DFS output bytes.
+    pub fn total_output_bytes(&self) -> u64 {
+        self.reduces.iter().map(|r| r.output_bytes).sum()
+    }
+
+    /// Consistency check: per-destination map output must equal
+    /// per-source reduce input (returns the absolute byte mismatch).
+    pub fn shuffle_mismatch(&self) -> u64 {
+        let mut sent: Vec<u64> = vec![0; self.reduces.len()];
+        for m in &self.maps {
+            for (d, &b) in m.shuffle_bytes_per_dst.iter().enumerate() {
+                if d < sent.len() {
+                    sent[d] += b;
+                }
+            }
+        }
+        let mut mismatch = 0u64;
+        for (d, r) in self.reduces.iter().enumerate() {
+            mismatch += sent[d].abs_diff(r.shuffle_bytes());
+        }
+        mismatch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobVolumes {
+        JobVolumes {
+            name: "t".into(),
+            maps: vec![
+                MapVolume {
+                    input_bytes: 100,
+                    local_fraction: 1.0,
+                    records: 10,
+                    shuffle_bytes_per_dst: vec![30, 20],
+                    spill_bytes: 0,
+                },
+                MapVolume {
+                    input_bytes: 200,
+                    local_fraction: 0.5,
+                    records: 20,
+                    shuffle_bytes_per_dst: vec![10, 40],
+                    spill_bytes: 5,
+                },
+            ],
+            reduces: vec![
+                ReduceVolume {
+                    shuffle_bytes_from: vec![30, 10],
+                    records: 4,
+                    output_bytes: 8,
+                    spilled_fraction: 0.0,
+                },
+                ReduceVolume {
+                    shuffle_bytes_from: vec![20, 40],
+                    records: 6,
+                    output_bytes: 12,
+                    spilled_fraction: 0.25,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let v = sample();
+        assert_eq!(v.total_shuffle_bytes(), 100);
+        assert_eq!(v.total_input_bytes(), 300);
+        assert_eq!(v.total_output_bytes(), 20);
+        assert_eq!(v.shuffle_mismatch(), 0);
+    }
+
+    #[test]
+    fn scaling_multiplies_bytes() {
+        let v = sample().scaled(10.0);
+        assert_eq!(v.total_input_bytes(), 3000);
+        assert_eq!(v.maps[0].shuffle_bytes_per_dst, vec![300, 200]);
+        assert_eq!(v.reduces[1].records, 60);
+        assert!((v.maps[1].local_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_splitting_preserves_totals() {
+        let v = sample().scaled(10.0); // inputs 1000/2000 B, records 100/200
+        let split = v.with_map_splits(600);
+        // Both the byte cap (600) and the record cap (600/100 = 6
+        // records/task) bind; the record cap dominates here.
+        assert!(split.maps.len() >= 6);
+        assert!(split.maps.iter().all(|m| m.input_bytes <= 600));
+        assert!(split.maps.iter().all(|m| m.records <= 6));
+        // Totals preserved up to integer division.
+        assert!(v.total_input_bytes() - split.total_input_bytes() < split.maps.len() as u64);
+        assert!(v.total_shuffle_bytes() - split.total_shuffle_bytes() < 2 * split.maps.len() as u64);
+        assert_eq!(split.shuffle_mismatch(), 0);
+        assert_eq!(split.reduces[0].shuffle_bytes_from.len(), split.maps.len());
+    }
+
+    #[test]
+    fn mismatch_detects_imbalance() {
+        let mut v = sample();
+        v.reduces[0].shuffle_bytes_from[0] = 0;
+        assert_eq!(v.shuffle_mismatch(), 30);
+    }
+}

@@ -1,0 +1,224 @@
+//! Job configuration: a typed view over string key-value pairs.
+//!
+//! Mirrors Hadoop's `JobConf` / Hive's `HiveConf`. The constants below
+//! include the three knobs the paper introduces in Section IV-D:
+//! `hive.datampi.parallelism`, `hive.datampi.memusedpercent`, and
+//! `hive.datampi.sendqueue`.
+
+use crate::error::{HdmError, Result};
+use std::collections::BTreeMap;
+
+/// `hive.datampi.parallelism`: `default` keeps Hive's task-count policy;
+/// `enhanced` sets #A-tasks = #O-tasks (1 for the final stage).
+pub const KEY_PARALLELISM: &str = "hive.datampi.parallelism";
+/// `hive.datampi.memusedpercent`: fraction of worker memory handed to the
+/// DataMPI library cache (paper best: 0.4).
+pub const KEY_MEM_USED_PERCENT: &str = "hive.datampi.memusedpercent";
+/// `hive.datampi.sendqueue`: send block queue length (paper: stable ≥ 6).
+pub const KEY_SEND_QUEUE: &str = "hive.datampi.sendqueue";
+/// Number of reduce/A tasks requested for a job.
+pub const KEY_NUM_REDUCERS: &str = "mapred.reduce.tasks";
+/// Map-side sort buffer size in bytes (Hadoop `io.sort.mb` analogue).
+pub const KEY_SORT_BUFFER_BYTES: &str = "io.sort.buffer.bytes";
+/// DFS block size in bytes (default 64 MB, as in the paper's testbed).
+pub const KEY_BLOCK_SIZE: &str = "dfs.block.size";
+/// Task slots per node (paper: 4).
+pub const KEY_SLOTS_PER_NODE: &str = "mapred.tasktracker.slots";
+/// DataMPI shuffle style: `blocking` or `nonblocking` (Section IV-C).
+pub const KEY_SHUFFLE_STYLE: &str = "datampi.shuffle.style";
+/// Send partition size in bytes for the DataMPI buffer manager.
+pub const KEY_SEND_PARTITION_BYTES: &str = "datampi.send.partition.bytes";
+/// Whether the map-side combiner runs (Hive map aggregation).
+pub const KEY_COMBINER: &str = "hive.map.aggr";
+
+/// The parallelism strategy of Section IV-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// #O from splits, #A from Hive's scheduling policy.
+    #[default]
+    Default,
+    /// #A = #O, and 1 for the last stage of a query.
+    Enhanced,
+}
+
+/// String-typed configuration with typed getters, defaulting like Hadoop.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobConf {
+    entries: BTreeMap<String, String>,
+}
+
+impl JobConf {
+    /// An empty configuration (all getters fall back to their defaults).
+    pub fn new() -> JobConf {
+        JobConf::default()
+    }
+
+    /// Set a key to a value (stringified).
+    pub fn set(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.entries.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Builder-style set.
+    pub fn with(mut self, key: &str, value: impl ToString) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Raw string lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// String with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+
+    /// Integer with default.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer.
+    pub fn get_i64(&self, key: &str, default: i64) -> Result<i64> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s
+                .trim()
+                .parse()
+                .map_err(|_| HdmError::Config(format!("{key}: expected integer, got {s:?}"))),
+        }
+    }
+
+    /// Float with default.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not a float.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s
+                .trim()
+                .parse()
+                .map_err(|_| HdmError::Config(format!("{key}: expected float, got {s:?}"))),
+        }
+    }
+
+    /// Boolean with default (`true`/`false`, case-insensitive).
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] on anything else.
+    pub fn get_bool(&self, key: &str, default: bool) -> Result<bool> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => match s.trim().to_ascii_lowercase().as_str() {
+                "true" | "1" | "yes" => Ok(true),
+                "false" | "0" | "no" => Ok(false),
+                other => Err(HdmError::Config(format!("{key}: expected bool, got {other:?}"))),
+            },
+        }
+    }
+
+    /// The paper's parallelism knob.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] for values other than
+    /// `default`/`enhanced`.
+    pub fn parallelism(&self) -> Result<Parallelism> {
+        match self.get_str(KEY_PARALLELISM, "default").to_ascii_lowercase().as_str() {
+            "default" => Ok(Parallelism::Default),
+            "enhanced" => Ok(Parallelism::Enhanced),
+            other => Err(HdmError::Config(format!(
+                "{KEY_PARALLELISM}: expected default|enhanced, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The `hive.datampi.memusedpercent` knob, clamped to `[0, 1]`.
+    /// Paper default (best trade-off): **0.4**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not a float.
+    pub fn mem_used_percent(&self) -> Result<f64> {
+        Ok(self.get_f64(KEY_MEM_USED_PERCENT, 0.4)?.clamp(0.0, 1.0))
+    }
+
+    /// The `hive.datampi.sendqueue` knob. Paper default: **6**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer.
+    pub fn send_queue_len(&self) -> Result<usize> {
+        Ok(self.get_i64(KEY_SEND_QUEUE, 6)?.max(1) as usize)
+    }
+
+    /// Iterate over all `(key, value)` entries in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of explicitly-set entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing was explicitly set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<(String, String)> for JobConf {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> JobConf {
+        JobConf {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = JobConf::new();
+        assert_eq!(c.parallelism().unwrap(), Parallelism::Default);
+        assert!((c.mem_used_percent().unwrap() - 0.4).abs() < 1e-12);
+        assert_eq!(c.send_queue_len().unwrap(), 6);
+    }
+
+    #[test]
+    fn typed_getters() {
+        let mut c = JobConf::new();
+        c.set(KEY_NUM_REDUCERS, 16).set(KEY_MEM_USED_PERCENT, 0.8).set(KEY_COMBINER, "true");
+        assert_eq!(c.get_i64(KEY_NUM_REDUCERS, 1).unwrap(), 16);
+        assert!((c.get_f64(KEY_MEM_USED_PERCENT, 0.0).unwrap() - 0.8).abs() < 1e-12);
+        assert!(c.get_bool(KEY_COMBINER, false).unwrap());
+    }
+
+    #[test]
+    fn bad_values_error() {
+        let c = JobConf::new().with(KEY_NUM_REDUCERS, "lots");
+        assert!(c.get_i64(KEY_NUM_REDUCERS, 1).is_err());
+        let c = JobConf::new().with(KEY_PARALLELISM, "turbo");
+        assert!(c.parallelism().is_err());
+    }
+
+    #[test]
+    fn enhanced_parallelism_parses() {
+        let c = JobConf::new().with(KEY_PARALLELISM, "Enhanced");
+        assert_eq!(c.parallelism().unwrap(), Parallelism::Enhanced);
+    }
+
+    #[test]
+    fn mem_percent_is_clamped() {
+        let c = JobConf::new().with(KEY_MEM_USED_PERCENT, 7.5);
+        assert!((c.mem_used_percent().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let c: JobConf = vec![("a".to_string(), "1".to_string())].into_iter().collect();
+        assert_eq!(c.get("a"), Some("1"));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! The common error type shared by all `hdm-*` crates.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, HdmError>;
+
+/// Errors produced anywhere in the Hive-on-DataMPI stack.
+///
+/// The variants are deliberately coarse: each names the subsystem that
+/// failed and carries a human-readable message. Callers that need to react
+/// programmatically match on the variant; everything else just bubbles the
+/// error up to the driver, mirroring how Hive surfaces task failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HdmError {
+    /// A malformed query: lexing, parsing, or semantic analysis failed.
+    Parse(String),
+    /// Semantic analysis / planning failure (unknown table, type mismatch…).
+    Plan(String),
+    /// Expression evaluation failed at runtime (bad cast, divide by zero…).
+    Eval(String),
+    /// Filesystem-level failure in the simulated DFS.
+    Dfs(String),
+    /// Storage-format failure (corrupt stripe, schema mismatch…).
+    Storage(String),
+    /// Message-passing failure in the MPI simulation layer.
+    Mpi(String),
+    /// DataMPI engine failure (buffer manager, shuffle engine…).
+    DataMpi(String),
+    /// MapReduce engine failure.
+    MapRed(String),
+    /// Bad configuration value.
+    Config(String),
+    /// Codec/serialization failure.
+    Codec(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl HdmError {
+    /// The subsystem tag, e.g. `"parse"` or `"dfs"`. Useful in logs.
+    pub fn subsystem(&self) -> &'static str {
+        match self {
+            HdmError::Parse(_) => "parse",
+            HdmError::Plan(_) => "plan",
+            HdmError::Eval(_) => "eval",
+            HdmError::Dfs(_) => "dfs",
+            HdmError::Storage(_) => "storage",
+            HdmError::Mpi(_) => "mpi",
+            HdmError::DataMpi(_) => "datampi",
+            HdmError::MapRed(_) => "mapred",
+            HdmError::Config(_) => "config",
+            HdmError::Codec(_) => "codec",
+            HdmError::Other(_) => "other",
+        }
+    }
+
+    /// The message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            HdmError::Parse(m)
+            | HdmError::Plan(m)
+            | HdmError::Eval(m)
+            | HdmError::Dfs(m)
+            | HdmError::Storage(m)
+            | HdmError::Mpi(m)
+            | HdmError::DataMpi(m)
+            | HdmError::MapRed(m)
+            | HdmError::Config(m)
+            | HdmError::Codec(m)
+            | HdmError::Other(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for HdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.subsystem(), self.message())
+    }
+}
+
+impl std::error::Error for HdmError {}
+
+impl From<std::io::Error> for HdmError {
+    fn from(e: std::io::Error) -> Self {
+        HdmError::Other(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_subsystem_and_message() {
+        let e = HdmError::Dfs("no such file: /warehouse/x".into());
+        assert_eq!(e.to_string(), "[dfs] no such file: /warehouse/x");
+    }
+
+    #[test]
+    fn subsystem_tags_are_distinct() {
+        let all = [
+            HdmError::Parse(String::new()),
+            HdmError::Plan(String::new()),
+            HdmError::Eval(String::new()),
+            HdmError::Dfs(String::new()),
+            HdmError::Storage(String::new()),
+            HdmError::Mpi(String::new()),
+            HdmError::DataMpi(String::new()),
+            HdmError::MapRed(String::new()),
+            HdmError::Config(String::new()),
+            HdmError::Codec(String::new()),
+            HdmError::Other(String::new()),
+        ];
+        let mut tags: Vec<_> = all.iter().map(|e| e.subsystem()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), all.len());
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: HdmError = io.into();
+        assert_eq!(e.subsystem(), "other");
+        assert!(e.message().contains("gone"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&HdmError::Eval("x".into()));
+    }
+}

@@ -1,0 +1,278 @@
+//! Small statistics utilities: histograms and running aggregates.
+//!
+//! [`Histogram`] reproduces the key-value-size distributions of Figure 2
+//! (c)/(d); [`Summary`] backs metric reporting across the bench harness.
+
+use std::fmt;
+
+/// Fixed-width bucket histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram whose buckets are `[0,w), [w,2w), …`.
+    ///
+    /// # Panics
+    /// Panics if `bucket_width` is zero.
+    pub fn new(bucket_width: u64) -> Histogram {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        Histogram {
+            bucket_width,
+            counts: Vec::new(),
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = (sample / self.bucket_width) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// `(bucket_lower_bound, count)` pairs for non-empty buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (i as u64 * self.bucket_width, c))
+    }
+
+    /// Lower bound of the most populated bucket (the histogram's mode) —
+    /// e.g. "KV sizes centralized at 32 bytes" in the paper's Figure 2(c).
+    pub fn mode_bucket(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| i as u64 * self.bucket_width)
+    }
+
+    /// The `k` most populated bucket lower bounds, most frequent first.
+    pub fn top_modes(&self, k: usize) -> Vec<u64> {
+        let mut v: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.into_iter().take(k).map(|(i, _)| i as u64 * self.bucket_width).collect()
+    }
+
+    /// Merge another histogram into this one.
+    ///
+    /// # Panics
+    /// Panics if the bucket widths differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bucket_width, other.bucket_width, "bucket width mismatch");
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "histogram (n={}, width={}):", self.total, self.bucket_width)?;
+        for (lo, c) in self.buckets() {
+            writeln!(f, "  [{lo:>8}, {:>8}) {c}", lo + self.bucket_width)?;
+        }
+        Ok(())
+    }
+}
+
+/// Running min/max/mean/total over `f64` samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Summary {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Minimum, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_modes() {
+        let mut h = Histogram::new(8);
+        for _ in 0..10 {
+            h.record(32);
+        }
+        for _ in 0..4 {
+            h.record(14);
+        }
+        h.record(100);
+        assert_eq!(h.count(), 15);
+        assert_eq!(h.mode_bucket(), Some(32));
+        assert_eq!(h.top_modes(2), vec![32, 8]); // 14 falls in [8,16)
+        assert_eq!(h.min(), Some(14));
+        assert_eq!(h.max(), Some(100));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(4);
+        a.record(3);
+        let mut b = Histogram::new(4);
+        b.record(9);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mode_bucket(), Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn histogram_merge_width_mismatch_panics() {
+        let mut a = Histogram::new(4);
+        a.merge(&Histogram::new(8));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extremes() {
+        let h = Histogram::new(1);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mode_bucket(), None);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), None);
+        for v in [1.0, 2.0, 3.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert_eq!(s.sum(), 6.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn histogram_total_equals_samples(samples in proptest::collection::vec(0u64..10_000, 0..200)) {
+            let mut h = Histogram::new(16);
+            for &s in &samples {
+                h.record(s);
+            }
+            prop_assert_eq!(h.count(), samples.len() as u64);
+            let bucket_sum: u64 = h.buckets().map(|(_, c)| c).sum();
+            prop_assert_eq!(bucket_sum, samples.len() as u64);
+            if let (Some(mn), Some(mx)) = (h.min(), h.max()) {
+                prop_assert_eq!(mn, *samples.iter().min().unwrap());
+                prop_assert_eq!(mx, *samples.iter().max().unwrap());
+            }
+        }
+
+        #[test]
+        fn merge_is_sum(
+            a in proptest::collection::vec(0u64..1000, 0..100),
+            b in proptest::collection::vec(0u64..1000, 0..100),
+        ) {
+            let mut ha = Histogram::new(8);
+            for &s in &a { ha.record(s); }
+            let mut hb = Histogram::new(8);
+            for &s in &b { hb.record(s); }
+            let mut merged = ha.clone();
+            merged.merge(&hb);
+            let mut direct = Histogram::new(8);
+            for &s in a.iter().chain(&b) { direct.record(s); }
+            prop_assert_eq!(merged, direct);
+        }
+    }
+}

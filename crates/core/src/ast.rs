@@ -1,0 +1,429 @@
+//! Abstract syntax tree for the HiveQL subset.
+
+use hdm_common::value::{DataType, Value};
+use hdm_storage::FormatKind;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE [IF NOT EXISTS] name (col type, …) [STORED AS fmt]`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, DataType)>,
+        /// Storage format (default Text).
+        format: FormatKind,
+        /// Don't fail if the table exists.
+        if_not_exists: bool,
+    },
+    /// `CREATE TABLE name [STORED AS fmt] AS SELECT …`
+    CreateTableAs {
+        /// Table name.
+        name: String,
+        /// Storage format.
+        format: FormatKind,
+        /// The producing query.
+        query: Box<SelectStmt>,
+    },
+    /// `INSERT OVERWRITE TABLE name SELECT …`
+    InsertOverwrite {
+        /// Destination table.
+        table: String,
+        /// The producing query.
+        query: Box<SelectStmt>,
+    },
+    /// `INSERT INTO name VALUES (…), (…)` — literals only.
+    InsertValues {
+        /// Destination table.
+        table: String,
+        /// Literal rows.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `DROP TABLE [IF EXISTS] name`
+    DropTable {
+        /// Table name.
+        name: String,
+        /// Don't fail if missing.
+        if_exists: bool,
+    },
+    /// A top-level `SELECT`.
+    Select(Box<SelectStmt>),
+}
+
+/// One `SELECT` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projected items; `None` means `SELECT *`.
+    pub items: Option<Vec<SelectItem>>,
+    /// The FROM clause.
+    pub from: FromClause,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY `(expr, ascending)`.
+    pub order_by: Vec<(Expr, bool)>,
+    /// LIMIT n.
+    pub limit: Option<u64>,
+}
+
+/// One projected expression with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: Expr,
+    /// `AS alias`.
+    pub alias: Option<String>,
+}
+
+/// FROM: a base table plus a chain of joins (left-deep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromClause {
+    /// The leftmost table.
+    pub base: TableRef,
+    /// Join chain in source order.
+    pub joins: Vec<JoinClause>,
+}
+
+/// A table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name (lower-cased).
+    pub name: String,
+    /// Alias (lower-cased), defaults to the name.
+    pub alias: String,
+}
+
+/// Supported join kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Inner equi-join.
+    Inner,
+    /// Left outer join (unmatched left rows survive with NULLs).
+    LeftOuter,
+    /// Left semi join (left rows with at least one match, left columns
+    /// only) — Hive's rewrite of `IN`/`EXISTS` subqueries.
+    LeftSemi,
+    /// Left anti join (left rows with *no* match, left columns only) —
+    /// this dialect's rewrite of `NOT EXISTS` / `NOT IN` subqueries
+    /// (Hive 0.13 used `LEFT OUTER JOIN … WHERE right IS NULL`, which
+    /// requires post-join WHERE evaluation this planner deliberately
+    /// rejects; see DESIGN.md).
+    LeftAnti,
+}
+
+/// One `JOIN … ON …`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Kind.
+    pub kind: JoinKind,
+    /// Right-hand table.
+    pub table: TableRef,
+    /// ON condition (conjunction; equi-pairs are extracted by the
+    /// planner, the rest becomes a residual filter).
+    pub on: Expr,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // arithmetic/comparison/logic variants are self-describing
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally qualified (`alias.col`).
+    Column {
+        /// Table alias qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `NOT e`.
+    Not(Box<Expr>),
+    /// `e IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<Expr>,
+        /// `IS NOT NULL` when true.
+        negated: bool,
+    },
+    /// `e [NOT] BETWEEN lo AND hi`.
+    Between {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// NOT BETWEEN when true.
+        negated: bool,
+    },
+    /// `e [NOT] IN (l1, l2, …)`.
+    InList {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Candidate literals/expressions.
+        list: Vec<Expr>,
+        /// NOT IN when true.
+        negated: bool,
+    },
+    /// `e [NOT] LIKE 'pattern'` (`%` and `_` wildcards).
+    Like {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Pattern literal.
+        pattern: String,
+        /// NOT LIKE when true.
+        negated: bool,
+    },
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// Optional comparison operand.
+        operand: Option<Box<Expr>>,
+        /// `(when, then)` arms.
+        whens: Vec<(Expr, Expr)>,
+        /// ELSE arm.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// Function call (scalar or aggregate).
+    Func {
+        /// Lower-cased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// `DISTINCT` flag (aggregates).
+        distinct: bool,
+    },
+    /// `*` inside `COUNT(*)`.
+    Star,
+    /// `CAST(e AS type)`.
+    Cast {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Target type.
+        to: DataType,
+    },
+}
+
+impl Expr {
+    /// Shorthand for an unqualified column.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Shorthand for a binary op.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    /// Split a conjunction into its factors (flattening nested ANDs).
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                let mut v = left.conjuncts();
+                v.extend(right.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Rebuild a conjunction from factors; `None` for an empty list.
+    pub fn conjoin(mut factors: Vec<Expr>) -> Option<Expr> {
+        let mut acc = factors.pop()?;
+        while let Some(f) = factors.pop() {
+            acc = Expr::bin(BinOp::And, f, acc);
+        }
+        Some(acc)
+    }
+
+    /// True if this expression contains an aggregate function call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Func { name, args, .. } => {
+                is_aggregate_name(name) || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Binary { left, right, .. } => left.contains_aggregate() || right.contains_aggregate(),
+            Expr::Not(e) => e.contains_aggregate(),
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Like { expr, .. } => expr.contains_aggregate(),
+            Expr::Case {
+                operand,
+                whens,
+                else_expr,
+            } => {
+                operand.as_deref().map(Expr::contains_aggregate).unwrap_or(false)
+                    || whens.iter().any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || else_expr.as_deref().map(Expr::contains_aggregate).unwrap_or(false)
+            }
+            Expr::Cast { expr, .. } => expr.contains_aggregate(),
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Star => false,
+        }
+    }
+
+    /// Collect every column reference in the expression.
+    pub fn columns(&self, out: &mut Vec<(Option<String>, String)>) {
+        match self {
+            Expr::Column { qualifier, name } => out.push((qualifier.clone(), name.clone())),
+            Expr::Binary { left, right, .. } => {
+                left.columns(out);
+                right.columns(out);
+            }
+            Expr::Not(e) => e.columns(out),
+            Expr::IsNull { expr, .. } => expr.columns(out),
+            Expr::Between { expr, low, high, .. } => {
+                expr.columns(out);
+                low.columns(out);
+                high.columns(out);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.columns(out);
+                for e in list {
+                    e.columns(out);
+                }
+            }
+            Expr::Like { expr, .. } => expr.columns(out),
+            Expr::Case {
+                operand,
+                whens,
+                else_expr,
+            } => {
+                if let Some(o) = operand {
+                    o.columns(out);
+                }
+                for (w, t) in whens {
+                    w.columns(out);
+                    t.columns(out);
+                }
+                if let Some(e) = else_expr {
+                    e.columns(out);
+                }
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.columns(out);
+                }
+            }
+            Expr::Cast { expr, .. } => expr.columns(out),
+            Expr::Literal(_) | Expr::Star => {}
+        }
+    }
+}
+
+/// Is `name` one of the supported aggregate functions?
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(name, "sum" | "count" | "avg" | "min" | "max")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flatten() {
+        let e = Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::And, Expr::col("a"), Expr::col("b")),
+            Expr::col("c"),
+        );
+        let parts = e.conjuncts();
+        assert_eq!(parts.len(), 3);
+        let back = Expr::conjoin(parts.into_iter().cloned().collect()).unwrap();
+        assert_eq!(back.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Func {
+            name: "sum".into(),
+            args: vec![Expr::col("x")],
+            distinct: false,
+        };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::bin(BinOp::Add, Expr::lit(1i64), agg);
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+        let scalar = Expr::Func {
+            name: "year".into(),
+            args: vec![Expr::col("d")],
+            distinct: false,
+        };
+        assert!(!scalar.contains_aggregate());
+    }
+
+    #[test]
+    fn column_collection() {
+        let e = Expr::bin(
+            BinOp::Lt,
+            Expr::Column {
+                qualifier: Some("l".into()),
+                name: "qty".into(),
+            },
+            Expr::col("threshold"),
+        );
+        let mut cols = Vec::new();
+        e.columns(&mut cols);
+        assert_eq!(
+            cols,
+            vec![(Some("l".to_string()), "qty".to_string()), (None, "threshold".to_string())]
+        );
+    }
+}

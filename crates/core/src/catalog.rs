@@ -1,0 +1,149 @@
+//! The Metastore: table metadata (schemas, formats, storage paths).
+
+use hdm_common::error::{HdmError, Result};
+use hdm_common::row::Schema;
+use hdm_common::value::DataType;
+use hdm_dfs::Dfs;
+use hdm_storage::{FormatKind, TableStorage};
+use std::collections::BTreeMap;
+
+/// Metadata of one table.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    /// Table name (lower-cased).
+    pub name: String,
+    /// Column schema.
+    pub schema: Schema,
+    /// On-disk format.
+    pub format: FormatKind,
+}
+
+/// The Metastore: a name → [`TableMeta`] map plus the warehouse layout.
+///
+/// Like Hive's Metastore it stores *metadata only*; the rows live in the
+/// DFS under [`TableStorage`]'s `warehouse/<table>/part-N` convention.
+#[derive(Debug, Default)]
+pub struct Metastore {
+    tables: BTreeMap<String, TableMeta>,
+    /// Warehouse directory layout.
+    pub storage: TableStorage,
+}
+
+impl Metastore {
+    /// An empty metastore with the default warehouse root.
+    pub fn new() -> Metastore {
+        Metastore::default()
+    }
+
+    /// Register a new table.
+    ///
+    /// # Errors
+    /// [`HdmError::Plan`] if the name is taken (unless `if_not_exists`).
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        columns: Vec<(String, DataType)>,
+        format: FormatKind,
+        if_not_exists: bool,
+    ) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(HdmError::Plan(format!("table already exists: {name}")));
+        }
+        let schema = Schema::new(columns);
+        self.tables.insert(
+            key.clone(),
+            TableMeta {
+                name: key,
+                schema,
+                format,
+            },
+        );
+        Ok(())
+    }
+
+    /// Look up a table.
+    ///
+    /// # Errors
+    /// [`HdmError::Plan`] if missing.
+    pub fn table(&self, name: &str) -> Result<&TableMeta> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| HdmError::Plan(format!("no such table: {name}")))
+    }
+
+    /// True if the table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Drop a table's metadata and its data files.
+    ///
+    /// # Errors
+    /// [`HdmError::Plan`] if missing (unless `if_exists`).
+    pub fn drop_table(&mut self, dfs: &Dfs, name: &str, if_exists: bool) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.remove(&key).is_none() && !if_exists {
+            return Err(HdmError::Plan(format!("no such table: {name}")));
+        }
+        self.storage.drop_table(dfs, &key);
+        Ok(())
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_dfs::DfsConfig;
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut ms = Metastore::new();
+        ms.create_table(
+            "Orders",
+            vec![("o_orderkey".into(), DataType::Long)],
+            FormatKind::Text,
+            false,
+        )
+        .unwrap();
+        assert!(ms.contains("ORDERS"));
+        let meta = ms.table("orders").unwrap();
+        assert_eq!(meta.schema.len(), 1);
+        // Duplicate fails unless IF NOT EXISTS.
+        assert!(ms
+            .create_table("orders", vec![("x".into(), DataType::Long)], FormatKind::Text, false)
+            .is_err());
+        ms.create_table("orders", vec![("x".into(), DataType::Long)], FormatKind::Text, true)
+            .unwrap();
+        // Original schema kept.
+        assert_eq!(ms.table("orders").unwrap().schema.index_of("o_orderkey"), Some(0));
+
+        let dfs = Dfs::new(DfsConfig {
+            block_size: 64,
+            replication: 1,
+            num_nodes: 1,
+        });
+        ms.drop_table(&dfs, "orders", false).unwrap();
+        assert!(!ms.contains("orders"));
+        assert!(ms.drop_table(&dfs, "orders", false).is_err());
+        ms.drop_table(&dfs, "orders", true).unwrap();
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut ms = Metastore::new();
+        for n in ["zeta", "alpha"] {
+            ms.create_table(n, vec![("c".into(), DataType::Long)], FormatKind::Orc, false)
+                .unwrap();
+        }
+        assert_eq!(ms.table_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

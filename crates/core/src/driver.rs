@@ -1,0 +1,524 @@
+//! The Hive Driver: session state + statement execution.
+//!
+//! Owns the DFS handle, the Metastore, and the session `JobConf`
+//! (including the paper's `hive.datampi.*` knobs), compiles statements
+//! through the parser → analyzer → planner pipeline, executes stage DAGs
+//! on the selected engine, and returns result rows plus the measured
+//! per-stage volumes that drive the cluster timing model.
+
+pub use crate::engine::EngineKind;
+
+use crate::ast::Statement;
+use crate::catalog::Metastore;
+use crate::engine::{execute_stage, read_seq_outputs, StageContext, StageResult};
+use crate::expr::compile_expr;
+use crate::logical::analyze;
+use crate::parser::parse_script;
+use crate::physical::{plan_select, StageOutput};
+use hdm_cluster::{simulate_datampi, simulate_hadoop, ClusterSpec, DataMpiSimOptions, JobTimeline};
+use hdm_common::conf::JobConf;
+use hdm_common::error::{HdmError, Result};
+use hdm_common::row::Row;
+use hdm_dfs::{Dfs, DfsConfig, NodeId};
+use hdm_storage::format_for;
+use std::collections::HashMap;
+
+/// The result of one statement.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Result rows (empty for DDL / inserts).
+    pub rows: Vec<Row>,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Per-stage execution measurements (empty for DDL).
+    pub stages: Vec<StageResult>,
+}
+
+impl QueryResult {
+    /// Render rows as tab-separated lines (Hive CLI style).
+    pub fn to_lines(&self) -> Vec<String> {
+        self.rows.iter().map(|r| r.to_string()).collect()
+    }
+}
+
+/// A Hive session.
+#[derive(Debug)]
+pub struct Driver {
+    dfs: Dfs,
+    metastore: Metastore,
+    conf: JobConf,
+    engine: EngineKind,
+    next_query_id: u64,
+}
+
+impl Driver {
+    /// A driver over an existing filesystem.
+    pub fn new(dfs: Dfs) -> Driver {
+        Driver {
+            dfs,
+            metastore: Metastore::new(),
+            conf: JobConf::new(),
+            engine: EngineKind::Hadoop,
+            next_query_id: 1,
+        }
+    }
+
+    /// A self-contained driver with a small-block in-memory DFS —
+    /// convenient for tests and examples (small blocks mean even tiny
+    /// tables produce several splits, i.e. several map tasks).
+    pub fn in_memory() -> Driver {
+        Driver::new(Dfs::new(DfsConfig {
+            block_size: 64 * 1024,
+            replication: 2,
+            num_nodes: 7,
+        }))
+    }
+
+    /// The underlying filesystem.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The metastore.
+    pub fn metastore(&self) -> &Metastore {
+        &self.metastore
+    }
+
+    /// Mutable session configuration.
+    pub fn conf_mut(&mut self) -> &mut JobConf {
+        &mut self.conf
+    }
+
+    /// Session configuration.
+    pub fn conf(&self) -> &JobConf {
+        &self.conf
+    }
+
+    /// Set the default engine for subsequent statements.
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        self.engine = engine;
+    }
+
+    /// The current default engine.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Execute a script (one or more `;`-separated statements) on the
+    /// default engine; returns the last statement's result.
+    ///
+    /// # Errors
+    /// Parse/plan/execution failures.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        self.execute_on(sql, self.engine)
+    }
+
+    /// Execute a script on a specific engine; returns the last
+    /// statement's result.
+    ///
+    /// # Errors
+    /// Parse/plan/execution failures.
+    pub fn execute_on(&mut self, sql: &str, engine: EngineKind) -> Result<QueryResult> {
+        let stmts = parse_script(sql)?;
+        if stmts.is_empty() {
+            return Err(HdmError::Parse("empty statement".into()));
+        }
+        let mut last = QueryResult::default();
+        for stmt in stmts {
+            last = self.run_statement(stmt, engine)?;
+        }
+        Ok(last)
+    }
+
+    /// Execute a script and return every statement's result.
+    ///
+    /// # Errors
+    /// Parse/plan/execution failures.
+    pub fn execute_script(&mut self, sql: &str, engine: EngineKind) -> Result<Vec<QueryResult>> {
+        parse_script(sql)?
+            .into_iter()
+            .map(|stmt| self.run_statement(stmt, engine))
+            .collect()
+    }
+
+    fn run_statement(&mut self, stmt: Statement, engine: EngineKind) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                format,
+                if_not_exists,
+            } => {
+                self.metastore.create_table(&name, columns, format, if_not_exists)?;
+                Ok(QueryResult::default())
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.metastore.drop_table(&self.dfs, &name, if_exists)?;
+                Ok(QueryResult::default())
+            }
+            Statement::InsertValues { table, rows } => {
+                self.insert_values(&table, rows)?;
+                Ok(QueryResult::default())
+            }
+            Statement::InsertOverwrite { table, query } => {
+                let meta = self.metastore.table(&table)?.clone();
+                // Overwrite semantics: clear old data first.
+                self.metastore.storage.drop_table(&self.dfs, &table);
+                let (stages, _) = self.run_select(
+                    &query,
+                    StageOutput::Table {
+                        name: meta.name.clone(),
+                        format: meta.format,
+                    },
+                    engine,
+                )?;
+                Ok(QueryResult {
+                    rows: Vec::new(),
+                    columns: meta.schema.fields().iter().map(|f| f.name.clone()).collect(),
+                    stages,
+                })
+            }
+            Statement::CreateTableAs { name, format, query } => {
+                if self.metastore.contains(&name) {
+                    return Err(HdmError::Plan(format!("table already exists: {name}")));
+                }
+                let qb = analyze(&query, &self.metastore)?;
+                // Output schema from static type inference.
+                let plan = plan_select(
+                    &qb,
+                    StageOutput::Table {
+                        name: name.clone(),
+                        format,
+                    },
+                )?;
+                let last = plan.stages.last().expect("plan has stages");
+                let columns: Vec<(String, hdm_common::value::DataType)> = last
+                    .out_names
+                    .iter()
+                    .cloned()
+                    .zip(last.out_types.iter().copied())
+                    .collect();
+                self.metastore.create_table(&name, columns, format, false)?;
+                let stages = self.execute_plan(&plan, engine)?;
+                Ok(QueryResult {
+                    rows: Vec::new(),
+                    columns: last.out_names.clone(),
+                    stages,
+                })
+            }
+            Statement::Select(query) => {
+                let (stages, collected) = self.run_select(&query, StageOutput::Collect, engine)?;
+                let (rows, columns) = collected.expect("collect sink returns rows");
+                Ok(QueryResult { rows, columns, stages })
+            }
+        }
+    }
+
+    /// Plan + execute a SELECT with the given sink. Returns stage results
+    /// and, for Collect sinks, the result rows.
+    #[allow(clippy::type_complexity)]
+    fn run_select(
+        &mut self,
+        query: &crate::ast::SelectStmt,
+        sink: StageOutput,
+        engine: EngineKind,
+    ) -> Result<(Vec<StageResult>, Option<(Vec<Row>, Vec<String>)>)> {
+        let qb = analyze(query, &self.metastore)?;
+        let mut plan = plan_select(&qb, sink.clone())?;
+        for stage in &mut plan.stages {
+            crate::optimizer::optimize_stage(stage);
+        }
+        let stages = self.execute_plan(&plan, engine)?;
+        let collected = if matches!(sink, StageOutput::Collect) {
+            let last = stages.last().expect("plan has stages");
+            let mut rows = read_seq_outputs(&self.dfs, &last.output_paths)?;
+            // LIMIT without ORDER BY is applied here (best-effort upstream).
+            if let Some(l) = qb.limit {
+                rows.truncate(l as usize);
+            }
+            let columns = plan.stages.last().expect("stages").out_names.clone();
+            Some((rows, columns))
+        } else {
+            None
+        };
+        Ok((stages, collected))
+    }
+
+    fn execute_plan(&mut self, plan: &crate::physical::QueryPlan, engine: EngineKind) -> Result<Vec<StageResult>> {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        let mut intermediates: HashMap<usize, Vec<String>> = HashMap::new();
+        let mut dag_intermediates: HashMap<usize, std::sync::Arc<Vec<Row>>> = HashMap::new();
+        let mut results = Vec::new();
+        for stage in &plan.stages {
+            let ctx = StageContext {
+                dfs: &self.dfs,
+                metastore: &self.metastore,
+                conf: &self.conf,
+                engine,
+                intermediates: &intermediates,
+                dag_intermediates: &dag_intermediates,
+                query_id,
+            };
+            let result = execute_stage(stage, &ctx)?;
+            intermediates.insert(stage.id, result.output_paths.clone());
+            if let Some(rows) = &result.mem_output {
+                dag_intermediates.insert(stage.id, std::sync::Arc::clone(rows));
+            }
+            results.push(result);
+        }
+        // Clean intermediate temp files (keep the final output).
+        for stage in &plan.stages {
+            if stage.output == StageOutput::Intermediate {
+                self.dfs.delete_prefix(&format!("/tmp/q{query_id}/stage{}/", stage.id));
+            }
+        }
+        Ok(results)
+    }
+
+    /// Bulk-load rows into a table as a fresh part file — the loader
+    /// entry point used by the workload generators (dbgen, HiBench).
+    ///
+    /// # Errors
+    /// Fails if the table is unknown or a row's arity mismatches.
+    pub fn load_rows(&mut self, table: &str, rows: &[Row]) -> Result<u64> {
+        let meta = self.metastore.table(table)?.clone();
+        let part = self.metastore.storage.parts(&self.dfs, table).len();
+        let path = self.metastore.storage.part_path(table, part);
+        let fmt = format_for(meta.format);
+        let mut sink = fmt.create(&self.dfs, &path, &meta.schema, NodeId((part % 7) as u32))?;
+        for r in rows {
+            if r.len() != meta.schema.len() {
+                return Err(HdmError::Plan(format!(
+                    "load arity {} does not match table arity {}",
+                    r.len(),
+                    meta.schema.len()
+                )));
+            }
+            sink.write_row(r)?;
+        }
+        sink.close()
+    }
+
+    fn insert_values(&mut self, table: &str, rows: Vec<Vec<crate::ast::Expr>>) -> Result<()> {
+        let meta = self.metastore.table(table)?.clone();
+        let no_columns = |_: Option<&str>, _: &str| -> Option<usize> { None };
+        let mut out_rows = Vec::with_capacity(rows.len());
+        for exprs in rows {
+            if exprs.len() != meta.schema.len() {
+                return Err(HdmError::Plan(format!(
+                    "INSERT arity {} does not match table arity {}",
+                    exprs.len(),
+                    meta.schema.len()
+                )));
+            }
+            let mut row = Row::new();
+            for (e, field) in exprs.iter().zip(meta.schema.fields()) {
+                let compiled = compile_expr(e, &no_columns)?;
+                let v = compiled.eval(&Row::new())?;
+                row.push(v.cast_to(field.data_type));
+            }
+            out_rows.push(row);
+        }
+        // Append as a fresh part file.
+        let part = self.metastore.storage.parts(&self.dfs, table).len();
+        let path = self.metastore.storage.part_path(table, part);
+        let fmt = format_for(meta.format);
+        let mut sink = fmt.create(&self.dfs, &path, &meta.schema, NodeId(0))?;
+        for r in &out_rows {
+            sink.write_row(r)?;
+        }
+        sink.close()?;
+        Ok(())
+    }
+}
+
+/// Replay a query's measured volumes through the cluster timing model,
+/// optionally scaling them to a nominal dataset size first.
+///
+/// Returns one [`JobTimeline`] per stage, in execution order.
+pub fn simulate_query(
+    stages: &[StageResult],
+    engine: EngineKind,
+    spec: &ClusterSpec,
+    opts: DataMpiSimOptions,
+    scale: f64,
+) -> Vec<JobTimeline> {
+    stages
+        .iter()
+        .map(|s| {
+            let volumes = if (scale - 1.0).abs() < 1e-12 {
+                s.volumes.clone()
+            } else {
+                // Re-split oversized scaled map tasks to HDFS-block-sized
+                // units, as the real cluster's input format would.
+                s.volumes.scaled(scale).with_map_splits(64 << 20)
+            };
+            match engine {
+                EngineKind::Hadoop => simulate_hadoop(&volumes, spec),
+                EngineKind::DataMpi => simulate_datampi(&volumes, spec, opts),
+            }
+        })
+        .collect()
+}
+
+/// End-to-end simulated query latency in seconds (sum of stage
+/// timelines plus a fixed compile cost).
+pub fn simulated_total_seconds(timelines: &[JobTimeline], compile_s: f64) -> f64 {
+    compile_s + timelines.iter().map(JobTimeline::total).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_common::value::Value;
+
+    fn driver() -> Driver {
+        let mut d = Driver::in_memory();
+        d.execute(
+            "CREATE TABLE t (k BIGINT, s STRING, v DOUBLE); \
+             INSERT INTO t VALUES \
+               (1, 'a', 1.5), (2, 'b', 2.5), (1, 'c', 3.5), (3, 'a', 0.5), (2, 'a', 4.0)",
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn ddl_and_insert() {
+        let d = driver();
+        assert!(d.metastore().contains("t"));
+        assert_eq!(d.metastore().storage.parts(d.dfs(), "t").len(), 1);
+    }
+
+    #[test]
+    fn select_star_roundtrips() {
+        let mut d = driver();
+        let r = d.execute("SELECT * FROM t").unwrap();
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.columns, vec!["k", "s", "v"]);
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let mut d = driver();
+        let r = d.execute("SELECT s FROM t WHERE k = 1").unwrap();
+        let mut vals: Vec<String> = r.rows.iter().map(|r| r.to_string()).collect();
+        vals.sort();
+        assert_eq!(vals, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn group_by_on_both_engines_matches() {
+        let mut d = driver();
+        let sql = "SELECT k, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY k ORDER BY k";
+        let hadoop = d.execute_on(sql, EngineKind::Hadoop).unwrap();
+        let datampi = d.execute_on(sql, EngineKind::DataMpi).unwrap();
+        assert_eq!(hadoop.to_lines(), datampi.to_lines());
+        assert_eq!(hadoop.to_lines(), vec!["1\t2\t5.0", "2\t2\t6.5", "3\t1\t0.5"]);
+    }
+
+    #[test]
+    fn join_works() {
+        let mut d = driver();
+        d.execute("CREATE TABLE names (k BIGINT, label STRING)").unwrap();
+        d.execute("INSERT INTO names VALUES (1, 'one'), (2, 'two')").unwrap();
+        let r = d
+            .execute("SELECT label, v FROM t JOIN names n ON t.k = n.k ORDER BY v")
+            .unwrap();
+        assert_eq!(r.rows.len(), 4); // k=3 unmatched drops out
+        assert_eq!(r.rows[0].get(0), &Value::Str("one".into()));
+    }
+
+    #[test]
+    fn order_by_desc_with_limit() {
+        let mut d = driver();
+        let r = d.execute("SELECT s, v FROM t ORDER BY v DESC LIMIT 2").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].get(1), &Value::Double(4.0));
+        assert_eq!(r.rows[1].get(1), &Value::Double(3.5));
+    }
+
+    #[test]
+    fn ctas_and_requery() {
+        let mut d = driver();
+        d.execute("CREATE TABLE agg STORED AS ORC AS SELECT k, SUM(v) AS total FROM t GROUP BY k")
+            .unwrap();
+        let meta = d.metastore().table("agg").unwrap();
+        assert_eq!(meta.schema.index_of("total"), Some(1));
+        let r = d.execute("SELECT k FROM agg WHERE total > 5 ORDER BY k").unwrap();
+        assert_eq!(r.to_lines(), vec!["2"]);
+    }
+
+    #[test]
+    fn insert_overwrite_replaces() {
+        let mut d = driver();
+        d.execute("CREATE TABLE dst (k BIGINT, n BIGINT)").unwrap();
+        d.execute("INSERT OVERWRITE TABLE dst SELECT k, COUNT(*) AS c FROM t GROUP BY k")
+            .unwrap();
+        let r1 = d.execute("SELECT k FROM dst ORDER BY k").unwrap();
+        assert_eq!(r1.rows.len(), 3);
+        // Overwrite again with a filtered subset.
+        d.execute("INSERT OVERWRITE TABLE dst SELECT k, COUNT(*) AS c FROM t WHERE k = 1 GROUP BY k")
+            .unwrap();
+        let r2 = d.execute("SELECT k FROM dst ORDER BY k").unwrap();
+        assert_eq!(r2.rows.len(), 1);
+    }
+
+    #[test]
+    fn stage_volumes_measured() {
+        let mut d = driver();
+        let r = d
+            .execute("SELECT k, COUNT(*) AS n FROM t GROUP BY k ORDER BY k")
+            .unwrap();
+        assert_eq!(r.stages.len(), 2); // aggregate + sort
+        let agg = &r.stages[0];
+        assert!(agg.volumes.total_input_bytes() > 0);
+        assert_eq!(agg.volumes.maps.iter().map(|m| m.records).sum::<u64>(), 5);
+        assert_eq!(agg.volumes.shuffle_mismatch(), 0);
+        // Simulation produces sane timelines on both engines.
+        let spec = ClusterSpec::default();
+        for engine in [EngineKind::Hadoop, EngineKind::DataMpi] {
+            let tls = simulate_query(&r.stages, engine, &spec, DataMpiSimOptions::default(), 1000.0);
+            assert_eq!(tls.len(), 2);
+            assert!(simulated_total_seconds(&tls, 1.0) > 1.0);
+        }
+    }
+
+    #[test]
+    fn dag_mode_matches_file_mode() {
+        let mut d = driver();
+        d.execute("CREATE TABLE names (k BIGINT, label STRING)").unwrap();
+        d.execute("INSERT INTO names VALUES (1, 'one'), (2, 'two')").unwrap();
+        // A three-stage query (join → aggregate → sort) exercises two
+        // intermediate hand-offs.
+        let sql = "SELECT label, COUNT(*) AS n, SUM(v) AS s FROM t                    JOIN names nm ON t.k = nm.k GROUP BY label ORDER BY label";
+        let file_mode = d.execute_on(sql, EngineKind::DataMpi).unwrap();
+        d.conf_mut().set("hive.datampi.dag", true);
+        let dag_mode = d.execute_on(sql, EngineKind::DataMpi).unwrap();
+        d.conf_mut().set("hive.datampi.dag", false);
+        assert_eq!(file_mode.to_lines(), dag_mode.to_lines());
+        // DAG intermediates never touch the DFS: the intermediate stages
+        // report no output files and no downstream input bytes.
+        let mid = &dag_mode.stages[0];
+        assert!(mid.output_paths.is_empty(), "DAG stage should not write files");
+        assert!(mid.mem_output.is_some());
+        let downstream = &dag_mode.stages[1];
+        assert_eq!(
+            downstream.volumes.total_input_bytes(),
+            0,
+            "DAG downstream reads from memory"
+        );
+        // File mode, by contrast, pays the intermediate round trip.
+        assert!(file_mode.stages[1].volumes.total_input_bytes() > 0);
+    }
+
+    #[test]
+    fn errors_surface() {
+        let mut d = driver();
+        assert!(d.execute("SELECT nope FROM t").is_err());
+        assert!(d.execute("SELECT * FROM missing").is_err());
+        assert!(d.execute("INSERT INTO t VALUES (1)").is_err());
+        assert!(d.execute("").is_err());
+    }
+}

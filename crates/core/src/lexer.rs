@@ -1,0 +1,314 @@
+//! HiveQL lexer.
+
+use hdm_common::error::{HdmError, Result};
+
+/// One token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (upper-cased for keywords at parse time).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (escapes resolved).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(Sym),
+}
+
+/// Punctuation and operator symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // single-token variants are self-describing
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Dot,
+}
+
+impl std::fmt::Display for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Sym::LParen => "(",
+            Sym::RParen => ")",
+            Sym::Comma => ",",
+            Sym::Semi => ";",
+            Sym::Star => "*",
+            Sym::Plus => "+",
+            Sym::Minus => "-",
+            Sym::Slash => "/",
+            Sym::Percent => "%",
+            Sym::Eq => "=",
+            Sym::NotEq => "<>",
+            Sym::Lt => "<",
+            Sym::Le => "<=",
+            Sym::Gt => ">",
+            Sym::Ge => ">=",
+            Sym::Dot => ".",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tokenize a HiveQL string. Comments (`-- …` to end of line) are
+/// skipped; identifiers keep their original case (the parser lowercases
+/// where appropriate).
+///
+/// # Errors
+/// [`HdmError::Parse`] on unterminated strings or unexpected characters.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::Sym(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Sym(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Sym(Sym::Comma));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Sym(Sym::Semi));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Sym(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Sym(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Sym(Sym::Minus));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Sym(Sym::Slash));
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Sym(Sym::Percent));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Sym(Sym::Dot));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Sym(Sym::Eq));
+                i += 1;
+                if bytes.get(i) == Some(&'=') {
+                    i += 1; // tolerate '=='
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Token::Sym(Sym::NotEq));
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Sym(Sym::Le));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Token::Sym(Sym::NotEq));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym(Sym::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Sym(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(HdmError::Parse("unterminated string literal".into())),
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\\') if bytes.get(i + 1).is_some() => {
+                            s.push(bytes[i + 1]);
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '`' => {
+                // Backquoted identifier.
+                let mut s = String::new();
+                i += 1;
+                while i < bytes.len() && bytes[i] != '`' {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(HdmError::Parse("unterminated backquoted identifier".into()));
+                }
+                i += 1;
+                out.push(Token::Ident(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    // A second dot ends the number (e.g. range syntax).
+                    if bytes[i] == '.' && bytes[start..i].contains(&'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if text.contains('.') {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| HdmError::Parse(format!("bad float literal {text:?}")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| HdmError::Parse(format!("bad int literal {text:?}")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(HdmError::Parse(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a >= 10.5;").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Sym(Sym::Ge)));
+        assert!(toks.contains(&Token::Float(10.5)));
+        assert_eq!(*toks.last().unwrap(), Token::Sym(Sym::Semi));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = tokenize("'it''s' 'a\\'b'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into()), Token::Str("a'b".into())]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Int(1),
+                Token::Sym(Sym::Comma),
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("a <> b != c <= d >= e < f > g = h").unwrap();
+        let syms: Vec<Sym> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Sym(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec![Sym::NotEq, Sym::NotEq, Sym::Le, Sym::Ge, Sym::Lt, Sym::Gt, Sym::Eq]
+        );
+    }
+
+    #[test]
+    fn qualified_names() {
+        let toks = tokenize("l.l_orderkey").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("l".into()),
+                Token::Sym(Sym::Dot),
+                Token::Ident("l_orderkey".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+        assert!(tokenize("`oops").is_err());
+    }
+
+    #[test]
+    fn backquoted_identifier() {
+        assert_eq!(tokenize("`weird name`").unwrap(), vec![Token::Ident("weird name".into())]);
+    }
+
+    #[test]
+    fn number_then_dot_range() {
+        // "1.5" parses as float; second dot stops the scan.
+        let toks = tokenize("1.5.x").unwrap();
+        assert_eq!(toks[0], Token::Float(1.5));
+        assert_eq!(toks[1], Token::Sym(Sym::Dot));
+    }
+}

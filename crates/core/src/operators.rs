@@ -1,0 +1,529 @@
+//! Runtime operator machinery shared by both execution engines:
+//! aggregate states, join group processing, and shuffle-row codecs.
+//!
+//! Keeping these engine-agnostic is the heart of the paper's plug-in
+//! claim: the Hadoop `ExecMapper`/`ExecReducer` and the DataMPI
+//! `DataMPIHiveApplication` both delegate here, so swapping the engine
+//! swaps only data movement, never query semantics.
+
+use crate::expr::RExpr;
+use crate::logical::AggFunc;
+use crate::physical::AggSpec;
+use hdm_common::error::{HdmError, Result};
+use hdm_common::row::Row;
+use hdm_common::value::Value;
+use std::collections::HashSet;
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// One aggregate's accumulating state.
+#[derive(Debug, Clone)]
+pub enum AggState {
+    /// COUNT (counts non-null inputs; COUNT(*) counts the constant 1).
+    Count(i64),
+    /// SUM (Long until a Double arrives, then Double).
+    Sum(Option<Value>),
+    /// AVG = (sum, count).
+    Avg(f64, i64),
+    /// MIN.
+    Min(Option<Value>),
+    /// MAX.
+    Max(Option<Value>),
+    /// COUNT(DISTINCT …) — never partially aggregated.
+    CountDistinct(HashSet<Value>),
+}
+
+/// Drives a vector of [`AggState`]s according to the stage's specs.
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    specs: Vec<AggSpec>,
+}
+
+impl Aggregator {
+    /// Build for a stage's aggregate list.
+    pub fn new(specs: Vec<AggSpec>) -> Aggregator {
+        Aggregator { specs }
+    }
+
+    /// True if any aggregate is DISTINCT (disables partial aggregation:
+    /// raw inputs must reach the reducer).
+    pub fn has_distinct(&self) -> bool {
+        self.specs.iter().any(|s| s.distinct)
+    }
+
+    /// Fresh states, one per aggregate.
+    pub fn new_states(&self) -> Vec<AggState> {
+        self.specs
+            .iter()
+            .map(|s| match (s.func, s.distinct) {
+                (AggFunc::Count, true) => AggState::CountDistinct(HashSet::new()),
+                (AggFunc::Count, false) => AggState::Count(0),
+                (AggFunc::Sum, _) => AggState::Sum(None),
+                (AggFunc::Avg, _) => AggState::Avg(0.0, 0),
+                (AggFunc::Min, _) => AggState::Min(None),
+                (AggFunc::Max, _) => AggState::Max(None),
+            })
+            .collect()
+    }
+
+    /// Update states from one *raw input row* (cell `i` = aggregate
+    /// `i`'s input).
+    pub fn update_raw(&self, states: &mut [AggState], row: &Row) {
+        for (i, state) in states.iter_mut().enumerate() {
+            let v = row.values().get(i).cloned().unwrap_or(Value::Null);
+            update_one(state, &v);
+        }
+    }
+
+    /// Merge a serialized *partial state row* into states.
+    ///
+    /// # Errors
+    /// [`HdmError::Eval`] if the row does not match the state layout.
+    pub fn merge_state_row(&self, states: &mut [AggState], row: &Row) -> Result<()> {
+        let mut pos = 0usize;
+        for state in states.iter_mut() {
+            let take = |k: usize| -> Result<&Value> {
+                row.values()
+                    .get(k)
+                    .ok_or_else(|| HdmError::Eval("short partial-aggregate state row".into()))
+            };
+            match state {
+                AggState::Count(n) => {
+                    *n += take(pos)?.as_i64().unwrap_or(0);
+                    pos += 1;
+                }
+                AggState::Sum(cur) => {
+                    merge_sum(cur, take(pos)?);
+                    pos += 1;
+                }
+                AggState::Avg(sum, count) => {
+                    *sum += take(pos)?.as_f64().unwrap_or(0.0);
+                    *count += take(pos + 1)?.as_i64().unwrap_or(0);
+                    pos += 2;
+                }
+                AggState::Min(cur) => {
+                    let v = take(pos)?;
+                    if !v.is_null() {
+                        merge_min(cur, v);
+                    }
+                    pos += 1;
+                }
+                AggState::Max(cur) => {
+                    let v = take(pos)?;
+                    if !v.is_null() {
+                        merge_max(cur, v);
+                    }
+                    pos += 1;
+                }
+                AggState::CountDistinct(_) => {
+                    return Err(HdmError::Eval(
+                        "COUNT(DISTINCT) cannot merge partial states".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize states as a partial state row (for the shuffle).
+    pub fn states_to_row(&self, states: &[AggState]) -> Row {
+        let mut row = Row::new();
+        for state in states {
+            match state {
+                AggState::Count(n) => row.push(Value::Long(*n)),
+                AggState::Sum(v) => row.push(v.clone().unwrap_or(Value::Null)),
+                AggState::Avg(sum, count) => {
+                    row.push(Value::Double(*sum));
+                    row.push(Value::Long(*count));
+                }
+                AggState::Min(v) | AggState::Max(v) => row.push(v.clone().unwrap_or(Value::Null)),
+                AggState::CountDistinct(_) => {
+                    unreachable!("distinct aggregates never produce partial rows")
+                }
+            }
+        }
+        row
+    }
+
+    /// Final results, one value per aggregate.
+    pub fn finish(&self, states: Vec<AggState>) -> Vec<Value> {
+        states
+            .into_iter()
+            .map(|s| match s {
+                AggState::Count(n) => Value::Long(n),
+                AggState::Sum(v) => v.unwrap_or(Value::Null),
+                AggState::Avg(sum, count) => {
+                    if count == 0 {
+                        Value::Null
+                    } else {
+                        Value::Double(sum / count as f64)
+                    }
+                }
+                AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+                AggState::CountDistinct(set) => Value::Long(set.len() as i64),
+            })
+            .collect()
+    }
+}
+
+fn update_one(state: &mut AggState, v: &Value) {
+    match state {
+        AggState::Count(n) => {
+            if !v.is_null() {
+                *n += 1;
+            }
+        }
+        AggState::Sum(cur) => {
+            if !v.is_null() {
+                merge_sum(cur, v);
+            }
+        }
+        AggState::Avg(sum, count) => {
+            if let Some(x) = v.as_f64() {
+                *sum += x;
+                *count += 1;
+            }
+        }
+        AggState::Min(cur) => {
+            if !v.is_null() {
+                merge_min(cur, v);
+            }
+        }
+        AggState::Max(cur) => {
+            if !v.is_null() {
+                merge_max(cur, v);
+            }
+        }
+        AggState::CountDistinct(set) => {
+            if !v.is_null() {
+                set.insert(v.clone());
+            }
+        }
+    }
+}
+
+fn merge_sum(cur: &mut Option<Value>, v: &Value) {
+    if v.is_null() {
+        return;
+    }
+    *cur = Some(match (cur.take(), v) {
+        (None, x) => x.clone(),
+        (Some(Value::Long(a)), Value::Long(b)) => Value::Long(a.wrapping_add(*b)),
+        (Some(a), b) => Value::Double(a.as_f64().unwrap_or(0.0) + b.as_f64().unwrap_or(0.0)),
+    });
+}
+
+fn merge_min(cur: &mut Option<Value>, v: &Value) {
+    match cur {
+        Some(c) if c.total_cmp(v) != std::cmp::Ordering::Greater => {}
+        _ => *cur = Some(v.clone()),
+    }
+}
+
+fn merge_max(cur: &mut Option<Value>, v: &Value) {
+    match cur {
+        Some(c) if c.total_cmp(v) != std::cmp::Ordering::Less => {}
+        _ => *cur = Some(v.clone()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join group processing
+// ---------------------------------------------------------------------------
+
+/// Process one join key group: `lefts`/`rights` are the value rows of
+/// each side; matched concatenations flow through `residual` then
+/// `project` into `out`.
+///
+/// # Errors
+/// Propagates expression-evaluation failures.
+pub fn process_join_group(
+    kind: crate::ast::JoinKind,
+    right_width: usize,
+    residual: Option<&RExpr>,
+    project: &[RExpr],
+    lefts: &[Row],
+    rights: &[Row],
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    use crate::ast::JoinKind::*;
+    match kind {
+        Inner => {
+            for l in lefts {
+                for r in rights {
+                    let joined = l.concat(r);
+                    if passes(residual, &joined)? {
+                        out.push(project_row(project, &joined)?);
+                    }
+                }
+            }
+        }
+        LeftOuter => {
+            for l in lefts {
+                let mut matched = false;
+                for r in rights {
+                    let joined = l.concat(r);
+                    if passes(residual, &joined)? {
+                        matched = true;
+                        out.push(project_row(project, &joined)?);
+                    }
+                }
+                if !matched {
+                    let nulls = Row::from(vec![Value::Null; right_width]);
+                    let joined = l.concat(&nulls);
+                    out.push(project_row(project, &joined)?);
+                }
+            }
+        }
+        LeftSemi | LeftAnti => {
+            let want_match = kind == LeftSemi;
+            for l in lefts {
+                let mut matched = false;
+                for r in rights {
+                    let joined = l.concat(r);
+                    if passes(residual, &joined)? {
+                        matched = true;
+                        break;
+                    }
+                }
+                if matched == want_match {
+                    // Projection sees the concat layout but only reads
+                    // left columns; pad with nulls for safety.
+                    let nulls = Row::from(vec![Value::Null; right_width]);
+                    let joined = l.concat(&nulls);
+                    out.push(project_row(project, &joined)?);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn passes(residual: Option<&RExpr>, row: &Row) -> Result<bool> {
+    match residual {
+        Some(e) => e.eval_predicate(row),
+        None => Ok(true),
+    }
+}
+
+/// Apply a projection list to a row.
+///
+/// # Errors
+/// Propagates expression-evaluation failures.
+pub fn project_row(project: &[RExpr], row: &Row) -> Result<Row> {
+    let mut out = Row::new();
+    for e in project {
+        out.push(e.eval(row)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Shuffle-row helpers
+// ---------------------------------------------------------------------------
+
+/// Encode a join value row: `[tag, cols…]`.
+pub fn tag_row(tag: u8, row: &Row) -> Row {
+    let mut out = Row::from(vec![Value::Long(tag as i64)]);
+    out.extend(row.values().iter().cloned());
+    out
+}
+
+/// Split a tagged value row back into `(tag, row)`.
+///
+/// # Errors
+/// [`HdmError::Eval`] if the tag cell is missing.
+pub fn untag_row(row: Row) -> Result<(u8, Row)> {
+    let mut values = row.into_values();
+    if values.is_empty() {
+        return Err(HdmError::Eval("tagged row is empty".into()));
+    }
+    let tag = values.remove(0).as_i64().unwrap_or(0) as u8;
+    Ok((tag, Row::from(values)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, JoinKind};
+
+    fn spec(func: AggFunc) -> AggSpec {
+        AggSpec { func, distinct: false }
+    }
+
+    #[test]
+    fn aggregate_raw_and_finish() {
+        let agg = Aggregator::new(vec![
+            spec(AggFunc::Count),
+            spec(AggFunc::Sum),
+            spec(AggFunc::Avg),
+            spec(AggFunc::Min),
+            spec(AggFunc::Max),
+        ]);
+        let mut states = agg.new_states();
+        for v in [1i64, 5, 3] {
+            let row = Row::from(vec![
+                Value::Long(1),
+                Value::Long(v),
+                Value::Long(v),
+                Value::Long(v),
+                Value::Long(v),
+            ]);
+            agg.update_raw(&mut states, &row);
+        }
+        let out = agg.finish(states);
+        assert_eq!(out[0], Value::Long(3));
+        assert_eq!(out[1], Value::Long(9));
+        assert_eq!(out[2], Value::Double(3.0));
+        assert_eq!(out[3], Value::Long(1));
+        assert_eq!(out[4], Value::Long(5));
+    }
+
+    #[test]
+    fn partial_state_round_trip_merges() {
+        let agg = Aggregator::new(vec![spec(AggFunc::Count), spec(AggFunc::Avg), spec(AggFunc::Sum)]);
+        // Two "map tasks" build partial states; a reducer merges rows.
+        let mut final_states = agg.new_states();
+        for chunk in [vec![1i64, 2], vec![3, 4, 5]] {
+            let mut partial = agg.new_states();
+            for v in chunk {
+                agg.update_raw(
+                    &mut partial,
+                    &Row::from(vec![Value::Long(1), Value::Long(v), Value::Long(v)]),
+                );
+            }
+            let state_row = agg.states_to_row(&partial);
+            agg.merge_state_row(&mut final_states, &state_row).unwrap();
+        }
+        let out = agg.finish(final_states);
+        assert_eq!(out[0], Value::Long(5));
+        assert_eq!(out[1], Value::Double(3.0));
+        assert_eq!(out[2], Value::Long(15));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let agg = Aggregator::new(vec![AggSpec {
+            func: AggFunc::Count,
+            distinct: true,
+        }]);
+        assert!(agg.has_distinct());
+        let mut states = agg.new_states();
+        for v in ["a", "b", "a", "c", "b"] {
+            agg.update_raw(&mut states, &Row::from(vec![Value::Str(v.into())]));
+        }
+        assert_eq!(agg.finish(states), vec![Value::Long(3)]);
+    }
+
+    #[test]
+    fn nulls_ignored_by_aggregates() {
+        let agg = Aggregator::new(vec![spec(AggFunc::Count), spec(AggFunc::Sum), spec(AggFunc::Min)]);
+        let mut states = agg.new_states();
+        agg.update_raw(&mut states, &Row::from(vec![Value::Null, Value::Null, Value::Null]));
+        agg.update_raw(
+            &mut states,
+            &Row::from(vec![Value::Long(1), Value::Long(7), Value::Long(7)]),
+        );
+        let out = agg.finish(states);
+        assert_eq!(out, vec![Value::Long(1), Value::Long(7), Value::Long(7)]);
+    }
+
+    #[test]
+    fn sum_promotes_to_double() {
+        let agg = Aggregator::new(vec![spec(AggFunc::Sum)]);
+        let mut states = agg.new_states();
+        agg.update_raw(&mut states, &Row::from(vec![Value::Long(1)]));
+        agg.update_raw(&mut states, &Row::from(vec![Value::Double(0.5)]));
+        assert_eq!(agg.finish(states), vec![Value::Double(1.5)]);
+    }
+
+    fn identity(n: usize) -> Vec<RExpr> {
+        (0..n).map(RExpr::Column).collect()
+    }
+
+    #[test]
+    fn inner_join_cross_product() {
+        let lefts = vec![Row::from(vec![Value::Long(1)]), Row::from(vec![Value::Long(2)])];
+        let rights = vec![Row::from(vec![Value::Str("x".into())]), Row::from(vec![Value::Str("y".into())])];
+        let mut out = Vec::new();
+        process_join_group(JoinKind::Inner, 1, None, &identity(2), &lefts, &rights, &mut out).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn left_outer_pads_nulls() {
+        let lefts = vec![Row::from(vec![Value::Long(1)])];
+        let mut out = Vec::new();
+        process_join_group(JoinKind::LeftOuter, 2, None, &identity(3), &lefts, &[], &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].get(1).is_null() && out[0].get(2).is_null());
+    }
+
+    #[test]
+    fn semi_join_emits_left_once() {
+        let lefts = vec![Row::from(vec![Value::Long(1)])];
+        let rights = vec![Row::from(vec![Value::Long(9)]), Row::from(vec![Value::Long(8)])];
+        let mut out = Vec::new();
+        process_join_group(
+            JoinKind::LeftSemi,
+            1,
+            None,
+            &identity(1),
+            &lefts,
+            &rights,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1); // not once per match
+    }
+
+    #[test]
+    fn anti_join_emits_unmatched_left() {
+        let lefts = vec![Row::from(vec![Value::Long(1)])];
+        let rights = vec![Row::from(vec![Value::Long(9)])];
+        let mut with_match = Vec::new();
+        process_join_group(JoinKind::LeftAnti, 1, None, &identity(1), &lefts, &rights, &mut with_match).unwrap();
+        assert!(with_match.is_empty());
+        let mut without = Vec::new();
+        process_join_group(JoinKind::LeftAnti, 1, None, &identity(1), &lefts, &[], &mut without).unwrap();
+        assert_eq!(without.len(), 1);
+    }
+
+    #[test]
+    fn residual_filters_matches() {
+        // residual: left(col0) < right(col1)
+        let residual = RExpr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(RExpr::Column(0)),
+            right: Box::new(RExpr::Column(1)),
+        };
+        let lefts = vec![Row::from(vec![Value::Long(5)])];
+        let rights = vec![Row::from(vec![Value::Long(3)]), Row::from(vec![Value::Long(10)])];
+        let mut out = Vec::new();
+        process_join_group(
+            JoinKind::Inner,
+            1,
+            Some(&residual),
+            &identity(2),
+            &lefts,
+            &rights,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(1), &Value::Long(10));
+    }
+
+    #[test]
+    fn tag_untag_round_trip() {
+        let row = Row::from(vec![Value::Str("v".into()), Value::Long(3)]);
+        let tagged = tag_row(1, &row);
+        assert_eq!(tagged.len(), 3);
+        let (tag, back) = untag_row(tagged).unwrap();
+        assert_eq!(tag, 1);
+        assert_eq!(back, row);
+        assert!(untag_row(Row::new()).is_err());
+    }
+}

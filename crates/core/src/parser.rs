@@ -1,0 +1,861 @@
+//! Recursive-descent parser for the HiveQL subset.
+//!
+//! The dialect covers what the (hive-testbench-style) TPC-H rewrites and
+//! the HiBench queries need: `CREATE TABLE [AS]`, `INSERT OVERWRITE`,
+//! `INSERT INTO … VALUES`, `DROP TABLE`, and single-block `SELECT` with
+//! inner / left-outer / left-semi joins, `WHERE`, `GROUP BY`, `HAVING`,
+//! `ORDER BY`, `LIMIT`, and the expression grammar (arithmetic,
+//! comparisons, `BETWEEN`, `IN`, `LIKE`, `CASE`, `CAST`, function
+//! calls, `DATE '…'` literals).
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Sym, Token};
+use hdm_common::error::{HdmError, Result};
+use hdm_common::value::{DataType, Value};
+use hdm_storage::FormatKind;
+
+/// Parse a script: one or more `;`-separated statements.
+///
+/// # Errors
+/// [`HdmError::Parse`] with a message naming the offending token.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_sym(Sym::Semi) {}
+        if p.at_end() {
+            break;
+        }
+        out.push(p.parse_statement()?);
+    }
+    Ok(out)
+}
+
+/// Parse exactly one statement.
+///
+/// # Errors
+/// [`HdmError::Parse`] if the input is not a single valid statement.
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let mut stmts = parse_script(input)?;
+    match stmts.len() {
+        1 => Ok(stmts.remove(0)),
+        n => Err(HdmError::Parse(format!("expected one statement, found {n}"))),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, what: &str) -> HdmError {
+        HdmError::Parse(format!(
+            "{what} (at token {:?}, position {})",
+            self.peek(),
+            self.pos
+        ))
+    }
+
+    /// Consume a keyword (case-insensitive) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected keyword {kw}")))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_sym(&mut self, sym: Sym) -> bool {
+        if self.peek() == Some(&Token::Sym(sym)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: Sym) -> Result<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {sym}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s.to_ascii_lowercase()),
+            other => Err(HdmError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("CREATE") {
+            self.parse_create()
+        } else if self.eat_kw("INSERT") {
+            self.parse_insert()
+        } else if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            let if_exists = self.eat_kw("IF") && {
+                self.expect_kw("EXISTS")?;
+                true
+            };
+            let name = self.expect_ident()?;
+            Ok(Statement::DropTable { name, if_exists })
+        } else if self.peek_kw("SELECT") {
+            Ok(Statement::Select(Box::new(self.parse_select()?)))
+        } else {
+            Err(self.error("expected CREATE, INSERT, DROP, or SELECT"))
+        }
+    }
+
+    fn parse_create(&mut self) -> Result<Statement> {
+        // Optional TEMPORARY is accepted and ignored (temp tables are
+        // just tables in this reproduction).
+        self.eat_kw("TEMPORARY");
+        self.expect_kw("TABLE")?;
+        let if_not_exists = self.eat_kw("IF") && {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        };
+        let name = self.expect_ident()?;
+        if self.eat_sym(Sym::LParen) {
+            // CREATE TABLE t (col type, …)
+            let mut columns = Vec::new();
+            loop {
+                let col = self.expect_ident()?;
+                let ty_name = self.parse_type_name()?;
+                let ty = DataType::parse(&ty_name)
+                    .ok_or_else(|| HdmError::Parse(format!("unknown type {ty_name:?}")))?;
+                columns.push((col, ty));
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Sym::RParen)?;
+            let format = self.parse_stored_as()?;
+            self.skip_row_format();
+            Ok(Statement::CreateTable {
+                name,
+                columns,
+                format,
+                if_not_exists,
+            })
+        } else {
+            let format = self.parse_stored_as()?;
+            self.expect_kw("AS")?;
+            let query = self.parse_select()?;
+            Ok(Statement::CreateTableAs {
+                name,
+                format,
+                query: Box::new(query),
+            })
+        }
+    }
+
+    /// `type` or `type(p[,s])` — precision arguments are discarded.
+    fn parse_type_name(&mut self) -> Result<String> {
+        let base = self.expect_ident()?;
+        if self.eat_sym(Sym::LParen) {
+            while !self.eat_sym(Sym::RParen) {
+                if self.next().is_none() {
+                    return Err(self.error("unterminated type precision"));
+                }
+            }
+        }
+        Ok(base)
+    }
+
+    fn parse_stored_as(&mut self) -> Result<FormatKind> {
+        if self.eat_kw("STORED") {
+            self.expect_kw("AS")?;
+            let fmt = self.expect_ident()?;
+            FormatKind::parse(&fmt).ok_or_else(|| HdmError::Parse(format!("unknown format {fmt:?}")))
+        } else {
+            Ok(FormatKind::Text)
+        }
+    }
+
+    /// Accept and ignore `ROW FORMAT DELIMITED FIELDS TERMINATED BY '…'`.
+    fn skip_row_format(&mut self) {
+        if self.eat_kw("ROW") {
+            let _ = self.eat_kw("FORMAT");
+            let _ = self.eat_kw("DELIMITED");
+            if self.eat_kw("FIELDS") {
+                let _ = self.eat_kw("TERMINATED");
+                let _ = self.eat_kw("BY");
+                if matches!(self.peek(), Some(Token::Str(_))) {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_insert(&mut self) -> Result<Statement> {
+        if self.eat_kw("OVERWRITE") {
+            self.expect_kw("TABLE")?;
+            let table = self.expect_ident()?;
+            let query = self.parse_select()?;
+            Ok(Statement::InsertOverwrite {
+                table,
+                query: Box::new(query),
+            })
+        } else {
+            self.expect_kw("INTO")?;
+            self.eat_kw("TABLE");
+            let table = self.expect_ident()?;
+            if self.peek_kw("SELECT") {
+                let query = self.parse_select()?;
+                return Ok(Statement::InsertOverwrite {
+                    table,
+                    query: Box::new(query),
+                });
+            }
+            self.expect_kw("VALUES")?;
+            let mut rows = Vec::new();
+            loop {
+                self.expect_sym(Sym::LParen)?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.parse_expr()?);
+                    if !self.eat_sym(Sym::Comma) {
+                        break;
+                    }
+                }
+                self.expect_sym(Sym::RParen)?;
+                rows.push(row);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            Ok(Statement::InsertValues { table, rows })
+        }
+    }
+
+    // ---- SELECT ----------------------------------------------------------
+
+    fn parse_select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        self.eat_kw("DISTINCT"); // treated as GROUP BY all items by the planner? Not supported: ignore politely
+        let items = if self.eat_sym(Sym::Star) {
+            None
+        } else {
+            let mut items = Vec::new();
+            loop {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.expect_ident()?)
+                } else if let Some(Token::Ident(s)) = self.peek() {
+                    // Bare alias, unless it's a clause keyword.
+                    let up = s.to_ascii_uppercase();
+                    if matches!(
+                        up.as_str(),
+                        "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "JOIN" | "LEFT"
+                            | "INNER" | "ON" | "UNION"
+                    ) {
+                        None
+                    } else {
+                        Some(self.expect_ident()?)
+                    }
+                } else {
+                    None
+                };
+                items.push(SelectItem { expr, alias });
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            Some(items)
+        };
+        self.expect_kw("FROM")?;
+        let from = self.parse_from()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.parse_expr()?;
+                let asc = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                other => return Err(HdmError::Parse(format!("expected LIMIT count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_from(&mut self) -> Result<FromClause> {
+        let base = self.parse_table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.eat_kw("JOIN") {
+                JoinKind::Inner
+            } else if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.eat_kw("LEFT") {
+                if self.eat_kw("SEMI") {
+                    self.expect_kw("JOIN")?;
+                    JoinKind::LeftSemi
+                } else if self.eat_kw("ANTI") {
+                    self.expect_kw("JOIN")?;
+                    JoinKind::LeftAnti
+                } else {
+                    self.eat_kw("OUTER");
+                    self.expect_kw("JOIN")?;
+                    JoinKind::LeftOuter
+                }
+            } else if self.eat_sym(Sym::Comma) {
+                // Comma join: conditions live in WHERE; planner treats it
+                // as an inner join with a TRUE ON clause it will fill from
+                // the WHERE equi-conjuncts.
+                let table = self.parse_table_ref()?;
+                joins.push(JoinClause {
+                    kind: JoinKind::Inner,
+                    table,
+                    on: Expr::lit(true),
+                });
+                continue;
+            } else {
+                break;
+            };
+            let table = self.parse_table_ref()?;
+            self.expect_kw("ON")?;
+            // Parenthesized or bare condition.
+            let on = self.parse_expr()?;
+            joins.push(JoinClause { kind, table, on });
+        }
+        Ok(FromClause { base, joins })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let name = self.expect_ident()?;
+        let alias = if self.eat_kw("AS") {
+            self.expect_ident()?
+        } else if let Some(Token::Ident(s)) = self.peek() {
+            let up = s.to_ascii_uppercase();
+            if matches!(
+                up.as_str(),
+                "JOIN" | "LEFT" | "INNER" | "ON" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT"
+            ) {
+                name.clone()
+            } else {
+                self.expect_ident()?
+            }
+        } else {
+            name.clone()
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("OR") {
+            let right = self.parse_and()?;
+            left = Expr::bin(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("AND") {
+            let right = self.parse_not()?;
+            left = Expr::bin(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_predicate()
+        }
+    }
+
+    /// Comparison layer: `a <op> b`, `IS [NOT] NULL`, `BETWEEN`, `IN`,
+    /// `LIKE`.
+    fn parse_predicate(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_kw("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect_sym(Sym::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Sym::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = match self.next() {
+                Some(Token::Str(s)) => s,
+                other => return Err(HdmError::Parse(format!("expected LIKE pattern, found {other:?}"))),
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.error("expected BETWEEN, IN, or LIKE after NOT"));
+        }
+        let op = match self.peek() {
+            Some(Token::Sym(Sym::Eq)) => Some(BinOp::Eq),
+            Some(Token::Sym(Sym::NotEq)) => Some(BinOp::NotEq),
+            Some(Token::Sym(Sym::Lt)) => Some(BinOp::Lt),
+            Some(Token::Sym(Sym::Le)) => Some(BinOp::Le),
+            Some(Token::Sym(Sym::Gt)) => Some(BinOp::Gt),
+            Some(Token::Sym(Sym::Ge)) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(Expr::bin(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            if self.eat_sym(Sym::Plus) {
+                let right = self.parse_multiplicative()?;
+                left = Expr::bin(BinOp::Add, left, right);
+            } else if self.eat_sym(Sym::Minus) {
+                let right = self.parse_multiplicative()?;
+                left = Expr::bin(BinOp::Sub, left, right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            if self.eat_sym(Sym::Star) {
+                let right = self.parse_unary()?;
+                left = Expr::bin(BinOp::Mul, left, right);
+            } else if self.eat_sym(Sym::Slash) {
+                let right = self.parse_unary()?;
+                left = Expr::bin(BinOp::Div, left, right);
+            } else if self.eat_sym(Sym::Percent) {
+                let right = self.parse_unary()?;
+                left = Expr::bin(BinOp::Mod, left, right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_sym(Sym::Minus) {
+            let e = self.parse_unary()?;
+            return Ok(match e {
+                Expr::Literal(Value::Long(v)) => Expr::Literal(Value::Long(-v)),
+                Expr::Literal(Value::Double(v)) => Expr::Literal(Value::Double(-v)),
+                other => Expr::bin(BinOp::Sub, Expr::lit(0i64), other),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::lit(v)),
+            Some(Token::Float(v)) => Ok(Expr::lit(v)),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Token::Sym(Sym::LParen)) => {
+                let e = self.parse_expr()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Sym(Sym::Star)) => Ok(Expr::Star),
+            Some(Token::Ident(id)) => self.parse_ident_expr(id),
+            other => Err(HdmError::Parse(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn parse_ident_expr(&mut self, id: String) -> Result<Expr> {
+        let lower = id.to_ascii_lowercase();
+        match lower.as_str() {
+            "true" => return Ok(Expr::lit(true)),
+            "false" => return Ok(Expr::lit(false)),
+            "null" => return Ok(Expr::Literal(Value::Null)),
+            "date" => {
+                // DATE 'yyyy-mm-dd'
+                if let Some(Token::Str(s)) = self.peek().cloned() {
+                    self.pos += 1;
+                    let v = Value::parse_date(&s)
+                        .ok_or_else(|| HdmError::Parse(format!("bad date literal {s:?}")))?;
+                    return Ok(Expr::Literal(v));
+                }
+            }
+            "case" => return self.parse_case(),
+            "cast" => {
+                self.expect_sym(Sym::LParen)?;
+                let e = self.parse_expr()?;
+                self.expect_kw("AS")?;
+                let ty_name = self.parse_type_name()?;
+                let ty = DataType::parse(&ty_name)
+                    .ok_or_else(|| HdmError::Parse(format!("unknown cast type {ty_name:?}")))?;
+                self.expect_sym(Sym::RParen)?;
+                return Ok(Expr::Cast {
+                    expr: Box::new(e),
+                    to: ty,
+                });
+            }
+            "interval" => {
+                return Err(HdmError::Parse(
+                    "INTERVAL arithmetic is not supported; precompute the date".into(),
+                ))
+            }
+            _ => {}
+        }
+        // Function call?
+        if self.eat_sym(Sym::LParen) {
+            let distinct = self.eat_kw("DISTINCT");
+            let mut args = Vec::new();
+            if !self.eat_sym(Sym::RParen) {
+                loop {
+                    args.push(self.parse_expr()?);
+                    if !self.eat_sym(Sym::Comma) {
+                        break;
+                    }
+                }
+                self.expect_sym(Sym::RParen)?;
+            }
+            return Ok(Expr::Func {
+                name: lower,
+                args,
+                distinct,
+            });
+        }
+        // Qualified column?
+        if self.eat_sym(Sym::Dot) {
+            let col = self.expect_ident()?;
+            return Ok(Expr::Column {
+                qualifier: Some(lower),
+                name: col,
+            });
+        }
+        Ok(Expr::Column {
+            qualifier: None,
+            name: lower,
+        })
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        let operand = if self.peek_kw("WHEN") {
+            None
+        } else {
+            Some(Box::new(self.parse_expr()?))
+        };
+        let mut whens = Vec::new();
+        while self.eat_kw("WHEN") {
+            let w = self.parse_expr()?;
+            self.expect_kw("THEN")?;
+            let t = self.parse_expr()?;
+            whens.push((w, t));
+        }
+        if whens.is_empty() {
+            return Err(self.error("CASE needs at least one WHEN"));
+        }
+        let else_expr = if self.eat_kw("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("END")?;
+        Ok(Expr::Case {
+            operand,
+            whens,
+            else_expr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table() {
+        let s = parse_statement(
+            "CREATE TABLE lineitem (l_orderkey BIGINT, l_price DECIMAL(15,2), l_shipdate DATE) STORED AS ORC",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable {
+                name,
+                columns,
+                format,
+                if_not_exists,
+            } => {
+                assert_eq!(name, "lineitem");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[1], ("l_price".to_string(), DataType::Double));
+                assert_eq!(format, FormatKind::Orc);
+                assert!(!if_not_exists);
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_with_everything() {
+        let sql = "SELECT l_returnflag, SUM(l_quantity) AS sum_qty, COUNT(*) AS cnt \
+                   FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
+                   GROUP BY l_returnflag HAVING COUNT(*) > 10 \
+                   ORDER BY l_returnflag DESC LIMIT 5";
+        let s = parse_statement(sql).unwrap();
+        let q = match s {
+            Statement::Select(q) => q,
+            other => panic!("wrong statement {other:?}"),
+        };
+        let items = q.items.unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[1].alias.as_deref(), Some("sum_qty"));
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert_eq!(q.order_by.len(), 1);
+        assert!(!q.order_by[0].1); // DESC
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn join_chain() {
+        let sql = "SELECT o.o_orderkey FROM customer c \
+                   JOIN orders o ON c.c_custkey = o.o_custkey \
+                   LEFT OUTER JOIN nation n ON c.c_nationkey = n.n_nationkey \
+                   LEFT SEMI JOIN region r ON n.n_regionkey = r.r_regionkey";
+        let s = parse_statement(sql).unwrap();
+        let q = match s {
+            Statement::Select(q) => q,
+            _ => unreachable!(),
+        };
+        assert_eq!(q.from.base.alias, "c");
+        assert_eq!(q.from.joins.len(), 3);
+        assert_eq!(q.from.joins[0].kind, JoinKind::Inner);
+        assert_eq!(q.from.joins[1].kind, JoinKind::LeftOuter);
+        assert_eq!(q.from.joins[2].kind, JoinKind::LeftSemi);
+    }
+
+    #[test]
+    fn expressions_parse() {
+        let sql = "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END, \
+                   CAST(b AS DOUBLE), year(d), substr(p, 1, 2), \
+                   c BETWEEN 1 AND 10, e IN ('x','y'), f LIKE '%green%', \
+                   g IS NOT NULL, -h, 1 + 2 * 3 FROM t";
+        let s = parse_statement(sql).unwrap();
+        let q = match s {
+            Statement::Select(q) => q,
+            _ => unreachable!(),
+        };
+        let items = q.items.unwrap();
+        assert_eq!(items.len(), 10);
+        // Precedence: 1 + 2 * 3 parses as 1 + (2 * 3).
+        match &items[9].expr {
+            Expr::Binary { op: BinOp::Add, right, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("precedence broken: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_values() {
+        let s = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        match s {
+            Statement::InsertValues { table, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][1], Expr::Literal(Value::Str("a".into())));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ctas_and_script() {
+        let stmts = parse_script(
+            "DROP TABLE IF EXISTS tmp; \
+             CREATE TABLE tmp STORED AS ORC AS SELECT a FROM t; \
+             SELECT * FROM tmp;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[0], Statement::DropTable { ref name, if_exists: true } if name == "tmp"));
+        assert!(matches!(stmts[1], Statement::CreateTableAs { .. }));
+        assert!(matches!(stmts[2], Statement::Select(_)));
+    }
+
+    #[test]
+    fn comma_join_gets_true_condition() {
+        let s = parse_statement("SELECT a FROM t1, t2 WHERE t1.x = t2.y").unwrap();
+        let q = match s {
+            Statement::Select(q) => q,
+            _ => unreachable!(),
+        };
+        assert_eq!(q.from.joins.len(), 1);
+        assert_eq!(q.from.joins[0].on, Expr::lit(true));
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        let s = parse_statement("SELECT COUNT(*), COUNT(DISTINCT x) FROM t").unwrap();
+        let q = match s {
+            Statement::Select(q) => q,
+            _ => unreachable!(),
+        };
+        let items = q.items.unwrap();
+        match &items[0].expr {
+            Expr::Func { name, args, distinct } => {
+                assert_eq!(name, "count");
+                assert_eq!(args[0], Expr::Star);
+                assert!(!distinct);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &items[1].expr {
+            Expr::Func { distinct, .. } => assert!(*distinct),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse_statement("SELEC a FROM t").is_err());
+        assert!(parse_statement("SELECT FROM t").is_err());
+        assert!(parse_statement("SELECT a FROM t WHERE").is_err());
+        assert!(parse_statement("INTERVAL '1' year").is_err());
+    }
+
+    #[test]
+    fn date_literal() {
+        let s = parse_statement("SELECT * FROM t WHERE d < DATE '1995-03-15'").unwrap();
+        let q = match s {
+            Statement::Select(q) => q,
+            _ => unreachable!(),
+        };
+        match q.where_clause.unwrap() {
+            Expr::Binary { right, .. } => {
+                assert_eq!(*right, Expr::Literal(Value::date_from_ymd(1995, 3, 15)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

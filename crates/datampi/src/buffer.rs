@@ -1,0 +1,234 @@
+//! The buffer manager: Send Partition Lists (SPL).
+//!
+//! From the paper (Section IV-C): *"In the buffer manager, DataMPI
+//! designs Send Partition Lists (SPL), and each partition is used to
+//! store key-value pairs for corresponding A tasks. When the send
+//! partitions are full, they will be pushed into the send queue in the
+//! shuffle engine, and wait for transmission."* Each partition carries
+//! *"the raw buffer data and the meta-information, such as the size of
+//! buffer used, the number of cached key-value pairs, the offsets and
+//! indices of each key-value pair in the buffer."*
+
+use bytes::Bytes;
+use hdm_common::kv::KvPair;
+
+/// One send partition: raw KV bytes destined for a single A task, plus
+/// the meta-information the paper lists.
+#[derive(Debug, Clone, Default)]
+pub struct SendPartition {
+    data: Vec<u8>,
+    /// Byte offset of each cached pair within `data`.
+    offsets: Vec<u32>,
+    pairs: usize,
+}
+
+impl SendPartition {
+    /// An empty partition with preallocated capacity.
+    pub fn with_capacity(bytes: usize) -> SendPartition {
+        SendPartition {
+            data: Vec::with_capacity(bytes),
+            offsets: Vec::new(),
+            pairs: 0,
+        }
+    }
+
+    /// Append one pair (serialized in place).
+    pub fn push(&mut self, kv: &KvPair) {
+        self.offsets.push(self.data.len() as u32);
+        kv.encode(&mut self.data);
+        self.pairs += 1;
+    }
+
+    /// Bytes of buffer used.
+    pub fn bytes_used(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of cached key-value pairs.
+    pub fn pairs(&self) -> usize {
+        self.pairs
+    }
+
+    /// True iff no pairs are cached.
+    pub fn is_empty(&self) -> bool {
+        self.pairs == 0
+    }
+
+    /// Pair start offsets within the raw buffer.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Freeze into an immutable wire payload, resetting this partition
+    /// for reuse (the "cached in the buffer manager again" recycling).
+    pub fn take_payload(&mut self) -> Bytes {
+        self.offsets.clear();
+        self.pairs = 0;
+        Bytes::from(std::mem::take(&mut self.data))
+    }
+
+    /// Decode a wire payload produced by [`SendPartition::take_payload`].
+    ///
+    /// # Errors
+    /// Propagates codec errors on corrupt payloads.
+    pub fn decode_payload(payload: &[u8]) -> hdm_common::error::Result<Vec<KvPair>> {
+        let mut cursor = payload;
+        let mut out = Vec::new();
+        while !cursor.is_empty() {
+            out.push(KvPair::decode(&mut cursor)?);
+        }
+        Ok(out)
+    }
+}
+
+/// The SPL: one [`SendPartition`] per destination A task.
+#[derive(Debug)]
+pub struct SendPartitionList {
+    partitions: Vec<SendPartition>,
+    capacity_bytes: usize,
+}
+
+impl SendPartitionList {
+    /// One partition per A task, each flushing at `capacity_bytes`.
+    pub fn new(a_tasks: usize, capacity_bytes: usize) -> SendPartitionList {
+        SendPartitionList {
+            partitions: (0..a_tasks)
+                .map(|_| SendPartition::with_capacity(capacity_bytes.min(1 << 20)))
+                .collect(),
+            capacity_bytes: capacity_bytes.max(1),
+        }
+    }
+
+    /// Number of partitions (= number of A tasks).
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// True iff there are no partitions.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// Append a pair to the partition for `dst`. If the partition filled
+    /// up, returns its frozen payload (which must be handed to the
+    /// shuffle engine's send queue).
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range.
+    pub fn push(&mut self, dst: usize, kv: &KvPair) -> Option<Bytes> {
+        let p = &mut self.partitions[dst];
+        p.push(kv);
+        if p.bytes_used() >= self.capacity_bytes {
+            Some(p.take_payload())
+        } else {
+            None
+        }
+    }
+
+    /// Drain every non-empty partition as `(dst, payload)` pairs (end of
+    /// O task: flush everything).
+    pub fn flush(&mut self) -> Vec<(usize, Bytes)> {
+        self.partitions
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(dst, p)| (dst, p.take_payload()))
+            .collect()
+    }
+
+    /// Current buffered bytes across all partitions.
+    pub fn buffered_bytes(&self) -> usize {
+        self.partitions.iter().map(SendPartition::bytes_used).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(k: u8, len: usize) -> KvPair {
+        KvPair::new(vec![k], vec![k; len])
+    }
+
+    #[test]
+    fn partition_tracks_meta_information() {
+        let mut p = SendPartition::with_capacity(64);
+        p.push(&kv(1, 3));
+        p.push(&kv(2, 5));
+        assert_eq!(p.pairs(), 2);
+        assert_eq!(p.offsets().len(), 2);
+        assert_eq!(p.offsets()[0], 0);
+        assert!(p.bytes_used() > 8);
+        let payload = p.take_payload();
+        assert!(p.is_empty());
+        assert_eq!(p.bytes_used(), 0);
+        let pairs = SendPartition::decode_payload(&payload).unwrap();
+        assert_eq!(pairs, vec![kv(1, 3), kv(2, 5)]);
+    }
+
+    #[test]
+    fn spl_flushes_full_partition_only() {
+        let mut spl = SendPartitionList::new(3, 32);
+        // Small pushes to dst 0 stay buffered.
+        assert!(spl.push(0, &kv(0, 2)).is_none());
+        // A large value fills the partition.
+        let flushed = spl.push(0, &kv(0, 64));
+        assert!(flushed.is_some());
+        assert!(spl.partitions[0].is_empty());
+        assert_eq!(spl.buffered_bytes(), 0);
+        // Other partitions untouched.
+        assert!(spl.push(1, &kv(1, 2)).is_none());
+        assert!(spl.buffered_bytes() > 0);
+    }
+
+    #[test]
+    fn flush_returns_all_non_empty() {
+        let mut spl = SendPartitionList::new(4, 1024);
+        spl.push(1, &kv(1, 1));
+        spl.push(3, &kv(3, 1));
+        let flushed = spl.flush();
+        let dsts: Vec<usize> = flushed.iter().map(|(d, _)| *d).collect();
+        assert_eq!(dsts, vec![1, 3]);
+        assert!(spl.flush().is_empty());
+    }
+
+    #[test]
+    fn payload_round_trip_many_pairs() {
+        let mut p = SendPartition::with_capacity(0);
+        let pairs: Vec<KvPair> = (0..50).map(|i| kv(i, (i % 7) as usize)).collect();
+        for x in &pairs {
+            p.push(x);
+        }
+        let payload = p.take_payload();
+        assert_eq!(SendPartition::decode_payload(&payload).unwrap(), pairs);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn spl_never_loses_pairs(
+            ops in proptest::collection::vec((0usize..4, 0u8..255, 0usize..40), 0..200),
+            cap in 8usize..128,
+        ) {
+            let mut spl = SendPartitionList::new(4, cap);
+            let mut sent: Vec<Vec<KvPair>> = vec![Vec::new(); 4];
+            let mut delivered: Vec<Vec<KvPair>> = vec![Vec::new(); 4];
+            for (dst, k, len) in ops {
+                let pair = KvPair::new(vec![k], vec![k; len]);
+                sent[dst].push(pair.clone());
+                if let Some(payload) = spl.push(dst, &pair) {
+                    delivered[dst].extend(SendPartition::decode_payload(&payload).unwrap());
+                }
+            }
+            for (dst, payload) in spl.flush() {
+                delivered[dst].extend(SendPartition::decode_payload(&payload).unwrap());
+            }
+            prop_assert_eq!(delivered, sent);
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! The bipartite job runner: the `mpidrun` + `MPI_D.init/finalize`
+//! analogue.
+
+use crate::buffer::SendPartitionList;
+use crate::receiver::{run_receiver, KeyGroups};
+use crate::report::{ATaskStats, JobReport, OTaskStats};
+use crate::shuffle::{run_sender, SendCmd};
+use crate::DataMpiConfig;
+use bytes::Bytes;
+use crossbeam::channel::bounded;
+use hdm_common::error::{HdmError, Result};
+use hdm_common::kv::{ComparatorRef, KvPair};
+use hdm_common::partition::PartitionerRef;
+use hdm_mpi::{World, WorldConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sampling stride for collect-event time sequences: every Nth
+/// `MPI_D_send` records a timestamped point.
+const COLLECT_SAMPLE_STRIDE: u64 = 64;
+
+/// The context handed to an O (operator) task — the `MPI_D` surface an
+/// O-side program sees.
+pub struct OContext {
+    rank: usize,
+    a_tasks: usize,
+    spl: SendPartitionList,
+    queue: crossbeam::channel::Sender<SendCmd>,
+    partitioner: PartitionerRef,
+    stats: OTaskStats,
+    job_start: Instant,
+}
+
+impl std::fmt::Debug for OContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OContext")
+            .field("rank", &self.rank)
+            .field("records", &self.stats.records)
+            .finish()
+    }
+}
+
+impl OContext {
+    /// This task's rank within the O communicator
+    /// (`MPI_D_Comm_rank(MPI_D_COMM_BIPARTITE_O)`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of A tasks (`MPI_D_Comm_size(MPI_D_COMM_BIPARTITE_A)`).
+    pub fn a_tasks(&self) -> usize {
+        self.a_tasks
+    }
+
+    /// `MPI_D_send`: route one key-value pair to the A task owning its
+    /// partition. Full partitions flow to the shuffle engine; pushing
+    /// into a full send queue blocks (that wait is measured — it is the
+    /// signal behind the Figure 8 send-queue tuning curve).
+    ///
+    /// # Errors
+    /// [`HdmError::DataMpi`] if the shuffle engine died.
+    pub fn send(&mut self, kv: KvPair) -> Result<()> {
+        let dst = self.partitioner.partition(&kv.key, self.a_tasks);
+        self.stats.records += 1;
+        self.stats.kv_sizes.record(kv.wire_size() as u64);
+        if self.stats.records % COLLECT_SAMPLE_STRIDE == 1 {
+            self.stats
+                .collect_events
+                .push((self.job_start.elapsed(), self.stats.records));
+        }
+        if let Some(payload) = self.spl.push(dst, &kv) {
+            self.stats.bytes += payload.len() as u64;
+            let wait_start = Instant::now();
+            self.queue
+                .send(SendCmd::Partition { dst, payload })
+                .map_err(|_| HdmError::DataMpi(format!("O{}: shuffle engine gone", self.rank)))?;
+            self.stats.queue_wait += wait_start.elapsed();
+        }
+        Ok(())
+    }
+
+    /// Flush all buffered partitions (called automatically at task end).
+    fn flush(&mut self) -> Result<()> {
+        for (dst, payload) in self.spl.flush() {
+            self.stats.bytes += payload.len() as u64;
+            self.queue
+                .send(SendCmd::Partition { dst, payload })
+                .map_err(|_| HdmError::DataMpi(format!("O{}: shuffle engine gone", self.rank)))?;
+        }
+        Ok(())
+    }
+}
+
+/// The context handed to an A (aggregator) task: sorted key groups, the
+/// `MPI_D_recv` surface after the O phase completes.
+pub struct AContext {
+    rank: usize,
+    groups: std::vec::IntoIter<(Bytes, Vec<Bytes>)>,
+}
+
+impl std::fmt::Debug for AContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AContext").field("rank", &self.rank).finish()
+    }
+}
+
+impl AContext {
+    /// This task's rank within the A communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Next `(key, values)` group in comparator order, or `None` at end —
+    /// the iterator-of-same-key's-value-list shape Hive's `ExecReducer`
+    /// consumes.
+    pub fn next_group(&mut self) -> Option<(Bytes, Vec<Bytes>)> {
+        self.groups.next()
+    }
+}
+
+/// Results and measurements of a completed bipartite job.
+#[derive(Debug)]
+pub struct JobOutcome<RO, RA> {
+    /// Return values of the O tasks, rank order.
+    pub o_results: Vec<RO>,
+    /// Return values of the A tasks, rank order.
+    pub a_results: Vec<RA>,
+    /// Everything measured.
+    pub report: JobReport,
+}
+
+/// Type of user O functions: `(o_rank, context) -> RO`.
+pub type OFn<RO> = Arc<dyn Fn(usize, &mut OContext) -> Result<RO> + Send + Sync>;
+/// Type of user A functions: `(a_rank, context) -> RA`.
+pub type AFn<RA> = Arc<dyn Fn(usize, &mut AContext) -> Result<RA> + Send + Sync>;
+
+enum RankResult<RO, RA> {
+    O(Result<RO>, OTaskStats),
+    A(Result<RA>, ATaskStats),
+}
+
+/// Run a bipartite O→A job: the `mpidrun` analogue.
+///
+/// Spawns `o_tasks + a_tasks` rank threads. O ranks execute `o_fn`
+/// with an [`OContext`] whose `send` routes pairs through the SPL buffer
+/// manager and the configured shuffle engine; A ranks cache incoming
+/// partitions (spilling past the memory budget), and once every O task
+/// finalizes, merge-sort their data and execute `a_fn` over sorted key
+/// groups.
+///
+/// # Errors
+/// Returns the first task error; the job still drains cleanly (EOFs are
+/// sent even when an O function fails, so A tasks terminate).
+pub fn run_bipartite<RO, RA>(
+    config: &DataMpiConfig,
+    comparator: ComparatorRef,
+    partitioner: PartitionerRef,
+    o_fn: OFn<RO>,
+    a_fn: AFn<RA>,
+) -> Result<JobOutcome<RO, RA>>
+where
+    RO: Send + 'static,
+    RA: Send + 'static,
+{
+    if config.o_tasks == 0 || config.a_tasks == 0 {
+        return Err(HdmError::Config(format!(
+            "bipartite job needs at least one task on each side (o={}, a={})",
+            config.o_tasks, config.a_tasks
+        )));
+    }
+    let o = config.o_tasks;
+    let a = config.a_tasks;
+    let world = World::new(
+        o + a,
+        WorldConfig {
+            channel_capacity: config.channel_capacity,
+        },
+    );
+    let metrics = world.metrics();
+    let job_start = Instant::now();
+    let config = Arc::new(config.clone());
+
+    let results: Vec<RankResult<RO, RA>> = world.run(move |ep| {
+        let rank = ep.rank();
+        if rank < o {
+            run_o_rank(rank, ep, &config, &partitioner, &o_fn, job_start)
+        } else {
+            run_a_rank(rank - o, ep, &config, &comparator, &a_fn)
+        }
+    });
+
+    let elapsed = job_start.elapsed();
+    let mut o_results = Vec::with_capacity(o);
+    let mut a_results = Vec::with_capacity(a);
+    let mut o_stats = Vec::with_capacity(o);
+    let mut a_stats = Vec::with_capacity(a);
+    let mut first_err: Option<HdmError> = None;
+    for r in results {
+        match r {
+            RankResult::O(res, stats) => {
+                o_stats.push(stats);
+                match res {
+                    Ok(v) => o_results.push(v),
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+            RankResult::A(res, stats) => {
+                a_stats.push(stats);
+                match res {
+                    Ok(v) => a_results.push(v),
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(JobOutcome {
+        o_results,
+        a_results,
+        report: JobReport {
+            o_tasks: o_stats,
+            a_tasks: a_stats,
+            link_bytes: metrics.byte_matrix(),
+            elapsed,
+        },
+    })
+}
+
+fn run_o_rank<RO, RA>(
+    rank: usize,
+    ep: hdm_mpi::Endpoint,
+    config: &DataMpiConfig,
+    partitioner: &PartitionerRef,
+    o_fn: &OFn<RO>,
+    job_start: Instant,
+) -> RankResult<RO, RA> {
+    let task_start = Instant::now();
+    let (tx, rx) = bounded(config.send_queue_len.max(1));
+    let style = config.shuffle_style;
+    let a_base = config.o_tasks;
+    let a_tasks = config.a_tasks;
+    let sender = std::thread::spawn(move || run_sender(style, ep, rx, a_base, a_tasks, job_start));
+
+    let mut ctx = OContext {
+        rank,
+        a_tasks,
+        spl: SendPartitionList::new(a_tasks, config.send_partition_bytes),
+        queue: tx,
+        partitioner: Arc::clone(partitioner),
+        stats: OTaskStats::new(rank),
+        job_start,
+    };
+    // Run the user function; flush + Finish must happen even on error so
+    // A tasks always see our EOF and terminate.
+    let user = o_fn(rank, &mut ctx);
+    let flush = ctx.flush();
+    let _ = ctx.queue.send(SendCmd::Finish);
+    let sender_res = sender.join().expect("shuffle engine thread panicked");
+
+    let mut stats = ctx.stats;
+    stats.elapsed = task_start.elapsed();
+    let result = match (user, flush, sender_res) {
+        (Err(e), _, _) => Err(e),
+        (_, Err(e), _) => Err(e),
+        (_, _, Err(e)) => Err(e),
+        (Ok(v), Ok(()), Ok(sender_stats)) => {
+            stats.send_events = sender_stats.send_events;
+            Ok(v)
+        }
+    };
+    RankResult::O(result, stats)
+}
+
+fn run_a_rank<RO, RA>(
+    a_rank: usize,
+    mut ep: hdm_mpi::Endpoint,
+    config: &DataMpiConfig,
+    comparator: &ComparatorRef,
+    a_fn: &AFn<RA>,
+) -> RankResult<RO, RA> {
+    let task_start = Instant::now();
+    let mut stats = ATaskStats::new(a_rank);
+    let groups: Result<KeyGroups> = run_receiver(
+        &mut ep,
+        config.o_tasks,
+        config.shuffle_style,
+        config.mem_budget_bytes,
+        comparator,
+        &mut stats,
+    );
+    let result = match groups {
+        Err(e) => Err(e),
+        Ok(groups) => {
+            let mut ctx = AContext {
+                rank: a_rank,
+                groups: groups.into_iter(),
+            };
+            a_fn(a_rank, &mut ctx)
+        }
+    };
+    stats.elapsed = task_start.elapsed();
+    RankResult::A(result, stats)
+}
+
+/// Convenience: send a pre-built row pair from an O task.
+///
+/// # Errors
+/// Propagates [`OContext::send`] failures.
+pub fn send_rows(ctx: &mut OContext, key: &hdm_common::row::Row, value: &hdm_common::row::Row) -> Result<()> {
+    ctx.send(KvPair::from_rows(key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShuffleStyle;
+    use hdm_common::kv::{BytesComparator, RowKeyComparator};
+    use hdm_common::partition::HashPartitioner;
+    use hdm_common::row::Row;
+    use hdm_common::value::Value;
+
+    fn base_config(o: usize, a: usize) -> DataMpiConfig {
+        DataMpiConfig {
+            o_tasks: o,
+            a_tasks: a,
+            send_partition_bytes: 128,
+            ..Default::default()
+        }
+    }
+
+    fn word_count(style: ShuffleStyle, mem_budget: usize) -> (u64, JobReport) {
+        let config = DataMpiConfig {
+            shuffle_style: style,
+            mem_budget_bytes: mem_budget,
+            ..base_config(3, 2)
+        };
+        let outcome = run_bipartite(
+            &config,
+            Arc::new(BytesComparator),
+            Arc::new(HashPartitioner),
+            Arc::new(|_rank, ctx: &mut OContext| {
+                for i in 0..300u32 {
+                    let word = format!("word{}", i % 17);
+                    ctx.send(KvPair::new(word.into_bytes(), vec![1u8]))?;
+                }
+                Ok(())
+            }),
+            Arc::new(|_rank, ctx: &mut AContext| {
+                let mut total = 0u64;
+                let mut last_key: Option<Bytes> = None;
+                while let Some((key, values)) = ctx.next_group() {
+                    // Keys must arrive in strictly increasing order.
+                    if let Some(prev) = &last_key {
+                        assert!(prev.as_ref() < key.as_ref(), "group order violated");
+                    }
+                    last_key = Some(key);
+                    total += values.len() as u64;
+                }
+                Ok(total)
+            }),
+        )
+        .unwrap();
+        (outcome.a_results.iter().sum(), outcome.report)
+    }
+
+    #[test]
+    fn nonblocking_counts_every_record() {
+        let (total, report) = word_count(ShuffleStyle::NonBlocking, 1 << 20);
+        assert_eq!(total, 900);
+        assert_eq!(report.total_records_sent(), 900);
+        assert_eq!(report.total_records_received(), 900);
+        assert_eq!(report.a_tasks.iter().map(|t| t.spills).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn blocking_counts_every_record() {
+        let (total, _) = word_count(ShuffleStyle::Blocking, 1 << 20);
+        assert_eq!(total, 900);
+    }
+
+    #[test]
+    fn tiny_memory_budget_forces_spills_without_losing_data() {
+        let (total, report) = word_count(ShuffleStyle::NonBlocking, 256);
+        assert_eq!(total, 900);
+        assert!(
+            report.a_tasks.iter().map(|t| t.spills).sum::<u64>() > 0,
+            "expected spills with a 256-byte budget"
+        );
+    }
+
+    #[test]
+    fn groups_are_complete_across_senders() {
+        // Every O task sends value o_rank for each key; each group must
+        // contain exactly o_tasks values.
+        let config = base_config(4, 3);
+        let outcome = run_bipartite(
+            &config,
+            Arc::new(BytesComparator),
+            Arc::new(HashPartitioner),
+            Arc::new(|rank, ctx: &mut OContext| {
+                for k in 0..50u8 {
+                    ctx.send(KvPair::new(vec![k], vec![rank as u8]))?;
+                }
+                Ok(())
+            }),
+            Arc::new(|_rank, ctx: &mut AContext| {
+                let mut bad = 0;
+                let mut groups = 0;
+                while let Some((_k, values)) = ctx.next_group() {
+                    groups += 1;
+                    let mut senders: Vec<u8> = values.iter().map(|v| v[0]).collect();
+                    senders.sort_unstable();
+                    if senders != vec![0, 1, 2, 3] {
+                        bad += 1;
+                    }
+                }
+                Ok((groups, bad))
+            }),
+        )
+        .unwrap();
+        let total_groups: usize = outcome.a_results.iter().map(|(g, _)| g).sum();
+        let total_bad: usize = outcome.a_results.iter().map(|(_, b)| b).sum();
+        assert_eq!(total_groups, 50);
+        assert_eq!(total_bad, 0);
+    }
+
+    #[test]
+    fn row_keys_sort_numerically() {
+        let config = base_config(2, 1);
+        let outcome = run_bipartite(
+            &config,
+            Arc::new(RowKeyComparator),
+            Arc::new(HashPartitioner),
+            Arc::new(|_rank, ctx: &mut OContext| {
+                for k in [100i64, 5, 20, 3] {
+                    send_rows(
+                        ctx,
+                        &Row::from(vec![Value::Long(k)]),
+                        &Row::from(vec![Value::Long(k * 2)]),
+                    )?;
+                }
+                Ok(())
+            }),
+            Arc::new(|_rank, ctx: &mut AContext| {
+                let mut keys = Vec::new();
+                while let Some((key, _)) = ctx.next_group() {
+                    keys.push(Row::decode(&mut key.clone()).unwrap().get(0).as_i64().unwrap());
+                }
+                Ok(keys)
+            }),
+        )
+        .unwrap();
+        assert_eq!(outcome.a_results[0], vec![3, 5, 20, 100]);
+    }
+
+    #[test]
+    fn o_task_error_propagates_without_hanging() {
+        let config = base_config(2, 2);
+        let err = run_bipartite::<(), u64>(
+            &config,
+            Arc::new(BytesComparator),
+            Arc::new(HashPartitioner),
+            Arc::new(|rank, ctx: &mut OContext| {
+                ctx.send(KvPair::new(vec![1], vec![2]))?;
+                if rank == 1 {
+                    return Err(HdmError::Other("injected failure".into()));
+                }
+                Ok(())
+            }),
+            Arc::new(|_rank, ctx: &mut AContext| {
+                let mut n = 0;
+                while ctx.next_group().is_some() {
+                    n += 1;
+                }
+                Ok(n)
+            }),
+        )
+        .unwrap_err();
+        assert!(err.message().contains("injected failure"));
+    }
+
+    #[test]
+    fn zero_tasks_rejected() {
+        let config = DataMpiConfig {
+            o_tasks: 0,
+            ..Default::default()
+        };
+        assert!(run_bipartite::<(), ()>(
+            &config,
+            Arc::new(BytesComparator),
+            Arc::new(HashPartitioner),
+            Arc::new(|_, _| Ok(())),
+            Arc::new(|_, _| Ok(())),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn report_records_send_events_and_histogram() {
+        let (_, report) = word_count(ShuffleStyle::NonBlocking, 1 << 20);
+        // Partition size 128 with ~11-byte pairs: many send events.
+        assert!(report.o_tasks.iter().all(|t| !t.send_events.is_empty()));
+        let hist = report.kv_size_histogram();
+        assert_eq!(hist.count(), 900);
+        // word<N> keys + 1-byte value ≈ 9-12 bytes on the wire.
+        assert!(hist.mode_bucket().unwrap() < 16);
+    }
+
+    #[test]
+    fn skew_flows_to_a_task_stats() {
+        // All keys identical: one A task gets everything.
+        let config = base_config(2, 2);
+        let outcome = run_bipartite(
+            &config,
+            Arc::new(BytesComparator),
+            Arc::new(HashPartitioner),
+            Arc::new(|_rank, ctx: &mut OContext| {
+                for _ in 0..100 {
+                    ctx.send(KvPair::new(b"same".to_vec(), vec![0]))?;
+                }
+                Ok(())
+            }),
+            Arc::new(|_rank, _ctx: &mut AContext| Ok(())),
+        )
+        .unwrap();
+        assert!(outcome.report.a_skew_factor() >= 200.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! The A-side receive engine.
+//!
+//! An A process receives partitions the whole time O tasks run —
+//! "receiving processes in DataMPI have threads responsible for
+//! collecting and merging data … without any O tasks finished. In this
+//! way, DataMPI can cache most of the intermediate data in memory by
+//! default" (Section IV-B). Received pairs accumulate in an in-memory
+//! cache bounded by the `hive.datampi.memusedpercent` budget; when the
+//! budget is exceeded the cache is sorted and sealed as a *spill run*
+//! (the disk-spill analogue, with bytes tracked for the timing model).
+//! When every O task's EOF has arrived, the runs and the live cache are
+//! merged into sorted key groups for the A function.
+
+use crate::buffer::SendPartition;
+use crate::report::ATaskStats;
+use crate::shuffle::tags;
+use crate::ShuffleStyle;
+use bytes::Bytes;
+use hdm_common::error::{HdmError, Result};
+use hdm_common::kv::{ComparatorRef, KvPair};
+use hdm_mpi::Endpoint;
+use std::time::Instant;
+
+/// Sorted key groups produced by the merge: `(key, values)` in key order.
+pub type KeyGroups = Vec<(Bytes, Vec<Bytes>)>;
+
+/// Receive until all O tasks finalize, then merge into key groups.
+///
+/// # Errors
+/// [`HdmError::DataMpi`] if the stream is malformed or MPI fails.
+pub fn run_receiver(
+    ep: &mut Endpoint,
+    o_tasks: usize,
+    style: ShuffleStyle,
+    mem_budget_bytes: usize,
+    comparator: &ComparatorRef,
+    stats: &mut ATaskStats,
+) -> Result<KeyGroups> {
+    let start = Instant::now();
+    let mut cache: Vec<KvPair> = Vec::new();
+    let mut cached_bytes: u64 = 0;
+    let mut runs: Vec<Vec<KvPair>> = Vec::new();
+    let mut eofs = 0usize;
+    while eofs < o_tasks {
+        let msg = ep.recv(None, None).map_err(|e| {
+            HdmError::DataMpi(format!("A{} receive failed: {e} (O task died before EOF?)", stats.rank))
+        })?;
+        match msg.tag {
+            tags::DATA => {
+                let src = msg.src;
+                let pairs = SendPartition::decode_payload(&msg.payload)?;
+                stats.records += pairs.len() as u64;
+                stats.bytes += msg.payload.len() as u64;
+                cached_bytes += msg.payload.len() as u64;
+                cache.extend(pairs);
+                stats.cache_peak = stats.cache_peak.max(cached_bytes);
+                if style == ShuffleStyle::Blocking {
+                    ep.send(src, tags::ACK, Bytes::new())?;
+                }
+                if cached_bytes > mem_budget_bytes as u64 {
+                    // Spill: sort and seal the current cache as a run.
+                    let mut run = std::mem::take(&mut cache);
+                    run.sort_by(|a, b| comparator.compare(&a.key, &b.key));
+                    stats.spills += 1;
+                    stats.spill_bytes += cached_bytes;
+                    cached_bytes = 0;
+                    runs.push(run);
+                }
+            }
+            tags::EOF => eofs += 1,
+            other => {
+                return Err(HdmError::DataMpi(format!(
+                    "A{} received unexpected tag {other:?}",
+                    stats.rank
+                )))
+            }
+        }
+    }
+    stats.receive_elapsed = start.elapsed();
+
+    // Final merge: spill runs + live cache, globally sorted, grouped.
+    cache.sort_by(|a, b| comparator.compare(&a.key, &b.key));
+    runs.push(cache);
+    let merged = merge_runs(runs, comparator);
+    let groups = group_sorted(merged, comparator);
+    stats.groups = groups.len() as u64;
+    Ok(groups)
+}
+
+/// K-way merge of individually sorted runs, driven by the comparator.
+/// Runs are few (spill count + 1), so repeated selection beats the
+/// bookkeeping cost of a comparator-keyed heap here.
+fn merge_runs(runs: Vec<Vec<KvPair>>, comparator: &ComparatorRef) -> Vec<KvPair> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut cursors: Vec<usize> = vec![0; runs.len()];
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if cursors[r] >= run.len() {
+                continue;
+            }
+            best = match best {
+                None => Some(r),
+                Some(b) => {
+                    let cand = &run[cursors[r]].key;
+                    let cur = &runs[b][cursors[b]].key;
+                    if comparator.compare(cand, cur) == std::cmp::Ordering::Less {
+                        Some(r)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        match best {
+            Some(r) => {
+                out.push(runs[r][cursors[r]].clone());
+                cursors[r] += 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Group consecutive comparator-equal keys of a sorted stream.
+fn group_sorted(sorted: Vec<KvPair>, comparator: &ComparatorRef) -> KeyGroups {
+    let mut groups: KeyGroups = Vec::new();
+    for kv in sorted {
+        match groups.last_mut() {
+            Some((key, values)) if comparator.compare(key, &kv.key) == std::cmp::Ordering::Equal => {
+                values.push(kv.value);
+            }
+            _ => groups.push((kv.key, vec![kv.value])),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_common::kv::BytesComparator;
+    use std::sync::Arc;
+
+    fn cmp() -> ComparatorRef {
+        Arc::new(BytesComparator)
+    }
+
+    fn kv(k: &[u8], v: &[u8]) -> KvPair {
+        KvPair::new(k.to_vec(), v.to_vec())
+    }
+
+    #[test]
+    fn merge_runs_interleaves_sorted_inputs() {
+        let runs = vec![
+            vec![kv(b"a", b"1"), kv(b"c", b"1"), kv(b"e", b"1")],
+            vec![kv(b"b", b"2"), kv(b"c", b"2")],
+            vec![],
+        ];
+        let merged = merge_runs(runs, &cmp());
+        let keys: Vec<&[u8]> = merged.iter().map(|p| p.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"a".as_ref(), b"b", b"c", b"c", b"e"]);
+    }
+
+    #[test]
+    fn group_sorted_collects_values() {
+        let sorted = vec![kv(b"a", b"1"), kv(b"a", b"2"), kv(b"b", b"3")];
+        let groups = group_sorted(sorted, &cmp());
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0.as_ref(), b"a");
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].1.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_empty_groups() {
+        assert!(group_sorted(Vec::new(), &cmp()).is_empty());
+        assert!(merge_runs(vec![vec![], vec![]], &cmp()).is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-task measurements collected during a bipartite job.
+//!
+//! These are the *functional-level* facts (counts, bytes, event time
+//! sequences) that the discrete-event cluster model scales into
+//! paper-sized timelines, and that the Figure 2 / Figure 6 harnesses
+//! print directly.
+
+use hdm_common::stats::Histogram;
+use std::time::Duration;
+
+/// Bucket width (bytes) for key-value size histograms — fine enough to
+/// separate the paper's 14-byte and 32-byte modes.
+pub const KV_HIST_BUCKET: u64 = 2;
+
+/// Statistics for one O (operator) task.
+#[derive(Debug, Clone)]
+pub struct OTaskStats {
+    /// O rank (0-based within the O communicator).
+    pub rank: usize,
+    /// Key-value pairs sent through `MPI_D_send`.
+    pub records: u64,
+    /// Total payload bytes pushed to the shuffle engine.
+    pub bytes: u64,
+    /// Sampled collect-operation time sequence: `(offset, cumulative
+    /// records)` — the Figure 2(a)/(b) signal.
+    pub collect_events: Vec<(Duration, u64)>,
+    /// Send-partition transmissions: `(offset, payload bytes)` — the
+    /// Figure 6 signal.
+    pub send_events: Vec<(Duration, u64)>,
+    /// Distribution of individual KV wire sizes — Figure 2(c)/(d).
+    pub kv_sizes: Histogram,
+    /// Wall time the O task spent blocked pushing into the send queue
+    /// (backpressure from the shuffle engine).
+    pub queue_wait: Duration,
+    /// Wall time from task start to finish.
+    pub elapsed: Duration,
+}
+
+impl OTaskStats {
+    pub(crate) fn new(rank: usize) -> OTaskStats {
+        OTaskStats {
+            rank,
+            records: 0,
+            bytes: 0,
+            collect_events: Vec::new(),
+            send_events: Vec::new(),
+            kv_sizes: Histogram::new(KV_HIST_BUCKET),
+            queue_wait: Duration::ZERO,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+/// Statistics for one A (aggregator) task.
+#[derive(Debug, Clone)]
+pub struct ATaskStats {
+    /// A rank (0-based within the A communicator).
+    pub rank: usize,
+    /// Key-value pairs received.
+    pub records: u64,
+    /// Payload bytes received.
+    pub bytes: u64,
+    /// Distinct key groups fed to the A function.
+    pub groups: u64,
+    /// Number of cache spills (memory budget exceeded).
+    pub spills: u64,
+    /// Bytes written to spill runs.
+    pub spill_bytes: u64,
+    /// Peak bytes held in the in-memory cache.
+    pub cache_peak: u64,
+    /// Wall time from process start until the last O EOF arrived.
+    pub receive_elapsed: Duration,
+    /// Wall time of the whole A task (receive + merge + user function).
+    pub elapsed: Duration,
+}
+
+impl ATaskStats {
+    pub(crate) fn new(rank: usize) -> ATaskStats {
+        ATaskStats {
+            rank,
+            records: 0,
+            bytes: 0,
+            groups: 0,
+            spills: 0,
+            spill_bytes: 0,
+            cache_peak: 0,
+            receive_elapsed: Duration::ZERO,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+/// Everything measured during one bipartite job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Per-O-task stats, rank order.
+    pub o_tasks: Vec<OTaskStats>,
+    /// Per-A-task stats, rank order.
+    pub a_tasks: Vec<ATaskStats>,
+    /// Bytes moved on each directed rank pair (`[src][dst]`, world ranks).
+    pub link_bytes: Vec<Vec<u64>>,
+    /// Total wall time of the job.
+    pub elapsed: Duration,
+}
+
+impl JobReport {
+    /// Total records sent by all O tasks.
+    pub fn total_records_sent(&self) -> u64 {
+        self.o_tasks.iter().map(|t| t.records).sum()
+    }
+
+    /// Total records received by all A tasks.
+    pub fn total_records_received(&self) -> u64 {
+        self.a_tasks.iter().map(|t| t.records).sum()
+    }
+
+    /// Total shuffled payload bytes (O side).
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.o_tasks.iter().map(|t| t.bytes).sum()
+    }
+
+    /// Merged KV-size histogram across all O tasks.
+    pub fn kv_size_histogram(&self) -> Histogram {
+        let mut h = Histogram::new(KV_HIST_BUCKET);
+        for t in &self.o_tasks {
+            h.merge(&t.kv_sizes);
+        }
+        h
+    }
+
+    /// The latest O-task finish offset — the O-phase length (Figure 6's
+    /// per-style comparison reads this).
+    pub fn o_phase_duration(&self) -> Duration {
+        self.o_tasks.iter().map(|t| t.elapsed).max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Imbalance of records across A tasks: `max / max(1, min)` — the
+    /// skew factor discussed for TPC-H Q9 (13x at 16 tasks).
+    pub fn a_skew_factor(&self) -> f64 {
+        let max = self.a_tasks.iter().map(|t| t.records).max().unwrap_or(0);
+        let min = self.a_tasks.iter().map(|t| t.records).min().unwrap_or(0);
+        max as f64 / min.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> JobReport {
+        let mut o0 = OTaskStats::new(0);
+        o0.records = 10;
+        o0.bytes = 100;
+        o0.elapsed = Duration::from_secs(2);
+        o0.kv_sizes.record(32);
+        let mut o1 = OTaskStats::new(1);
+        o1.records = 20;
+        o1.bytes = 300;
+        o1.elapsed = Duration::from_secs(3);
+        o1.kv_sizes.record(14);
+        o1.kv_sizes.record(32);
+        let mut a0 = ATaskStats::new(0);
+        a0.records = 25;
+        let mut a1 = ATaskStats::new(1);
+        a1.records = 5;
+        JobReport {
+            o_tasks: vec![o0, o1],
+            a_tasks: vec![a0, a1],
+            link_bytes: vec![vec![0; 4]; 4],
+            elapsed: Duration::from_secs(4),
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let r = report();
+        assert_eq!(r.total_records_sent(), 30);
+        assert_eq!(r.total_records_received(), 30);
+        assert_eq!(r.total_shuffle_bytes(), 400);
+        assert_eq!(r.o_phase_duration(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn kv_histogram_merges() {
+        let h = report().kv_size_histogram();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mode_bucket(), Some(32));
+    }
+
+    #[test]
+    fn skew_factor() {
+        let r = report();
+        assert_eq!(r.a_skew_factor(), 5.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Input splits: the unit of map-task scheduling.
+
+use crate::NodeId;
+
+/// A contiguous byte range of one file, plus the nodes that hold it.
+///
+/// Splits are block-aligned (one split per block), matching the paper's
+/// Hadoop configuration where the number of map tasks follows the number
+/// of 64 MB input blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileSplit {
+    /// File path in the DFS.
+    pub path: String,
+    /// Starting byte offset.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Nodes holding a replica of this range (first = writer-local).
+    pub hosts: Vec<NodeId>,
+}
+
+impl FileSplit {
+    /// True iff `node` can read this split without crossing the network.
+    pub fn is_local_to(&self, node: NodeId) -> bool {
+        self.hosts.contains(&node)
+    }
+
+    /// Exclusive end offset.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+impl std::fmt::Display for FileSplit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}..{})", self.path, self.offset, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_check() {
+        let s = FileSplit {
+            path: "/f".into(),
+            offset: 0,
+            len: 10,
+            hosts: vec![NodeId(1), NodeId(3)],
+        };
+        assert!(s.is_local_to(NodeId(3)));
+        assert!(!s.is_local_to(NodeId(0)));
+        assert_eq!(s.end(), 10);
+        assert_eq!(s.to_string(), "/f[0..10)");
+    }
+}

@@ -1,0 +1,498 @@
+//! The MapReduce job runner: map wave → materialize → pull shuffle →
+//! reduce wave.
+
+use crate::report::{MapTaskStats, MrJobReport, ReduceTaskStats};
+use crate::sort::{merge_sorted_runs, SortBuffer};
+use crate::store::MapOutputStore;
+use crate::{CombinerRef, MapRedConfig};
+use bytes::Bytes;
+use hdm_common::error::{HdmError, Result};
+use hdm_common::kv::{ComparatorRef, KvPair};
+use hdm_common::partition::PartitionerRef;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sampling stride for collect-event time sequences.
+const COLLECT_SAMPLE_STRIDE: u64 = 64;
+
+/// The context a map function emits through (Hadoop's
+/// `OutputCollector.collect`).
+pub struct MapContext {
+    rank: usize,
+    num_reducers: usize,
+    buffer: SortBuffer,
+    partitioner: PartitionerRef,
+    stats: MapTaskStats,
+    job_start: Instant,
+}
+
+impl std::fmt::Debug for MapContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapContext")
+            .field("rank", &self.rank)
+            .field("records", &self.stats.records)
+            .finish()
+    }
+}
+
+impl MapContext {
+    /// Map task index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of reduce tasks.
+    pub fn num_reducers(&self) -> usize {
+        self.num_reducers
+    }
+
+    /// Emit one pair into the sort buffer.
+    ///
+    /// # Errors
+    /// Currently infallible, but `Result` keeps parity with the DataMPI
+    /// `send` so Hive operator code is engine-agnostic.
+    pub fn collect(&mut self, kv: KvPair) -> Result<()> {
+        let partition = self.partitioner.partition(&kv.key, self.num_reducers);
+        self.stats.records += 1;
+        self.stats.kv_sizes.record(kv.wire_size() as u64);
+        self.stats.bytes += kv.wire_size() as u64;
+        if self.stats.records % COLLECT_SAMPLE_STRIDE == 1 {
+            self.stats
+                .collect_events
+                .push((self.job_start.elapsed(), self.stats.records));
+        }
+        self.buffer.collect(partition, kv);
+        Ok(())
+    }
+}
+
+/// The context a reduce function consumes: sorted `(key, values)` groups.
+pub struct ReduceContext {
+    rank: usize,
+    groups: std::vec::IntoIter<(Bytes, Vec<Bytes>)>,
+}
+
+impl std::fmt::Debug for ReduceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReduceContext").field("rank", &self.rank).finish()
+    }
+}
+
+impl ReduceContext {
+    /// Reduce task index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Next key group in comparator order.
+    pub fn next_group(&mut self) -> Option<(Bytes, Vec<Bytes>)> {
+        self.groups.next()
+    }
+}
+
+/// Results and measurements of a completed MapReduce job.
+#[derive(Debug)]
+pub struct MrOutcome<RM, RR> {
+    /// Map function return values, task order.
+    pub map_results: Vec<RM>,
+    /// Reduce function return values, task order.
+    pub reduce_results: Vec<RR>,
+    /// Everything measured.
+    pub report: MrJobReport,
+}
+
+/// Type of user map functions: `(map_rank, context) -> RM`.
+pub type MapFn<RM> = Arc<dyn Fn(usize, &mut MapContext) -> Result<RM> + Send + Sync>;
+/// Type of user reduce functions: `(reduce_rank, context) -> RR`.
+pub type ReduceFn<RR> = Arc<dyn Fn(usize, &mut ReduceContext) -> Result<RR> + Send + Sync>;
+
+/// Run one MapReduce job with Hadoop's execution shape.
+///
+/// Map tasks run concurrently (bounded by `config.concurrency`), each
+/// collecting into a sort buffer that spills and finally materializes
+/// per-partition segments. Reduce tasks then pull their partition's
+/// segment from every map, merge, group, and run the reduce function.
+///
+/// # Errors
+/// Returns the first task error.
+pub fn run_mapreduce<RM, RR>(
+    config: &MapRedConfig,
+    comparator: ComparatorRef,
+    partitioner: PartitionerRef,
+    map_fn: MapFn<RM>,
+    reduce_fn: ReduceFn<RR>,
+) -> Result<MrOutcome<RM, RR>>
+where
+    RM: Send + 'static,
+    RR: Send + 'static,
+{
+    run_mapreduce_with_combiner(config, comparator, partitioner, map_fn, reduce_fn, None)
+}
+
+/// [`run_mapreduce`] with an optional map-side combiner.
+///
+/// # Errors
+/// Returns the first task error.
+pub fn run_mapreduce_with_combiner<RM, RR>(
+    config: &MapRedConfig,
+    comparator: ComparatorRef,
+    partitioner: PartitionerRef,
+    map_fn: MapFn<RM>,
+    reduce_fn: ReduceFn<RR>,
+    combiner: Option<CombinerRef>,
+) -> Result<MrOutcome<RM, RR>>
+where
+    RM: Send + 'static,
+    RR: Send + 'static,
+{
+    if config.map_tasks == 0 || config.reduce_tasks == 0 {
+        return Err(HdmError::Config(format!(
+            "mapreduce job needs at least one task on each side (m={}, r={})",
+            config.map_tasks, config.reduce_tasks
+        )));
+    }
+    let job_start = Instant::now();
+    let store = Arc::new(MapOutputStore::new());
+
+    // ---- Map wave -------------------------------------------------------
+    let map_outputs = run_wave(config.map_tasks, config.concurrency, {
+        let config = config.clone();
+        let comparator = Arc::clone(&comparator);
+        let partitioner = Arc::clone(&partitioner);
+        let store = Arc::clone(&store);
+        let map_fn = Arc::clone(&map_fn);
+        let combiner = combiner.clone();
+        move |rank| {
+            let task_start = Instant::now();
+            let mut ctx = MapContext {
+                rank,
+                num_reducers: config.reduce_tasks,
+                buffer: SortBuffer::new(
+                    config.sort_buffer_bytes,
+                    Arc::clone(&comparator),
+                    combiner.clone(),
+                ),
+                partitioner: Arc::clone(&partitioner),
+                stats: MapTaskStats::new(rank),
+                job_start,
+            };
+            let user = map_fn(rank, &mut ctx);
+            let mut stats = ctx.stats;
+            stats.spills = ctx.buffer.spill_count() as u64;
+            stats.spill_bytes = ctx.buffer.spill_bytes();
+            let segments = ctx.buffer.finish(config.reduce_tasks);
+            store.publish(rank, segments);
+            stats.elapsed = task_start.elapsed();
+            (user, stats)
+        }
+    });
+
+    let mut map_results = Vec::with_capacity(config.map_tasks);
+    let mut map_stats = Vec::with_capacity(config.map_tasks);
+    let mut first_err: Option<HdmError> = None;
+    for (res, stats) in map_outputs {
+        map_stats.push(stats);
+        match res {
+            Ok(v) => map_results.push(v),
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    // ---- Reduce wave ----------------------------------------------------
+    let maps = config.map_tasks;
+    let reduce_outputs = run_wave(config.reduce_tasks, config.concurrency, {
+        let comparator = Arc::clone(&comparator);
+        let store = Arc::clone(&store);
+        let reduce_fn = Arc::clone(&reduce_fn);
+        move |rank| {
+            let task_start = Instant::now();
+            let mut stats = ReduceTaskStats::new(rank, maps);
+            // Copier phase: pull this partition's segment from every map.
+            let mut runs: Vec<Vec<KvPair>> = Vec::with_capacity(maps);
+            let mut failed: Option<HdmError> = None;
+            for m in 0..maps {
+                match store.fetch(m, rank) {
+                    Ok(seg) => {
+                        stats.shuffled_from[m] = seg.iter().map(|kv| kv.wire_size() as u64).sum();
+                        stats.records += seg.len() as u64;
+                        runs.push(seg);
+                    }
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failed {
+                return (Err(e), stats);
+            }
+            // Merge + group.
+            let merged = merge_sorted_runs(runs, &comparator);
+            let mut groups: Vec<(Bytes, Vec<Bytes>)> = Vec::new();
+            for kv in merged {
+                match groups.last_mut() {
+                    Some((key, values))
+                        if comparator.compare(key, &kv.key) == std::cmp::Ordering::Equal =>
+                    {
+                        values.push(kv.value);
+                    }
+                    _ => groups.push((kv.key, vec![kv.value])),
+                }
+            }
+            stats.groups = groups.len() as u64;
+            let mut ctx = ReduceContext {
+                rank,
+                groups: groups.into_iter(),
+            };
+            let user = reduce_fn(rank, &mut ctx);
+            stats.elapsed = task_start.elapsed();
+            (user, stats)
+        }
+    });
+
+    let mut reduce_results = Vec::with_capacity(config.reduce_tasks);
+    let mut reduce_stats = Vec::with_capacity(config.reduce_tasks);
+    for (res, stats) in reduce_outputs {
+        reduce_stats.push(stats);
+        match res {
+            Ok(v) => reduce_results.push(v),
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    Ok(MrOutcome {
+        map_results,
+        reduce_results,
+        report: MrJobReport {
+            map_tasks: map_stats,
+            reduce_tasks: reduce_stats,
+            materialized_bytes: store.total_bytes(),
+            elapsed: job_start.elapsed(),
+        },
+    })
+}
+
+/// Run `n` tasks on at most `slots` threads; outputs in task order.
+fn run_wave<T, F>(n: usize, slots: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    let slots = slots.max(1);
+    let task = &task;
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let slots_used = slots.min(n);
+    let out_ref = std::sync::Mutex::new(&mut out);
+    std::thread::scope(|scope| {
+        for _ in 0..slots_used {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let result = task(i);
+                out_ref.lock().expect("wave collector poisoned")[i] = Some(result);
+            });
+        }
+    });
+    out.into_iter().map(|v| v.expect("task produced output")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_common::kv::BytesComparator;
+    use hdm_common::partition::HashPartitioner;
+
+    fn base_config(m: usize, r: usize) -> MapRedConfig {
+        MapRedConfig {
+            map_tasks: m,
+            reduce_tasks: r,
+            sort_buffer_bytes: 256, // force spills
+            concurrency: 4,
+        }
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let config = base_config(3, 2);
+        let outcome = run_mapreduce(
+            &config,
+            Arc::new(BytesComparator),
+            Arc::new(HashPartitioner),
+            Arc::new(|_rank, ctx: &mut MapContext| {
+                for i in 0..200u32 {
+                    ctx.collect(KvPair::new(format!("w{}", i % 13).into_bytes(), vec![1]))?;
+                }
+                Ok(())
+            }),
+            Arc::new(|_rank, ctx: &mut ReduceContext| {
+                let mut n = 0u64;
+                let mut prev: Option<Bytes> = None;
+                while let Some((key, values)) = ctx.next_group() {
+                    if let Some(p) = &prev {
+                        assert!(p.as_ref() < key.as_ref());
+                    }
+                    prev = Some(key);
+                    n += values.len() as u64;
+                }
+                Ok(n)
+            }),
+        )
+        .unwrap();
+        assert_eq!(outcome.reduce_results.iter().sum::<u64>(), 600);
+        assert_eq!(outcome.report.total_map_records(), 600);
+        assert_eq!(outcome.report.total_reduce_records(), 600);
+        assert!(outcome.report.map_tasks.iter().any(|t| t.spills > 0));
+        assert_eq!(outcome.report.total_shuffle_bytes(), outcome.report.materialized_bytes);
+    }
+
+    #[test]
+    fn groups_complete_across_maps() {
+        let config = base_config(4, 3);
+        let outcome = run_mapreduce(
+            &config,
+            Arc::new(BytesComparator),
+            Arc::new(HashPartitioner),
+            Arc::new(|rank, ctx: &mut MapContext| {
+                for k in 0..30u8 {
+                    ctx.collect(KvPair::new(vec![k], vec![rank as u8]))?;
+                }
+                Ok(())
+            }),
+            Arc::new(|_rank, ctx: &mut ReduceContext| {
+                let mut complete = 0;
+                while let Some((_key, values)) = ctx.next_group() {
+                    let mut senders: Vec<u8> = values.iter().map(|v| v[0]).collect();
+                    senders.sort_unstable();
+                    if senders == vec![0, 1, 2, 3] {
+                        complete += 1;
+                    }
+                }
+                Ok(complete)
+            }),
+        )
+        .unwrap();
+        assert_eq!(outcome.reduce_results.iter().sum::<u64>(), 30);
+    }
+
+    #[test]
+    fn map_error_propagates() {
+        let config = base_config(2, 1);
+        let err = run_mapreduce::<(), ()>(
+            &config,
+            Arc::new(BytesComparator),
+            Arc::new(HashPartitioner),
+            Arc::new(|rank, _ctx: &mut MapContext| {
+                if rank == 1 {
+                    Err(HdmError::Other("map blew up".into()))
+                } else {
+                    Ok(())
+                }
+            }),
+            Arc::new(|_rank, _ctx: &mut ReduceContext| Ok(())),
+        )
+        .unwrap_err();
+        assert!(err.message().contains("map blew up"));
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume() {
+        let run = |combine: Option<CombinerRef>| {
+            let config = base_config(2, 2);
+            run_mapreduce_with_combiner(
+                &config,
+                Arc::new(BytesComparator),
+                Arc::new(HashPartitioner),
+                Arc::new(|_rank, ctx: &mut MapContext| {
+                    for _ in 0..500 {
+                        for k in 0..4u8 {
+                            ctx.collect(KvPair::new(vec![k], vec![1]))?;
+                        }
+                    }
+                    Ok(())
+                }),
+                Arc::new(|_rank, ctx: &mut ReduceContext| {
+                    let mut total = 0u64;
+                    while let Some((_k, vs)) = ctx.next_group() {
+                        total += vs.iter().map(|v| v[0] as u64).sum::<u64>();
+                    }
+                    Ok(total)
+                }),
+                combine,
+            )
+            .unwrap()
+        };
+        let plain = run(None);
+        let combine: CombinerRef = Arc::new(|group: Vec<KvPair>| {
+            let sum: u64 = group.iter().map(|kv| kv.value[0] as u64).sum();
+            vec![KvPair::new(group[0].key.to_vec(), vec![sum.min(255) as u8])]
+        });
+        let combined = run(Some(combine));
+        // Same answer (sums under 255 per combined run), far fewer bytes.
+        assert_eq!(plain.reduce_results.iter().sum::<u64>(), 4000);
+        assert_eq!(combined.reduce_results.iter().sum::<u64>(), 4000);
+        assert!(
+            combined.report.total_shuffle_bytes() * 4 < plain.report.total_shuffle_bytes(),
+            "combiner should slash shuffle volume: {} vs {}",
+            combined.report.total_shuffle_bytes(),
+            plain.report.total_shuffle_bytes()
+        );
+    }
+
+    #[test]
+    fn zero_tasks_rejected() {
+        let config = MapRedConfig {
+            map_tasks: 0,
+            ..Default::default()
+        };
+        assert!(run_mapreduce::<(), ()>(
+            &config,
+            Arc::new(BytesComparator),
+            Arc::new(HashPartitioner),
+            Arc::new(|_, _| Ok(())),
+            Arc::new(|_, _| Ok(())),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn wave_respects_task_order_in_output() {
+        let out = run_wave(10, 3, |i| i * i);
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_reducer_gets_everything() {
+        let config = MapRedConfig {
+            map_tasks: 3,
+            reduce_tasks: 1,
+            ..Default::default()
+        };
+        let outcome = run_mapreduce(
+            &config,
+            Arc::new(BytesComparator),
+            Arc::new(HashPartitioner),
+            Arc::new(|rank, ctx: &mut MapContext| {
+                ctx.collect(KvPair::new(vec![rank as u8], vec![]))?;
+                Ok(())
+            }),
+            Arc::new(|_rank, ctx: &mut ReduceContext| {
+                let mut n = 0;
+                while ctx.next_group().is_some() {
+                    n += 1;
+                }
+                Ok(n)
+            }),
+        )
+        .unwrap();
+        assert_eq!(outcome.reduce_results, vec![3]);
+    }
+}

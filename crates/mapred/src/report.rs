@@ -1,0 +1,151 @@
+//! Measurements of one MapReduce job (input to the timing model).
+
+use hdm_common::stats::Histogram;
+use std::time::Duration;
+
+/// Bucket width for KV-size histograms (matches the DataMPI engine).
+pub const KV_HIST_BUCKET: u64 = 2;
+
+/// Statistics for one map task.
+#[derive(Debug, Clone)]
+pub struct MapTaskStats {
+    /// Map task index.
+    pub rank: usize,
+    /// Pairs collected.
+    pub records: u64,
+    /// Serialized bytes collected.
+    pub bytes: u64,
+    /// Spill count (sort buffer overflows).
+    pub spills: u64,
+    /// Bytes written to spill runs (local-disk traffic).
+    pub spill_bytes: u64,
+    /// Sampled collect-time sequence `(offset, cumulative records)`.
+    pub collect_events: Vec<(Duration, u64)>,
+    /// KV wire-size distribution.
+    pub kv_sizes: Histogram,
+    /// Wall time of the task.
+    pub elapsed: Duration,
+}
+
+impl MapTaskStats {
+    pub(crate) fn new(rank: usize) -> MapTaskStats {
+        MapTaskStats {
+            rank,
+            records: 0,
+            bytes: 0,
+            spills: 0,
+            spill_bytes: 0,
+            collect_events: Vec::new(),
+            kv_sizes: Histogram::new(KV_HIST_BUCKET),
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+/// Statistics for one reduce task.
+#[derive(Debug, Clone)]
+pub struct ReduceTaskStats {
+    /// Reduce task index.
+    pub rank: usize,
+    /// Bytes pulled from each map (`shuffled_from[map]`).
+    pub shuffled_from: Vec<u64>,
+    /// Pairs received after the shuffle.
+    pub records: u64,
+    /// Key groups fed to the reduce function.
+    pub groups: u64,
+    /// Wall time of the task.
+    pub elapsed: Duration,
+}
+
+impl ReduceTaskStats {
+    pub(crate) fn new(rank: usize, maps: usize) -> ReduceTaskStats {
+        ReduceTaskStats {
+            rank,
+            shuffled_from: vec![0; maps],
+            records: 0,
+            groups: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Total bytes this reducer pulled.
+    pub fn shuffled_bytes(&self) -> u64 {
+        self.shuffled_from.iter().sum()
+    }
+}
+
+/// Everything measured during one MapReduce job.
+#[derive(Debug, Clone)]
+pub struct MrJobReport {
+    /// Per-map stats, task order.
+    pub map_tasks: Vec<MapTaskStats>,
+    /// Per-reduce stats, task order.
+    pub reduce_tasks: Vec<ReduceTaskStats>,
+    /// Total bytes materialized in the map-output store.
+    pub materialized_bytes: u64,
+    /// Wall time of the whole job.
+    pub elapsed: Duration,
+}
+
+impl MrJobReport {
+    /// Total records collected by maps.
+    pub fn total_map_records(&self) -> u64 {
+        self.map_tasks.iter().map(|t| t.records).sum()
+    }
+
+    /// Total records received by reducers.
+    pub fn total_reduce_records(&self) -> u64 {
+        self.reduce_tasks.iter().map(|t| t.records).sum()
+    }
+
+    /// Total bytes moved by the pull shuffle.
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.reduce_tasks.iter().map(|t| t.shuffled_bytes()).sum()
+    }
+
+    /// Merged KV-size histogram across maps.
+    pub fn kv_size_histogram(&self) -> Histogram {
+        let mut h = Histogram::new(KV_HIST_BUCKET);
+        for t in &self.map_tasks {
+            h.merge(&t.kv_sizes);
+        }
+        h
+    }
+
+    /// Records imbalance across reducers (`max / max(1, min)`).
+    pub fn reduce_skew_factor(&self) -> f64 {
+        let max = self.reduce_tasks.iter().map(|t| t.records).max().unwrap_or(0);
+        let min = self.reduce_tasks.iter().map(|t| t.records).min().unwrap_or(0);
+        max as f64 / min.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_skew() {
+        let mut m = MapTaskStats::new(0);
+        m.records = 7;
+        m.bytes = 70;
+        m.kv_sizes.record(10);
+        let mut r0 = ReduceTaskStats::new(0, 1);
+        r0.records = 6;
+        r0.shuffled_from[0] = 60;
+        let mut r1 = ReduceTaskStats::new(1, 1);
+        r1.records = 1;
+        r1.shuffled_from[0] = 10;
+        let report = MrJobReport {
+            map_tasks: vec![m],
+            reduce_tasks: vec![r0, r1],
+            materialized_bytes: 70,
+            elapsed: Duration::from_secs(1),
+        };
+        assert_eq!(report.total_map_records(), 7);
+        assert_eq!(report.total_reduce_records(), 7);
+        assert_eq!(report.total_shuffle_bytes(), 70);
+        assert_eq!(report.reduce_skew_factor(), 6.0);
+        assert_eq!(report.kv_size_histogram().count(), 1);
+    }
+}

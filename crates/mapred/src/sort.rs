@@ -1,0 +1,336 @@
+//! The map-side sort buffer: collect, sort, spill, merge.
+
+use crate::CombinerRef;
+use hdm_common::kv::{ComparatorRef, KvPair};
+
+/// One spill run: pairs sorted by `(partition, key)`.
+#[derive(Debug, Clone)]
+pub struct SpillRun {
+    /// `(partition, pair)` entries in sorted order.
+    pub entries: Vec<(usize, KvPair)>,
+    /// Serialized size of the run (local-disk write volume).
+    pub bytes: u64,
+}
+
+/// The in-memory collect buffer of one map task.
+pub struct SortBuffer {
+    entries: Vec<(usize, KvPair)>,
+    bytes: usize,
+    capacity: usize,
+    comparator: ComparatorRef,
+    combiner: Option<CombinerRef>,
+    spills: Vec<SpillRun>,
+}
+
+impl std::fmt::Debug for SortBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SortBuffer")
+            .field("buffered", &self.entries.len())
+            .field("bytes", &self.bytes)
+            .field("spills", &self.spills.len())
+            .finish()
+    }
+}
+
+impl SortBuffer {
+    /// A buffer spilling at `capacity` bytes.
+    pub fn new(capacity: usize, comparator: ComparatorRef, combiner: Option<CombinerRef>) -> SortBuffer {
+        SortBuffer {
+            entries: Vec::new(),
+            bytes: 0,
+            capacity: capacity.max(1),
+            comparator,
+            combiner,
+            spills: Vec::new(),
+        }
+    }
+
+    /// Add one pair destined for `partition`; spills when full.
+    pub fn collect(&mut self, partition: usize, kv: KvPair) {
+        self.bytes += kv.wire_size();
+        self.entries.push((partition, kv));
+        if self.bytes >= self.capacity {
+            self.spill();
+        }
+    }
+
+    /// Number of spills so far.
+    pub fn spill_count(&self) -> usize {
+        self.spills.len()
+    }
+
+    /// Bytes written across all spill runs so far.
+    pub fn spill_bytes(&self) -> u64 {
+        self.spills.iter().map(|s| s.bytes).sum()
+    }
+
+    fn spill(&mut self) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let mut run = std::mem::take(&mut self.entries);
+        self.bytes = 0;
+        let cmp = &self.comparator;
+        run.sort_by(|(pa, a), (pb, b)| pa.cmp(pb).then_with(|| cmp.compare(&a.key, &b.key)));
+        let run = match &self.combiner {
+            Some(combine) => combine_sorted(run, combine, cmp),
+            None => run,
+        };
+        let bytes = run.iter().map(|(_, kv)| kv.wire_size() as u64).sum();
+        self.spills.push(SpillRun { entries: run, bytes });
+    }
+
+    /// Finish the task: final spill, then merge all runs into one sorted
+    /// segment per partition. Returns `segments[partition]`.
+    pub fn finish(mut self, num_partitions: usize) -> Vec<Vec<KvPair>> {
+        self.spill();
+        let comparator = std::sync::Arc::clone(&self.comparator);
+        let spills = std::mem::take(&mut self.spills);
+        let mut segments: Vec<Vec<KvPair>> = vec![Vec::new(); num_partitions];
+        // Each run is sorted by (partition, key); per-partition slices are
+        // therefore individually sorted — merge them partition by partition.
+        let mut per_part_runs: Vec<Vec<Vec<KvPair>>> = vec![Vec::new(); num_partitions];
+        for run in spills {
+            let mut current: Vec<KvPair> = Vec::new();
+            let mut current_part: Option<usize> = None;
+            for (p, kv) in run.entries {
+                match current_part {
+                    Some(cp) if cp == p => current.push(kv),
+                    Some(cp) => {
+                        per_part_runs[cp].push(std::mem::take(&mut current));
+                        current.push(kv);
+                        current_part = Some(p);
+                    }
+                    None => {
+                        current.push(kv);
+                        current_part = Some(p);
+                    }
+                }
+            }
+            if let Some(cp) = current_part {
+                per_part_runs[cp].push(current);
+            }
+        }
+        for (p, runs) in per_part_runs.into_iter().enumerate() {
+            segments[p] = merge_sorted_runs(runs, &comparator);
+        }
+        segments
+    }
+}
+
+/// Apply a combiner to a `(partition, key)`-sorted run, combining each
+/// per-partition key group.
+fn combine_sorted(
+    run: Vec<(usize, KvPair)>,
+    combine: &CombinerRef,
+    comparator: &ComparatorRef,
+) -> Vec<(usize, KvPair)> {
+    let mut out: Vec<(usize, KvPair)> = Vec::with_capacity(run.len());
+    let mut group: Vec<KvPair> = Vec::new();
+    let mut group_part: Option<usize> = None;
+    for (p, kv) in run {
+        let same = match (&group_part, group.last()) {
+            (Some(gp), Some(last)) => {
+                *gp == p && comparator.compare(&last.key, &kv.key) == std::cmp::Ordering::Equal
+            }
+            _ => false,
+        };
+        if same {
+            group.push(kv);
+        } else {
+            if let Some(gp) = group_part {
+                for c in combine(std::mem::take(&mut group)) {
+                    out.push((gp, c));
+                }
+            }
+            group.push(kv);
+            group_part = Some(p);
+        }
+    }
+    if let Some(gp) = group_part {
+        if !group.is_empty() {
+            for c in combine(group) {
+                out.push((gp, c));
+            }
+        }
+    }
+    out
+}
+
+/// K-way merge of sorted runs by key comparator (selection merge: run
+/// counts are small).
+pub fn merge_sorted_runs(runs: Vec<Vec<KvPair>>, comparator: &ComparatorRef) -> Vec<KvPair> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; runs.len()];
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if cursors[r] >= run.len() {
+                continue;
+            }
+            best = match best {
+                None => Some(r),
+                Some(b) => {
+                    if comparator.compare(&run[cursors[r]].key, &runs[b][cursors[b]].key)
+                        == std::cmp::Ordering::Less
+                    {
+                        Some(r)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        match best {
+            Some(r) => {
+                out.push(runs[r][cursors[r]].clone());
+                cursors[r] += 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_common::kv::BytesComparator;
+    use std::sync::Arc;
+
+    fn cmp() -> ComparatorRef {
+        Arc::new(BytesComparator)
+    }
+
+    fn kv(k: u8, v: u8) -> KvPair {
+        KvPair::new(vec![k], vec![v])
+    }
+
+    #[test]
+    fn small_input_one_segment_per_partition() {
+        let mut buf = SortBuffer::new(1 << 20, cmp(), None);
+        buf.collect(1, kv(9, 0));
+        buf.collect(0, kv(3, 0));
+        buf.collect(1, kv(2, 0));
+        buf.collect(0, kv(1, 0));
+        let segs = buf.finish(2);
+        let keys = |p: usize| segs[p].iter().map(|x| x.key[0]).collect::<Vec<_>>();
+        assert_eq!(keys(0), vec![1, 3]);
+        assert_eq!(keys(1), vec![2, 9]);
+    }
+
+    #[test]
+    fn tiny_capacity_forces_spills_but_output_is_sorted() {
+        let mut buf = SortBuffer::new(8, cmp(), None);
+        for i in (0..100u8).rev() {
+            buf.collect((i % 3) as usize, kv(i, 0));
+        }
+        assert!(buf.spill_count() > 5);
+        assert!(buf.spill_bytes() > 0);
+        let segs = buf.finish(3);
+        let mut seen = 0;
+        for (p, seg) in segs.iter().enumerate() {
+            seen += seg.len();
+            for w in seg.windows(2) {
+                assert!(w[0].key <= w[1].key, "partition {p} out of order");
+            }
+            for x in seg {
+                assert_eq!((x.key[0] % 3) as usize, p);
+            }
+        }
+        assert_eq!(seen, 100);
+    }
+
+    #[test]
+    fn combiner_shrinks_duplicate_keys() {
+        let combine: CombinerRef = Arc::new(|group: Vec<KvPair>| {
+            let sum: u64 = group.iter().map(|kv| kv.value[0] as u64).sum();
+            vec![KvPair::new(group[0].key.to_vec(), vec![sum.min(255) as u8])]
+        });
+        let mut buf = SortBuffer::new(1 << 20, cmp(), Some(combine));
+        for _ in 0..10 {
+            buf.collect(0, kv(7, 1));
+        }
+        buf.collect(0, kv(8, 1));
+        let segs = buf.finish(1);
+        assert_eq!(segs[0].len(), 2);
+        assert_eq!(segs[0][0].value[0], 10); // combined sum
+        assert_eq!(segs[0][1].value[0], 1);
+    }
+
+    #[test]
+    fn combiner_respects_partition_boundaries() {
+        let combine: CombinerRef = Arc::new(|group: Vec<KvPair>| {
+            vec![KvPair::new(
+                group[0].key.to_vec(),
+                vec![group.len() as u8],
+            )]
+        });
+        let mut buf = SortBuffer::new(1 << 20, cmp(), Some(combine));
+        // Same key routed to two different partitions must not merge.
+        buf.collect(0, kv(5, 1));
+        buf.collect(1, kv(5, 1));
+        buf.collect(0, kv(5, 1));
+        let segs = buf.finish(2);
+        assert_eq!(segs[0].len(), 1);
+        assert_eq!(segs[0][0].value[0], 2);
+        assert_eq!(segs[1].len(), 1);
+        assert_eq!(segs[1][0].value[0], 1);
+    }
+
+    #[test]
+    fn merge_runs_is_stableish_and_ordered() {
+        let runs = vec![
+            vec![kv(1, 0), kv(4, 0)],
+            vec![kv(2, 0), kv(4, 1)],
+            vec![],
+            vec![kv(0, 0)],
+        ];
+        let merged = merge_sorted_runs(runs, &cmp());
+        let keys: Vec<u8> = merged.iter().map(|x| x.key[0]).collect();
+        assert_eq!(keys, vec![0, 1, 2, 4, 4]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use hdm_common::kv::BytesComparator;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    proptest! {
+        #[test]
+        fn finish_preserves_every_pair_sorted(
+            pairs in proptest::collection::vec((0usize..4, any::<u8>(), any::<u8>()), 0..300),
+            capacity in 4usize..256,
+        ) {
+            let cmp: ComparatorRef = Arc::new(BytesComparator);
+            let mut buf = SortBuffer::new(capacity, Arc::clone(&cmp), None);
+            for &(p, k, v) in &pairs {
+                buf.collect(p, KvPair::new(vec![k], vec![v]));
+            }
+            let segs = buf.finish(4);
+            let total: usize = segs.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, pairs.len());
+            for seg in &segs {
+                for w in seg.windows(2) {
+                    prop_assert!(w[0].key <= w[1].key);
+                }
+            }
+            // Multiset equality per partition.
+            for (p, seg) in segs.iter().enumerate() {
+                let mut expect: Vec<(u8, u8)> = pairs
+                    .iter()
+                    .filter(|&&(pp, _, _)| pp == p)
+                    .map(|&(_, k, v)| (k, v))
+                    .collect();
+                expect.sort_unstable();
+                let mut got: Vec<(u8, u8)> = seg.iter().map(|x| (x.key[0], x.value[0])).collect();
+                got.sort_unstable();
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+}

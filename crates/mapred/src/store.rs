@@ -1,0 +1,91 @@
+//! The map-output store: materialized segments reducers pull from.
+//!
+//! Hadoop map tasks write their merged output to TaskTracker-local disk;
+//! reduce-side copier threads fetch each map's per-partition segment over
+//! HTTP. This store is the in-process stand-in: segments keyed by
+//! `(map, partition)`, with sizes recorded so the timing model can charge
+//! the pull shuffle with the exact volumes moved.
+
+use hdm_common::error::{HdmError, Result};
+use hdm_common::kv::KvPair;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Shared store of materialized map-output segments.
+#[derive(Debug, Default)]
+pub struct MapOutputStore {
+    segments: Mutex<HashMap<(usize, usize), Vec<KvPair>>>,
+}
+
+impl MapOutputStore {
+    /// An empty store.
+    pub fn new() -> MapOutputStore {
+        MapOutputStore::default()
+    }
+
+    /// Publish all of one map task's segments (one per partition).
+    pub fn publish(&self, map: usize, segments: Vec<Vec<KvPair>>) {
+        let mut guard = self.segments.lock();
+        for (partition, seg) in segments.into_iter().enumerate() {
+            guard.insert((map, partition), seg);
+        }
+    }
+
+    /// Pull one segment (a reducer fetching from one finished map).
+    ///
+    /// # Errors
+    /// [`HdmError::MapRed`] if the segment was never published — in real
+    /// Hadoop this is a fetch failure.
+    pub fn fetch(&self, map: usize, partition: usize) -> Result<Vec<KvPair>> {
+        self.segments
+            .lock()
+            .get(&(map, partition))
+            .cloned()
+            .ok_or_else(|| HdmError::MapRed(format!("fetch failure: map {map} partition {partition} missing")))
+    }
+
+    /// Serialized size of one segment in bytes (0 if missing).
+    pub fn segment_bytes(&self, map: usize, partition: usize) -> u64 {
+        self.segments
+            .lock()
+            .get(&(map, partition))
+            .map(|seg| seg.iter().map(|kv| kv.wire_size() as u64).sum())
+            .unwrap_or(0)
+    }
+
+    /// Total bytes materialized across all segments.
+    pub fn total_bytes(&self) -> u64 {
+        self.segments
+            .lock()
+            .values()
+            .map(|seg| seg.iter().map(|kv| kv.wire_size() as u64).sum::<u64>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(k: u8) -> KvPair {
+        KvPair::new(vec![k], vec![k, k])
+    }
+
+    #[test]
+    fn publish_then_fetch() {
+        let store = MapOutputStore::new();
+        store.publish(0, vec![vec![kv(1)], vec![kv(2), kv(3)]]);
+        assert_eq!(store.fetch(0, 0).unwrap(), vec![kv(1)]);
+        assert_eq!(store.fetch(0, 1).unwrap().len(), 2);
+        assert!(store.fetch(1, 0).is_err());
+    }
+
+    #[test]
+    fn sizes_are_tracked() {
+        let store = MapOutputStore::new();
+        store.publish(2, vec![vec![kv(1), kv(2)], vec![]]);
+        assert_eq!(store.segment_bytes(2, 0), 2 * kv(1).wire_size() as u64);
+        assert_eq!(store.segment_bytes(2, 1), 0);
+        assert_eq!(store.total_bytes(), store.segment_bytes(2, 0));
+    }
+}

@@ -1,0 +1,370 @@
+//! Per-rank endpoint: the object through which a rank communicates.
+
+use crate::metrics::WorldMetrics;
+use crate::{Rank, Tag};
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use hdm_common::error::{HdmError, Result};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending rank.
+    pub src: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload bytes (shared, zero-copy between ranks).
+    pub payload: Bytes,
+}
+
+/// Handle for a non-blocking send. Completed once the message has been
+/// accepted by the destination's channel (buffer reusable, in MPI terms).
+#[derive(Debug)]
+pub struct SendRequest {
+    done: Arc<AtomicBool>,
+}
+
+impl SendRequest {
+    /// Non-consuming completion check (does not drive progress; use
+    /// [`Endpoint::test_send`] to also progress pending sends).
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+/// Handle for a non-blocking receive: a posted matching rule.
+#[derive(Debug)]
+pub struct RecvRequest {
+    src: Option<Rank>,
+    tag: Option<Tag>,
+    received: Option<Msg>,
+}
+
+impl RecvRequest {
+    /// The matched message, if completed.
+    pub fn message(&self) -> Option<&Msg> {
+        self.received.as_ref()
+    }
+}
+
+/// One pending (not yet channel-accepted) outgoing message.
+#[derive(Debug)]
+struct PendingSend {
+    dst: Rank,
+    msg: Msg,
+    done: Arc<AtomicBool>,
+}
+
+/// The per-rank communication endpoint.
+///
+/// Not `Clone`: exactly one endpoint exists per rank, and it is moved
+/// into the rank's thread.
+pub struct Endpoint {
+    rank: Rank,
+    incoming: Receiver<Msg>,
+    outgoing: Vec<Sender<Msg>>,
+    /// Messages that matched no in-progress `recv` yet (out-of-order
+    /// arrivals kept for later tag/src matching).
+    mailbox: VecDeque<Msg>,
+    /// Sends parked on a full destination channel, in program order per
+    /// destination (preserves MPI's non-overtaking rule).
+    pending: VecDeque<PendingSend>,
+    metrics: Arc<WorldMetrics>,
+    barrier: Arc<std::sync::Barrier>,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("rank", &self.rank)
+            .field("mailbox", &self.mailbox.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl Endpoint {
+    pub(crate) fn new(
+        rank: Rank,
+        incoming: Receiver<Msg>,
+        outgoing: Vec<Sender<Msg>>,
+        metrics: Arc<WorldMetrics>,
+        barrier: Arc<std::sync::Barrier>,
+    ) -> Endpoint {
+        Endpoint {
+            rank,
+            incoming,
+            outgoing,
+            mailbox: VecDeque::new(),
+            pending: VecDeque::new(),
+            metrics,
+            barrier,
+        }
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn world_size(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    /// Non-blocking send (`MPI_Isend`). The returned request completes
+    /// once the destination channel accepts the message; until then the
+    /// message sits in this endpoint's pending queue and is pushed by
+    /// [`Endpoint::progress`].
+    ///
+    /// # Errors
+    /// [`HdmError::Mpi`] if `dst` is out of range.
+    pub fn isend(&mut self, dst: Rank, tag: Tag, payload: Bytes) -> Result<SendRequest> {
+        if dst >= self.outgoing.len() {
+            return Err(HdmError::Mpi(format!(
+                "isend to invalid rank {dst} (world size {})",
+                self.outgoing.len()
+            )));
+        }
+        let done = Arc::new(AtomicBool::new(false));
+        self.metrics.record_send(self.rank, dst, payload.len() as u64);
+        self.pending.push_back(PendingSend {
+            dst,
+            msg: Msg {
+                src: self.rank,
+                tag,
+                payload,
+            },
+            done: Arc::clone(&done),
+        });
+        self.progress();
+        Ok(SendRequest { done })
+    }
+
+    /// Blocking send (`MPI_Send`): isend + wait.
+    ///
+    /// # Errors
+    /// [`HdmError::Mpi`] on invalid destination or a disconnected channel.
+    pub fn send(&mut self, dst: Rank, tag: Tag, payload: Bytes) -> Result<()> {
+        let mut req = self.isend(dst, tag, payload)?;
+        self.wait_send(&mut req)
+    }
+
+    /// Post a non-blocking receive (`MPI_Irecv`): a matching rule for
+    /// `src` (None = any source) and `tag` (None = any tag).
+    pub fn irecv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> RecvRequest {
+        RecvRequest {
+            src,
+            tag,
+            received: None,
+        }
+    }
+
+    /// Drive the progress engine: push parked sends whose destination
+    /// channel has room. Returns the number of messages moved.
+    pub fn progress(&mut self) -> usize {
+        let mut moved = 0;
+        // Per-destination order must be preserved: only the *first*
+        // pending message for each destination may be tried.
+        let mut blocked: Vec<bool> = vec![false; self.outgoing.len()];
+        let mut i = 0;
+        while i < self.pending.len() {
+            let dst = self.pending[i].dst;
+            if blocked[dst] {
+                i += 1;
+                continue;
+            }
+            let entry = &self.pending[i];
+            match self.outgoing[dst].try_send(entry.msg.clone()) {
+                Ok(()) => {
+                    let entry = self.pending.remove(i).expect("index in range");
+                    entry.done.store(true, Ordering::Release);
+                    moved += 1;
+                }
+                Err(_) => {
+                    blocked[dst] = true;
+                    i += 1;
+                }
+            }
+        }
+        moved
+    }
+
+    /// Test a send request (`MPI_Test`), driving progress.
+    pub fn test_send(&mut self, req: &mut SendRequest) -> bool {
+        if req.is_done() {
+            return true;
+        }
+        self.progress();
+        req.is_done()
+    }
+
+    /// Wait for one send request (`MPI_Wait`).
+    ///
+    /// # Errors
+    /// [`HdmError::Mpi`] if the destination channel disconnected.
+    pub fn wait_send(&mut self, req: &mut SendRequest) -> Result<()> {
+        while !req.is_done() {
+            if self.progress() == 0 {
+                // Channel full: drain one incoming message into the
+                // mailbox to avoid deadlock, or back off briefly.
+                if !self.poll_incoming() {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Wait for all send requests (`MPI_Waitall`).
+    ///
+    /// # Errors
+    /// [`HdmError::Mpi`] if a channel disconnected.
+    pub fn waitall(&mut self, reqs: &mut [SendRequest]) -> Result<()> {
+        for r in reqs {
+            self.wait_send(r)?;
+        }
+        Ok(())
+    }
+
+    /// Test a posted receive (`MPI_Test` on an `Irecv` request): returns
+    /// the message if one matching the rule has arrived.
+    ///
+    /// # Errors
+    /// [`HdmError::Mpi`] if the incoming channel disconnected and no
+    /// match can ever arrive.
+    pub fn test_recv(&mut self, req: &mut RecvRequest) -> Result<Option<Msg>> {
+        self.progress();
+        self.drain_incoming();
+        if let Some(pos) = self.match_mailbox(req.src, req.tag) {
+            let msg = self.mailbox.remove(pos).expect("index in range");
+            req.received = Some(msg.clone());
+            return Ok(Some(msg));
+        }
+        Ok(None)
+    }
+
+    /// Blocking receive (`MPI_Recv`) with optional source/tag matching.
+    ///
+    /// # Errors
+    /// [`HdmError::Mpi`] if all senders disconnected with no match
+    /// buffered (the message can never arrive).
+    pub fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Result<Msg> {
+        loop {
+            self.progress();
+            self.drain_incoming();
+            if let Some(pos) = self.match_mailbox(src, tag) {
+                return Ok(self.mailbox.remove(pos).expect("index in range"));
+            }
+            // Block briefly for the next arrival, keeping the progress
+            // engine alive for our own pending sends.
+            match self.incoming.recv_timeout(Duration::from_micros(200)) {
+                Ok(msg) => self.mailbox.push_back(msg),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    if self.match_mailbox(src, tag).is_none() {
+                        return Err(HdmError::Mpi(format!(
+                            "rank {}: recv would block forever (all senders gone)",
+                            self.rank
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Full-world barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    fn poll_incoming(&mut self) -> bool {
+        match self.incoming.try_recv() {
+            Ok(msg) => {
+                self.mailbox.push_back(msg);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn drain_incoming(&mut self) {
+        while let Ok(msg) = self.incoming.try_recv() {
+            self.mailbox.push_back(msg);
+        }
+    }
+
+    fn match_mailbox(&self, src: Option<Rank>, tag: Option<Tag>) -> Option<usize> {
+        self.mailbox
+            .iter()
+            .position(|m| src.map(|s| m.src == s).unwrap_or(true) && tag.map(|t| m.tag == t).unwrap_or(true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{World, WorldConfig};
+
+    #[test]
+    fn progress_preserves_per_destination_order_under_backpressure() {
+        let world = World::new(2, WorldConfig { channel_capacity: 2 });
+        let out = world.run(|mut ep| {
+            if ep.rank() == 0 {
+                let mut reqs = Vec::new();
+                for i in 0..50u8 {
+                    reqs.push(ep.isend(1, Tag(0), Bytes::from(vec![i])).unwrap());
+                }
+                ep.waitall(&mut reqs).unwrap();
+                Vec::new()
+            } else {
+                std::thread::sleep(Duration::from_millis(2));
+                (0..50)
+                    .map(|_| ep.recv(Some(0), Some(Tag(0))).unwrap().payload[0])
+                    .collect::<Vec<u8>>()
+            }
+        });
+        assert_eq!(out[1], (0..50).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn recv_any_source_matches_first_arrival() {
+        let world = World::new(3, WorldConfig::default());
+        let out = world.run(|mut ep| {
+            if ep.rank() == 0 {
+                let mut srcs = vec![
+                    ep.recv(None, Some(Tag(1))).unwrap().src,
+                    ep.recv(None, Some(Tag(1))).unwrap().src,
+                ];
+                srcs.sort_unstable();
+                srcs
+            } else {
+                ep.send(0, Tag(1), Bytes::new()).unwrap();
+                Vec::new()
+            }
+        });
+        assert_eq!(out[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn pending_counts_visible_in_debug() {
+        let world = World::new(1, WorldConfig { channel_capacity: 1 });
+        let out = world.run(|mut ep| {
+            // Two self-sends with capacity 1: the second parks.
+            let _a = ep.isend(0, Tag(0), Bytes::from_static(b"a")).unwrap();
+            let _b = ep.isend(0, Tag(0), Bytes::from_static(b"b")).unwrap();
+            let dbg = format!("{ep:?}");
+            let first = ep.recv(Some(0), Some(Tag(0))).unwrap();
+            let second = ep.recv(Some(0), Some(Tag(0))).unwrap();
+            (dbg, first.payload, second.payload)
+        });
+        let (dbg, a, b) = &out[0];
+        assert!(dbg.contains("pending: 1"), "{dbg}");
+        assert_eq!(a, &Bytes::from_static(b"a"));
+        assert_eq!(b, &Bytes::from_static(b"b"));
+    }
+}

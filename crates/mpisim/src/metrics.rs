@@ -1,0 +1,96 @@
+//! Per-link traffic counters feeding the cluster timing model.
+
+use crate::Rank;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bytes and message counts per directed (src, dst) link.
+#[derive(Debug)]
+pub struct WorldMetrics {
+    size: usize,
+    bytes: Vec<AtomicU64>,
+    messages: Vec<AtomicU64>,
+}
+
+impl WorldMetrics {
+    pub(crate) fn new(size: usize) -> WorldMetrics {
+        WorldMetrics {
+            size,
+            bytes: (0..size * size).map(|_| AtomicU64::new(0)).collect(),
+            messages: (0..size * size).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn record_send(&self, src: Rank, dst: Rank, bytes: u64) {
+        if src < self.size && dst < self.size {
+            let i = src * self.size + dst;
+            self.bytes[i].fetch_add(bytes, Ordering::Relaxed);
+            self.messages[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// World size these counters cover.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Bytes sent on the directed link `src → dst`.
+    pub fn bytes_on_link(&self, src: Rank, dst: Rank) -> u64 {
+        if src < self.size && dst < self.size {
+            self.bytes[src * self.size + dst].load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    }
+
+    /// Messages sent on the directed link `src → dst`.
+    pub fn messages_on_link(&self, src: Rank, dst: Rank) -> u64 {
+        if src < self.size && dst < self.size {
+            self.messages[src * self.size + dst].load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    }
+
+    /// Total bytes across all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total messages across all links.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The full byte matrix, row = source.
+    pub fn byte_matrix(&self) -> Vec<Vec<u64>> {
+        (0..self.size)
+            .map(|s| (0..self.size).map(|d| self.bytes_on_link(s, d)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_accumulates() {
+        let m = WorldMetrics::new(3);
+        m.record_send(0, 1, 10);
+        m.record_send(0, 1, 5);
+        m.record_send(2, 0, 7);
+        assert_eq!(m.bytes_on_link(0, 1), 15);
+        assert_eq!(m.messages_on_link(0, 1), 2);
+        assert_eq!(m.total_bytes(), 22);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.byte_matrix()[2][0], 7);
+    }
+
+    #[test]
+    fn out_of_range_is_ignored() {
+        let m = WorldMetrics::new(1);
+        m.record_send(5, 0, 10);
+        assert_eq!(m.total_bytes(), 0);
+        assert_eq!(m.bytes_on_link(5, 0), 0);
+    }
+}

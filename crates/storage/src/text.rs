@@ -1,0 +1,358 @@
+//! Delimited text format with Hadoop `TextInputFormat` split semantics.
+//!
+//! Records are `\n`-terminated lines; fields are separated by a
+//! configurable delimiter (`|` by default, matching TPC-H's dbgen output
+//! and the hive-testbench table definitions). NULL is encoded as `\N`,
+//! Hive's default null sequence.
+//!
+//! Split reading follows Hadoop exactly: a reader positioned at offset
+//! `o > 0` discards bytes up to and including the first `\n` (that
+//! partial record belongs to the previous split) and keeps reading past
+//! its end until it finishes the record that straddles the boundary. The
+//! property test below verifies that concatenating all splits of a file
+//! yields exactly the original rows, once each.
+
+use crate::format::{FileFormat, FormatKind, RowSink, RowSource};
+use crate::orc::Predicate;
+use hdm_common::error::{HdmError, Result};
+use hdm_common::row::{Row, Schema};
+use hdm_common::value::{DataType, Value};
+use hdm_dfs::{Dfs, DfsWriter, FileSplit, NodeId};
+
+/// Hive's default NULL escape in text tables.
+pub const NULL_SEQUENCE: &str = "\\N";
+
+/// The text format. `delimiter` defaults to `|`.
+#[derive(Debug, Clone, Copy)]
+pub struct TextFormat {
+    /// Field separator byte.
+    pub delimiter: u8,
+}
+
+impl Default for TextFormat {
+    fn default() -> TextFormat {
+        TextFormat { delimiter: b'|' }
+    }
+}
+
+/// Render one row as a delimited line (no trailing newline).
+pub fn format_row(row: &Row, delimiter: u8) -> String {
+    let mut out = String::new();
+    for (i, v) in row.values().iter().enumerate() {
+        if i > 0 {
+            out.push(delimiter as char);
+        }
+        match v {
+            Value::Null => out.push_str(NULL_SEQUENCE),
+            other => out.push_str(&other.to_string()),
+        }
+    }
+    out
+}
+
+/// Parse one delimited line against a schema.
+///
+/// # Errors
+/// Returns [`HdmError::Storage`] if the field count mismatches; cells that
+/// fail to parse become NULL (Hive's lenient semantics).
+pub fn parse_row(line: &str, schema: &Schema, delimiter: u8) -> Result<Row> {
+    let parts: Vec<&str> = if schema.len() <= 1 {
+        vec![line]
+    } else {
+        line.split(delimiter as char).collect()
+    };
+    if parts.len() != schema.len() {
+        return Err(HdmError::Storage(format!(
+            "field count mismatch: expected {}, got {} in {line:?}",
+            schema.len(),
+            parts.len()
+        )));
+    }
+    let mut row = Row::new();
+    for (raw, field) in parts.iter().zip(schema.fields()) {
+        if *raw == NULL_SEQUENCE {
+            row.push(Value::Null);
+            continue;
+        }
+        let v = match field.data_type {
+            DataType::Long => raw.trim().parse::<i64>().map(Value::Long).unwrap_or(Value::Null),
+            DataType::Double => raw.trim().parse::<f64>().map(Value::Double).unwrap_or(Value::Null),
+            DataType::String => Value::Str((*raw).to_string()),
+            DataType::Date => Value::parse_date(raw).unwrap_or(Value::Null),
+            DataType::Boolean => match raw.trim().to_ascii_lowercase().as_str() {
+                "true" | "1" => Value::Boolean(true),
+                "false" | "0" => Value::Boolean(false),
+                _ => Value::Null,
+            },
+        };
+        row.push(v);
+    }
+    Ok(row)
+}
+
+/// Writer for one text part file.
+#[derive(Debug)]
+pub struct TextSink {
+    writer: DfsWriter,
+    delimiter: u8,
+    columns: usize,
+}
+
+impl RowSink for TextSink {
+    fn write_row(&mut self, row: &Row) -> Result<()> {
+        if row.len() != self.columns {
+            return Err(HdmError::Storage(format!(
+                "row arity {} does not match schema arity {}",
+                row.len(),
+                self.columns
+            )));
+        }
+        let mut line = format_row(row, self.delimiter);
+        line.push('\n');
+        self.writer.write(line.as_bytes())
+    }
+
+    fn close(self: Box<Self>) -> Result<u64> {
+        let n = self.writer.bytes_written();
+        self.writer.close()?;
+        Ok(n)
+    }
+}
+
+impl FileFormat for TextFormat {
+    fn kind(&self) -> FormatKind {
+        FormatKind::Text
+    }
+
+    fn create(&self, dfs: &Dfs, path: &str, schema: &Schema, node: NodeId) -> Result<Box<dyn RowSink>> {
+        Ok(Box::new(TextSink {
+            writer: dfs.create(path, node)?,
+            delimiter: self.delimiter,
+            columns: schema.len(),
+        }))
+    }
+
+    fn read_split(
+        &self,
+        dfs: &Dfs,
+        split: &FileSplit,
+        schema: &Schema,
+        projection: Option<&[usize]>,
+        _predicates: &[Predicate],
+        reader_node: Option<NodeId>,
+    ) -> Result<RowSource> {
+        let file_len = dfs.len(&split.path)?;
+        // Hadoop's LineRecordReader trick: a split at offset > 0 starts
+        // reading one byte early, so a record beginning exactly at the
+        // split offset (previous byte is '\n') is correctly kept.
+        let base = split.offset.saturating_sub(1);
+        let limit = (split.end() - base) as usize; // records starting before this belong to us
+        let mut raw = dfs.read_range(&split.path, base, split.end() - base, reader_node)?;
+        let mut bytes_read = raw.len() as u64;
+        // Absolute file position one past the bytes currently in `raw`.
+        let mut fetched_until = split.end();
+        const LOOKAHEAD: u64 = 4096;
+        // Extend `raw` until a '\n' exists at or after relative position
+        // `from`, or EOF. Returns true if more data was fetched.
+        let extend = |raw: &mut Vec<u8>, fetched_until: &mut u64, bytes_read: &mut u64| -> Result<bool> {
+            if *fetched_until >= file_len {
+                return Ok(false);
+            }
+            let want = LOOKAHEAD.min(file_len - *fetched_until);
+            let extra = dfs.read_range(&split.path, *fetched_until, want, reader_node)?;
+            *bytes_read += extra.len() as u64;
+            *fetched_until += extra.len() as u64;
+            raw.extend_from_slice(&extra);
+            Ok(true)
+        };
+
+        // A split at offset > 0 skips the partial record at its head: those
+        // bytes belong to the previous split's crossing record.
+        let mut pos: usize = 0;
+        if split.offset > 0 {
+            loop {
+                if let Some(p) = raw[pos..].iter().position(|&b| b == b'\n') {
+                    pos += p + 1;
+                    break;
+                }
+                pos = raw.len();
+                if !extend(&mut raw, &mut fetched_until, &mut bytes_read)? {
+                    // Split is the interior of one huge record: no rows.
+                    return Ok(RowSource { rows: Vec::new(), bytes_read });
+                }
+            }
+        }
+
+        // Every record *starting* before the split end belongs to us, even
+        // if it terminates past it.
+        let mut rows = Vec::new();
+        while pos < limit {
+            let nl = loop {
+                if let Some(p) = raw[pos..].iter().position(|&b| b == b'\n') {
+                    break Some(pos + p);
+                }
+                if !extend(&mut raw, &mut fetched_until, &mut bytes_read)? {
+                    break None; // last record has no trailing newline
+                }
+            };
+            let end = nl.unwrap_or(raw.len());
+            let line = std::str::from_utf8(&raw[pos..end])
+                .map_err(|e| HdmError::Storage(format!("non-utf8 text data in {}: {e}", split.path)))?;
+            if !line.is_empty() {
+                let row = parse_row(line, schema, self.delimiter)?;
+                rows.push(match projection {
+                    Some(idx) => row.project(idx),
+                    None => row,
+                });
+            }
+            match nl {
+                Some(n) => pos = n + 1,
+                None => break,
+            }
+        }
+        Ok(RowSource { rows, bytes_read })
+    }
+
+    fn splits(&self, dfs: &Dfs, path: &str) -> Result<Vec<FileSplit>> {
+        dfs.splits(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_dfs::DfsConfig;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id", DataType::Long),
+            ("name", DataType::String),
+            ("price", DataType::Double),
+            ("day", DataType::Date),
+        ])
+    }
+
+    fn sample(i: i64) -> Row {
+        Row::from(vec![
+            Value::Long(i),
+            Value::Str(format!("name-{i}")),
+            Value::Double(i as f64 + 0.5),
+            Value::date_from_ymd(1995, 1, (1 + (i % 28)) as u32),
+        ])
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let r = sample(7);
+        let line = format_row(&r, b'|');
+        assert_eq!(parse_row(&line, &schema(), b'|').unwrap(), r);
+    }
+
+    #[test]
+    fn null_round_trip() {
+        let r = Row::from(vec![Value::Null, Value::Str("x".into()), Value::Null, Value::Null]);
+        let line = format_row(&r, b'|');
+        assert_eq!(line, "\\N|x|\\N|\\N");
+        assert_eq!(parse_row(&line, &schema(), b'|').unwrap(), r);
+    }
+
+    #[test]
+    fn unparseable_cells_become_null() {
+        let row = parse_row("abc|ok|xyz|baddate", &schema(), b'|').unwrap();
+        assert_eq!(row.get(0), &Value::Null);
+        assert_eq!(row.get(1), &Value::Str("ok".into()));
+        assert_eq!(row.get(2), &Value::Null);
+        assert_eq!(row.get(3), &Value::Null);
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        assert!(parse_row("1|2", &schema(), b'|').is_err());
+    }
+
+    #[test]
+    fn split_reading_covers_file_exactly_once() {
+        // Small blocks force records to straddle split boundaries.
+        let dfs = Dfs::new(DfsConfig {
+            block_size: 37,
+            replication: 1,
+            num_nodes: 2,
+        });
+        let fmt = TextFormat::default();
+        let mut sink = fmt.create(&dfs, "/f", &schema(), NodeId(0)).unwrap();
+        let rows: Vec<Row> = (0..40).map(sample).collect();
+        for r in &rows {
+            sink.write_row(r).unwrap();
+        }
+        Box::new(sink).close().unwrap();
+
+        let splits = fmt.splits(&dfs, "/f").unwrap();
+        assert!(splits.len() > 3, "need multiple splits for the test to bite");
+        let mut got = Vec::new();
+        for s in &splits {
+            got.extend(fmt.read_split(&dfs, s, &schema(), None, &[], None).unwrap().rows);
+        }
+        assert_eq!(got, rows);
+    }
+
+    #[test]
+    fn projection_applies() {
+        let dfs = Dfs::new(DfsConfig {
+            block_size: 1024,
+            replication: 1,
+            num_nodes: 1,
+        });
+        let fmt = TextFormat::default();
+        let mut sink = fmt.create(&dfs, "/p", &schema(), NodeId(0)).unwrap();
+        sink.write_row(&sample(1)).unwrap();
+        Box::new(sink).close().unwrap();
+        let s = &fmt.splits(&dfs, "/p").unwrap()[0];
+        let src = fmt.read_split(&dfs, s, &schema(), Some(&[1]), &[], None).unwrap();
+        assert_eq!(src.rows[0].values(), &[Value::Str("name-1".into())]);
+    }
+
+    #[test]
+    fn single_column_schema_keeps_delimiters_in_value() {
+        let s = Schema::new(vec![("line", DataType::String)]);
+        let row = parse_row("a|b|c", &s, b'|').unwrap();
+        assert_eq!(row.get(0), &Value::Str("a|b|c".into()));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use hdm_dfs::DfsConfig;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn all_splits_union_to_original(
+            n_rows in 1usize..80,
+            block_size in 16usize..120,
+            seed in any::<u64>(),
+        ) {
+            let schema = Schema::new(vec![("k", DataType::Long), ("v", DataType::String)]);
+            let dfs = Dfs::new(DfsConfig { block_size, replication: 1, num_nodes: 2 });
+            let fmt = TextFormat::default();
+            let mut sink = fmt.create(&dfs, "/x", &schema, NodeId(0)).unwrap();
+            let mut rows = Vec::new();
+            let mut state = seed | 1;
+            for i in 0..n_rows {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let len = (state % 17) as usize;
+                let s: String = "abcdefghijklmnopq"[..len].to_string();
+                let r = Row::from(vec![Value::Long(i as i64), Value::Str(s)]);
+                sink.write_row(&r).unwrap();
+                rows.push(r);
+            }
+            Box::new(sink).close().unwrap();
+            let mut got = Vec::new();
+            for s in fmt.splits(&dfs, "/x").unwrap() {
+                got.extend(fmt.read_split(&dfs, &s, &schema, None, &[], None).unwrap().rows);
+            }
+            prop_assert_eq!(got, rows);
+        }
+    }
+}

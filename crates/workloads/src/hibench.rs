@@ -1,0 +1,209 @@
+//! Intel HiBench Hive workloads: generators and queries.
+//!
+//! HiBench's Hive suite uses two web-log tables — `rankings(pageURL,
+//! pageRank, avgDuration)` and `uservisits(sourceIP, destURL, visitDate,
+//! adRevenue, …)` — whose reference skew is Zipfian (the paper:
+//! "The data set of HiBench conforms to the Zipfian distribution").
+//! The two micro-queries are AGGREGATE (group `uservisits` by source IP)
+//! and JOIN (a three-job join + aggregation + global order).
+//!
+//! A TeraGen record generator is included as the *uniform* baseline the
+//! paper contrasts against in Figure 2(a)/(b).
+
+use crate::zipf::Zipf;
+use hdm_common::error::Result;
+use hdm_common::row::Row;
+use hdm_common::value::Value;
+use hdm_core::Driver;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sizing for the HiBench generator.
+#[derive(Debug, Clone, Copy)]
+pub struct HiBenchConfig {
+    /// Rows in `rankings`.
+    pub rankings: usize,
+    /// Rows in `uservisits`.
+    pub uservisits: usize,
+    /// Distinct source IPs (`uservisits` groups).
+    pub ips: usize,
+    /// Zipf exponent for IP / URL popularity.
+    pub theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HiBenchConfig {
+    fn default() -> HiBenchConfig {
+        HiBenchConfig {
+            rankings: 2_000,
+            uservisits: 30_000,
+            // HiBench draws source IPs from a large pool: most groups
+            // are small, so map-side aggregation cannot collapse the
+            // shuffle (that is what makes AGGREGATE communication-heavy).
+            ips: 8_000,
+            theta: 1.0,
+            seed: 20150701,
+        }
+    }
+}
+
+/// Generate the `rankings` rows.
+pub fn generate_rankings(cfg: &HiBenchConfig) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.rankings)
+        .map(|i| {
+            Row::from(vec![
+                Value::Str(format!("url{i:07}")),
+                Value::Long(rng.random_range(1..10_000)),
+                Value::Long(rng.random_range(1..10)),
+            ])
+        })
+        .collect()
+}
+
+/// Generate the `uservisits` rows (Zipf-skewed source IPs and URL
+/// references into `rankings`).
+pub fn generate_uservisits(cfg: &HiBenchConfig) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
+    let ip_dist = Zipf::new(cfg.ips.max(1), cfg.theta);
+    let url_dist = Zipf::new(cfg.rankings.max(1), cfg.theta);
+    let start = match Value::date_from_ymd(1999, 1, 1) {
+        Value::Date(d) => d,
+        _ => unreachable!(),
+    };
+    (0..cfg.uservisits)
+        .map(|_| {
+            let ip = ip_dist.sample(&mut rng);
+            let url = url_dist.sample(&mut rng) - 1;
+            Row::from(vec![
+                Value::Str(format!("{}.{}.{}.{}", ip % 223 + 1, (ip / 7) % 256, (ip / 3) % 256, ip % 256)),
+                Value::Str(format!("url{url:07}")),
+                Value::Date(start + rng.random_range(0..730)),
+                Value::Double((rng.random_range(1.0f64..1000.0) * 100.0).round() / 100.0),
+                // User-agent strings vary wildly in length, which is what
+                // makes fixed-size splits carry varying record counts —
+                // the irregular per-task work behind the paper's Fig 2(a).
+                Value::Str(format!(
+                    "Mozilla/5.0 ({})",
+                    "x".repeat(rng.random_range(5..140))
+                )),
+                Value::Str(format!("C{:03}", ip % 200)),
+                Value::Str("en".to_string()),
+                Value::Str(format!("word{}", rng.random_range(0..100))),
+                Value::Long(rng.random_range(1..10)),
+            ])
+        })
+        .collect()
+}
+
+/// Create and load both HiBench tables. Returns total bytes stored.
+///
+/// # Errors
+/// Propagates DDL/load failures.
+pub fn load(driver: &mut Driver, cfg: &HiBenchConfig) -> Result<u64> {
+    driver.execute(
+        "CREATE TABLE rankings (pageurl STRING, pagerank BIGINT, avgduration BIGINT)",
+    )?;
+    driver.execute(
+        "CREATE TABLE uservisits (sourceip STRING, desturl STRING, visitdate DATE, \
+         adrevenue DOUBLE, useragent STRING, countrycode STRING, languagecode STRING, \
+         searchword STRING, duration BIGINT)",
+    )?;
+    let mut total = driver.load_rows("rankings", &generate_rankings(cfg))?;
+    total += driver.load_rows("uservisits", &generate_uservisits(cfg))?;
+    Ok(total)
+}
+
+/// The HiBench AGGREGATE query (one MapReduce job).
+pub fn aggregate_query() -> &'static str {
+    "SELECT sourceip, SUM(adrevenue) AS sumadrevenue FROM uservisits GROUP BY sourceip"
+}
+
+/// The HiBench JOIN query (three jobs: join, aggregate, order).
+pub fn join_query() -> &'static str {
+    "SELECT sourceip, SUM(adrevenue) AS totalrevenue, AVG(pagerank) AS avgpagerank \
+     FROM rankings r \
+     JOIN uservisits uv ON r.pageurl = uv.desturl \
+     WHERE uv.visitdate BETWEEN DATE '1999-01-01' AND DATE '2000-01-01' \
+     GROUP BY sourceip \
+     ORDER BY totalrevenue DESC LIMIT 1"
+}
+
+/// One TeraGen record: 10-byte key, 90-byte payload (printable).
+pub fn generate_teragen(records: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..records)
+        .map(|i| {
+            let key: String = (0..10)
+                .map(|_| (b'A' + rng.random_range(0..26u8)) as char)
+                .collect();
+            Row::from(vec![
+                Value::Str(key),
+                Value::Str(format!("{i:010}{}", "X".repeat(78))),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn cfg() -> HiBenchConfig {
+        HiBenchConfig {
+            rankings: 100,
+            uservisits: 2000,
+            ips: 50,
+            theta: 1.0,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(generate_rankings(&cfg()), generate_rankings(&cfg()));
+        assert_eq!(generate_uservisits(&cfg()), generate_uservisits(&cfg()));
+        assert_eq!(generate_teragen(10, 1), generate_teragen(10, 1));
+    }
+
+    #[test]
+    fn uservisits_ips_are_zipf_skewed() {
+        let rows = generate_uservisits(&cfg());
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for r in &rows {
+            *counts.entry(r.get(0).to_string()).or_default() += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let mean = rows.len() / counts.len();
+        assert!(max > mean * 4, "expected heavy head: max={max}, mean={mean}");
+    }
+
+    #[test]
+    fn desturls_reference_rankings() {
+        let rankings = generate_rankings(&cfg());
+        let urls: std::collections::HashSet<String> =
+            rankings.iter().map(|r| r.get(0).to_string()).collect();
+        for uv in generate_uservisits(&cfg()) {
+            assert!(urls.contains(&uv.get(1).to_string()));
+        }
+    }
+
+    #[test]
+    fn queries_parse_and_load_works() {
+        let mut d = Driver::in_memory();
+        let bytes = load(&mut d, &cfg()).unwrap();
+        assert!(bytes > 0);
+        assert!(hdm_core::parser::parse_script(aggregate_query()).is_ok());
+        assert!(hdm_core::parser::parse_script(join_query()).is_ok());
+    }
+
+    #[test]
+    fn teragen_records_are_100ish_bytes() {
+        for r in generate_teragen(5, 9) {
+            assert_eq!(r.get(0).to_string().len(), 10);
+            assert_eq!(r.get(1).to_string().len(), 88);
+        }
+    }
+}

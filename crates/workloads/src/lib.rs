@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # hdm-workloads
+//!
+//! The paper's workloads, regenerated:
+//!
+//! * [`tpch`] — a deterministic TPC-H `dbgen` port (all 8 tables with
+//!   the spec's distributions: key structures, date ranges, text pools,
+//!   comment grammar with the probe phrases Q9/Q13/Q14/Q16/Q20 filter
+//!   on) plus the **22 queries** rewritten for this HiveQL dialect the
+//!   same way the paper rewrote them for Hive ("the queries are modified
+//!   to adapt for the HiveQL"): correlated subqueries become temp-table
+//!   scripts, `EXISTS`/`NOT EXISTS` become semi/anti joins.
+//! * [`hibench`] — the Intel HiBench Hive workloads: `rankings` and
+//!   `uservisits` generators with the benchmark's Zipfian source-IP
+//!   skew, the AGGREGATE and JOIN queries, and a TeraGen record
+//!   generator (the uniform baseline of the paper's Figure 2).
+//! * [`zipf`] — the Zipf sampler behind HiBench's skew.
+//!
+//! Everything is seeded and deterministic: the same `(scale, seed)`
+//! always produces byte-identical tables, which the engine-equivalence
+//! and reproduction tests rely on.
+
+pub mod hibench;
+pub mod tpch;
+pub mod zipf;
+
+/// Nominal dataset sizes used across the paper's figures, in gigabytes.
+pub const PAPER_SIZES_GB: [u64; 4] = [5, 10, 20, 40];
+
+/// Convert a nominal "paper gigabytes" size into the scale multiplier
+/// applied to volumes measured at a local run of `local_bytes` input.
+pub fn scale_to_nominal(local_bytes: u64, nominal_gb: u64) -> f64 {
+    if local_bytes == 0 {
+        1.0
+    } else {
+        (nominal_gb as f64 * 1e9) / local_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_math() {
+        assert_eq!(scale_to_nominal(0, 20), 1.0);
+        let s = scale_to_nominal(1_000_000, 20);
+        assert!((s - 20_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,437 @@
+//! A deterministic `dbgen` port.
+//!
+//! Faithful to the distributions the 22 queries are sensitive to: key
+//! structures and referential integrity, the order/ship/commit/receipt
+//! date relationships, return-flag and line-status rules, the brand /
+//! type / container / segment / priority / ship-mode text pools, the
+//! four-suppliers-per-part `partsupp` layout, phone numbers whose
+//! country code is `nationkey + 10` (Q22), and comments that embed the
+//! probe phrases Q13/Q16 filter on at roughly the spec's rates. Scale
+//! factor 1.0 corresponds to TPC-H SF 1 row counts.
+
+use hdm_common::row::Row;
+use hdm_common::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const INSTRUCTIONS: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const TYPE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINER_1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const COLORS: [&str; 24] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "chartreuse", "chocolate", "coral", "cornflower", "cream",
+    "cyan", "forest", "frosted", "green", "honeydew", "hot", "indian",
+];
+const WORDS: [&str; 20] = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "requests", "accounts",
+    "packages", "instructions", "theodolites", "pinto", "beans", "foxes", "ideas", "dependencies",
+    "platelets", "realms", "courts", "asymptotes",
+];
+/// `(name, region)` for the 25 nations (TPC-H Appendix A).
+const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Earliest order date (1992-01-01) as days since epoch.
+fn startdate() -> i32 {
+    match Value::date_from_ymd(1992, 1, 1) {
+        Value::Date(d) => d,
+        _ => unreachable!(),
+    }
+}
+/// Order dates span `[startdate, 1998-08-02]`.
+const ORDER_SPAN_DAYS: i32 = 2406;
+
+fn comment(rng: &mut StdRng, probe: Option<&str>) -> String {
+    let n = rng.random_range(3..8);
+    let mut words: Vec<&str> = (0..n).map(|_| WORDS[rng.random_range(0..WORDS.len())]).collect();
+    if let Some(p) = probe {
+        let at = rng.random_range(0..=words.len());
+        words.insert(at, p);
+    }
+    words.join(" ")
+}
+
+fn money(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    (rng.random_range(lo..hi) * 100.0).round() / 100.0
+}
+
+/// Generate all eight tables at `scale` (1.0 = SF 1) from `seed`.
+pub fn generate(scale: f64, seed: u64) -> HashMap<&'static str, Vec<Row>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let count = |base: u64| -> i64 { ((base as f64 * scale).round() as i64).max(1) };
+    let n_supplier = count(10_000);
+    let n_part = count(200_000);
+    let n_customer = count(150_000);
+    let n_orders = count(1_500_000);
+
+    let mut out: HashMap<&'static str, Vec<Row>> = HashMap::new();
+
+    // ---- region / nation ---------------------------------------------------
+    out.insert(
+        "region",
+        REGIONS
+            .iter()
+            .enumerate()
+            .map(|(k, name)| {
+                Row::from(vec![
+                    Value::Long(k as i64),
+                    Value::Str(name.to_string()),
+                    Value::Str(comment(&mut rng, None)),
+                ])
+            })
+            .collect(),
+    );
+    out.insert(
+        "nation",
+        NATIONS
+            .iter()
+            .enumerate()
+            .map(|(k, (name, region))| {
+                Row::from(vec![
+                    Value::Long(k as i64),
+                    Value::Str(name.to_string()),
+                    Value::Long(*region),
+                    Value::Str(comment(&mut rng, None)),
+                ])
+            })
+            .collect(),
+    );
+
+    // ---- supplier -----------------------------------------------------------
+    let mut supplier = Vec::with_capacity(n_supplier as usize);
+    for k in 1..=n_supplier {
+        let nation = rng.random_range(0..25i64);
+        // ~0.05% of suppliers carry the Q16 complaint phrase.
+        let probe = if rng.random_range(0..2000) == 0 {
+            Some("Customer Complaints")
+        } else {
+            None
+        };
+        supplier.push(Row::from(vec![
+            Value::Long(k),
+            Value::Str(format!("Supplier#{k:09}")),
+            Value::Str(format!("addr-{}", rng.random_range(0..100_000))),
+            Value::Long(nation),
+            Value::Str(format!(
+                "{}-{}-{}-{}",
+                nation + 10,
+                rng.random_range(100..1000),
+                rng.random_range(100..1000),
+                rng.random_range(1000..10_000)
+            )),
+            Value::Double(money(&mut rng, -999.99, 9999.99)),
+            Value::Str(comment(&mut rng, probe)),
+        ]));
+    }
+    out.insert("supplier", supplier);
+
+    // ---- customer -----------------------------------------------------------
+    let mut customer = Vec::with_capacity(n_customer as usize);
+    for k in 1..=n_customer {
+        let nation = rng.random_range(0..25i64);
+        customer.push(Row::from(vec![
+            Value::Long(k),
+            Value::Str(format!("Customer#{k:09}")),
+            Value::Str(format!("addr-{}", rng.random_range(0..100_000))),
+            Value::Long(nation),
+            Value::Str(format!(
+                "{}-{}-{}-{}",
+                nation + 10,
+                rng.random_range(100..1000),
+                rng.random_range(100..1000),
+                rng.random_range(1000..10_000)
+            )),
+            Value::Double(money(&mut rng, -999.99, 9999.99)),
+            Value::Str(SEGMENTS[rng.random_range(0..SEGMENTS.len())].to_string()),
+            Value::Str(comment(&mut rng, None)),
+        ]));
+    }
+    out.insert("customer", customer);
+
+    // ---- part ------------------------------------------------------------------
+    let mut part = Vec::with_capacity(n_part as usize);
+    for k in 1..=n_part {
+        let m = rng.random_range(1..=5);
+        let brand = format!("Brand#{m}{}", rng.random_range(1..=5));
+        let ty = format!(
+            "{} {} {}",
+            TYPE_1[rng.random_range(0..TYPE_1.len())],
+            TYPE_2[rng.random_range(0..TYPE_2.len())],
+            TYPE_3[rng.random_range(0..TYPE_3.len())]
+        );
+        let container = format!(
+            "{} {}",
+            CONTAINER_1[rng.random_range(0..CONTAINER_1.len())],
+            CONTAINER_2[rng.random_range(0..CONTAINER_2.len())]
+        );
+        // p_name: five distinct-ish colors (Q9 '%green%', Q20 'forest%').
+        let name: Vec<&str> = (0..5).map(|_| COLORS[rng.random_range(0..COLORS.len())]).collect();
+        part.push(Row::from(vec![
+            Value::Long(k),
+            Value::Str(name.join(" ")),
+            Value::Str(format!("Manufacturer#{m}")),
+            Value::Str(brand),
+            Value::Str(ty),
+            Value::Long(rng.random_range(1..=50)),
+            Value::Str(container),
+            Value::Double((90_000.0 + (k % 200_001) as f64 / 10.0 + 100.0 * (k % 1000) as f64) / 100.0),
+            Value::Str(comment(&mut rng, None)),
+        ]));
+    }
+    out.insert("part", part);
+
+    // ---- partsupp: four suppliers per part (spec layout) ------------------------
+    let mut partsupp = Vec::with_capacity(4 * n_part as usize);
+    for p in 1..=n_part {
+        for i in 0..4i64 {
+            let s = (p + i * (n_supplier / 4 + 1)) % n_supplier + 1;
+            partsupp.push(Row::from(vec![
+                Value::Long(p),
+                Value::Long(s),
+                Value::Long(rng.random_range(1..10_000)),
+                Value::Double(money(&mut rng, 1.0, 1000.0)),
+                Value::Str(comment(&mut rng, None)),
+            ]));
+        }
+    }
+    out.insert("partsupp", partsupp);
+
+    // ---- orders + lineitem -------------------------------------------------------
+    let cutoff = match Value::date_from_ymd(1995, 6, 17) {
+        Value::Date(d) => d,
+        _ => unreachable!(),
+    };
+    let mut orders = Vec::with_capacity(n_orders as usize);
+    let mut lineitem = Vec::new();
+    for ok in 1..=n_orders {
+        // Spec-style sparse order keys (bits spread); plain keys keep
+        // join behaviour identical and tests simpler.
+        let custkey = rng.random_range(1..=n_customer);
+        let orderdate = startdate() + rng.random_range(0..ORDER_SPAN_DAYS);
+        let lines = rng.random_range(1..=7);
+        let mut total = 0.0;
+        let mut any_open = false;
+        for ln in 1..=lines {
+            let partkey = rng.random_range(1..=n_part);
+            let i = rng.random_range(0..4i64);
+            let suppkey = (partkey + i * (n_supplier / 4 + 1)) % n_supplier + 1;
+            let quantity = rng.random_range(1..=50) as f64;
+            let extended = quantity * money(&mut rng, 900.0, 2100.0);
+            let discount = rng.random_range(0..=10) as f64 / 100.0;
+            let tax = rng.random_range(0..=8) as f64 / 100.0;
+            let shipdate = orderdate + rng.random_range(1..=121);
+            let commitdate = orderdate + rng.random_range(30..=90);
+            let receiptdate = shipdate + rng.random_range(1..=30);
+            let returnflag = if receiptdate <= cutoff {
+                if rng.random_bool(0.5) {
+                    "R"
+                } else {
+                    "A"
+                }
+            } else {
+                "N"
+            };
+            let linestatus = if shipdate > cutoff { "O" } else { "F" };
+            any_open |= linestatus == "O";
+            total += extended * (1.0 + tax) * (1.0 - discount);
+            lineitem.push(Row::from(vec![
+                Value::Long(ok),
+                Value::Long(partkey),
+                Value::Long(suppkey),
+                Value::Long(ln),
+                Value::Double(quantity),
+                Value::Double(extended),
+                Value::Double(discount),
+                Value::Double(tax),
+                Value::Str(returnflag.to_string()),
+                Value::Str(linestatus.to_string()),
+                Value::Date(shipdate),
+                Value::Date(commitdate),
+                Value::Date(receiptdate),
+                Value::Str(INSTRUCTIONS[rng.random_range(0..INSTRUCTIONS.len())].to_string()),
+                Value::Str(SHIP_MODES[rng.random_range(0..SHIP_MODES.len())].to_string()),
+                Value::Str(comment(&mut rng, None)),
+            ]));
+        }
+        let status = if !any_open {
+            "F"
+        } else if lines > 1 && rng.random_bool(0.3) {
+            "P"
+        } else {
+            "O"
+        };
+        // ~1% of orders carry the Q13 probe phrase.
+        let probe = if rng.random_range(0..100) == 0 {
+            Some("special requests")
+        } else {
+            None
+        };
+        orders.push(Row::from(vec![
+            Value::Long(ok),
+            Value::Long(custkey),
+            Value::Str(status.to_string()),
+            Value::Double((total * 100.0).round() / 100.0),
+            Value::Date(orderdate),
+            Value::Str(PRIORITIES[rng.random_range(0..PRIORITIES.len())].to_string()),
+            Value::Str(format!("Clerk#{:09}", rng.random_range(1..1000))),
+            Value::Long(0),
+            Value::Str(comment(&mut rng, probe)),
+        ]));
+    }
+    out.insert("orders", orders);
+    out.insert("lineitem", lineitem);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small() -> HashMap<&'static str, Vec<Row>> {
+        generate(0.001, 42)
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(0.001, 9);
+        let b = generate(0.001, 9);
+        for t in crate::tpch::TABLES {
+            assert_eq!(a[t], b[t], "table {t} differs across runs");
+        }
+        let c = generate(0.001, 10);
+        assert_ne!(a["lineitem"], c["lineitem"], "seed must matter");
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let d = small();
+        assert_eq!(d["region"].len(), 5);
+        assert_eq!(d["nation"].len(), 25);
+        assert_eq!(d["supplier"].len(), 10);
+        assert_eq!(d["customer"].len(), 150);
+        assert_eq!(d["part"].len(), 200);
+        assert_eq!(d["partsupp"].len(), 800);
+        assert_eq!(d["orders"].len(), 1500);
+        // 1..7 lines per order.
+        let l = d["lineitem"].len();
+        assert!((1500..=10_500).contains(&l), "lineitem = {l}");
+    }
+
+    #[test]
+    fn referential_integrity() {
+        let d = small();
+        let custs: HashSet<i64> = d["customer"].iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        for o in &d["orders"] {
+            assert!(custs.contains(&o.get(1).as_i64().unwrap()));
+        }
+        let orders: HashSet<i64> = d["orders"].iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        let parts: HashSet<i64> = d["part"].iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        let supps: HashSet<i64> = d["supplier"].iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        let ps: HashSet<(i64, i64)> = d["partsupp"]
+            .iter()
+            .map(|r| (r.get(0).as_i64().unwrap(), r.get(1).as_i64().unwrap()))
+            .collect();
+        for l in &d["lineitem"] {
+            assert!(orders.contains(&l.get(0).as_i64().unwrap()));
+            let (p, s) = (l.get(1).as_i64().unwrap(), l.get(2).as_i64().unwrap());
+            assert!(parts.contains(&p));
+            assert!(supps.contains(&s));
+            // Every lineitem (part, supplier) pair exists in partsupp —
+            // Q9 depends on this.
+            assert!(ps.contains(&(p, s)), "({p},{s}) missing from partsupp");
+        }
+    }
+
+    #[test]
+    fn date_relationships_hold() {
+        let d = small();
+        let odates: HashMap<i64, i64> = d["orders"]
+            .iter()
+            .map(|r| (r.get(0).as_i64().unwrap(), r.get(4).as_i64().unwrap()))
+            .collect();
+        for l in &d["lineitem"] {
+            let ok = l.get(0).as_i64().unwrap();
+            let ship = l.get(10).as_i64().unwrap();
+            let receipt = l.get(12).as_i64().unwrap();
+            assert!(ship > odates[&ok], "shipdate after orderdate");
+            assert!(receipt > ship, "receipt after ship");
+        }
+    }
+
+    #[test]
+    fn flags_follow_spec_rules() {
+        let d = small();
+        let cutoff = match Value::date_from_ymd(1995, 6, 17) {
+            Value::Date(x) => x as i64,
+            _ => unreachable!(),
+        };
+        for l in &d["lineitem"] {
+            let receipt = l.get(12).as_i64().unwrap();
+            let ship = l.get(10).as_i64().unwrap();
+            let rf = l.get(8).as_str().unwrap();
+            let ls = l.get(9).as_str().unwrap();
+            if receipt <= cutoff {
+                assert!(rf == "R" || rf == "A");
+            } else {
+                assert_eq!(rf, "N");
+            }
+            assert_eq!(ls, if ship > cutoff { "O" } else { "F" });
+        }
+    }
+
+    #[test]
+    fn probe_phrases_present() {
+        let d = generate(0.01, 5);
+        let has = |rows: &[Row], col: usize, probe: &str| {
+            rows.iter().any(|r| r.get(col).as_str().unwrap_or("").contains(probe))
+        };
+        assert!(has(&d["orders"], 8, "special requests"), "Q13 probe missing");
+        // Colors show up in part names for Q9/Q20.
+        assert!(has(&d["part"], 1, "green"));
+        assert!(has(&d["part"], 1, "forest"));
+    }
+
+    #[test]
+    fn phone_country_code_matches_nation() {
+        let d = small();
+        for c in &d["customer"] {
+            let nation = c.get(3).as_i64().unwrap();
+            let phone = c.get(4).as_str().unwrap();
+            assert!(phone.starts_with(&format!("{}-", nation + 10)), "{phone} vs {nation}");
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! The 22 TPC-H queries, rewritten for this HiveQL dialect exactly as
+//! the paper rewrote them for Hive 0.13 ("the queries are modified to
+//! adapt for the HiveQL", citing the hive-testbench rewrites):
+//!
+//! * correlated / scalar subqueries become temp-table scripts
+//!   (`CREATE TABLE qN_x STORED AS ORC AS SELECT …`),
+//! * `EXISTS` becomes `LEFT SEMI JOIN`, `NOT EXISTS` / `NOT IN` becomes
+//!   `LEFT ANTI JOIN`,
+//! * scalar comparisons against a single aggregated value join through a
+//!   constant key column (`1 AS jk`),
+//! * standard validation parameter values are substituted, with date
+//!   arithmetic precomputed (`DATE '1998-09-02'` = Q1's `- 90 days`).
+//!
+//! Each script is re-runnable: it drops its temp tables first.
+
+/// The query script for `n` in `1..=22`.
+///
+/// # Panics
+/// Panics if `n` is out of range.
+pub fn query(n: usize) -> &'static str {
+    match n {
+        1 => Q1,
+        2 => Q2,
+        3 => Q3,
+        4 => Q4,
+        5 => Q5,
+        6 => Q6,
+        7 => Q7,
+        8 => Q8,
+        9 => Q9,
+        10 => Q10,
+        11 => Q11,
+        12 => Q12,
+        13 => Q13,
+        14 => Q14,
+        15 => Q15,
+        16 => Q16,
+        17 => Q17,
+        18 => Q18,
+        19 => Q19,
+        20 => Q20,
+        21 => Q21,
+        22 => Q22,
+        other => panic!("TPC-H has queries 1..=22, not {other}"),
+    }
+}
+
+/// All 22 query numbers.
+pub fn all() -> impl Iterator<Item = usize> {
+    1..=22
+}
+
+const Q1: &str = "\
+SELECT l_returnflag, l_linestatus, \
+  SUM(l_quantity) AS sum_qty, \
+  SUM(l_extendedprice) AS sum_base_price, \
+  SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+  SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, \
+  AVG(l_quantity) AS avg_qty, \
+  AVG(l_extendedprice) AS avg_price, \
+  AVG(l_discount) AS avg_disc, \
+  COUNT(*) AS count_order \
+FROM lineitem \
+WHERE l_shipdate <= DATE '1998-09-02' \
+GROUP BY l_returnflag, l_linestatus \
+ORDER BY l_returnflag, l_linestatus;";
+
+const Q2: &str = "\
+DROP TABLE IF EXISTS q2_min_cost; \
+CREATE TABLE q2_min_cost STORED AS ORC AS \
+SELECT ps_partkey AS mc_partkey, MIN(ps_supplycost) AS mc_min \
+FROM partsupp ps \
+JOIN supplier s ON ps.ps_suppkey = s.s_suppkey \
+JOIN nation n ON s.s_nationkey = n.n_nationkey \
+JOIN region r ON n.n_regionkey = r.r_regionkey \
+WHERE r_name = 'EUROPE' \
+GROUP BY ps_partkey; \
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment \
+FROM part p \
+JOIN partsupp ps ON p.p_partkey = ps.ps_partkey \
+JOIN supplier s ON s.s_suppkey = ps.ps_suppkey \
+JOIN nation n ON s.s_nationkey = n.n_nationkey \
+JOIN region r ON n.n_regionkey = r.r_regionkey \
+JOIN q2_min_cost m ON p.p_partkey = m.mc_partkey AND ps.ps_supplycost = m.mc_min \
+WHERE r_name = 'EUROPE' AND p_size = 15 AND p_type LIKE '%BRASS' \
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey LIMIT 100;";
+
+const Q3: &str = "\
+SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue, o_orderdate, o_shippriority \
+FROM customer c \
+JOIN orders o ON c.c_custkey = o.o_custkey \
+JOIN lineitem l ON l.l_orderkey = o.o_orderkey \
+WHERE c_mktsegment = 'BUILDING' AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15' \
+GROUP BY l_orderkey, o_orderdate, o_shippriority \
+ORDER BY revenue DESC, o_orderdate LIMIT 10;";
+
+const Q4: &str = "\
+SELECT o_orderpriority, COUNT(*) AS order_count \
+FROM orders o \
+LEFT SEMI JOIN lineitem l ON o.o_orderkey = l.l_orderkey AND l.l_commitdate < l.l_receiptdate \
+WHERE o_orderdate >= DATE '1993-07-01' AND o_orderdate < DATE '1993-10-01' \
+GROUP BY o_orderpriority \
+ORDER BY o_orderpriority;";
+
+const Q5: &str = "\
+SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+FROM customer c \
+JOIN orders o ON c.c_custkey = o.o_custkey \
+JOIN lineitem l ON l.l_orderkey = o.o_orderkey \
+JOIN supplier s ON l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey \
+JOIN nation n ON s.s_nationkey = n.n_nationkey \
+JOIN region r ON n.n_regionkey = r.r_regionkey \
+WHERE r_name = 'ASIA' AND o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1995-01-01' \
+GROUP BY n_name \
+ORDER BY revenue DESC;";
+
+const Q6: &str = "\
+SELECT SUM(l_extendedprice * l_discount) AS revenue \
+FROM lineitem \
+WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+  AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24;";
+
+const Q7: &str = "\
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, year(l_shipdate) AS l_year, \
+  SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+FROM supplier s \
+JOIN lineitem l ON s.s_suppkey = l.l_suppkey \
+JOIN orders o ON o.o_orderkey = l.l_orderkey \
+JOIN customer c ON c.c_custkey = o.o_custkey \
+JOIN nation n1 ON s.s_nationkey = n1.n_nationkey \
+JOIN nation n2 ON c.c_nationkey = n2.n_nationkey \
+WHERE ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY') \
+    OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')) \
+  AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' \
+GROUP BY n1.n_name, n2.n_name, year(l_shipdate) \
+ORDER BY supp_nation, cust_nation, l_year;";
+
+const Q8: &str = "\
+DROP TABLE IF EXISTS q8_all_nations; \
+CREATE TABLE q8_all_nations STORED AS ORC AS \
+SELECT year(o_orderdate) AS o_year, l_extendedprice * (1 - l_discount) AS volume, n2.n_name AS nation \
+FROM part p \
+JOIN lineitem l ON p.p_partkey = l.l_partkey \
+JOIN supplier s ON s.s_suppkey = l.l_suppkey \
+JOIN orders o ON o.o_orderkey = l.l_orderkey \
+JOIN customer c ON c.c_custkey = o.o_custkey \
+JOIN nation n1 ON c.c_nationkey = n1.n_nationkey \
+JOIN region r ON n1.n_regionkey = r.r_regionkey \
+JOIN nation n2 ON s.s_nationkey = n2.n_nationkey \
+WHERE r_name = 'AMERICA' AND p_type = 'ECONOMY ANODIZED STEEL' \
+  AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'; \
+SELECT o_year, \
+  SUM(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0.0 END) / SUM(volume) AS mkt_share \
+FROM q8_all_nations \
+GROUP BY o_year \
+ORDER BY o_year;";
+
+const Q9: &str = "\
+SELECT n_name AS nation, year(o_orderdate) AS o_year, \
+  SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS sum_profit \
+FROM part p \
+JOIN lineitem l ON p.p_partkey = l.l_partkey \
+JOIN supplier s ON s.s_suppkey = l.l_suppkey \
+JOIN partsupp ps ON ps.ps_suppkey = l.l_suppkey AND ps.ps_partkey = l.l_partkey \
+JOIN orders o ON o.o_orderkey = l.l_orderkey \
+JOIN nation n ON s.s_nationkey = n.n_nationkey \
+WHERE p_name LIKE '%green%' \
+GROUP BY n_name, year(o_orderdate) \
+ORDER BY nation, o_year DESC;";
+
+const Q10: &str = "\
+SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue, \
+  c_acctbal, n_name, c_address, c_phone, c_comment \
+FROM customer c \
+JOIN orders o ON c.c_custkey = o.o_custkey \
+JOIN lineitem l ON l.l_orderkey = o.o_orderkey \
+JOIN nation n ON c.c_nationkey = n.n_nationkey \
+WHERE o_orderdate >= DATE '1993-10-01' AND o_orderdate < DATE '1994-01-01' AND l_returnflag = 'R' \
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment \
+ORDER BY revenue DESC LIMIT 20;";
+
+const Q11: &str = "\
+DROP TABLE IF EXISTS q11_part_value; \
+DROP TABLE IF EXISTS q11_threshold; \
+CREATE TABLE q11_part_value STORED AS ORC AS \
+SELECT 1 AS jk, ps_partkey AS pv_partkey, SUM(ps_supplycost * ps_availqty) AS part_value \
+FROM partsupp ps \
+JOIN supplier s ON ps.ps_suppkey = s.s_suppkey \
+JOIN nation n ON s.s_nationkey = n.n_nationkey \
+WHERE n_name = 'GERMANY' \
+GROUP BY ps_partkey; \
+CREATE TABLE q11_threshold STORED AS ORC AS \
+SELECT 1 AS jk, SUM(part_value) * 0.0001 AS threshold FROM q11_part_value; \
+SELECT pv_partkey, part_value \
+FROM q11_part_value p \
+JOIN q11_threshold t ON p.jk = t.jk \
+WHERE part_value > threshold \
+ORDER BY part_value DESC;";
+
+const Q12: &str = "\
+SELECT l_shipmode, \
+  SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count, \
+  SUM(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count \
+FROM orders o \
+JOIN lineitem l ON o.o_orderkey = l.l_orderkey \
+WHERE l_shipmode IN ('MAIL', 'SHIP') AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate \
+  AND l_receiptdate >= DATE '1994-01-01' AND l_receiptdate < DATE '1995-01-01' \
+GROUP BY l_shipmode \
+ORDER BY l_shipmode;";
+
+const Q13: &str = "\
+DROP TABLE IF EXISTS q13_c_orders; \
+CREATE TABLE q13_c_orders STORED AS ORC AS \
+SELECT c_custkey AS cc_custkey, COUNT(o_orderkey) AS c_count \
+FROM customer c \
+LEFT OUTER JOIN orders o ON c.c_custkey = o.o_custkey AND o.o_comment NOT LIKE '%special%requests%' \
+GROUP BY c_custkey; \
+SELECT c_count, COUNT(*) AS custdist \
+FROM q13_c_orders \
+GROUP BY c_count \
+ORDER BY custdist DESC, c_count DESC;";
+
+const Q14: &str = "\
+SELECT 100.0 * SUM(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice * (1 - l_discount) ELSE 0.0 END) \
+  / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue \
+FROM lineitem l \
+JOIN part p ON l.l_partkey = p.p_partkey \
+WHERE l_shipdate >= DATE '1995-09-01' AND l_shipdate < DATE '1995-10-01';";
+
+const Q15: &str = "\
+DROP TABLE IF EXISTS q15_revenue; \
+DROP TABLE IF EXISTS q15_max; \
+CREATE TABLE q15_revenue STORED AS ORC AS \
+SELECT l_suppkey AS supplier_no, SUM(l_extendedprice * (1 - l_discount)) AS total_revenue \
+FROM lineitem \
+WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE '1996-04-01' \
+GROUP BY l_suppkey; \
+CREATE TABLE q15_max STORED AS ORC AS \
+SELECT 1 AS jk, MAX(total_revenue) AS max_rev FROM q15_revenue; \
+SELECT s_suppkey, s_name, s_address, s_phone, total_revenue \
+FROM supplier s \
+JOIN q15_revenue r ON s.s_suppkey = r.supplier_no \
+JOIN q15_max m ON r.total_revenue = m.max_rev \
+ORDER BY s_suppkey;";
+
+const Q16: &str = "\
+DROP TABLE IF EXISTS q16_complaints; \
+CREATE TABLE q16_complaints STORED AS ORC AS \
+SELECT s_suppkey AS cs_suppkey FROM supplier WHERE s_comment LIKE '%Customer%Complaints%'; \
+SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) AS supplier_cnt \
+FROM partsupp ps \
+JOIN part p ON p.p_partkey = ps.ps_partkey \
+LEFT ANTI JOIN q16_complaints q ON ps.ps_suppkey = q.cs_suppkey \
+WHERE p_brand <> 'Brand#45' AND p_type NOT LIKE 'MEDIUM POLISHED%' \
+  AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9) \
+GROUP BY p_brand, p_type, p_size \
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size;";
+
+const Q17: &str = "\
+DROP TABLE IF EXISTS q17_avg_qty; \
+CREATE TABLE q17_avg_qty STORED AS ORC AS \
+SELECT l_partkey AS a_partkey, 0.2 * AVG(l_quantity) AS avg_qty \
+FROM lineitem \
+GROUP BY l_partkey; \
+SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly \
+FROM lineitem l \
+JOIN part p ON p.p_partkey = l.l_partkey \
+JOIN q17_avg_qty a ON l.l_partkey = a.a_partkey \
+WHERE p_brand = 'Brand#23' AND p_container = 'MED BOX' AND l_quantity < avg_qty;";
+
+const Q18: &str = "\
+DROP TABLE IF EXISTS q18_big_orders; \
+CREATE TABLE q18_big_orders STORED AS ORC AS \
+SELECT l_orderkey AS big_orderkey, SUM(l_quantity) AS sum_qty \
+FROM lineitem \
+GROUP BY l_orderkey \
+HAVING SUM(l_quantity) > 300; \
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, SUM(l_quantity) AS total_qty \
+FROM customer c \
+JOIN orders o ON c.c_custkey = o.o_custkey \
+JOIN lineitem l ON o.o_orderkey = l.l_orderkey \
+JOIN q18_big_orders b ON o.o_orderkey = b.big_orderkey \
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice \
+ORDER BY o_totalprice DESC, o_orderdate LIMIT 100;";
+
+const Q19: &str = "\
+SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+FROM lineitem l \
+JOIN part p ON p.p_partkey = l.l_partkey \
+WHERE (p_brand = 'Brand#12' AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') \
+    AND l_quantity >= 1 AND l_quantity <= 11 AND p_size BETWEEN 1 AND 5 \
+    AND l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON') \
+  OR (p_brand = 'Brand#23' AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') \
+    AND l_quantity >= 10 AND l_quantity <= 20 AND p_size BETWEEN 1 AND 10 \
+    AND l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON') \
+  OR (p_brand = 'Brand#34' AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') \
+    AND l_quantity >= 20 AND l_quantity <= 30 AND p_size BETWEEN 1 AND 15 \
+    AND l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON');";
+
+const Q20: &str = "\
+DROP TABLE IF EXISTS q20_forest_parts; \
+DROP TABLE IF EXISTS q20_qty; \
+DROP TABLE IF EXISTS q20_avail_supp; \
+CREATE TABLE q20_forest_parts STORED AS ORC AS \
+SELECT p_partkey AS fp_partkey FROM part WHERE p_name LIKE 'forest%'; \
+CREATE TABLE q20_qty STORED AS ORC AS \
+SELECT l_partkey AS q_partkey, l_suppkey AS q_suppkey, 0.5 * SUM(l_quantity) AS half_qty \
+FROM lineitem \
+WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+GROUP BY l_partkey, l_suppkey; \
+CREATE TABLE q20_avail_supp STORED AS ORC AS \
+SELECT ps_suppkey AS avail_suppkey \
+FROM partsupp ps \
+LEFT SEMI JOIN q20_forest_parts f ON ps.ps_partkey = f.fp_partkey \
+JOIN q20_qty q ON ps.ps_partkey = q.q_partkey AND ps.ps_suppkey = q.q_suppkey \
+WHERE ps_availqty > half_qty; \
+SELECT s_name, s_address \
+FROM supplier s \
+LEFT SEMI JOIN q20_avail_supp a ON s.s_suppkey = a.avail_suppkey \
+JOIN nation n ON s.s_nationkey = n.n_nationkey \
+WHERE n_name = 'CANADA' \
+ORDER BY s_name;";
+
+const Q21: &str = "\
+DROP TABLE IF EXISTS q21_multi_supp; \
+DROP TABLE IF EXISTS q21_late_supp; \
+CREATE TABLE q21_multi_supp STORED AS ORC AS \
+SELECT l_orderkey AS mo_orderkey, COUNT(DISTINCT l_suppkey) AS supp_cnt \
+FROM lineitem \
+GROUP BY l_orderkey \
+HAVING COUNT(DISTINCT l_suppkey) > 1; \
+CREATE TABLE q21_late_supp STORED AS ORC AS \
+SELECT l_orderkey AS lo_orderkey, COUNT(DISTINCT l_suppkey) AS late_cnt \
+FROM lineitem \
+WHERE l_receiptdate > l_commitdate \
+GROUP BY l_orderkey; \
+SELECT s_name, COUNT(*) AS numwait \
+FROM lineitem l \
+JOIN orders o ON o.o_orderkey = l.l_orderkey \
+JOIN supplier s ON s.s_suppkey = l.l_suppkey \
+JOIN nation n ON s.s_nationkey = n.n_nationkey \
+JOIN q21_multi_supp m ON l.l_orderkey = m.mo_orderkey \
+JOIN q21_late_supp lt ON l.l_orderkey = lt.lo_orderkey \
+WHERE o_orderstatus = 'F' AND l_receiptdate > l_commitdate \
+  AND n_name = 'SAUDI ARABIA' AND lt.late_cnt = 1 \
+GROUP BY s_name \
+ORDER BY numwait DESC, s_name LIMIT 100;";
+
+const Q22: &str = "\
+DROP TABLE IF EXISTS q22_selected; \
+DROP TABLE IF EXISTS q22_avg_bal; \
+DROP TABLE IF EXISTS q22_with_orders; \
+CREATE TABLE q22_selected STORED AS ORC AS \
+SELECT 1 AS jk, c_custkey AS sel_custkey, c_acctbal AS sel_acctbal, substr(c_phone, 1, 2) AS cntrycode \
+FROM customer \
+WHERE substr(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17'); \
+CREATE TABLE q22_avg_bal STORED AS ORC AS \
+SELECT 1 AS jk, AVG(sel_acctbal) AS avg_bal FROM q22_selected WHERE sel_acctbal > 0.0; \
+CREATE TABLE q22_with_orders STORED AS ORC AS \
+SELECT o_custkey AS oc_custkey, COUNT(*) AS cnt FROM orders GROUP BY o_custkey; \
+SELECT cntrycode, COUNT(*) AS numcust, SUM(sel_acctbal) AS totacctbal \
+FROM q22_selected s \
+LEFT ANTI JOIN q22_with_orders w ON s.sel_custkey = w.oc_custkey \
+JOIN q22_avg_bal a ON s.jk = a.jk \
+WHERE sel_acctbal > avg_bal \
+GROUP BY cntrycode \
+ORDER BY cntrycode;";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_query_parses() {
+        for n in all() {
+            let stmts = hdm_core::parser::parse_script(query(n))
+                .unwrap_or_else(|e| panic!("Q{n} does not parse: {e}"));
+            assert!(!stmts.is_empty(), "Q{n} empty");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=22")]
+    fn out_of_range_panics() {
+        let _ = query(23);
+    }
+
+    #[test]
+    fn multi_statement_scripts_are_rerunnable() {
+        // Every CREATE TABLE has a preceding DROP IF EXISTS.
+        for n in all() {
+            let q = query(n);
+            let creates = q.matches("CREATE TABLE").count();
+            let drops = q.matches("DROP TABLE IF EXISTS").count();
+            assert_eq!(creates, drops, "Q{n}: {creates} creates vs {drops} drops");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! A Zipf(θ) sampler over `1..=n` (the HiBench data skew).
+
+use rand::Rng;
+
+/// Precomputed-CDF Zipf sampler.
+///
+/// HiBench's Hive data ("the data set of HiBench conforms to the
+/// Zipfian distribution") draws its source IPs and URL references from
+/// this family; the skew it creates in group sizes is what the paper's
+/// parallelism tuning (Section IV-D) fights.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `1..=n` with exponent `theta` (1.0 = classic).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `theta` is not finite.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a positive support");
+        assert!(theta.is_finite(), "theta must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn samples_in_range_and_skewed() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 101];
+        for _ in 0..20_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+            counts[k] += 1;
+        }
+        // Rank 1 should dominate rank 50 heavily.
+        assert!(counts[1] > counts[50] * 5, "rank1={} rank50={}", counts[1], counts[50]);
+        // Every decile sees some mass.
+        assert!(counts[1] > 0 && counts[100] < counts[1]);
+    }
+
+    #[test]
+    fn theta_zero_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u32; 11];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let max = counts[1..].iter().max().unwrap();
+        let min = counts[1..].iter().min().unwrap();
+        assert!(max < &(min * 2), "uniform-ish expected: {counts:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(50, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive support")]
+    fn zero_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: spin up an in-memory warehouse, create a table, run the
+//! same query on both execution engines, and replay it on the modelled
+//! 8-node cluster.
+//!
+//! ```text
+//! cargo run --release -p hdm-apps --example quickstart
+//! ```
+
+use hdm_cluster::{ClusterSpec, DataMpiSimOptions};
+use hdm_core::driver::simulate_query;
+use hdm_core::{Driver, EngineKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A Driver is a Hive session: metastore + DFS + configuration.
+    let mut driver = Driver::in_memory();
+
+    driver.execute(
+        "CREATE TABLE sales (region STRING, item STRING, amount DOUBLE, day DATE)",
+    )?;
+    driver.execute(
+        "INSERT INTO sales VALUES \
+           ('EMEA', 'widget',  120.0, '1995-01-03'), \
+           ('EMEA', 'gadget',   80.5, '1995-01-04'), \
+           ('APAC', 'widget',  210.0, '1995-01-04'), \
+           ('APAC', 'widget',   55.0, '1995-02-01'), \
+           ('AMER', 'gadget',  300.0, '1995-02-11'), \
+           ('AMER', 'widget',   42.0, '1995-03-06')",
+    )?;
+
+    let sql = "SELECT region, COUNT(*) AS n, SUM(amount) AS total \
+               FROM sales WHERE day >= DATE '1995-01-04' \
+               GROUP BY region ORDER BY total DESC";
+
+    // The engine is a plug-in: the same compiled plan runs on either.
+    for engine in [EngineKind::Hadoop, EngineKind::DataMpi] {
+        let result = driver.execute_on(sql, engine)?;
+        println!("--- {} ---", engine.name());
+        println!("{}", result.columns.join("\t"));
+        for line in result.to_lines() {
+            println!("{line}");
+        }
+    }
+
+    // Replay the measured volumes on the paper's modelled testbed at a
+    // nominal 20 GB, as the benchmark harness does.
+    let result = driver.execute_on(sql, EngineKind::DataMpi)?;
+    let timelines = simulate_query(
+        &result.stages,
+        EngineKind::DataMpi,
+        &ClusterSpec::default(),
+        DataMpiSimOptions::default(),
+        1000.0, // pretend the table were 1000x bigger
+    );
+    for tl in &timelines {
+        println!(
+            "simulated stage {}: {:.1}s (startup {:.1}s, map-shuffle {:.1}s, others {:.1}s)",
+            tl.name,
+            tl.total(),
+            tl.breakdown.startup,
+            tl.breakdown.map_shuffle,
+            tl.breakdown.others
+        );
+    }
+    Ok(())
+}

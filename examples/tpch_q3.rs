@@ -1,0 +1,53 @@
+//! TPC-H Q3 (shipping priority) end to end: generate the dataset, run
+//! the three-stage query on both engines, compare results and measured
+//! data volumes, then project both onto the modelled cluster at 40 GB.
+//!
+//! ```text
+//! cargo run --release -p hdm-apps --example tpch_q3
+//! ```
+
+use hdm_cluster::{ClusterSpec, DataMpiSimOptions};
+use hdm_core::driver::simulate_query;
+use hdm_core::{Driver, EngineKind};
+use hdm_storage::FormatKind;
+use hdm_workloads::tpch;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut driver = Driver::in_memory();
+    let stats = tpch::load_with_stats(&mut driver, 0.002, 42, FormatKind::Orc)?;
+    println!(
+        "loaded TPC-H @ SF 0.002 as ORC: {} stored bytes ({} text-equivalent)",
+        stats.stored_bytes, stats.text_bytes
+    );
+
+    let sql = tpch::queries::query(3);
+    let hadoop = driver.execute_on(sql, EngineKind::Hadoop)?;
+    let datampi = driver.execute_on(sql, EngineKind::DataMpi)?;
+
+    println!("\nQ3 top rows ({}):", datampi.columns.join(", "));
+    for line in datampi.to_lines().iter().take(5) {
+        println!("  {line}");
+    }
+    assert_eq!(hadoop.rows.len(), datampi.rows.len(), "engines disagree!");
+
+    println!("\nper-stage measured volumes (DataMPI run):");
+    for (i, stage) in datampi.stages.iter().enumerate() {
+        println!(
+            "  stage {i}: {} maps, {} reduces, input {} B, shuffle {} B",
+            stage.map_tasks,
+            stage.reduce_tasks,
+            stage.volumes.total_input_bytes(),
+            stage.volumes.total_shuffle_bytes()
+        );
+    }
+
+    // Project to the paper's 40 GB testbed.
+    let scale = 40.0e9 / stats.text_bytes as f64;
+    let spec = ClusterSpec::default();
+    let h = simulate_query(&hadoop.stages, EngineKind::Hadoop, &spec, DataMpiSimOptions::default(), scale);
+    let d = simulate_query(&datampi.stages, EngineKind::DataMpi, &spec, DataMpiSimOptions::default(), scale);
+    let ht: f64 = h.iter().map(|t| t.total()).sum();
+    let dt: f64 = d.iter().map(|t| t.total()).sum();
+    println!("\nsimulated at 40 GB: Hadoop {ht:.1}s vs DataMPI {dt:.1}s ({:.1}% faster)", 100.0 * (1.0 - dt / ht));
+    Ok(())
+}

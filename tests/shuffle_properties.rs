@@ -1,0 +1,158 @@
+//! Shuffle-layer properties spanning `hdm-mpi`, `hdm-datampi`, and
+//! `hdm-mapred`: exactly-once delivery, comparator-ordered grouping,
+//! and equivalence between the two engines' shuffles and between
+//! DataMPI's two communication styles.
+
+use hdm_common::kv::{BytesComparator, KvPair};
+use hdm_common::partition::HashPartitioner;
+use hdm_datampi::{run_bipartite, DataMpiConfig, ShuffleStyle};
+use hdm_mapred::{run_mapreduce, MapRedConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+type Records = Vec<(u8, u8)>; // (key, value)
+
+/// Ground truth: multiset of values per key.
+fn expected(groups: &[Records]) -> BTreeMap<u8, Vec<u8>> {
+    let mut out: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
+    for task in groups {
+        for &(k, v) in task {
+            out.entry(k).or_default().push(v);
+        }
+    }
+    for vs in out.values_mut() {
+        vs.sort_unstable();
+    }
+    out
+}
+
+fn run_datampi(per_task: &[Records], a_tasks: usize, style: ShuffleStyle) -> BTreeMap<u8, Vec<u8>> {
+    let config = DataMpiConfig {
+        o_tasks: per_task.len().max(1),
+        a_tasks,
+        shuffle_style: style,
+        send_partition_bytes: 32, // tiny partitions: many messages
+        mem_budget_bytes: 128,    // force spills
+        ..Default::default()
+    };
+    let data: Arc<Vec<Records>> = Arc::new(per_task.to_vec());
+    let outcome = run_bipartite(
+        &config,
+        Arc::new(BytesComparator),
+        Arc::new(HashPartitioner),
+        Arc::new({
+            let data = Arc::clone(&data);
+            move |rank, ctx: &mut hdm_datampi::OContext| {
+                for &(k, v) in data.get(rank).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    ctx.send(KvPair::new(vec![k], vec![v]))?;
+                }
+                Ok(())
+            }
+        }),
+        Arc::new(|_rank, ctx: &mut hdm_datampi::AContext| {
+            let mut got: Vec<(u8, Vec<u8>)> = Vec::new();
+            while let Some((key, values)) = ctx.next_group() {
+                got.push((key[0], values.iter().map(|v| v[0]).collect()));
+            }
+            Ok(got)
+        }),
+    )
+    .expect("datampi job");
+    collect_groups(outcome.a_results)
+}
+
+fn run_hadoop(per_task: &[Records], reduce_tasks: usize) -> BTreeMap<u8, Vec<u8>> {
+    let config = MapRedConfig {
+        map_tasks: per_task.len().max(1),
+        reduce_tasks,
+        sort_buffer_bytes: 64, // force spills
+        concurrency: 4,
+    };
+    let data: Arc<Vec<Records>> = Arc::new(per_task.to_vec());
+    let outcome = run_mapreduce(
+        &config,
+        Arc::new(BytesComparator),
+        Arc::new(HashPartitioner),
+        Arc::new({
+            let data = Arc::clone(&data);
+            move |rank, ctx: &mut hdm_mapred::MapContext| {
+                for &(k, v) in data.get(rank).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    ctx.collect(KvPair::new(vec![k], vec![v]))?;
+                }
+                Ok(())
+            }
+        }),
+        Arc::new(|_rank, ctx: &mut hdm_mapred::ReduceContext| {
+            let mut got: Vec<(u8, Vec<u8>)> = Vec::new();
+            while let Some((key, values)) = ctx.next_group() {
+                got.push((key[0], values.iter().map(|v| v[0]).collect()));
+            }
+            Ok(got)
+        }),
+    )
+    .expect("hadoop job");
+    collect_groups(outcome.reduce_results)
+}
+
+fn collect_groups(per_reducer: Vec<Vec<(u8, Vec<u8>)>>) -> BTreeMap<u8, Vec<u8>> {
+    let mut out: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
+    for groups in per_reducer {
+        let mut last: Option<u8> = None;
+        for (k, mut vs) in groups {
+            // Keys must arrive strictly increasing per reducer, and a
+            // key must never appear in two reducers.
+            if let Some(prev) = last {
+                assert!(prev < k, "group order violated: {prev} then {k}");
+            }
+            last = Some(k);
+            assert!(!out.contains_key(&k), "key {k} delivered to two reducers");
+            vs.sort_unstable();
+            out.insert(k, vs);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn exactly_once_delivery_everywhere(
+        per_task in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<u8>()), 0..60),
+            1..5,
+        ),
+        a_tasks in 1usize..5,
+    ) {
+        let truth = expected(&per_task);
+        prop_assert_eq!(&run_datampi(&per_task, a_tasks, ShuffleStyle::NonBlocking), &truth);
+        prop_assert_eq!(&run_datampi(&per_task, a_tasks, ShuffleStyle::Blocking), &truth);
+        prop_assert_eq!(&run_hadoop(&per_task, a_tasks), &truth);
+    }
+}
+
+#[test]
+fn heavy_skew_single_key() {
+    // Every record has the same key: one reducer owns everything.
+    let per_task: Vec<Records> = (0..4).map(|t| (0..100).map(|i| (42u8, (t * 100 + i) as u8)).collect()).collect();
+    let truth = expected(&per_task);
+    assert_eq!(run_datampi(&per_task, 4, ShuffleStyle::NonBlocking), truth);
+    assert_eq!(run_hadoop(&per_task, 4), truth);
+}
+
+#[test]
+fn empty_senders_are_fine() {
+    let per_task: Vec<Records> = vec![Vec::new(), vec![(1, 1)], Vec::new()];
+    let truth = expected(&per_task);
+    assert_eq!(run_datampi(&per_task, 3, ShuffleStyle::Blocking), truth);
+    assert_eq!(run_hadoop(&per_task, 3), truth);
+}
+
+#[test]
+fn many_reducers_fewer_keys() {
+    // More reducers than distinct keys: some reducers see nothing.
+    let per_task: Vec<Records> = vec![vec![(1, 1), (2, 2), (1, 3)]];
+    let truth = expected(&per_task);
+    assert_eq!(run_datampi(&per_task, 4, ShuffleStyle::NonBlocking), truth);
+    assert_eq!(run_hadoop(&per_task, 4), truth);
+}
