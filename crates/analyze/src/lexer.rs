@@ -1,0 +1,501 @@
+//! A minimal, self-contained Rust lexer.
+//!
+//! The checker needs token-level structure (identifiers, string literals,
+//! punctuation) with line/column positions, plus the comment stream so it
+//! can honour `// hdm-allow(rule-id): reason` suppressions. Full parsing is
+//! not required: every rule in this workspace can be expressed as a pattern
+//! over a few neighbouring tokens, and a hand-rolled lexer keeps the tool
+//! dependency-free (no `syn`/`proc-macro2` in the offline build).
+//!
+//! The lexer understands line and (nested) block comments, plain and raw
+//! string literals (including byte variants), char literals vs. lifetimes,
+//! and numeric literals. Everything else is a single-character punctuation
+//! token.
+
+/// Token classification. Deliberately coarse: rules match on `kind` + `text`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (any radix, with suffix/underscores preserved).
+    Int,
+    /// Float literal.
+    Float,
+    /// String literal; `text` holds the *content* without quotes/prefix.
+    Str,
+    /// Char literal; `text` holds the raw source including quotes.
+    Char,
+    /// Lifetime such as `'a`; `text` includes the leading quote.
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Kind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Token {
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+
+    /// True if this token is the given identifier.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == Kind::Ident && self.text == name
+    }
+}
+
+/// A parsed `// hdm-allow(rule-id): reason` suppression comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub line: usize,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// An `hdm-allow` comment the lexer could not accept (bad syntax or an
+/// empty reason). Reported as an `allow-syntax` diagnostic by the driver.
+#[derive(Debug, Clone)]
+pub struct MalformedAllow {
+    pub line: usize,
+    pub detail: String,
+}
+
+/// Full lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+    pub malformed_allows: Vec<MalformedAllow>,
+}
+
+const ALLOW_MARKER: &str = "hdm-allow(";
+
+/// Lex `src` into tokens plus the allow-comment side channel.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tok_line, tok_col) = (line, col);
+
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // Line comment (also covers doc comments `///` and `//!`).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                bump!();
+            }
+            let text: String = chars[start..i].iter().collect();
+            parse_allow(&text, tok_line, &mut out);
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 0;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+
+        // Identifier, or a string-literal prefix (r"", b"", br"", rb"").
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            let text: String = chars[start..i].iter().collect();
+            let next = chars.get(i).copied();
+            let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb")
+                && (next == Some('"') || (text != "b" && next == Some('#')));
+            if is_str_prefix {
+                let raw = text != "b";
+                let content = lex_string_body(&chars, &mut i, &mut line, &mut col, raw);
+                out.tokens.push(Token {
+                    kind: Kind::Str,
+                    text: content,
+                    line: tok_line,
+                    col: tok_col,
+                });
+            } else {
+                out.tokens.push(Token {
+                    kind: Kind::Ident,
+                    text,
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            let content = lex_string_body(&chars, &mut i, &mut line, &mut col, false);
+            out.tokens.push(Token {
+                kind: Kind::Str,
+                text: content,
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_char = next == Some('\\') || after == Some('\'');
+            if is_char {
+                let start = i;
+                bump!(); // opening quote
+                if chars.get(i) == Some(&'\\') {
+                    bump!(); // backslash
+                    if i < chars.len() {
+                        bump!(); // escaped char
+                    }
+                    // Multi-char escapes (\x41, \u{..}) run until the quote.
+                    while i < chars.len() && chars[i] != '\'' {
+                        bump!();
+                    }
+                } else if i < chars.len() {
+                    bump!(); // the char itself
+                }
+                if i < chars.len() && chars[i] == '\'' {
+                    bump!(); // closing quote
+                }
+                out.tokens.push(Token {
+                    kind: Kind::Char,
+                    text: chars[start..i].iter().collect(),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            } else {
+                let start = i;
+                bump!(); // quote
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                out.tokens.push(Token {
+                    kind: Kind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            continue;
+        }
+
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut kind = Kind::Int;
+            if c == '0' && matches!(chars.get(i + 1), Some('x' | 'o' | 'b')) {
+                bump!();
+                bump!();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+            } else {
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    bump!();
+                }
+                if chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    kind = Kind::Float;
+                    bump!();
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        bump!();
+                    }
+                }
+                if matches!(chars.get(i), Some('e' | 'E'))
+                    && matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit() || *d == '+' || *d == '-')
+                {
+                    kind = Kind::Float;
+                    bump!();
+                    bump!();
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                // Type suffix (u32, f64, usize, ...).
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    if matches!(chars[i], 'f') && kind == Kind::Int {
+                        kind = Kind::Float;
+                    }
+                    bump!();
+                }
+            }
+            out.tokens.push(Token {
+                kind,
+                text: chars[start..i].iter().collect(),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+
+        // Anything else: one punctuation character.
+        out.tokens.push(Token {
+            kind: Kind::Punct,
+            text: c.to_string(),
+            line: tok_line,
+            col: tok_col,
+        });
+        bump!();
+    }
+
+    out
+}
+
+/// Lex a string literal body starting at the opening `"` (or at the `#`s of
+/// a raw string). Returns the content without delimiters. `idx`, `line`,
+/// `col` are advanced past the closing delimiter.
+fn lex_string_body(
+    chars: &[char],
+    idx: &mut usize,
+    line: &mut usize,
+    col: &mut usize,
+    raw: bool,
+) -> String {
+    let mut i = *idx;
+    let advance = |i: &mut usize, line: &mut usize, col: &mut usize| {
+        if chars[*i] == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+
+    let mut hashes = 0;
+    if raw {
+        while chars.get(i) == Some(&'#') {
+            hashes += 1;
+            advance(&mut i, line, col);
+        }
+    }
+    // Opening quote.
+    if chars.get(i) == Some(&'"') {
+        advance(&mut i, line, col);
+    }
+    let content_start = i;
+    let mut content_end = i;
+    while i < chars.len() {
+        if chars[i] == '"' {
+            if raw {
+                // Need `"` followed by `hashes` hash marks.
+                let mut ok = true;
+                for k in 0..hashes {
+                    if chars.get(i + 1 + k) != Some(&'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    content_end = i;
+                    advance(&mut i, line, col);
+                    for _ in 0..hashes {
+                        advance(&mut i, line, col);
+                    }
+                    break;
+                }
+                advance(&mut i, line, col);
+            } else {
+                content_end = i;
+                advance(&mut i, line, col);
+                break;
+            }
+        } else if !raw && chars[i] == '\\' {
+            advance(&mut i, line, col);
+            if i < chars.len() {
+                advance(&mut i, line, col);
+            }
+        } else {
+            advance(&mut i, line, col);
+        }
+    }
+    *idx = i;
+    chars[content_start..content_end.max(content_start)]
+        .iter()
+        .collect()
+}
+
+/// Parse one line comment, recording an [`Allow`] if it is an
+/// `hdm-allow(rule): reason` marker, or a [`MalformedAllow`] if it looks
+/// like one but is unusable.
+fn parse_allow(comment: &str, line: usize, out: &mut Lexed) {
+    // Doc comments (`///`, `//!`) are documentation *about* the allow
+    // syntax, not suppressions.
+    if comment.starts_with("///") || comment.starts_with("//!") {
+        return;
+    }
+    let Some(pos) = comment.find(ALLOW_MARKER) else {
+        return;
+    };
+    let rest = &comment[pos + ALLOW_MARKER.len()..];
+    let Some(close) = rest.find(')') else {
+        out.malformed_allows.push(MalformedAllow {
+            line,
+            detail: "missing ')' after rule id".into(),
+        });
+        return;
+    };
+    let rule = rest[..close].trim().to_string();
+    let after = rest[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix(':') else {
+        out.malformed_allows.push(MalformedAllow {
+            line,
+            detail: "missing ': reason' after rule id".into(),
+        });
+        return;
+    };
+    let reason = reason.trim().to_string();
+    if rule.is_empty() || reason.is_empty() {
+        out.malformed_allows.push(MalformedAllow {
+            line,
+            detail: "rule id and reason must both be non-empty".into(),
+        });
+        return;
+    }
+    out.allows.push(Allow { line, rule, reason });
+}
+
+/// Parse the numeric value of an [`Kind::Int`] token (handles `0x`/`0o`/`0b`
+/// prefixes, `_` separators, and type suffixes).
+pub fn int_value(text: &str) -> Option<u64> {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let (digits, radix) = if let Some(hex) = cleaned.strip_prefix("0x") {
+        (hex, 16)
+    } else if let Some(oct) = cleaned.strip_prefix("0o") {
+        (oct, 8)
+    } else if let Some(bin) = cleaned.strip_prefix("0b") {
+        (bin, 2)
+    } else {
+        (cleaned.as_str(), 10)
+    };
+    // Drop a type suffix such as `u32` if present.
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_idents_strings_and_ints() {
+        // hdm-allow(conf-key-registry): lexer test input, not a conf lookup
+        let lexed = lex(r#"let tag = Tag(0x10); let s = "hive.map.aggr";"#);
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"Tag"));
+        assert!(texts.contains(&"0x10"));
+        // hdm-allow(conf-key-registry): asserting on the test input above
+        assert!(texts.contains(&"hive.map.aggr"));
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == Kind::Str)
+            .expect("string token");
+        // hdm-allow(conf-key-registry): asserting on the test input above
+        assert_eq!(s.text, "hive.map.aggr");
+    }
+
+    #[test]
+    fn comments_and_raw_strings_hide_their_content() {
+        let src = "// panic!(\"no\")\n/* unwrap() */ let x = r#\"quote \" inside\"#;";
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "panic"));
+        assert!(!lexed.tokens.iter().any(|t| t.text == "unwrap"));
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == Kind::Str)
+            .expect("raw string token");
+        assert_eq!(s.text, "quote \" inside");
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == Kind::Char && t.text == "'x'"));
+    }
+
+    #[test]
+    fn parses_allow_comments() {
+        let lexed = lex("// hdm-allow(no-panic-in-hot-path): poisoned lock is fatal\nlet x = 1;");
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rule, "no-panic-in-hot-path");
+        assert_eq!(lexed.allows[0].reason, "poisoned lock is fatal");
+
+        let bad = lex("// hdm-allow(no-panic-in-hot-path)\nlet x = 1;");
+        assert_eq!(bad.allows.len(), 0);
+        assert_eq!(bad.malformed_allows.len(), 1);
+
+        let empty_reason = lex("// hdm-allow(tag-registry):   \nlet x = 1;");
+        assert_eq!(empty_reason.allows.len(), 0);
+        assert_eq!(empty_reason.malformed_allows.len(), 1);
+    }
+
+    #[test]
+    fn int_values() {
+        assert_eq!(int_value("0x10"), Some(16));
+        assert_eq!(int_value("42"), Some(42));
+        assert_eq!(int_value("1_000u64"), Some(1000));
+        assert_eq!(int_value("0b101"), Some(5));
+    }
+}

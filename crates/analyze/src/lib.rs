@@ -1,0 +1,420 @@
+//! `hdm-analyze` — workspace invariant checker for the HDM codebase.
+//!
+//! The paper's system lives or dies on a handful of cross-cutting
+//! invariants that the Rust type system cannot express: rank threads must
+//! not panic mid-protocol, message tags must not collide, completion flags
+//! must carry acquire/release edges, conf keys must come from one registry,
+//! and communication loops must not block forever. This crate checks those
+//! invariants statically, as custom lints with stable rule IDs, and is run
+//! in CI next to `cargo clippy`.
+//!
+//! Architecture: a dependency-free token lexer ([`lexer`]) feeds per-file
+//! rule passes ([`rules`]). Rules are scoped by path (e.g. panic rules only
+//! apply to hot-path crates), test code is excluded where the rule says so,
+//! and individual findings can be suppressed in-source with
+//! `// hdm-allow(rule-id): reason` on the same or the preceding line. A
+//! missing reason is itself an error (`allow-syntax`).
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::Token;
+use rules::{Ctx, LineRange};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Stable rule registry: `(id, summary)`. IDs are part of the tool's
+/// interface — CI logs, allow comments, and fixtures all key off them.
+pub const RULES: &[(&str, &str)] = &[
+    (rules::no_panic::ID, rules::no_panic::DESCRIPTION),
+    (rules::conf_keys::ID, rules::conf_keys::DESCRIPTION),
+    (rules::tag_registry::ID, rules::tag_registry::DESCRIPTION),
+    (
+        rules::atomic_ordering::ID,
+        rules::atomic_ordering::DESCRIPTION,
+    ),
+    (
+        rules::unbounded_blocking::ID,
+        rules::unbounded_blocking::DESCRIPTION,
+    ),
+];
+
+/// Pseudo-rule for unusable `hdm-allow` comments (bad syntax, unknown rule
+/// id, or empty reason). Not suppressible.
+pub const ALLOW_SYNTAX: &str = "allow-syntax";
+
+/// One finding, formatted `path:line:col: [rule-id] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: usize,
+    pub col: usize,
+    pub msg: String,
+}
+
+impl Diagnostic {
+    pub fn new(rule: &'static str, path: &str, line: usize, col: usize, msg: String) -> Self {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            col,
+            msg,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.msg
+        )
+    }
+}
+
+/// Which rule families apply to a file, derived from its path.
+#[derive(Debug, Clone, Default)]
+pub struct FileScope {
+    /// `no-panic-in-hot-path` applies.
+    pub hot_path: bool,
+    /// `atomic-ordering` applies (mpisim).
+    pub mpisim: bool,
+    /// `unbounded-blocking` applies (datampi + mpisim).
+    pub blocking: bool,
+    /// File IS the conf registry — exempt from `conf-key-registry`.
+    pub conf_registry: bool,
+    /// Whole file is test/bench/example code.
+    pub test_file: bool,
+    /// Fixture mode: run exactly this rule with all scope gates forced on.
+    pub only_rule: Option<&'static str>,
+}
+
+/// Derive a [`FileScope`] from a workspace-relative path (with `/`
+/// separators).
+pub fn scope_for(rel: &str) -> FileScope {
+    // Fixture files (crates/analyze/tests/fixtures/<rule-id>/*.rs) exercise
+    // exactly the rule named by their directory, with path gates forced on.
+    if let Some(idx) = rel.find("tests/fixtures/") {
+        let tail = &rel[idx + "tests/fixtures/".len()..];
+        if let Some(dir) = tail.split('/').next() {
+            if let Some((id, _)) = RULES.iter().find(|(id, _)| *id == dir) {
+                return FileScope {
+                    hot_path: true,
+                    mpisim: true,
+                    blocking: true,
+                    conf_registry: false,
+                    test_file: false,
+                    only_rule: Some(id),
+                };
+            }
+        }
+    }
+
+    let in_dir = |d: &str| rel.contains(d);
+    FileScope {
+        hot_path: in_dir("crates/datampi/src/")
+            || in_dir("crates/mpisim/src/")
+            || in_dir("crates/mapred/src/")
+            || rel.ends_with("crates/core/src/engine.rs")
+            || rel.ends_with("crates/core/src/driver.rs"),
+        mpisim: in_dir("crates/mpisim/src/"),
+        blocking: in_dir("crates/datampi/src/") || in_dir("crates/mpisim/src/"),
+        conf_registry: rel.ends_with("common/src/conf.rs"),
+        test_file: rel
+            .split('/')
+            .any(|c| c == "tests" || c == "benches" || c == "examples"),
+        only_rule: None,
+    }
+}
+
+/// Check one file's source. `rel` is the path used in diagnostics and for
+/// scoping; see [`scope_for`].
+pub fn check_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let scope = scope_for(rel);
+    let lexed = lexer::lex(src);
+    let test_regions = find_test_regions(&lexed.tokens);
+    let tags_regions = find_tags_regions(&lexed.tokens);
+    let ctx = Ctx {
+        rel,
+        tokens: &lexed.tokens,
+        test_regions: &test_regions,
+        tags_regions: &tags_regions,
+        test_file: scope.test_file,
+    };
+
+    let mut out = Vec::new();
+    let run = |id: &str| scope.only_rule.is_none_or(|only| only == id);
+
+    if run(rules::no_panic::ID) && (scope.hot_path || scope.only_rule.is_some()) {
+        rules::no_panic::check(&ctx, &mut out);
+    }
+    if run(rules::conf_keys::ID) && !scope.conf_registry {
+        rules::conf_keys::check(&ctx, &mut out);
+    }
+    if run(rules::tag_registry::ID) {
+        rules::tag_registry::check(&ctx, &mut out);
+    }
+    if run(rules::atomic_ordering::ID) && (scope.mpisim || scope.only_rule.is_some()) {
+        rules::atomic_ordering::check(&ctx, &mut out);
+    }
+    if run(rules::unbounded_blocking::ID) && (scope.blocking || scope.only_rule.is_some()) {
+        rules::unbounded_blocking::check(&ctx, &mut out);
+    }
+
+    // Apply hdm-allow suppressions: an allow on line L covers findings for
+    // its rule on line L (trailing comment) or line L+1 (comment above).
+    out.retain(|d| {
+        !lexed
+            .allows
+            .iter()
+            .any(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line))
+    });
+
+    // Malformed allows are findings in their own right.
+    for bad in &lexed.malformed_allows {
+        out.push(Diagnostic::new(
+            ALLOW_SYNTAX,
+            rel,
+            bad.line,
+            1,
+            format!(
+                "malformed hdm-allow comment ({}); expected `// hdm-allow(rule-id): reason`",
+                bad.detail
+            ),
+        ));
+    }
+    for allow in &lexed.allows {
+        if !RULES.iter().any(|(id, _)| *id == allow.rule) {
+            out.push(Diagnostic::new(
+                ALLOW_SYNTAX,
+                rel,
+                allow.line,
+                1,
+                format!("hdm-allow references unknown rule `{}`", allow.rule),
+            ));
+        }
+    }
+
+    out.sort_by_key(|d| (d.line, d.col));
+    out
+}
+
+/// Find `#[test]` / `#[cfg(test)]` item bodies as line ranges. The range
+/// starts at the attribute so helper tokens on the signature line are
+/// covered too.
+fn find_test_regions(toks: &[Token]) -> Vec<LineRange> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_line = toks[i].line;
+        // Scan the attribute body for an ident `test` (covers `#[test]`,
+        // `#[cfg(test)]`, `#[cfg(any(test, ..))]`).
+        let mut depth = 1;
+        let mut j = i + 2;
+        let mut is_test = false;
+        while j < toks.len() && depth > 0 {
+            if toks[j].is_punct('[') {
+                depth += 1;
+            } else if toks[j].is_punct(']') {
+                depth -= 1;
+            } else if toks[j].is_ident("test") {
+                is_test = true;
+            }
+            j += 1;
+        }
+        if !is_test {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut k = j;
+        while k < toks.len()
+            && toks[k].is_punct('#')
+            && toks.get(k + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let mut d = 1;
+            k += 2;
+            while k < toks.len() && d > 0 {
+                if toks[k].is_punct('[') {
+                    d += 1;
+                } else if toks[k].is_punct(']') {
+                    d -= 1;
+                }
+                k += 1;
+            }
+        }
+        // The item body is the next `{ .. }`; `;` means an out-of-line item
+        // (e.g. `#[cfg(test)] mod tests;`) with nothing to mark here.
+        while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+            k += 1;
+        }
+        if k < toks.len() && toks[k].is_punct('{') {
+            let end = match_brace(toks, k);
+            regions.push((attr_line, toks[end.min(toks.len() - 1)].line));
+            i = end + 1;
+        } else {
+            i = k + 1;
+        }
+    }
+    regions
+}
+
+/// Find `mod tags { .. }` bodies as line ranges.
+fn find_tags_regions(toks: &[Token]) -> Vec<LineRange> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("mod") && toks[i + 1].is_ident("tags") && toks[i + 2].is_punct('{') {
+            let end = match_brace(toks, i + 2);
+            regions.push((toks[i].line, toks[end.min(toks.len() - 1)].line));
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token index if
+/// unbalanced).
+fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Recursively collect `.rs` files under `root`, skipping build output,
+/// vendored stubs, the checker's own fixtures, and VCS metadata.
+pub fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let skip_dirs = ["target", "third_party", ".git", "fixtures"];
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "rs") {
+            out.push(root.to_path_buf());
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(root)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if skip_dirs.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Check a set of files or directories. Paths in diagnostics are made
+/// relative to `base` when possible.
+pub fn check_paths(base: &Path, paths: &[PathBuf]) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for p in paths {
+        collect_rs_files(p, &mut files)?;
+    }
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(base)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file)?;
+        out.extend(check_source(&rel, &src));
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods_and_test_fns() {
+        let src = r#"
+fn hot() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let _ = "x".parse::<u32>().unwrap(); }
+}
+"#;
+        let lexed = lexer::lex(src);
+        let regions = find_test_regions(&lexed.tokens);
+        assert!(!regions.is_empty());
+        let (s, e) = regions[0];
+        assert!(s <= 4 && e >= 8, "region {s}..{e} should cover the mod");
+    }
+
+    #[test]
+    fn allows_suppress_same_and_next_line() {
+        let rel = "crates/mpisim/src/endpoint.rs";
+        let src = "
+pub fn f(v: &[u8]) -> u8 {
+    // hdm-allow(no-panic-in-hot-path): bounds established by caller
+    let a = v[0];
+    let b = v[1]; // hdm-allow(no-panic-in-hot-path): same-line form
+    a + b
+}
+";
+        let diags = check_source(rel, src);
+        assert!(
+            diags.is_empty(),
+            "both indexing sites should be suppressed: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged() {
+        let diags = check_source(
+            "crates/common/src/lib.rs",
+            "// hdm-allow(not-a-rule): whatever\nfn f() {}\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, ALLOW_SYNTAX);
+    }
+
+    #[test]
+    fn scoping_limits_panic_rule_to_hot_paths() {
+        let src = "pub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+        assert!(check_source("crates/mpisim/src/endpoint.rs", src)
+            .iter()
+            .any(|d| d.rule == rules::no_panic::ID));
+        assert!(check_source("crates/workloads/src/zipf.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fixture_paths_force_single_rule() {
+        let rel = "crates/analyze/tests/fixtures/no-panic-in-hot-path/fail.rs";
+        let src =
+            "pub fn f(v: Option<u8>) -> u8 { v.unwrap() }\nconst K: &str = \"hive.map.aggr\";\n";
+        let diags = check_source(rel, src);
+        assert!(diags.iter().any(|d| d.rule == rules::no_panic::ID));
+        // conf-key-registry is NOT run in this fixture's scope.
+        assert!(!diags.iter().any(|d| d.rule == rules::conf_keys::ID));
+    }
+}

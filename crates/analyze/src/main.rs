@@ -1,0 +1,87 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! hdm-analyze                 # scan the workspace's crates/ tree
+//! hdm-analyze PATH..          # scan specific files or directories
+//! hdm-analyze --list-rules    # print the rule registry
+//! ```
+//!
+//! Exits non-zero iff any violation is found. Diagnostics are formatted
+//! `path:line:col: [rule-id] message`; suppress an individual finding with
+//! `// hdm-allow(rule-id): reason` on the same or the preceding line.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: hdm-analyze [--list-rules] [PATH..]\n\n\
+             Checks HDM workspace invariants. With no PATH, scans the crates/\n\
+             tree of the enclosing workspace. Exits 1 if violations are found."
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.iter().any(|a| a == "--list-rules") {
+        for (id, desc) in hdm_analyze::RULES {
+            println!("{id:<24} {desc}");
+        }
+        let allow_desc =
+            "hdm-allow comments must be `// hdm-allow(rule-id): reason` with a known rule id";
+        println!("{:<24} {allow_desc}", hdm_analyze::ALLOW_SYNTAX);
+        return ExitCode::SUCCESS;
+    }
+
+    let (base, targets) = if args.is_empty() {
+        let Some(root) = find_workspace_root() else {
+            eprintln!("hdm-analyze: could not locate workspace root (no Cargo.toml with [workspace] above cwd)");
+            return ExitCode::FAILURE;
+        };
+        let crates = root.join("crates");
+        (root.clone(), vec![crates])
+    } else {
+        let base = find_workspace_root().unwrap_or_else(|| PathBuf::from("."));
+        (base, args.iter().map(PathBuf::from).collect())
+    };
+
+    match hdm_analyze::check_paths(&base, &targets) {
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                println!("hdm-analyze: ok ({} rules)", hdm_analyze::RULES.len());
+                ExitCode::SUCCESS
+            } else {
+                println!("hdm-analyze: {} violation(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("hdm-analyze: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` declaring
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

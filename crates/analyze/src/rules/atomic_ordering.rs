@@ -1,0 +1,84 @@
+//! `atomic-ordering`: in the MPI simulator, atomics that *gate* progress —
+//! completion flags polled by `wait()`, shutdown flags checked by the
+//! progress engine — must not use `Ordering::Relaxed`. The completion flag
+//! is the release/acquire edge that makes the received payload visible to
+//! the waiting rank; with `Relaxed` the flag can become visible before the
+//! payload write, which is a data race that only materialises on weakly
+//! ordered hardware. Plain statistics counters (bytes, message counts) may
+//! legitimately stay `Relaxed`.
+//!
+//! Detection is name-based: a `load`/`store`/`swap`/`compare_exchange`/
+//! `fetch_or` with `Ordering::Relaxed` whose receiver chain mentions a
+//! gating-flag identifier (`done`, `complete`, `shutdown`, ...) is flagged;
+//! counter traffic (`fetch_add` on `bytes`, `messages`, totals) is not.
+
+use super::Ctx;
+use crate::lexer::Kind;
+use crate::Diagnostic;
+
+pub const ID: &str = "atomic-ordering";
+pub const DESCRIPTION: &str = "completion/shutdown flags in mpisim must not use Ordering::Relaxed \
+     (Release on store, Acquire on load)";
+
+/// Atomic methods that act as synchronisation edges when used on a flag.
+const GATING_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_or",
+    "fetch_and",
+];
+
+/// Identifier fragments that mark an atomic as a progress gate.
+const FLAG_NAMES: &[&str] = &[
+    "done", "complete", "shutdown", "stop", "closed", "finished", "cancel", "eof", "ready",
+];
+
+pub fn check(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        // Match `Ordering :: Relaxed`.
+        if !(tok.is_ident("Relaxed")
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("Ordering"))
+        {
+            continue;
+        }
+        if ctx.in_test(tok.line) {
+            continue;
+        }
+
+        // Walk back to the statement boundary collecting identifiers: the
+        // receiver chain plus the atomic method name.
+        let mut gating_method = false;
+        let mut flag_receiver = false;
+        for t in toks[..i - 3].iter().rev().take(40) {
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                break;
+            }
+            if t.kind == Kind::Ident {
+                let lower = t.text.to_ascii_lowercase();
+                if GATING_METHODS.contains(&lower.as_str()) {
+                    gating_method = true;
+                }
+                if FLAG_NAMES.iter().any(|f| lower.contains(f)) {
+                    flag_receiver = true;
+                }
+            }
+        }
+
+        if gating_method && flag_receiver {
+            out.push(Diagnostic::new(
+                ID,
+                ctx.rel,
+                tok.line,
+                tok.col,
+                "Ordering::Relaxed on a completion/shutdown flag; use Release for the store and Acquire for the load so the payload write is visible before the flag".into(),
+            ));
+        }
+    }
+}

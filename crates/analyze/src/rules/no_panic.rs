@@ -1,0 +1,108 @@
+//! `no-panic-in-hot-path`: the data path (DataMPI shuffle, MPI simulator,
+//! MapReduce runtime, query engine/driver) must surface failures as
+//! `Result`, not abort a rank thread. A panicking rank deadlocks every peer
+//! blocked in `recv()` on it — the failure mode the paper's communication
+//! layer explicitly has to avoid — so panicking constructs are banned in
+//! non-test hot-path code:
+//!
+//! - `.unwrap()` / `.expect(..)`
+//! - `panic!`, `unreachable!`, `todo!`, `unimplemented!`
+//! - `expr[..]` indexing/slicing (use `.get(..)` / `.get_mut(..)`)
+
+use super::Ctx;
+use crate::lexer::Kind;
+use crate::Diagnostic;
+
+pub const ID: &str = "no-panic-in-hot-path";
+pub const DESCRIPTION: &str =
+    "hot-path code (datampi, mpisim, mapred, core engine/driver) must not \
+     unwrap/expect/panic!/unreachable! or index without .get()";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if ctx.in_test(tok.line) {
+            continue;
+        }
+
+        // `.unwrap()` / `.expect(`
+        if tok.kind == Kind::Ident
+            && (tok.text == "unwrap" || tok.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(Diagnostic::new(
+                ID,
+                ctx.rel,
+                tok.line,
+                tok.col,
+                format!(
+                    ".{}() can panic a rank thread; return a Result (or use unwrap_or_else with a recovery path)",
+                    tok.text
+                ),
+            ));
+            continue;
+        }
+
+        // `panic!(..)` and friends.
+        if tok.kind == Kind::Ident
+            && PANIC_MACROS.contains(&tok.text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            out.push(Diagnostic::new(
+                ID,
+                ctx.rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "{}! aborts the rank thread; surface an HdmError instead",
+                    tok.text
+                ),
+            ));
+            continue;
+        }
+
+        // Indexing: `expr[` where the previous token ends an expression.
+        // Catches `buf[i]`, `runs[r][c]`, and slicing `&buf[..n]`; array
+        // types (`[u8; 4]`), attributes (`#[..]`), and macro brackets
+        // (`vec![..]`) are not preceded by an expression token.
+        if tok.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let prev_ends_expr = prev.kind == Kind::Ident && !is_keyword(&prev.text)
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            if prev_ends_expr {
+                out.push(Diagnostic::new(
+                    ID,
+                    ctx.rel,
+                    tok.line,
+                    tok.col,
+                    "indexing/slicing can panic on out-of-range; use .get()/.get_mut() or a checked split".into(),
+                ));
+            }
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`return [..]`, `in [..]`, `else [..]`-style positions).
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "return"
+            | "in"
+            | "else"
+            | "match"
+            | "if"
+            | "while"
+            | "mut"
+            | "ref"
+            | "as"
+            | "break"
+            | "const"
+            | "static"
+    )
+}

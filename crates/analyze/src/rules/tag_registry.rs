@@ -1,0 +1,85 @@
+//! `tag-registry`: MPI message tags partition the wire protocol, so every
+//! `Tag(..)` literal must be declared in a `mod tags { .. }` block — one
+//! such module per protocol file — and no two tags in a module may share a
+//! value. A duplicated or ad-hoc tag value makes one protocol's frames
+//! match another protocol's `recv` filter, which corrupts streams in ways
+//! that only show up under reordering.
+//!
+//! Test code is exempt: tests construct throwaway worlds with local tag
+//! namespaces.
+
+use super::Ctx;
+use crate::lexer::{int_value, Kind};
+use crate::Diagnostic;
+use std::collections::HashMap;
+
+pub const ID: &str = "tag-registry";
+pub const DESCRIPTION: &str =
+    "Tag(..) literals must live in one `mod tags` per protocol file, with \
+     no duplicate values";
+
+pub fn check(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    // At most one tags module per file: a protocol's tag namespace must
+    // have a single point of declaration.
+    for &(start, _) in ctx.tags_regions.iter().skip(1) {
+        out.push(Diagnostic::new(
+            ID,
+            ctx.rel,
+            start,
+            1,
+            "multiple `mod tags` blocks in one file; a protocol's tags must be declared in one module".into(),
+        ));
+    }
+
+    let toks = ctx.tokens;
+    // Tag values seen per tags-region, for duplicate detection.
+    let mut seen: HashMap<usize, HashMap<u64, usize>> = HashMap::new();
+
+    for (i, tok) in toks.iter().enumerate() {
+        // Match `Tag ( <int> )`.
+        if !(tok.is_ident("Tag")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.kind == Kind::Int)
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')')))
+        {
+            continue;
+        }
+        let value_tok = &toks[i + 2];
+
+        if let Some(region) = ctx
+            .tags_regions
+            .iter()
+            .position(|&(s, e)| s <= tok.line && tok.line <= e)
+        {
+            let Some(value) = int_value(&value_tok.text) else {
+                continue;
+            };
+            let values = seen.entry(region).or_default();
+            if let Some(&first_line) = values.get(&value) {
+                out.push(Diagnostic::new(
+                    ID,
+                    ctx.rel,
+                    tok.line,
+                    tok.col,
+                    format!(
+                        "duplicate tag value {} in `mod tags` (first declared on line {}); overlapping tags cross protocol streams",
+                        value_tok.text, first_line
+                    ),
+                ));
+            } else {
+                values.insert(value, tok.line);
+            }
+        } else if !ctx.in_test(tok.line) {
+            out.push(Diagnostic::new(
+                ID,
+                ctx.rel,
+                tok.line,
+                tok.col,
+                format!(
+                    "Tag({}) literal outside a `mod tags` block; declare it in the protocol's tags module",
+                    value_tok.text
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! `unbounded-blocking`: shuffle and receiver loops in the communication
+//! layer must not block forever on a channel. A zero-argument `.recv()` (or
+//! a bare `.wait()`) with no timeout turns a lost EOF frame or a crashed
+//! peer into a silent hang of the whole job — the progress engine can never
+//! step in. Use `recv_timeout` (and re-check shutdown state on `Timeout`)
+//! or a deadline loop.
+//!
+//! Sites where indefinite blocking is actually correct (e.g. an in-process
+//! command queue whose sender provably outlives the loop) carry an
+//! `// hdm-allow(unbounded-blocking): reason` with the ownership argument.
+
+use super::Ctx;
+use crate::lexer::Kind;
+use crate::Diagnostic;
+
+pub const ID: &str = "unbounded-blocking";
+pub const DESCRIPTION: &str =
+    "shuffle/receiver loops must not block indefinitely: use recv_timeout \
+     or a deadline instead of bare .recv()/.wait()";
+
+pub fn check(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if ctx.in_test(tok.line) {
+            continue;
+        }
+        // Match `. recv ( )` / `. wait ( )` — the zero-argument blocking
+        // forms. `recv_timeout(..)` and `wait_timeout(..)` have different
+        // identifiers and argument lists, so they do not match.
+        if tok.kind == Kind::Ident
+            && (tok.text == "recv" || tok.text == "wait")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+        {
+            out.push(Diagnostic::new(
+                ID,
+                ctx.rel,
+                tok.line,
+                tok.col,
+                format!(
+                    ".{}() blocks with no timeout; a lost frame or dead peer hangs the job — use {}_timeout with a shutdown re-check",
+                    tok.text, tok.text
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Every rule has a pass/fail fixture pair under `tests/fixtures/<rule-id>/`.
+//! The fail fixture must produce at least one diagnostic *for that rule*,
+//! the pass fixture must produce none at all. This pins both the detection
+//! and the false-positive behaviour (scoping, test exemptions, hdm-allow).
+
+use std::path::Path;
+
+fn check_fixture(rule: &str, which: &str) -> Vec<hdm_analyze::Diagnostic> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let path = dir.join(rule).join(which);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    // Use the repo-relative path so fixture scoping kicks in.
+    let rel = format!("crates/analyze/tests/fixtures/{rule}/{which}");
+    hdm_analyze::check_source(&rel, &src)
+}
+
+#[test]
+fn every_rule_has_fixtures_and_they_behave() {
+    for (rule, _) in hdm_analyze::RULES {
+        let failing = check_fixture(rule, "fail.rs");
+        assert!(
+            failing.iter().any(|d| d.rule == *rule),
+            "fixtures/{rule}/fail.rs should trip {rule}, got: {failing:?}"
+        );
+        let passing = check_fixture(rule, "pass.rs");
+        assert!(
+            passing.is_empty(),
+            "fixtures/{rule}/pass.rs should be clean, got: {passing:?}"
+        );
+    }
+}
+
+#[test]
+fn fail_fixtures_only_trip_their_own_rule() {
+    for (rule, _) in hdm_analyze::RULES {
+        let failing = check_fixture(rule, "fail.rs");
+        for d in &failing {
+            assert_eq!(
+                d.rule, *rule,
+                "fixtures/{rule}/fail.rs tripped foreign rule: {d}"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_panic_fail_fixture_reports_each_construct() {
+    let diags = check_fixture("no-panic-in-hot-path", "fail.rs");
+    let msgs: Vec<&str> = diags.iter().map(|d| d.msg.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains(".unwrap()")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains(".expect()")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("panic!")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("unreachable!")), "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("indexing/slicing")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn tag_fail_fixture_reports_duplicate_and_stray() {
+    let diags = check_fixture("tag-registry", "fail.rs");
+    assert!(diags.iter().any(|d| d.msg.contains("duplicate tag value")));
+    assert!(diags.iter().any(|d| d.msg.contains("outside a `mod tags`")));
+}

@@ -1,0 +1,19 @@
+//! Seeded violations for `atomic-ordering`: a completion flag stored and
+//! loaded with Relaxed ordering, so the payload write is not ordered
+//! before the flag becomes visible.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct SendRequest {
+    done: AtomicBool,
+}
+
+impl SendRequest {
+    pub fn complete(&self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,24 @@
+//! Clean atomics: the completion flag uses a Release store paired with an
+//! Acquire load; plain statistics counters may stay Relaxed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct SendRequest {
+    done: AtomicBool,
+    bytes_sent: AtomicU64,
+}
+
+impl SendRequest {
+    pub fn complete(&self, bytes: u64) {
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        self.done.store(true, Ordering::Release);
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+}

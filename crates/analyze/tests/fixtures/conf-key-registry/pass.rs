@@ -1,0 +1,11 @@
+//! Clean conf usage: keys come in through constants (in real code, from
+//! hdm-common::conf), and ordinary strings that merely resemble key
+//! namespaces without the dot are not flagged.
+
+pub fn reducers(conf: &std::collections::HashMap<String, String>, key: &str) -> usize {
+    conf.get(key).and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+pub fn label() -> &'static str {
+    "iostat-style summary for the hive of workers"
+}

@@ -1,0 +1,19 @@
+//! Seeded violations for `no-panic-in-hot-path`: unwrap, expect, panic!,
+//! unreachable!, and unchecked indexing in (pretend) hot-path code.
+
+pub fn frame_header(buf: &[u8]) -> u8 {
+    let first = buf.first().copied().unwrap();
+    let second = buf[1];
+    if first == 0 {
+        panic!("zero frame");
+    }
+    first ^ second
+}
+
+pub fn route(dst: Option<usize>, table: &[usize]) -> usize {
+    let d = dst.expect("destination must be set");
+    match table.get(d) {
+        Some(&hop) => hop,
+        None => unreachable!("routing table covers all ranks"),
+    }
+}

@@ -1,0 +1,31 @@
+//! Clean hot-path code: errors flow through Result, lookups are checked,
+//! and the one deliberate exception carries a reasoned hdm-allow. Panics
+//! in test code are fine.
+
+pub fn frame_header(buf: &[u8]) -> Result<u8, String> {
+    let first = buf.first().copied().ok_or("empty frame")?;
+    let second = buf.get(1).copied().ok_or("truncated frame")?;
+    Ok(first ^ second)
+}
+
+pub fn route(dst: Option<usize>, table: &[usize]) -> Result<usize, String> {
+    let d = dst.ok_or("destination must be set")?;
+    table.get(d).copied().ok_or_else(|| format!("no route for rank {d}"))
+}
+
+pub fn version() -> u64 {
+    // hdm-allow(no-panic-in-hot-path): literal is valid by construction
+    "1".parse::<u64>().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_of_two_bytes() {
+        assert_eq!(frame_header(&[1, 2]).unwrap(), 3);
+        let table = [7usize, 8];
+        assert_eq!(table[0], 7);
+    }
+}

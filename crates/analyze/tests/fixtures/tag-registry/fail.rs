@@ -1,0 +1,16 @@
+//! Seeded violations for `tag-registry`: a duplicate tag value inside the
+//! tags module and a raw Tag literal used outside it.
+
+pub struct Tag(pub u32);
+
+pub mod tags {
+    use super::Tag;
+
+    pub const DATA: Tag = Tag(0x10);
+    pub const EOF: Tag = Tag(0x11);
+    pub const ACK: Tag = Tag(0x10);
+}
+
+pub fn control_frame() -> Tag {
+    Tag(0x7f)
+}

@@ -1,0 +1,27 @@
+//! Clean tag discipline: every tag value is declared once, in the single
+//! tags module; call sites go through the constants. Tests may improvise.
+
+pub struct Tag(pub u32);
+
+pub mod tags {
+    use super::Tag;
+
+    pub const DATA: Tag = Tag(0x10);
+    pub const EOF: Tag = Tag(0x11);
+    pub const ACK: Tag = Tag(0x12);
+}
+
+pub fn data_frame() -> u32 {
+    tags::DATA.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_tags_are_fine_in_tests() {
+        let t = Tag(99);
+        assert_eq!(t.0, 99);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded violation for `unbounded-blocking`: a receiver loop that blocks
+//! forever on `.recv()` — a lost EOF frame hangs the job.
+
+pub trait Channel {
+    type Item;
+    fn recv(&self) -> Result<Self::Item, ()>;
+}
+
+pub fn drain<C: Channel<Item = u64>>(rx: &C) -> u64 {
+    let mut sum = 0;
+    while let Ok(v) = rx.recv() {
+        sum += v;
+    }
+    sum
+}

@@ -1,0 +1,27 @@
+//! Clean receiver loop: bounded waits with a shutdown re-check on every
+//! timeout, so a dead peer cannot hang the job.
+
+use std::time::Duration;
+
+pub trait Channel {
+    type Item;
+    fn recv_timeout(&self, timeout: Duration) -> Result<Self::Item, RecvTimeout>;
+}
+
+pub enum RecvTimeout {
+    Timeout,
+    Disconnected,
+}
+
+pub fn drain<C: Channel<Item = u64>>(rx: &C, shutdown: &dyn Fn() -> bool) -> u64 {
+    let mut sum = 0;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(v) => sum += v,
+            Err(RecvTimeout::Timeout) if shutdown() => break,
+            Err(RecvTimeout::Timeout) => continue,
+            Err(RecvTimeout::Disconnected) => break,
+        }
+    }
+    sum
+}

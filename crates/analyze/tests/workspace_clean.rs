@@ -1,0 +1,24 @@
+//! The acceptance gate: `hdm-analyze` run over the workspace's own
+//! `crates/` tree must come back clean. Any new violation either gets
+//! fixed or earns an explicit `// hdm-allow(rule-id): reason`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root above crates/analyze");
+    let crates = root.join("crates");
+    let diags = hdm_analyze::check_paths(root, &[crates]).expect("scan workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace must be clean; violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -73,7 +73,7 @@ fn bench_spl(c: &mut Criterion) {
             |mut spl| {
                 let mut flushed = 0;
                 for (dst, kv) in &pairs {
-                    if spl.push(*dst, kv).is_some() {
+                    if spl.push(*dst, kv).expect("in-range dst").is_some() {
                         flushed += 1;
                     }
                 }
@@ -125,7 +125,12 @@ fn bench_orc(c: &mut Criterion) {
                     d.load_rows("t", &rows).expect("load");
                     d
                 },
-                |mut d| d.execute("SELECT a FROM t WHERE a < 100").expect("scan").rows.len(),
+                |mut d| {
+                    d.execute("SELECT a FROM t WHERE a < 100")
+                        .expect("scan")
+                        .rows
+                        .len()
+                },
                 BatchSize::SmallInput,
             )
         });
@@ -206,7 +211,8 @@ fn bench_engines_shuffle(c: &mut Criterion) {
 
 fn bench_expr_eval(c: &mut Criterion) {
     use hdm_core::parser::parse_statement;
-    let stmt = parse_statement("SELECT a FROM t WHERE a * 2 + 1 > 10 AND b LIKE 'customer%'").expect("sql");
+    let stmt = parse_statement("SELECT a FROM t WHERE a * 2 + 1 > 10 AND b LIKE 'customer%'")
+        .expect("sql");
     let q = match stmt {
         hdm_core::ast::Statement::Select(q) => q,
         _ => unreachable!(),

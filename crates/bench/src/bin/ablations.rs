@@ -62,8 +62,13 @@ fn main() {
     let shuffle_bytes = |w: &mut Workload, on: bool| -> u64 {
         w.driver.conf_mut().set(hdm_common::conf::KEY_COMBINER, on);
         let r = w.run(hibench::aggregate_query(), EngineKind::DataMpi);
-        w.driver.conf_mut().set(hdm_common::conf::KEY_COMBINER, true);
-        r.stages.iter().map(|s| s.volumes.total_shuffle_bytes()).sum()
+        w.driver
+            .conf_mut()
+            .set(hdm_common::conf::KEY_COMBINER, true);
+        r.stages
+            .iter()
+            .map(|s| s.volumes.total_shuffle_bytes())
+            .sum()
     };
     let with_combiner = shuffle_bytes(&mut w, true);
     let without = shuffle_bytes(&mut w, false);
@@ -88,9 +93,13 @@ fn main() {
     let mut orc = Workload::tpch(FormatKind::Orc);
     let probe = "SELECT COUNT(*) AS n FROM lineitem WHERE l_orderkey < 100";
     let input_bytes = |w: &mut Workload, on: bool| -> u64 {
-        w.driver.conf_mut().set("hive.orc.pushdown", on);
+        w.driver
+            .conf_mut()
+            .set(hdm_common::conf::KEY_ORC_PUSHDOWN, on);
         let r = w.run(probe, EngineKind::DataMpi);
-        w.driver.conf_mut().set("hive.orc.pushdown", true);
+        w.driver
+            .conf_mut()
+            .set(hdm_common::conf::KEY_ORC_PUSHDOWN, true);
         r.stages.iter().map(|s| s.volumes.total_input_bytes()).sum()
     };
     let with_ppd = input_bytes(&mut orc, true);

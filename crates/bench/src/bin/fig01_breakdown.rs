@@ -17,8 +17,13 @@ fn main() {
         ("AGGREGATE", hibench::aggregate_query()),
         ("JOIN", hibench::join_query()),
     ] {
-        let (_, timelines, _) =
-            run_and_simulate(&mut w, sql, EngineKind::Hadoop, DataMpiSimOptions::default(), 20.0);
+        let (_, timelines, _) = run_and_simulate(
+            &mut w,
+            sql,
+            EngineKind::Hadoop,
+            DataMpiSimOptions::default(),
+            20.0,
+        );
         for (j, tl) in timelines.iter().enumerate() {
             let b = tl.breakdown;
             let total = b.total();

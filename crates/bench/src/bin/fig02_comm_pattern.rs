@@ -28,7 +28,8 @@ fn end_time_spread(volumes: &JobVolumes) -> (f64, f64, f64, f64) {
     let max = ends.iter().copied().fold(0.0, f64::max);
     let mean = ends.iter().sum::<f64>() / ends.len().max(1) as f64;
     let dmean = durs.iter().sum::<f64>() / durs.len().max(1) as f64;
-    let dvar = durs.iter().map(|d| (d - dmean) * (d - dmean)).sum::<f64>() / durs.len().max(1) as f64;
+    let dvar =
+        durs.iter().map(|d| (d - dmean) * (d - dmean)).sum::<f64>() / durs.len().max(1) as f64;
     (min, mean, max, dvar.sqrt() / dmean.max(1e-9))
 }
 
@@ -89,7 +90,14 @@ fn main() {
 
     print_table(
         "Figure 2(a)/(b): map ending-time sequences (simulated seconds, 20 GB)",
-        &["workload", "first end", "mean end", "last end", "duration CV", "work CV"],
+        &[
+            "workload",
+            "first end",
+            "mean end",
+            "last end",
+            "duration CV",
+            "work CV",
+        ],
         &[
             vec![
                 "Hive AGGREGATE".into(),
@@ -131,13 +139,21 @@ fn main() {
             "HiBench AGGREGATE".to_string(),
             format!("{}", agg_hist.count()),
             format!("{:?}", agg_hist.top_modes(2)),
-            format!("{}..{}", agg_hist.min().unwrap_or(0), agg_hist.max().unwrap_or(0)),
+            format!(
+                "{}..{}",
+                agg_hist.min().unwrap_or(0),
+                agg_hist.max().unwrap_or(0)
+            ),
         ],
         vec![
             "TPC-H Q3 (all stages)".to_string(),
             format!("{}", q3_hist.count()),
             format!("{:?}", q3_hist.top_modes(2)),
-            format!("{}..{}", q3_hist.min().unwrap_or(0), q3_hist.max().unwrap_or(0)),
+            format!(
+                "{}..{}",
+                q3_hist.min().unwrap_or(0),
+                q3_hist.max().unwrap_or(0)
+            ),
         ],
     ];
     print_table(

@@ -17,7 +17,9 @@ fn main() {
     // Functional level: run the same aggregation under both styles.
     let mut functional = Vec::new();
     for style in ["nonblocking", "blocking"] {
-        w.driver.conf_mut().set(hdm_common::conf::KEY_SHUFFLE_STYLE, style);
+        w.driver
+            .conf_mut()
+            .set(hdm_common::conf::KEY_SHUFFLE_STYLE, style);
         let start = std::time::Instant::now();
         let result = w.run(hibench::aggregate_query(), EngineKind::DataMpi);
         functional.push((style, start.elapsed().as_secs_f64(), result));
@@ -70,7 +72,12 @@ fn main() {
     ];
     print_table(
         "Figure 6: AGGREGATE 20 GB, O-task phase by shuffle style",
-        &["style", "O phase (sim s)", "functional wall (s)", "send events"],
+        &[
+            "style",
+            "O phase (sim s)",
+            "functional wall (s)",
+            "send events",
+        ],
         &rows,
     );
     println!(

@@ -14,7 +14,9 @@ fn main() {
     // Shrink the modelled worker memory so the laptop-scale run really
     // spills when the cache percentage is small.
     let worker_mem = 384 << 10;
-    w.driver.conf_mut().set("datampi.worker.mem.bytes", worker_mem);
+    w.driver
+        .conf_mut()
+        .set(hdm_common::conf::KEY_WORKER_MEM_BYTES, worker_mem);
 
     // ---- memusedpercent sweep ------------------------------------------------
     let mut rows = Vec::new();
@@ -33,7 +35,12 @@ fn main() {
                 mem_used_percent: pctv,
                 ..Default::default()
             };
-            let secs = total_secs(&simulate(&result.stages, EngineKind::DataMpi, opts, w.scale_for_gb(20.0)));
+            let secs = total_secs(&simulate(
+                &result.stages,
+                EngineKind::DataMpi,
+                opts,
+                w.scale_for_gb(20.0),
+            ));
             let spills: f64 = result
                 .stages
                 .iter()
@@ -57,14 +64,24 @@ fn main() {
             ]);
         }
     }
-    w.driver.conf_mut().set(hdm_common::conf::KEY_MEM_USED_PERCENT, 0.4);
+    w.driver
+        .conf_mut()
+        .set(hdm_common::conf::KEY_MEM_USED_PERCENT, 0.4);
     print_table(
         "Figure 8 (left): cache-memory percentage sweep, 20 GB",
-        &["workload", "memusedpercent", "time (s)", "spill fraction sum"],
+        &[
+            "workload",
+            "memusedpercent",
+            "time (s)",
+            "spill fraction sum",
+        ],
         &rows,
     );
     for (name, at, secs) in &best {
-        println!("{name}: best at memusedpercent = {at:.2} ({} s; paper best: 0.40)", s1(*secs));
+        println!(
+            "{name}: best at memusedpercent = {at:.2} ({} s; paper best: 0.40)",
+            s1(*secs)
+        );
     }
 
     // ---- send queue sweep --------------------------------------------------------
@@ -80,7 +97,12 @@ fn main() {
                 send_queue_len: q,
                 ..Default::default()
             };
-            let secs = total_secs(&simulate(&result.stages, EngineKind::DataMpi, opts, w.scale_for_gb(20.0)));
+            let secs = total_secs(&simulate(
+                &result.stages,
+                EngineKind::DataMpi,
+                opts,
+                w.scale_for_gb(20.0),
+            ));
             let delta = prev.map(|p| p - secs).unwrap_or(0.0);
             prev = Some(secs);
             qrows.push(vec![name.to_string(), q.to_string(), s1(secs), s1(delta)]);

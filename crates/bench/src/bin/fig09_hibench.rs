@@ -17,8 +17,20 @@ fn main() {
     ] {
         let mut per_workload = Vec::new();
         for gb in [5.0, 10.0, 20.0, 40.0] {
-            let (_, _, had) = run_and_simulate(&mut w, sql, EngineKind::Hadoop, DataMpiSimOptions::default(), gb);
-            let (_, _, dm) = run_and_simulate(&mut w, sql, EngineKind::DataMpi, DataMpiSimOptions::default(), gb);
+            let (_, _, had) = run_and_simulate(
+                &mut w,
+                sql,
+                EngineKind::Hadoop,
+                DataMpiSimOptions::default(),
+                gb,
+            );
+            let (_, _, dm) = run_and_simulate(
+                &mut w,
+                sql,
+                EngineKind::DataMpi,
+                DataMpiSimOptions::default(),
+                gb,
+            );
             let imp = improvement_pct(had, dm);
             per_workload.push(imp);
             rows.push(vec![
@@ -34,10 +46,19 @@ fn main() {
     }
     print_table(
         "Figure 9: HiBench performance (simulated seconds on the paper's 8-node testbed)",
-        &["workload", "size", "Hadoop (s)", "DataMPI (s)", "improvement"],
+        &[
+            "workload",
+            "size",
+            "Hadoop (s)",
+            "DataMPI (s)",
+            "improvement",
+        ],
         &rows,
     );
     for (name, avg) in savings {
-        println!("{name}: average DataMPI improvement = {} (paper: ~29-31%)", pct(avg));
+        println!(
+            "{name}: average DataMPI improvement = {} (paper: ~29-31%)",
+            pct(avg)
+        );
     }
 }

@@ -17,10 +17,20 @@ fn main() {
         ("AGGREGATE", hibench::aggregate_query()),
         ("JOIN", hibench::join_query()),
     ] {
-        let (_, had_tl, _) =
-            run_and_simulate(&mut w, sql, EngineKind::Hadoop, DataMpiSimOptions::default(), 20.0);
-        let (_, dm_tl, _) =
-            run_and_simulate(&mut w, sql, EngineKind::DataMpi, DataMpiSimOptions::default(), 20.0);
+        let (_, had_tl, _) = run_and_simulate(
+            &mut w,
+            sql,
+            EngineKind::Hadoop,
+            DataMpiSimOptions::default(),
+            20.0,
+        );
+        let (_, dm_tl, _) = run_and_simulate(
+            &mut w,
+            sql,
+            EngineKind::DataMpi,
+            DataMpiSimOptions::default(),
+            20.0,
+        );
         for (j, (h, d)) in had_tl.iter().zip(&dm_tl).enumerate() {
             let hb = h.breakdown;
             let db = d.breakdown;

@@ -27,11 +27,16 @@ fn main() {
         .iter()
         .enumerate()
         {
-            w.driver.conf_mut().set(hdm_common::conf::KEY_PARALLELISM, mode);
-            let (_, _, s) = run_and_simulate(&mut w, sql, *engine, DataMpiSimOptions::default(), 40.0);
+            w.driver
+                .conf_mut()
+                .set(hdm_common::conf::KEY_PARALLELISM, mode);
+            let (_, _, s) =
+                run_and_simulate(&mut w, sql, *engine, DataMpiSimOptions::default(), 40.0);
             secs[i] = s;
         }
-        w.driver.conf_mut().set(hdm_common::conf::KEY_PARALLELISM, "default");
+        w.driver
+            .conf_mut()
+            .set(hdm_common::conf::KEY_PARALLELISM, "default");
         h_gain.push(improvement_pct(secs[0], secs[1]));
         d_gain.push(improvement_pct(secs[2], secs[3]));
         dd_vs_hh.push(improvement_pct(secs[1], secs[3]));

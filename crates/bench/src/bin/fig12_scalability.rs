@@ -13,7 +13,9 @@ fn main() {
     let mut best: (String, f64) = (String::new(), 0.0);
     for (fmt_name, fmt) in [("Text", FormatKind::Text), ("ORC", FormatKind::Orc)] {
         let mut w = Workload::tpch(fmt);
-        w.driver.conf_mut().set(hdm_common::conf::KEY_PARALLELISM, "enhanced");
+        w.driver
+            .conf_mut()
+            .set(hdm_common::conf::KEY_PARALLELISM, "enhanced");
         let mut rows = Vec::new();
         let mut gains = Vec::new();
         for n in tpch::queries::all() {
@@ -55,10 +57,18 @@ fn main() {
         println!(
             "{fmt_name}: average DataMPI improvement {} (paper: {} )",
             pct(avg),
-            if fmt == FormatKind::Text { "~20%" } else { "~32%" }
+            if fmt == FormatKind::Text {
+                "~20%"
+            } else {
+                "~32%"
+            }
         );
         // Growth trend check: 40 GB must cost more than 10 GB everywhere.
         let _ = &rows;
     }
-    println!("best case: {} at {} (paper: Q12 20 GB ORC, 53%)", best.0, pct(best.1));
+    println!(
+        "best case: {} at {} (paper: Q12 20 GB ORC, 53%)",
+        best.0,
+        pct(best.1)
+    );
 }

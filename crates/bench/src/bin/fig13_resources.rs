@@ -31,10 +31,24 @@ fn trace_of(timelines: &[JobTimeline]) -> ResourceTrace {
 
 fn main() {
     let mut w = Workload::tpch(FormatKind::Orc);
-    w.driver.conf_mut().set(hdm_common::conf::KEY_PARALLELISM, "enhanced");
+    w.driver
+        .conf_mut()
+        .set(hdm_common::conf::KEY_PARALLELISM, "enhanced");
     let sql = tpch::queries::query(9);
-    let (_, had_tl, had_s) = run_and_simulate(&mut w, sql, EngineKind::Hadoop, DataMpiSimOptions::default(), 40.0);
-    let (_, dm_tl, dm_s) = run_and_simulate(&mut w, sql, EngineKind::DataMpi, DataMpiSimOptions::default(), 40.0);
+    let (_, had_tl, had_s) = run_and_simulate(
+        &mut w,
+        sql,
+        EngineKind::Hadoop,
+        DataMpiSimOptions::default(),
+        40.0,
+    );
+    let (_, dm_tl, dm_s) = run_and_simulate(
+        &mut w,
+        sql,
+        EngineKind::DataMpi,
+        DataMpiSimOptions::default(),
+        40.0,
+    );
     let ht = trace_of(&had_tl);
     let dt = trace_of(&dm_tl);
 
@@ -94,7 +108,10 @@ fn main() {
     // Memory ramp: when does each engine reach 80% of its peak footprint?
     let ramp = |t: &ResourceTrace| -> usize {
         let peak = ResourceTrace::peak(&t.mem_bytes);
-        t.mem_bytes.iter().position(|&m| m >= 0.8 * peak).unwrap_or(0)
+        t.mem_bytes
+            .iter()
+            .position(|&m| m >= 0.8 * peak)
+            .unwrap_or(0)
     };
     println!(
         "time to 80% of peak memory: Hadoop {} s vs DataMPI {} s (paper: DataMPI reaches its footprint faster)",

@@ -27,12 +27,20 @@ fn main() {
         } else {
             Workload::tpch(FormatKind::Orc)
         };
-        let gb = if name.starts_with("HiBench") { 20.0 } else { 40.0 };
+        let gb = if name.starts_with("HiBench") {
+            20.0
+        } else {
+            40.0
+        };
 
         let file_mode = w.run(&sql, EngineKind::DataMpi);
-        w.driver.conf_mut().set("hive.datampi.dag", true);
+        w.driver
+            .conf_mut()
+            .set(hdm_common::conf::KEY_DAG_MODE, true);
         let dag_mode = w.run(&sql, EngineKind::DataMpi);
-        w.driver.conf_mut().set("hive.datampi.dag", false);
+        w.driver
+            .conf_mut()
+            .set(hdm_common::conf::KEY_DAG_MODE, false);
 
         // Intermediate bytes that DAG mode never materializes.
         let file_io: u64 = file_mode
@@ -64,8 +72,16 @@ fn main() {
     }
     print_table(
         "Future work (§VII.3): DAG execution vs intermediate files (DataMPI)",
-        &["query", "intermediate I/O saved", "files (s)", "DAG (s)", "improvement"],
+        &[
+            "query",
+            "intermediate I/O saved",
+            "files (s)",
+            "DAG (s)",
+            "improvement",
+        ],
         &rows,
     );
-    println!("(results verified identical between modes by hdm-core's dag_mode_matches_file_mode test)");
+    println!(
+        "(results verified identical between modes by hdm-core's dag_mode_matches_file_mode test)"
+    );
 }

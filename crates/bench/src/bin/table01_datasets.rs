@@ -64,5 +64,7 @@ fn main() {
         &["table", "10 GB", "20 GB", "40 GB"],
         &rows,
     );
-    println!("paper anchors: lineitem ≈ 7.3/15/30 GB, orders ≈ 1.7/3.3/6.6 GB, nation/region ≈ 4 KB");
+    println!(
+        "paper anchors: lineitem ≈ 7.3/15/30 GB, orders ≈ 1.7/3.3/6.6 GB, nation/region ≈ 4 KB"
+    );
 }

@@ -16,10 +16,34 @@ fn main() {
     let mut sums = [0.0f64; 4]; // HAD-TEXT, HAD-ORC, DM-TEXT, DM-ORC
     for n in tpch::queries::all() {
         let sql = tpch::queries::query(n);
-        let (_, _, ht) = run_and_simulate(&mut text, sql, EngineKind::Hadoop, DataMpiSimOptions::default(), 40.0);
-        let (_, _, ho) = run_and_simulate(&mut orc, sql, EngineKind::Hadoop, DataMpiSimOptions::default(), 40.0);
-        let (_, _, dt) = run_and_simulate(&mut text, sql, EngineKind::DataMpi, DataMpiSimOptions::default(), 40.0);
-        let (_, _, dor) = run_and_simulate(&mut orc, sql, EngineKind::DataMpi, DataMpiSimOptions::default(), 40.0);
+        let (_, _, ht) = run_and_simulate(
+            &mut text,
+            sql,
+            EngineKind::Hadoop,
+            DataMpiSimOptions::default(),
+            40.0,
+        );
+        let (_, _, ho) = run_and_simulate(
+            &mut orc,
+            sql,
+            EngineKind::Hadoop,
+            DataMpiSimOptions::default(),
+            40.0,
+        );
+        let (_, _, dt) = run_and_simulate(
+            &mut text,
+            sql,
+            EngineKind::DataMpi,
+            DataMpiSimOptions::default(),
+            40.0,
+        );
+        let (_, _, dor) = run_and_simulate(
+            &mut orc,
+            sql,
+            EngineKind::DataMpi,
+            DataMpiSimOptions::default(),
+            40.0,
+        );
         sums[0] += ht;
         sums[1] += ho;
         sums[2] += dt;

@@ -58,10 +58,22 @@ fn main() {
         "Table III: engine-plug-in productivity (non-comment lines)",
         &["component", "lines"],
         &[
-            vec!["compiler + operators (shared by both engines)".into(), compiler_loc.to_string()],
-            vec!["engine glue shared (splits, sinks, volumes)".into(), shared.to_string()],
-            vec!["Hadoop adapter (ExecMapper/ExecReducer wiring)".into(), hadoop.to_string()],
-            vec!["DataMPI adapter (DataMPICollector wiring)".into(), datampi.to_string()],
+            vec![
+                "compiler + operators (shared by both engines)".into(),
+                compiler_loc.to_string(),
+            ],
+            vec![
+                "engine glue shared (splits, sinks, volumes)".into(),
+                shared.to_string(),
+            ],
+            vec![
+                "Hadoop adapter (ExecMapper/ExecReducer wiring)".into(),
+                hadoop.to_string(),
+            ],
+            vec![
+                "DataMPI adapter (DataMPICollector wiring)".into(),
+                datampi.to_string(),
+            ],
         ],
     );
     println!(

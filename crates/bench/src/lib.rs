@@ -49,7 +49,8 @@ impl Workload {
     /// Panics on load failure (harness context).
     pub fn tpch(format: FormatKind) -> Workload {
         let mut driver = Driver::in_memory();
-        let stats = tpch::load_with_stats(&mut driver, TPCH_SCALE, SEED, format).expect("tpch load");
+        let stats =
+            tpch::load_with_stats(&mut driver, TPCH_SCALE, SEED, format).expect("tpch load");
         // Nominal sizes ("the 40 GB data set") are logical: anchor the
         // scale to the text-equivalent bytes so Text and ORC runs of the
         // same experiment process the same logical data.
@@ -141,7 +142,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

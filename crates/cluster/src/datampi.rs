@@ -78,7 +78,11 @@ impl DataMpiSimOptions {
 }
 
 /// Simulate one bipartite O→A job on the modelled cluster.
-pub fn simulate_datampi(volumes: &JobVolumes, spec: &ClusterSpec, opts: DataMpiSimOptions) -> JobTimeline {
+pub fn simulate_datampi(
+    volumes: &JobVolumes,
+    spec: &ClusterSpec,
+    opts: DataMpiSimOptions,
+) -> JobTimeline {
     let mut servers = Servers::new(spec);
     let mut spans = Vec::new();
     let workers = spec.worker_nodes;
@@ -128,8 +132,8 @@ pub fn simulate_datampi(volumes: &JobVolumes, spec: &ClusterSpec, opts: DataMpiS
             // than its own CPU demand. In the blocking style the stalled
             // communication thread back-pressures the pipeline through
             // the full send queue, inflating the compute path itself.
-            let mut cpu_s =
-                spec.compute_s(mv.records, mv.input_bytes, spec.map_cpu_s_per_record) * opts.gc_inflation();
+            let mut cpu_s = spec.compute_s(mv.records, mv.input_bytes, spec.map_cpu_s_per_record)
+                * opts.gc_inflation();
             if opts.blocking {
                 cpu_s *= spec.blocking_compute_stall;
             }
@@ -150,7 +154,12 @@ pub fn simulate_datampi(volumes: &JobVolumes, spec: &ClusterSpec, opts: DataMpiS
         for &t in &wave {
             let mv = &volumes.maps[t];
             let (c_start, c_end) = compute[t];
-            let ndst = mv.shuffle_bytes_per_dst.iter().filter(|&&b| b > 0).count().max(1);
+            let ndst = mv
+                .shuffle_bytes_per_dst
+                .iter()
+                .filter(|&&b| b > 0)
+                .count()
+                .max(1);
             let mut produced = 0usize;
             for (r, &bytes) in mv.shuffle_bytes_per_dst.iter().enumerate() {
                 if bytes == 0 {
@@ -184,7 +193,8 @@ pub fn simulate_datampi(volumes: &JobVolumes, spec: &ClusterSpec, opts: DataMpiS
                 // acknowledgement and for peers to join the invocation;
                 // a destination's stream is many send-partition rounds.
                 let rounds = (x.bytes / spec.model_send_partition_bytes).max(1);
-                rtt_penalty[x.task] += rounds as f64 * (spec.net_rtt_s + spec.blocking_round_sync_s);
+                rtt_penalty[x.task] +=
+                    rounds as f64 * (spec.net_rtt_s + spec.blocking_round_sync_s);
             }
         }
         // Task ends.
@@ -250,7 +260,11 @@ pub fn simulate_datampi(volumes: &JobVolumes, spec: &ClusterSpec, opts: DataMpiS
         // The receive threads sort/merge cached partitions while the O
         // phase is still running; that share of the A-side CPU is
         // already paid by the time the user function starts.
-        let overlap = if opts.cache { spec.datampi_merge_overlap } else { 0.0 };
+        let overlap = if opts.cache {
+            spec.datampi_merge_overlap
+        } else {
+            0.0
+        };
         let done = t + spec.compute_s(rv.records, shuffled, spec.reduce_cpu_s_per_record)
             * opts.gc_inflation()
             * (1.0 - overlap);
@@ -373,7 +387,10 @@ mod tests {
         // workload; on this uniform synthetic job the model's gap is
         // smaller but must still be pronounced.
         let ratio = bl_o / nb_o;
-        assert!((1.15..3.0).contains(&ratio), "blocking/nonblocking O ratio = {ratio}");
+        assert!(
+            (1.15..3.0).contains(&ratio),
+            "blocking/nonblocking O ratio = {ratio}"
+        );
     }
 
     #[test]
@@ -474,7 +491,10 @@ mod tests {
         // Diminishing returns past the paper's stable point.
         let gain_6_12 = q6.total() - q12.total();
         let gain_1_6 = q1.total() - q6.total();
-        assert!(gain_1_6 > gain_6_12, "gains: 1->6 {gain_1_6}, 6->12 {gain_6_12}");
+        assert!(
+            gain_1_6 > gain_6_12,
+            "gains: 1->6 {gain_1_6}, 6->12 {gain_6_12}"
+        );
     }
 
     #[test]
@@ -546,6 +566,9 @@ mod tests {
         // small relative to shuffle-heavy jobs (paper: Q1 improves ~9%).
         assert!(dm.total() < had.total());
         let improvement = 1.0 - dm.total() / had.total();
-        assert!(improvement < 0.35, "map-only improvement should be modest: {improvement}");
+        assert!(
+            improvement < 0.35,
+            "map-only improvement should be modest: {improvement}"
+        );
     }
 }

@@ -29,7 +29,11 @@ use crate::volumes::JobVolumes;
 /// Assign `n` tasks to waves over `slot_free`, returning per-task
 /// `(slot, node, slot_available_time)` with slots claimed greedily
 /// earliest-first. The caller must write back task end times.
-pub(crate) fn assign_wave(slot_free: &[f64], nodes: usize, count: usize) -> Vec<(usize, usize, f64)> {
+pub(crate) fn assign_wave(
+    slot_free: &[f64],
+    nodes: usize,
+    count: usize,
+) -> Vec<(usize, usize, f64)> {
     let mut order: Vec<usize> = (0..slot_free.len()).collect();
     order.sort_by(|&a, &b| slot_free[a].total_cmp(&slot_free[b]).then(a.cmp(&b)));
     order
@@ -87,7 +91,11 @@ pub fn simulate_hadoop(volumes: &JobVolumes, spec: &ClusterSpec) -> JobTimeline 
             cpu_end[t] = c_end;
         }
         // Stage 2: materialize map output, granted in compute-end order.
-        let mut writes: Vec<(usize, usize)> = wave.iter().zip(&assignment).map(|(&t, &(slot, ..))| (t, slot)).collect();
+        let mut writes: Vec<(usize, usize)> = wave
+            .iter()
+            .zip(&assignment)
+            .map(|(&t, &(slot, ..))| (t, slot))
+            .collect();
         writes.sort_by(|a, b| cpu_end[a.0].total_cmp(&cpu_end[b.0]));
         for (t, slot) in writes {
             let mv = &volumes.maps[t];
@@ -116,7 +124,8 @@ pub fn simulate_hadoop(volumes: &JobVolumes, spec: &ClusterSpec) -> JobTimeline 
     // Copy order: reducers fetch from maps as they finish.
     let mut finish_order: Vec<usize> = (0..n_maps).collect();
     finish_order.sort_by(|&a, &b| map_end[a].total_cmp(&map_end[b]));
-    let slowstart_idx = ((n_maps as f64 * spec.hadoop_slowstart).ceil() as usize).min(n_maps.saturating_sub(1));
+    let slowstart_idx =
+        ((n_maps as f64 * spec.hadoop_slowstart).ceil() as usize).min(n_maps.saturating_sub(1));
     let slowstart_t = if n_maps == 0 {
         launch_ready
     } else {
@@ -174,8 +183,11 @@ pub fn simulate_hadoop(volumes: &JobVolumes, spec: &ClusterSpec) -> JobTimeline 
             servers.log_cpu(node, t, done);
             cpu_done[r] = done;
         }
-        let mut out_order: Vec<(usize, usize)> =
-            wave.iter().zip(&assignment).map(|(&r, &(slot, ..))| (r, slot)).collect();
+        let mut out_order: Vec<(usize, usize)> = wave
+            .iter()
+            .zip(&assignment)
+            .map(|(&r, &(slot, ..))| (r, slot))
+            .collect();
         out_order.sort_by(|a, b| cpu_done[a.0].total_cmp(&cpu_done[b.0]));
         for (r, slot) in out_order {
             let rv = &volumes.reduces[r];
@@ -284,7 +296,10 @@ mod tests {
         let maps = tl.spans_of(TaskKind::Map);
         let first = maps.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
         let last = maps.iter().map(|s| s.start).fold(0.0, f64::max);
-        assert!(last > first + 1.0, "expected wave separation: {first} vs {last}");
+        assert!(
+            last > first + 1.0,
+            "expected wave separation: {first} vs {last}"
+        );
     }
 
     #[test]

@@ -201,7 +201,10 @@ mod tests {
         s.log_cpu(1, 0.0, 2.0);
         s.log_mem(0, 1.5, 1024);
         assert_eq!(s.usage.len(), 5); // write + out + in + cpu + mem
-        assert!(s.usage.iter().any(|u| u.resource == Resource::DiskWrite && u.bytes == 200));
+        assert!(s
+            .usage
+            .iter()
+            .any(|u| u.resource == Resource::DiskWrite && u.bytes == 200));
     }
 
     #[test]

@@ -60,7 +60,11 @@ pub struct ResourceTrace {
 impl ResourceTrace {
     /// Bin usage intervals into 1-second buckets. `total_cores` is the
     /// cluster-wide core count used to normalize CPU utilization.
-    pub fn from_usage(usage: &[UsageInterval], horizon_s: f64, total_cores: usize) -> ResourceTrace {
+    pub fn from_usage(
+        usage: &[UsageInterval],
+        horizon_s: f64,
+        total_cores: usize,
+    ) -> ResourceTrace {
         let n = horizon_s.ceil().max(1.0) as usize;
         let mut t = ResourceTrace {
             cpu_util: vec![0.0; n],
@@ -73,9 +77,13 @@ impl ResourceTrace {
         for u in usage {
             match u.resource {
                 Resource::MemDelta => mem_deltas.push((u.start, u.mem_delta)),
-                Resource::Cpu => spread(&mut t.cpu_util, u.start, u.end, (u.end - u.start).max(0.0)),
+                Resource::Cpu => {
+                    spread(&mut t.cpu_util, u.start, u.end, (u.end - u.start).max(0.0))
+                }
                 Resource::DiskRead => spread(&mut t.disk_read_bps, u.start, u.end, u.bytes as f64),
-                Resource::DiskWrite => spread(&mut t.disk_write_bps, u.start, u.end, u.bytes as f64),
+                Resource::DiskWrite => {
+                    spread(&mut t.disk_write_bps, u.start, u.end, u.bytes as f64)
+                }
                 Resource::NetOut => spread(&mut t.net_bps, u.start, u.end, u.bytes as f64),
                 Resource::NetIn => {} // mirror of NetOut; avoid double counting
             }

@@ -254,7 +254,9 @@ mod tests {
         assert!(split.maps.iter().all(|m| m.records <= 6));
         // Totals preserved up to integer division.
         assert!(v.total_input_bytes() - split.total_input_bytes() < split.maps.len() as u64);
-        assert!(v.total_shuffle_bytes() - split.total_shuffle_bytes() < 2 * split.maps.len() as u64);
+        assert!(
+            v.total_shuffle_bytes() - split.total_shuffle_bytes() < 2 * split.maps.len() as u64
+        );
         assert_eq!(split.shuffle_mismatch(), 0);
         assert_eq!(split.reduces[0].shuffle_bytes_from.len(), split.maps.len());
     }

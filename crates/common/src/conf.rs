@@ -30,6 +30,17 @@ pub const KEY_SHUFFLE_STYLE: &str = "datampi.shuffle.style";
 pub const KEY_SEND_PARTITION_BYTES: &str = "datampi.send.partition.bytes";
 /// Whether the map-side combiner runs (Hive map aggregation).
 pub const KEY_COMBINER: &str = "hive.map.aggr";
+/// DAG execution mode: chained DataMPI stages hand intermediates to the
+/// next stage in memory instead of materializing sequence files (the
+/// paper's stated future work, Section VI).
+pub const KEY_DAG_MODE: &str = "hive.datampi.dag";
+/// Hive's reducer-count policy input: bytes of stage input per reducer.
+pub const KEY_BYTES_PER_REDUCER: &str = "hive.exec.bytes.per.reducer";
+/// Whether ORC predicate pushdown is applied at scan time.
+pub const KEY_ORC_PUSHDOWN: &str = "hive.orc.pushdown";
+/// Per-worker memory in bytes; the DataMPI cache budget is this times
+/// [`KEY_MEM_USED_PERCENT`].
+pub const KEY_WORKER_MEM_BYTES: &str = "datampi.worker.mem.bytes";
 
 /// The parallelism strategy of Section IV-D.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,7 +124,9 @@ impl JobConf {
             Some(s) => match s.trim().to_ascii_lowercase().as_str() {
                 "true" | "1" | "yes" => Ok(true),
                 "false" | "0" | "no" => Ok(false),
-                other => Err(HdmError::Config(format!("{key}: expected bool, got {other:?}"))),
+                other => Err(HdmError::Config(format!(
+                    "{key}: expected bool, got {other:?}"
+                ))),
             },
         }
     }
@@ -124,7 +137,11 @@ impl JobConf {
     /// Returns [`HdmError::Config`] for values other than
     /// `default`/`enhanced`.
     pub fn parallelism(&self) -> Result<Parallelism> {
-        match self.get_str(KEY_PARALLELISM, "default").to_ascii_lowercase().as_str() {
+        match self
+            .get_str(KEY_PARALLELISM, "default")
+            .to_ascii_lowercase()
+            .as_str()
+        {
             "default" => Ok(Parallelism::Default),
             "enhanced" => Ok(Parallelism::Enhanced),
             other => Err(HdmError::Config(format!(
@@ -133,21 +150,36 @@ impl JobConf {
         }
     }
 
-    /// The `hive.datampi.memusedpercent` knob, clamped to `[0, 1]`.
-    /// Paper default (best trade-off): **0.4**.
+    /// The `hive.datampi.memusedpercent` knob. Paper default (best
+    /// trade-off): **0.4**.
     ///
     /// # Errors
-    /// Returns [`HdmError::Config`] if the stored value is not a float.
+    /// Returns [`HdmError::Config`] if the stored value is not a float or
+    /// lies outside `[0, 1]` — a silently clamped 7.5 would hand the
+    /// DataMPI cache 7.5× the intended budget on a misread unit.
     pub fn mem_used_percent(&self) -> Result<f64> {
-        Ok(self.get_f64(KEY_MEM_USED_PERCENT, 0.4)?.clamp(0.0, 1.0))
+        let v = self.get_f64(KEY_MEM_USED_PERCENT, 0.4)?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(HdmError::Config(format!(
+                "{KEY_MEM_USED_PERCENT}: expected a fraction in [0, 1], got {v}"
+            )));
+        }
+        Ok(v)
     }
 
     /// The `hive.datampi.sendqueue` knob. Paper default: **6**.
     ///
     /// # Errors
-    /// Returns [`HdmError::Config`] if the stored value is not an integer.
+    /// Returns [`HdmError::Config`] if the stored value is not an integer
+    /// or is less than 1 (a queue must hold at least one block).
     pub fn send_queue_len(&self) -> Result<usize> {
-        Ok(self.get_i64(KEY_SEND_QUEUE, 6)?.max(1) as usize)
+        let v = self.get_i64(KEY_SEND_QUEUE, 6)?;
+        if v < 1 {
+            return Err(HdmError::Config(format!(
+                "{KEY_SEND_QUEUE}: expected a queue length >= 1, got {v}"
+            )));
+        }
+        Ok(v as usize)
     }
 
     /// Iterate over all `(key, value)` entries in sorted key order.
@@ -189,7 +221,9 @@ mod tests {
     #[test]
     fn typed_getters() {
         let mut c = JobConf::new();
-        c.set(KEY_NUM_REDUCERS, 16).set(KEY_MEM_USED_PERCENT, 0.8).set(KEY_COMBINER, "true");
+        c.set(KEY_NUM_REDUCERS, 16)
+            .set(KEY_MEM_USED_PERCENT, 0.8)
+            .set(KEY_COMBINER, "true");
         assert_eq!(c.get_i64(KEY_NUM_REDUCERS, 1).unwrap(), 16);
         assert!((c.get_f64(KEY_MEM_USED_PERCENT, 0.0).unwrap() - 0.8).abs() < 1e-12);
         assert!(c.get_bool(KEY_COMBINER, false).unwrap());
@@ -210,14 +244,39 @@ mod tests {
     }
 
     #[test]
-    fn mem_percent_is_clamped() {
-        let c = JobConf::new().with(KEY_MEM_USED_PERCENT, 7.5);
-        assert!((c.mem_used_percent().unwrap() - 1.0).abs() < 1e-12);
+    fn mem_percent_out_of_range_is_an_error() {
+        for bad in ["7.5", "-0.1", "1.0001"] {
+            let c = JobConf::new().with(KEY_MEM_USED_PERCENT, bad);
+            let err = c.mem_used_percent().unwrap_err();
+            assert!(err.message().contains("[0, 1]"), "{bad}: {err}");
+        }
+        for ok in [("0", 0.0), ("1", 1.0), ("0.4", 0.4)] {
+            let c = JobConf::new().with(KEY_MEM_USED_PERCENT, ok.0);
+            assert!((c.mem_used_percent().unwrap() - ok.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn send_queue_rejects_malformed_values() {
+        let c = JobConf::new().with(KEY_SEND_QUEUE, "plenty");
+        assert!(c
+            .send_queue_len()
+            .unwrap_err()
+            .message()
+            .contains("integer"));
+        let c = JobConf::new().with(KEY_SEND_QUEUE, 0);
+        assert!(c.send_queue_len().unwrap_err().message().contains(">= 1"));
+        let c = JobConf::new().with(KEY_SEND_QUEUE, -3);
+        assert!(c.send_queue_len().is_err());
+        let c = JobConf::new().with(KEY_SEND_QUEUE, 8);
+        assert_eq!(c.send_queue_len().unwrap(), 8);
     }
 
     #[test]
     fn from_iterator_collects() {
-        let c: JobConf = vec![("a".to_string(), "1".to_string())].into_iter().collect();
+        let c: JobConf = vec![("a".to_string(), "1".to_string())]
+            .into_iter()
+            .collect();
         assert_eq!(c.get("a"), Some("1"));
         assert_eq!(c.len(), 1);
     }

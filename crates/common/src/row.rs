@@ -316,7 +316,10 @@ mod tests {
 
     #[test]
     fn schema_lookup_is_case_insensitive() {
-        let s = Schema::new(vec![("L_OrderKey", DataType::Long), ("l_comment", DataType::String)]);
+        let s = Schema::new(vec![
+            ("L_OrderKey", DataType::Long),
+            ("l_comment", DataType::String),
+        ]);
         assert_eq!(s.index_of("l_orderkey"), Some(0));
         assert_eq!(s.index_of("L_COMMENT"), Some(1));
         assert_eq!(s.index_of("missing"), None);

@@ -88,7 +88,10 @@ impl Histogram {
             .map(|(i, &c)| (i, c))
             .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        v.into_iter().take(k).map(|(i, _)| i as u64 * self.bucket_width).collect()
+        v.into_iter()
+            .take(k)
+            .map(|(i, _)| i as u64 * self.bucket_width)
+            .collect()
     }
 
     /// Merge another histogram into this one.
@@ -96,7 +99,10 @@ impl Histogram {
     /// # Panics
     /// Panics if the bucket widths differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bucket_width, other.bucket_width, "bucket width mismatch");
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket width mismatch"
+        );
         if other.counts.len() > self.counts.len() {
             self.counts.resize(other.counts.len(), 0);
         }
@@ -113,7 +119,11 @@ impl Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "histogram (n={}, width={}):", self.total, self.bucket_width)?;
+        writeln!(
+            f,
+            "histogram (n={}, width={}):",
+            self.total, self.bucket_width
+        )?;
         for (lo, c) in self.buckets() {
             writeln!(f, "  [{lo:>8}, {:>8}) {c}", lo + self.bucket_width)?;
         }

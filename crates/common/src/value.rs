@@ -375,7 +375,11 @@ mod tests {
             (1900, 3, 1),
         ] {
             let v = Value::date_from_ymd(y, m, d);
-            assert_eq!(v.date_ymd(), Some((y as i64, m as i64, d as i64)), "{y}-{m}-{d}");
+            assert_eq!(
+                v.date_ymd(),
+                Some((y as i64, m as i64, d as i64)),
+                "{y}-{m}-{d}"
+            );
         }
     }
 
@@ -401,7 +405,10 @@ mod tests {
 
     #[test]
     fn mixed_numeric_comparison() {
-        assert_eq!(Value::Long(3).total_cmp(&Value::Double(3.0)), Ordering::Equal);
+        assert_eq!(
+            Value::Long(3).total_cmp(&Value::Double(3.0)),
+            Ordering::Equal
+        );
         assert!(Value::Long(3) < Value::Double(3.5));
         assert!(Value::Double(2.9) < Value::Long(3));
     }
@@ -420,7 +427,10 @@ mod tests {
 
     #[test]
     fn cast_semantics() {
-        assert_eq!(Value::Str("12".into()).cast_to(DataType::Long), Value::Long(12));
+        assert_eq!(
+            Value::Str("12".into()).cast_to(DataType::Long),
+            Value::Long(12)
+        );
         assert_eq!(Value::Long(2).cast_to(DataType::Double), Value::Double(2.0));
         assert_eq!(Value::Str("x".into()).cast_to(DataType::Long), Value::Null);
         assert_eq!(

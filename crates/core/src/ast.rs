@@ -149,7 +149,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for comparison operators.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 }
 
@@ -295,12 +298,14 @@ impl Expr {
             Expr::Func { name, args, .. } => {
                 is_aggregate_name(name) || args.iter().any(Expr::contains_aggregate)
             }
-            Expr::Binary { left, right, .. } => left.contains_aggregate() || right.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
             Expr::Not(e) => e.contains_aggregate(),
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
@@ -310,9 +315,17 @@ impl Expr {
                 whens,
                 else_expr,
             } => {
-                operand.as_deref().map(Expr::contains_aggregate).unwrap_or(false)
-                    || whens.iter().any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
-                    || else_expr.as_deref().map(Expr::contains_aggregate).unwrap_or(false)
+                operand
+                    .as_deref()
+                    .map(Expr::contains_aggregate)
+                    .unwrap_or(false)
+                    || whens
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || else_expr
+                        .as_deref()
+                        .map(Expr::contains_aggregate)
+                        .unwrap_or(false)
             }
             Expr::Cast { expr, .. } => expr.contains_aggregate(),
             Expr::Column { .. } | Expr::Literal(_) | Expr::Star => false,
@@ -329,7 +342,9 @@ impl Expr {
             }
             Expr::Not(e) => e.columns(out),
             Expr::IsNull { expr, .. } => expr.columns(out),
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.columns(out);
                 low.columns(out);
                 high.columns(out);
@@ -423,7 +438,10 @@ mod tests {
         e.columns(&mut cols);
         assert_eq!(
             cols,
-            vec![(Some("l".to_string()), "qty".to_string()), (None, "threshold".to_string())]
+            vec![
+                (Some("l".to_string()), "qty".to_string()),
+                (None, "threshold".to_string())
+            ]
         );
     }
 }

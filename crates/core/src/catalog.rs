@@ -119,12 +119,25 @@ mod tests {
         assert_eq!(meta.schema.len(), 1);
         // Duplicate fails unless IF NOT EXISTS.
         assert!(ms
-            .create_table("orders", vec![("x".into(), DataType::Long)], FormatKind::Text, false)
+            .create_table(
+                "orders",
+                vec![("x".into(), DataType::Long)],
+                FormatKind::Text,
+                false
+            )
             .is_err());
-        ms.create_table("orders", vec![("x".into(), DataType::Long)], FormatKind::Text, true)
-            .unwrap();
+        ms.create_table(
+            "orders",
+            vec![("x".into(), DataType::Long)],
+            FormatKind::Text,
+            true,
+        )
+        .unwrap();
         // Original schema kept.
-        assert_eq!(ms.table("orders").unwrap().schema.index_of("o_orderkey"), Some(0));
+        assert_eq!(
+            ms.table("orders").unwrap().schema.index_of("o_orderkey"),
+            Some(0)
+        );
 
         let dfs = Dfs::new(DfsConfig {
             block_size: 64,
@@ -141,9 +154,17 @@ mod tests {
     fn table_names_sorted() {
         let mut ms = Metastore::new();
         for n in ["zeta", "alpha"] {
-            ms.create_table(n, vec![("c".into(), DataType::Long)], FormatKind::Orc, false)
-                .unwrap();
+            ms.create_table(
+                n,
+                vec![("c".into(), DataType::Long)],
+                FormatKind::Orc,
+                false,
+            )
+            .unwrap();
         }
-        assert_eq!(ms.table_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+        assert_eq!(
+            ms.table_names(),
+            vec!["alpha".to_string(), "zeta".to_string()]
+        );
     }
 }

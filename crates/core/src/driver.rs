@@ -149,7 +149,8 @@ impl Driver {
                 format,
                 if_not_exists,
             } => {
-                self.metastore.create_table(&name, columns, format, if_not_exists)?;
+                self.metastore
+                    .create_table(&name, columns, format, if_not_exists)?;
                 Ok(QueryResult::default())
             }
             Statement::DropTable { name, if_exists } => {
@@ -174,11 +175,20 @@ impl Driver {
                 )?;
                 Ok(QueryResult {
                     rows: Vec::new(),
-                    columns: meta.schema.fields().iter().map(|f| f.name.clone()).collect(),
+                    columns: meta
+                        .schema
+                        .fields()
+                        .iter()
+                        .map(|f| f.name.clone())
+                        .collect(),
                     stages,
                 })
             }
-            Statement::CreateTableAs { name, format, query } => {
+            Statement::CreateTableAs {
+                name,
+                format,
+                query,
+            } => {
                 if self.metastore.contains(&name) {
                     return Err(HdmError::Plan(format!("table already exists: {name}")));
                 }
@@ -191,7 +201,10 @@ impl Driver {
                         format,
                     },
                 )?;
-                let last = plan.stages.last().expect("plan has stages");
+                let last = plan
+                    .stages
+                    .last()
+                    .ok_or_else(|| HdmError::Plan("CTAS produced an empty plan".into()))?;
                 let columns: Vec<(String, hdm_common::value::DataType)> = last
                     .out_names
                     .iter()
@@ -208,8 +221,13 @@ impl Driver {
             }
             Statement::Select(query) => {
                 let (stages, collected) = self.run_select(&query, StageOutput::Collect, engine)?;
-                let (rows, columns) = collected.expect("collect sink returns rows");
-                Ok(QueryResult { rows, columns, stages })
+                let (rows, columns) = collected
+                    .ok_or_else(|| HdmError::Plan("collect sink returned no result rows".into()))?;
+                Ok(QueryResult {
+                    rows,
+                    columns,
+                    stages,
+                })
             }
         }
     }
@@ -230,21 +248,27 @@ impl Driver {
         }
         let stages = self.execute_plan(&plan, engine)?;
         let collected = if matches!(sink, StageOutput::Collect) {
-            let last = stages.last().expect("plan has stages");
+            let (last, last_plan) = match (stages.last(), plan.stages.last()) {
+                (Some(s), Some(p)) => (s, p),
+                _ => return Err(HdmError::Plan("SELECT produced an empty plan".into())),
+            };
             let mut rows = read_seq_outputs(&self.dfs, &last.output_paths)?;
             // LIMIT without ORDER BY is applied here (best-effort upstream).
             if let Some(l) = qb.limit {
                 rows.truncate(l as usize);
             }
-            let columns = plan.stages.last().expect("stages").out_names.clone();
-            Some((rows, columns))
+            Some((rows, last_plan.out_names.clone()))
         } else {
             None
         };
         Ok((stages, collected))
     }
 
-    fn execute_plan(&mut self, plan: &crate::physical::QueryPlan, engine: EngineKind) -> Result<Vec<StageResult>> {
+    fn execute_plan(
+        &mut self,
+        plan: &crate::physical::QueryPlan,
+        engine: EngineKind,
+    ) -> Result<Vec<StageResult>> {
         let query_id = self.next_query_id;
         self.next_query_id += 1;
         let mut intermediates: HashMap<usize, Vec<String>> = HashMap::new();
@@ -270,7 +294,8 @@ impl Driver {
         // Clean intermediate temp files (keep the final output).
         for stage in &plan.stages {
             if stage.output == StageOutput::Intermediate {
-                self.dfs.delete_prefix(&format!("/tmp/q{query_id}/stage{}/", stage.id));
+                self.dfs
+                    .delete_prefix(&format!("/tmp/q{query_id}/stage{}/", stage.id));
             }
         }
         Ok(results)
@@ -415,14 +440,19 @@ mod tests {
         let hadoop = d.execute_on(sql, EngineKind::Hadoop).unwrap();
         let datampi = d.execute_on(sql, EngineKind::DataMpi).unwrap();
         assert_eq!(hadoop.to_lines(), datampi.to_lines());
-        assert_eq!(hadoop.to_lines(), vec!["1\t2\t5.0", "2\t2\t6.5", "3\t1\t0.5"]);
+        assert_eq!(
+            hadoop.to_lines(),
+            vec!["1\t2\t5.0", "2\t2\t6.5", "3\t1\t0.5"]
+        );
     }
 
     #[test]
     fn join_works() {
         let mut d = driver();
-        d.execute("CREATE TABLE names (k BIGINT, label STRING)").unwrap();
-        d.execute("INSERT INTO names VALUES (1, 'one'), (2, 'two')").unwrap();
+        d.execute("CREATE TABLE names (k BIGINT, label STRING)")
+            .unwrap();
+        d.execute("INSERT INTO names VALUES (1, 'one'), (2, 'two')")
+            .unwrap();
         let r = d
             .execute("SELECT label, v FROM t JOIN names n ON t.k = n.k ORDER BY v")
             .unwrap();
@@ -433,7 +463,9 @@ mod tests {
     #[test]
     fn order_by_desc_with_limit() {
         let mut d = driver();
-        let r = d.execute("SELECT s, v FROM t ORDER BY v DESC LIMIT 2").unwrap();
+        let r = d
+            .execute("SELECT s, v FROM t ORDER BY v DESC LIMIT 2")
+            .unwrap();
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[0].get(1), &Value::Double(4.0));
         assert_eq!(r.rows[1].get(1), &Value::Double(3.5));
@@ -446,7 +478,9 @@ mod tests {
             .unwrap();
         let meta = d.metastore().table("agg").unwrap();
         assert_eq!(meta.schema.index_of("total"), Some(1));
-        let r = d.execute("SELECT k FROM agg WHERE total > 5 ORDER BY k").unwrap();
+        let r = d
+            .execute("SELECT k FROM agg WHERE total > 5 ORDER BY k")
+            .unwrap();
         assert_eq!(r.to_lines(), vec!["2"]);
     }
 
@@ -459,8 +493,10 @@ mod tests {
         let r1 = d.execute("SELECT k FROM dst ORDER BY k").unwrap();
         assert_eq!(r1.rows.len(), 3);
         // Overwrite again with a filtered subset.
-        d.execute("INSERT OVERWRITE TABLE dst SELECT k, COUNT(*) AS c FROM t WHERE k = 1 GROUP BY k")
-            .unwrap();
+        d.execute(
+            "INSERT OVERWRITE TABLE dst SELECT k, COUNT(*) AS c FROM t WHERE k = 1 GROUP BY k",
+        )
+        .unwrap();
         let r2 = d.execute("SELECT k FROM dst ORDER BY k").unwrap();
         assert_eq!(r2.rows.len(), 1);
     }
@@ -479,7 +515,13 @@ mod tests {
         // Simulation produces sane timelines on both engines.
         let spec = ClusterSpec::default();
         for engine in [EngineKind::Hadoop, EngineKind::DataMpi] {
-            let tls = simulate_query(&r.stages, engine, &spec, DataMpiSimOptions::default(), 1000.0);
+            let tls = simulate_query(
+                &r.stages,
+                engine,
+                &spec,
+                DataMpiSimOptions::default(),
+                1000.0,
+            );
             assert_eq!(tls.len(), 2);
             assert!(simulated_total_seconds(&tls, 1.0) > 1.0);
         }
@@ -488,20 +530,25 @@ mod tests {
     #[test]
     fn dag_mode_matches_file_mode() {
         let mut d = driver();
-        d.execute("CREATE TABLE names (k BIGINT, label STRING)").unwrap();
-        d.execute("INSERT INTO names VALUES (1, 'one'), (2, 'two')").unwrap();
+        d.execute("CREATE TABLE names (k BIGINT, label STRING)")
+            .unwrap();
+        d.execute("INSERT INTO names VALUES (1, 'one'), (2, 'two')")
+            .unwrap();
         // A three-stage query (join → aggregate → sort) exercises two
         // intermediate hand-offs.
         let sql = "SELECT label, COUNT(*) AS n, SUM(v) AS s FROM t                    JOIN names nm ON t.k = nm.k GROUP BY label ORDER BY label";
         let file_mode = d.execute_on(sql, EngineKind::DataMpi).unwrap();
-        d.conf_mut().set("hive.datampi.dag", true);
+        d.conf_mut().set(hdm_common::conf::KEY_DAG_MODE, true);
         let dag_mode = d.execute_on(sql, EngineKind::DataMpi).unwrap();
-        d.conf_mut().set("hive.datampi.dag", false);
+        d.conf_mut().set(hdm_common::conf::KEY_DAG_MODE, false);
         assert_eq!(file_mode.to_lines(), dag_mode.to_lines());
         // DAG intermediates never touch the DFS: the intermediate stages
         // report no output files and no downstream input bytes.
         let mid = &dag_mode.stages[0];
-        assert!(mid.output_paths.is_empty(), "DAG stage should not write files");
+        assert!(
+            mid.output_paths.is_empty(),
+            "DAG stage should not write files"
+        );
         assert!(mid.mem_output.is_some());
         let downstream = &dag_mode.stages[1];
         assert_eq!(

@@ -86,7 +86,10 @@ pub struct StageContext<'a> {
 /// files in the DFS.
 pub fn dag_mode_enabled(ctx: &StageContext<'_>) -> bool {
     ctx.engine == EngineKind::DataMpi
-        && ctx.conf.get_bool("hive.datampi.dag", false).unwrap_or(false)
+        && ctx
+            .conf
+            .get_bool(hdm_common::conf::KEY_DAG_MODE, false)
+            .unwrap_or(false)
 }
 
 /// What one executed stage produced.
@@ -109,7 +112,8 @@ pub struct StageResult {
 }
 
 /// The engine-agnostic map pipeline: `(task_index, emit)`.
-type MapLogic = Arc<dyn Fn(usize, &mut dyn FnMut(KvPair) -> Result<()>) -> Result<()> + Send + Sync>;
+type MapLogic =
+    Arc<dyn Fn(usize, &mut dyn FnMut(KvPair) -> Result<()>) -> Result<()> + Send + Sync>;
 /// The engine-agnostic reduce pipeline: `(reduce_rank, groups)`.
 type ReduceLogic = Arc<dyn Fn(usize, &mut dyn GroupSource) -> Result<()> + Send + Sync>;
 
@@ -142,15 +146,21 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 let paths = ctx.metastore.storage.parts(ctx.dfs, name);
                 (fmt, meta.schema.clone(), paths)
             }
-            InputSource::Stage(id) if dag_mode_enabled(ctx) && ctx.dag_intermediates.contains_key(id) => {
+            InputSource::Stage(id)
+                if dag_mode_enabled(ctx) && ctx.dag_intermediates.contains_key(id) =>
+            {
                 // DAG mode: chunk the in-memory intermediate into tasks.
-                let rows = ctx.dag_intermediates.get(id).expect("checked").clone();
+                let Some(rows) = ctx.dag_intermediates.get(id).cloned() else {
+                    return Err(HdmError::Plan(format!("stage {id} DAG output missing")));
+                };
                 let chunk = 4096usize;
                 let mut start = 0;
                 let mut any = false;
                 while start < rows.len() {
                     let end = (start + chunk).min(rows.len());
-                    let est_bytes: u64 = rows[start..end].iter().map(|r| r.wire_size() as u64).sum();
+                    let est_bytes: u64 = rows
+                        .get(start..end)
+                        .map_or(0, |c| c.iter().map(|r| r.wire_size() as u64).sum());
                     tasks.push(TaskSpec {
                         input_idx: i,
                         split: None,
@@ -235,7 +245,10 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 // format — the regime a 10-40 GB input is in on the real
                 // cluster (the paper observes Hive launching 16 A tasks
                 // for TPC-H Q9 by default).
-                let per_reducer = ctx.conf.get_i64("hive.exec.bytes.per.reducer", 32 << 10)?.max(1) as u64;
+                let per_reducer = ctx
+                    .conf
+                    .get_i64(hdm_common::conf::KEY_BYTES_PER_REDUCER, 32 << 10)?
+                    .max(1) as u64;
                 (total_bytes.div_ceil(per_reducer) as usize).clamp(1, slots.min(16))
             }
         },
@@ -254,27 +267,31 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
         _ => Arc::new(SeqFormat),
     };
     let _out_names = stage.out_names.clone();
-    let out_schema = if stage.out_names.len() == stage.out_types.len() && !stage.out_names.is_empty() {
-        Schema::new(
-            stage
-                .out_names
-                .iter()
-                .cloned()
-                .zip(stage.out_types.iter().copied())
-                .collect::<Vec<_>>(),
-        )
-    } else {
-        Schema::empty()
-    };
+    let out_schema =
+        if stage.out_names.len() == stage.out_types.len() && !stage.out_names.is_empty() {
+            Schema::new(
+                stage
+                    .out_names
+                    .iter()
+                    .cloned()
+                    .zip(stage.out_types.iter().copied())
+                    .collect::<Vec<_>>(),
+            )
+        } else {
+            Schema::empty()
+        };
     // Typed sinks (warehouse tables) need cells cast to the declared
     // column types; sequence sinks preserve dynamic values as-is.
     let typed_sink = matches!(stage.output, crate::physical::StageOutput::Table { .. });
 
     // ---- shared measurement state ---------------------------------------------
-    let map_vols: Arc<Mutex<Vec<MapVolume>>> = Arc::new(Mutex::new(vec![MapVolume::default(); map_tasks]));
+    let map_vols: Arc<Mutex<Vec<MapVolume>>> =
+        Arc::new(Mutex::new(vec![MapVolume::default(); map_tasks]));
     let kv_sizes: Arc<Mutex<hdm_common::stats::Histogram>> =
         Arc::new(Mutex::new(hdm_common::stats::Histogram::new(2)));
-    let pushdown_enabled = ctx.conf.get_bool("hive.orc.pushdown", true)?;
+    let pushdown_enabled = ctx
+        .conf
+        .get_bool(hdm_common::conf::KEY_ORC_PUSHDOWN, true)?;
     let out_paths: Arc<Mutex<Vec<(usize, String)>>> = Arc::new(Mutex::new(Vec::new()));
     let out_bytes: Arc<Mutex<HashMap<usize, u64>>> = Arc::new(Mutex::new(HashMap::new()));
 
@@ -312,8 +329,15 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             buffers: Arc::new(Mutex::new(HashMap::new())),
         };
         move |task_idx: usize, emit: &mut dyn FnMut(KvPair) -> Result<()>| -> Result<()> {
-            let spec = &tasks[task_idx];
-            let input: &MapInput = &stage.inputs[spec.input_idx];
+            let spec = tasks
+                .get(task_idx)
+                .ok_or_else(|| HdmError::Plan(format!("map task {task_idx} has no input spec")))?;
+            let input: &MapInput = stage.inputs.get(spec.input_idx).ok_or_else(|| {
+                HdmError::Plan(format!(
+                    "map task {task_idx}: input {} missing",
+                    spec.input_idx
+                ))
+            })?;
             let mut vol = MapVolume {
                 local_fraction: 1.0,
                 ..Default::default()
@@ -323,19 +347,30 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                     // DAG mode: rows arrive from memory, no DFS read.
                     dag_rows
                         .get(stage_id)
-                        .map(|r| r[*start..*end].to_vec())
+                        .and_then(|r| r.get(*start..*end))
+                        .map(<[Row]>::to_vec)
                         .unwrap_or_default()
                 }
                 (None, None) => Vec::new(),
                 (Some(split), _) => {
                     let node = split.hosts.first().copied().unwrap_or(NodeId(0));
                     let no_pushdown = [];
-                    let src = formats[spec.input_idx].read_split(
+                    let fmt = formats.get(spec.input_idx).ok_or_else(|| {
+                        HdmError::Plan(format!("input {} has no format", spec.input_idx))
+                    })?;
+                    let schema = table_schemas.get(spec.input_idx).ok_or_else(|| {
+                        HdmError::Plan(format!("input {} has no schema", spec.input_idx))
+                    })?;
+                    let src = fmt.read_split(
                         &dfs,
                         split,
-                        &table_schemas[spec.input_idx],
+                        schema,
                         input.read_projection.as_deref(),
-                        if pushdown_enabled { &input.pushdown } else { &no_pushdown },
+                        if pushdown_enabled {
+                            &input.pushdown
+                        } else {
+                            &no_pushdown
+                        },
                         Some(node),
                     )?;
                     vol.input_bytes = src.bytes_read;
@@ -345,7 +380,10 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             // Map-side partial aggregation (Hive's hash-GBY operator).
             let partial = matches!(stage.kind, StageKind::Aggregate { .. })
                 && conf_map_aggr
-                && aggregator.as_ref().map(|a| !a.has_distinct()).unwrap_or(false);
+                && aggregator
+                    .as_ref()
+                    .map(|a| !a.has_distinct())
+                    .unwrap_or(false);
             let mut hash_agg: HashMap<Row, Vec<crate::operators::AggState>> = HashMap::new();
 
             let mut local_hist = hdm_common::stats::Histogram::new(2);
@@ -372,7 +410,9 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                     StageKind::Aggregate { .. } => {
                         let key = project_row(&input.key_exprs, &row)?;
                         if partial {
-                            let agg = aggregator.as_ref().expect("aggregator present");
+                            let agg = aggregator.as_ref().ok_or_else(|| {
+                                HdmError::Plan("aggregate stage without an aggregator".into())
+                            })?;
                             let states = hash_agg.entry(key).or_insert_with(|| agg.new_states());
                             agg.update_raw(states, &value);
                         } else {
@@ -386,7 +426,9 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 }
             }
             if partial {
-                let agg = aggregator.as_ref().expect("aggregator present");
+                let agg = aggregator.as_ref().ok_or_else(|| {
+                    HdmError::Plan("aggregate stage without an aggregator".into())
+                })?;
                 for (key, states) in hash_agg {
                     emit(KvPair::from_rows(&key, &agg.states_to_row(&states)))?;
                 }
@@ -394,7 +436,9 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             if matches!(stage.kind, StageKind::MapOnly) {
                 map_only_ctx.close(task_idx)?;
             }
-            map_vols.lock()[task_idx] = vol;
+            if let Some(slot) = map_vols.lock().get_mut(task_idx) {
+                *slot = vol;
+            }
             kv_sizes.lock().merge(&local_hist);
             Ok(())
         }
@@ -402,13 +446,12 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
     let map_logic: MapLogic = Arc::new(map_logic);
 
     // ---- the engine-agnostic reduce pipeline --------------------------------------
-    let dag_sink: Option<Arc<Mutex<Vec<Row>>>> = if dag_mode_enabled(ctx)
-        && stage.output == crate::physical::StageOutput::Intermediate
-    {
-        Some(Arc::new(Mutex::new(Vec::new())))
-    } else {
-        None
-    };
+    let dag_sink: Option<Arc<Mutex<Vec<Row>>>> =
+        if dag_mode_enabled(ctx) && stage.output == crate::physical::StageOutput::Intermediate {
+            Some(Arc::new(Mutex::new(Vec::new())))
+        } else {
+            None
+        };
     let reduce_logic = {
         let dag_sink = dag_sink.clone();
         let stage = Arc::clone(&stage_arc);
@@ -420,7 +463,10 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
         let out_bytes = Arc::clone(&out_bytes);
         let aggregator = aggregator.clone();
         let raw_mode = !conf_map_aggr
-            || aggregator.as_ref().map(|a| a.has_distinct()).unwrap_or(false);
+            || aggregator
+                .as_ref()
+                .map(|a| a.has_distinct())
+                .unwrap_or(false);
         move |rank: usize, groups: &mut dyn GroupSource| -> Result<()> {
             let mut rows_out: Vec<Row> = Vec::new();
             match &stage.kind {
@@ -458,7 +504,9 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 StageKind::Aggregate {
                     having, project, ..
                 } => {
-                    let agg = aggregator.as_ref().expect("aggregator present");
+                    let agg = aggregator.as_ref().ok_or_else(|| {
+                        HdmError::Plan("aggregate stage without an aggregator".into())
+                    })?;
                     while let Some((key, values)) = groups.next_group() {
                         let key_row = Row::decode(&mut key.clone())?;
                         let mut states = agg.new_states();
@@ -500,7 +548,8 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             }
             // Write this reducer's part file.
             let path = format!("{out_dir}part-{rank:05}");
-            let mut sink = out_format.create(&dfs, &path, &out_schema, NodeId((rank % 7) as u32))?;
+            let mut sink =
+                out_format.create(&dfs, &path, &out_schema, NodeId((rank % 7) as u32))?;
             for r in &rows_out {
                 if typed_sink {
                     let cast: Row = r
@@ -524,7 +573,9 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
 
     // ---- comparator / partitioner -----------------------------------------------
     let comparator: ComparatorRef = match &stage.kind {
-        StageKind::Sort { ascending, .. } => Arc::new(DirectionalRowComparator::new(ascending.clone())),
+        StageKind::Sort { ascending, .. } => {
+            Arc::new(DirectionalRowComparator::new(ascending.clone()))
+        }
         _ => Arc::new(RowKeyComparator),
     };
     let partitioner: PartitionerRef = match &stage.kind {
@@ -620,8 +671,6 @@ impl GroupSource for hdm_datampi::AContext {
     }
 }
 
-
-
 /// Hadoop adapter: `ExecMapper`/`ExecReducer` wiring.
 #[allow(clippy::too_many_arguments)]
 fn run_on_hadoop(
@@ -653,12 +702,14 @@ fn run_on_hadoop(
     {
         let mut maps = map_vols.lock();
         for (m, stats) in outcome.report.map_tasks.iter().enumerate() {
-            maps[m].spill_bytes += stats.spill_bytes;
-            let mut per_dst = vec![0u64; reduce_tasks];
-            for (r, red) in outcome.report.reduce_tasks.iter().enumerate() {
-                per_dst[r] = red.shuffled_from.get(m).copied().unwrap_or(0);
-            }
-            maps[m].shuffle_bytes_per_dst = per_dst;
+            let Some(mv) = maps.get_mut(m) else { continue };
+            mv.spill_bytes += stats.spill_bytes;
+            mv.shuffle_bytes_per_dst = outcome
+                .report
+                .reduce_tasks
+                .iter()
+                .map(|red| red.shuffled_from.get(m).copied().unwrap_or(0))
+                .collect();
         }
     }
     let reduces = outcome
@@ -687,14 +738,16 @@ fn run_on_datampi(
     reduce_logic: ReduceLogic,
     map_vols: Arc<Mutex<Vec<MapVolume>>>,
 ) -> Result<(Vec<ReduceVolume>, usize)> {
-    let style = ShuffleStyle::parse(&conf.get_str(hdm_common::conf::KEY_SHUFFLE_STYLE, "nonblocking"))
-        .ok_or_else(|| HdmError::Config("bad datampi.shuffle.style".into()))?;
-    let worker_mem = conf.get_i64("datampi.worker.mem.bytes", 64 << 20)? as f64;
+    let style =
+        ShuffleStyle::parse(&conf.get_str(hdm_common::conf::KEY_SHUFFLE_STYLE, "nonblocking"))
+            .ok_or_else(|| HdmError::Config("bad datampi.shuffle.style".into()))?;
+    let worker_mem = conf.get_i64(hdm_common::conf::KEY_WORKER_MEM_BYTES, 64 << 20)? as f64;
     let config = DataMpiConfig {
         o_tasks,
         a_tasks,
         shuffle_style: style,
-        send_partition_bytes: conf.get_i64(hdm_common::conf::KEY_SEND_PARTITION_BYTES, 16 << 10)? as usize,
+        send_partition_bytes: conf.get_i64(hdm_common::conf::KEY_SEND_PARTITION_BYTES, 16 << 10)?
+            as usize,
         send_queue_len: conf.send_queue_len()?,
         mem_budget_bytes: (worker_mem * conf.mem_used_percent()?) as usize,
         channel_capacity: 1024,
@@ -799,16 +852,23 @@ struct MapOnlySink {
 
 impl MapOnlySink {
     fn write(&self, task: usize, row: &Row) -> Result<()> {
-        self.buffers.lock().entry(task).or_default().push(row.clone());
+        self.buffers
+            .lock()
+            .entry(task)
+            .or_default()
+            .push(row.clone());
         Ok(())
     }
 
     fn close(&self, task: usize) -> Result<()> {
         let rows = self.buffers.lock().remove(&task).unwrap_or_default();
         let path = format!("{}part-{task:05}", self.out_dir);
-        let mut sink = self
-            .out_format
-            .create(&self.dfs, &path, &self.out_schema, NodeId((task % 7) as u32))?;
+        let mut sink = self.out_format.create(
+            &self.dfs,
+            &path,
+            &self.out_schema,
+            NodeId((task % 7) as u32),
+        )?;
         for r in &rows {
             if self.typed {
                 let cast: Row = r
@@ -838,17 +898,19 @@ pub fn infer_schema(rows: &[Row], names: &[String]) -> Schema {
         if types.iter().all(Option::is_some) {
             break;
         }
-        for (i, v) in row.values().iter().enumerate() {
-            if i < width && types[i].is_none() {
-                types[i] = v.data_type();
+        for (slot, v) in types.iter_mut().zip(row.values()) {
+            if slot.is_none() {
+                *slot = v.data_type();
             }
         }
     }
     Schema::new(
-        (0..width)
-            .map(|i| {
+        types
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
                 let name = names.get(i).cloned().unwrap_or_else(|| format!("_c{i}"));
-                (name, types[i].unwrap_or(DataType::String))
+                (name, t.unwrap_or(DataType::String))
             })
             .collect::<Vec<_>>(),
     )

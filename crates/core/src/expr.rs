@@ -110,12 +110,13 @@ impl<F: Fn(Option<&str>, &str) -> Option<usize>> ColumnResolver for F {
 pub fn compile_expr(e: &Expr, resolver: &dyn ColumnResolver) -> Result<RExpr> {
     Ok(match e {
         Expr::Column { qualifier, name } => {
-            let idx = resolver
-                .resolve(qualifier.as_deref(), name)
-                .ok_or_else(|| match qualifier {
-                    Some(q) => HdmError::Plan(format!("unknown column {q}.{name}")),
-                    None => HdmError::Plan(format!("unknown column {name}")),
-                })?;
+            let idx =
+                resolver
+                    .resolve(qualifier.as_deref(), name)
+                    .ok_or_else(|| match qualifier {
+                        Some(q) => HdmError::Plan(format!("unknown column {q}.{name}")),
+                        None => HdmError::Plan(format!("unknown column {name}")),
+                    })?;
             RExpr::Column(idx)
         }
         Expr::Literal(v) => RExpr::Literal(v.clone()),
@@ -140,7 +141,11 @@ pub fn compile_expr(e: &Expr, resolver: &dyn ColumnResolver) -> Result<RExpr> {
             high: Box::new(compile_expr(high, resolver)?),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => RExpr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => RExpr::InList {
             expr: Box::new(compile_expr(expr, resolver)?),
             list: list
                 .iter()
@@ -175,14 +180,20 @@ pub fn compile_expr(e: &Expr, resolver: &dyn ColumnResolver) -> Result<RExpr> {
                 None => None,
             },
         },
-        Expr::Func { name, args, distinct } => {
+        Expr::Func {
+            name,
+            args,
+            distinct,
+        } => {
             if crate::ast::is_aggregate_name(name) {
                 return Err(HdmError::Plan(format!(
                     "aggregate {name} in scalar context (planner bug or misplaced aggregate)"
                 )));
             }
             if *distinct {
-                return Err(HdmError::Plan(format!("DISTINCT not valid for scalar {name}")));
+                return Err(HdmError::Plan(format!(
+                    "DISTINCT not valid for scalar {name}"
+                )));
             }
             if !is_scalar_function(name) {
                 return Err(HdmError::Plan(format!("unknown function {name}")));
@@ -207,8 +218,19 @@ pub fn compile_expr(e: &Expr, resolver: &dyn ColumnResolver) -> Result<RExpr> {
 pub fn is_scalar_function(name: &str) -> bool {
     matches!(
         name,
-        "year" | "month" | "day" | "substr" | "substring" | "length" | "lower" | "upper"
-            | "concat" | "round" | "abs" | "coalesce" | "if"
+        "year"
+            | "month"
+            | "day"
+            | "substr"
+            | "substring"
+            | "length"
+            | "lower"
+            | "upper"
+            | "concat"
+            | "round"
+            | "abs"
+            | "coalesce"
+            | "if"
     )
 }
 
@@ -220,11 +242,12 @@ impl RExpr {
     /// absorb (out-of-range column index, bad function arity).
     pub fn eval(&self, row: &Row) -> Result<Value> {
         match self {
-            RExpr::Column(i) => row
-                .values()
-                .get(*i)
-                .cloned()
-                .ok_or_else(|| HdmError::Eval(format!("column index {i} out of range (row has {})", row.len()))),
+            RExpr::Column(i) => row.values().get(*i).cloned().ok_or_else(|| {
+                HdmError::Eval(format!(
+                    "column index {i} out of range (row has {})",
+                    row.len()
+                ))
+            }),
             RExpr::Literal(v) => Ok(v.clone()),
             RExpr::Binary { op, left, right } => {
                 let l = left.eval(row)?;
@@ -275,7 +298,11 @@ impl RExpr {
                     && v3.total_cmp(&hi2) != std::cmp::Ordering::Greater;
                 Ok(Value::Boolean(inside != *negated))
             }
-            RExpr::InList { expr, list, negated } => {
+            RExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = expr.eval(row)?;
                 if v.is_null() {
                     return Ok(Value::Null);
@@ -358,7 +385,9 @@ impl RExpr {
             }
             RExpr::Not(e) => e.input_columns(out),
             RExpr::IsNull { expr, .. } => expr.input_columns(out),
-            RExpr::Between { expr, low, high, .. } => {
+            RExpr::Between {
+                expr, low, high, ..
+            } => {
                 expr.input_columns(out);
                 low.input_columns(out);
                 high.input_columns(out);
@@ -406,7 +435,9 @@ impl RExpr {
             }
             RExpr::Not(e) => e.remap_columns(map),
             RExpr::IsNull { expr, .. } => expr.remap_columns(map),
-            RExpr::Between { expr, low, high, .. } => {
+            RExpr::Between {
+                expr, low, high, ..
+            } => {
                 expr.remap_columns(map);
                 low.remap_columns(map);
                 high.remap_columns(map);
@@ -464,12 +495,8 @@ fn kleene_or(l: &Value, r: &Value) -> Value {
 /// dates (Hive's implicit conversion for `d >= '1994-01-01'`).
 fn coerce_pair(a: &Value, b: &Value) -> (Value, Value) {
     match (a, b) {
-        (Value::Date(_), Value::Str(s)) => {
-            (a.clone(), Value::parse_date(s).unwrap_or(Value::Null))
-        }
-        (Value::Str(s), Value::Date(_)) => {
-            (Value::parse_date(s).unwrap_or(Value::Null), b.clone())
-        }
+        (Value::Date(_), Value::Str(s)) => (a.clone(), Value::parse_date(s).unwrap_or(Value::Null)),
+        (Value::Str(s), Value::Date(_)) => (Value::parse_date(s).unwrap_or(Value::Null), b.clone()),
         _ => (a.clone(), b.clone()),
     }
 }
@@ -558,7 +585,10 @@ fn eval_function(name: &str, args: &[RExpr], row: &Row) -> Result<Value> {
         if args.len() == n {
             Ok(())
         } else {
-            Err(HdmError::Eval(format!("{name} expects {n} arguments, got {}", args.len())))
+            Err(HdmError::Eval(format!(
+                "{name} expects {n} arguments, got {}",
+                args.len()
+            )))
         }
     };
     match name {
@@ -707,7 +737,10 @@ mod tests {
         };
         let e = q.items.unwrap().remove(0).expr;
         let cols: Vec<String> = cols.iter().map(|s| s.to_string()).collect();
-        compile_expr(&e, &move |_q: Option<&str>, n: &str| cols.iter().position(|c| c == n)).unwrap()
+        compile_expr(&e, &move |_q: Option<&str>, n: &str| {
+            cols.iter().position(|c| c == n)
+        })
+        .unwrap()
     }
 
     fn row(vals: Vec<Value>) -> Row {
@@ -728,7 +761,10 @@ mod tests {
             e.eval(&row(vec![Value::Long(7), Value::Long(2)])).unwrap(),
             Value::Double(3.5)
         );
-        assert_eq!(e.eval(&row(vec![Value::Long(7), Value::Long(0)])).unwrap(), Value::Null);
+        assert_eq!(
+            e.eval(&row(vec![Value::Long(7), Value::Long(0)])).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -753,13 +789,23 @@ mod tests {
     #[test]
     fn between_in_like() {
         let e = compile("a BETWEEN 2 AND 4", &["a"]);
-        assert_eq!(e.eval(&row(vec![Value::Long(3)])).unwrap(), Value::Boolean(true));
-        assert_eq!(e.eval(&row(vec![Value::Long(5)])).unwrap(), Value::Boolean(false));
+        assert_eq!(
+            e.eval(&row(vec![Value::Long(3)])).unwrap(),
+            Value::Boolean(true)
+        );
+        assert_eq!(
+            e.eval(&row(vec![Value::Long(5)])).unwrap(),
+            Value::Boolean(false)
+        );
         let e = compile("s IN ('a', 'b')", &["s"]);
-        assert_eq!(e.eval(&row(vec![Value::Str("b".into())])).unwrap(), Value::Boolean(true));
+        assert_eq!(
+            e.eval(&row(vec![Value::Str("b".into())])).unwrap(),
+            Value::Boolean(true)
+        );
         let e = compile("s NOT LIKE '%green%'", &["s"]);
         assert_eq!(
-            e.eval(&row(vec![Value::Str("forest green socks".into())])).unwrap(),
+            e.eval(&row(vec![Value::Str("forest green socks".into())]))
+                .unwrap(),
             Value::Boolean(false)
         );
     }
@@ -782,24 +828,33 @@ mod tests {
             Value::Str("pos".into())
         );
         let simple = compile("CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END", &["a"]);
-        assert_eq!(simple.eval(&row(vec![Value::Long(2)])).unwrap(), Value::Str("two".into()));
-        assert_eq!(simple.eval(&row(vec![Value::Long(9)])).unwrap(), Value::Null);
+        assert_eq!(
+            simple.eval(&row(vec![Value::Long(2)])).unwrap(),
+            Value::Str("two".into())
+        );
+        assert_eq!(
+            simple.eval(&row(vec![Value::Long(9)])).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
     fn date_functions_and_string_coercion() {
         let y = compile("year(d)", &["d"]);
         assert_eq!(
-            y.eval(&row(vec![Value::date_from_ymd(1995, 6, 17)])).unwrap(),
+            y.eval(&row(vec![Value::date_from_ymd(1995, 6, 17)]))
+                .unwrap(),
             Value::Long(1995)
         );
         let cmp = compile("d >= '1995-01-01'", &["d"]);
         assert_eq!(
-            cmp.eval(&row(vec![Value::date_from_ymd(1995, 6, 17)])).unwrap(),
+            cmp.eval(&row(vec![Value::date_from_ymd(1995, 6, 17)]))
+                .unwrap(),
             Value::Boolean(true)
         );
         assert_eq!(
-            cmp.eval(&row(vec![Value::date_from_ymd(1994, 6, 17)])).unwrap(),
+            cmp.eval(&row(vec![Value::date_from_ymd(1994, 6, 17)]))
+                .unwrap(),
             Value::Boolean(false)
         );
     }
@@ -812,9 +867,15 @@ mod tests {
             Value::Str("13".into())
         );
         let e = compile("concat(upper(s), '!')", &["s"]);
-        assert_eq!(e.eval(&row(vec![Value::Str("hi".into())])).unwrap(), Value::Str("HI!".into()));
+        assert_eq!(
+            e.eval(&row(vec![Value::Str("hi".into())])).unwrap(),
+            Value::Str("HI!".into())
+        );
         let e = compile("coalesce(s, 'dflt')", &["s"]);
-        assert_eq!(e.eval(&row(vec![Value::Null])).unwrap(), Value::Str("dflt".into()));
+        assert_eq!(
+            e.eval(&row(vec![Value::Null])).unwrap(),
+            Value::Str("dflt".into())
+        );
     }
 
     #[test]
@@ -844,6 +905,9 @@ mod tests {
     #[test]
     fn cast_eval() {
         let e = compile("CAST(s AS BIGINT) + 1", &["s"]);
-        assert_eq!(e.eval(&row(vec![Value::Str("41".into())])).unwrap(), Value::Long(42));
+        assert_eq!(
+            e.eval(&row(vec![Value::Str("41".into())])).unwrap(),
+            Value::Long(42)
+        );
     }
 }

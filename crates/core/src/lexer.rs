@@ -247,7 +247,10 @@ mod tests {
     #[test]
     fn strings_and_escapes() {
         let toks = tokenize("'it''s' 'a\\'b'").unwrap();
-        assert_eq!(toks, vec![Token::Str("it's".into()), Token::Str("a'b".into())]);
+        assert_eq!(
+            toks,
+            vec![Token::Str("it's".into()), Token::Str("a'b".into())]
+        );
     }
 
     #[test]
@@ -276,7 +279,15 @@ mod tests {
             .collect();
         assert_eq!(
             syms,
-            vec![Sym::NotEq, Sym::NotEq, Sym::Le, Sym::Ge, Sym::Lt, Sym::Gt, Sym::Eq]
+            vec![
+                Sym::NotEq,
+                Sym::NotEq,
+                Sym::Le,
+                Sym::Ge,
+                Sym::Lt,
+                Sym::Gt,
+                Sym::Eq
+            ]
         );
     }
 
@@ -301,7 +312,10 @@ mod tests {
 
     #[test]
     fn backquoted_identifier() {
-        assert_eq!(tokenize("`weird name`").unwrap(), vec![Token::Ident("weird name".into())]);
+        assert_eq!(
+            tokenize("`weird name`").unwrap(),
+            vec![Token::Ident("weird name".into())]
+        );
     }
 
     #[test]

@@ -176,7 +176,6 @@ pub fn analyze(stmt: &SelectStmt, metastore: &Metastore) -> Result<QueryBlock> {
             match source_of(c)? {
                 Some(s) => source_filters[s].push(c.clone()),
                 None => residual_filters.push((max_source(c)?, c.clone())),
-
             }
         }
     }
@@ -299,7 +298,11 @@ pub fn analyze(stmt: &SelectStmt, metastore: &Metastore) -> Result<QueryBlock> {
     }
 
     let has_aggs = items.iter().any(|(e, _)| e.contains_aggregate())
-        || stmt.having.as_ref().map(Expr::contains_aggregate).unwrap_or(false);
+        || stmt
+            .having
+            .as_ref()
+            .map(Expr::contains_aggregate)
+            .unwrap_or(false);
     let mut aggregates: Vec<AggCall> = Vec::new();
     let (output, having) = if has_aggs || !stmt.group_by.is_empty() {
         let mut out = Vec::new();
@@ -323,11 +326,16 @@ pub fn analyze(stmt: &SelectStmt, metastore: &Metastore) -> Result<QueryBlock> {
     let mut order_by = Vec::new();
     for (e, asc) in &stmt.order_by {
         let idx = match e {
-            Expr::Column { qualifier: None, name } => output.iter().position(|(_, n)| n == name),
+            Expr::Column {
+                qualifier: None,
+                name,
+            } => output.iter().position(|(_, n)| n == name),
             Expr::Literal(hdm_common::value::Value::Long(k)) if *k >= 1 => Some(*k as usize - 1),
-            _ => output.iter().position(|(oe, _)| oe == e || {
-                // Allow ordering by the same expression text as an item.
-                false
+            _ => output.iter().position(|(oe, _)| {
+                oe == e || {
+                    // Allow ordering by the same expression text as an item.
+                    false
+                }
             }),
         };
         // Also allow matching the un-rewritten item expression.
@@ -336,7 +344,10 @@ pub fn analyze(stmt: &SelectStmt, metastore: &Metastore) -> Result<QueryBlock> {
             HdmError::Plan(format!("ORDER BY item must be an output column: {e:?}"))
         })?;
         if idx >= output.len() {
-            return Err(HdmError::Plan(format!("ORDER BY position {} out of range", idx + 1)));
+            return Err(HdmError::Plan(format!(
+                "ORDER BY position {} out of range",
+                idx + 1
+            )));
         }
         order_by.push((idx, *asc));
     }
@@ -459,7 +470,10 @@ fn rewrite_agg(e: &Expr, group_by: &[Expr], aggs: &mut Vec<AggCall>) -> Result<E
     }
     // Plain column equal to a group-by column reference.
     if let Expr::Column { name, .. } = e {
-        if let Some(k) = group_by.iter().position(|g| matches!(g, Expr::Column { name: gn, .. } if gn == name)) {
+        if let Some(k) = group_by
+            .iter()
+            .position(|g| matches!(g, Expr::Column { name: gn, .. } if gn == name))
+        {
             return Ok(Expr::Column {
                 qualifier: Some(AGG_QUALIFIER.into()),
                 name: format!("k{k}"),
@@ -467,7 +481,11 @@ fn rewrite_agg(e: &Expr, group_by: &[Expr], aggs: &mut Vec<AggCall>) -> Result<E
         }
     }
     match e {
-        Expr::Func { name, args, distinct } if crate::ast::is_aggregate_name(name) => {
+        Expr::Func {
+            name,
+            args,
+            distinct,
+        } if crate::ast::is_aggregate_name(name) => {
             let func = match name.as_str() {
                 "count" => AggFunc::Count,
                 "sum" => AggFunc::Sum,
@@ -477,7 +495,9 @@ fn rewrite_agg(e: &Expr, group_by: &[Expr], aggs: &mut Vec<AggCall>) -> Result<E
                 other => return Err(HdmError::Plan(format!("unsupported aggregate {other}"))),
             };
             if *distinct && func != AggFunc::Count {
-                return Err(HdmError::Plan(format!("DISTINCT only supported for COUNT, not {name}")));
+                return Err(HdmError::Plan(format!(
+                    "DISTINCT only supported for COUNT, not {name}"
+                )));
             }
             let input = match args.first() {
                 None | Some(Expr::Star) => None,
@@ -510,7 +530,10 @@ fn rewrite_agg(e: &Expr, group_by: &[Expr], aggs: &mut Vec<AggCall>) -> Result<E
         }
         Expr::Column { qualifier, name } => Err(HdmError::Plan(format!(
             "column {}{name} must appear in GROUP BY or inside an aggregate",
-            qualifier.as_deref().map(|q| format!("{q}.")).unwrap_or_default()
+            qualifier
+                .as_deref()
+                .map(|q| format!("{q}."))
+                .unwrap_or_default()
         ))),
         Expr::Literal(v) => Ok(Expr::Literal(v.clone())),
         Expr::Binary { op, left, right } => Ok(Expr::Binary {
@@ -534,7 +557,11 @@ fn rewrite_agg(e: &Expr, group_by: &[Expr], aggs: &mut Vec<AggCall>) -> Result<E
             high: Box::new(rewrite_agg(high, group_by, aggs)?),
             negated: *negated,
         }),
-        Expr::InList { expr, list, negated } => Ok(Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Ok(Expr::InList {
             expr: Box::new(rewrite_agg(expr, group_by, aggs)?),
             list: list
                 .iter()
@@ -562,14 +589,23 @@ fn rewrite_agg(e: &Expr, group_by: &[Expr], aggs: &mut Vec<AggCall>) -> Result<E
             },
             whens: whens
                 .iter()
-                .map(|(w, t)| Ok((rewrite_agg(w, group_by, aggs)?, rewrite_agg(t, group_by, aggs)?)))
+                .map(|(w, t)| {
+                    Ok((
+                        rewrite_agg(w, group_by, aggs)?,
+                        rewrite_agg(t, group_by, aggs)?,
+                    ))
+                })
                 .collect::<Result<Vec<_>>>()?,
             else_expr: match else_expr {
                 Some(x) => Some(Box::new(rewrite_agg(x, group_by, aggs)?)),
                 None => None,
             },
         }),
-        Expr::Func { name, args, distinct } => Ok(Expr::Func {
+        Expr::Func {
+            name,
+            args,
+            distinct,
+        } => Ok(Expr::Func {
             name: name.clone(),
             args: args
                 .iter()
@@ -678,21 +714,28 @@ mod tests {
 
     #[test]
     fn bare_column_outside_group_by_rejected() {
-        let err = analyze_sql("SELECT c_name, COUNT(*) FROM customer GROUP BY c_mktsegment").unwrap_err();
+        let err =
+            analyze_sql("SELECT c_name, COUNT(*) FROM customer GROUP BY c_mktsegment").unwrap_err();
         assert!(err.message().contains("GROUP BY"));
     }
 
     #[test]
     fn cross_join_rejected() {
-        let err = analyze_sql("SELECT o_orderkey FROM orders JOIN customer c ON o_totalprice > 5").unwrap_err();
+        let err = analyze_sql("SELECT o_orderkey FROM orders JOIN customer c ON o_totalprice > 5")
+            .unwrap_err();
         assert!(err.message().contains("equi-join"));
     }
 
     #[test]
     fn ambiguous_and_unknown_columns() {
         let mut ms = metastore();
-        ms.create_table("c2", vec![("c_custkey".into(), DataType::Long)], FormatKind::Text, false)
-            .unwrap();
+        ms.create_table(
+            "c2",
+            vec![("c_custkey".into(), DataType::Long)],
+            FormatKind::Text,
+            false,
+        )
+        .unwrap();
         let stmt = parse_statement(
             "SELECT c_custkey FROM customer JOIN c2 ON customer.c_custkey = c2.c_custkey",
         )
@@ -710,7 +753,8 @@ mod tests {
         let err = analyze_sql("SELECT o_orderkey FROM orders ORDER BY o_totalprice").unwrap_err();
         assert!(err.message().contains("ORDER BY"));
         // Ordering by a selected column works.
-        let qb = analyze_sql("SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice").unwrap();
+        let qb = analyze_sql("SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice")
+            .unwrap();
         assert_eq!(qb.order_by, vec![(1, true)]);
     }
 

@@ -350,7 +350,10 @@ mod tests {
     use crate::ast::{BinOp, JoinKind};
 
     fn spec(func: AggFunc) -> AggSpec {
-        AggSpec { func, distinct: false }
+        AggSpec {
+            func,
+            distinct: false,
+        }
     }
 
     #[test]
@@ -383,7 +386,11 @@ mod tests {
 
     #[test]
     fn partial_state_round_trip_merges() {
-        let agg = Aggregator::new(vec![spec(AggFunc::Count), spec(AggFunc::Avg), spec(AggFunc::Sum)]);
+        let agg = Aggregator::new(vec![
+            spec(AggFunc::Count),
+            spec(AggFunc::Avg),
+            spec(AggFunc::Sum),
+        ]);
         // Two "map tasks" build partial states; a reducer merges rows.
         let mut final_states = agg.new_states();
         for chunk in [vec![1i64, 2], vec![3, 4, 5]] {
@@ -419,9 +426,16 @@ mod tests {
 
     #[test]
     fn nulls_ignored_by_aggregates() {
-        let agg = Aggregator::new(vec![spec(AggFunc::Count), spec(AggFunc::Sum), spec(AggFunc::Min)]);
+        let agg = Aggregator::new(vec![
+            spec(AggFunc::Count),
+            spec(AggFunc::Sum),
+            spec(AggFunc::Min),
+        ]);
         let mut states = agg.new_states();
-        agg.update_raw(&mut states, &Row::from(vec![Value::Null, Value::Null, Value::Null]));
+        agg.update_raw(
+            &mut states,
+            &Row::from(vec![Value::Null, Value::Null, Value::Null]),
+        );
         agg.update_raw(
             &mut states,
             &Row::from(vec![Value::Long(1), Value::Long(7), Value::Long(7)]),
@@ -445,10 +459,25 @@ mod tests {
 
     #[test]
     fn inner_join_cross_product() {
-        let lefts = vec![Row::from(vec![Value::Long(1)]), Row::from(vec![Value::Long(2)])];
-        let rights = vec![Row::from(vec![Value::Str("x".into())]), Row::from(vec![Value::Str("y".into())])];
+        let lefts = vec![
+            Row::from(vec![Value::Long(1)]),
+            Row::from(vec![Value::Long(2)]),
+        ];
+        let rights = vec![
+            Row::from(vec![Value::Str("x".into())]),
+            Row::from(vec![Value::Str("y".into())]),
+        ];
         let mut out = Vec::new();
-        process_join_group(JoinKind::Inner, 1, None, &identity(2), &lefts, &rights, &mut out).unwrap();
+        process_join_group(
+            JoinKind::Inner,
+            1,
+            None,
+            &identity(2),
+            &lefts,
+            &rights,
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(out.len(), 4);
     }
 
@@ -456,7 +485,16 @@ mod tests {
     fn left_outer_pads_nulls() {
         let lefts = vec![Row::from(vec![Value::Long(1)])];
         let mut out = Vec::new();
-        process_join_group(JoinKind::LeftOuter, 2, None, &identity(3), &lefts, &[], &mut out).unwrap();
+        process_join_group(
+            JoinKind::LeftOuter,
+            2,
+            None,
+            &identity(3),
+            &lefts,
+            &[],
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(out.len(), 1);
         assert!(out[0].get(1).is_null() && out[0].get(2).is_null());
     }
@@ -464,7 +502,10 @@ mod tests {
     #[test]
     fn semi_join_emits_left_once() {
         let lefts = vec![Row::from(vec![Value::Long(1)])];
-        let rights = vec![Row::from(vec![Value::Long(9)]), Row::from(vec![Value::Long(8)])];
+        let rights = vec![
+            Row::from(vec![Value::Long(9)]),
+            Row::from(vec![Value::Long(8)]),
+        ];
         let mut out = Vec::new();
         process_join_group(
             JoinKind::LeftSemi,
@@ -484,10 +525,28 @@ mod tests {
         let lefts = vec![Row::from(vec![Value::Long(1)])];
         let rights = vec![Row::from(vec![Value::Long(9)])];
         let mut with_match = Vec::new();
-        process_join_group(JoinKind::LeftAnti, 1, None, &identity(1), &lefts, &rights, &mut with_match).unwrap();
+        process_join_group(
+            JoinKind::LeftAnti,
+            1,
+            None,
+            &identity(1),
+            &lefts,
+            &rights,
+            &mut with_match,
+        )
+        .unwrap();
         assert!(with_match.is_empty());
         let mut without = Vec::new();
-        process_join_group(JoinKind::LeftAnti, 1, None, &identity(1), &lefts, &[], &mut without).unwrap();
+        process_join_group(
+            JoinKind::LeftAnti,
+            1,
+            None,
+            &identity(1),
+            &lefts,
+            &[],
+            &mut without,
+        )
+        .unwrap();
         assert_eq!(without.len(), 1);
     }
 
@@ -500,7 +559,10 @@ mod tests {
             right: Box::new(RExpr::Column(1)),
         };
         let lefts = vec![Row::from(vec![Value::Long(5)])];
-        let rights = vec![Row::from(vec![Value::Long(3)]), Row::from(vec![Value::Long(10)])];
+        let rights = vec![
+            Row::from(vec![Value::Long(3)]),
+            Row::from(vec![Value::Long(10)]),
+        ];
         let mut out = Vec::new();
         process_join_group(
             JoinKind::Inner,

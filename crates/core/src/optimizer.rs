@@ -77,7 +77,11 @@ fn rebuild(e: &RExpr) -> RExpr {
             high: Box::new(fold_constants(high)),
             negated: *negated,
         },
-        RExpr::InList { expr, list, negated } => RExpr::InList {
+        RExpr::InList {
+            expr,
+            list,
+            negated,
+        } => RExpr::InList {
             expr: Box::new(fold_constants(expr)),
             list: list.iter().map(fold_constants).collect(),
             negated: *negated,

@@ -40,7 +40,9 @@ pub fn parse_statement(input: &str) -> Result<Statement> {
     let mut stmts = parse_script(input)?;
     match stmts.len() {
         1 => Ok(stmts.remove(0)),
-        n => Err(HdmError::Parse(format!("expected one statement, found {n}"))),
+        n => Err(HdmError::Parse(format!(
+            "expected one statement, found {n}"
+        ))),
     }
 }
 
@@ -117,7 +119,9 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s.to_ascii_lowercase()),
-            other => Err(HdmError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(HdmError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -205,7 +209,8 @@ impl Parser {
         if self.eat_kw("STORED") {
             self.expect_kw("AS")?;
             let fmt = self.expect_ident()?;
-            FormatKind::parse(&fmt).ok_or_else(|| HdmError::Parse(format!("unknown format {fmt:?}")))
+            FormatKind::parse(&fmt)
+                .ok_or_else(|| HdmError::Parse(format!("unknown format {fmt:?}")))
         } else {
             Ok(FormatKind::Text)
         }
@@ -285,8 +290,17 @@ impl Parser {
                     let up = s.to_ascii_uppercase();
                     if matches!(
                         up.as_str(),
-                        "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "JOIN" | "LEFT"
-                            | "INNER" | "ON" | "UNION"
+                        "FROM"
+                            | "WHERE"
+                            | "GROUP"
+                            | "HAVING"
+                            | "ORDER"
+                            | "LIMIT"
+                            | "JOIN"
+                            | "LEFT"
+                            | "INNER"
+                            | "ON"
+                            | "UNION"
                     ) {
                         None
                     } else {
@@ -344,7 +358,11 @@ impl Parser {
         let limit = if self.eat_kw("LIMIT") {
             match self.next() {
                 Some(Token::Int(n)) if n >= 0 => Some(n as u64),
-                other => return Err(HdmError::Parse(format!("expected LIMIT count, found {other:?}"))),
+                other => {
+                    return Err(HdmError::Parse(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
             }
         } else {
             None
@@ -499,7 +517,11 @@ impl Parser {
         if self.eat_kw("LIKE") {
             let pattern = match self.next() {
                 Some(Token::Str(s)) => s,
-                other => return Err(HdmError::Parse(format!("expected LIKE pattern, found {other:?}"))),
+                other => {
+                    return Err(HdmError::Parse(format!(
+                        "expected LIKE pattern, found {other:?}"
+                    )))
+                }
             };
             return Ok(Expr::Like {
                 expr: Box::new(left),
@@ -584,7 +606,9 @@ impl Parser {
             }
             Some(Token::Sym(Sym::Star)) => Ok(Expr::Star),
             Some(Token::Ident(id)) => self.parse_ident_expr(id),
-            other => Err(HdmError::Parse(format!("expected expression, found {other:?}"))),
+            other => Err(HdmError::Parse(format!(
+                "expected expression, found {other:?}"
+            ))),
         }
     }
 
@@ -769,7 +793,11 @@ mod tests {
         assert_eq!(items.len(), 10);
         // Precedence: 1 + 2 * 3 parses as 1 + (2 * 3).
         match &items[9].expr {
-            Expr::Binary { op: BinOp::Add, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("precedence broken: {other:?}"),
@@ -798,7 +826,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(stmts.len(), 3);
-        assert!(matches!(stmts[0], Statement::DropTable { ref name, if_exists: true } if name == "tmp"));
+        assert!(
+            matches!(stmts[0], Statement::DropTable { ref name, if_exists: true } if name == "tmp")
+        );
         assert!(matches!(stmts[1], Statement::CreateTableAs { .. }));
         assert!(matches!(stmts[2], Statement::Select(_)));
     }
@@ -823,7 +853,11 @@ mod tests {
         };
         let items = q.items.unwrap();
         match &items[0].expr {
-            Expr::Func { name, args, distinct } => {
+            Expr::Func {
+                name,
+                args,
+                distinct,
+            } => {
                 assert_eq!(name, "count");
                 assert_eq!(args[0], Expr::Star);
                 assert!(!distinct);

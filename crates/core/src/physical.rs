@@ -276,7 +276,11 @@ pub fn plan_select(qb: &QueryBlock, sink: StageOutput) -> Result<QueryPlan> {
         }
     }
     for (hi, f) in &qb.residual_filters {
-        add_uses(hi.saturating_sub(1).min(n_joins.saturating_sub(1)), f, &mut use_at)?;
+        add_uses(
+            hi.saturating_sub(1).min(n_joins.saturating_sub(1)),
+            f,
+            &mut use_at,
+        )?;
     }
     for g in &qb.group_by {
         add_uses(post_stage, g, &mut use_at)?;
@@ -355,7 +359,11 @@ pub fn plan_select(qb: &QueryBlock, sink: StageOutput) -> Result<QueryPlan> {
         let mut left_input = match current_stage {
             None => {
                 let (mut input, layout) = scan_input(0, 0, &left_keys)?;
-                input.value_exprs = layout.iter().enumerate().map(|(i, _)| RExpr::Column(i)).collect();
+                input.value_exprs = layout
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| RExpr::Column(i))
+                    .collect();
                 current_layout = layout;
                 input
             }
@@ -410,7 +418,12 @@ pub fn plan_select(qb: &QueryBlock, sink: StageOutput) -> Result<QueryPlan> {
         };
 
         let is_final_join = j + 1 == n_joins && !qb.is_aggregated();
-        let (project, out_layout, out_names, out_types): (Vec<RExpr>, Layout, Vec<String>, Vec<DataType>) = if is_final_join {
+        let (project, out_layout, out_names, out_types): (
+            Vec<RExpr>,
+            Layout,
+            Vec<String>,
+            Vec<DataType>,
+        ) = if is_final_join {
             // Final projection folded into the last join's reducer.
             let project = qb
                 .output
@@ -655,10 +668,14 @@ fn ast_type(e: &Expr, resolver: &dyn Fn(Option<&str>, &str) -> Option<DataType>)
                 }
             }
         }
-        Expr::Not(_) | Expr::IsNull { .. } | Expr::Between { .. } | Expr::InList { .. } | Expr::Like { .. } => {
-            DataType::Boolean
-        }
-        Expr::Case { whens, else_expr, .. } => whens
+        Expr::Not(_)
+        | Expr::IsNull { .. }
+        | Expr::Between { .. }
+        | Expr::InList { .. }
+        | Expr::Like { .. } => DataType::Boolean,
+        Expr::Case {
+            whens, else_expr, ..
+        } => whens
             .first()
             .map(|(_, t)| ast_type(t, resolver))
             .or_else(|| else_expr.as_deref().map(|x| ast_type(x, resolver)))
@@ -671,7 +688,10 @@ fn ast_type(e: &Expr, resolver: &dyn Fn(Option<&str>, &str) -> Option<DataType>)
                 .first()
                 .map(|a| ast_type(a, resolver))
                 .unwrap_or(DataType::Double),
-            "if" => args.get(1).map(|a| ast_type(a, resolver)).unwrap_or(DataType::String),
+            "if" => args
+                .get(1)
+                .map(|a| ast_type(a, resolver))
+                .unwrap_or(DataType::String),
             _ => DataType::String,
         },
         Expr::Cast { to, .. } => *to,
@@ -690,7 +710,11 @@ fn ast_type_src(e: &Expr, sources: &[Source]) -> DataType {
 
 /// Inferred types of the query's output items (agg slots resolved).
 fn infer_output_types(qb: &QueryBlock) -> Vec<DataType> {
-    let key_types: Vec<DataType> = qb.group_by.iter().map(|g| ast_type_src(g, &qb.sources)).collect();
+    let key_types: Vec<DataType> = qb
+        .group_by
+        .iter()
+        .map(|g| ast_type_src(g, &qb.sources))
+        .collect();
     let agg_types: Vec<DataType> = qb
         .aggregates
         .iter()
@@ -885,7 +909,8 @@ mod tests {
 
     #[test]
     fn sort_without_joins_is_one_stage() {
-        let p = plan("SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 5");
+        let p =
+            plan("SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 5");
         assert_eq!(p.stages.len(), 1);
         match &p.stages[0].kind {
             StageKind::Sort { ascending, limit } => {

@@ -110,18 +110,24 @@ impl SendPartitionList {
     }
 
     /// Append a pair to the partition for `dst`. If the partition filled
-    /// up, returns its frozen payload (which must be handed to the
-    /// shuffle engine's send queue).
+    /// up, returns `Ok(Some(payload))` with its frozen payload (which must
+    /// be handed to the shuffle engine's send queue).
     ///
-    /// # Panics
-    /// Panics if `dst` is out of range.
-    pub fn push(&mut self, dst: usize, kv: &KvPair) -> Option<Bytes> {
-        let p = &mut self.partitions[dst];
+    /// # Errors
+    /// [`HdmError::DataMpi`] if `dst` is out of range — a partitioner
+    /// returning a destination outside `0..a_tasks`.
+    pub fn push(&mut self, dst: usize, kv: &KvPair) -> hdm_common::error::Result<Option<Bytes>> {
+        let a_tasks = self.partitions.len();
+        let p = self.partitions.get_mut(dst).ok_or_else(|| {
+            hdm_common::error::HdmError::DataMpi(format!(
+                "partitioner routed key to A task {dst}, but only {a_tasks} exist"
+            ))
+        })?;
         p.push(kv);
         if p.bytes_used() >= self.capacity_bytes {
-            Some(p.take_payload())
+            Ok(Some(p.take_payload()))
         } else {
-            None
+            Ok(None)
         }
     }
 
@@ -143,6 +149,12 @@ impl SendPartitionList {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
 
@@ -170,22 +182,29 @@ mod tests {
     fn spl_flushes_full_partition_only() {
         let mut spl = SendPartitionList::new(3, 32);
         // Small pushes to dst 0 stay buffered.
-        assert!(spl.push(0, &kv(0, 2)).is_none());
+        assert!(spl.push(0, &kv(0, 2)).unwrap().is_none());
         // A large value fills the partition.
-        let flushed = spl.push(0, &kv(0, 64));
+        let flushed = spl.push(0, &kv(0, 64)).unwrap();
         assert!(flushed.is_some());
         assert!(spl.partitions[0].is_empty());
         assert_eq!(spl.buffered_bytes(), 0);
         // Other partitions untouched.
-        assert!(spl.push(1, &kv(1, 2)).is_none());
+        assert!(spl.push(1, &kv(1, 2)).unwrap().is_none());
         assert!(spl.buffered_bytes() > 0);
+    }
+
+    #[test]
+    fn push_out_of_range_dst_is_an_error() {
+        let mut spl = SendPartitionList::new(2, 32);
+        let err = spl.push(5, &kv(0, 1)).unwrap_err();
+        assert!(err.to_string().contains("only 2 exist"), "{err}");
     }
 
     #[test]
     fn flush_returns_all_non_empty() {
         let mut spl = SendPartitionList::new(4, 1024);
-        spl.push(1, &kv(1, 1));
-        spl.push(3, &kv(3, 1));
+        spl.push(1, &kv(1, 1)).unwrap();
+        spl.push(3, &kv(3, 1)).unwrap();
         let flushed = spl.flush();
         let dsts: Vec<usize> = flushed.iter().map(|(d, _)| *d).collect();
         assert_eq!(dsts, vec![1, 3]);
@@ -205,6 +224,12 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod proptests {
     use super::*;
     use proptest::prelude::*;
@@ -221,7 +246,7 @@ mod proptests {
             for (dst, k, len) in ops {
                 let pair = KvPair::new(vec![k], vec![k; len]);
                 sent[dst].push(pair.clone());
-                if let Some(payload) = spl.push(dst, &pair) {
+                if let Some(payload) = spl.push(dst, &pair).unwrap() {
                     delivered[dst].extend(SendPartition::decode_payload(&payload).unwrap());
                 }
             }

@@ -52,15 +52,19 @@ use bytes::Bytes;
 use hdm_common::error::{HdmError, Result};
 use hdm_common::kv::{ComparatorRef, KvPair};
 use hdm_common::partition::PartitionerRef;
-use hdm_mpi::{Endpoint, Tag, World, WorldConfig};
+use hdm_mpi::{Endpoint, World, WorldConfig};
 use std::sync::Arc;
 
 /// Wire tags for the iteration protocol (distinct from the bipartite
 /// shuffle's tags; a tag per superstep parity avoids cross-step mixing).
-const DATA_EVEN: Tag = Tag(0x20);
-const DATA_ODD: Tag = Tag(0x21);
-const EOF_EVEN: Tag = Tag(0x22);
-const EOF_ODD: Tag = Tag(0x23);
+mod tags {
+    use hdm_mpi::Tag;
+
+    pub const DATA_EVEN: Tag = Tag(0x20);
+    pub const DATA_ODD: Tag = Tag(0x21);
+    pub const EOF_EVEN: Tag = Tag(0x22);
+    pub const EOF_ODD: Tag = Tag(0x23);
+}
 
 /// Configuration of an iterative job.
 #[derive(Debug, Clone, Copy)]
@@ -89,8 +93,11 @@ pub type SeedFn = Arc<dyn Fn(usize) -> Vec<KvPair> + Send + Sync>;
 pub type KeyGroups = Vec<(Bytes, Vec<Bytes>)>;
 /// Per-superstep group function: `(step, key, values, emit)`; emitted
 /// pairs are exchanged before the next superstep.
-pub type StepFn =
-    Arc<dyn Fn(usize, &[u8], &[Bytes], &mut dyn FnMut(KvPair) -> Result<()>) -> Result<()> + Send + Sync>;
+pub type StepFn = Arc<
+    dyn Fn(usize, &[u8], &[Bytes], &mut dyn FnMut(KvPair) -> Result<()>) -> Result<()>
+        + Send
+        + Sync,
+>;
 
 /// Run an iterative BSP job; returns the final key groups, gathered
 /// across ranks in comparator order per rank (concatenated rank 0..n).
@@ -119,8 +126,14 @@ pub fn run_iterative(
         let mut stash: Vec<hdm_mpi::Msg> = Vec::new();
         for s in 0..=config.supersteps {
             // Exchange `outgoing`; receive this step's pairs.
-            let received =
-                exchange(&mut ep, &config, &partitioner, s, std::mem::take(&mut outgoing), &mut stash)?;
+            let received = exchange(
+                &mut ep,
+                &config,
+                &partitioner,
+                s,
+                std::mem::take(&mut outgoing),
+                &mut stash,
+            )?;
             groups = group(received, &comparator);
             if s == config.supersteps {
                 break;
@@ -155,15 +168,15 @@ fn exchange(
 ) -> Result<Vec<KvPair>> {
     let n = ep.world_size();
     let (data_tag, eof_tag) = if superstep.is_multiple_of(2) {
-        (DATA_EVEN, EOF_EVEN)
+        (tags::DATA_EVEN, tags::EOF_EVEN)
     } else {
-        (DATA_ODD, EOF_ODD)
+        (tags::DATA_ODD, tags::EOF_ODD)
     };
     let mut spl = SendPartitionList::new(n, config.send_partition_bytes);
     let mut reqs = Vec::new();
     for kv in outgoing {
         let dst = partitioner.partition(&kv.key, n);
-        if let Some(payload) = spl.push(dst, &kv) {
+        if let Some(payload) = spl.push(dst, &kv)? {
             reqs.push(ep.isend(dst, data_tag, payload)?);
         }
     }
@@ -196,7 +209,11 @@ fn exchange(
         match msg.tag {
             t if t == data_tag => received.extend(SendPartition::decode_payload(&msg.payload)?),
             t if t == eof_tag => eofs += 1,
-            t if t == DATA_EVEN || t == DATA_ODD || t == EOF_EVEN || t == EOF_ODD => {
+            t if t == tags::DATA_EVEN
+                || t == tags::DATA_ODD
+                || t == tags::EOF_EVEN
+                || t == tags::EOF_ODD =>
+            {
                 stash.push(msg);
             }
             other => {
@@ -215,7 +232,9 @@ fn group(mut pairs: Vec<KvPair>, comparator: &ComparatorRef) -> KeyGroups {
     let mut groups: KeyGroups = Vec::new();
     for kv in pairs {
         match groups.last_mut() {
-            Some((key, values)) if comparator.compare(key, &kv.key) == std::cmp::Ordering::Equal => {
+            Some((key, values))
+                if comparator.compare(key, &kv.key) == std::cmp::Ordering::Equal =>
+            {
                 values.push(kv.value);
             }
             _ => groups.push((kv.key, vec![kv.value])),
@@ -225,6 +244,12 @@ fn group(mut pairs: Vec<KvPair>, comparator: &ComparatorRef) -> KeyGroups {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
     use hdm_common::kv::BytesComparator;

@@ -68,7 +68,7 @@ impl OContext {
                 .collect_events
                 .push((self.job_start.elapsed(), self.stats.records));
         }
-        if let Some(payload) = self.spl.push(dst, &kv) {
+        if let Some(payload) = self.spl.push(dst, &kv)? {
             self.stats.bytes += payload.len() as u64;
             let wait_start = Instant::now();
             self.queue
@@ -100,7 +100,9 @@ pub struct AContext {
 
 impl std::fmt::Debug for AContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AContext").field("rank", &self.rank).finish()
+        f.debug_struct("AContext")
+            .field("rank", &self.rank)
+            .finish()
     }
 }
 
@@ -257,7 +259,9 @@ fn run_o_rank<RO, RA>(
     let user = o_fn(rank, &mut ctx);
     let flush = ctx.flush();
     let _ = ctx.queue.send(SendCmd::Finish);
-    let sender_res = sender.join().expect("shuffle engine thread panicked");
+    let sender_res = sender
+        .join()
+        .unwrap_or_else(|_| Err(HdmError::DataMpi("shuffle engine thread panicked".into())));
 
     let mut stats = ctx.stats;
     stats.elapsed = task_start.elapsed();
@@ -308,11 +312,21 @@ fn run_a_rank<RO, RA>(
 ///
 /// # Errors
 /// Propagates [`OContext::send`] failures.
-pub fn send_rows(ctx: &mut OContext, key: &hdm_common::row::Row, value: &hdm_common::row::Row) -> Result<()> {
+pub fn send_rows(
+    ctx: &mut OContext,
+    key: &hdm_common::row::Row,
+    value: &hdm_common::row::Row,
+) -> Result<()> {
     ctx.send(KvPair::from_rows(key, value))
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
     use crate::ShuffleStyle;
@@ -446,7 +460,13 @@ mod tests {
             Arc::new(|_rank, ctx: &mut AContext| {
                 let mut keys = Vec::new();
                 while let Some((key, _)) = ctx.next_group() {
-                    keys.push(Row::decode(&mut key.clone()).unwrap().get(0).as_i64().unwrap());
+                    keys.push(
+                        Row::decode(&mut key.clone())
+                            .unwrap()
+                            .get(0)
+                            .as_i64()
+                            .unwrap(),
+                    );
                 }
                 Ok(keys)
             }),

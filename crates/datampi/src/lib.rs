@@ -138,13 +138,25 @@ impl Default for DataMpiConfig {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
 
     #[test]
     fn shuffle_style_parses() {
-        assert_eq!(ShuffleStyle::parse("Blocking"), Some(ShuffleStyle::Blocking));
-        assert_eq!(ShuffleStyle::parse("non-blocking"), Some(ShuffleStyle::NonBlocking));
+        assert_eq!(
+            ShuffleStyle::parse("Blocking"),
+            Some(ShuffleStyle::Blocking)
+        );
+        assert_eq!(
+            ShuffleStyle::parse("non-blocking"),
+            Some(ShuffleStyle::NonBlocking)
+        );
         assert_eq!(ShuffleStyle::parse("rdma"), None);
     }
 

@@ -43,7 +43,10 @@ pub fn run_receiver(
     let mut eofs = 0usize;
     while eofs < o_tasks {
         let msg = ep.recv(None, None).map_err(|e| {
-            HdmError::DataMpi(format!("A{} receive failed: {e} (O task died before EOF?)", stats.rank))
+            HdmError::DataMpi(format!(
+                "A{} receive failed: {e} (O task died before EOF?)",
+                stats.rank
+            ))
         })?;
         match msg.tag {
             tags::DATA => {
@@ -92,33 +95,24 @@ pub fn run_receiver(
 /// bookkeeping cost of a comparator-keyed heap here.
 fn merge_runs(runs: Vec<Vec<KvPair>>, comparator: &ComparatorRef) -> Vec<KvPair> {
     let total: usize = runs.iter().map(Vec::len).sum();
-    let mut cursors: Vec<usize> = vec![0; runs.len()];
+    let mut heads: Vec<_> = runs.into_iter().map(|r| r.into_iter().peekable()).collect();
     let mut out = Vec::with_capacity(total);
     loop {
-        let mut best: Option<usize> = None;
-        for (r, run) in runs.iter().enumerate() {
-            if cursors[r] >= run.len() {
-                continue;
-            }
+        // Select the run whose head key is smallest (key clones are
+        // refcount bumps, not copies).
+        let mut best: Option<(usize, Bytes)> = None;
+        for (r, head) in heads.iter_mut().enumerate() {
+            let Some(kv) = head.peek() else { continue };
             best = match best {
-                None => Some(r),
-                Some(b) => {
-                    let cand = &run[cursors[r]].key;
-                    let cur = &runs[b][cursors[b]].key;
-                    if comparator.compare(cand, cur) == std::cmp::Ordering::Less {
-                        Some(r)
-                    } else {
-                        Some(b)
-                    }
+                Some((b, cur)) if comparator.compare(&kv.key, &cur) != std::cmp::Ordering::Less => {
+                    Some((b, cur))
                 }
+                _ => Some((r, kv.key.clone())),
             };
         }
-        match best {
-            Some(r) => {
-                out.push(runs[r][cursors[r]].clone());
-                cursors[r] += 1;
-            }
-            None => break,
+        let Some((r, _)) = best else { break };
+        if let Some(kv) = heads.get_mut(r).and_then(Iterator::next) {
+            out.push(kv);
         }
     }
     out
@@ -129,7 +123,9 @@ fn group_sorted(sorted: Vec<KvPair>, comparator: &ComparatorRef) -> KeyGroups {
     let mut groups: KeyGroups = Vec::new();
     for kv in sorted {
         match groups.last_mut() {
-            Some((key, values)) if comparator.compare(key, &kv.key) == std::cmp::Ordering::Equal => {
+            Some((key, values))
+                if comparator.compare(key, &kv.key) == std::cmp::Ordering::Equal =>
+            {
                 values.push(kv.value);
             }
             _ => groups.push((kv.key, vec![kv.value])),
@@ -139,6 +135,12 @@ fn group_sorted(sorted: Vec<KvPair>, comparator: &ComparatorRef) -> KeyGroups {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
     use hdm_common::kv::BytesComparator;

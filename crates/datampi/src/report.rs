@@ -131,7 +131,11 @@ impl JobReport {
     /// The latest O-task finish offset — the O-phase length (Figure 6's
     /// per-style comparison reads this).
     pub fn o_phase_duration(&self) -> Duration {
-        self.o_tasks.iter().map(|t| t.elapsed).max().unwrap_or(Duration::ZERO)
+        self.o_tasks
+            .iter()
+            .map(|t| t.elapsed)
+            .max()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Imbalance of records across A tasks: `max / max(1, min)` — the
@@ -144,6 +148,12 @@ impl JobReport {
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
 

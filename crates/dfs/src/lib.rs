@@ -166,7 +166,13 @@ impl Dfs {
     ///
     /// # Errors
     /// [`HdmError::Dfs`] on missing file or out-of-range read.
-    pub fn read_range(&self, path: &str, offset: u64, len: u64, reader_node: Option<NodeId>) -> Result<Vec<u8>> {
+    pub fn read_range(
+        &self,
+        path: &str,
+        offset: u64,
+        len: u64,
+        reader_node: Option<NodeId>,
+    ) -> Result<Vec<u8>> {
         let entry = self.entry(path)?;
         if offset + len > entry.len {
             return Err(HdmError::Dfs(format!(
@@ -369,7 +375,9 @@ impl DfsWriter {
     }
 
     fn cut_block(&mut self, data: Vec<u8>) {
-        let replicas = self.dfs.place_replicas(&self.path, self.blocks.len(), self.writer_node);
+        let replicas = self
+            .dfs
+            .place_replicas(&self.path, self.blocks.len(), self.writer_node);
         self.blocks.push(namespace::Block {
             data: Bytes::from(data),
             replicas,
@@ -474,7 +482,10 @@ mod tests {
         for p in ["/t/x/1", "/t/x/2", "/t/y/1"] {
             dfs.create(p, NodeId(0)).unwrap().close().unwrap();
         }
-        assert_eq!(dfs.list("/t/x/"), vec!["/t/x/1".to_string(), "/t/x/2".to_string()]);
+        assert_eq!(
+            dfs.list("/t/x/"),
+            vec!["/t/x/1".to_string(), "/t/x/2".to_string()]
+        );
         assert_eq!(dfs.delete_prefix("/t/x/"), 2);
         assert!(!dfs.exists("/t/x/1"));
         dfs.rename("/t/y/1", "/t/z").unwrap();

@@ -52,7 +52,8 @@ impl Namespace {
 
     pub fn close_file(&mut self, path: &str, blocks: Vec<Block>, len: u64) {
         self.open.remove(path);
-        self.files.insert(path.to_string(), FileEntry { blocks, len });
+        self.files
+            .insert(path.to_string(), FileEntry { blocks, len });
     }
 
     pub fn remove(&mut self, path: &str) -> bool {
@@ -107,7 +108,10 @@ mod tests {
             ns.close_file(p, Vec::new(), 0);
         }
         assert_eq!(ns.list("/a/"), vec!["/a/1".to_string(), "/a/2".to_string()]);
-        assert_eq!(ns.list(""), vec!["/a/1".to_string(), "/a/2".to_string(), "/b/1".to_string()]);
+        assert_eq!(
+            ns.list(""),
+            vec!["/a/1".to_string(), "/a/2".to_string(), "/b/1".to_string()]
+        );
     }
 
     #[test]

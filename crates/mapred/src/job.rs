@@ -49,10 +49,16 @@ impl MapContext {
     /// Emit one pair into the sort buffer.
     ///
     /// # Errors
-    /// Currently infallible, but `Result` keeps parity with the DataMPI
-    /// `send` so Hive operator code is engine-agnostic.
+    /// [`HdmError::MapRed`] if the partitioner routes the key outside
+    /// `0..num_reducers`.
     pub fn collect(&mut self, kv: KvPair) -> Result<()> {
         let partition = self.partitioner.partition(&kv.key, self.num_reducers);
+        if partition >= self.num_reducers {
+            return Err(HdmError::MapRed(format!(
+                "partitioner routed key to reducer {partition}, but only {} exist",
+                self.num_reducers
+            )));
+        }
         self.stats.records += 1;
         self.stats.kv_sizes.record(kv.wire_size() as u64);
         self.stats.bytes += kv.wire_size() as u64;
@@ -74,7 +80,9 @@ pub struct ReduceContext {
 
 impl std::fmt::Debug for ReduceContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ReduceContext").field("rank", &self.rank).finish()
+        f.debug_struct("ReduceContext")
+            .field("rank", &self.rank)
+            .finish()
     }
 }
 
@@ -216,7 +224,10 @@ where
             for m in 0..maps {
                 match store.fetch(m, rank) {
                     Ok(seg) => {
-                        stats.shuffled_from[m] = seg.iter().map(|kv| kv.wire_size() as u64).sum();
+                        let bytes: u64 = seg.iter().map(|kv| kv.wire_size() as u64).sum();
+                        if let Some(slot) = stats.shuffled_from.get_mut(m) {
+                            *slot = bytes;
+                        }
                         stats.records += seg.len() as u64;
                         runs.push(seg);
                     }
@@ -287,9 +298,11 @@ where
     let slots = slots.max(1);
     let task = &task;
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let slots_used = slots.min(n);
-    let out_ref = std::sync::Mutex::new(&mut out);
+    // Collected as (task index, result); sorted back into task order below.
+    // A poisoned collector only means some other worker panicked mid-push;
+    // the pushed pairs are still intact, so recover the guard.
+    let collected = std::sync::Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
         for _ in 0..slots_used {
             scope.spawn(|| loop {
@@ -298,11 +311,18 @@ where
                     break;
                 }
                 let result = task(i);
-                out_ref.lock().expect("wave collector poisoned")[i] = Some(result);
+                collected
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push((i, result));
             });
         }
     });
-    out.into_iter().map(|v| v.expect("task produced output")).collect()
+    let mut out = collected
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, v)| v).collect()
 }
 
 #[cfg(test)]
@@ -351,7 +371,10 @@ mod tests {
         assert_eq!(outcome.report.total_map_records(), 600);
         assert_eq!(outcome.report.total_reduce_records(), 600);
         assert!(outcome.report.map_tasks.iter().any(|t| t.spills > 0));
-        assert_eq!(outcome.report.total_shuffle_bytes(), outcome.report.materialized_bytes);
+        assert_eq!(
+            outcome.report.total_shuffle_bytes(),
+            outcome.report.materialized_bytes
+        );
     }
 
     #[test]

@@ -73,8 +73,9 @@ pub use report::{MapTaskStats, MrJobReport, ReduceTaskStats};
 /// Optional combiner applied to each sorted spill run before it is
 /// written (Hadoop's `Combiner`, Hive's `hive.map.aggr` analogue at the
 /// engine level). Input pairs arrive sorted by key.
-pub type CombinerRef =
-    std::sync::Arc<dyn Fn(Vec<hdm_common::kv::KvPair>) -> Vec<hdm_common::kv::KvPair> + Send + Sync>;
+pub type CombinerRef = std::sync::Arc<
+    dyn Fn(Vec<hdm_common::kv::KvPair>) -> Vec<hdm_common::kv::KvPair> + Send + Sync,
+>;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]

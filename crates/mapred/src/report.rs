@@ -114,8 +114,18 @@ impl MrJobReport {
 
     /// Records imbalance across reducers (`max / max(1, min)`).
     pub fn reduce_skew_factor(&self) -> f64 {
-        let max = self.reduce_tasks.iter().map(|t| t.records).max().unwrap_or(0);
-        let min = self.reduce_tasks.iter().map(|t| t.records).min().unwrap_or(0);
+        let max = self
+            .reduce_tasks
+            .iter()
+            .map(|t| t.records)
+            .max()
+            .unwrap_or(0);
+        let min = self
+            .reduce_tasks
+            .iter()
+            .map(|t| t.records)
+            .min()
+            .unwrap_or(0);
         max as f64 / min.max(1) as f64
     }
 }

@@ -34,7 +34,11 @@ impl std::fmt::Debug for SortBuffer {
 
 impl SortBuffer {
     /// A buffer spilling at `capacity` bytes.
-    pub fn new(capacity: usize, comparator: ComparatorRef, combiner: Option<CombinerRef>) -> SortBuffer {
+    pub fn new(
+        capacity: usize,
+        comparator: ComparatorRef,
+        combiner: Option<CombinerRef>,
+    ) -> SortBuffer {
         SortBuffer {
             entries: Vec::new(),
             bytes: 0,
@@ -77,19 +81,25 @@ impl SortBuffer {
             None => run,
         };
         let bytes = run.iter().map(|(_, kv)| kv.wire_size() as u64).sum();
-        self.spills.push(SpillRun { entries: run, bytes });
+        self.spills.push(SpillRun {
+            entries: run,
+            bytes,
+        });
     }
 
     /// Finish the task: final spill, then merge all runs into one sorted
-    /// segment per partition. Returns `segments[partition]`.
+    /// segment per partition. Returns `segments[partition]`. Pairs
+    /// collected for partitions `>= num_partitions` (a broken partitioner
+    /// — [`crate::job::MapContext::collect`] rejects them upstream) are
+    /// dropped rather than panicking.
     pub fn finish(mut self, num_partitions: usize) -> Vec<Vec<KvPair>> {
         self.spill();
         let comparator = std::sync::Arc::clone(&self.comparator);
         let spills = std::mem::take(&mut self.spills);
-        let mut segments: Vec<Vec<KvPair>> = vec![Vec::new(); num_partitions];
         // Each run is sorted by (partition, key); per-partition slices are
         // therefore individually sorted — merge them partition by partition.
-        let mut per_part_runs: Vec<Vec<Vec<KvPair>>> = vec![Vec::new(); num_partitions];
+        let mut per_part_runs: std::collections::HashMap<usize, Vec<Vec<KvPair>>> =
+            std::collections::HashMap::new();
         for run in spills {
             let mut current: Vec<KvPair> = Vec::new();
             let mut current_part: Option<usize> = None;
@@ -97,7 +107,10 @@ impl SortBuffer {
                 match current_part {
                     Some(cp) if cp == p => current.push(kv),
                     Some(cp) => {
-                        per_part_runs[cp].push(std::mem::take(&mut current));
+                        per_part_runs
+                            .entry(cp)
+                            .or_default()
+                            .push(std::mem::take(&mut current));
                         current.push(kv);
                         current_part = Some(p);
                     }
@@ -108,13 +121,12 @@ impl SortBuffer {
                 }
             }
             if let Some(cp) = current_part {
-                per_part_runs[cp].push(current);
+                per_part_runs.entry(cp).or_default().push(current);
             }
         }
-        for (p, runs) in per_part_runs.into_iter().enumerate() {
-            segments[p] = merge_sorted_runs(runs, &comparator);
-        }
-        segments
+        (0..num_partitions)
+            .map(|p| merge_sorted_runs(per_part_runs.remove(&p).unwrap_or_default(), &comparator))
+            .collect()
     }
 }
 
@@ -161,33 +173,24 @@ fn combine_sorted(
 /// counts are small).
 pub fn merge_sorted_runs(runs: Vec<Vec<KvPair>>, comparator: &ComparatorRef) -> Vec<KvPair> {
     let total: usize = runs.iter().map(Vec::len).sum();
-    let mut cursors = vec![0usize; runs.len()];
+    let mut heads: Vec<_> = runs.into_iter().map(|r| r.into_iter().peekable()).collect();
     let mut out = Vec::with_capacity(total);
     loop {
-        let mut best: Option<usize> = None;
-        for (r, run) in runs.iter().enumerate() {
-            if cursors[r] >= run.len() {
-                continue;
-            }
+        // Select the run whose head key is smallest; ties keep the earlier
+        // run for stability (key clones are refcount bumps, not copies).
+        let mut best: Option<(usize, bytes::Bytes)> = None;
+        for (r, head) in heads.iter_mut().enumerate() {
+            let Some(kv) = head.peek() else { continue };
             best = match best {
-                None => Some(r),
-                Some(b) => {
-                    if comparator.compare(&run[cursors[r]].key, &runs[b][cursors[b]].key)
-                        == std::cmp::Ordering::Less
-                    {
-                        Some(r)
-                    } else {
-                        Some(b)
-                    }
+                Some((b, cur)) if comparator.compare(&kv.key, &cur) != std::cmp::Ordering::Less => {
+                    Some((b, cur))
                 }
+                _ => Some((r, kv.key.clone())),
             };
         }
-        match best {
-            Some(r) => {
-                out.push(runs[r][cursors[r]].clone());
-                cursors[r] += 1;
-            }
-            None => break,
+        let Some((r, _)) = best else { break };
+        if let Some(kv) = heads.get_mut(r).and_then(Iterator::next) {
+            out.push(kv);
         }
     }
     out
@@ -262,10 +265,7 @@ mod tests {
     #[test]
     fn combiner_respects_partition_boundaries() {
         let combine: CombinerRef = Arc::new(|group: Vec<KvPair>| {
-            vec![KvPair::new(
-                group[0].key.to_vec(),
-                vec![group.len() as u8],
-            )]
+            vec![KvPair::new(group[0].key.to_vec(), vec![group.len() as u8])]
         });
         let mut buf = SortBuffer::new(1 << 20, cmp(), Some(combine));
         // Same key routed to two different partitions must not merge.

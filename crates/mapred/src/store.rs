@@ -41,7 +41,11 @@ impl MapOutputStore {
             .lock()
             .get(&(map, partition))
             .cloned()
-            .ok_or_else(|| HdmError::MapRed(format!("fetch failure: map {map} partition {partition} missing")))
+            .ok_or_else(|| {
+                HdmError::MapRed(format!(
+                    "fetch failure: map {map} partition {partition} missing"
+                ))
+            })
     }
 
     /// Serialized size of one segment in bytes (0 if missing).

@@ -89,7 +89,9 @@ pub struct World {
 
 impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("World").field("size", &self.senders.len()).finish()
+        f.debug_struct("World")
+            .field("size", &self.senders.len())
+            .finish()
     }
 }
 
@@ -132,10 +134,14 @@ impl World {
     ///
     /// # Panics
     /// Panics if all endpoints were already taken.
+    #[allow(clippy::expect_used)] // documented `# Panics` contract, setup-time only
     pub fn endpoint(&mut self) -> Endpoint {
         let rank = self.taken.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-        let rx = self.receivers[rank]
-            .take()
+        let rx = self
+            .receivers
+            .get_mut(rank)
+            .and_then(|slot| slot.take())
+            // hdm-allow(no-panic-in-hot-path): documented `# Panics` contract in setup code; runs before any rank traffic starts
             .expect("endpoint already taken for this rank");
         Endpoint::new(
             rank,
@@ -166,12 +172,23 @@ impl World {
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                // Re-raise the rank thread's panic payload in the caller,
+                // preserving the original message for the test harness.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     }
 }
 
 #[cfg(test)]
+#[allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::indexing_slicing,
+    clippy::panic
+)]
 mod tests {
     use super::*;
     use bytes::Bytes;
@@ -200,7 +217,8 @@ mod tests {
         let out = world.run(|mut ep| {
             if ep.rank() == 0 {
                 for i in 0..100u32 {
-                    ep.send(1, Tag(0), Bytes::from(i.to_be_bytes().to_vec())).unwrap();
+                    ep.send(1, Tag(0), Bytes::from(i.to_be_bytes().to_vec()))
+                        .unwrap();
                 }
                 Vec::new()
             } else {
@@ -238,7 +256,12 @@ mod tests {
     fn all_to_all_with_tiny_capacity_does_not_deadlock() {
         // Capacity 1 forces the progress engine to park pending sends.
         let n = 6;
-        let world = World::new(n, WorldConfig { channel_capacity: 1 });
+        let world = World::new(
+            n,
+            WorldConfig {
+                channel_capacity: 1,
+            },
+        );
         let out = world.run(move |mut ep| {
             let me = ep.rank();
             let mut reqs = Vec::new();
@@ -348,7 +371,12 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         for seed in [3u64, 17, 99] {
             let n = 5;
-            let world = World::new(n, WorldConfig { channel_capacity: 2 });
+            let world = World::new(
+                n,
+                WorldConfig {
+                    channel_capacity: 2,
+                },
+            );
             let out = world.run(move |mut ep| {
                 let me = ep.rank();
                 let mut rng = StdRng::seed_from_u64(seed ^ (me as u64) << 8);
@@ -364,7 +392,10 @@ mod tests {
                 // Tell everyone how many to expect.
                 let counts: Vec<u32> = sent.clone();
                 for (dst, count) in counts.iter().enumerate() {
-                    reqs.push(ep.isend(dst, Tag(2), Bytes::from(count.to_be_bytes().to_vec())).unwrap());
+                    reqs.push(
+                        ep.isend(dst, Tag(2), Bytes::from(count.to_be_bytes().to_vec()))
+                            .unwrap(),
+                    );
                 }
                 // Receive counts + data from everyone.
                 let mut expect: Vec<Option<u32>> = vec![None; ep.world_size()];

@@ -67,7 +67,13 @@ pub trait FileFormat: Send + Sync {
     ///
     /// # Errors
     /// Fails if the path already exists.
-    fn create(&self, dfs: &Dfs, path: &str, schema: &Schema, node: NodeId) -> Result<Box<dyn RowSink>>;
+    fn create(
+        &self,
+        dfs: &Dfs,
+        path: &str,
+        schema: &Schema,
+        node: NodeId,
+    ) -> Result<Box<dyn RowSink>>;
 
     /// Read one split, optionally projecting columns and pushing down
     /// predicates (formats that can't push down must ignore these hints
@@ -193,7 +199,11 @@ mod tests {
             w.close().unwrap();
             let mut got = Vec::new();
             for s in fmt.splits(&dfs, "/t/part-0").unwrap() {
-                got.extend(fmt.read_split(&dfs, &s, &schema(), None, &[], None).unwrap().rows);
+                got.extend(
+                    fmt.read_split(&dfs, &s, &schema(), None, &[], None)
+                        .unwrap()
+                        .rows,
+                );
             }
             assert_eq!(got, rows, "format {kind:?}");
         }
@@ -202,12 +212,18 @@ mod tests {
     #[test]
     fn table_storage_layout() {
         let ts = TableStorage::default();
-        assert_eq!(ts.part_path("lineitem", 3), "/warehouse/lineitem/part-00003");
+        assert_eq!(
+            ts.part_path("lineitem", 3),
+            "/warehouse/lineitem/part-00003"
+        );
         let dfs = dfs();
         let fmt = format_for(FormatKind::Text);
         for i in 0..2 {
-            let mut w = fmt.create(&dfs, &ts.part_path("t", i), &schema(), NodeId(0)).unwrap();
-            w.write_row(&Row::from(vec![Value::Long(1), Value::Str("x".into())])).unwrap();
+            let mut w = fmt
+                .create(&dfs, &ts.part_path("t", i), &schema(), NodeId(0))
+                .unwrap();
+            w.write_row(&Row::from(vec![Value::Long(1), Value::Str("x".into())]))
+                .unwrap();
             w.close().unwrap();
         }
         assert_eq!(ts.parts(&dfs, "t").len(), 2);

@@ -132,7 +132,11 @@ impl ColumnStats {
         } else {
             (None, None)
         };
-        Ok(ColumnStats { min, max, null_count })
+        Ok(ColumnStats {
+            min,
+            max,
+            null_count,
+        })
     }
 }
 
@@ -296,7 +300,11 @@ fn decode_chunk(ty: DataType, rows: usize, raw: &[u8]) -> Result<Vec<Value>> {
     if buf.is_empty() && present > 0 {
         return Err(HdmError::Storage("truncated chunk body".into()));
     }
-    let enc = if present == 0 && buf.is_empty() { ENC_LONG_DIRECT } else { buf[0] };
+    let enc = if present == 0 && buf.is_empty() {
+        ENC_LONG_DIRECT
+    } else {
+        buf[0]
+    };
     if !(present == 0 && buf.is_empty()) {
         buf = &buf[1..];
     }
@@ -365,7 +373,10 @@ fn decode_chunk(ty: DataType, rows: usize, raw: &[u8]) -> Result<Vec<Value>> {
         if null {
             out.push(Value::Null);
         } else {
-            out.push(it.next().ok_or_else(|| HdmError::Storage("chunk underflow".into()))?);
+            out.push(
+                it.next()
+                    .ok_or_else(|| HdmError::Storage("chunk underflow".into()))?,
+            );
         }
     }
     Ok(out)
@@ -516,7 +527,11 @@ fn read_footer(dfs: &Dfs, path: &str) -> Result<(Vec<StripeInfo>, u64)> {
                 stats,
             });
         }
-        stripes.push(StripeInfo { offset, rows, chunks });
+        stripes.push(StripeInfo {
+            offset,
+            rows,
+            chunks,
+        });
     }
     Ok((stripes, flen + 8))
 }
@@ -526,7 +541,13 @@ impl FileFormat for OrcFormat {
         FormatKind::Orc
     }
 
-    fn create(&self, dfs: &Dfs, path: &str, schema: &Schema, node: NodeId) -> Result<Box<dyn RowSink>> {
+    fn create(
+        &self,
+        dfs: &Dfs,
+        path: &str,
+        schema: &Schema,
+        node: NodeId,
+    ) -> Result<Box<dyn RowSink>> {
         Ok(Box::new(OrcSink {
             writer: dfs.create(path, node)?,
             schema: schema.clone(),
@@ -602,7 +623,12 @@ impl FileFormat for OrcFormat {
         let mut out = Vec::new();
         let mut run_start = stripes[0].offset;
         let mut run_end = run_start;
-        let data_end = |s: &StripeInfo| s.chunks.last().map(|c| c.offset + c.len).unwrap_or(s.offset);
+        let data_end = |s: &StripeInfo| {
+            s.chunks
+                .last()
+                .map(|c| c.offset + c.len)
+                .unwrap_or(s.offset)
+        };
         for s in &stripes {
             let end = data_end(s);
             if end - run_start > block_size && run_end > run_start {
@@ -686,7 +712,11 @@ mod tests {
     fn read_everything(fmt: &OrcFormat, dfs: &Dfs, path: &str) -> Vec<Row> {
         let mut out = Vec::new();
         for s in fmt.splits(dfs, path).unwrap() {
-            out.extend(fmt.read_split(dfs, &s, &schema(), None, &[], None).unwrap().rows);
+            out.extend(
+                fmt.read_split(dfs, &s, &schema(), None, &[], None)
+                    .unwrap()
+                    .rows,
+            );
         }
         out
     }
@@ -708,8 +738,13 @@ mod tests {
         let mut full = 0u64;
         let mut narrow = 0u64;
         for s in &splits {
-            full += fmt.read_split(&dfs, s, &schema(), None, &[], None).unwrap().bytes_read;
-            let src = fmt.read_split(&dfs, s, &schema(), Some(&[0]), &[], None).unwrap();
+            full += fmt
+                .read_split(&dfs, s, &schema(), None, &[], None)
+                .unwrap()
+                .bytes_read;
+            let src = fmt
+                .read_split(&dfs, s, &schema(), Some(&[0]), &[], None)
+                .unwrap();
             narrow += src.bytes_read;
             for (i, r) in src.rows.iter().enumerate() {
                 assert_eq!(r.values().len(), 1);
@@ -739,7 +774,9 @@ mod tests {
         for s in &splits {
             let full = fmt.read_split(&dfs, s, &schema(), None, &[], None).unwrap();
             full_bytes += full.bytes_read;
-            let src = fmt.read_split(&dfs, s, &schema(), None, &pred, None).unwrap();
+            let src = fmt
+                .read_split(&dfs, s, &schema(), None, &pred, None)
+                .unwrap();
             pruned_bytes += src.bytes_read;
             rows_read += src.rows.len();
         }
@@ -760,7 +797,11 @@ mod tests {
         }];
         let mut got = Vec::new();
         for s in fmt.splits(&dfs, "/sound").unwrap() {
-            got.extend(fmt.read_split(&dfs, &s, &schema(), None, &pred, None).unwrap().rows);
+            got.extend(
+                fmt.read_split(&dfs, &s, &schema(), None, &pred, None)
+                    .unwrap()
+                    .rows,
+            );
         }
         // The stripe containing id 123 must be present; re-filtering gives
         // exactly one row.
@@ -883,12 +924,23 @@ mod proptests {
 
     fn arb_value(ty: DataType) -> BoxedStrategy<Value> {
         match ty {
-            DataType::Long => prop_oneof![9 => any::<i64>().prop_map(Value::Long), 1 => Just(Value::Null)].boxed(),
-            DataType::Double => prop_oneof![9 => any::<f64>().prop_map(Value::Double), 1 => Just(Value::Null)].boxed(),
-            DataType::String => prop_oneof![9 => "[a-z]{0,12}".prop_map(Value::Str), 1 => Just(Value::Null)].boxed(),
-            DataType::Date => prop_oneof![9 => (-50_000i32..50_000).prop_map(Value::Date), 1 => Just(Value::Null)].boxed(),
+            DataType::Long => {
+                prop_oneof![9 => any::<i64>().prop_map(Value::Long), 1 => Just(Value::Null)].boxed()
+            }
+            DataType::Double => {
+                prop_oneof![9 => any::<f64>().prop_map(Value::Double), 1 => Just(Value::Null)]
+                    .boxed()
+            }
+            DataType::String => {
+                prop_oneof![9 => "[a-z]{0,12}".prop_map(Value::Str), 1 => Just(Value::Null)].boxed()
+            }
+            DataType::Date => {
+                prop_oneof![9 => (-50_000i32..50_000).prop_map(Value::Date), 1 => Just(Value::Null)]
+                    .boxed()
+            }
             DataType::Boolean => {
-                prop_oneof![9 => any::<bool>().prop_map(Value::Boolean), 1 => Just(Value::Null)].boxed()
+                prop_oneof![9 => any::<bool>().prop_map(Value::Boolean), 1 => Just(Value::Null)]
+                    .boxed()
             }
         }
     }

@@ -122,7 +122,13 @@ impl FileFormat for SeqFormat {
         FormatKind::Text
     }
 
-    fn create(&self, dfs: &Dfs, path: &str, _schema: &Schema, node: NodeId) -> Result<Box<dyn RowSink>> {
+    fn create(
+        &self,
+        dfs: &Dfs,
+        path: &str,
+        _schema: &Schema,
+        node: NodeId,
+    ) -> Result<Box<dyn RowSink>> {
         Ok(Box::new(SeqSink {
             writer: SeqWriter::create(dfs, path, node)?,
         }))
@@ -148,7 +154,10 @@ impl FileFormat for SeqFormat {
         let len = dfs.len(&split.path)?;
         let raw = dfs.read_range(&split.path, 0, len, reader_node)?;
         if raw.len() < 4 || &raw[..4] != SEQ_MAGIC {
-            return Err(HdmError::Storage(format!("bad sequence magic in {}", split.path)));
+            return Err(HdmError::Storage(format!(
+                "bad sequence magic in {}",
+                split.path
+            )));
         }
         let mut cursor = &raw[4..];
         let mut rows = Vec::new();
@@ -238,7 +247,9 @@ mod tests {
         Box::new(sink).close().unwrap();
         let splits = fmt.splits(&dfs, "/rows").unwrap();
         assert_eq!(splits.len(), 1);
-        let src = fmt.read_split(&dfs, &splits[0], &schema, None, &[], None).unwrap();
+        let src = fmt
+            .read_split(&dfs, &splits[0], &schema, None, &[], None)
+            .unwrap();
         assert_eq!(src.rows, rows);
         assert_eq!(src.bytes_read, dfs.len("/rows").unwrap());
     }

@@ -75,8 +75,16 @@ pub fn parse_row(line: &str, schema: &Schema, delimiter: u8) -> Result<Row> {
             continue;
         }
         let v = match field.data_type {
-            DataType::Long => raw.trim().parse::<i64>().map(Value::Long).unwrap_or(Value::Null),
-            DataType::Double => raw.trim().parse::<f64>().map(Value::Double).unwrap_or(Value::Null),
+            DataType::Long => raw
+                .trim()
+                .parse::<i64>()
+                .map(Value::Long)
+                .unwrap_or(Value::Null),
+            DataType::Double => raw
+                .trim()
+                .parse::<f64>()
+                .map(Value::Double)
+                .unwrap_or(Value::Null),
             DataType::String => Value::Str((*raw).to_string()),
             DataType::Date => Value::parse_date(raw).unwrap_or(Value::Null),
             DataType::Boolean => match raw.trim().to_ascii_lowercase().as_str() {
@@ -124,7 +132,13 @@ impl FileFormat for TextFormat {
         FormatKind::Text
     }
 
-    fn create(&self, dfs: &Dfs, path: &str, schema: &Schema, node: NodeId) -> Result<Box<dyn RowSink>> {
+    fn create(
+        &self,
+        dfs: &Dfs,
+        path: &str,
+        schema: &Schema,
+        node: NodeId,
+    ) -> Result<Box<dyn RowSink>> {
         Ok(Box::new(TextSink {
             writer: dfs.create(path, node)?,
             delimiter: self.delimiter,
@@ -154,17 +168,18 @@ impl FileFormat for TextFormat {
         const LOOKAHEAD: u64 = 4096;
         // Extend `raw` until a '\n' exists at or after relative position
         // `from`, or EOF. Returns true if more data was fetched.
-        let extend = |raw: &mut Vec<u8>, fetched_until: &mut u64, bytes_read: &mut u64| -> Result<bool> {
-            if *fetched_until >= file_len {
-                return Ok(false);
-            }
-            let want = LOOKAHEAD.min(file_len - *fetched_until);
-            let extra = dfs.read_range(&split.path, *fetched_until, want, reader_node)?;
-            *bytes_read += extra.len() as u64;
-            *fetched_until += extra.len() as u64;
-            raw.extend_from_slice(&extra);
-            Ok(true)
-        };
+        let extend =
+            |raw: &mut Vec<u8>, fetched_until: &mut u64, bytes_read: &mut u64| -> Result<bool> {
+                if *fetched_until >= file_len {
+                    return Ok(false);
+                }
+                let want = LOOKAHEAD.min(file_len - *fetched_until);
+                let extra = dfs.read_range(&split.path, *fetched_until, want, reader_node)?;
+                *bytes_read += extra.len() as u64;
+                *fetched_until += extra.len() as u64;
+                raw.extend_from_slice(&extra);
+                Ok(true)
+            };
 
         // A split at offset > 0 skips the partial record at its head: those
         // bytes belong to the previous split's crossing record.
@@ -178,7 +193,10 @@ impl FileFormat for TextFormat {
                 pos = raw.len();
                 if !extend(&mut raw, &mut fetched_until, &mut bytes_read)? {
                     // Split is the interior of one huge record: no rows.
-                    return Ok(RowSource { rows: Vec::new(), bytes_read });
+                    return Ok(RowSource {
+                        rows: Vec::new(),
+                        bytes_read,
+                    });
                 }
             }
         }
@@ -196,8 +214,9 @@ impl FileFormat for TextFormat {
                 }
             };
             let end = nl.unwrap_or(raw.len());
-            let line = std::str::from_utf8(&raw[pos..end])
-                .map_err(|e| HdmError::Storage(format!("non-utf8 text data in {}: {e}", split.path)))?;
+            let line = std::str::from_utf8(&raw[pos..end]).map_err(|e| {
+                HdmError::Storage(format!("non-utf8 text data in {}: {e}", split.path))
+            })?;
             if !line.is_empty() {
                 let row = parse_row(line, schema, self.delimiter)?;
                 rows.push(match projection {
@@ -250,7 +269,12 @@ mod tests {
 
     #[test]
     fn null_round_trip() {
-        let r = Row::from(vec![Value::Null, Value::Str("x".into()), Value::Null, Value::Null]);
+        let r = Row::from(vec![
+            Value::Null,
+            Value::Str("x".into()),
+            Value::Null,
+            Value::Null,
+        ]);
         let line = format_row(&r, b'|');
         assert_eq!(line, "\\N|x|\\N|\\N");
         assert_eq!(parse_row(&line, &schema(), b'|').unwrap(), r);
@@ -287,10 +311,17 @@ mod tests {
         Box::new(sink).close().unwrap();
 
         let splits = fmt.splits(&dfs, "/f").unwrap();
-        assert!(splits.len() > 3, "need multiple splits for the test to bite");
+        assert!(
+            splits.len() > 3,
+            "need multiple splits for the test to bite"
+        );
         let mut got = Vec::new();
         for s in &splits {
-            got.extend(fmt.read_split(&dfs, s, &schema(), None, &[], None).unwrap().rows);
+            got.extend(
+                fmt.read_split(&dfs, s, &schema(), None, &[], None)
+                    .unwrap()
+                    .rows,
+            );
         }
         assert_eq!(got, rows);
     }
@@ -307,7 +338,9 @@ mod tests {
         sink.write_row(&sample(1)).unwrap();
         Box::new(sink).close().unwrap();
         let s = &fmt.splits(&dfs, "/p").unwrap()[0];
-        let src = fmt.read_split(&dfs, s, &schema(), Some(&[1]), &[], None).unwrap();
+        let src = fmt
+            .read_split(&dfs, s, &schema(), Some(&[1]), &[], None)
+            .unwrap();
         assert_eq!(src.rows[0].values(), &[Value::Str("name-1".into())]);
     }
 

@@ -77,7 +77,13 @@ pub fn generate_uservisits(cfg: &HiBenchConfig) -> Vec<Row> {
             let ip = ip_dist.sample(&mut rng);
             let url = url_dist.sample(&mut rng) - 1;
             Row::from(vec![
-                Value::Str(format!("{}.{}.{}.{}", ip % 223 + 1, (ip / 7) % 256, (ip / 3) % 256, ip % 256)),
+                Value::Str(format!(
+                    "{}.{}.{}.{}",
+                    ip % 223 + 1,
+                    (ip / 7) % 256,
+                    (ip / 3) % 256,
+                    ip % 256
+                )),
                 Value::Str(format!("url{url:07}")),
                 Value::Date(start + rng.random_range(0..730)),
                 Value::Double((rng.random_range(1.0f64..1000.0) * 100.0).round() / 100.0),
@@ -102,9 +108,8 @@ pub fn generate_uservisits(cfg: &HiBenchConfig) -> Vec<Row> {
 /// # Errors
 /// Propagates DDL/load failures.
 pub fn load(driver: &mut Driver, cfg: &HiBenchConfig) -> Result<u64> {
-    driver.execute(
-        "CREATE TABLE rankings (pageurl STRING, pagerank BIGINT, avgduration BIGINT)",
-    )?;
+    driver
+        .execute("CREATE TABLE rankings (pageurl STRING, pagerank BIGINT, avgduration BIGINT)")?;
     driver.execute(
         "CREATE TABLE uservisits (sourceip STRING, desturl STRING, visitdate DATE, \
          adrevenue DOUBLE, useragent STRING, countrycode STRING, languagecode STRING, \
@@ -177,7 +182,10 @@ mod tests {
         }
         let max = counts.values().max().copied().unwrap();
         let mean = rows.len() / counts.len();
-        assert!(max > mean * 4, "expected heavy head: max={max}, mean={mean}");
+        assert!(
+            max > mean * 4,
+            "expected heavy head: max={max}, mean={mean}"
+        );
     }
 
     #[test]

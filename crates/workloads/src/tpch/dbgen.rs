@@ -15,24 +15,73 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const INSTRUCTIONS: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const TYPE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINER_1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
 const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 const COLORS: [&str; 24] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "chartreuse", "chocolate", "coral", "cornflower", "cream",
-    "cyan", "forest", "frosted", "green", "honeydew", "hot", "indian",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "chartreuse",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "forest",
+    "frosted",
+    "green",
+    "honeydew",
+    "hot",
+    "indian",
 ];
 const WORDS: [&str; 20] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "requests", "accounts",
-    "packages", "instructions", "theodolites", "pinto", "beans", "foxes", "ideas", "dependencies",
-    "platelets", "realms", "courts", "asymptotes",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "deposits",
+    "requests",
+    "accounts",
+    "packages",
+    "instructions",
+    "theodolites",
+    "pinto",
+    "beans",
+    "foxes",
+    "ideas",
+    "dependencies",
+    "platelets",
+    "realms",
+    "courts",
+    "asymptotes",
 ];
 /// `(name, region)` for the 25 nations (TPC-H Appendix A).
 const NATIONS: [(&str, i64); 25] = [
@@ -76,7 +125,9 @@ const ORDER_SPAN_DAYS: i32 = 2406;
 
 fn comment(rng: &mut StdRng, probe: Option<&str>) -> String {
     let n = rng.random_range(3..8);
-    let mut words: Vec<&str> = (0..n).map(|_| WORDS[rng.random_range(0..WORDS.len())]).collect();
+    let mut words: Vec<&str> = (0..n)
+        .map(|_| WORDS[rng.random_range(0..WORDS.len())])
+        .collect();
     if let Some(p) = probe {
         let at = rng.random_range(0..=words.len());
         words.insert(at, p);
@@ -198,7 +249,9 @@ pub fn generate(scale: f64, seed: u64) -> HashMap<&'static str, Vec<Row>> {
             CONTAINER_2[rng.random_range(0..CONTAINER_2.len())]
         );
         // p_name: five distinct-ish colors (Q9 '%green%', Q20 'forest%').
-        let name: Vec<&str> = (0..5).map(|_| COLORS[rng.random_range(0..COLORS.len())]).collect();
+        let name: Vec<&str> = (0..5)
+            .map(|_| COLORS[rng.random_range(0..COLORS.len())])
+            .collect();
         part.push(Row::from(vec![
             Value::Long(k),
             Value::Str(name.join(" ")),
@@ -207,7 +260,9 @@ pub fn generate(scale: f64, seed: u64) -> HashMap<&'static str, Vec<Row>> {
             Value::Str(ty),
             Value::Long(rng.random_range(1..=50)),
             Value::Str(container),
-            Value::Double((90_000.0 + (k % 200_001) as f64 / 10.0 + 100.0 * (k % 1000) as f64) / 100.0),
+            Value::Double(
+                (90_000.0 + (k % 200_001) as f64 / 10.0 + 100.0 * (k % 1000) as f64) / 100.0,
+            ),
             Value::Str(comment(&mut rng, None)),
         ]));
     }
@@ -354,13 +409,25 @@ mod tests {
     #[test]
     fn referential_integrity() {
         let d = small();
-        let custs: HashSet<i64> = d["customer"].iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        let custs: HashSet<i64> = d["customer"]
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
         for o in &d["orders"] {
             assert!(custs.contains(&o.get(1).as_i64().unwrap()));
         }
-        let orders: HashSet<i64> = d["orders"].iter().map(|r| r.get(0).as_i64().unwrap()).collect();
-        let parts: HashSet<i64> = d["part"].iter().map(|r| r.get(0).as_i64().unwrap()).collect();
-        let supps: HashSet<i64> = d["supplier"].iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+        let orders: HashSet<i64> = d["orders"]
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
+        let parts: HashSet<i64> = d["part"]
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
+        let supps: HashSet<i64> = d["supplier"]
+            .iter()
+            .map(|r| r.get(0).as_i64().unwrap())
+            .collect();
         let ps: HashSet<(i64, i64)> = d["partsupp"]
             .iter()
             .map(|r| (r.get(0).as_i64().unwrap(), r.get(1).as_i64().unwrap()))
@@ -417,9 +484,13 @@ mod tests {
     fn probe_phrases_present() {
         let d = generate(0.01, 5);
         let has = |rows: &[Row], col: usize, probe: &str| {
-            rows.iter().any(|r| r.get(col).as_str().unwrap_or("").contains(probe))
+            rows.iter()
+                .any(|r| r.get(col).as_str().unwrap_or("").contains(probe))
         };
-        assert!(has(&d["orders"], 8, "special requests"), "Q13 probe missing");
+        assert!(
+            has(&d["orders"], 8, "special requests"),
+            "Q13 probe missing"
+        );
         // Colors show up in part names for Q9/Q20.
         assert!(has(&d["part"], 1, "green"));
         assert!(has(&d["part"], 1, "forest"));
@@ -431,7 +502,10 @@ mod tests {
         for c in &d["customer"] {
             let nation = c.get(3).as_i64().unwrap();
             let phone = c.get(4).as_str().unwrap();
-            assert!(phone.starts_with(&format!("{}-", nation + 10)), "{phone} vs {nation}");
+            assert!(
+                phone.starts_with(&format!("{}-", nation + 10)),
+                "{phone} vs {nation}"
+            );
         }
     }
 }

@@ -17,7 +17,11 @@ pub const TABLES: [&str; 8] = [
 pub fn schema_of(table: &str) -> Vec<(&'static str, DataType)> {
     use DataType::*;
     match table {
-        "region" => vec![("r_regionkey", Long), ("r_name", String), ("r_comment", String)],
+        "region" => vec![
+            ("r_regionkey", Long),
+            ("r_name", String),
+            ("r_comment", String),
+        ],
         "nation" => vec![
             ("n_nationkey", Long),
             ("n_name", String),
@@ -109,7 +113,12 @@ pub struct LoadStats {
 ///
 /// # Errors
 /// Propagates DDL/load failures.
-pub fn load_with_stats(driver: &mut Driver, scale: f64, seed: u64, format: FormatKind) -> Result<LoadStats> {
+pub fn load_with_stats(
+    driver: &mut Driver,
+    scale: f64,
+    seed: u64,
+    format: FormatKind,
+) -> Result<LoadStats> {
     let data = dbgen::generate(scale, seed);
     let mut text_bytes = 0u64;
     for table in TABLES {

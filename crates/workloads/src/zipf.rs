@@ -37,7 +37,10 @@ impl Zipf {
     /// Sample a rank in `1..=n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
         }
     }
@@ -64,7 +67,12 @@ mod tests {
             counts[k] += 1;
         }
         // Rank 1 should dominate rank 50 heavily.
-        assert!(counts[1] > counts[50] * 5, "rank1={} rank50={}", counts[1], counts[50]);
+        assert!(
+            counts[1] > counts[50] * 5,
+            "rank1={} rank50={}",
+            counts[1],
+            counts[50]
+        );
         // Every decile sees some mass.
         assert!(counts[1] > 0 && counts[100] < counts[1]);
     }

@@ -24,9 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sql = hibench::aggregate_query();
     let hadoop = driver.execute_on(sql, EngineKind::Hadoop)?;
     let nonblocking = driver.execute_on(sql, EngineKind::DataMpi)?;
-    driver.conf_mut().set(hdm_common::conf::KEY_SHUFFLE_STYLE, "blocking");
+    driver
+        .conf_mut()
+        .set(hdm_common::conf::KEY_SHUFFLE_STYLE, "blocking");
     let blocking = driver.execute_on(sql, EngineKind::DataMpi)?;
-    driver.conf_mut().set(hdm_common::conf::KEY_SHUFFLE_STYLE, "nonblocking");
+    driver
+        .conf_mut()
+        .set(hdm_common::conf::KEY_SHUFFLE_STYLE, "nonblocking");
 
     assert_eq!(hadoop.rows.len(), nonblocking.rows.len());
     assert_eq!(hadoop.rows.len(), blocking.rows.len());

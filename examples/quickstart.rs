@@ -14,9 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A Driver is a Hive session: metastore + DFS + configuration.
     let mut driver = Driver::in_memory();
 
-    driver.execute(
-        "CREATE TABLE sales (region STRING, item STRING, amount DOUBLE, day DATE)",
-    )?;
+    driver.execute("CREATE TABLE sales (region STRING, item STRING, amount DOUBLE, day DATE)")?;
     driver.execute(
         "INSERT INTO sales VALUES \
            ('EMEA', 'widget',  120.0, '1995-01-03'), \

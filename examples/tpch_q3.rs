@@ -44,10 +44,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Project to the paper's 40 GB testbed.
     let scale = 40.0e9 / stats.text_bytes as f64;
     let spec = ClusterSpec::default();
-    let h = simulate_query(&hadoop.stages, EngineKind::Hadoop, &spec, DataMpiSimOptions::default(), scale);
-    let d = simulate_query(&datampi.stages, EngineKind::DataMpi, &spec, DataMpiSimOptions::default(), scale);
+    let h = simulate_query(
+        &hadoop.stages,
+        EngineKind::Hadoop,
+        &spec,
+        DataMpiSimOptions::default(),
+        scale,
+    );
+    let d = simulate_query(
+        &datampi.stages,
+        EngineKind::DataMpi,
+        &spec,
+        DataMpiSimOptions::default(),
+        scale,
+    );
     let ht: f64 = h.iter().map(|t| t.total()).sum();
     let dt: f64 = d.iter().map(|t| t.total()).sum();
-    println!("\nsimulated at 40 GB: Hadoop {ht:.1}s vs DataMPI {dt:.1}s ({:.1}% faster)", 100.0 * (1.0 - dt / ht));
+    println!(
+        "\nsimulated at 40 GB: Hadoop {ht:.1}s vs DataMPI {dt:.1}s ({:.1}% faster)",
+        100.0 * (1.0 - dt / ht)
+    );
     Ok(())
 }

@@ -11,8 +11,10 @@ use rand::{Rng, SeedableRng};
 
 fn driver_with_random_tables(seed: u64, rows_a: usize, rows_b: usize) -> Driver {
     let mut d = Driver::in_memory();
-    d.execute("CREATE TABLE ta (k BIGINT, grp STRING, x DOUBLE)").expect("ddl a");
-    d.execute("CREATE TABLE tb (k BIGINT, label STRING)").expect("ddl b");
+    d.execute("CREATE TABLE ta (k BIGINT, grp STRING, x DOUBLE)")
+        .expect("ddl a");
+    d.execute("CREATE TABLE tb (k BIGINT, label STRING)")
+        .expect("ddl b");
     let mut rng = StdRng::seed_from_u64(seed);
     let a: Vec<Row> = (0..rows_a)
         .map(|_| {
@@ -85,14 +87,25 @@ fn engines_agree_on_edge_datasets() {
     }
     // All keys identical (maximum skew: one reducer gets everything).
     let mut d = Driver::in_memory();
-    d.execute("CREATE TABLE ta (k BIGINT, grp STRING, x DOUBLE)").unwrap();
-    d.execute("CREATE TABLE tb (k BIGINT, label STRING)").unwrap();
+    d.execute("CREATE TABLE ta (k BIGINT, grp STRING, x DOUBLE)")
+        .unwrap();
+    d.execute("CREATE TABLE tb (k BIGINT, label STRING)")
+        .unwrap();
     let rows: Vec<Row> = (0..200)
-        .map(|i| Row::from(vec![Value::Long(7), Value::Str("g".into()), Value::Double(i as f64)]))
+        .map(|i| {
+            Row::from(vec![
+                Value::Long(7),
+                Value::Str("g".into()),
+                Value::Double(i as f64),
+            ])
+        })
         .collect();
     d.load_rows("ta", &rows).unwrap();
-    d.load_rows("tb", &[Row::from(vec![Value::Long(7), Value::Str("hit".into())])])
-        .unwrap();
+    d.load_rows(
+        "tb",
+        &[Row::from(vec![Value::Long(7), Value::Str("hit".into())])],
+    )
+    .unwrap();
     for sql in QUERY_SHAPES {
         both_engines_agree(&mut d, sql);
     }
@@ -101,17 +114,26 @@ fn engines_agree_on_edge_datasets() {
 #[test]
 fn engines_agree_with_nulls_in_data() {
     let mut d = Driver::in_memory();
-    d.execute("CREATE TABLE ta (k BIGINT, grp STRING, x DOUBLE)").unwrap();
-    d.execute("CREATE TABLE tb (k BIGINT, label STRING)").unwrap();
+    d.execute("CREATE TABLE ta (k BIGINT, grp STRING, x DOUBLE)")
+        .unwrap();
+    d.execute("CREATE TABLE tb (k BIGINT, label STRING)")
+        .unwrap();
     let rows = vec![
         Row::from(vec![Value::Long(1), Value::Null, Value::Double(1.0)]),
         Row::from(vec![Value::Null, Value::Str("g1".into()), Value::Null]),
-        Row::from(vec![Value::Long(2), Value::Str("g1".into()), Value::Double(-1.0)]),
+        Row::from(vec![
+            Value::Long(2),
+            Value::Str("g1".into()),
+            Value::Double(-1.0),
+        ]),
         Row::from(vec![Value::Long(1), Value::Str("g2".into()), Value::Null]),
     ];
     d.load_rows("ta", &rows).unwrap();
-    d.load_rows("tb", &[Row::from(vec![Value::Long(1), Value::Str("one".into())])])
-        .unwrap();
+    d.load_rows(
+        "tb",
+        &[Row::from(vec![Value::Long(1), Value::Str("one".into())])],
+    )
+    .unwrap();
     for sql in QUERY_SHAPES {
         both_engines_agree(&mut d, sql);
     }
@@ -122,7 +144,8 @@ fn shuffle_styles_agree() {
     let mut d = driver_with_random_tables(99, 100, 40);
     let sql = "SELECT grp, COUNT(*) AS n, SUM(x) AS s FROM ta GROUP BY grp ORDER BY grp";
     let nonblocking = d.execute_on(sql, EngineKind::DataMpi).unwrap().to_lines();
-    d.conf_mut().set(hdm_common::conf::KEY_SHUFFLE_STYLE, "blocking");
+    d.conf_mut()
+        .set(hdm_common::conf::KEY_SHUFFLE_STYLE, "blocking");
     let blocking = d.execute_on(sql, EngineKind::DataMpi).unwrap().to_lines();
     assert_eq!(nonblocking, blocking, "shuffle style changed results");
 }

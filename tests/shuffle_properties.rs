@@ -134,7 +134,9 @@ proptest! {
 #[test]
 fn heavy_skew_single_key() {
     // Every record has the same key: one reducer owns everything.
-    let per_task: Vec<Records> = (0..4).map(|t| (0..100).map(|i| (42u8, (t * 100 + i) as u8)).collect()).collect();
+    let per_task: Vec<Records> = (0..4)
+        .map(|t| (0..100).map(|i| (42u8, (t * 100 + i) as u8)).collect())
+        .collect();
     let truth = expected(&per_task);
     assert_eq!(run_datampi(&per_task, 4, ShuffleStyle::NonBlocking), truth);
     assert_eq!(run_hadoop(&per_task, 4), truth);

@@ -67,8 +67,16 @@ fn orc_stores_fewer_bytes_than_text() {
     load_table(&mut text, "TEXTFILE", &rows);
     let mut orc = Driver::in_memory();
     load_table(&mut orc, "ORC", &rows);
-    let tb = text.metastore().storage.table_bytes(text.dfs(), "data").unwrap();
-    let ob = orc.metastore().storage.table_bytes(orc.dfs(), "data").unwrap();
+    let tb = text
+        .metastore()
+        .storage
+        .table_bytes(text.dfs(), "data")
+        .unwrap();
+    let ob = orc
+        .metastore()
+        .storage
+        .table_bytes(orc.dfs(), "data")
+        .unwrap();
     assert!(ob < tb, "ORC {ob} should be smaller than Text {tb}");
 }
 
@@ -80,9 +88,19 @@ fn orc_selective_scan_reads_fewer_bytes() {
     // Selective predicate + narrow projection: pushdown prunes stripes
     // and the projection prunes columns.
     let selective = orc.execute("SELECT id FROM data WHERE id >= 7900").unwrap();
-    let full = orc.execute("SELECT id, tag, price, day FROM data WHERE price > -10000.0").unwrap();
-    let sel_bytes: u64 = selective.stages.iter().map(|s| s.volumes.total_input_bytes()).sum();
-    let full_bytes: u64 = full.stages.iter().map(|s| s.volumes.total_input_bytes()).sum();
+    let full = orc
+        .execute("SELECT id, tag, price, day FROM data WHERE price > -10000.0")
+        .unwrap();
+    let sel_bytes: u64 = selective
+        .stages
+        .iter()
+        .map(|s| s.volumes.total_input_bytes())
+        .sum();
+    let full_bytes: u64 = full
+        .stages
+        .iter()
+        .map(|s| s.volumes.total_input_bytes())
+        .sum();
     assert!(
         sel_bytes * 3 < full_bytes,
         "selective scan should read far less: {sel_bytes} vs {full_bytes}"
@@ -100,8 +118,16 @@ fn pushdown_off_reads_more_but_same_results() {
     orc.conf_mut().set("hive.orc.pushdown", false);
     let without = orc.execute(sql).unwrap();
     assert_eq!(with.to_lines(), without.to_lines());
-    let wb: u64 = with.stages.iter().map(|s| s.volumes.total_input_bytes()).sum();
-    let wob: u64 = without.stages.iter().map(|s| s.volumes.total_input_bytes()).sum();
+    let wb: u64 = with
+        .stages
+        .iter()
+        .map(|s| s.volumes.total_input_bytes())
+        .sum();
+    let wob: u64 = without
+        .stages
+        .iter()
+        .map(|s| s.volumes.total_input_bytes())
+        .sum();
     assert!(wb < wob, "pushdown should cut bytes: {wb} vs {wob}");
 }
 
@@ -112,10 +138,18 @@ fn ctas_across_formats_round_trips() {
     load_table(&mut d, "TEXTFILE", &rows);
     d.execute("CREATE TABLE copy_orc STORED AS ORC AS SELECT id, tag, price, day FROM data")
         .unwrap();
-    d.execute("CREATE TABLE copy_txt STORED AS TEXTFILE AS SELECT id, tag, price, day FROM copy_orc")
-        .unwrap();
-    let original = d.execute("SELECT id, price FROM data ORDER BY id").unwrap().to_lines();
-    let round = d.execute("SELECT id, price FROM copy_txt ORDER BY id").unwrap().to_lines();
+    d.execute(
+        "CREATE TABLE copy_txt STORED AS TEXTFILE AS SELECT id, tag, price, day FROM copy_orc",
+    )
+    .unwrap();
+    let original = d
+        .execute("SELECT id, price FROM data ORDER BY id")
+        .unwrap()
+        .to_lines();
+    let round = d
+        .execute("SELECT id, price FROM copy_txt ORDER BY id")
+        .unwrap()
+        .to_lines();
     assert_eq!(original, round);
 }
 
@@ -124,7 +158,8 @@ fn engines_read_each_others_insert_overwrite_output() {
     let rows = random_rows(11, 400);
     let mut d = Driver::in_memory();
     load_table(&mut d, "ORC", &rows);
-    d.execute("CREATE TABLE agg (tag STRING, n BIGINT) STORED AS ORC").unwrap();
+    d.execute("CREATE TABLE agg (tag STRING, n BIGINT) STORED AS ORC")
+        .unwrap();
     // Write with DataMPI, read with Hadoop.
     d.execute_on(
         "INSERT OVERWRITE TABLE agg SELECT tag, COUNT(*) AS n FROM data GROUP BY tag",

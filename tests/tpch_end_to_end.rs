@@ -103,10 +103,15 @@ fn enhanced_parallelism_matches_default_results() {
     let mut d = fresh_driver(FormatKind::Text);
     for n in [3, 5, 9, 12] {
         let default_rows = normalize(run_query(&mut d, n, EngineKind::DataMpi));
-        d.conf_mut().set(hdm_common::conf::KEY_PARALLELISM, "enhanced");
+        d.conf_mut()
+            .set(hdm_common::conf::KEY_PARALLELISM, "enhanced");
         let enhanced_rows = normalize(run_query(&mut d, n, EngineKind::DataMpi));
-        d.conf_mut().set(hdm_common::conf::KEY_PARALLELISM, "default");
-        assert_eq!(default_rows, enhanced_rows, "Q{n}: parallelism changed results");
+        d.conf_mut()
+            .set(hdm_common::conf::KEY_PARALLELISM, "default");
+        assert_eq!(
+            default_rows, enhanced_rows,
+            "Q{n}: parallelism changed results"
+        );
     }
 }
 
@@ -116,9 +121,13 @@ fn stacked_features_still_agree() {
     // execution + blocking shuffle must not change any result.
     let mut base = fresh_driver(FormatKind::Text);
     let mut stacked = fresh_driver(FormatKind::Orc);
-    stacked.conf_mut().set(hdm_common::conf::KEY_PARALLELISM, "enhanced");
+    stacked
+        .conf_mut()
+        .set(hdm_common::conf::KEY_PARALLELISM, "enhanced");
     stacked.conf_mut().set("hive.datampi.dag", true);
-    stacked.conf_mut().set(hdm_common::conf::KEY_SHUFFLE_STYLE, "blocking");
+    stacked
+        .conf_mut()
+        .set(hdm_common::conf::KEY_SHUFFLE_STYLE, "blocking");
     for n in [1, 3, 9, 13, 16, 21, 22] {
         let plain = normalize(run_query(&mut base, n, EngineKind::Hadoop));
         let full = normalize(run_query(&mut stacked, n, EngineKind::DataMpi));

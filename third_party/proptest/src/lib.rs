@@ -1,0 +1,665 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses as a
+//! deterministic randomized tester: the [`proptest!`] macro, `prop_assert*`
+//! macros, [`prop_oneof!`], [`strategy::Strategy`] with `prop_map`/`boxed`/
+//! `new_tree`, [`collection::vec`], `any::<T>()`, [`strategy::Just`], range
+//! and regex-literal strategies, and a [`test_runner::TestRunner`].
+//!
+//! Differences from real proptest, deliberate for an offline build:
+//! * **No shrinking** — failures report the generated inputs via panic
+//!   message instead of minimizing them.
+//! * **Deterministic seeding** — each test function derives its RNG seed
+//!   from its own name, so CI runs are reproducible; regression files
+//!   (`proptest-regressions/`) are ignored.
+//! * Regex strategies support the narrow `atom{m,n}` / char-class / `.`
+//!   forms used in this repository, not full regex syntax.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::{TestRng, TestRunner};
+    use std::marker::PhantomData;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+
+        /// Produce a value tree (API parity with proptest; no shrinking, so
+        /// the tree is just the generated value).
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<Self::Value>, String> {
+            Ok(ValueTree {
+                value: self.generate(runner.rng_mut()),
+            })
+        }
+    }
+
+    /// A generated value (proptest's shrinkable tree, minus shrinking).
+    #[derive(Debug, Clone)]
+    pub struct ValueTree<T> {
+        value: T,
+    }
+
+    impl<T: Clone> ValueTree<T> {
+        /// The generated value.
+        pub fn current(&self) -> T {
+            self.value.clone()
+        }
+    }
+
+    /// Type-erased strategy handle.
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: std::rc::Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted union of strategies ([`prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        /// Build from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        /// Panics if `arms` is empty or all weights are zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total as u64) as u32;
+            for (w, strat) in &self.arms {
+                if pick < *w {
+                    return strat.generate(rng);
+                }
+                pick -= w;
+            }
+            // Unreachable given `total` is the sum of weights.
+            self.arms[0].1.generate(rng)
+        }
+    }
+
+    /// Uniform strategy over a type's interesting domain (`any::<T>()`).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_any_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    // Mix in boundary values now and then, like proptest's
+                    // bias toward edge cases.
+                    match rng.below(16) {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => 1,
+                        _ => rng.next() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_any_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    match rng.below(16) {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 => -1,
+                        _ => rng.next() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_any_int!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // Finite-only: the workspace round-trips values through codecs
+            // that compare with `==`, where NaN would self-fail.
+            match rng.below(16) {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f64::MAX,
+                3 => f64::MIN,
+                4 => f64::EPSILON,
+                _ => {
+                    let unit = (rng.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    (unit - 0.5) * 2e12
+                }
+            }
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next() as $t;
+                    }
+                    (start as i128 + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    /// String strategy from a regex literal. Supports the subset used in
+    /// this workspace: concatenations of `.`, `[a-z...]` classes, and
+    /// literal characters, each optionally followed by `{m,n}`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            // Parse one atom.
+            let atom: Atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::AnyChar
+                }
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| {
+                            panic!("unclosed character class in pattern {pattern:?}")
+                        });
+                    let class = parse_class(&chars[i + 1..close]);
+                    i = close + 1;
+                    Atom::Class(class)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Parse an optional {m,n} repetition.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"));
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().unwrap_or(0),
+                        hi.trim().parse::<usize>().unwrap_or(0),
+                    ),
+                    None => {
+                        let n = spec.trim().parse::<usize>().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(atom.generate(rng));
+            }
+        }
+        out
+    }
+
+    enum Atom {
+        AnyChar,
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    impl Atom {
+        fn generate(&self, rng: &mut TestRng) -> char {
+            match self {
+                Atom::Literal(c) => *c,
+                Atom::AnyChar => {
+                    // Mostly printable ASCII, occasionally multibyte, never
+                    // a newline (regex `.` excludes it).
+                    match rng.below(8) {
+                        0 => char::from_u32(0x00A1 + rng.below(0x500) as u32).unwrap_or('¿'),
+                        _ => (0x20u8 + rng.below(0x5f) as u8) as char,
+                    }
+                }
+                Atom::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(a, b)| (*b as u64) - (*a as u64) + 1)
+                        .sum();
+                    let mut pick = rng.below(total.max(1));
+                    for (a, b) in ranges {
+                        let span = (*b as u64) - (*a as u64) + 1;
+                        if pick < span {
+                            return char::from_u32(*a as u32 + pick as u32).unwrap_or(*a);
+                        }
+                        pick -= span;
+                    }
+                    ranges.first().map(|(a, _)| *a).unwrap_or('a')
+                }
+            }
+        }
+    }
+
+    fn parse_class(body: &[char]) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                ranges.push((body[i], body[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((body[i], body[i]));
+                i += 1;
+            }
+        }
+        ranges
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generate vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy {
+            element,
+            min: size.start,
+            max: size.end - 1,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test runner, config, and RNG.
+pub mod test_runner {
+    /// Runner configuration (subset of proptest's).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic RNG used by strategies (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded RNG.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next 64 random bits.
+        #[allow(clippy::should_implement_trait)]
+        pub fn next(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)` (`bound` 0 yields 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                return 0;
+            }
+            ((self.next() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// Drives strategies; holds config + RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Runner with the given config and seed.
+        pub fn with_seed(config: ProptestConfig, seed: u64) -> TestRunner {
+            TestRunner {
+                config,
+                rng: TestRng::new(seed),
+            }
+        }
+
+        /// Fixed-seed runner (API parity with proptest).
+        pub fn deterministic() -> TestRunner {
+            TestRunner::with_seed(ProptestConfig::default(), 0x5eed_cafe_f00d_0001)
+        }
+
+        /// The configured case count.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// Mutable access to the RNG (used by `Strategy::new_tree`).
+        pub fn rng_mut(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+
+    /// FNV-1a over a test's identifying string: stable per-test seeds.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Everything a test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub use strategy::{any, Just, Strategy};
+
+/// Define property tests: each generated input runs the body `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (@cfg ($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let seed = $crate::test_runner::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
+                let mut runner = $crate::test_runner::TestRunner::with_seed(config, seed);
+                for _case in 0..runner.cases() {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), runner.rng_mut());)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a property body (panics; no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Weighted or unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((($weight) as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_vec_sizes_respected() {
+        let mut rng = TestRng::new(1);
+        let strat = collection::vec(0u8..10, 2..5);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 10));
+        }
+    }
+
+    #[test]
+    fn regex_literal_strategies() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = "[a-z]{0,12}".generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = ".{0,40}".generate(&mut rng);
+            assert!(t.chars().count() <= 40);
+            assert!(!t.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_bias_selection() {
+        let mut rng = TestRng::new(3);
+        let strat = prop_oneof![9 => Just(1u8), 1 => Just(0u8)];
+        let ones = (0..1000).filter(|_| strat.generate(&mut rng) == 1).count();
+        assert!(ones > 800, "{ones}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_binds_and_iterates(x in 0usize..50, mut v in collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 50);
+            v.push(0);
+            prop_assert!(v.len() <= 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(seed in any::<u64>()) {
+            let _ = seed;
+        }
+    }
+}

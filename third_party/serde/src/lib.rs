@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names as marker traits and, with
+//! the `derive` feature, re-exports no-op derive macros of the same names.
+//! The workspace never serializes through serde (there is no format crate
+//! in the offline dependency set); the derives are retained so struct
+//! definitions stay source-compatible with a future real-serde build.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
