@@ -119,7 +119,8 @@ pub fn scope_for(rel: &str) -> FileScope {
             || in_dir("crates/mpisim/src/")
             || in_dir("crates/mapred/src/")
             || rel.ends_with("crates/core/src/engine.rs")
-            || rel.ends_with("crates/core/src/driver.rs"),
+            || rel.ends_with("crates/core/src/driver.rs")
+            || rel.ends_with("crates/common/src/sortkey.rs"),
         mpisim: in_dir("crates/mpisim/src/"),
         blocking: in_dir("crates/datampi/src/") || in_dir("crates/mpisim/src/"),
         conf_registry: rel.ends_with("common/src/conf.rs"),
@@ -402,6 +403,11 @@ pub fn f(v: &[u8]) -> u8 {
     fn scoping_limits_panic_rule_to_hot_paths() {
         let src = "pub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
         assert!(check_source("crates/mpisim/src/endpoint.rs", src)
+            .iter()
+            .any(|d| d.rule == rules::no_panic::ID));
+        // The normalized-key encoder sits on every ReduceSink emit, so it
+        // is hot-path too.
+        assert!(check_source("crates/common/src/sortkey.rs", src)
             .iter()
             .any(|d| d.rule == rules::no_panic::ID));
         assert!(check_source("crates/workloads/src/zipf.rs", src).is_empty());

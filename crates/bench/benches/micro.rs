@@ -209,6 +209,129 @@ fn bench_engines_shuffle(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sorting shuffled keys: decoding rows on every comparison
+/// (`RowKeyComparator` over row-codec bytes) vs raw memcmp over
+/// normalized sortkey bytes — the tentpole's before/after pair.
+fn bench_sort_keys(c: &mut Criterion) {
+    use hdm_common::kv::{Comparator, RowKeyComparator};
+    use hdm_common::sortkey;
+    let rows: Vec<Row> = (0..1000).map(|i| sample_row((i * 7919) % 1000)).collect();
+    let row_keys: Vec<Vec<u8>> = rows
+        .iter()
+        .map(|r| {
+            let mut b = Vec::new();
+            r.encode(&mut b);
+            b
+        })
+        .collect();
+    let norm_keys: Vec<Vec<u8>> = rows.iter().map(sortkey::encode_row).collect();
+    let mut g = c.benchmark_group("sort_keys_1k");
+    g.throughput(Throughput::Elements(rows.len() as u64));
+    g.bench_function("decode_per_compare", |b| {
+        let cmp = RowKeyComparator;
+        b.iter_batched(
+            || row_keys.clone(),
+            |mut keys| {
+                keys.sort_by(|a, b| cmp.compare(a, b));
+                keys
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("memcmp_normalized", |b| {
+        let cmp = BytesComparator;
+        b.iter_batched(
+            || norm_keys.clone(),
+            |mut keys| {
+                keys.sort_by(|a, b| cmp.compare(a, b));
+                keys
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Decoding a received shuffle payload: refcounted `Bytes::slice` views
+/// vs the former per-pair `Vec` copies (reconstructed here as the
+/// baseline arm).
+fn bench_payload_decode(c: &mut Criterion) {
+    use hdm_datampi::buffer::SendPartition;
+    let mut p = SendPartition::with_capacity(64 << 10);
+    for i in 0..1000u32 {
+        p.push(&KvPair::new(i.to_be_bytes().to_vec(), vec![0u8; 24]));
+    }
+    let payload = p.take_payload();
+    let mut g = c.benchmark_group("payload_decode_1k_pairs");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("copy_per_pair", |b| {
+        b.iter(|| {
+            // The pre-zero-copy shape: each key/value chunk copied into
+            // its own fresh allocation.
+            let mut cursor: &[u8] = payload.as_ref();
+            let mut out = Vec::with_capacity(1000);
+            while !cursor.is_empty() {
+                let k = hdm_common::codec::read_bytes(&mut cursor).expect("key");
+                let v = hdm_common::codec::read_bytes(&mut cursor).expect("value");
+                out.push(KvPair::new(k, v));
+            }
+            out
+        })
+    });
+    g.bench_function("zero_copy_slices", |b| {
+        b.iter(|| SendPartition::decode_payload(&payload).expect("decode"))
+    });
+    g.finish();
+}
+
+/// SPL fill/flush cycles with and without returning flushed payloads to
+/// the recycling pool (Section IV-C's reusable send blocks).
+fn bench_spl_cycle(c: &mut Criterion) {
+    use hdm_datampi::buffer::SendPartitionList;
+    let pairs: Vec<(usize, KvPair)> = (0..1000)
+        .map(|i| {
+            (
+                i % 4,
+                KvPair::new(vec![(i % 251) as u8], vec![(i % 256) as u8; 24]),
+            )
+        })
+        .collect();
+    let mut g = c.benchmark_group("spl_cycle_1k_pairs");
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    g.bench_function("drop_payloads", |b| {
+        b.iter_batched(
+            || SendPartitionList::new(4, 2 << 10),
+            |mut spl| {
+                let mut flushed = 0usize;
+                for (dst, kv) in &pairs {
+                    if spl.push(*dst, kv).expect("in-range dst").is_some() {
+                        flushed += 1;
+                    }
+                }
+                flushed
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("recycle_payloads", |b| {
+        b.iter_batched(
+            || SendPartitionList::new(4, 2 << 10),
+            |mut spl| {
+                let mut flushed = 0usize;
+                for (dst, kv) in &pairs {
+                    if let Some(payload) = spl.push(*dst, kv).expect("in-range dst") {
+                        flushed += 1;
+                        spl.recycle(payload);
+                    }
+                }
+                flushed
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_expr_eval(c: &mut Criterion) {
     use hdm_core::parser::parse_statement;
     let stmt = parse_statement("SELECT a FROM t WHERE a * 2 + 1 > 10 AND b LIKE 'customer%'")
@@ -244,6 +367,9 @@ criterion_group!(
     bench_sort_buffer,
     bench_orc,
     bench_engines_shuffle,
+    bench_sort_keys,
+    bench_payload_decode,
+    bench_spl_cycle,
     bench_expr_eval
 );
 criterion_main!(benches);

@@ -41,6 +41,11 @@ pub const KEY_ORC_PUSHDOWN: &str = "hive.orc.pushdown";
 /// Per-worker memory in bytes; the DataMPI cache budget is this times
 /// [`KEY_MEM_USED_PERCENT`].
 pub const KEY_WORKER_MEM_BYTES: &str = "datampi.worker.mem.bytes";
+/// Whether ReduceSink emits memcmp-comparable normalized keys (the
+/// `BinarySortableSerDe` analogue in `hdm_common::sortkey`) so both
+/// engines' sort/merge/group paths compare raw bytes instead of decoding
+/// rows on every comparison. Default true.
+pub const KEY_NORMALIZED_KEYS: &str = "hive.shuffle.normalized.keys";
 
 /// The parallelism strategy of Section IV-D.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

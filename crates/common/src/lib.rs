@@ -12,6 +12,8 @@
 //! * [`codec`] — varint/zigzag byte codecs used by every serialized format.
 //! * [`kv`] — the key-value pair wire representation exchanged between
 //!   Mappers/O-tasks and Reducers/A-tasks, plus raw-byte comparators.
+//! * [`sortkey`] — order-preserving binary key encodings (Hive's
+//!   `BinarySortableSerDe` analogue) so sort/merge compare raw bytes.
 //! * [`partition`] — the [`partition::Partitioner`] trait and the default
 //!   deterministic hash partitioner.
 //! * [`conf::JobConf`] — the string-typed configuration map, including the
@@ -41,6 +43,7 @@ pub mod error;
 pub mod kv;
 pub mod partition;
 pub mod row;
+pub mod sortkey;
 pub mod stats;
 pub mod value;
 

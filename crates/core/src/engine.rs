@@ -25,7 +25,9 @@ use bytes::Bytes;
 use hdm_cluster::{JobVolumes, MapVolume, ReduceVolume};
 use hdm_common::conf::{JobConf, Parallelism};
 use hdm_common::error::{HdmError, Result};
-use hdm_common::kv::{ComparatorRef, DirectionalRowComparator, KvPair, RowKeyComparator};
+use hdm_common::kv::{
+    BytesComparator, ComparatorRef, DirectionalRowComparator, KvPair, RowKeyComparator,
+};
 use hdm_common::partition::{HashPartitioner, PartitionerRef, SinglePartitioner};
 use hdm_common::row::{Row, Schema};
 use hdm_common::value::DataType;
@@ -116,6 +118,71 @@ type MapLogic =
     Arc<dyn Fn(usize, &mut dyn FnMut(KvPair) -> Result<()>) -> Result<()> + Send + Sync>;
 /// The engine-agnostic reduce pipeline: `(reduce_rank, groups)`.
 type ReduceLogic = Arc<dyn Fn(usize, &mut dyn GroupSource) -> Result<()> + Send + Sync>;
+
+/// How ReduceSink keys travel on the wire.
+///
+/// With `hive.shuffle.normalized.keys` (default on), key rows are written
+/// in the order-preserving [`hdm_common::sortkey`] encoding — Hive's
+/// `BinarySortableSerDe` analogue — with any Sort-stage DESC directions
+/// baked into the bytes, so both engines' sort/merge/group paths compare
+/// raw bytes ([`BytesComparator`]) instead of decoding rows on every
+/// comparison. With the knob off, keys use the plain row codec and the
+/// row-decoding comparators (the pre-normalization behaviour).
+#[derive(Clone)]
+struct KeyCodec {
+    normalized: bool,
+    /// Per-column ascending flags (Sort stages; empty = all ascending).
+    ascending: Arc<Vec<bool>>,
+}
+
+impl KeyCodec {
+    fn from_conf(conf: &JobConf, kind: &StageKind) -> Result<KeyCodec> {
+        let normalized = conf.get_bool(hdm_common::conf::KEY_NORMALIZED_KEYS, true)?;
+        let ascending = match kind {
+            StageKind::Sort { ascending, .. } => Arc::new(ascending.clone()),
+            _ => Arc::new(Vec::new()),
+        };
+        Ok(KeyCodec {
+            normalized,
+            ascending,
+        })
+    }
+
+    /// Build the wire pair for one `(key, value)` row pair.
+    fn pair(&self, key: &Row, value: &Row) -> KvPair {
+        if !self.normalized {
+            return KvPair::from_rows(key, value);
+        }
+        let kb = hdm_common::sortkey::encode_row_directed(key, &self.ascending);
+        let mut vb = Vec::with_capacity(value.wire_size() + 4);
+        value.encode(&mut vb);
+        KvPair::new(kb, vb)
+    }
+
+    /// Decode a wire key back into its row.
+    fn decode_key(&self, key: &Bytes) -> Result<Row> {
+        if self.normalized {
+            hdm_common::sortkey::decode_row_directed(key.as_ref(), &self.ascending)
+        } else {
+            Row::decode(&mut key.clone())
+        }
+    }
+
+    /// The key comparator matching this wire format.
+    fn comparator(&self, kind: &StageKind) -> ComparatorRef {
+        if self.normalized {
+            // DESC directions are already baked into the key bytes, so
+            // raw memcmp is the right order for every stage kind.
+            return Arc::new(BytesComparator);
+        }
+        match kind {
+            StageKind::Sort { ascending, .. } => {
+                Arc::new(DirectionalRowComparator::new(ascending.clone()))
+            }
+            _ => Arc::new(RowKeyComparator),
+        }
+    }
+}
 
 /// One input split bound to its tagged map input.
 #[derive(Clone)]
@@ -300,6 +367,8 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
     let tasks_arc = Arc::new(tasks);
     let dfs = ctx.dfs.clone();
     let conf_map_aggr = ctx.conf.get_bool(hdm_common::conf::KEY_COMBINER, true)?;
+    // ReduceSink key normalization (`hive.shuffle.normalized.keys`).
+    let key_codec = KeyCodec::from_conf(ctx.conf, &stage.kind)?;
 
     let aggregator = match &stage.kind {
         StageKind::Aggregate { aggs, .. } => Some(Arc::new(Aggregator::new(aggs.clone()))),
@@ -318,6 +387,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
         let map_vols = Arc::clone(&map_vols);
         let kv_sizes = Arc::clone(&kv_sizes);
         let aggregator = aggregator.clone();
+        let key_codec = key_codec.clone();
         let map_only_ctx = MapOnlySink {
             dfs: dfs.clone(),
             out_dir: out_dir.clone(),
@@ -405,7 +475,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                     }
                     StageKind::Join { .. } => {
                         let key = project_row(&input.key_exprs, &row)?;
-                        emit(KvPair::from_rows(&key, &tag_row(input.tag, &value)))?;
+                        emit(key_codec.pair(&key, &tag_row(input.tag, &value)))?;
                     }
                     StageKind::Aggregate { .. } => {
                         let key = project_row(&input.key_exprs, &row)?;
@@ -416,12 +486,12 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                             let states = hash_agg.entry(key).or_insert_with(|| agg.new_states());
                             agg.update_raw(states, &value);
                         } else {
-                            emit(KvPair::from_rows(&key, &value))?;
+                            emit(key_codec.pair(&key, &value))?;
                         }
                     }
                     StageKind::Sort { .. } => {
                         let key = project_row(&input.key_exprs, &row)?;
-                        emit(KvPair::from_rows(&key, &value))?;
+                        emit(key_codec.pair(&key, &value))?;
                     }
                 }
             }
@@ -430,7 +500,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                     HdmError::Plan("aggregate stage without an aggregator".into())
                 })?;
                 for (key, states) in hash_agg {
-                    emit(KvPair::from_rows(&key, &agg.states_to_row(&states)))?;
+                    emit(key_codec.pair(&key, &agg.states_to_row(&states)))?;
                 }
             }
             if matches!(stage.kind, StageKind::MapOnly) {
@@ -462,6 +532,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
         let out_paths = Arc::clone(&out_paths);
         let out_bytes = Arc::clone(&out_bytes);
         let aggregator = aggregator.clone();
+        let key_codec = key_codec.clone();
         let raw_mode = !conf_map_aggr
             || aggregator
                 .as_ref()
@@ -508,7 +579,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                         HdmError::Plan("aggregate stage without an aggregator".into())
                     })?;
                     while let Some((key, values)) = groups.next_group() {
-                        let key_row = Row::decode(&mut key.clone())?;
+                        let key_row = key_codec.decode_key(&key)?;
                         let mut states = agg.new_states();
                         for v in values {
                             let row = Row::decode(&mut v.clone())?;
@@ -572,12 +643,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
     let reduce_logic: ReduceLogic = Arc::new(reduce_logic);
 
     // ---- comparator / partitioner -----------------------------------------------
-    let comparator: ComparatorRef = match &stage.kind {
-        StageKind::Sort { ascending, .. } => {
-            Arc::new(DirectionalRowComparator::new(ascending.clone()))
-        }
-        _ => Arc::new(RowKeyComparator),
-    };
+    let comparator: ComparatorRef = key_codec.comparator(&stage.kind);
     let partitioner: PartitionerRef = match &stage.kind {
         StageKind::Sort { .. } => Arc::new(SinglePartitioner),
         _ => Arc::new(HashPartitioner),

@@ -59,44 +59,127 @@ impl SendPartition {
         &self.offsets
     }
 
+    /// Capacity of the raw buffer (bytes the next fill can take without
+    /// reallocating).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Freeze into an immutable wire payload, resetting this partition
-    /// for reuse (the "cached in the buffer manager again" recycling).
+    /// with a fresh buffer of the same capacity (the "cached in the
+    /// buffer manager again" recycling — the next fill never grows from
+    /// zero).
     pub fn take_payload(&mut self) -> Bytes {
+        let cap = self.data.capacity();
+        self.take_payload_with(Vec::with_capacity(cap))
+    }
+
+    /// Freeze into an immutable wire payload, installing `next`
+    /// (typically a recycled buffer from the SPL pool) as the new backing
+    /// storage. The frozen payload hands its allocation to [`Bytes`]
+    /// without copying.
+    pub fn take_payload_with(&mut self, next: Vec<u8>) -> Bytes {
         self.offsets.clear();
         self.pairs = 0;
-        Bytes::from(std::mem::take(&mut self.data))
+        Bytes::from(std::mem::replace(&mut self.data, next))
     }
 
     /// Decode a wire payload produced by [`SendPartition::take_payload`].
     ///
+    /// Zero-copy: each returned pair's key and value are [`Bytes::slice`]
+    /// views into `payload`'s refcounted allocation — no per-pair heap
+    /// copies.
+    ///
     /// # Errors
     /// Propagates codec errors on corrupt payloads.
-    pub fn decode_payload(payload: &[u8]) -> hdm_common::error::Result<Vec<KvPair>> {
-        let mut cursor = payload;
+    pub fn decode_payload(payload: &Bytes) -> hdm_common::error::Result<Vec<KvPair>> {
         let mut out = Vec::new();
-        while !cursor.is_empty() {
-            out.push(KvPair::decode(&mut cursor)?);
+        let mut pos = 0usize;
+        while pos < payload.len() {
+            let (key, next) = read_chunk(payload, pos)?;
+            let (value, next) = read_chunk(payload, next)?;
+            out.push(KvPair { key, value });
+            pos = next;
         }
         Ok(out)
     }
 }
 
-/// The SPL: one [`SendPartition`] per destination A task.
+/// Read one length-prefixed chunk at `pos` as a zero-copy slice view;
+/// returns the view and the offset just past it.
+fn read_chunk(payload: &Bytes, pos: usize) -> hdm_common::error::Result<(Bytes, usize)> {
+    let mut cursor: &[u8] = payload
+        .get(pos..)
+        .ok_or_else(|| hdm_common::error::HdmError::Codec("payload cursor out of range".into()))?;
+    let before = cursor.len();
+    let len = hdm_common::codec::read_varint(&mut cursor)? as usize;
+    let start = pos + (before - cursor.len());
+    let end = start
+        .checked_add(len)
+        .filter(|&e| e <= payload.len())
+        .ok_or_else(|| hdm_common::error::HdmError::Codec("truncated payload chunk".into()))?;
+    Ok((payload.slice(start..end), end))
+}
+
+/// The SPL: one [`SendPartition`] per destination A task, plus a pool of
+/// reclaimed payload buffers so flushed partitions get their capacity
+/// back from completed sends instead of growing a fresh `Vec` (the
+/// paper's §IV-C recycling discipline).
 #[derive(Debug)]
 pub struct SendPartitionList {
     partitions: Vec<SendPartition>,
     capacity_bytes: usize,
+    initial_capacity: usize,
+    pool: Vec<Vec<u8>>,
 }
 
 impl SendPartitionList {
     /// One partition per A task, each flushing at `capacity_bytes`.
     pub fn new(a_tasks: usize, capacity_bytes: usize) -> SendPartitionList {
+        let initial_capacity = capacity_bytes.min(1 << 20);
         SendPartitionList {
             partitions: (0..a_tasks)
-                .map(|_| SendPartition::with_capacity(capacity_bytes.min(1 << 20)))
+                .map(|_| SendPartition::with_capacity(initial_capacity))
                 .collect(),
             capacity_bytes: capacity_bytes.max(1),
+            initial_capacity,
+            pool: Vec::new(),
         }
+    }
+
+    /// Return a transmitted payload's allocation to the buffer pool.
+    ///
+    /// Succeeds (returns `true`) only when `payload` is the last live
+    /// handle on its allocation — i.e. the send completed and every
+    /// reader is done — and the pool has room (it is capped at one spare
+    /// buffer per partition). Otherwise the payload is simply dropped;
+    /// partitions then fall back to fresh buffers pre-sized via
+    /// [`SendPartition::take_payload`]'s capacity-retaining reset.
+    pub fn recycle(&mut self, payload: Bytes) -> bool {
+        if self.pool.len() >= self.partitions.len() {
+            return false;
+        }
+        match payload.try_into_mut() {
+            Ok(reclaimed) => {
+                let mut buf: Vec<u8> = reclaimed.into();
+                buf.clear();
+                self.pool.push(buf);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Number of reclaimed buffers currently pooled.
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Next backing buffer for a flushed partition: pooled if available,
+    /// else freshly allocated at the partition's initial capacity.
+    fn next_buffer(&mut self) -> Vec<u8> {
+        let cap = self.initial_capacity;
+        self.pool.pop().unwrap_or_else(|| Vec::with_capacity(cap))
     }
 
     /// Number of partitions (= number of A tasks).
@@ -125,20 +208,26 @@ impl SendPartitionList {
         })?;
         p.push(kv);
         if p.bytes_used() >= self.capacity_bytes {
-            Ok(Some(p.take_payload()))
+            let next = self.next_buffer();
+            // Re-borrow: `next_buffer` needed `&mut self` above.
+            let p = self.partitions.get_mut(dst).ok_or_else(|| {
+                hdm_common::error::HdmError::DataMpi(format!("partition {dst} vanished"))
+            })?;
+            Ok(Some(p.take_payload_with(next)))
         } else {
             Ok(None)
         }
     }
 
     /// Drain every non-empty partition as `(dst, payload)` pairs (end of
-    /// O task: flush everything).
+    /// O task: flush everything). Partitions are handed empty buffers —
+    /// the task is done filling, so no capacity is reserved.
     pub fn flush(&mut self) -> Vec<(usize, Bytes)> {
         self.partitions
             .iter_mut()
             .enumerate()
             .filter(|(_, p)| !p.is_empty())
-            .map(|(dst, p)| (dst, p.take_payload()))
+            .map(|(dst, p)| (dst, p.take_payload_with(Vec::new())))
             .collect()
     }
 
@@ -209,6 +298,108 @@ mod tests {
         let dsts: Vec<usize> = flushed.iter().map(|(d, _)| *d).collect();
         assert_eq!(dsts, vec![1, 3]);
         assert!(spl.flush().is_empty());
+    }
+
+    #[test]
+    fn decode_payload_is_zero_copy() {
+        let mut p = SendPartition::with_capacity(256);
+        for i in 0..10u8 {
+            p.push(&kv(i, 8));
+        }
+        let payload = p.take_payload();
+        let base = payload.as_ref().as_ptr() as usize;
+        let end = base + payload.len();
+        let pairs = SendPartition::decode_payload(&payload).unwrap();
+        assert_eq!(pairs.len(), 10);
+        for pair in &pairs {
+            let k = pair.key.as_ref().as_ptr() as usize;
+            let v = pair.value.as_ref().as_ptr() as usize;
+            assert!(
+                (base..end).contains(&k) && (base..end).contains(&v),
+                "pair bytes must be views into the payload allocation"
+            );
+        }
+    }
+
+    #[test]
+    fn take_payload_reset_keeps_capacity() {
+        let mut p = SendPartition::with_capacity(512);
+        p.push(&kv(1, 100));
+        assert!(p.capacity() >= 512);
+        let _payload = p.take_payload();
+        // The satellite bug: mem::take left capacity 0, so every refill
+        // reallocated from scratch.
+        assert!(
+            p.capacity() >= 512,
+            "reset partition lost its capacity (got {})",
+            p.capacity()
+        );
+        let ptr_before = {
+            p.push(&kv(2, 1));
+            let first = p.offsets()[0];
+            assert_eq!(first, 0);
+            p.capacity()
+        };
+        // Filling well under capacity must not grow the buffer.
+        for i in 0..8u8 {
+            p.push(&kv(i, 8));
+        }
+        assert_eq!(p.capacity(), ptr_before, "fill under capacity reallocated");
+    }
+
+    #[test]
+    fn spl_pool_recycles_completed_payload_allocations() {
+        let mut spl = SendPartitionList::new(2, 64);
+        // Fill partition 0 until it flushes.
+        let mut payloads = Vec::new();
+        for i in 0..64u8 {
+            if let Some(p) = spl.push(0, &kv(i, 16)).unwrap() {
+                payloads.push(p);
+            }
+        }
+        assert!(!payloads.is_empty());
+        let ptrs: Vec<usize> = payloads
+            .iter()
+            .map(|p| p.as_ref().as_ptr() as usize)
+            .collect();
+        // "Send completes": we are the only owner, so recycling succeeds
+        // until the pool hits its cap (one spare per partition).
+        let mut accepted = 0usize;
+        for p in payloads {
+            if spl.recycle(p) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 0, "sole-owner payloads must recycle");
+        assert_eq!(spl.pooled_buffers(), accepted);
+        // A flush hands the partition a pooled buffer as its next backing
+        // store, so the *following* flush emits a recycled allocation.
+        let mut later = Vec::new();
+        for i in 0..64u8 {
+            if let Some(p) = spl.push(1, &kv(i, 16)).unwrap() {
+                later.push(p.as_ref().as_ptr() as usize);
+            }
+        }
+        assert!(later.len() >= 2, "partition 1 must flush at least twice");
+        assert!(
+            later.iter().any(|p| ptrs.contains(p)),
+            "flushes must reuse recycled allocations, not grow fresh Vecs"
+        );
+    }
+
+    #[test]
+    fn recycle_refuses_shared_payloads_and_caps_pool() {
+        let mut spl = SendPartitionList::new(1, 16);
+        let payload = spl.push(0, &kv(1, 32)).unwrap().expect("flush");
+        let held = payload.clone();
+        // A shared payload (receiver still reading) cannot be reclaimed.
+        assert!(!spl.recycle(payload));
+        assert_eq!(spl.pooled_buffers(), 0);
+        drop(held);
+        // Pool is capped at one spare per partition.
+        assert!(spl.recycle(Bytes::from(vec![0u8; 8])));
+        assert!(!spl.recycle(Bytes::from(vec![0u8; 8])));
+        assert_eq!(spl.pooled_buffers(), 1);
     }
 
     #[test]

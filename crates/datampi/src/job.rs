@@ -26,6 +26,9 @@ pub struct OContext {
     a_tasks: usize,
     spl: SendPartitionList,
     queue: crossbeam::channel::Sender<SendCmd>,
+    /// Payloads whose transmit completed, returned by the shuffle engine
+    /// for buffer recycling (Section IV-C's reusable send blocks).
+    recycle_rx: crossbeam::channel::Receiver<Bytes>,
     partitioner: PartitionerRef,
     stats: OTaskStats,
     job_start: Instant,
@@ -67,6 +70,11 @@ impl OContext {
             self.stats
                 .collect_events
                 .push((self.job_start.elapsed(), self.stats.records));
+        }
+        // Reclaim any payloads the shuffle engine finished sending so the
+        // next flush reuses their allocations instead of growing new ones.
+        while let Ok(done) = self.recycle_rx.try_recv() {
+            let _ = self.spl.recycle(done);
         }
         if let Some(payload) = self.spl.push(dst, &kv)? {
             self.stats.bytes += payload.len() as u64;
@@ -240,16 +248,22 @@ fn run_o_rank<RO, RA>(
 ) -> RankResult<RO, RA> {
     let task_start = Instant::now();
     let (tx, rx) = bounded(config.send_queue_len.max(1));
+    // Completed-send payloads flow back on this channel for SPL buffer
+    // recycling; bounded so a slow compute thread never piles up spares.
+    let (recycle_tx, recycle_rx) = bounded(a_tasks_capacity(config.a_tasks));
     let style = config.shuffle_style;
     let a_base = config.o_tasks;
     let a_tasks = config.a_tasks;
-    let sender = std::thread::spawn(move || run_sender(style, ep, rx, a_base, a_tasks, job_start));
+    let sender = std::thread::spawn(move || {
+        run_sender(style, ep, rx, a_base, a_tasks, job_start, Some(recycle_tx))
+    });
 
     let mut ctx = OContext {
         rank,
         a_tasks,
         spl: SendPartitionList::new(a_tasks, config.send_partition_bytes),
         queue: tx,
+        recycle_rx,
         partitioner: Arc::clone(partitioner),
         stats: OTaskStats::new(rank),
         job_start,
@@ -275,6 +289,12 @@ fn run_o_rank<RO, RA>(
         }
     };
     RankResult::O(result, stats)
+}
+
+/// Recycle-channel bound: up to two spare payloads per destination keeps
+/// the pool warm without hoarding memory.
+fn a_tasks_capacity(a_tasks: usize) -> usize {
+    a_tasks.saturating_mul(2).max(1)
 }
 
 fn run_a_rank<RO, RA>(

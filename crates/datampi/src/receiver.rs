@@ -95,24 +95,34 @@ pub fn run_receiver(
 /// bookkeeping cost of a comparator-keyed heap here.
 fn merge_runs(runs: Vec<Vec<KvPair>>, comparator: &ComparatorRef) -> Vec<KvPair> {
     let total: usize = runs.iter().map(Vec::len).sum();
-    let mut heads: Vec<_> = runs.into_iter().map(|r| r.into_iter().peekable()).collect();
+    // Reverse once so each run's head is its `last()` element: heads can
+    // then be compared in place and consumed by `pop`, with no per-element
+    // key clone or Option churn in the selection loop.
+    let mut rev: Vec<Vec<KvPair>> = runs
+        .into_iter()
+        .map(|mut r| {
+            r.reverse();
+            r
+        })
+        .collect();
     let mut out = Vec::with_capacity(total);
-    loop {
-        // Select the run whose head key is smallest (key clones are
-        // refcount bumps, not copies).
-        let mut best: Option<(usize, Bytes)> = None;
-        for (r, head) in heads.iter_mut().enumerate() {
-            let Some(kv) = head.peek() else { continue };
-            best = match best {
-                Some((b, cur)) if comparator.compare(&kv.key, &cur) != std::cmp::Ordering::Less => {
-                    Some((b, cur))
-                }
-                _ => Some((r, kv.key.clone())),
+    while out.len() < total {
+        let mut best: Option<usize> = None;
+        for (r, run) in rev.iter().enumerate() {
+            let Some(head) = run.last() else { continue };
+            // Ties keep the earlier run, preserving arrival order within
+            // equal keys.
+            let better = match best.and_then(|b| rev.get(b)).and_then(|b| b.last()) {
+                Some(cur) => comparator.compare(&head.key, &cur.key) == std::cmp::Ordering::Less,
+                None => true,
             };
+            if better {
+                best = Some(r);
+            }
         }
-        let Some((r, _)) = best else { break };
-        if let Some(kv) = heads.get_mut(r).and_then(Iterator::next) {
-            out.push(kv);
+        match best.and_then(|r| rev.get_mut(r)).and_then(Vec::pop) {
+            Some(kv) => out.push(kv),
+            None => break,
         }
     }
     out
@@ -164,6 +174,17 @@ mod tests {
         let merged = merge_runs(runs, &cmp());
         let keys: Vec<&[u8]> = merged.iter().map(|p| p.key.as_ref()).collect();
         assert_eq!(keys, vec![b"a".as_ref(), b"b", b"c", b"c", b"e"]);
+    }
+
+    #[test]
+    fn merge_runs_is_stable_across_runs_on_ties() {
+        let runs = vec![
+            vec![kv(b"k", b"run0-a"), kv(b"k", b"run0-b")],
+            vec![kv(b"k", b"run1")],
+        ];
+        let merged = merge_runs(runs, &cmp());
+        let values: Vec<&[u8]> = merged.iter().map(|p| p.value.as_ref()).collect();
+        assert_eq!(values, vec![b"run0-a".as_ref(), b"run0-b", b"run1"]);
     }
 
     #[test]

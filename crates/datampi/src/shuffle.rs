@@ -15,10 +15,19 @@
 
 use crate::ShuffleStyle;
 use bytes::Bytes;
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, Sender};
 use hdm_common::error::Result;
 use hdm_mpi::{Endpoint, SendRequest};
 use std::time::{Duration, Instant};
+
+/// Where completed-send payloads are returned for buffer recycling.
+///
+/// Once a transmit finishes, the engine offers the payload back to the
+/// O task's [`crate::buffer::SendPartitionList`] pool through this
+/// channel (best-effort: a full channel just drops the offer). The pool
+/// reclaims the allocation only when it is the sole owner — see
+/// [`crate::buffer::SendPartitionList::recycle`].
+pub type RecycleSender = Sender<Bytes>;
 
 /// Message tags of the DataMPI wire protocol.
 pub mod tags {
@@ -69,10 +78,22 @@ pub fn run_sender(
     a_base: usize,
     a_tasks: usize,
     job_start: Instant,
+    recycle: Option<RecycleSender>,
 ) -> Result<SenderStats> {
     match style {
-        ShuffleStyle::NonBlocking => run_nonblocking(&mut ep, queue, a_base, a_tasks, job_start),
-        ShuffleStyle::Blocking => run_blocking(&mut ep, queue, a_base, a_tasks, job_start),
+        ShuffleStyle::NonBlocking => {
+            run_nonblocking(&mut ep, queue, a_base, a_tasks, job_start, recycle)
+        }
+        ShuffleStyle::Blocking => run_blocking(&mut ep, queue, a_base, a_tasks, job_start, recycle),
+    }
+}
+
+/// Offer a completed payload back to the compute thread's buffer pool.
+/// Best-effort by design: a full (or closed) recycle channel means the
+/// pool is saturated and the allocation is simply dropped.
+fn offer(recycle: Option<&RecycleSender>, payload: Bytes) {
+    if let Some(tx) = recycle {
+        let _ = tx.try_send(payload);
     }
 }
 
@@ -82,22 +103,37 @@ fn run_nonblocking(
     a_base: usize,
     a_tasks: usize,
     job_start: Instant,
+    recycle: Option<RecycleSender>,
 ) -> Result<SenderStats> {
     let mut stats = SenderStats::default();
     // Cached request handles, periodically purged once complete — the
     // paper's "request handlers will be cached in the shuffle engine, and
-    // the engine will test for the completion".
-    let mut inflight: Vec<SendRequest> = Vec::new();
+    // the engine will test for the completion". Each handle keeps a
+    // refcounted view of its payload so the allocation can be offered to
+    // the recycle pool once the transmit finishes.
+    let mut inflight: Vec<(SendRequest, Bytes)> = Vec::new();
     // hdm-allow(unbounded-blocking): in-process command queue — the O task owns the sender and always sends Finish or drops it, so recv unblocks with Err
     while let Ok(SendCmd::Partition { dst, payload }) = queue.recv() {
         let bytes = payload.len() as u64;
         stats.send_events.push((job_start.elapsed(), bytes));
-        inflight.push(ep.isend(a_base + dst, tags::DATA, payload)?);
-        // Test cached requests; completed ones recycle their slot.
+        let retained = payload.clone();
+        inflight.push((ep.isend(a_base + dst, tags::DATA, payload)?, retained));
+        // Test cached requests; completed ones recycle their slot (and
+        // offer their payload back to the SPL pool).
         ep.progress();
-        inflight.retain(|r| !r.is_done());
+        inflight.retain_mut(|(r, payload)| {
+            if !r.is_done() {
+                return true;
+            }
+            offer(recycle.as_ref(), std::mem::replace(payload, Bytes::new()));
+            false
+        });
     }
-    ep.waitall(&mut inflight)?;
+    let (mut reqs, payloads): (Vec<SendRequest>, Vec<Bytes>) = inflight.into_iter().unzip();
+    ep.waitall(&mut reqs)?;
+    for payload in payloads {
+        offer(recycle.as_ref(), payload);
+    }
     for a in 0..a_tasks {
         ep.send(a_base + a, tags::EOF, Bytes::new())?;
     }
@@ -110,6 +146,7 @@ fn run_blocking(
     a_base: usize,
     a_tasks: usize,
     job_start: Instant,
+    recycle: Option<RecycleSender>,
 ) -> Result<SenderStats> {
     let mut stats = SenderStats::default();
     let mut finished = false;
@@ -135,10 +172,12 @@ fn run_blocking(
         // receipt — the Waitall of the blocking style.
         let mut reqs = Vec::with_capacity(round.len());
         let mut acks_due: Vec<usize> = Vec::new();
+        let mut sent_payloads: Vec<Bytes> = Vec::with_capacity(round.len());
         for (dst, payload) in round {
             stats
                 .send_events
                 .push((job_start.elapsed(), payload.len() as u64));
+            sent_payloads.push(payload.clone());
             reqs.push(ep.isend(a_base + dst, tags::DATA, payload)?);
             acks_due.push(dst);
         }
@@ -148,6 +187,11 @@ fn run_blocking(
             ep.recv(Some(a_base + dst), Some(tags::ACK))?;
         }
         stats.sync_wait += sync_start.elapsed();
+        // Every destination acknowledged: the round's payloads are fully
+        // delivered and can rejoin the pool.
+        for payload in sent_payloads {
+            offer(recycle.as_ref(), payload);
+        }
     }
     for a in 0..a_tasks {
         ep.send(a_base + a, tags::EOF, Bytes::new())?;
@@ -182,7 +226,7 @@ mod tests {
                 let start = Instant::now();
                 let sender = std::thread::spawn({
                     let style = *style;
-                    move || run_sender(style, ep, rx, 1, 2, start).unwrap()
+                    move || run_sender(style, ep, rx, 1, 2, start, None).unwrap()
                 });
                 for i in 0..10u8 {
                     let mut p = SendPartition::with_capacity(64);

@@ -173,24 +173,33 @@ fn combine_sorted(
 /// counts are small).
 pub fn merge_sorted_runs(runs: Vec<Vec<KvPair>>, comparator: &ComparatorRef) -> Vec<KvPair> {
     let total: usize = runs.iter().map(Vec::len).sum();
-    let mut heads: Vec<_> = runs.into_iter().map(|r| r.into_iter().peekable()).collect();
+    // Reverse once so a run's head is its `last()`: heads compare in place
+    // and `pop` consumes the winner — no per-element key clone.
+    let mut rev: Vec<Vec<KvPair>> = runs
+        .into_iter()
+        .map(|mut r| {
+            r.reverse();
+            r
+        })
+        .collect();
     let mut out = Vec::with_capacity(total);
-    loop {
+    while out.len() < total {
         // Select the run whose head key is smallest; ties keep the earlier
-        // run for stability (key clones are refcount bumps, not copies).
-        let mut best: Option<(usize, bytes::Bytes)> = None;
-        for (r, head) in heads.iter_mut().enumerate() {
-            let Some(kv) = head.peek() else { continue };
-            best = match best {
-                Some((b, cur)) if comparator.compare(&kv.key, &cur) != std::cmp::Ordering::Less => {
-                    Some((b, cur))
-                }
-                _ => Some((r, kv.key.clone())),
+        // run for stability.
+        let mut best: Option<usize> = None;
+        for (r, run) in rev.iter().enumerate() {
+            let Some(head) = run.last() else { continue };
+            let better = match best.and_then(|b| rev.get(b)).and_then(|b| b.last()) {
+                Some(cur) => comparator.compare(&head.key, &cur.key) == std::cmp::Ordering::Less,
+                None => true,
             };
+            if better {
+                best = Some(r);
+            }
         }
-        let Some((r, _)) = best else { break };
-        if let Some(kv) = heads.get_mut(r).and_then(Iterator::next) {
-            out.push(kv);
+        match best.and_then(|r| rev.get_mut(r)).and_then(Vec::pop) {
+            Some(kv) => out.push(kv),
+            None => break,
         }
     }
     out

@@ -16,10 +16,13 @@ use std::sync::Arc;
 /// A cheaply cloneable, immutable, contiguous slice of memory.
 ///
 /// Clones and [`Bytes::slice`] share one reference-counted allocation,
-/// like the real `bytes::Bytes`.
+/// like the real `bytes::Bytes`. The backing store is an `Arc<Vec<u8>>`
+/// so `Bytes::from(Vec<u8>)` is zero-copy (the real crate takes ownership
+/// of the vec's allocation the same way) and a uniquely-owned whole-buffer
+/// view can be reclaimed as mutable storage via [`Bytes::try_into_mut`].
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -105,6 +108,28 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// Try to reclaim the backing storage as a [`BytesMut`].
+    ///
+    /// Succeeds only when this handle is the sole owner of the allocation
+    /// and the view covers the whole buffer (no outstanding clones or
+    /// slices); otherwise returns `self` unchanged. Mirrors
+    /// `bytes::Bytes::try_into_mut` — the hook buffer pools use to recycle
+    /// payload allocations once the last reader is done.
+    ///
+    /// # Errors
+    /// Returns `Err(self)` when the allocation is shared or partially
+    /// viewed.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        let Bytes { data, start, end } = self;
+        if start != 0 || end != data.len() {
+            return Err(Bytes { data, start, end });
+        }
+        match Arc::try_unwrap(data) {
+            Ok(vec) => Ok(BytesMut::from(vec)),
+            Err(data) => Err(Bytes { data, start, end }),
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
@@ -131,10 +156,9 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -312,6 +336,15 @@ impl fmt::Debug for BytesMut {
 impl From<Vec<u8>> for BytesMut {
     fn from(data: Vec<u8>) -> BytesMut {
         BytesMut { data, read: 0 }
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(mut b: BytesMut) -> Vec<u8> {
+        if b.read > 0 {
+            b.data.drain(..b.read);
+        }
+        b.data
     }
 }
 
@@ -572,6 +605,44 @@ mod tests {
         assert_eq!(b.len(), 3);
         let frozen = b.freeze();
         assert_eq!(frozen.as_ref(), b"abc");
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![1u8, 2, 3, 4];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), ptr, "From<Vec<u8>> must not copy");
+    }
+
+    #[test]
+    fn try_into_mut_reclaims_unique_whole_buffers() {
+        let v = vec![5u8; 32];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        // A live clone blocks reclaim.
+        let c = b.clone();
+        let b = b.try_into_mut().unwrap_err();
+        drop(c);
+        // A partial view blocks reclaim even when it is the sole owner.
+        let part = {
+            let mut p = Bytes::from(vec![9u8; 8]);
+            p.split_to(2)
+        };
+        assert!(part.try_into_mut().is_err());
+        // Unique + whole buffer reclaims the original allocation.
+        let m = b.try_into_mut().unwrap();
+        let back: Vec<u8> = m.into();
+        assert_eq!(back.as_ptr(), ptr, "reclaim must return the allocation");
+        assert_eq!(back, vec![5u8; 32]);
+    }
+
+    #[test]
+    fn bytesmut_into_vec_respects_read_cursor() {
+        let mut m = BytesMut::from(vec![1u8, 2, 3, 4]);
+        m.advance(2);
+        let v: Vec<u8> = m.into();
+        assert_eq!(v, vec![3, 4]);
     }
 
     #[test]
