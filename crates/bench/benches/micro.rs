@@ -149,6 +149,7 @@ fn bench_engines_shuffle(c: &mut Criterion) {
                 reduce_tasks: 4,
                 sort_buffer_bytes: 64 << 10,
                 concurrency: 8,
+                ..Default::default()
             };
             hdm_mapred::run_mapreduce(
                 &config,
@@ -332,6 +333,39 @@ fn bench_spl_cycle(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cost of the observability layer on the hottest instrumented loop:
+/// an SPL-shaped run of `CollectProfile::record_kv` plus counter/timer
+/// updates, with obs disabled (one relaxed atomic check per site, the
+/// production default) and enabled (full recording).
+fn bench_obs_overhead(c: &mut Criterion) {
+    use hdm_obs::ObsHandle;
+    use std::time::Instant;
+    let mut g = c.benchmark_group("obs_overhead");
+    g.throughput(Throughput::Elements(1000));
+    for (arm, obs) in [
+        ("disabled", ObsHandle::disabled()),
+        ("enabled", ObsHandle::enabled_with_stride(64)),
+    ] {
+        let counter = obs.counter("bench.flushes", "rank=0");
+        let timer = obs.timer("bench.wait.us", "rank=0", hdm_obs::TIMER_US_BUCKET);
+        g.bench_function(format!("collect_1k_kv_{arm}"), |b| {
+            b.iter(|| {
+                let mut profile = hdm_obs::CollectProfile::new();
+                let start = Instant::now();
+                for i in 0..1000u64 {
+                    profile.record_kv(29, start);
+                    if i % 64 == 0 && obs.is_enabled() {
+                        counter.add(1);
+                        timer.observe(i);
+                    }
+                }
+                profile.records
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_expr_eval(c: &mut Criterion) {
     use hdm_core::parser::parse_statement;
     let stmt = parse_statement("SELECT a FROM t WHERE a * 2 + 1 > 10 AND b LIKE 'customer%'")
@@ -370,6 +404,7 @@ criterion_group!(
     bench_sort_keys,
     bench_payload_decode,
     bench_spl_cycle,
+    bench_obs_overhead,
     bench_expr_eval
 );
 criterion_main!(benches);

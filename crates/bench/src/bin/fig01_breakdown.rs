@@ -26,16 +26,16 @@ fn main() {
         );
         for (j, tl) in timelines.iter().enumerate() {
             let b = tl.breakdown;
-            let total = b.total();
+            let (startup_share, ms_share, _) = b.shares();
             rows.push(vec![
                 format!("{name} job{}", j + 1),
                 s1(b.startup),
                 s1(b.map_shuffle),
                 s1(b.others),
-                pct(100.0 * b.map_shuffle / total),
+                pct(100.0 * ms_share),
             ]);
-            ms_fracs.push(b.map_shuffle / total);
-            startup_fracs.push(b.startup / total);
+            ms_fracs.push(ms_share);
+            startup_fracs.push(startup_share);
         }
     }
     print_table(

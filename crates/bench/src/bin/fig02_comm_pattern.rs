@@ -129,9 +129,9 @@ fn main() {
     // Q3 shuffles three different row shapes (two joins + the
     // aggregation): merge all stages' histograms, as the paper's trace
     // of the whole query does.
-    let mut q3_merged = hdm_common::stats::Histogram::new(2);
+    let mut q3_merged = hdm_common::stats::Histogram::with_width(hdm_obs::KV_HIST_BUCKET);
     for s in &q3.stages {
-        q3_merged.merge(&s.kv_sizes);
+        q3_merged.merge(&s.kv_sizes).expect("same bucket width");
     }
     let q3_hist = &q3_merged;
     let rows = vec![

@@ -6,8 +6,9 @@
 //! ramps to its peak memory footprint faster.
 
 use hdm_bench::{print_table, run_and_simulate, s1, Workload};
-use hdm_cluster::{ClusterSpec, DataMpiSimOptions, JobTimeline, ResourceTrace};
+use hdm_cluster::{ClusterSpec, DataMpiSimOptions, JobTimeline};
 use hdm_core::EngineKind;
+use hdm_obs::probe::ResourceTrace;
 use hdm_storage::FormatKind;
 use hdm_workloads::tpch;
 

@@ -1,40 +1,92 @@
 //! Run every reproduction experiment in sequence — the one-shot
 //! regeneration of the paper's evaluation. Output is what
 //! EXPERIMENTS.md records. Expect a few minutes in release mode.
+//!
+//! `--only <substr>` (repeatable) filters the experiment list to the
+//! binaries whose name contains the substring — e.g. `--only fig01`
+//! runs just the Figure 1 breakdown (the CI smoke path). Every selected
+//! experiment runs even if an earlier one fails; the exit code is
+//! nonzero iff any failed.
 
 use std::process::Command;
 
+const BINS: [&str; 14] = [
+    "table01_datasets",
+    "fig01_breakdown",
+    "fig02_comm_pattern",
+    "fig06_blocking_vs_nonblocking",
+    "fig08_tuning",
+    "fig09_hibench",
+    "fig10_hibench_breakdown",
+    "table02_formats",
+    "fig11_parallelism",
+    "fig12_scalability",
+    "fig13_resources",
+    "table03_productivity",
+    "ablations",
+    "future_dag",
+];
+
 fn main() {
-    let bins = [
-        "table01_datasets",
-        "fig01_breakdown",
-        "fig02_comm_pattern",
-        "fig06_blocking_vs_nonblocking",
-        "fig08_tuning",
-        "fig09_hibench",
-        "fig10_hibench_breakdown",
-        "table02_formats",
-        "fig11_parallelism",
-        "fig12_scalability",
-        "fig13_resources",
-        "table03_productivity",
-        "ablations",
-        "future_dag",
-    ];
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--only" => match args.next() {
+                Some(f) => only.push(f),
+                None => {
+                    eprintln!("--only requires a value (e.g. --only fig01)");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: repro_all [--only <substr>]...");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let selected: Vec<&str> = BINS
+        .iter()
+        .copied()
+        .filter(|b| only.is_empty() || only.iter().any(|f| b.contains(f.as_str())))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no experiment matches {only:?}; known: {BINS:?}");
+        std::process::exit(2);
+    }
     // Running as separate processes keeps each experiment's memory
     // bounded and its output self-contained.
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
-    for bin in bins {
+    let mut failures: Vec<String> = Vec::new();
+    for bin in &selected {
         println!("\n######## {bin} ########");
         let path = dir.join(bin);
-        let status = Command::new(&path)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
-            eprintln!("{bin} FAILED with {status}");
-            std::process::exit(1);
+        match Command::new(&path).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{bin} FAILED with {status}");
+                failures.push(format!("{bin} ({status})"));
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e}");
+                failures.push(format!("{bin} (launch: {e})"));
+            }
         }
     }
-    println!("\nall experiments completed");
+    if failures.is_empty() {
+        println!("\nall {} selected experiment(s) completed", selected.len());
+    } else {
+        eprintln!(
+            "\n{} of {} experiment(s) FAILED: {}",
+            failures.len(),
+            selected.len(),
+            failures.join(", ")
+        );
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,64 @@
+//! Emit a Chrome trace of a real TPC-H Q3 run through the `hive.obs.*`
+//! observability subsystem, plus the Fig. 1-style phase breakdown of the
+//! same query from the timing model.
+//!
+//! Usage: `trace_q3 [output.json]` (default `trace_q3.json`). Load the
+//! output in Perfetto / `chrome://tracing`; the summary sidecar
+//! (`<path>.summary.txt`) holds the deterministic plaintext form.
+
+use hdm_bench::{pct, print_table, run_and_simulate, s1, Workload};
+use hdm_cluster::DataMpiSimOptions;
+use hdm_core::EngineKind;
+use hdm_storage::FormatKind;
+use hdm_workloads::tpch;
+
+fn main() {
+    let trace_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace_q3.json".to_string());
+
+    let mut w = Workload::tpch(FormatKind::Text);
+    w.driver
+        .conf_mut()
+        .set(hdm_common::conf::KEY_OBS_ENABLED, true);
+    w.driver
+        .conf_mut()
+        .set(hdm_common::conf::KEY_OBS_TRACE_PATH, trace_path.as_str());
+    let sql = tpch::queries::query(3);
+
+    let mut rows = Vec::new();
+    for engine in [EngineKind::Hadoop, EngineKind::DataMpi] {
+        let (_, timelines, _) =
+            run_and_simulate(&mut w, sql, engine, DataMpiSimOptions::default(), 20.0);
+        for (j, tl) in timelines.iter().enumerate() {
+            let b = tl.breakdown;
+            let (startup_share, ms_share, _) = b.shares();
+            rows.push(vec![
+                format!("{} job{}", engine.name(), j + 1),
+                s1(b.startup),
+                s1(b.map_shuffle),
+                s1(b.others),
+                pct(100.0 * startup_share),
+                pct(100.0 * ms_share),
+            ]);
+        }
+    }
+    print_table(
+        "TPC-H Q3 20 GB phase breakdown (Fig. 1 style, from hdm-obs PhaseBreakdown)",
+        &[
+            "job",
+            "startup",
+            "map-shuffle",
+            "others",
+            "startup share",
+            "MS share",
+        ],
+        &rows,
+    );
+
+    // The DataMPI run wrote last: its trace is on disk. Validate it.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let events = hdm_obs::chrome::validate_chrome_trace(&trace).expect("trace validates");
+    println!("\nwrote {trace_path}: {events} Chrome-trace events (Perfetto-loadable)");
+    println!("wrote {trace_path}.summary.txt (deterministic plaintext summary)");
+}

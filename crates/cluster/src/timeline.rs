@@ -1,5 +1,9 @@
 //! Simulated job timelines and the paper's phase breakdown.
 
+// The phase decomposition is shared with live runs: `hdm-obs` owns the
+// type, the simulator and the functional reports both produce it.
+pub use hdm_obs::PhaseBreakdown;
+
 /// What kind of task a span describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskKind {
@@ -35,25 +39,6 @@ impl TaskSpan {
     /// Task duration in seconds.
     pub fn duration(&self) -> f64 {
         self.end - self.start
-    }
-}
-
-/// The paper's Figure 1 / Figure 10 decomposition of one job.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PhaseBreakdown {
-    /// Submission → first task running (job init + launch latency).
-    pub startup: f64,
-    /// The Map-Shuffle phase: first map/O start → all intermediate data
-    /// available reduce-side (copy phase in Hadoop, O phase in DataMPI).
-    pub map_shuffle: f64,
-    /// Everything after: merge, reduce, output ("others").
-    pub others: f64,
-}
-
-impl PhaseBreakdown {
-    /// Total job time.
-    pub fn total(&self) -> f64 {
-        self.startup + self.map_shuffle + self.others
     }
 }
 

@@ -1,230 +1,9 @@
 //! dstat-style resource traces (Figure 13).
 //!
-//! The pipeline models log a [`UsageInterval`] for every byte charged to
-//! a disk, NIC direction, or core; [`ResourceTrace::from_usage`] bins
-//! them into per-second cluster-wide curves — the same four panels the
-//! paper samples with `dstat`: CPU utilization, disk read/write
-//! bandwidth, memory footprint, and network bandwidth.
+//! The types re-homed to `hdm-obs` when the observability surface was
+//! unified; this module re-exports them so existing `hdm_cluster::trace`
+//! paths keep working. The simulator's pipeline models log
+//! [`UsageInterval`]s and [`ResourceTrace::from_usage`] bins them into
+//! per-second cluster-wide curves.
 
-use serde::{Deserialize, Serialize};
-
-/// Which server an interval occupied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Resource {
-    /// Disk read bandwidth.
-    DiskRead,
-    /// Disk write bandwidth.
-    DiskWrite,
-    /// NIC egress.
-    NetOut,
-    /// NIC ingress.
-    NetIn,
-    /// A busy core.
-    Cpu,
-    /// A memory footprint change (delta at `start`).
-    MemDelta,
-}
-
-/// One charged interval on one node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct UsageInterval {
-    /// Server kind.
-    pub resource: Resource,
-    /// Node index.
-    pub node: usize,
-    /// Interval start, seconds.
-    pub start: f64,
-    /// Interval end, seconds.
-    pub end: f64,
-    /// Bytes moved over the interval (0 for CPU).
-    pub bytes: u64,
-    /// Signed memory delta (only for [`Resource::MemDelta`]).
-    pub mem_delta: i64,
-}
-
-/// Per-second cluster-wide resource curves.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ResourceTrace {
-    /// CPU utilization per second, 0..=1 (busy core-seconds / capacity).
-    pub cpu_util: Vec<f64>,
-    /// Disk read bytes/s summed over nodes.
-    pub disk_read_bps: Vec<f64>,
-    /// Disk write bytes/s summed over nodes.
-    pub disk_write_bps: Vec<f64>,
-    /// Network bytes/s (egress sum — ingress mirrors it).
-    pub net_bps: Vec<f64>,
-    /// Memory footprint in bytes at each second (cluster-wide).
-    pub mem_bytes: Vec<f64>,
-}
-
-impl ResourceTrace {
-    /// Bin usage intervals into 1-second buckets. `total_cores` is the
-    /// cluster-wide core count used to normalize CPU utilization.
-    pub fn from_usage(
-        usage: &[UsageInterval],
-        horizon_s: f64,
-        total_cores: usize,
-    ) -> ResourceTrace {
-        let n = horizon_s.ceil().max(1.0) as usize;
-        let mut t = ResourceTrace {
-            cpu_util: vec![0.0; n],
-            disk_read_bps: vec![0.0; n],
-            disk_write_bps: vec![0.0; n],
-            net_bps: vec![0.0; n],
-            mem_bytes: vec![0.0; n],
-        };
-        let mut mem_deltas: Vec<(f64, i64)> = Vec::new();
-        for u in usage {
-            match u.resource {
-                Resource::MemDelta => mem_deltas.push((u.start, u.mem_delta)),
-                Resource::Cpu => {
-                    spread(&mut t.cpu_util, u.start, u.end, (u.end - u.start).max(0.0))
-                }
-                Resource::DiskRead => spread(&mut t.disk_read_bps, u.start, u.end, u.bytes as f64),
-                Resource::DiskWrite => {
-                    spread(&mut t.disk_write_bps, u.start, u.end, u.bytes as f64)
-                }
-                Resource::NetOut => spread(&mut t.net_bps, u.start, u.end, u.bytes as f64),
-                Resource::NetIn => {} // mirror of NetOut; avoid double counting
-            }
-        }
-        // CPU: busy core-seconds per 1 s bucket / available core-seconds.
-        let cores = total_cores.max(1) as f64;
-        for v in &mut t.cpu_util {
-            *v = (*v / cores).min(1.0);
-        }
-        // Memory: cumulative sum of deltas, carried forward per second.
-        mem_deltas.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let mut level = 0f64;
-        let mut di = 0;
-        for (sec, slot) in t.mem_bytes.iter_mut().enumerate() {
-            let until = (sec + 1) as f64;
-            while di < mem_deltas.len() && mem_deltas[di].0 < until {
-                level += mem_deltas[di].1 as f64;
-                di += 1;
-            }
-            *slot = level.max(0.0);
-        }
-        t
-    }
-
-    /// Number of one-second samples.
-    pub fn len(&self) -> usize {
-        self.cpu_util.len()
-    }
-
-    /// True iff the trace is empty.
-    pub fn is_empty(&self) -> bool {
-        self.cpu_util.is_empty()
-    }
-
-    /// Mean of a series.
-    pub fn mean(series: &[f64]) -> f64 {
-        if series.is_empty() {
-            0.0
-        } else {
-            series.iter().sum::<f64>() / series.len() as f64
-        }
-    }
-
-    /// Peak of a series.
-    pub fn peak(series: &[f64]) -> f64 {
-        series.iter().copied().fold(0.0, f64::max)
-    }
-}
-
-/// Distribute `amount` (bytes or busy-seconds) uniformly over
-/// `[start, end)` into 1-second bins.
-fn spread(bins: &mut [f64], start: f64, end: f64, amount: f64) {
-    if end <= start || bins.is_empty() {
-        return;
-    }
-    let rate = amount / (end - start);
-    let first = (start.floor() as usize).min(bins.len() - 1);
-    let last = ((end.ceil() as usize).max(first + 1)).min(bins.len());
-    for (sec, bin) in bins.iter_mut().enumerate().take(last).skip(first) {
-        let lo = (sec as f64).max(start);
-        let hi = ((sec + 1) as f64).min(end);
-        if hi > lo {
-            *bin += rate * (hi - lo);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn iv(resource: Resource, start: f64, end: f64, bytes: u64) -> UsageInterval {
-        UsageInterval {
-            resource,
-            node: 0,
-            start,
-            end,
-            bytes,
-            mem_delta: 0,
-        }
-    }
-
-    #[test]
-    fn disk_bytes_conserved() {
-        let usage = vec![iv(Resource::DiskRead, 0.5, 2.5, 200)];
-        let t = ResourceTrace::from_usage(&usage, 3.0, 8);
-        let total: f64 = t.disk_read_bps.iter().sum();
-        assert!((total - 200.0).abs() < 1e-6);
-        // Uniform rate of 100 B/s: middle second gets the full 100.
-        assert!((t.disk_read_bps[1] - 100.0).abs() < 1e-6);
-        assert!((t.disk_read_bps[0] - 50.0).abs() < 1e-6);
-    }
-
-    #[test]
-    fn cpu_normalized_by_cores() {
-        let usage = vec![
-            iv(Resource::Cpu, 0.0, 1.0, 0),
-            iv(Resource::Cpu, 0.0, 1.0, 0),
-        ];
-        let t = ResourceTrace::from_usage(&usage, 1.0, 4);
-        assert!((t.cpu_util[0] - 0.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn net_in_not_double_counted() {
-        let usage = vec![
-            iv(Resource::NetOut, 0.0, 1.0, 100),
-            iv(Resource::NetIn, 0.0, 1.0, 100),
-        ];
-        let t = ResourceTrace::from_usage(&usage, 1.0, 1);
-        assert!((t.net_bps[0] - 100.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn memory_is_cumulative() {
-        let usage = vec![
-            UsageInterval {
-                resource: Resource::MemDelta,
-                node: 0,
-                start: 0.2,
-                end: 0.2,
-                bytes: 0,
-                mem_delta: 1000,
-            },
-            UsageInterval {
-                resource: Resource::MemDelta,
-                node: 0,
-                start: 2.1,
-                end: 2.1,
-                bytes: 0,
-                mem_delta: -400,
-            },
-        ];
-        let t = ResourceTrace::from_usage(&usage, 4.0, 1);
-        assert_eq!(t.mem_bytes, vec![1000.0, 1000.0, 600.0, 600.0]);
-    }
-
-    #[test]
-    fn mean_and_peak() {
-        assert_eq!(ResourceTrace::mean(&[1.0, 3.0]), 2.0);
-        assert_eq!(ResourceTrace::peak(&[1.0, 3.0, 2.0]), 3.0);
-        assert_eq!(ResourceTrace::mean(&[]), 0.0);
-    }
-}
+pub use hdm_obs::probe::{Resource, ResourceTrace, UsageInterval};

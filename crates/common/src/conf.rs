@@ -46,6 +46,18 @@ pub const KEY_WORKER_MEM_BYTES: &str = "datampi.worker.mem.bytes";
 /// engines' sort/merge/group paths compare raw bytes instead of decoding
 /// rows on every comparison. Default true.
 pub const KEY_NORMALIZED_KEYS: &str = "hive.shuffle.normalized.keys";
+/// Whether the `hdm-obs` tracing/metrics subsystem records anything.
+/// Default false: the instrumented hot paths reduce to a single atomic
+/// load per site.
+pub const KEY_OBS_ENABLED: &str = "hive.obs.enabled";
+/// Sampling stride for the `hdm-obs` resource probe: every Nth event on
+/// a sampled hot path emits one observation. Default 64 (matches the
+/// collect-event stride the reports have always used).
+pub const KEY_OBS_SAMPLE_RATE: &str = "hive.obs.sample.rate";
+/// Where the driver writes the Chrome-trace JSON (plus a `.summary.txt`
+/// sidecar) after a query runs with [`KEY_OBS_ENABLED`]. Unset: no file
+/// is written even when tracing is on.
+pub const KEY_OBS_TRACE_PATH: &str = "hive.obs.trace.path";
 
 /// The parallelism strategy of Section IV-D.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -187,6 +199,31 @@ impl JobConf {
         Ok(v as usize)
     }
 
+    /// Whether `hdm-obs` tracing/metrics collection is on. Default false.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not a bool.
+    pub fn obs_enabled(&self) -> Result<bool> {
+        self.get_bool(KEY_OBS_ENABLED, false)
+    }
+
+    /// The `hive.obs.sample.rate` knob as a sampling stride. Default
+    /// **64**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer
+    /// or is less than 1 (a stride of 0 would sample nothing and divide
+    /// by zero).
+    pub fn obs_sample_stride(&self) -> Result<u64> {
+        let v = self.get_i64(KEY_OBS_SAMPLE_RATE, 64)?;
+        if v < 1 {
+            return Err(HdmError::Config(format!(
+                "{KEY_OBS_SAMPLE_RATE}: expected a stride >= 1, got {v}"
+            )));
+        }
+        Ok(v as u64)
+    }
+
     /// Iterate over all `(key, value)` entries in sorted key order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
         self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
@@ -275,6 +312,27 @@ mod tests {
         assert!(c.send_queue_len().is_err());
         let c = JobConf::new().with(KEY_SEND_QUEUE, 8);
         assert_eq!(c.send_queue_len().unwrap(), 8);
+    }
+
+    #[test]
+    fn obs_knobs_default_off_and_validate() {
+        let c = JobConf::new();
+        assert!(!c.obs_enabled().unwrap());
+        assert_eq!(c.obs_sample_stride().unwrap(), 64);
+
+        let c = JobConf::new().with(KEY_OBS_ENABLED, "true");
+        assert!(c.obs_enabled().unwrap());
+
+        let c = JobConf::new().with(KEY_OBS_SAMPLE_RATE, 0);
+        assert!(c
+            .obs_sample_stride()
+            .unwrap_err()
+            .message()
+            .contains(">= 1"));
+        let c = JobConf::new().with(KEY_OBS_SAMPLE_RATE, "often");
+        assert!(c.obs_sample_stride().is_err());
+        let c = JobConf::new().with(KEY_OBS_SAMPLE_RATE, 8);
+        assert_eq!(c.obs_sample_stride().unwrap(), 8);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Small statistics utilities: histograms and running aggregates.
 //!
 //! [`Histogram`] reproduces the key-value-size distributions of Figure 2
-//! (c)/(d); [`Summary`] backs metric reporting across the bench harness.
+//! (c)/(d) and backs the `hdm-obs` metric timers; [`Summary`] backs
+//! metric reporting across the bench harness.
 
+use crate::error::{HdmError, Result};
 use std::fmt;
+use std::num::NonZeroU64;
 
 /// Fixed-width bucket histogram over `u64` samples.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,17 +21,28 @@ pub struct Histogram {
 impl Histogram {
     /// A histogram whose buckets are `[0,w), [w,2w), …`.
     ///
-    /// # Panics
-    /// Panics if `bucket_width` is zero.
-    pub fn new(bucket_width: u64) -> Histogram {
-        assert!(bucket_width > 0, "bucket width must be positive");
+    /// # Errors
+    /// [`HdmError::Config`] if `bucket_width` is zero.
+    pub fn new(bucket_width: u64) -> Result<Histogram> {
+        NonZeroU64::new(bucket_width)
+            .map(Histogram::with_width)
+            .ok_or_else(|| HdmError::Config("histogram bucket width must be positive".into()))
+    }
+
+    /// Infallible constructor: the type carries the non-zero invariant.
+    pub fn with_width(bucket_width: NonZeroU64) -> Histogram {
         Histogram {
-            bucket_width,
+            bucket_width: bucket_width.get(),
             counts: Vec::new(),
             total: 0,
             min: u64::MAX,
             max: 0,
         }
+    }
+
+    /// The bucket width this histogram was built with.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
     }
 
     /// Record one sample.
@@ -37,7 +51,9 @@ impl Histogram {
         if idx >= self.counts.len() {
             self.counts.resize(idx + 1, 0);
         }
-        self.counts[idx] += 1;
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
         self.total += 1;
         self.min = self.min.min(sample);
         self.max = self.max.max(sample);
@@ -96,24 +112,28 @@ impl Histogram {
 
     /// Merge another histogram into this one.
     ///
-    /// # Panics
-    /// Panics if the bucket widths differ.
-    pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(
-            self.bucket_width, other.bucket_width,
-            "bucket width mismatch"
-        );
+    /// # Errors
+    /// [`HdmError::Config`] if the bucket widths differ (`self` is left
+    /// unchanged in that case).
+    pub fn merge(&mut self, other: &Histogram) -> Result<()> {
+        if self.bucket_width != other.bucket_width {
+            return Err(HdmError::Config(format!(
+                "histogram bucket width mismatch: {} vs {}",
+                self.bucket_width, other.bucket_width
+            )));
+        }
         if other.counts.len() > self.counts.len() {
             self.counts.resize(other.counts.len(), 0);
         }
-        for (i, &c) in other.counts.iter().enumerate() {
-            self.counts[i] += c;
+        for (mine, &c) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += c;
         }
         self.total += other.total;
         if other.total > 0 {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
         }
+        Ok(())
     }
 }
 
@@ -190,8 +210,14 @@ mod tests {
     use super::*;
 
     #[test]
+    fn zero_bucket_width_is_rejected() {
+        assert!(Histogram::new(0).is_err());
+        assert!(Histogram::new(1).is_ok());
+    }
+
+    #[test]
     fn histogram_counts_and_modes() {
-        let mut h = Histogram::new(8);
+        let mut h = Histogram::new(8).unwrap();
         for _ in 0..10 {
             h.record(32);
         }
@@ -208,26 +234,29 @@ mod tests {
 
     #[test]
     fn histogram_merge() {
-        let mut a = Histogram::new(4);
+        let mut a = Histogram::new(4).unwrap();
         a.record(3);
-        let mut b = Histogram::new(4);
+        let mut b = Histogram::new(4).unwrap();
         b.record(9);
         b.record(9);
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a.count(), 3);
         assert_eq!(a.mode_bucket(), Some(8));
     }
 
     #[test]
-    #[should_panic(expected = "bucket width mismatch")]
-    fn histogram_merge_width_mismatch_panics() {
-        let mut a = Histogram::new(4);
-        a.merge(&Histogram::new(8));
+    fn histogram_merge_width_mismatch_errors() {
+        let mut a = Histogram::new(4).unwrap();
+        a.record(3);
+        let before = a.clone();
+        let err = a.merge(&Histogram::new(8).unwrap());
+        assert!(err.is_err());
+        assert_eq!(a, before, "failed merge must leave self unchanged");
     }
 
     #[test]
     fn empty_histogram_has_no_extremes() {
-        let h = Histogram::new(1);
+        let h = Histogram::new(1).unwrap();
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
         assert_eq!(h.mode_bucket(), None);
@@ -256,7 +285,7 @@ mod proptests {
     proptest! {
         #[test]
         fn histogram_total_equals_samples(samples in proptest::collection::vec(0u64..10_000, 0..200)) {
-            let mut h = Histogram::new(16);
+            let mut h = Histogram::new(16).unwrap();
             for &s in &samples {
                 h.record(s);
             }
@@ -274,13 +303,13 @@ mod proptests {
             a in proptest::collection::vec(0u64..1000, 0..100),
             b in proptest::collection::vec(0u64..1000, 0..100),
         ) {
-            let mut ha = Histogram::new(8);
+            let mut ha = Histogram::new(8).unwrap();
             for &s in &a { ha.record(s); }
-            let mut hb = Histogram::new(8);
+            let mut hb = Histogram::new(8).unwrap();
             for &s in &b { hb.record(s); }
             let mut merged = ha.clone();
-            merged.merge(&hb);
-            let mut direct = Histogram::new(8);
+            merged.merge(&hb).unwrap();
+            let mut direct = Histogram::new(8).unwrap();
             for &s in a.iter().chain(&b) { direct.record(s); }
             prop_assert_eq!(merged, direct);
         }

@@ -271,10 +271,16 @@ impl Driver {
     ) -> Result<Vec<StageResult>> {
         let query_id = self.next_query_id;
         self.next_query_id += 1;
+        // One obs handle per query, configured by the `hive.obs.*` knobs;
+        // every layer below (engines, shuffle, receiver, DFS) records
+        // into it. Disabled (the default) it is a no-op sink.
+        let obs = hdm_obs::ObsHandle::from_conf(&self.conf)?;
+        self.dfs.attach_obs(&obs);
         let mut intermediates: HashMap<usize, Vec<String>> = HashMap::new();
         let mut dag_intermediates: HashMap<usize, std::sync::Arc<Vec<Row>>> = HashMap::new();
         let mut results = Vec::new();
         for stage in &plan.stages {
+            let stage_span = obs.span("driver", "phase", stage.kind.name());
             let ctx = StageContext {
                 dfs: &self.dfs,
                 metastore: &self.metastore,
@@ -283,8 +289,10 @@ impl Driver {
                 intermediates: &intermediates,
                 dag_intermediates: &dag_intermediates,
                 query_id,
+                obs: obs.clone(),
             };
             let result = execute_stage(stage, &ctx)?;
+            drop(stage_span);
             intermediates.insert(stage.id, result.output_paths.clone());
             if let Some(rows) = &result.mem_output {
                 dag_intermediates.insert(stage.id, std::sync::Arc::clone(rows));
@@ -298,7 +306,31 @@ impl Driver {
                     .delete_prefix(&format!("/tmp/q{query_id}/stage{}/", stage.id));
             }
         }
+        self.export_obs(&obs)?;
         Ok(results)
+    }
+
+    /// If tracing is on and `hive.obs.trace.path` is set, write the
+    /// query's Chrome trace there plus a deterministic plaintext summary
+    /// sidecar (`<path>.summary.txt`). Local OS paths, not DFS paths —
+    /// the trace is for loading into Perfetto / `chrome://tracing`.
+    fn export_obs(&self, obs: &hdm_obs::ObsHandle) -> Result<()> {
+        if !obs.is_enabled() {
+            return Ok(());
+        }
+        let path = self.conf.get_str(hdm_common::conf::KEY_OBS_TRACE_PATH, "");
+        if path.is_empty() {
+            return Ok(());
+        }
+        let snap = obs.snapshot();
+        std::fs::write(&path, hdm_obs::chrome::export(&snap))
+            .map_err(|e| HdmError::Config(format!("cannot write trace {path}: {e}")))?;
+        std::fs::write(
+            format!("{path}.summary.txt"),
+            hdm_obs::summary::render(&snap),
+        )
+        .map_err(|e| HdmError::Config(format!("cannot write trace summary: {e}")))?;
+        Ok(())
     }
 
     /// Bulk-load rows into a table as a fresh part file — the loader

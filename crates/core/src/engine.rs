@@ -76,6 +76,10 @@ pub struct StageContext<'a> {
     pub dag_intermediates: &'a HashMap<usize, Arc<Vec<Row>>>,
     /// Unique query id (namespaces temp paths).
     pub query_id: u64,
+    /// Observability sink shared across the query's stages (spans,
+    /// counters, resource samples). Disabled handles cost one relaxed
+    /// atomic load per instrumented site.
+    pub obs: hdm_obs::ObsHandle,
 }
 
 /// Is the DAG execution mode active for this stage context?
@@ -354,8 +358,9 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
     // ---- shared measurement state ---------------------------------------------
     let map_vols: Arc<Mutex<Vec<MapVolume>>> =
         Arc::new(Mutex::new(vec![MapVolume::default(); map_tasks]));
-    let kv_sizes: Arc<Mutex<hdm_common::stats::Histogram>> =
-        Arc::new(Mutex::new(hdm_common::stats::Histogram::new(2)));
+    let kv_sizes: Arc<Mutex<hdm_common::stats::Histogram>> = Arc::new(Mutex::new(
+        hdm_common::stats::Histogram::with_width(hdm_obs::KV_HIST_BUCKET),
+    ));
     let pushdown_enabled = ctx
         .conf
         .get_bool(hdm_common::conf::KEY_ORC_PUSHDOWN, true)?;
@@ -398,7 +403,16 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             out_bytes: Arc::clone(&out_bytes),
             buffers: Arc::new(Mutex::new(HashMap::new())),
         };
+        let obs = ctx.obs.clone();
+        // Engine-matched track names so the pipeline span nests inside
+        // the engine's own task span (Hadoop map task vs DataMPI O task).
+        let op_track = match ctx.engine {
+            EngineKind::Hadoop => "M",
+            EngineKind::DataMpi => "O",
+        };
+        let stage_label = format!("stage={}", stage.id);
         move |task_idx: usize, emit: &mut dyn FnMut(KvPair) -> Result<()>| -> Result<()> {
+            let _op_span = obs.span(&format!("{op_track}{task_idx}"), "operator", "map-pipeline");
             let spec = tasks
                 .get(task_idx)
                 .ok_or_else(|| HdmError::Plan(format!("map task {task_idx} has no input spec")))?;
@@ -456,7 +470,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                     .unwrap_or(false);
             let mut hash_agg: HashMap<Row, Vec<crate::operators::AggState>> = HashMap::new();
 
-            let mut local_hist = hdm_common::stats::Histogram::new(2);
+            let mut local_hist = hdm_common::stats::Histogram::with_width(hdm_obs::KV_HIST_BUCKET);
             let mut emit = |kv: KvPair| -> Result<()> {
                 local_hist.record(kv.wire_size() as u64);
                 emit(kv)
@@ -506,10 +520,16 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             if matches!(stage.kind, StageKind::MapOnly) {
                 map_only_ctx.close(task_idx)?;
             }
+            if obs.is_enabled() {
+                obs.counter("stage.map.records", &stage_label)
+                    .add(vol.records);
+                obs.counter("stage.map.input.bytes", &stage_label)
+                    .add(vol.input_bytes);
+            }
             if let Some(slot) = map_vols.lock().get_mut(task_idx) {
                 *slot = vol;
             }
-            kv_sizes.lock().merge(&local_hist);
+            kv_sizes.lock().merge(&local_hist)?;
             Ok(())
         }
     };
@@ -538,7 +558,14 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 .as_ref()
                 .map(|a| a.has_distinct())
                 .unwrap_or(false);
+        let obs = ctx.obs.clone();
+        let red_track = match ctx.engine {
+            EngineKind::Hadoop => "R",
+            EngineKind::DataMpi => "A",
+        };
+        let stage_label = format!("stage={}", stage.id);
         move |rank: usize, groups: &mut dyn GroupSource| -> Result<()> {
+            let _op_span = obs.span(&format!("{red_track}{rank}"), "operator", "reduce-pipeline");
             let mut rows_out: Vec<Row> = Vec::new();
             match &stage.kind {
                 StageKind::MapOnly => {}
@@ -612,6 +639,10 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                     }
                 }
             }
+            if obs.is_enabled() {
+                obs.counter("stage.reduce.rows", &stage_label)
+                    .add(rows_out.len() as u64);
+            }
             // DAG mode: hand the rows to the next stage in memory.
             if let Some(sink) = &dag_sink {
                 sink.lock().extend(rows_out);
@@ -657,6 +688,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
         match ctx.engine {
             EngineKind::Hadoop => run_on_hadoop(
                 ctx.conf,
+                &ctx.obs,
                 map_tasks,
                 reduce_tasks,
                 comparator,
@@ -667,6 +699,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             )?,
             EngineKind::DataMpi => run_on_datampi(
                 ctx.conf,
+                &ctx.obs,
                 map_tasks,
                 reduce_tasks,
                 comparator,
@@ -741,6 +774,7 @@ impl GroupSource for hdm_datampi::AContext {
 #[allow(clippy::too_many_arguments)]
 fn run_on_hadoop(
     conf: &JobConf,
+    obs: &hdm_obs::ObsHandle,
     map_tasks: usize,
     reduce_tasks: usize,
     comparator: ComparatorRef,
@@ -754,6 +788,7 @@ fn run_on_hadoop(
         reduce_tasks,
         sort_buffer_bytes: conf.get_i64(hdm_common::conf::KEY_SORT_BUFFER_BYTES, 1 << 20)? as usize,
         concurrency: conf.get_i64("engine.local.threads", 8)? as usize,
+        obs: obs.clone(),
     };
     let outcome = run_mapreduce(
         &config,
@@ -769,7 +804,7 @@ fn run_on_hadoop(
         let mut maps = map_vols.lock();
         for (m, stats) in outcome.report.map_tasks.iter().enumerate() {
             let Some(mv) = maps.get_mut(m) else { continue };
-            mv.spill_bytes += stats.spill_bytes;
+            mv.spill_bytes += stats.spill.spill_bytes;
             mv.shuffle_bytes_per_dst = outcome
                 .report
                 .reduce_tasks
@@ -796,6 +831,7 @@ fn run_on_hadoop(
 #[allow(clippy::too_many_arguments)]
 fn run_on_datampi(
     conf: &JobConf,
+    obs: &hdm_obs::ObsHandle,
     o_tasks: usize,
     a_tasks: usize,
     comparator: ComparatorRef,
@@ -817,6 +853,7 @@ fn run_on_datampi(
         send_queue_len: conf.send_queue_len()?,
         mem_budget_bytes: (worker_mem * conf.mem_used_percent()?) as usize,
         channel_capacity: 1024,
+        obs: obs.clone(),
     };
     let outcome = run_bipartite(
         &config,
@@ -867,7 +904,7 @@ fn run_on_datampi(
             spilled_fraction: if stats.bytes == 0 {
                 0.0
             } else {
-                stats.spill_bytes as f64 / stats.bytes as f64
+                stats.spill.spill_bytes as f64 / stats.bytes as f64
             },
         })
         .collect();

@@ -105,6 +105,18 @@ pub enum StageKind {
     },
 }
 
+impl StageKind {
+    /// Short lowercase name (trace/span labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageKind::MapOnly => "map-only",
+            StageKind::Join { .. } => "join",
+            StageKind::Aggregate { .. } => "aggregate",
+            StageKind::Sort { .. } => "sort",
+        }
+    }
+}
+
 /// Where a stage's output goes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StageOutput {

@@ -1,0 +1,93 @@
+//! End-to-end check of the `hive.obs.*` wiring: an enabled query run
+//! must emit a Perfetto-loadable Chrome trace plus the deterministic
+//! summary sidecar, and the disabled default must emit nothing.
+
+use hdm_core::{Driver, EngineKind};
+
+fn seeded_driver() -> Driver {
+    let mut d = Driver::in_memory();
+    d.execute(
+        "CREATE TABLE orders (ok BIGINT, cust BIGINT, total DOUBLE); \
+         CREATE TABLE customer (ck BIGINT, seg STRING)",
+    )
+    .unwrap();
+    let orders: Vec<hdm_common::row::Row> = (0..400)
+        .map(|i| {
+            hdm_common::row::Row::from(vec![
+                hdm_common::value::Value::Long(i),
+                hdm_common::value::Value::Long(i % 40),
+                hdm_common::value::Value::Double(f64::from(i as u32) * 1.5),
+            ])
+        })
+        .collect();
+    d.load_rows("orders", &orders).unwrap();
+    let customers: Vec<hdm_common::row::Row> = (0..40)
+        .map(|i| {
+            hdm_common::row::Row::from(vec![
+                hdm_common::value::Value::Long(i),
+                hdm_common::value::Value::Str(format!("seg{}", i % 3)),
+            ])
+        })
+        .collect();
+    d.load_rows("customer", &customers).unwrap();
+    d
+}
+
+const QUERY: &str = "SELECT seg, COUNT(*) AS n, SUM(total) AS rev \
+     FROM orders JOIN customer c ON orders.cust = c.ck \
+     GROUP BY seg ORDER BY rev DESC";
+
+#[test]
+fn enabled_run_emits_loadable_trace_and_summary() {
+    let trace_path = std::env::temp_dir().join(format!(
+        "hdm-obs-trace-{}-{:?}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let trace_str = trace_path.to_string_lossy().to_string();
+
+    let mut d = seeded_driver();
+    d.conf_mut().set(hdm_common::conf::KEY_OBS_ENABLED, true);
+    d.conf_mut()
+        .set(hdm_common::conf::KEY_OBS_TRACE_PATH, trace_str.as_str());
+    let result = d.execute_on(QUERY, EngineKind::DataMpi).unwrap();
+    assert_eq!(result.rows.len(), 3);
+
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let events = hdm_obs::chrome::validate_chrome_trace(&trace).unwrap();
+    assert!(
+        events > 10,
+        "expected a populated trace, got {events} events"
+    );
+    // The bipartite engine's task spans and the driver's stage phases
+    // must both be present.
+    assert!(trace.contains("\"o-task\""), "missing O task span");
+    assert!(trace.contains("\"a-task\""), "missing A task span");
+    assert!(trace.contains("\"join\""), "missing driver stage span");
+
+    let summary = std::fs::read_to_string(format!("{trace_str}.summary.txt")).unwrap();
+    assert!(
+        summary.contains("spl.flushes"),
+        "summary lacks SPL counters"
+    );
+
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(format!("{trace_str}.summary.txt")).ok();
+}
+
+#[test]
+fn disabled_default_writes_nothing() {
+    let trace_path = std::env::temp_dir().join(format!(
+        "hdm-obs-off-{}-{:?}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let trace_str = trace_path.to_string_lossy().to_string();
+
+    let mut d = seeded_driver();
+    // Trace path set but obs disabled (the default): no file appears.
+    d.conf_mut()
+        .set(hdm_common::conf::KEY_OBS_TRACE_PATH, trace_str.as_str());
+    d.execute_on(QUERY, EngineKind::Hadoop).unwrap();
+    assert!(!trace_path.exists(), "disabled obs must not write a trace");
+}

@@ -12,12 +12,9 @@ use hdm_common::error::{HdmError, Result};
 use hdm_common::kv::{ComparatorRef, KvPair};
 use hdm_common::partition::PartitionerRef;
 use hdm_mpi::{World, WorldConfig};
+use hdm_obs::{Counter, ObsHandle, Timer};
 use std::sync::Arc;
 use std::time::Instant;
-
-/// Sampling stride for collect-event time sequences: every Nth
-/// `MPI_D_send` records a timestamped point.
-const COLLECT_SAMPLE_STRIDE: u64 = 64;
 
 /// The context handed to an O (operator) task — the `MPI_D` surface an
 /// O-side program sees.
@@ -32,13 +29,20 @@ pub struct OContext {
     partitioner: PartitionerRef,
     stats: OTaskStats,
     job_start: Instant,
+    // Registry handles fetched once at task setup; the per-record path
+    // never touches them — only the flush branch does, behind one
+    // relaxed `is_enabled` load.
+    obs: ObsHandle,
+    obs_flushes: Counter,
+    obs_flush_bytes: Counter,
+    obs_queue_wait: Timer,
 }
 
 impl std::fmt::Debug for OContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OContext")
             .field("rank", &self.rank)
-            .field("records", &self.stats.records)
+            .field("records", &self.stats.collect.records)
             .finish()
     }
 }
@@ -64,25 +68,28 @@ impl OContext {
     /// [`HdmError::DataMpi`] if the shuffle engine died.
     pub fn send(&mut self, kv: KvPair) -> Result<()> {
         let dst = self.partitioner.partition(&kv.key, self.a_tasks);
-        self.stats.records += 1;
-        self.stats.kv_sizes.record(kv.wire_size() as u64);
-        if self.stats.records % COLLECT_SAMPLE_STRIDE == 1 {
-            self.stats
-                .collect_events
-                .push((self.job_start.elapsed(), self.stats.records));
-        }
+        self.stats
+            .collect
+            .record_kv(kv.wire_size() as u64, self.job_start);
         // Reclaim any payloads the shuffle engine finished sending so the
         // next flush reuses their allocations instead of growing new ones.
         while let Ok(done) = self.recycle_rx.try_recv() {
             let _ = self.spl.recycle(done);
         }
         if let Some(payload) = self.spl.push(dst, &kv)? {
-            self.stats.bytes += payload.len() as u64;
+            let bytes = payload.len() as u64;
+            self.stats.bytes += bytes;
             let wait_start = Instant::now();
             self.queue
                 .send(SendCmd::Partition { dst, payload })
                 .map_err(|_| HdmError::DataMpi(format!("O{}: shuffle engine gone", self.rank)))?;
-            self.stats.queue_wait += wait_start.elapsed();
+            let waited = wait_start.elapsed();
+            self.stats.queue_wait += waited;
+            if self.obs.is_enabled() {
+                self.obs_flushes.add(1);
+                self.obs_flush_bytes.add(bytes);
+                self.obs_queue_wait.observe(waited.as_micros() as u64);
+            }
         }
         Ok(())
     }
@@ -90,10 +97,15 @@ impl OContext {
     /// Flush all buffered partitions (called automatically at task end).
     fn flush(&mut self) -> Result<()> {
         for (dst, payload) in self.spl.flush() {
-            self.stats.bytes += payload.len() as u64;
+            let bytes = payload.len() as u64;
+            self.stats.bytes += bytes;
             self.queue
                 .send(SendCmd::Partition { dst, payload })
                 .map_err(|_| HdmError::DataMpi(format!("O{}: shuffle engine gone", self.rank)))?;
+            if self.obs.is_enabled() {
+                self.obs_flushes.add(1);
+                self.obs_flush_bytes.add(bytes);
+            }
         }
         Ok(())
     }
@@ -184,6 +196,7 @@ where
         o + a,
         WorldConfig {
             channel_capacity: config.channel_capacity,
+            obs: config.obs.clone(),
         },
     );
     let metrics = world.metrics();
@@ -254,10 +267,24 @@ fn run_o_rank<RO, RA>(
     let style = config.shuffle_style;
     let a_base = config.o_tasks;
     let a_tasks = config.a_tasks;
+    let obs = config.obs.clone();
+    let track = format!("O{rank}");
+    let _task_span = obs.span(&track, "task", "o-task");
+    let sender_obs = obs.clone();
     let sender = std::thread::spawn(move || {
-        run_sender(style, ep, rx, a_base, a_tasks, job_start, Some(recycle_tx))
+        run_sender(
+            style,
+            ep,
+            rx,
+            a_base,
+            a_tasks,
+            job_start,
+            Some(recycle_tx),
+            &sender_obs,
+        )
     });
 
+    let label = format!("rank={rank}");
     let mut ctx = OContext {
         rank,
         a_tasks,
@@ -267,6 +294,10 @@ fn run_o_rank<RO, RA>(
         partitioner: Arc::clone(partitioner),
         stats: OTaskStats::new(rank),
         job_start,
+        obs_flushes: obs.counter("spl.flushes", &label),
+        obs_flush_bytes: obs.counter("spl.flush.bytes", &label),
+        obs_queue_wait: obs.timer("spl.queue.wait.us", &label, hdm_obs::TIMER_US_BUCKET),
+        obs,
     };
     // Run the user function; flush + Finish must happen even on error so
     // A tasks always see our EOF and terminate.
@@ -306,6 +337,8 @@ fn run_a_rank<RO, RA>(
 ) -> RankResult<RO, RA> {
     let task_start = Instant::now();
     let mut stats = ATaskStats::new(a_rank);
+    let track = format!("A{a_rank}");
+    let _task_span = config.obs.span(&track, "task", "a-task");
     let groups: Result<KeyGroups> = run_receiver(
         &mut ep,
         config.o_tasks,
@@ -313,6 +346,7 @@ fn run_a_rank<RO, RA>(
         config.mem_budget_bytes,
         comparator,
         &mut stats,
+        &config.obs,
     );
     let result = match groups {
         Err(e) => Err(e),
@@ -405,7 +439,10 @@ mod tests {
         assert_eq!(total, 900);
         assert_eq!(report.total_records_sent(), 900);
         assert_eq!(report.total_records_received(), 900);
-        assert_eq!(report.a_tasks.iter().map(|t| t.spills).sum::<u64>(), 0);
+        assert_eq!(
+            report.a_tasks.iter().map(|t| t.spill.spills).sum::<u64>(),
+            0
+        );
     }
 
     #[test]
@@ -419,7 +456,7 @@ mod tests {
         let (total, report) = word_count(ShuffleStyle::NonBlocking, 256);
         assert_eq!(total, 900);
         assert!(
-            report.a_tasks.iter().map(|t| t.spills).sum::<u64>() > 0,
+            report.a_tasks.iter().map(|t| t.spill.spills).sum::<u64>() > 0,
             "expected spills with a 256-byte budget"
         );
     }
@@ -542,7 +579,7 @@ mod tests {
         let (_, report) = word_count(ShuffleStyle::NonBlocking, 1 << 20);
         // Partition size 128 with ~11-byte pairs: many send events.
         assert!(report.o_tasks.iter().all(|t| !t.send_events.is_empty()));
-        let hist = report.kv_size_histogram();
+        let hist = report.kv_size_histogram().unwrap();
         assert_eq!(hist.count(), 900);
         // word<N> keys + 1-byte value ≈ 9-12 bytes on the wire.
         assert!(hist.mode_bucket().unwrap() < 16);

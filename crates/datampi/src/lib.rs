@@ -121,6 +121,10 @@ pub struct DataMpiConfig {
     pub mem_budget_bytes: usize,
     /// Underlying channel capacity (messages) per rank.
     pub channel_capacity: usize,
+    /// Observability sink: spans per O/A task, shuffle counters, and
+    /// queue-wait timers flow here. Defaults to a disabled handle whose
+    /// per-site cost is one relaxed atomic load.
+    pub obs: hdm_obs::ObsHandle,
 }
 
 impl Default for DataMpiConfig {
@@ -133,6 +137,7 @@ impl Default for DataMpiConfig {
             send_queue_len: 6,
             mem_budget_bytes: 64 * 1024 * 1024,
             channel_capacity: 1024,
+            obs: hdm_obs::ObsHandle::default(),
         }
     }
 }

@@ -35,8 +35,17 @@ pub fn run_receiver(
     mem_budget_bytes: usize,
     comparator: &ComparatorRef,
     stats: &mut ATaskStats,
+    obs: &hdm_obs::ObsHandle,
 ) -> Result<KeyGroups> {
     let start = Instant::now();
+    // Buffer-manager probe handles, fetched once: cache occupancy gauge
+    // plus stride-sampled counter points for the resource trace.
+    let track = format!("A{}", stats.rank);
+    let label = format!("rank={}", stats.rank);
+    let obs_cache = obs.gauge("a.cache.bytes", &label);
+    let obs_spills = obs.counter("a.spills", &label);
+    let recv_span = obs.span(&track, "phase", "receive");
+    let mut msgs = 0u64;
     let mut cache: Vec<KvPair> = Vec::new();
     let mut cached_bytes: u64 = 0;
     let mut runs: Vec<Vec<KvPair>> = Vec::new();
@@ -57,6 +66,13 @@ pub fn run_receiver(
                 cached_bytes += msg.payload.len() as u64;
                 cache.extend(pairs);
                 stats.cache_peak = stats.cache_peak.max(cached_bytes);
+                msgs += 1;
+                if obs.is_enabled() {
+                    obs_cache.set(cached_bytes as i64);
+                    if obs.should_sample(msgs) {
+                        obs.sample(&track, "cache_bytes", cached_bytes);
+                    }
+                }
                 if style == ShuffleStyle::Blocking {
                     ep.send(src, tags::ACK, Bytes::new())?;
                 }
@@ -64,8 +80,10 @@ pub fn run_receiver(
                     // Spill: sort and seal the current cache as a run.
                     let mut run = std::mem::take(&mut cache);
                     run.sort_by(|a, b| comparator.compare(&a.key, &b.key));
-                    stats.spills += 1;
-                    stats.spill_bytes += cached_bytes;
+                    stats.spill.record_spill(cached_bytes);
+                    if obs.is_enabled() {
+                        obs_spills.add(1);
+                    }
                     cached_bytes = 0;
                     runs.push(run);
                 }
@@ -80,8 +98,10 @@ pub fn run_receiver(
         }
     }
     stats.receive_elapsed = start.elapsed();
+    drop(recv_span);
 
     // Final merge: spill runs + live cache, globally sorted, grouped.
+    let _merge_span = obs.span(&track, "phase", "merge");
     cache.sort_by(|a, b| comparator.compare(&a.key, &b.key));
     runs.push(cache);
     let merged = merge_runs(runs, comparator);

@@ -3,32 +3,30 @@
 //! These are the *functional-level* facts (counts, bytes, event time
 //! sequences) that the discrete-event cluster model scales into
 //! paper-sized timelines, and that the Figure 2 / Figure 6 harnesses
-//! print directly.
+//! print directly. The collect-side profile and spill accounting are the
+//! shared `hdm-obs` types ([`CollectProfile`], [`SpillStats`]) so this
+//! report and `hdm-mapred`'s agree on one definition.
 
+use hdm_common::error::Result;
 use hdm_common::stats::Histogram;
 use std::time::Duration;
 
-/// Bucket width (bytes) for key-value size histograms — fine enough to
-/// separate the paper's 14-byte and 32-byte modes.
-pub const KV_HIST_BUCKET: u64 = 2;
+pub use hdm_obs::{CollectProfile, SpillStats, KV_HIST_BUCKET};
 
 /// Statistics for one O (operator) task.
 #[derive(Debug, Clone)]
 pub struct OTaskStats {
     /// O rank (0-based within the O communicator).
     pub rank: usize,
-    /// Key-value pairs sent through `MPI_D_send`.
-    pub records: u64,
+    /// Collect-side profile: records sent through `MPI_D_send`, the
+    /// sampled collect-operation time sequence (Figure 2(a)/(b)), and
+    /// the KV wire-size histogram (Figure 2(c)/(d)).
+    pub collect: CollectProfile,
     /// Total payload bytes pushed to the shuffle engine.
     pub bytes: u64,
-    /// Sampled collect-operation time sequence: `(offset, cumulative
-    /// records)` — the Figure 2(a)/(b) signal.
-    pub collect_events: Vec<(Duration, u64)>,
     /// Send-partition transmissions: `(offset, payload bytes)` — the
     /// Figure 6 signal.
     pub send_events: Vec<(Duration, u64)>,
-    /// Distribution of individual KV wire sizes — Figure 2(c)/(d).
-    pub kv_sizes: Histogram,
     /// Wall time the O task spent blocked pushing into the send queue
     /// (backpressure from the shuffle engine).
     pub queue_wait: Duration,
@@ -40,11 +38,9 @@ impl OTaskStats {
     pub(crate) fn new(rank: usize) -> OTaskStats {
         OTaskStats {
             rank,
-            records: 0,
+            collect: CollectProfile::new(),
             bytes: 0,
-            collect_events: Vec::new(),
             send_events: Vec::new(),
-            kv_sizes: Histogram::new(KV_HIST_BUCKET),
             queue_wait: Duration::ZERO,
             elapsed: Duration::ZERO,
         }
@@ -62,10 +58,8 @@ pub struct ATaskStats {
     pub bytes: u64,
     /// Distinct key groups fed to the A function.
     pub groups: u64,
-    /// Number of cache spills (memory budget exceeded).
-    pub spills: u64,
-    /// Bytes written to spill runs.
-    pub spill_bytes: u64,
+    /// Spill accounting (cache evictions past the memory budget).
+    pub spill: SpillStats,
     /// Peak bytes held in the in-memory cache.
     pub cache_peak: u64,
     /// Wall time from process start until the last O EOF arrived.
@@ -81,8 +75,7 @@ impl ATaskStats {
             records: 0,
             bytes: 0,
             groups: 0,
-            spills: 0,
-            spill_bytes: 0,
+            spill: SpillStats::default(),
             cache_peak: 0,
             receive_elapsed: Duration::ZERO,
             elapsed: Duration::ZERO,
@@ -106,7 +99,7 @@ pub struct JobReport {
 impl JobReport {
     /// Total records sent by all O tasks.
     pub fn total_records_sent(&self) -> u64 {
-        self.o_tasks.iter().map(|t| t.records).sum()
+        self.o_tasks.iter().map(|t| t.collect.records).sum()
     }
 
     /// Total records received by all A tasks.
@@ -120,12 +113,17 @@ impl JobReport {
     }
 
     /// Merged KV-size histogram across all O tasks.
-    pub fn kv_size_histogram(&self) -> Histogram {
-        let mut h = Histogram::new(KV_HIST_BUCKET);
+    ///
+    /// # Errors
+    /// [`hdm_common::error::HdmError::Config`] if per-task histograms
+    /// disagree on bucket width (cannot happen for reports produced by
+    /// `run_bipartite`, which uses one width everywhere).
+    pub fn kv_size_histogram(&self) -> Result<Histogram> {
+        let mut h = Histogram::with_width(KV_HIST_BUCKET);
         for t in &self.o_tasks {
-            h.merge(&t.kv_sizes);
+            h.merge(&t.collect.kv_sizes)?;
         }
-        h
+        Ok(h)
     }
 
     /// The latest O-task finish offset — the O-phase length (Figure 6's
@@ -159,16 +157,16 @@ mod tests {
 
     fn report() -> JobReport {
         let mut o0 = OTaskStats::new(0);
-        o0.records = 10;
+        o0.collect.records = 10;
         o0.bytes = 100;
         o0.elapsed = Duration::from_secs(2);
-        o0.kv_sizes.record(32);
+        o0.collect.kv_sizes.record(32);
         let mut o1 = OTaskStats::new(1);
-        o1.records = 20;
+        o1.collect.records = 20;
         o1.bytes = 300;
         o1.elapsed = Duration::from_secs(3);
-        o1.kv_sizes.record(14);
-        o1.kv_sizes.record(32);
+        o1.collect.kv_sizes.record(14);
+        o1.collect.kv_sizes.record(32);
         let mut a0 = ATaskStats::new(0);
         a0.records = 25;
         let mut a1 = ATaskStats::new(1);
@@ -192,7 +190,7 @@ mod tests {
 
     #[test]
     fn kv_histogram_merges() {
-        let h = report().kv_size_histogram();
+        let h = report().kv_size_histogram().unwrap();
         assert_eq!(h.count(), 3);
         assert_eq!(h.mode_bucket(), Some(32));
     }

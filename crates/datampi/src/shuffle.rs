@@ -18,7 +18,29 @@ use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use hdm_common::error::Result;
 use hdm_mpi::{Endpoint, SendRequest};
+use hdm_obs::{Counter, ObsHandle, Timer};
 use std::time::{Duration, Instant};
+
+/// Registry handles the engine updates; fetched once per task so the
+/// transmit loop pays one relaxed atomic check when obs is disabled.
+struct EngineObs {
+    obs: ObsHandle,
+    isends: Counter,
+    recycled: Counter,
+    sync_wait: Timer,
+}
+
+impl EngineObs {
+    fn new(obs: &ObsHandle, rank: usize) -> EngineObs {
+        let label = format!("rank={rank}");
+        EngineObs {
+            isends: obs.counter("shuffle.isends", &label),
+            recycled: obs.counter("shuffle.recycled", &label),
+            sync_wait: obs.timer("shuffle.sync.wait.us", &label, hdm_obs::TIMER_US_BUCKET),
+            obs: obs.clone(),
+        }
+    }
+}
 
 /// Where completed-send payloads are returned for buffer recycling.
 ///
@@ -71,6 +93,7 @@ pub struct SenderStats {
 ///
 /// # Errors
 /// Propagates MPI failures.
+#[allow(clippy::too_many_arguments)] // thin thread entry point; mirrors the engine's knobs
 pub fn run_sender(
     style: ShuffleStyle,
     mut ep: Endpoint,
@@ -79,24 +102,43 @@ pub fn run_sender(
     a_tasks: usize,
     job_start: Instant,
     recycle: Option<RecycleSender>,
+    obs: &ObsHandle,
 ) -> Result<SenderStats> {
+    let engine_obs = EngineObs::new(obs, ep.rank());
     match style {
-        ShuffleStyle::NonBlocking => {
-            run_nonblocking(&mut ep, queue, a_base, a_tasks, job_start, recycle)
-        }
-        ShuffleStyle::Blocking => run_blocking(&mut ep, queue, a_base, a_tasks, job_start, recycle),
+        ShuffleStyle::NonBlocking => run_nonblocking(
+            &mut ep,
+            queue,
+            a_base,
+            a_tasks,
+            job_start,
+            recycle,
+            &engine_obs,
+        ),
+        ShuffleStyle::Blocking => run_blocking(
+            &mut ep,
+            queue,
+            a_base,
+            a_tasks,
+            job_start,
+            recycle,
+            &engine_obs,
+        ),
     }
 }
 
 /// Offer a completed payload back to the compute thread's buffer pool.
 /// Best-effort by design: a full (or closed) recycle channel means the
 /// pool is saturated and the allocation is simply dropped.
-fn offer(recycle: Option<&RecycleSender>, payload: Bytes) {
+fn offer(recycle: Option<&RecycleSender>, payload: Bytes, obs: &EngineObs) {
     if let Some(tx) = recycle {
-        let _ = tx.try_send(payload);
+        if tx.try_send(payload).is_ok() && obs.obs.is_enabled() {
+            obs.recycled.add(1);
+        }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_nonblocking(
     ep: &mut Endpoint,
     queue: Receiver<SendCmd>,
@@ -104,6 +146,7 @@ fn run_nonblocking(
     a_tasks: usize,
     job_start: Instant,
     recycle: Option<RecycleSender>,
+    obs: &EngineObs,
 ) -> Result<SenderStats> {
     let mut stats = SenderStats::default();
     // Cached request handles, periodically purged once complete — the
@@ -118,6 +161,14 @@ fn run_nonblocking(
         stats.send_events.push((job_start.elapsed(), bytes));
         let retained = payload.clone();
         inflight.push((ep.isend(a_base + dst, tags::DATA, payload)?, retained));
+        if obs.obs.is_enabled() {
+            obs.isends.add(1);
+            obs.obs.sample(
+                &format!("O{}", ep.rank()),
+                "inflight_sends",
+                inflight.len() as u64,
+            );
+        }
         // Test cached requests; completed ones recycle their slot (and
         // offer their payload back to the SPL pool).
         ep.progress();
@@ -125,14 +176,18 @@ fn run_nonblocking(
             if !r.is_done() {
                 return true;
             }
-            offer(recycle.as_ref(), std::mem::replace(payload, Bytes::new()));
+            offer(
+                recycle.as_ref(),
+                std::mem::replace(payload, Bytes::new()),
+                obs,
+            );
             false
         });
     }
     let (mut reqs, payloads): (Vec<SendRequest>, Vec<Bytes>) = inflight.into_iter().unzip();
     ep.waitall(&mut reqs)?;
     for payload in payloads {
-        offer(recycle.as_ref(), payload);
+        offer(recycle.as_ref(), payload, obs);
     }
     for a in 0..a_tasks {
         ep.send(a_base + a, tags::EOF, Bytes::new())?;
@@ -140,6 +195,7 @@ fn run_nonblocking(
     Ok(stats)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_blocking(
     ep: &mut Endpoint,
     queue: Receiver<SendCmd>,
@@ -147,6 +203,7 @@ fn run_blocking(
     a_tasks: usize,
     job_start: Instant,
     recycle: Option<RecycleSender>,
+    obs: &EngineObs,
 ) -> Result<SenderStats> {
     let mut stats = SenderStats::default();
     let mut finished = false;
@@ -179,6 +236,9 @@ fn run_blocking(
                 .push((job_start.elapsed(), payload.len() as u64));
             sent_payloads.push(payload.clone());
             reqs.push(ep.isend(a_base + dst, tags::DATA, payload)?);
+            if obs.obs.is_enabled() {
+                obs.isends.add(1);
+            }
             acks_due.push(dst);
         }
         ep.waitall(&mut reqs)?;
@@ -186,11 +246,15 @@ fn run_blocking(
         for dst in acks_due {
             ep.recv(Some(a_base + dst), Some(tags::ACK))?;
         }
-        stats.sync_wait += sync_start.elapsed();
+        let waited = sync_start.elapsed();
+        stats.sync_wait += waited;
+        if obs.obs.is_enabled() {
+            obs.sync_wait.observe(waited.as_micros() as u64);
+        }
         // Every destination acknowledged: the round's payloads are fully
         // delivered and can rejoin the pool.
         for payload in sent_payloads {
-            offer(recycle.as_ref(), payload);
+            offer(recycle.as_ref(), payload, obs);
         }
     }
     for a in 0..a_tasks {
@@ -226,7 +290,19 @@ mod tests {
                 let start = Instant::now();
                 let sender = std::thread::spawn({
                     let style = *style;
-                    move || run_sender(style, ep, rx, 1, 2, start, None).unwrap()
+                    move || {
+                        run_sender(
+                            style,
+                            ep,
+                            rx,
+                            1,
+                            2,
+                            start,
+                            None,
+                            &hdm_obs::ObsHandle::default(),
+                        )
+                        .unwrap()
+                    }
                 });
                 for i in 0..10u8 {
                     let mut p = SendPartition::with_capacity(64);

@@ -125,6 +125,13 @@ impl Dfs {
         &self.metrics
     }
 
+    /// Mirror DFS traffic into an observability sink (resource-probe
+    /// input for the Fig. 13 dstat analogue). See
+    /// [`DfsMetrics::attach_obs`].
+    pub fn attach_obs(&self, obs: &hdm_obs::ObsHandle) {
+        self.metrics.attach_obs(obs);
+    }
+
     /// Open a new file for writing. Fails if the path already exists.
     ///
     /// # Errors

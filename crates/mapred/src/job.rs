@@ -12,9 +12,6 @@ use hdm_common::partition::PartitionerRef;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Sampling stride for collect-event time sequences.
-const COLLECT_SAMPLE_STRIDE: u64 = 64;
-
 /// The context a map function emits through (Hadoop's
 /// `OutputCollector.collect`).
 pub struct MapContext {
@@ -30,7 +27,7 @@ impl std::fmt::Debug for MapContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MapContext")
             .field("rank", &self.rank)
-            .field("records", &self.stats.records)
+            .field("records", &self.stats.collect.records)
             .finish()
     }
 }
@@ -59,14 +56,10 @@ impl MapContext {
                 self.num_reducers
             )));
         }
-        self.stats.records += 1;
-        self.stats.kv_sizes.record(kv.wire_size() as u64);
+        self.stats
+            .collect
+            .record_kv(kv.wire_size() as u64, self.job_start);
         self.stats.bytes += kv.wire_size() as u64;
-        if self.stats.records % COLLECT_SAMPLE_STRIDE == 1 {
-            self.stats
-                .collect_events
-                .push((self.job_start.elapsed(), self.stats.records));
-        }
         self.buffer.collect(partition, kv);
         Ok(())
     }
@@ -172,6 +165,8 @@ where
         let combiner = combiner.clone();
         move |rank| {
             let task_start = Instant::now();
+            let track = format!("M{rank}");
+            let _task_span = config.obs.span(&track, "task", "map-task");
             let mut ctx = MapContext {
                 rank,
                 num_reducers: config.reduce_tasks,
@@ -186,9 +181,25 @@ where
             };
             let user = map_fn(rank, &mut ctx);
             let mut stats = ctx.stats;
-            stats.spills = ctx.buffer.spill_count() as u64;
-            stats.spill_bytes = ctx.buffer.spill_bytes();
-            let segments = ctx.buffer.finish(config.reduce_tasks);
+            stats.spill.spills = ctx.buffer.spill_count() as u64;
+            stats.spill.spill_bytes = ctx.buffer.spill_bytes();
+            if config.obs.is_enabled() {
+                let label = format!("rank={rank}");
+                config
+                    .obs
+                    .counter("map.spills", &label)
+                    .add(stats.spill.spills);
+                config
+                    .obs
+                    .counter("map.spill.bytes", &label)
+                    .add(stats.spill.spill_bytes);
+            }
+            // Final sort/merge of spill runs into materialized segments —
+            // Hadoop's map-side merge, visible as its own span.
+            let segments = {
+                let _sort_span = config.obs.span(&track, "phase", "sort-merge");
+                ctx.buffer.finish(config.reduce_tasks)
+            };
             store.publish(rank, segments);
             stats.elapsed = task_start.elapsed();
             (user, stats)
@@ -215,10 +226,14 @@ where
         let comparator = Arc::clone(&comparator);
         let store = Arc::clone(&store);
         let reduce_fn = Arc::clone(&reduce_fn);
+        let obs = config.obs.clone();
         move |rank| {
             let task_start = Instant::now();
+            let track = format!("R{rank}");
+            let _task_span = obs.span(&track, "task", "reduce-task");
             let mut stats = ReduceTaskStats::new(rank, maps);
             // Copier phase: pull this partition's segment from every map.
+            let copy_span = obs.span(&track, "phase", "copy");
             let mut runs: Vec<Vec<KvPair>> = Vec::with_capacity(maps);
             let mut failed: Option<HdmError> = None;
             for m in 0..maps {
@@ -237,10 +252,16 @@ where
                     }
                 }
             }
+            drop(copy_span);
+            if obs.is_enabled() {
+                obs.counter("reduce.shuffled.bytes", &format!("rank={rank}"))
+                    .add(stats.shuffled_bytes());
+            }
             if let Some(e) = failed {
                 return (Err(e), stats);
             }
             // Merge + group.
+            let merge_span = obs.span(&track, "phase", "merge");
             let merged = merge_sorted_runs(runs, &comparator);
             let mut groups: Vec<(Bytes, Vec<Bytes>)> = Vec::new();
             for kv in merged {
@@ -254,6 +275,7 @@ where
                 }
             }
             stats.groups = groups.len() as u64;
+            drop(merge_span);
             let mut ctx = ReduceContext {
                 rank,
                 groups: groups.into_iter(),
@@ -337,6 +359,7 @@ mod tests {
             reduce_tasks: r,
             sort_buffer_bytes: 256, // force spills
             concurrency: 4,
+            ..Default::default()
         }
     }
 
@@ -370,7 +393,7 @@ mod tests {
         assert_eq!(outcome.reduce_results.iter().sum::<u64>(), 600);
         assert_eq!(outcome.report.total_map_records(), 600);
         assert_eq!(outcome.report.total_reduce_records(), 600);
-        assert!(outcome.report.map_tasks.iter().any(|t| t.spills > 0));
+        assert!(outcome.report.map_tasks.iter().any(|t| t.spill.spills > 0));
         assert_eq!(
             outcome.report.total_shuffle_bytes(),
             outcome.report.materialized_bytes

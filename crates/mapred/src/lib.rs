@@ -88,6 +88,10 @@ pub struct MapRedConfig {
     pub sort_buffer_bytes: usize,
     /// Maximum concurrently-running tasks (cluster slot count).
     pub concurrency: usize,
+    /// Observability sink: per-task spans plus sort/spill/merge counters
+    /// flow here. Defaults to a disabled handle whose per-site cost is
+    /// one relaxed atomic load.
+    pub obs: hdm_obs::ObsHandle,
 }
 
 impl Default for MapRedConfig {
@@ -98,6 +102,7 @@ impl Default for MapRedConfig {
             sort_buffer_bytes: 4 * 1024 * 1024,
             // The paper's testbed: 7 worker nodes × 4 slots.
             concurrency: 28,
+            obs: hdm_obs::ObsHandle::default(),
         }
     }
 }

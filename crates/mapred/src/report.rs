@@ -1,28 +1,27 @@
 //! Measurements of one MapReduce job (input to the timing model).
+//!
+//! Collect-side profiling and spill accounting use the shared `hdm-obs`
+//! types ([`CollectProfile`], [`SpillStats`]) — one definition across
+//! this engine and `hdm-datampi`'s report.
 
+use hdm_common::error::Result;
 use hdm_common::stats::Histogram;
 use std::time::Duration;
 
-/// Bucket width for KV-size histograms (matches the DataMPI engine).
-pub const KV_HIST_BUCKET: u64 = 2;
+pub use hdm_obs::{CollectProfile, SpillStats, KV_HIST_BUCKET};
 
 /// Statistics for one map task.
 #[derive(Debug, Clone)]
 pub struct MapTaskStats {
     /// Map task index.
     pub rank: usize,
-    /// Pairs collected.
-    pub records: u64,
+    /// Collect-side profile: pairs collected, sampled collect-time
+    /// sequence, KV wire-size distribution.
+    pub collect: CollectProfile,
     /// Serialized bytes collected.
     pub bytes: u64,
-    /// Spill count (sort buffer overflows).
-    pub spills: u64,
-    /// Bytes written to spill runs (local-disk traffic).
-    pub spill_bytes: u64,
-    /// Sampled collect-time sequence `(offset, cumulative records)`.
-    pub collect_events: Vec<(Duration, u64)>,
-    /// KV wire-size distribution.
-    pub kv_sizes: Histogram,
+    /// Sort-buffer spill accounting (local-disk traffic).
+    pub spill: SpillStats,
     /// Wall time of the task.
     pub elapsed: Duration,
 }
@@ -31,12 +30,9 @@ impl MapTaskStats {
     pub(crate) fn new(rank: usize) -> MapTaskStats {
         MapTaskStats {
             rank,
-            records: 0,
+            collect: CollectProfile::new(),
             bytes: 0,
-            spills: 0,
-            spill_bytes: 0,
-            collect_events: Vec::new(),
-            kv_sizes: Histogram::new(KV_HIST_BUCKET),
+            spill: SpillStats::default(),
             elapsed: Duration::ZERO,
         }
     }
@@ -90,7 +86,7 @@ pub struct MrJobReport {
 impl MrJobReport {
     /// Total records collected by maps.
     pub fn total_map_records(&self) -> u64 {
-        self.map_tasks.iter().map(|t| t.records).sum()
+        self.map_tasks.iter().map(|t| t.collect.records).sum()
     }
 
     /// Total records received by reducers.
@@ -104,12 +100,16 @@ impl MrJobReport {
     }
 
     /// Merged KV-size histogram across maps.
-    pub fn kv_size_histogram(&self) -> Histogram {
-        let mut h = Histogram::new(KV_HIST_BUCKET);
+    ///
+    /// # Errors
+    /// [`hdm_common::error::HdmError::Config`] on bucket-width mismatch
+    /// (cannot happen for reports produced by `run_mapreduce`).
+    pub fn kv_size_histogram(&self) -> Result<Histogram> {
+        let mut h = Histogram::with_width(KV_HIST_BUCKET);
         for t in &self.map_tasks {
-            h.merge(&t.kv_sizes);
+            h.merge(&t.collect.kv_sizes)?;
         }
-        h
+        Ok(h)
     }
 
     /// Records imbalance across reducers (`max / max(1, min)`).
@@ -131,15 +131,16 @@ impl MrJobReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::indexing_slicing)]
 mod tests {
     use super::*;
 
     #[test]
     fn totals_and_skew() {
         let mut m = MapTaskStats::new(0);
-        m.records = 7;
+        m.collect.records = 7;
         m.bytes = 70;
-        m.kv_sizes.record(10);
+        m.collect.kv_sizes.record(10);
         let mut r0 = ReduceTaskStats::new(0, 1);
         r0.records = 6;
         r0.shuffled_from[0] = 60;
@@ -156,6 +157,6 @@ mod tests {
         assert_eq!(report.total_reduce_records(), 7);
         assert_eq!(report.total_shuffle_bytes(), 70);
         assert_eq!(report.reduce_skew_factor(), 6.0);
-        assert_eq!(report.kv_size_histogram().count(), 1);
+        assert_eq!(report.kv_size_histogram().unwrap().count(), 1);
     }
 }

@@ -333,6 +333,7 @@ mod tests {
             2,
             WorldConfig {
                 channel_capacity: 2,
+                ..WorldConfig::default()
             },
         );
         let out = world.run(|mut ep| {
@@ -378,6 +379,7 @@ mod tests {
             1,
             WorldConfig {
                 channel_capacity: 1,
+                ..WorldConfig::default()
             },
         );
         let out = world.run(|mut ep| {

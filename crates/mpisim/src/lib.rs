@@ -62,18 +62,23 @@ pub struct Tag(pub u32);
 pub type Rank = usize;
 
 /// World-construction options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct WorldConfig {
     /// Channel capacity per destination, in messages. Small capacities
     /// increase backpressure (more pending-queue parking); `None` means
     /// effectively unbounded (2^20).
     pub channel_capacity: usize,
+    /// Observability sink for world-level traffic metrics. Defaults to a
+    /// disabled handle: counter updates compile to one relaxed atomic
+    /// check per send.
+    pub obs: hdm_obs::ObsHandle,
 }
 
 impl Default for WorldConfig {
     fn default() -> WorldConfig {
         WorldConfig {
             channel_capacity: 1024,
+            obs: hdm_obs::ObsHandle::default(),
         }
     }
 }
@@ -113,7 +118,7 @@ impl World {
         World {
             senders,
             receivers,
-            metrics: Arc::new(WorldMetrics::new(size)),
+            metrics: Arc::new(WorldMetrics::new(size, config.obs)),
             barrier: Arc::new(std::sync::Barrier::new(size)),
             taken: AtomicUsize::new(0),
         }
@@ -260,6 +265,7 @@ mod tests {
             n,
             WorldConfig {
                 channel_capacity: 1,
+                ..WorldConfig::default()
             },
         );
         let out = world.run(move |mut ep| {
@@ -375,6 +381,7 @@ mod tests {
                 n,
                 WorldConfig {
                     channel_capacity: 2,
+                    ..WorldConfig::default()
                 },
             );
             let out = world.run(move |mut ep| {

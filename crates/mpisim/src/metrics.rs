@@ -1,6 +1,7 @@
 //! Per-link traffic counters feeding the cluster timing model.
 
 use crate::Rank;
+use hdm_obs::{Counter, ObsHandle};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bytes and message counts per directed (src, dst) link.
@@ -9,14 +10,24 @@ pub struct WorldMetrics {
     size: usize,
     bytes: Vec<AtomicU64>,
     messages: Vec<AtomicU64>,
+    // Registry handles are fetched once here; the send path pays one
+    // relaxed atomic check when obs is disabled.
+    obs: ObsHandle,
+    obs_bytes: Counter,
+    obs_messages: Counter,
 }
 
 impl WorldMetrics {
-    pub(crate) fn new(size: usize) -> WorldMetrics {
+    pub(crate) fn new(size: usize, obs: ObsHandle) -> WorldMetrics {
+        let obs_bytes = obs.counter("mpi.bytes", "");
+        let obs_messages = obs.counter("mpi.messages", "");
         WorldMetrics {
             size,
             bytes: (0..size * size).map(|_| AtomicU64::new(0)).collect(),
             messages: (0..size * size).map(|_| AtomicU64::new(0)).collect(),
+            obs,
+            obs_bytes,
+            obs_messages,
         }
     }
 
@@ -26,6 +37,10 @@ impl WorldMetrics {
             if let (Some(b), Some(m)) = (self.bytes.get(i), self.messages.get(i)) {
                 b.fetch_add(bytes, Ordering::Relaxed);
                 m.fetch_add(1, Ordering::Relaxed);
+            }
+            if self.obs.is_enabled() {
+                self.obs_bytes.add(bytes);
+                self.obs_messages.add(1);
             }
         }
     }
@@ -88,7 +103,7 @@ mod tests {
 
     #[test]
     fn matrix_accumulates() {
-        let m = WorldMetrics::new(3);
+        let m = WorldMetrics::new(3, ObsHandle::default());
         m.record_send(0, 1, 10);
         m.record_send(0, 1, 5);
         m.record_send(2, 0, 7);
@@ -100,8 +115,25 @@ mod tests {
     }
 
     #[test]
+    fn obs_counters_mirror_traffic_when_enabled() {
+        let obs = ObsHandle::enabled_with_stride(1);
+        let m = WorldMetrics::new(2, obs.clone());
+        m.record_send(0, 1, 64);
+        m.record_send(1, 0, 36);
+        let snap = obs.snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, _, v)| n == "mpi.bytes" && *v == 100));
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, _, v)| n == "mpi.messages" && *v == 2));
+    }
+
+    #[test]
     fn out_of_range_is_ignored() {
-        let m = WorldMetrics::new(1);
+        let m = WorldMetrics::new(1, ObsHandle::default());
         m.record_send(5, 0, 10);
         assert_eq!(m.total_bytes(), 0);
         assert_eq!(m.bytes_on_link(5, 0), 0);

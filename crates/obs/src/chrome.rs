@@ -1,0 +1,227 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! Emits the [Trace Event Format] JSON-object form: an object with a
+//! `traceEvents` array of `M` (track-name metadata), `X` (complete
+//! span), and `C` (counter sample) events. Load the file in
+//! `chrome://tracing` or [Perfetto UI](https://ui.perfetto.dev).
+//!
+//! Output is **byte-deterministic** for a given snapshot: tracks are
+//! numbered in sorted-name order and every section is explicitly
+//! sorted, so two identical runs produce identical bytes.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::{parse, JsonValue};
+use crate::{ObsSnapshot, SampleEvent, SpanEvent};
+use hdm_common::error::{HdmError, Result};
+use std::collections::BTreeMap;
+
+/// Render a snapshot as Chrome-trace JSON.
+pub fn export(snap: &ObsSnapshot) -> String {
+    // Track (trace row) -> tid, in sorted-name order for determinism.
+    let names: std::collections::BTreeSet<&str> = snap
+        .spans
+        .iter()
+        .map(|s| s.track.as_str())
+        .chain(snap.samples.iter().map(|s| s.track.as_str()))
+        .collect();
+    let tids: BTreeMap<&str, u64> = names
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (t, i as u64 + 1))
+        .collect();
+
+    let tid_of = |track: &str| tids.get(track).copied().unwrap_or(0);
+    let mut events: Vec<String> = Vec::new();
+    for (track, tid) in &tids {
+        events.push(format!(
+            r#"{{"ph":"M","pid":1,"tid":{tid},"name":"thread_name","args":{{"name":{}}}}}"#,
+            escape(track)
+        ));
+    }
+
+    let mut spans: Vec<&SpanEvent> = snap.spans.iter().collect();
+    // Longer spans first at equal start so Chrome nests children inside.
+    spans.sort_by(|a, b| {
+        (
+            &a.track,
+            a.start_us,
+            std::cmp::Reverse(a.dur_us),
+            &a.name,
+            a.cat,
+        )
+            .cmp(&(
+                &b.track,
+                b.start_us,
+                std::cmp::Reverse(b.dur_us),
+                &b.name,
+                b.cat,
+            ))
+    });
+    for s in spans {
+        events.push(format!(
+            r#"{{"ph":"X","pid":1,"tid":{},"ts":{},"dur":{},"cat":{},"name":{}}}"#,
+            tid_of(&s.track),
+            s.start_us,
+            s.dur_us,
+            escape(s.cat),
+            escape(&s.name)
+        ));
+    }
+
+    let mut samples: Vec<&SampleEvent> = snap.samples.iter().collect();
+    samples.sort_by(|a, b| {
+        (&a.track, &a.name, a.t_us, a.value).cmp(&(&b.track, &b.name, b.t_us, b.value))
+    });
+    for s in samples {
+        events.push(format!(
+            r#"{{"ph":"C","pid":1,"tid":{},"ts":{},"name":{},"args":{{"value":{}}}}}"#,
+            tid_of(&s.track),
+            s.t_us,
+            escape(&s.name),
+            s.value
+        ));
+    }
+
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}\n",
+        events.join(",\n")
+    )
+}
+
+/// JSON-escape a string, including quotes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn field<'a>(ev: &'a JsonValue, key: &str, n: usize) -> Result<&'a JsonValue> {
+    ev.get(key)
+        .ok_or_else(|| HdmError::Other(format!("trace event {n}: missing \"{key}\"")))
+}
+
+fn num_field(ev: &JsonValue, key: &str, n: usize) -> Result<f64> {
+    field(ev, key, n)?
+        .as_f64()
+        .ok_or_else(|| HdmError::Other(format!("trace event {n}: \"{key}\" is not a number")))
+}
+
+fn str_field<'a>(ev: &'a JsonValue, key: &str, n: usize) -> Result<&'a str> {
+    field(ev, key, n)?
+        .as_str()
+        .ok_or_else(|| HdmError::Other(format!("trace event {n}: \"{key}\" is not a string")))
+}
+
+/// Validate a Chrome-trace JSON document against the trace-event schema
+/// subset this crate emits: a `traceEvents` array whose members each
+/// carry `ph`/`pid`/`tid`/`name`, with the per-phase required fields
+/// (`X`: `ts` + `dur`; `C`: `ts` + numeric `args.value`; `M`:
+/// `args.name`). Returns the number of events.
+///
+/// # Errors
+/// [`HdmError::Other`] describing the first schema violation.
+pub fn validate_chrome_trace(src: &str) -> Result<usize> {
+    let doc = parse(src)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| HdmError::Other("trace: top-level \"traceEvents\" array missing".into()))?;
+    for (n, ev) in events.iter().enumerate() {
+        if ev.as_obj().is_none() {
+            return Err(HdmError::Other(format!("trace event {n}: not an object")));
+        }
+        let ph = str_field(ev, "ph", n)?;
+        num_field(ev, "pid", n)?;
+        num_field(ev, "tid", n)?;
+        str_field(ev, "name", n)?;
+        match ph {
+            "X" => {
+                let ts = num_field(ev, "ts", n)?;
+                let dur = num_field(ev, "dur", n)?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(HdmError::Other(format!("trace event {n}: negative ts/dur")));
+                }
+            }
+            "C" => {
+                num_field(ev, "ts", n)?;
+                let args = field(ev, "args", n)?;
+                let has_numeric = args
+                    .as_obj()
+                    .is_some_and(|m| m.iter().any(|(_, v)| v.as_f64().is_some()));
+                if !has_numeric {
+                    return Err(HdmError::Other(format!(
+                        "trace event {n}: counter without numeric args"
+                    )));
+                }
+            }
+            "M" => {
+                let args = field(ev, "args", n)?;
+                if args.get("name").and_then(JsonValue::as_str).is_none() {
+                    return Err(HdmError::Other(format!(
+                        "trace event {n}: metadata without args.name"
+                    )));
+                }
+            }
+            other => {
+                return Err(HdmError::Other(format!(
+                    "trace event {n}: unsupported ph {other:?}"
+                )));
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsHandle;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn export_round_trips_through_validator() {
+        let obs = ObsHandle::enabled_with_stride(1);
+        obs.record_span_at("driver", "job", "q1", 0, 100);
+        obs.record_span_at("O0", "task", "o-task", 5, 50);
+        obs.record_span_at("O0", "operator", "open \"x\"", 6, 10);
+        obs.sample_at("O0", "bytes", 7, 4096);
+        let json = export(&obs.snapshot());
+        // 2 track rows + 3 spans + 1 counter.
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 6);
+    }
+
+    #[test]
+    fn validator_rejects_bad_traces() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[{"ph":"X"}]}"#).is_err());
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents":[{"ph":"Z","pid":1,"tid":1,"name":"x"}]}"#
+        )
+        .is_err());
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents":[{"ph":"X","pid":1,"tid":1,"name":"x","ts":1,"dur":-2}]}"#
+        )
+        .is_err());
+        assert_eq!(validate_chrome_trace(r#"{"traceEvents":[]}"#).unwrap(), 0);
+    }
+}

@@ -1,0 +1,425 @@
+#![warn(missing_docs)]
+
+//! # hdm-obs
+//!
+//! Unified tracing, metrics, and profiling for the Hive-on-DataMPI
+//! reproduction.
+//!
+//! The paper's whole evaluation rests on observability signals: phase
+//! breakdowns (Fig. 1/10), communication characteristics (Fig. 2), and
+//! dstat resource curves (Fig. 13). Before this crate those signals were
+//! collected by four disconnected ad-hoc modules; `hdm-obs` gives every
+//! layer one low-overhead instrumentation surface:
+//!
+//! * **Hierarchical spans** (job → phase → task → operator) recorded
+//!   into a thread-safe bounded recorder, keyed by *track* (one Chrome
+//!   trace row per task rank / subsystem).
+//! * **A metrics registry** of named counters, gauges, and
+//!   [`Histogram`](hdm_common::stats::Histogram)-backed timers, labeled
+//!   by task rank / node.
+//! * **A sampling resource probe** — our dstat analogue: bytes moved,
+//!   queue depths, memory-in-use, sampled every
+//!   [`hive.obs.sample.rate`](hdm_common::conf::KEY_OBS_SAMPLE_RATE)-th
+//!   event and exported as Chrome counter tracks.
+//! * **Exporters**: Chrome-trace/Perfetto JSON ([`chrome`]), a
+//!   byte-deterministic plaintext summary ([`summary`]), and the shared
+//!   report types ([`report`], [`probe`]) the `fig01`/`fig10`/`fig13`
+//!   harnesses consume.
+//!
+//! Everything hangs off a cheaply-cloneable [`ObsHandle`]. When tracing
+//! is disabled (the default — `hive.obs.enabled=false`), every
+//! instrumented hot-path site reduces to **one relaxed atomic load**:
+//! callers gate on [`ObsHandle::is_enabled`] before touching any metric
+//! handle, and [`ObsHandle::span`] returns an inert guard without
+//! allocating.
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod probe;
+pub mod report;
+pub mod span;
+pub mod summary;
+
+pub use metrics::{Counter, Gauge, Timer};
+pub use probe::{Resource, ResourceTrace, UsageInterval};
+pub use report::{
+    CollectProfile, PhaseBreakdown, SpillStats, COLLECT_SAMPLE_STRIDE, KV_HIST_BUCKET,
+    TIMER_US_BUCKET,
+};
+pub use span::{SpanEvent, SpanGuard};
+
+use hdm_common::conf::JobConf;
+use hdm_common::error::Result;
+use hdm_common::stats::Histogram;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::num::NonZeroU64;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Hard cap on recorded span events; further spans bump a drop counter
+/// instead of growing without bound.
+pub const MAX_SPANS: usize = 1 << 16;
+/// Hard cap on recorded probe samples.
+pub const MAX_SAMPLES: usize = 1 << 16;
+
+/// One probe observation: a Chrome counter-track point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleEvent {
+    /// Track (Chrome trace row) the sample belongs to.
+    pub track: String,
+    /// Counter name within the track.
+    pub name: String,
+    /// Microseconds since the handle's epoch.
+    pub t_us: u64,
+    /// Observed value.
+    pub value: u64,
+}
+
+/// A point-in-time copy of everything a handle has recorded, in
+/// deterministic (sorted-registry) order for the metric sections.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSnapshot {
+    /// Span events in recording order.
+    pub spans: Vec<SpanEvent>,
+    /// Spans discarded because the recorder was full.
+    pub dropped_spans: u64,
+    /// `(name, labels, value)` for every registered counter, sorted.
+    pub counters: Vec<(String, String, u64)>,
+    /// `(name, labels, value)` for every registered gauge, sorted.
+    pub gauges: Vec<(String, String, i64)>,
+    /// `(name, labels, histogram)` for every registered timer, sorted.
+    pub timers: Vec<(String, String, Histogram)>,
+    /// Probe samples in recording order.
+    pub samples: Vec<SampleEvent>,
+    /// Samples discarded because the probe buffer was full.
+    pub dropped_samples: u64,
+}
+
+#[derive(Debug, Default)]
+struct SpanStore {
+    events: Vec<SpanEvent>,
+    dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct SampleStore {
+    events: Vec<SampleEvent>,
+    dropped: u64,
+}
+
+/// Registry map keyed by `(metric name, label string)`.
+type Registry<T> = Mutex<BTreeMap<(String, String), Arc<T>>>;
+
+#[derive(Debug)]
+pub(crate) struct ObsInner {
+    enabled: AtomicBool,
+    stride: u64,
+    epoch: Instant,
+    spans: Mutex<SpanStore>,
+    counters: Registry<AtomicU64>,
+    gauges: Registry<AtomicI64>,
+    timers: Registry<Mutex<Histogram>>,
+    samples: Mutex<SampleStore>,
+}
+
+/// Cheaply-cloneable handle to one observation session (typically one
+/// query). All clones share the same recorder, registry, and epoch.
+#[derive(Debug, Clone)]
+pub struct ObsHandle {
+    inner: Arc<ObsInner>,
+}
+
+impl Default for ObsHandle {
+    fn default() -> ObsHandle {
+        ObsHandle::disabled()
+    }
+}
+
+impl ObsHandle {
+    fn with_enabled(enabled: bool, stride: u64) -> ObsHandle {
+        ObsHandle {
+            inner: Arc::new(ObsInner {
+                enabled: AtomicBool::new(enabled),
+                stride: stride.max(1),
+                epoch: Instant::now(),
+                spans: Mutex::new(SpanStore::default()),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                timers: Mutex::new(BTreeMap::new()),
+                samples: Mutex::new(SampleStore::default()),
+            }),
+        }
+    }
+
+    /// A handle that records nothing; every instrumented site reduces to
+    /// one atomic load.
+    pub fn disabled() -> ObsHandle {
+        ObsHandle::with_enabled(false, 64)
+    }
+
+    /// A recording handle with the given probe sampling stride.
+    pub fn enabled_with_stride(stride: u64) -> ObsHandle {
+        ObsHandle::with_enabled(true, stride)
+    }
+
+    /// Build a handle from the registered conf knobs
+    /// (`hive.obs.enabled`, `hive.obs.sample.rate`).
+    ///
+    /// # Errors
+    /// [`hdm_common::error::HdmError::Config`] on malformed knob values.
+    pub fn from_conf(conf: &JobConf) -> Result<ObsHandle> {
+        let enabled = conf.obs_enabled()?;
+        let stride = conf.obs_sample_stride()?;
+        Ok(ObsHandle::with_enabled(enabled, stride))
+    }
+
+    /// Whether this handle records anything. One relaxed atomic load —
+    /// this is the *entire* disabled-path cost of an instrumented site.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The configured probe sampling stride.
+    pub fn stride(&self) -> u64 {
+        self.inner.stride
+    }
+
+    /// True on every `stride`-th event (and for the first event), so a
+    /// hot loop can gate probe samples on its own monotone counter:
+    /// `if obs.should_sample(n) { obs.sample(...) }`.
+    #[inline]
+    pub fn should_sample(&self, n: u64) -> bool {
+        self.is_enabled() && n % self.inner.stride == 1 % self.inner.stride
+    }
+
+    /// Microseconds elapsed between this handle's epoch and `at`.
+    pub fn micros_since_epoch(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.inner.epoch).as_micros() as u64
+    }
+
+    /// Open a span on `track`; the span is recorded when the returned
+    /// guard drops. Inert (no allocation, no lock) when disabled.
+    pub fn span(&self, track: &str, cat: &'static str, name: &str) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard::inert();
+        }
+        SpanGuard::active(self.clone(), track.to_string(), cat, name.to_string())
+    }
+
+    /// Record a span with explicit timestamps (µs since epoch). Used by
+    /// instrumentation that already measured a duration, and by the
+    /// deterministic exporter tests.
+    pub fn record_span_at(
+        &self,
+        track: &str,
+        cat: &'static str,
+        name: &str,
+        start_us: u64,
+        dur_us: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push_span(SpanEvent {
+            track: track.to_string(),
+            cat,
+            name: name.to_string(),
+            start_us,
+            dur_us,
+        });
+    }
+
+    pub(crate) fn push_span(&self, ev: SpanEvent) {
+        let mut store = self.inner.spans.lock();
+        if store.events.len() < MAX_SPANS {
+            store.events.push(ev);
+        } else {
+            store.dropped += 1;
+        }
+    }
+
+    /// Fetch (registering on first use) the counter `name{labels}`.
+    /// Returns a clone of the shared slot: fetch once at setup, then
+    /// `add` from the hot path behind [`ObsHandle::is_enabled`].
+    pub fn counter(&self, name: &str, labels: &str) -> Counter {
+        let mut reg = self.inner.counters.lock();
+        let slot = reg
+            .entry((name.to_string(), labels.to_string()))
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter::new(Arc::clone(slot))
+    }
+
+    /// Fetch (registering on first use) the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &str) -> Gauge {
+        let mut reg = self.inner.gauges.lock();
+        let slot = reg
+            .entry((name.to_string(), labels.to_string()))
+            .or_insert_with(|| Arc::new(AtomicI64::new(0)));
+        Gauge::new(Arc::clone(slot))
+    }
+
+    /// Fetch (registering on first use) the timer `name{labels}` with
+    /// the given histogram bucket width (first registration wins).
+    pub fn timer(&self, name: &str, labels: &str, bucket_width: NonZeroU64) -> Timer {
+        let mut reg = self.inner.timers.lock();
+        let slot = reg
+            .entry((name.to_string(), labels.to_string()))
+            .or_insert_with(|| Arc::new(Mutex::new(Histogram::with_width(bucket_width))));
+        Timer::new(Arc::clone(slot))
+    }
+
+    /// Record one probe observation at "now". No-op when disabled.
+    pub fn sample(&self, track: &str, name: &str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let t_us = self.micros_since_epoch(Instant::now());
+        self.sample_at(track, name, t_us, value);
+    }
+
+    /// Record one probe observation with an explicit timestamp (µs since
+    /// epoch). No-op when disabled.
+    pub fn sample_at(&self, track: &str, name: &str, t_us: u64, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut store = self.inner.samples.lock();
+        if store.events.len() < MAX_SAMPLES {
+            store.events.push(SampleEvent {
+                track: track.to_string(),
+                name: name.to_string(),
+                t_us,
+                value,
+            });
+        } else {
+            store.dropped += 1;
+        }
+    }
+
+    /// Copy out everything recorded so far.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let spans = self.inner.spans.lock();
+        let samples = self.inner.samples.lock();
+        ObsSnapshot {
+            spans: spans.events.clone(),
+            dropped_spans: spans.dropped,
+            counters: self
+                .inner
+                .counters
+                .lock()
+                .iter()
+                .map(|((n, l), v)| (n.clone(), l.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .lock()
+                .iter()
+                .map(|((n, l), v)| (n.clone(), l.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            timers: self
+                .inner
+                .timers
+                .lock()
+                .iter()
+                .map(|((n, l), h)| (n.clone(), l.clone(), h.lock().clone()))
+                .collect(),
+            samples: samples.events.clone(),
+            dropped_samples: samples.dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = ObsHandle::disabled();
+        assert!(!obs.is_enabled());
+        {
+            let _g = obs.span("t", "cat", "noop");
+        }
+        obs.record_span_at("t", "cat", "explicit", 0, 5);
+        obs.sample("t", "bytes", 7);
+        let snap = obs.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.samples.is_empty());
+    }
+
+    #[test]
+    fn spans_record_when_enabled() {
+        let obs = ObsHandle::enabled_with_stride(1);
+        {
+            let _g = obs.span("O0", "task", "o-task");
+        }
+        obs.record_span_at("O0", "op", "open", 10, 3);
+        let snap = obs.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.dropped_spans, 0);
+        assert!(snap.spans.iter().any(|s| s.name == "open" && s.dur_us == 3));
+    }
+
+    #[test]
+    fn metric_registry_dedupes_and_accumulates() {
+        let obs = ObsHandle::enabled_with_stride(1);
+        let a = obs.counter("spl.flushes", "rank=0");
+        let b = obs.counter("spl.flushes", "rank=0");
+        a.add(2);
+        b.add(3);
+        obs.gauge("mem.in.use", "rank=1").set(42);
+        obs.timer("queue.wait.us", "rank=0", KV_HIST_BUCKET)
+            .observe(9);
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("spl.flushes".to_string(), "rank=0".to_string(), 5)]
+        );
+        assert_eq!(snap.gauges.first().map(|g| g.2), Some(42));
+        assert_eq!(snap.timers.first().map(|t| t.2.count()), Some(1));
+    }
+
+    #[test]
+    fn sampling_stride_gates_probe() {
+        let obs = ObsHandle::enabled_with_stride(4);
+        let fired: Vec<u64> = (1..=9).filter(|&n| obs.should_sample(n)).collect();
+        assert_eq!(fired, vec![1, 5, 9]);
+        let every = ObsHandle::enabled_with_stride(1);
+        assert!((1..=5).all(|n| every.should_sample(n)));
+        assert!(!ObsHandle::disabled().should_sample(1));
+    }
+
+    #[test]
+    fn span_recorder_is_bounded() {
+        let obs = ObsHandle::enabled_with_stride(1);
+        for i in 0..(MAX_SPANS as u64 + 10) {
+            obs.record_span_at("t", "cat", "s", i, 1);
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.spans.len(), MAX_SPANS);
+        assert_eq!(snap.dropped_spans, 10);
+    }
+
+    #[test]
+    fn from_conf_respects_knobs() {
+        let off = ObsHandle::from_conf(&JobConf::new()).unwrap();
+        assert!(!off.is_enabled());
+        let on = ObsHandle::from_conf(
+            &JobConf::new()
+                .with(hdm_common::conf::KEY_OBS_ENABLED, "true")
+                .with(hdm_common::conf::KEY_OBS_SAMPLE_RATE, 8),
+        )
+        .unwrap();
+        assert!(on.is_enabled());
+        assert_eq!(on.stride(), 8);
+        assert!(ObsHandle::from_conf(
+            &JobConf::new().with(hdm_common::conf::KEY_OBS_SAMPLE_RATE, 0)
+        )
+        .is_err());
+    }
+}

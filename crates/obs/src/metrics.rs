@@ -1,0 +1,121 @@
+//! Metric handles vended by the [`ObsHandle`](crate::ObsHandle)
+//! registry.
+//!
+//! Handles are fetched once at task setup (taking the registry lock) and
+//! then updated lock-free from hot paths — a counter `add` is one relaxed
+//! `fetch_add`. Instrumented sites gate every update on
+//! [`ObsHandle::is_enabled`](crate::ObsHandle::is_enabled) so the
+//! disabled path never even touches the handle.
+
+use hdm_common::stats::Histogram;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotone event/byte counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub(crate) fn new(slot: Arc<AtomicU64>) -> Counter {
+        Counter(slot)
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level (queue depth, memory-in-use).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub(crate) fn new(slot: Arc<AtomicI64>) -> Gauge {
+        Gauge(slot)
+    }
+
+    /// Overwrite the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Move the gauge by a signed delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Duration distribution backed by a fixed-width [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct Timer(Arc<Mutex<Histogram>>);
+
+impl Timer {
+    pub(crate) fn new(slot: Arc<Mutex<Histogram>>) -> Timer {
+        Timer(slot)
+    }
+
+    /// Record one observation (typically microseconds).
+    pub fn observe(&self, v: u64) {
+        self.0.lock().record(v);
+    }
+
+    /// Copy of the underlying histogram.
+    pub fn histogram(&self) -> Histogram {
+        self.0.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ObsHandle;
+
+    #[test]
+    fn handles_share_slots_across_clones_and_threads() {
+        let obs = ObsHandle::enabled_with_stride(1);
+        let c = obs.counter("x", "");
+        let g = obs.gauge("y", "");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let g = g.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        c.add(1);
+                        g.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 400);
+        assert_eq!(g.value(), 400);
+        g.set(-5);
+        assert_eq!(g.value(), -5);
+    }
+
+    #[test]
+    fn timer_accumulates_histogram() {
+        let obs = ObsHandle::enabled_with_stride(1);
+        let t = obs.timer("lat.us", "rank=0", crate::KV_HIST_BUCKET);
+        for v in [1, 2, 3, 3] {
+            t.observe(v);
+        }
+        let h = t.histogram();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), Some(3));
+    }
+}

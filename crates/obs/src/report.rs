@@ -1,0 +1,177 @@
+//! Shared report building blocks.
+//!
+//! Before `hdm-obs`, `datampi/src/report.rs` and `mapred/src/report.rs`
+//! each carried their own copy of the collect-side profile (record
+//! count, sampled collect-event sequence, KV-size histogram — the
+//! Figure 2 signals), their own spill tally, and their own
+//! `KV_HIST_BUCKET` constant, while the phase breakdown of Figures 1/10
+//! lived in `hdm-cluster`. This module is the single definition all of
+//! them now share.
+
+use hdm_common::stats::Histogram;
+use std::num::NonZeroU64;
+use std::time::{Duration, Instant};
+
+/// Bucket width (bytes) for key-value wire-size histograms, shared by
+/// both engines so Figure 2(c)/(d) compares like with like.
+pub const KV_HIST_BUCKET: NonZeroU64 = match NonZeroU64::new(2) {
+    Some(w) => w,
+    None => NonZeroU64::MIN, // unreachable: 2 != 0
+};
+
+/// Every Nth collected record logs a `(elapsed, records)` collect event
+/// — the Figure 2(a) time-sequence signal. Shared by both engines.
+pub const COLLECT_SAMPLE_STRIDE: u64 = 64;
+
+/// Default bucket width (µs) for latency timers registered on the
+/// shuffle path (queue-wait, sync-wait).
+pub const TIMER_US_BUCKET: NonZeroU64 = match NonZeroU64::new(64) {
+    Some(w) => w,
+    None => NonZeroU64::MIN, // unreachable: 64 != 0
+};
+
+/// Collect-side profile of one producer task (a DataMPI O task or a
+/// Hadoop map task): what `OContext::send` / `MapContext::collect` see.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectProfile {
+    /// Records collected.
+    pub records: u64,
+    /// Sampled `(elapsed-since-job-start, records-so-far)` sequence,
+    /// one entry per [`COLLECT_SAMPLE_STRIDE`] records.
+    pub collect_events: Vec<(Duration, u64)>,
+    /// Wire-size distribution of the collected key-value pairs.
+    pub kv_sizes: Histogram,
+}
+
+impl CollectProfile {
+    /// An empty profile.
+    pub fn new() -> CollectProfile {
+        CollectProfile {
+            records: 0,
+            collect_events: Vec::new(),
+            kv_sizes: Histogram::with_width(KV_HIST_BUCKET),
+        }
+    }
+
+    /// Account one collected record of `wire_size` bytes. Reads the
+    /// clock only on the sampled (every
+    /// [`COLLECT_SAMPLE_STRIDE`]-th) records, so the per-record cost
+    /// stays a few arithmetic ops.
+    #[inline]
+    pub fn record_kv(&mut self, wire_size: u64, job_start: Instant) {
+        self.records += 1;
+        self.kv_sizes.record(wire_size);
+        if self.records % COLLECT_SAMPLE_STRIDE == 1 {
+            self.collect_events
+                .push((job_start.elapsed(), self.records));
+        }
+    }
+}
+
+impl Default for CollectProfile {
+    fn default() -> CollectProfile {
+        CollectProfile::new()
+    }
+}
+
+/// Spill accounting of one consumer task (a DataMPI A task's receive
+/// cache or a Hadoop map task's sort buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpillStats {
+    /// Number of spill events.
+    pub spills: u64,
+    /// Total bytes spilled.
+    pub spill_bytes: u64,
+}
+
+impl SpillStats {
+    /// Account one spill of `bytes`.
+    #[inline]
+    pub fn record_spill(&mut self, bytes: u64) {
+        self.spills += 1;
+        self.spill_bytes += bytes;
+    }
+}
+
+/// The paper's Figure 1 / Figure 10 decomposition of one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Submission → first task running (job init + launch latency).
+    pub startup: f64,
+    /// The Map-Shuffle phase: first map/O start → all intermediate data
+    /// available reduce-side (copy phase in Hadoop, O phase in DataMPI).
+    pub map_shuffle: f64,
+    /// Everything after: merge, reduce, output ("others").
+    pub others: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total job time.
+    pub fn total(&self) -> f64 {
+        self.startup + self.map_shuffle + self.others
+    }
+
+    /// `(startup, map_shuffle, others)` as fractions of the total — the
+    /// Figure 1 "MS share" form. All zeros for an empty breakdown.
+    pub fn shares(&self) -> (f64, f64, f64) {
+        let total = self.total();
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.startup / total,
+            self.map_shuffle / total,
+            self.others / total,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_profile_samples_on_stride() {
+        let start = Instant::now();
+        let mut p = CollectProfile::new();
+        for _ in 0..(2 * COLLECT_SAMPLE_STRIDE) {
+            p.record_kv(32, start);
+        }
+        assert_eq!(p.records, 2 * COLLECT_SAMPLE_STRIDE);
+        // Records 1 and 65 are sampled.
+        assert_eq!(p.collect_events.len(), 2);
+        assert_eq!(p.collect_events[0].1, 1);
+        assert_eq!(p.collect_events[1].1, COLLECT_SAMPLE_STRIDE + 1);
+        assert_eq!(p.kv_sizes.count(), 2 * COLLECT_SAMPLE_STRIDE);
+        assert_eq!(p.kv_sizes.mode_bucket(), Some(32));
+    }
+
+    #[test]
+    fn spill_stats_accumulate() {
+        let mut s = SpillStats::default();
+        s.record_spill(100);
+        s.record_spill(50);
+        assert_eq!(s.spills, 2);
+        assert_eq!(s.spill_bytes, 150);
+    }
+
+    #[test]
+    fn breakdown_total_and_shares() {
+        let b = PhaseBreakdown {
+            startup: 1.0,
+            map_shuffle: 5.0,
+            others: 2.0,
+        };
+        assert!((b.total() - 8.0).abs() < 1e-12);
+        let (s, ms, o) = b.shares();
+        assert!((s - 0.125).abs() < 1e-12);
+        assert!((ms - 0.625).abs() < 1e-12);
+        assert!((o - 0.25).abs() < 1e-12);
+        let zero = PhaseBreakdown {
+            startup: 0.0,
+            map_shuffle: 0.0,
+            others: 0.0,
+        };
+        assert_eq!(zero.shares(), (0.0, 0.0, 0.0));
+    }
+}

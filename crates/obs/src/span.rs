@@ -1,0 +1,104 @@
+//! Hierarchical span events and the RAII guard that records them.
+//!
+//! A span is one horizontal bar in the Chrome trace: it lives on a
+//! *track* (one trace row — a task rank like `O3`, or a subsystem like
+//! `driver`), carries a *category* (`job`, `phase`, `task`, `operator`),
+//! and covers `[start_us, start_us + dur_us)` relative to the owning
+//! [`ObsHandle`](crate::ObsHandle)'s epoch. Nesting is positional, as in
+//! Chrome's trace viewer: a span whose interval is contained in another
+//! span on the same track renders (and means) "child of".
+
+use crate::ObsHandle;
+use std::time::Instant;
+
+/// One completed span, ready for export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Trace row this span belongs to.
+    pub track: String,
+    /// Hierarchy level: `job`, `phase`, `task`, or `operator`.
+    pub cat: &'static str,
+    /// Human-readable span name.
+    pub name: String,
+    /// Start, microseconds since the handle's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    obs: ObsHandle,
+    track: String,
+    cat: &'static str,
+    name: String,
+    start: Instant,
+}
+
+/// RAII guard returned by [`ObsHandle::span`]: records the span when
+/// dropped. Inert (free beyond the construction check) when the handle
+/// is disabled.
+#[derive(Debug)]
+#[must_use = "a span covers the guard's lifetime; dropping it immediately records an empty span"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    pub(crate) fn inert() -> SpanGuard {
+        SpanGuard(None)
+    }
+
+    pub(crate) fn active(
+        obs: ObsHandle,
+        track: String,
+        cat: &'static str,
+        name: String,
+    ) -> SpanGuard {
+        SpanGuard(Some(ActiveSpan {
+            obs,
+            track,
+            cat,
+            name,
+            start: Instant::now(),
+        }))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            let start_us = active.obs.micros_since_epoch(active.start);
+            let dur_us = active.start.elapsed().as_micros() as u64;
+            active.obs.push_span(SpanEvent {
+                track: active.track,
+                cat: active.cat,
+                name: active.name,
+                start_us,
+                dur_us,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop_with_monotone_interval() {
+        let obs = ObsHandle::enabled_with_stride(1);
+        {
+            let _outer = obs.span("T", "task", "outer");
+            let _inner = obs.span("T", "operator", "inner");
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        // Guards drop inner-first, so "inner" is recorded before "outer"
+        // and its interval is contained in the outer one.
+        let inner = &snap.spans[0];
+        let outer = &snap.spans[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us);
+    }
+}

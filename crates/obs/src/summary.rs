@@ -1,0 +1,122 @@
+//! Deterministic plaintext summary export.
+//!
+//! A human-readable rollup of one snapshot, written next to the Chrome
+//! trace. The layout uses only recorded values (never the wall clock)
+//! and sorts every section, so two snapshots with identical contents
+//! render to identical bytes — CI diffs the output directly.
+
+use crate::ObsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render a snapshot as plaintext.
+pub fn render(snap: &ObsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== hdm-obs summary ==");
+
+    // Spans rolled up per (track, cat, name).
+    let mut rollup: BTreeMap<(&str, &str, &str), (u64, u64, u64)> = BTreeMap::new();
+    for s in &snap.spans {
+        let slot = rollup
+            .entry((s.track.as_str(), s.cat, s.name.as_str()))
+            .or_insert((0, 0, 0));
+        slot.0 += 1;
+        slot.1 += s.dur_us;
+        slot.2 = slot.2.max(s.dur_us);
+    }
+    let _ = writeln!(
+        out,
+        "spans: {} recorded, {} dropped",
+        snap.spans.len(),
+        snap.dropped_spans
+    );
+    for ((track, cat, name), (count, total_us, max_us)) in &rollup {
+        let _ = writeln!(
+            out,
+            "  {track} {cat} {name}: n={count} total_us={total_us} max_us={max_us}"
+        );
+    }
+
+    let _ = writeln!(out, "counters: {}", snap.counters.len());
+    for (name, labels, value) in &snap.counters {
+        let _ = writeln!(out, "  {name}{{{labels}}} = {value}");
+    }
+
+    let _ = writeln!(out, "gauges: {}", snap.gauges.len());
+    for (name, labels, value) in &snap.gauges {
+        let _ = writeln!(out, "  {name}{{{labels}}} = {value}");
+    }
+
+    let _ = writeln!(out, "timers: {}", snap.timers.len());
+    for (name, labels, hist) in &snap.timers {
+        let _ = writeln!(
+            out,
+            "  {name}{{{labels}}}: n={} min={} max={} mode_bucket={}",
+            hist.count(),
+            hist.min()
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
+            hist.max()
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
+            hist.mode_bucket()
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
+        );
+    }
+
+    // Samples rolled up per (track, name).
+    let mut probes: BTreeMap<(&str, &str), (u64, u64, u64)> = BTreeMap::new();
+    for s in &snap.samples {
+        let slot = probes
+            .entry((s.track.as_str(), s.name.as_str()))
+            .or_insert((0, 0, 0));
+        slot.0 += 1;
+        slot.1 = slot.1.max(s.value);
+        slot.2 = s.value; // recording order: ends at the last sample
+    }
+    let _ = writeln!(
+        out,
+        "samples: {} recorded, {} dropped",
+        snap.samples.len(),
+        snap.dropped_samples
+    );
+    for ((track, name), (count, max, last)) in &probes {
+        let _ = writeln!(out, "  {track} {name}: n={count} max={max} last={last}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsHandle;
+
+    fn populated() -> ObsHandle {
+        let obs = ObsHandle::enabled_with_stride(1);
+        obs.record_span_at("driver", "job", "q", 0, 80);
+        obs.record_span_at("O0", "task", "o-task", 2, 40);
+        obs.record_span_at("O0", "task", "o-task", 50, 20);
+        obs.counter("spl.flushes", "rank=0").add(3);
+        obs.gauge("mem.in.use", "").set(1024);
+        obs.timer("wait.us", "", crate::KV_HIST_BUCKET).observe(6);
+        obs.sample_at("O0", "bytes", 5, 100);
+        obs.sample_at("O0", "bytes", 9, 50);
+        obs
+    }
+
+    #[test]
+    fn summary_rolls_up_and_sorts() {
+        let text = render(&populated().snapshot());
+        assert!(text.contains("spans: 3 recorded, 0 dropped"));
+        assert!(text.contains("O0 task o-task: n=2 total_us=60 max_us=40"));
+        assert!(text.contains("spl.flushes{rank=0} = 3"));
+        assert!(text.contains("mem.in.use{} = 1024"));
+        assert!(text.contains("wait.us{}: n=1 min=6 max=6 mode_bucket=6"));
+        assert!(text.contains("O0 bytes: n=2 max=100 last=50"));
+    }
+
+    #[test]
+    fn identical_snapshots_render_identical_bytes() {
+        let a = render(&populated().snapshot());
+        let b = render(&populated().snapshot());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,116 @@
+//! Exporter guarantees: schema-valid Chrome traces, byte-deterministic
+//! summaries, and balanced span nesting under concurrent O/A tasks.
+
+use hdm_obs::{chrome, json::JsonValue, summary, ObsHandle, SpanEvent};
+
+/// Replay the same deterministic workload into a fresh handle.
+fn replay() -> ObsHandle {
+    let obs = ObsHandle::enabled_with_stride(4);
+    obs.record_span_at("driver", "job", "query-1", 0, 10_000);
+    for rank in 0..3u64 {
+        let track = format!("O{rank}");
+        obs.record_span_at(&track, "task", "o-task", 100 + rank, 8_000);
+        obs.record_span_at(&track, "operator", "open", 150 + rank, 200);
+        obs.record_span_at(&track, "operator", "process", 400 + rank, 7_000);
+        obs.record_span_at(&track, "operator", "close", 7_500 + rank, 300);
+        obs.sample_at(&track, "bytes_sent", 500 + rank, 4096 * (rank + 1));
+        obs.counter("spl.flushes", &format!("rank={rank}"))
+            .add(rank + 1);
+    }
+    obs.gauge("mem.in.use", "rank=0").set(1 << 20);
+    obs.timer("queue.wait.us", "rank=0", hdm_obs::KV_HIST_BUCKET)
+        .observe(12);
+    obs
+}
+
+#[test]
+fn chrome_trace_validates_against_schema() {
+    let trace = chrome::export(&replay().snapshot());
+    let n = chrome::validate_chrome_trace(&trace).expect("schema-valid trace");
+    // 4 tracks (driver + O0..O2) + 13 spans + 3 counter samples.
+    assert_eq!(n, 20);
+
+    // Cross-check the structure the validator summarizes: every event's
+    // tid maps to a declared thread_name metadata row.
+    let doc = hdm_obs::json::parse(&trace).unwrap();
+    let events = doc.get("traceEvents").and_then(JsonValue::as_arr).unwrap();
+    let declared: Vec<f64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("M"))
+        .filter_map(|e| e.get("tid").and_then(JsonValue::as_f64))
+        .collect();
+    for ev in events {
+        let tid = ev.get("tid").and_then(JsonValue::as_f64).unwrap();
+        assert!(declared.contains(&tid), "undeclared tid {tid}");
+    }
+}
+
+#[test]
+fn exports_are_byte_deterministic_across_identical_runs() {
+    let (a, b) = (replay().snapshot(), replay().snapshot());
+    assert_eq!(summary::render(&a), summary::render(&b));
+    assert_eq!(chrome::export(&a), chrome::export(&b));
+}
+
+/// On one track, spans recorded by nested guards must form a balanced
+/// hierarchy: sorted by (start, longest-first), every span either
+/// contains the next one or ends before it starts — no partial overlap.
+fn assert_balanced(track: &str, mut spans: Vec<&SpanEvent>) {
+    spans.sort_by_key(|s| (s.start_us, std::cmp::Reverse(s.dur_us)));
+    let mut stack: Vec<(u64, u64)> = Vec::new(); // (start, end)
+    for s in &spans {
+        let (start, end) = (s.start_us, s.start_us + s.dur_us);
+        while let Some(&(_, top_end)) = stack.last() {
+            if start >= top_end {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(top_start, top_end)) = stack.last() {
+            assert!(
+                start >= top_start && end <= top_end,
+                "span {}..{} on {track} partially overlaps enclosing {}..{}",
+                start,
+                end,
+                top_start,
+                top_end
+            );
+        }
+        stack.push((start, end));
+    }
+}
+
+#[test]
+fn span_nesting_is_balanced_under_concurrent_o_and_a_tasks() {
+    let obs = ObsHandle::enabled_with_stride(1);
+    std::thread::scope(|s| {
+        for rank in 0..4u64 {
+            let obs = obs.clone();
+            let track = if rank % 2 == 0 {
+                format!("O{}", rank / 2)
+            } else {
+                format!("A{}", rank / 2)
+            };
+            s.spawn(move || {
+                let _task = obs.span(&track, "task", "task");
+                for op in 0..8 {
+                    let _outer = obs.span(&track, "operator", &format!("op{op}"));
+                    let _inner = obs.span(&track, "operator", "step");
+                    std::hint::black_box(op);
+                }
+            });
+        }
+    });
+    let snap = obs.snapshot();
+    assert_eq!(snap.dropped_spans, 0);
+    // 4 tasks × (1 task span + 16 operator spans).
+    assert_eq!(snap.spans.len(), 4 * 17);
+    for track in ["O0", "O1", "A0", "A1"] {
+        let spans: Vec<&SpanEvent> = snap.spans.iter().filter(|s| s.track == track).collect();
+        assert_eq!(spans.len(), 17, "track {track}");
+        assert_balanced(track, spans);
+    }
+    // The concurrent trace still exports to schema-valid JSON.
+    chrome::validate_chrome_trace(&chrome::export(&snap)).unwrap();
+}

@@ -68,6 +68,7 @@ fn run_hadoop(per_task: &[Records], reduce_tasks: usize) -> BTreeMap<u8, Vec<u8>
         reduce_tasks,
         sort_buffer_bytes: 64, // force spills
         concurrency: 4,
+        ..Default::default()
     };
     let data: Arc<Vec<Records>> = Arc::new(per_task.to_vec());
     let outcome = run_mapreduce(
