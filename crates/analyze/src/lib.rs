@@ -117,6 +117,7 @@ pub fn scope_for(rel: &str) -> FileScope {
     FileScope {
         hot_path: in_dir("crates/datampi/src/")
             || in_dir("crates/mpisim/src/")
+            || in_dir("crates/faults/src/")
             || in_dir("crates/mapred/src/")
             || in_dir("crates/obs/src/")
             || rel.ends_with("crates/core/src/engine.rs")
@@ -418,6 +419,11 @@ pub fn f(v: &[u8]) -> u8 {
             .iter()
             .any(|d| d.rule == rules::no_panic::ID));
         assert!(check_source("crates/obs/src/metrics.rs", src)
+            .iter()
+            .any(|d| d.rule == rules::no_panic::ID));
+        // Fault-plan decisions run inside send/recv loops and recovery
+        // supervisors — a panic there defeats the recovery machinery.
+        assert!(check_source("crates/faults/src/lib.rs", src)
             .iter()
             .any(|d| d.rule == rules::no_panic::ID));
         assert!(check_source("crates/workloads/src/zipf.rs", src).is_empty());

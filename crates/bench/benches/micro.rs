@@ -366,6 +366,36 @@ fn bench_obs_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cost of the fault-injection layer on the send hot path: the per-send
+/// drop/delay decisions with the plan disabled (one relaxed atomic load
+/// per decision site, the production default) and enabled (seeded
+/// permille draws).
+fn bench_ft_overhead(c: &mut Criterion) {
+    use hdm_faults::{FaultPlan, Site};
+    let mut g = c.benchmark_group("ft_overhead");
+    g.throughput(Throughput::Elements(1000));
+    for (arm, plan) in [
+        ("disabled", FaultPlan::disabled()),
+        ("enabled", FaultPlan::with_seed(7)),
+    ] {
+        g.bench_function(format!("send_path_1k_decisions_{arm}"), |b| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                for seq in 0..1000u64 {
+                    if plan.should_drop(Site::MpiSend, 3, seq) {
+                        hits += 1;
+                    }
+                    if plan.send_delay(Site::MpiSend, 3, seq).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_expr_eval(c: &mut Criterion) {
     use hdm_core::parser::parse_statement;
     let stmt = parse_statement("SELECT a FROM t WHERE a * 2 + 1 > 10 AND b LIKE 'customer%'")
@@ -405,6 +435,7 @@ criterion_group!(
     bench_payload_decode,
     bench_spl_cycle,
     bench_obs_overhead,
+    bench_ft_overhead,
     bench_expr_eval
 );
 criterion_main!(benches);

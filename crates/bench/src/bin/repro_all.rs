@@ -7,8 +7,18 @@
 //! runs just the Figure 1 breakdown (the CI smoke path). Every selected
 //! experiment runs even if an earlier one fails; the exit code is
 //! nonzero iff any failed.
+//!
+//! `--faults <seed>` (repeatable) switches to the chaos smoke instead
+//! of the experiment list: for each seed, all 22 TPC-H queries run once
+//! fault-free and once with `hive.ft.*` armed on that seed, and the
+//! normalized result sets must match. Exit code is nonzero iff any
+//! query errors out or diverges.
 
 use std::process::Command;
+
+use hdm_core::{Driver, EngineKind};
+use hdm_storage::FormatKind;
+use hdm_workloads::tpch;
 
 const BINS: [&str; 14] = [
     "table01_datasets",
@@ -27,8 +37,77 @@ const BINS: [&str; 14] = [
     "future_dag",
 ];
 
+/// Sorted-line comparison with float canonicalization (same convention
+/// as the end-to-end suites): summation order differs across retried
+/// attempts and engines, so float cells can differ in last ulps.
+fn normalize(mut lines: Vec<String>) -> Vec<String> {
+    for line in &mut lines {
+        let fields: Vec<String> = line
+            .split('\t')
+            .map(|f| {
+                if f.contains('.') {
+                    match f.parse::<f64>() {
+                        Ok(x) => format!("{x:.5e}"),
+                        Err(_) => f.to_string(),
+                    }
+                } else {
+                    f.to_string()
+                }
+            })
+            .collect();
+        *line = fields.join("\t");
+    }
+    lines.sort();
+    lines
+}
+
+/// Chaos smoke: every TPC-H query under every given fault seed must
+/// match its fault-free result set. Returns the number of failures.
+fn chaos_smoke(seeds: &[u64]) -> usize {
+    let mut d = Driver::in_memory();
+    if let Err(e) = tpch::load(&mut d, 0.002, 20150701, FormatKind::Text) {
+        eprintln!("tpch load failed: {e}");
+        return 1;
+    }
+    let mut failures = 0usize;
+    for &seed in seeds {
+        println!("\n######## chaos smoke, fault seed {seed} ########");
+        for n in tpch::queries::all() {
+            d.conf_mut().set(hdm_common::conf::KEY_FT_ENABLED, false);
+            let clean = match d.execute_on(tpch::queries::query(n), EngineKind::DataMpi) {
+                Ok(r) => normalize(r.to_lines()),
+                Err(e) => {
+                    eprintln!("Q{n} FAILED fault-free: {e}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            let c = d.conf_mut();
+            c.set(hdm_common::conf::KEY_FT_ENABLED, true);
+            c.set(hdm_common::conf::KEY_FT_SEED, seed);
+            c.set(hdm_common::conf::KEY_FT_BACKOFF_BASE_MS, 1);
+            c.set(hdm_common::conf::KEY_FT_RECV_TIMEOUT_MS, 400);
+            match d.execute_on(tpch::queries::query(n), EngineKind::DataMpi) {
+                Ok(r) if normalize(r.to_lines()) == clean => {
+                    println!("Q{n:02}: ok ({} rows)", clean.len());
+                }
+                Ok(_) => {
+                    eprintln!("Q{n} DIVERGED under fault seed {seed}");
+                    failures += 1;
+                }
+                Err(e) => {
+                    eprintln!("Q{n} FAILED under fault seed {seed}: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    failures
+}
+
 fn main() {
     let mut only: Vec<String> = Vec::new();
+    let mut fault_seeds: Vec<u64> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -39,8 +118,15 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--faults" => match args.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(seed)) => fault_seeds.push(seed),
+                _ => {
+                    eprintln!("--faults requires a u64 seed (e.g. --faults 42)");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: repro_all [--only <substr>]...");
+                println!("usage: repro_all [--only <substr>]... [--faults <seed>]...");
                 return;
             }
             other => {
@@ -48,6 +134,19 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if !fault_seeds.is_empty() {
+        let failures = chaos_smoke(&fault_seeds);
+        if failures == 0 {
+            println!(
+                "\nchaos smoke passed: 22 queries x {} seed(s), all correct",
+                fault_seeds.len()
+            );
+        } else {
+            eprintln!("\nchaos smoke: {failures} FAILURE(S)");
+            std::process::exit(1);
+        }
+        return;
     }
     let selected: Vec<&str> = BINS
         .iter()

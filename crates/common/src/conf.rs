@@ -58,6 +58,28 @@ pub const KEY_OBS_SAMPLE_RATE: &str = "hive.obs.sample.rate";
 /// sidecar) after a query runs with [`KEY_OBS_ENABLED`]. Unset: no file
 /// is written even when tracing is on.
 pub const KEY_OBS_TRACE_PATH: &str = "hive.obs.trace.path";
+/// Whether the `hdm-faults` fault-injection/recovery subsystem is active.
+/// Default false: every injection site reduces to one relaxed atomic load.
+pub const KEY_FT_ENABLED: &str = "hive.ft.enabled";
+/// Seed for the deterministic fault plan. The same seed over the same
+/// query replays byte-identical fault decisions. Default 0.
+pub const KEY_FT_SEED: &str = "hive.ft.seed";
+/// Maximum attempts per O/A (or map/reduce) task before the job is
+/// declared failed and the driver falls back. Default 4 — one more than
+/// the plan's injection-suppression horizon, so task-level recovery
+/// always converges at the default.
+pub const KEY_FT_MAX_ATTEMPTS: &str = "hive.ft.max.attempts";
+/// Base of the bounded exponential backoff between task attempts, in
+/// milliseconds (`base * 2^attempt`, capped). Default 10.
+pub const KEY_FT_BACKOFF_BASE_MS: &str = "hive.ft.backoff.base.ms";
+/// Receive/wait deadline in milliseconds once fault tolerance is on; a
+/// blocked `recv` returns [`HdmError::Timeout`] instead of hanging on a
+/// crashed peer. Default 2000.
+pub const KEY_FT_RECV_TIMEOUT_MS: &str = "hive.ft.recv.timeout.ms";
+/// Engine the driver re-runs a query on after `hive.ft.max.attempts` is
+/// exhausted (`mapreduce`, `datampi`, or `none` to disable the fallback).
+/// Default `mapreduce`, mirroring the paper's engine-plug-in seam.
+pub const KEY_FT_FALLBACK_ENGINE: &str = "hive.ft.fallback.engine";
 
 /// The parallelism strategy of Section IV-D.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -224,6 +246,87 @@ impl JobConf {
         Ok(v as u64)
     }
 
+    /// Whether fault injection + recovery is on. Default false.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not a bool.
+    pub fn ft_enabled(&self) -> Result<bool> {
+        self.get_bool(KEY_FT_ENABLED, false)
+    }
+
+    /// The deterministic fault-plan seed. Default **0**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer.
+    pub fn ft_seed(&self) -> Result<u64> {
+        Ok(self.get_i64(KEY_FT_SEED, 0)? as u64)
+    }
+
+    /// Maximum attempts per task. Default **4**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer
+    /// or is less than 1 (every task needs at least one attempt).
+    pub fn ft_max_attempts(&self) -> Result<u32> {
+        let v = self.get_i64(KEY_FT_MAX_ATTEMPTS, 4)?;
+        if v < 1 {
+            return Err(HdmError::Config(format!(
+                "{KEY_FT_MAX_ATTEMPTS}: expected an attempt count >= 1, got {v}"
+            )));
+        }
+        Ok(v as u32)
+    }
+
+    /// Backoff base in milliseconds. Default **10**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer
+    /// or is negative.
+    pub fn ft_backoff_base_ms(&self) -> Result<u64> {
+        let v = self.get_i64(KEY_FT_BACKOFF_BASE_MS, 10)?;
+        if v < 0 {
+            return Err(HdmError::Config(format!(
+                "{KEY_FT_BACKOFF_BASE_MS}: expected a delay >= 0 ms, got {v}"
+            )));
+        }
+        Ok(v as u64)
+    }
+
+    /// Receive deadline in milliseconds under fault tolerance. Default
+    /// **2000**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer
+    /// or is not strictly positive (a zero deadline would time out every
+    /// receive before the peer can run).
+    pub fn ft_recv_timeout_ms(&self) -> Result<u64> {
+        let v = self.get_i64(KEY_FT_RECV_TIMEOUT_MS, 2000)?;
+        if v <= 0 {
+            return Err(HdmError::Config(format!(
+                "{KEY_FT_RECV_TIMEOUT_MS}: expected a timeout > 0 ms, got {v}"
+            )));
+        }
+        Ok(v as u64)
+    }
+
+    /// The fallback engine name, lower-cased and validated. Default
+    /// `mapreduce`.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] for values other than
+    /// `mapreduce`/`hadoop`/`datampi`/`none`.
+    pub fn ft_fallback_engine(&self) -> Result<String> {
+        let v = self
+            .get_str(KEY_FT_FALLBACK_ENGINE, "mapreduce")
+            .to_ascii_lowercase();
+        match v.as_str() {
+            "mapreduce" | "hadoop" | "datampi" | "none" => Ok(v),
+            other => Err(HdmError::Config(format!(
+                "{KEY_FT_FALLBACK_ENGINE}: expected mapreduce|hadoop|datampi|none, got {other:?}"
+            ))),
+        }
+    }
+
     /// Iterate over all `(key, value)` entries in sorted key order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
         self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
@@ -333,6 +436,57 @@ mod tests {
         assert!(c.obs_sample_stride().is_err());
         let c = JobConf::new().with(KEY_OBS_SAMPLE_RATE, 8);
         assert_eq!(c.obs_sample_stride().unwrap(), 8);
+    }
+
+    #[test]
+    fn ft_knobs_default_off_and_validate() {
+        let c = JobConf::new();
+        assert!(!c.ft_enabled().unwrap());
+        assert_eq!(c.ft_seed().unwrap(), 0);
+        assert_eq!(c.ft_max_attempts().unwrap(), 4);
+        assert_eq!(c.ft_backoff_base_ms().unwrap(), 10);
+        assert_eq!(c.ft_recv_timeout_ms().unwrap(), 2000);
+        assert_eq!(c.ft_fallback_engine().unwrap(), "mapreduce");
+
+        let c = JobConf::new()
+            .with(KEY_FT_ENABLED, "true")
+            .with(KEY_FT_SEED, 42)
+            .with(KEY_FT_MAX_ATTEMPTS, 2)
+            .with(KEY_FT_BACKOFF_BASE_MS, 5)
+            .with(KEY_FT_RECV_TIMEOUT_MS, 250)
+            .with(KEY_FT_FALLBACK_ENGINE, "DataMPI");
+        assert!(c.ft_enabled().unwrap());
+        assert_eq!(c.ft_seed().unwrap(), 42);
+        assert_eq!(c.ft_max_attempts().unwrap(), 2);
+        assert_eq!(c.ft_backoff_base_ms().unwrap(), 5);
+        assert_eq!(c.ft_recv_timeout_ms().unwrap(), 250);
+        assert_eq!(c.ft_fallback_engine().unwrap(), "datampi");
+    }
+
+    #[test]
+    fn ft_knobs_out_of_range_are_errors() {
+        let c = JobConf::new().with(KEY_FT_MAX_ATTEMPTS, 0);
+        assert!(c.ft_max_attempts().unwrap_err().message().contains(">= 1"));
+        let c = JobConf::new().with(KEY_FT_MAX_ATTEMPTS, "many");
+        assert!(c.ft_max_attempts().is_err());
+
+        let c = JobConf::new().with(KEY_FT_RECV_TIMEOUT_MS, 0);
+        assert!(c
+            .ft_recv_timeout_ms()
+            .unwrap_err()
+            .message()
+            .contains("> 0"));
+        let c = JobConf::new().with(KEY_FT_RECV_TIMEOUT_MS, -5);
+        assert!(c.ft_recv_timeout_ms().is_err());
+
+        let c = JobConf::new().with(KEY_FT_BACKOFF_BASE_MS, -1);
+        assert!(c.ft_backoff_base_ms().is_err());
+
+        let c = JobConf::new().with(KEY_FT_FALLBACK_ENGINE, "spark");
+        let err = c.ft_fallback_engine().unwrap_err();
+        assert!(err.message().contains("mapreduce|hadoop|datampi|none"));
+        let c = JobConf::new().with(KEY_FT_ENABLED, "maybe");
+        assert!(c.ft_enabled().is_err());
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub enum HdmError {
     Config(String),
     /// Codec/serialization failure.
     Codec(String),
+    /// A peer rank crashed (or was fault-injected to crash): its endpoint
+    /// is poisoned and every pending exchange with it fails fast.
+    RankFailed(String),
+    /// A bounded wait expired: a `recv`/`wait` with a deadline saw no
+    /// matching message before `hive.ft.recv.timeout.ms` elapsed.
+    Timeout(String),
     /// Anything else.
     Other(String),
 }
@@ -51,6 +57,8 @@ impl HdmError {
             HdmError::MapRed(_) => "mapred",
             HdmError::Config(_) => "config",
             HdmError::Codec(_) => "codec",
+            HdmError::RankFailed(_) => "rank-failed",
+            HdmError::Timeout(_) => "timeout",
             HdmError::Other(_) => "other",
         }
     }
@@ -68,6 +76,8 @@ impl HdmError {
             | HdmError::MapRed(m)
             | HdmError::Config(m)
             | HdmError::Codec(m)
+            | HdmError::RankFailed(m)
+            | HdmError::Timeout(m)
             | HdmError::Other(m) => m,
         }
     }
@@ -110,6 +120,8 @@ mod tests {
             HdmError::MapRed(String::new()),
             HdmError::Config(String::new()),
             HdmError::Codec(String::new()),
+            HdmError::RankFailed(String::new()),
+            HdmError::Timeout(String::new()),
             HdmError::Other(String::new()),
         ];
         let mut tags: Vec<_> = all.iter().map(|e| e.subsystem()).collect();

@@ -49,6 +49,7 @@ pub struct Driver {
     conf: JobConf,
     engine: EngineKind,
     next_query_id: u64,
+    last_obs: Option<hdm_obs::ObsSnapshot>,
 }
 
 impl Driver {
@@ -60,6 +61,7 @@ impl Driver {
             conf: JobConf::new(),
             engine: EngineKind::Hadoop,
             next_query_id: 1,
+            last_obs: None,
         }
     }
 
@@ -102,6 +104,13 @@ impl Driver {
     /// The current default engine.
     pub fn engine(&self) -> EngineKind {
         self.engine
+    }
+
+    /// The observability snapshot of the most recent query that ran with
+    /// `hive.obs.enabled` — fault-tolerance counters (`ft.*`) included.
+    /// `None` until an instrumented query has run.
+    pub fn last_obs_snapshot(&self) -> Option<&hdm_obs::ObsSnapshot> {
+        self.last_obs.as_ref()
     }
 
     /// Execute a script (one or more `;`-separated statements) on the
@@ -276,6 +285,55 @@ impl Driver {
         // into it. Disabled (the default) it is a no-op sink.
         let obs = hdm_obs::ObsHandle::from_conf(&self.conf)?;
         self.dfs.attach_obs(&obs);
+        // One fault plan per query (`hive.ft.*`), shared with the DFS so
+        // storage reads see the same seeded schedule as the engines.
+        let faults = hdm_faults::FaultPlan::from_conf(&self.conf, &obs)?;
+        self.dfs.attach_faults(&faults);
+        let run = match self.run_plan_stages(plan, engine, query_id, &obs) {
+            Ok(results) => Ok(results),
+            // Task-level recovery inside the engine is exhausted. With
+            // fault tolerance on, the driver re-runs the whole query
+            // plan on the configured fallback engine (DataMPI jobs that
+            // cannot recover fall back to the stock MapReduce path)
+            // instead of aborting the job.
+            Err(err) => match self
+                .fallback_engine(engine)?
+                .filter(|_| faults.is_enabled())
+            {
+                None => Err(err),
+                Some(fb) => {
+                    faults.note_fallback(engine.name(), fb.name());
+                    self.cleanup_partial_outputs(plan, query_id);
+                    let _fb_span = obs.span("driver", "recovery", "engine-fallback");
+                    self.run_plan_stages(plan, fb, query_id, &obs)
+                }
+            },
+        };
+        // Disarm DFS fault injection before surfacing the outcome.
+        self.dfs.attach_faults(&hdm_faults::FaultPlan::disabled());
+        let results = run?;
+        // Clean intermediate temp files (keep the final output).
+        for stage in &plan.stages {
+            if stage.output == StageOutput::Intermediate {
+                self.dfs
+                    .delete_prefix(&format!("/tmp/q{query_id}/stage{}/", stage.id));
+            }
+        }
+        if obs.is_enabled() {
+            self.last_obs = Some(obs.snapshot());
+        }
+        self.export_obs(&obs)?;
+        Ok(results)
+    }
+
+    /// Run every stage of a plan on one engine, threading intermediates.
+    fn run_plan_stages(
+        &self,
+        plan: &crate::physical::QueryPlan,
+        engine: EngineKind,
+        query_id: u64,
+        obs: &hdm_obs::ObsHandle,
+    ) -> Result<Vec<StageResult>> {
         let mut intermediates: HashMap<usize, Vec<String>> = HashMap::new();
         let mut dag_intermediates: HashMap<usize, std::sync::Arc<Vec<Row>>> = HashMap::new();
         let mut results = Vec::new();
@@ -299,15 +357,32 @@ impl Driver {
             }
             results.push(result);
         }
-        // Clean intermediate temp files (keep the final output).
+        Ok(results)
+    }
+
+    /// The engine a failed fault-tolerant query falls back to, from
+    /// `hive.ft.fallback.engine`. `None` when fallback is off ("none")
+    /// or would land on the engine that already failed.
+    fn fallback_engine(&self, current: EngineKind) -> Result<Option<EngineKind>> {
+        let fb = match self.conf.ft_fallback_engine()?.as_str() {
+            "mapreduce" | "hadoop" => Some(EngineKind::Hadoop),
+            "datampi" => Some(EngineKind::DataMpi),
+            _ => None, // "none"
+        };
+        Ok(fb.filter(|f| *f != current))
+    }
+
+    /// Delete everything a failed plan run may have written, so the
+    /// fallback re-run can recreate the same paths (`Dfs::create`
+    /// refuses to overwrite).
+    fn cleanup_partial_outputs(&self, plan: &crate::physical::QueryPlan, query_id: u64) {
+        self.dfs.delete_prefix(&format!("/tmp/q{query_id}/"));
         for stage in &plan.stages {
-            if stage.output == StageOutput::Intermediate {
+            if let StageOutput::Table { name, .. } = &stage.output {
                 self.dfs
-                    .delete_prefix(&format!("/tmp/q{query_id}/stage{}/", stage.id));
+                    .delete_prefix(&self.metastore.storage.table_dir(name));
             }
         }
-        self.export_obs(&obs)?;
-        Ok(results)
     }
 
     /// If tracing is on and `hive.obs.trace.path` is set, write the
@@ -590,6 +665,75 @@ mod tests {
         );
         // File mode, by contrast, pays the intermediate round trip.
         assert!(file_mode.stages[1].volumes.total_input_bytes() > 0);
+    }
+
+    #[test]
+    fn exhausted_attempts_fall_back_to_mapreduce_engine() {
+        use hdm_common::conf as keys;
+        use hdm_faults::{FaultPlan, Site};
+
+        let mut d = Driver::in_memory();
+        d.execute("CREATE TABLE big (k BIGINT, v DOUBLE)").unwrap();
+        let rows: Vec<Row> = (0..7000)
+            .map(|i| Row::from(vec![Value::Long(i % 10), Value::Double(i as f64)]))
+            .collect();
+        d.load_rows("big", &rows).unwrap();
+        // Combiner off: every input row becomes one O-task send, so a
+        // crash countdown (< 512) is guaranteed to fire inside a task.
+        d.conf_mut().set(keys::KEY_COMBINER, false);
+        let sql = "SELECT k, COUNT(*) AS n, SUM(v) AS s FROM big GROUP BY k ORDER BY k";
+        let baseline = d.execute_on(sql, EngineKind::DataMpi).unwrap();
+        let records: Vec<u64> = baseline.stages[0]
+            .volumes
+            .maps
+            .iter()
+            .map(|m| m.records)
+            .collect();
+
+        d.conf_mut().set(keys::KEY_OBS_ENABLED, true);
+        d.conf_mut().set(keys::KEY_FT_ENABLED, true);
+        // One attempt: the first injected crash exhausts task recovery,
+        // forcing the driver-level engine fallback (default: mapreduce).
+        d.conf_mut().set(keys::KEY_FT_MAX_ATTEMPTS, 1);
+
+        // Seeds whose schedule certainly crashes some O task mid-stream.
+        let candidates: Vec<u64> = (0..4096u64)
+            .filter(|&seed| {
+                let probe = FaultPlan::with_seed(seed);
+                records.iter().enumerate().any(|(rank, &n)| {
+                    probe
+                        .crash_after(Site::OTask, rank, 0)
+                        .is_some_and(|c| c < n)
+                })
+            })
+            .take(8)
+            .collect();
+        assert!(!candidates.is_empty(), "no crashing seed in search range");
+
+        let mut fell_back = false;
+        for seed in candidates {
+            d.conf_mut().set(keys::KEY_FT_SEED, seed);
+            // The same seed may also fault the fallback run (map-side
+            // crash, flaky storage); any such seed surfaces as an error
+            // and the next candidate is tried.
+            let Ok(r) = d.execute_on(sql, EngineKind::DataMpi) else {
+                continue;
+            };
+            assert_eq!(r.to_lines(), baseline.to_lines());
+            let snap = d.last_obs_snapshot().expect("obs snapshot recorded");
+            let fallbacks: u64 = snap
+                .counters
+                .iter()
+                .filter(|(name, labels, _)| {
+                    name == "ft.fallbacks" && labels.contains("from=datampi")
+                })
+                .map(|(_, _, v)| *v)
+                .sum();
+            assert!(fallbacks >= 1, "engine fallback not recorded: {snap:?}");
+            fell_back = true;
+            break;
+        }
+        assert!(fell_back, "no candidate seed completed via fallback");
     }
 
     #[test]

@@ -413,6 +413,11 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
         let stage_label = format!("stage={}", stage.id);
         move |task_idx: usize, emit: &mut dyn FnMut(KvPair) -> Result<()>| -> Result<()> {
             let _op_span = obs.span(&format!("{op_track}{task_idx}"), "operator", "map-pipeline");
+            if matches!(stage.kind, StageKind::MapOnly) {
+                // Re-attempted tasks (fault recovery) must not duplicate
+                // the rows a failed attempt already buffered.
+                map_only_ctx.reset(task_idx);
+            }
             let spec = tasks
                 .get(task_idx)
                 .ok_or_else(|| HdmError::Plan(format!("map task {task_idx} has no input spec")))?;
@@ -682,7 +687,9 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
 
     // ---- run -------------------------------------------------------------------
     let (reduce_vols, ran_reducers) = if matches!(stage.kind, StageKind::MapOnly) {
-        run_map_only(map_tasks, &map_logic)?;
+        let faults = hdm_faults::FaultPlan::from_conf(ctx.conf, &ctx.obs)?;
+        let recovery = hdm_faults::RecoveryPolicy::from_conf(ctx.conf)?;
+        run_map_only(map_tasks, &map_logic, &faults, &recovery)?;
         (Vec::new(), 0)
     } else {
         match ctx.engine {
@@ -730,6 +737,9 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
 
     let mut paths: Vec<(usize, String)> = out_paths.lock().clone();
     paths.sort();
+    // A re-executed reduce attempt (fault recovery) registers its part
+    // file again; the path is deterministic per rank, so dedup is exact.
+    paths.dedup();
     let kv_sizes = kv_sizes.lock().clone();
     let mem_output = dag_sink.map(|sink| {
         Arc::new(
@@ -789,6 +799,8 @@ fn run_on_hadoop(
         sort_buffer_bytes: conf.get_i64(hdm_common::conf::KEY_SORT_BUFFER_BYTES, 1 << 20)? as usize,
         concurrency: conf.get_i64("engine.local.threads", 8)? as usize,
         obs: obs.clone(),
+        faults: hdm_faults::FaultPlan::from_conf(conf, obs)?,
+        recovery: hdm_faults::RecoveryPolicy::from_conf(conf)?,
     };
     let outcome = run_mapreduce(
         &config,
@@ -854,6 +866,8 @@ fn run_on_datampi(
         mem_budget_bytes: (worker_mem * conf.mem_used_percent()?) as usize,
         channel_capacity: 1024,
         obs: obs.clone(),
+        faults: hdm_faults::FaultPlan::from_conf(conf, obs)?,
+        recovery: hdm_faults::RecoveryPolicy::from_conf(conf)?,
     };
     let outcome = run_bipartite(
         &config,
@@ -913,8 +927,21 @@ fn run_on_datampi(
 
 /// Run a map-only stage: a simple wave of map tasks (both engines
 /// behave identically here, modulo startup — which the timing model
-/// owns).
-fn run_map_only(map_tasks: usize, map_logic: &MapLogic) -> Result<()> {
+/// owns). With fault tolerance on, a failed task (e.g. an injected
+/// transient split-read error) is re-attempted under the recovery
+/// policy; the task's buffered output is reset at the start of every
+/// attempt, so replay is idempotent.
+fn run_map_only(
+    map_tasks: usize,
+    map_logic: &MapLogic,
+    faults: &hdm_faults::FaultPlan,
+    recovery: &hdm_faults::RecoveryPolicy,
+) -> Result<()> {
+    let max_attempts = if faults.is_enabled() {
+        recovery.max_attempts.max(1)
+    } else {
+        1
+    };
     let errors: Mutex<Vec<HdmError>> = Mutex::new(Vec::new());
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -926,11 +953,26 @@ fn run_map_only(map_tasks: usize, map_logic: &MapLogic) -> Result<()> {
                 if i >= map_tasks {
                     break;
                 }
-                let mut sink_err = |_kv: KvPair| -> Result<()> {
-                    Err(HdmError::Plan("map-only stage must not emit KVs".into()))
-                };
-                if let Err(e) = map_logic(i, &mut sink_err) {
-                    errors.lock().push(e);
+                let mut attempt = 0u32;
+                loop {
+                    let mut sink_err = |_kv: KvPair| -> Result<()> {
+                        Err(HdmError::Plan("map-only stage must not emit KVs".into()))
+                    };
+                    match map_logic(i, &mut sink_err) {
+                        Ok(()) => break,
+                        Err(_) if attempt + 1 < max_attempts => {
+                            faults.note_detected(hdm_faults::Site::MapTask);
+                            faults.note_retry(hdm_faults::Site::MapTask);
+                            let delay = recovery.backoff_delay(attempt);
+                            attempt += 1;
+                            std::thread::sleep(delay);
+                            faults.observe_backoff(hdm_faults::Site::MapTask, delay);
+                        }
+                        Err(e) => {
+                            errors.lock().push(e);
+                            break;
+                        }
+                    }
                 }
             });
         }
@@ -954,6 +996,11 @@ struct MapOnlySink {
 }
 
 impl MapOnlySink {
+    /// Drop any rows a previous (failed) attempt of this task buffered.
+    fn reset(&self, task: usize) {
+        self.buffers.lock().remove(&task);
+    }
+
     fn write(&self, task: usize, row: &Row) -> Result<()> {
         self.buffers
             .lock()

@@ -114,7 +114,7 @@ pub fn run_iterative(
     if config.ranks == 0 {
         return Err(HdmError::Config("iteration needs at least one rank".into()));
     }
-    let world = World::new(config.ranks, WorldConfig::default());
+    let world = World::new(config.ranks, WorldConfig::default())?;
     let config = *config;
     let results: Vec<Result<KeyGroups>> = world.run(move |mut ep| {
         let rank = ep.rank();

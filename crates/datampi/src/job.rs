@@ -11,6 +11,7 @@ use crossbeam::channel::bounded;
 use hdm_common::error::{HdmError, Result};
 use hdm_common::kv::{ComparatorRef, KvPair};
 use hdm_common::partition::PartitionerRef;
+use hdm_faults::{FaultPlan, Site};
 use hdm_mpi::{World, WorldConfig};
 use hdm_obs::{Counter, ObsHandle, Timer};
 use std::sync::Arc;
@@ -29,6 +30,11 @@ pub struct OContext {
     partitioner: PartitionerRef,
     stats: OTaskStats,
     job_start: Instant,
+    /// Injected-crash countdown for this attempt: `Some(0)` fails the
+    /// next `send`. `None` (always, when fault injection is off) costs
+    /// nothing on the per-record path.
+    crash_countdown: Option<u64>,
+    faults: FaultPlan,
     // Registry handles fetched once at task setup; the per-record path
     // never touches them — only the flush branch does, behind one
     // relaxed `is_enabled` load.
@@ -36,6 +42,7 @@ pub struct OContext {
     obs_flushes: Counter,
     obs_flush_bytes: Counter,
     obs_queue_wait: Timer,
+    obs_recycle_drops: Counter,
 }
 
 impl std::fmt::Debug for OContext {
@@ -65,16 +72,31 @@ impl OContext {
     /// signal behind the Figure 8 send-queue tuning curve).
     ///
     /// # Errors
-    /// [`HdmError::DataMpi`] if the shuffle engine died.
+    /// [`HdmError::DataMpi`] if the shuffle engine died;
+    /// [`HdmError::RankFailed`] when an injected crash fires.
     pub fn send(&mut self, kv: KvPair) -> Result<()> {
+        if let Some(countdown) = self.crash_countdown.as_mut() {
+            if *countdown == 0 {
+                self.faults.note_injected(Site::OTask);
+                return Err(HdmError::RankFailed(format!(
+                    "O{}: injected crash mid-stream",
+                    self.rank
+                )));
+            }
+            *countdown -= 1;
+        }
         let dst = self.partitioner.partition(&kv.key, self.a_tasks);
         self.stats
             .collect
             .record_kv(kv.wire_size() as u64, self.job_start);
         // Reclaim any payloads the shuffle engine finished sending so the
         // next flush reuses their allocations instead of growing new ones.
+        // A declined offer (pool full or buffer still shared) is counted,
+        // not silently discarded.
         while let Ok(done) = self.recycle_rx.try_recv() {
-            let _ = self.spl.recycle(done);
+            if !self.spl.recycle(done) && self.obs.is_enabled() {
+                self.obs_recycle_drops.add(1);
+            }
         }
         if let Some(payload) = self.spl.push(dst, &kv)? {
             let bytes = payload.len() as u64;
@@ -197,8 +219,16 @@ where
         WorldConfig {
             channel_capacity: config.channel_capacity,
             obs: config.obs.clone(),
+            faults: config.faults.clone(),
+            // A receive deadline is armed only under fault tolerance:
+            // without injection the protocol cannot lose messages, and an
+            // unbounded recv keeps the fault-free path timer-free.
+            recv_timeout: config
+                .faults
+                .is_enabled()
+                .then_some(config.recovery.recv_timeout),
         },
-    );
+    )?;
     let metrics = world.metrics();
     let job_start = Instant::now();
     let config = Arc::new(config.clone());
@@ -272,43 +302,95 @@ fn run_o_rank<RO, RA>(
     let _task_span = obs.span(&track, "task", "o-task");
     let sender_obs = obs.clone();
     let sender = std::thread::spawn(move || {
-        run_sender(
+        let mut ep = ep;
+        let res = run_sender(
             style,
-            ep,
+            &mut ep,
             rx,
             a_base,
             a_tasks,
             job_start,
             Some(recycle_tx),
             &sender_obs,
-        )
+        );
+        if res.is_err() {
+            // Peers blocked on this rank fail fast instead of waiting
+            // out their receive deadline.
+            ep.poison();
+        }
+        res
     });
 
-    let label = format!("rank={rank}");
-    let mut ctx = OContext {
-        rank,
-        a_tasks,
-        spl: SendPartitionList::new(a_tasks, config.send_partition_bytes),
-        queue: tx,
-        recycle_rx,
-        partitioner: Arc::clone(partitioner),
-        stats: OTaskStats::new(rank),
-        job_start,
-        obs_flushes: obs.counter("spl.flushes", &label),
-        obs_flush_bytes: obs.counter("spl.flush.bytes", &label),
-        obs_queue_wait: obs.timer("spl.queue.wait.us", &label, hdm_obs::TIMER_US_BUCKET),
-        obs,
+    let faults = &config.faults;
+    // Task-level re-execution (the Hadoop attempt model grafted onto the
+    // MPI engine) only arms itself under fault tolerance; otherwise a
+    // task gets exactly one attempt, as before.
+    let max_attempts = if faults.is_enabled() {
+        config.recovery.max_attempts.max(1)
+    } else {
+        1
     };
-    // Run the user function; flush + Finish must happen even on error so
-    // A tasks always see our EOF and terminate.
-    let user = o_fn(rank, &mut ctx);
-    let flush = ctx.flush();
-    let _ = ctx.queue.send(SendCmd::Finish);
+    let label = format!("rank={rank}");
+    let mut attempt = 0u32;
+    let (user, flush, stats) = loop {
+        let _attempt_span = (attempt > 0).then(|| obs.span(&track, "recovery", "o-task-retry"));
+        if let Some(stall) = faults.stall(Site::OTask, rank, attempt) {
+            faults.note_injected(Site::OTask);
+            std::thread::sleep(stall);
+        }
+        // Each attempt replays the split through a fresh context: empty
+        // SPL buffers, fresh stats, its own crash countdown. Idempotence
+        // comes from the A side discarding aborted attempts wholesale.
+        let mut ctx = OContext {
+            rank,
+            a_tasks,
+            spl: SendPartitionList::new(a_tasks, config.send_partition_bytes),
+            queue: tx.clone(),
+            recycle_rx: recycle_rx.clone(),
+            partitioner: Arc::clone(partitioner),
+            stats: OTaskStats::new(rank),
+            job_start,
+            crash_countdown: faults.crash_after(Site::OTask, rank, attempt),
+            faults: faults.clone(),
+            obs_flushes: obs.counter("spl.flushes", &label),
+            obs_flush_bytes: obs.counter("spl.flush.bytes", &label),
+            obs_queue_wait: obs.timer("spl.queue.wait.us", &label, hdm_obs::TIMER_US_BUCKET),
+            obs: obs.clone(),
+            obs_recycle_drops: obs.counter("spl.recycle.drops", &label),
+        };
+        let user = o_fn(rank, &mut ctx);
+        if user.is_err() && attempt + 1 < max_attempts {
+            // Roll the attempt: A tasks discard this attempt's partial
+            // stream, we back off, then replay the split.
+            if ctx.queue.send(SendCmd::Abort).is_err() {
+                break (user, Ok(()), ctx.stats); // shuffle engine died
+            }
+            faults.note_retry(Site::OTask);
+            let delay = config.recovery.backoff_delay(attempt);
+            attempt += 1;
+            std::thread::sleep(delay);
+            faults.observe_backoff(Site::OTask, delay);
+            continue;
+        }
+        // Final outcome. On success (or with fault tolerance off, where
+        // today's contract is "flush even on error so A sees our EOF"),
+        // flush buffered partitions; an exhausted failed task instead
+        // aborts so A tasks drop the partial attempt rather than
+        // aggregate half a split.
+        let flush = if user.is_ok() || !faults.is_enabled() {
+            ctx.flush()
+        } else {
+            let _ = ctx.queue.send(SendCmd::Abort);
+            Ok(())
+        };
+        break (user, flush, ctx.stats);
+    };
+    let _ = tx.send(SendCmd::Finish);
     let sender_res = sender
         .join()
         .unwrap_or_else(|_| Err(HdmError::DataMpi("shuffle engine thread panicked".into())));
 
-    let mut stats = ctx.stats;
+    let mut stats = stats;
     stats.elapsed = task_start.elapsed();
     let result = match (user, flush, sender_res) {
         (Err(e), _, _) => Err(e),
@@ -346,20 +428,89 @@ fn run_a_rank<RO, RA>(
         config.mem_budget_bytes,
         comparator,
         &mut stats,
+        &config.faults,
         &config.obs,
     );
     let result = match groups {
-        Err(e) => Err(e),
+        Err(e) => {
+            // Receive failures are not task-recoverable (the stream is
+            // gone); poison so O senders blocked on our acks fail fast.
+            ep.poison();
+            Err(e)
+        }
         Ok(groups) => {
-            let mut ctx = AContext {
-                rank: a_rank,
-                groups: groups.into_iter(),
-            };
-            a_fn(a_rank, &mut ctx)
+            if config.faults.is_enabled() {
+                run_a_attempts(a_rank, groups, config, a_fn, &track)
+            } else {
+                let mut ctx = AContext {
+                    rank: a_rank,
+                    groups: groups.into_iter(),
+                };
+                a_fn(a_rank, &mut ctx)
+            }
         }
     };
     stats.elapsed = task_start.elapsed();
     RankResult::A(result, stats)
+}
+
+/// The A-side attempt supervisor: re-executes the user A function over
+/// the (already received and merged) key groups with bounded backoff.
+/// The merged input is the replay source — receiving it again is never
+/// needed, so A recovery is purely local.
+fn run_a_attempts<RA>(
+    a_rank: usize,
+    groups: KeyGroups,
+    config: &DataMpiConfig,
+    a_fn: &AFn<RA>,
+    track: &str,
+) -> Result<RA> {
+    let faults = &config.faults;
+    let max_attempts = config.recovery.max_attempts.max(1);
+    let mut attempt = 0u32;
+    let mut groups = Some(groups);
+    loop {
+        let _attempt_span =
+            (attempt > 0).then(|| config.obs.span(track, "recovery", "a-task-retry"));
+        if let Some(stall) = faults.stall(Site::ATask, a_rank, attempt) {
+            faults.note_injected(Site::ATask);
+            std::thread::sleep(stall);
+        }
+        let more_attempts = attempt + 1 < max_attempts;
+        // Clone the merged input only while a later attempt could still
+        // need it (Bytes clones are refcounted views, not data copies).
+        let input = if more_attempts {
+            groups.clone().unwrap_or_default()
+        } else {
+            groups.take().unwrap_or_default()
+        };
+        let user = if faults.crash_after(Site::ATask, a_rank, attempt).is_some() {
+            faults.note_injected(Site::ATask);
+            Err(HdmError::RankFailed(format!(
+                "A{a_rank}: injected crash before aggregation"
+            )))
+        } else {
+            let mut ctx = AContext {
+                rank: a_rank,
+                groups: input.into_iter(),
+            };
+            a_fn(a_rank, &mut ctx)
+        };
+        match user {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if !more_attempts {
+                    return Err(e);
+                }
+                faults.note_detected(Site::ATask);
+                faults.note_retry(Site::ATask);
+                let delay = config.recovery.backoff_delay(attempt);
+                attempt += 1;
+                std::thread::sleep(delay);
+                faults.observe_backoff(Site::ATask, delay);
+            }
+        }
+    }
 }
 
 /// Convenience: send a pre-built row pair from an O task.
@@ -556,6 +707,104 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message().contains("injected failure"));
+    }
+
+    /// Find a fault seed whose plan crashes at least one of the first
+    /// `o` O-task attempts within `records` sends, while keeping the MPI
+    /// wire drop-free for the first `seqs` messages of every rank (drops
+    /// are deliberately not task-recoverable, so a dropping seed would
+    /// test the job-error path instead of task recovery).
+    fn crashing_clean_seed(o: usize, records: u64, world: usize, seqs: u64) -> u64 {
+        (0..4096u64)
+            .find(|&s| {
+                let p = FaultPlan::with_seed(s);
+                let crashes = (0..o)
+                    .any(|r| matches!(p.crash_after(Site::OTask, r, 0), Some(c) if c < records));
+                crashes
+                    && (0..world).all(|r| (0..seqs).all(|q| !p.should_drop(Site::MpiSend, r, q)))
+            })
+            .expect("no crashing drop-free seed in 4096 candidates")
+    }
+
+    fn word_count_with_faults(
+        faults: FaultPlan,
+        recovery: hdm_faults::RecoveryPolicy,
+        style: ShuffleStyle,
+    ) -> Result<(u64, JobReport)> {
+        let config = DataMpiConfig {
+            shuffle_style: style,
+            mem_budget_bytes: 1 << 20,
+            faults,
+            recovery,
+            ..base_config(3, 2)
+        };
+        let outcome = run_bipartite(
+            &config,
+            Arc::new(BytesComparator),
+            Arc::new(HashPartitioner),
+            Arc::new(|_rank, ctx: &mut OContext| {
+                for i in 0..300u32 {
+                    let word = format!("word{}", i % 17);
+                    ctx.send(KvPair::new(word.into_bytes(), vec![1u8]))?;
+                }
+                Ok(())
+            }),
+            Arc::new(|_rank, ctx: &mut AContext| {
+                let mut total = 0u64;
+                while let Some((_key, values)) = ctx.next_group() {
+                    total += values.len() as u64;
+                }
+                Ok(total)
+            }),
+        )?;
+        Ok((outcome.a_results.iter().sum(), outcome.report))
+    }
+
+    #[test]
+    fn injected_o_crash_recovers_with_identical_results() {
+        let seed = crashing_clean_seed(3, 300, 5, 512);
+        let obs = hdm_obs::ObsHandle::enabled_with_stride(1);
+        let conf = hdm_common::conf::JobConf::new()
+            .with(hdm_common::conf::KEY_FT_ENABLED, "true")
+            .with(hdm_common::conf::KEY_FT_SEED, seed as i64);
+        let faults = FaultPlan::from_conf(&conf, &obs).unwrap();
+        for style in [ShuffleStyle::NonBlocking, ShuffleStyle::Blocking] {
+            let (total, report) = word_count_with_faults(
+                faults.clone(),
+                hdm_faults::RecoveryPolicy::default(),
+                style,
+            )
+            .unwrap();
+            assert_eq!(total, 900, "recovered run must lose nothing ({style:?})");
+            assert_eq!(report.total_records_received(), 900);
+        }
+        let snap = obs.snapshot();
+        let count = |name: &str| {
+            snap.counters
+                .iter()
+                .filter(|(n, _, _)| n == name)
+                .map(|(_, _, v)| *v)
+                .sum::<u64>()
+        };
+        assert!(count("ft.injected") >= 1, "crash was never injected");
+        assert!(count("ft.detected") >= 1, "crash was never detected");
+        assert!(count("ft.retries") >= 1, "no task retried");
+    }
+
+    #[test]
+    fn exhausted_attempts_surface_as_rank_failure() {
+        let seed = crashing_clean_seed(3, 300, 5, 512);
+        let err = word_count_with_faults(
+            FaultPlan::with_seed(seed),
+            hdm_faults::RecoveryPolicy {
+                max_attempts: 1,
+                ..hdm_faults::RecoveryPolicy::default()
+            },
+            ShuffleStyle::NonBlocking,
+        )
+        .unwrap_err();
+        assert_eq!(err.subsystem(), "rank-failed");
+        assert!(err.message().contains("injected crash"));
     }
 
     #[test]

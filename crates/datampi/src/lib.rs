@@ -125,6 +125,13 @@ pub struct DataMpiConfig {
     /// queue-wait timers flow here. Defaults to a disabled handle whose
     /// per-site cost is one relaxed atomic load.
     pub obs: hdm_obs::ObsHandle,
+    /// Fault-injection plan (`hive.ft.*`). Disabled by default; when
+    /// enabled it also arms receive deadlines, per-source staging on the
+    /// A side, and task re-execution under [`Self::recovery`].
+    pub faults: hdm_faults::FaultPlan,
+    /// Retry/backoff/timeout policy used when [`Self::faults`] is
+    /// enabled (and for real failures once detection is armed).
+    pub recovery: hdm_faults::RecoveryPolicy,
 }
 
 impl Default for DataMpiConfig {
@@ -138,6 +145,8 @@ impl Default for DataMpiConfig {
             mem_budget_bytes: 64 * 1024 * 1024,
             channel_capacity: 1024,
             obs: hdm_obs::ObsHandle::default(),
+            faults: hdm_faults::FaultPlan::disabled(),
+            recovery: hdm_faults::RecoveryPolicy::default(),
         }
     }
 }

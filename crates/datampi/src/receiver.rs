@@ -18,16 +18,36 @@ use crate::ShuffleStyle;
 use bytes::Bytes;
 use hdm_common::error::{HdmError, Result};
 use hdm_common::kv::{ComparatorRef, KvPair};
+use hdm_faults::{FaultPlan, Site};
 use hdm_mpi::Endpoint;
 use std::time::Instant;
 
 /// Sorted key groups produced by the merge: `(key, values)` in key order.
 pub type KeyGroups = Vec<(Bytes, Vec<Bytes>)>;
 
+/// Per-O-source staging used when fault tolerance is enabled. A source's
+/// pairs are committed to the shared cache only once its EOF proves the
+/// attempt's stream arrived complete; an ABORT (or a higher-attempt
+/// replay) discards the staged partials of the aborted attempt.
+#[derive(Default)]
+struct StagedSrc {
+    pairs: Vec<KvPair>,
+    bytes: u64,
+    msgs: u32,
+    attempt: u32,
+}
+
 /// Receive until all O tasks finalize, then merge into key groups.
 ///
+/// When `faults` is enabled, incoming data is staged per source and
+/// committed on EOF; the EOF's message count is checked against what
+/// actually arrived so dropped messages surface as an error instead of
+/// silent data loss.
+///
 /// # Errors
-/// [`HdmError::DataMpi`] if the stream is malformed or MPI fails.
+/// [`HdmError::DataMpi`] if the stream is malformed, a drop is detected,
+/// or MPI fails.
+#[allow(clippy::too_many_arguments)] // thin task entry point; mirrors the engine's knobs
 pub fn run_receiver(
     ep: &mut Endpoint,
     o_tasks: usize,
@@ -35,9 +55,15 @@ pub fn run_receiver(
     mem_budget_bytes: usize,
     comparator: &ComparatorRef,
     stats: &mut ATaskStats,
+    faults: &FaultPlan,
     obs: &hdm_obs::ObsHandle,
 ) -> Result<KeyGroups> {
     let start = Instant::now();
+    let ft = faults.is_enabled();
+    let mut staged: Vec<StagedSrc> = Vec::new();
+    if ft {
+        staged.resize_with(o_tasks, StagedSrc::default);
+    }
     // Buffer-manager probe handles, fetched once: cache occupancy gauge
     // plus stride-sampled counter points for the resource trace.
     let track = format!("A{}", stats.rank);
@@ -57,7 +83,42 @@ pub fn run_receiver(
                 stats.rank
             ))
         })?;
-        match msg.tag {
+        let (base, attempt) = tags::split(msg.tag);
+        match base {
+            tags::DATA if ft => {
+                let src = msg.src;
+                // The blocking sender waits on acks even for rounds the
+                // receiver will discard, so acknowledge before judging.
+                if style == ShuffleStyle::Blocking {
+                    ep.send(src, tags::ACK, Bytes::new())?;
+                }
+                let Some(slot) = staged.get_mut(src) else {
+                    return Err(HdmError::DataMpi(format!(
+                        "A{} received DATA from unexpected rank {src}",
+                        stats.rank
+                    )));
+                };
+                if attempt < slot.attempt {
+                    continue; // stale replay of an aborted attempt
+                }
+                if attempt > slot.attempt {
+                    // First message of a replay whose ABORT we have not
+                    // seen (it may have been dropped): discard the
+                    // aborted attempt's partials.
+                    *slot = StagedSrc {
+                        attempt,
+                        ..StagedSrc::default()
+                    };
+                }
+                let pairs = SendPartition::decode_payload(&msg.payload)?;
+                slot.bytes += msg.payload.len() as u64;
+                slot.msgs += 1;
+                slot.pairs.extend(pairs);
+                msgs += 1;
+                if obs.is_enabled() && obs.should_sample(msgs) {
+                    obs.sample(&track, "staged_bytes", slot.bytes);
+                }
+            }
             tags::DATA => {
                 let src = msg.src;
                 let pairs = SendPartition::decode_payload(&msg.payload)?;
@@ -87,6 +148,79 @@ pub fn run_receiver(
                     cached_bytes = 0;
                     runs.push(run);
                 }
+            }
+            tags::ABORT if ft => {
+                let src = msg.src;
+                let Some(slot) = staged.get_mut(src) else {
+                    return Err(HdmError::DataMpi(format!(
+                        "A{} received ABORT from unexpected rank {src}",
+                        stats.rank
+                    )));
+                };
+                if attempt >= slot.attempt {
+                    *slot = StagedSrc {
+                        attempt: attempt + 1,
+                        ..StagedSrc::default()
+                    };
+                    faults.note_detected(Site::OTask);
+                }
+            }
+            tags::EOF if ft => {
+                let src = msg.src;
+                let expected = match <[u8; 4]>::try_from(msg.payload.as_ref()) {
+                    Ok(le) => u32::from_le_bytes(le),
+                    Err(_) => {
+                        return Err(HdmError::DataMpi(format!(
+                            "A{} received EOF from O{src} without a message count",
+                            stats.rank
+                        )))
+                    }
+                };
+                let Some(slot) = staged.get_mut(src) else {
+                    return Err(HdmError::DataMpi(format!(
+                        "A{} received EOF from unexpected rank {src}",
+                        stats.rank
+                    )));
+                };
+                if attempt > slot.attempt {
+                    // A replay whose ABORT was dropped and that sent no
+                    // DATA of its own: whatever is staged belongs to the
+                    // aborted attempt.
+                    *slot = StagedSrc {
+                        attempt,
+                        ..StagedSrc::default()
+                    };
+                    faults.note_detected(Site::OTask);
+                }
+                if attempt != slot.attempt || expected != slot.msgs {
+                    faults.note_detected(Site::MpiSend);
+                    return Err(HdmError::DataMpi(format!(
+                        "A{} detected dropped message(s) from O{src}: got {} of {expected} \
+                         DATA messages (attempt {attempt})",
+                        stats.rank, slot.msgs
+                    )));
+                }
+                // The attempt's stream is complete: commit it.
+                let done = std::mem::take(slot);
+                stats.records += done.pairs.len() as u64;
+                stats.bytes += done.bytes;
+                cached_bytes += done.bytes;
+                cache.extend(done.pairs);
+                stats.cache_peak = stats.cache_peak.max(cached_bytes);
+                if obs.is_enabled() {
+                    obs_cache.set(cached_bytes as i64);
+                }
+                if cached_bytes > mem_budget_bytes as u64 {
+                    let mut run = std::mem::take(&mut cache);
+                    run.sort_by(|a, b| comparator.compare(&a.key, &b.key));
+                    stats.spill.record_spill(cached_bytes);
+                    if obs.is_enabled() {
+                        obs_spills.add(1);
+                    }
+                    cached_bytes = 0;
+                    runs.push(run);
+                }
+                eofs += 1;
             }
             tags::EOF => eofs += 1,
             other => {

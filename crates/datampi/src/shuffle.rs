@@ -52,14 +52,41 @@ impl EngineObs {
 pub type RecycleSender = Sender<Bytes>;
 
 /// Message tags of the DataMPI wire protocol.
+///
+/// Since the fault-tolerance pass the low byte carries the message kind
+/// and the high bits carry the sender's **task attempt** (see
+/// [`with_attempt`](tags::with_attempt)): a recovering O task replays
+/// its split under `attempt + 1`, and the A side discards any partial
+/// stream from an aborted attempt. Attempt 0 encodes to the original
+/// tag values, so a fault-free wire is byte-identical to the
+/// pre-recovery protocol.
 pub mod tags {
     use hdm_mpi::Tag;
     /// A serialized send partition (payload: encoded `KvPair`s).
     pub const DATA: Tag = Tag(0x10);
-    /// End-of-stream marker from one O task to one A task.
+    /// End-of-stream marker from one O task to one A task. Its payload
+    /// carries the little-endian `u32` count of `DATA` messages the
+    /// sender transmitted to that A task in this attempt, so the
+    /// receiver can detect dropped messages.
     pub const EOF: Tag = Tag(0x11);
     /// Blocking-style acknowledgement from A back to O.
     pub const ACK: Tag = Tag(0x12);
+    /// The sending O task crashed mid-attempt: discard its partial
+    /// stream; a higher-attempt replay (or a final EOF) follows.
+    pub const ABORT: Tag = Tag(0x13);
+
+    /// Bits above this shift carry the attempt number.
+    const ATTEMPT_SHIFT: u32 = 8;
+
+    /// Encode `base` (one of the constants above) with an attempt.
+    pub fn with_attempt(base: Tag, attempt: u32) -> Tag {
+        Tag(base.0 | (attempt << ATTEMPT_SHIFT))
+    }
+
+    /// Split a wire tag into `(base, attempt)`.
+    pub fn split(tag: Tag) -> (Tag, u32) {
+        (Tag(tag.0 & 0xff), tag.0 >> ATTEMPT_SHIFT)
+    }
 }
 
 /// A command from the O compute thread to its shuffle engine.
@@ -72,6 +99,9 @@ pub enum SendCmd {
         /// Serialized key-value pairs.
         payload: Bytes,
     },
+    /// The current attempt failed: tell every A task to discard this
+    /// attempt's partial stream, then start counting a new attempt.
+    Abort,
     /// No more partitions: drain, send EOFs, exit.
     Finish,
 }
@@ -86,17 +116,64 @@ pub struct SenderStats {
     pub sync_wait: Duration,
 }
 
+/// Per-attempt transmit bookkeeping shared by both styles.
+struct AttemptState {
+    /// Current task attempt; bumped by [`SendCmd::Abort`].
+    attempt: u32,
+    /// `DATA` messages sent per destination in the current attempt,
+    /// reported to each A task in its EOF payload for drop detection.
+    counts: Vec<u32>,
+}
+
+impl AttemptState {
+    fn new(a_tasks: usize) -> AttemptState {
+        AttemptState {
+            attempt: 0,
+            counts: vec![0; a_tasks],
+        }
+    }
+
+    fn record_send(&mut self, dst: usize) {
+        if let Some(c) = self.counts.get_mut(dst) {
+            *c += 1;
+        }
+    }
+
+    /// Broadcast ABORT for the current attempt and roll to the next.
+    fn abort(&mut self, ep: &mut Endpoint, a_base: usize) -> Result<()> {
+        let tag = tags::with_attempt(tags::ABORT, self.attempt);
+        for a in 0..self.counts.len() {
+            ep.send(a_base + a, tag, Bytes::new())?;
+        }
+        self.attempt += 1;
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        Ok(())
+    }
+
+    /// Broadcast EOF (with per-destination DATA counts) for the current
+    /// attempt.
+    fn finish(&self, ep: &mut Endpoint, a_base: usize) -> Result<()> {
+        let tag = tags::with_attempt(tags::EOF, self.attempt);
+        for (a, count) in self.counts.iter().enumerate() {
+            ep.send(a_base + a, tag, Bytes::from(count.to_le_bytes().to_vec()))?;
+        }
+        Ok(())
+    }
+}
+
 /// Run the shuffle engine until [`SendCmd::Finish`].
 ///
 /// `a_base` is the world rank of A task 0; A task `i` lives at world
-/// rank `a_base + i`.
+/// rank `a_base + i`. Borrows the endpoint so the owning thread can
+/// poison it if the engine fails (peers then fail fast instead of
+/// waiting out their receive deadline).
 ///
 /// # Errors
 /// Propagates MPI failures.
 #[allow(clippy::too_many_arguments)] // thin thread entry point; mirrors the engine's knobs
 pub fn run_sender(
     style: ShuffleStyle,
-    mut ep: Endpoint,
+    ep: &mut Endpoint,
     queue: Receiver<SendCmd>,
     a_base: usize,
     a_tasks: usize,
@@ -106,24 +183,12 @@ pub fn run_sender(
 ) -> Result<SenderStats> {
     let engine_obs = EngineObs::new(obs, ep.rank());
     match style {
-        ShuffleStyle::NonBlocking => run_nonblocking(
-            &mut ep,
-            queue,
-            a_base,
-            a_tasks,
-            job_start,
-            recycle,
-            &engine_obs,
-        ),
-        ShuffleStyle::Blocking => run_blocking(
-            &mut ep,
-            queue,
-            a_base,
-            a_tasks,
-            job_start,
-            recycle,
-            &engine_obs,
-        ),
+        ShuffleStyle::NonBlocking => {
+            run_nonblocking(ep, queue, a_base, a_tasks, job_start, recycle, &engine_obs)
+        }
+        ShuffleStyle::Blocking => {
+            run_blocking(ep, queue, a_base, a_tasks, job_start, recycle, &engine_obs)
+        }
     }
 }
 
@@ -149,6 +214,7 @@ fn run_nonblocking(
     obs: &EngineObs,
 ) -> Result<SenderStats> {
     let mut stats = SenderStats::default();
+    let mut state = AttemptState::new(a_tasks);
     // Cached request handles, periodically purged once complete — the
     // paper's "request handlers will be cached in the shuffle engine, and
     // the engine will test for the completion". Each handle keeps a
@@ -156,42 +222,59 @@ fn run_nonblocking(
     // the recycle pool once the transmit finishes.
     let mut inflight: Vec<(SendRequest, Bytes)> = Vec::new();
     // hdm-allow(unbounded-blocking): in-process command queue — the O task owns the sender and always sends Finish or drops it, so recv unblocks with Err
-    while let Ok(SendCmd::Partition { dst, payload }) = queue.recv() {
-        let bytes = payload.len() as u64;
-        stats.send_events.push((job_start.elapsed(), bytes));
-        let retained = payload.clone();
-        inflight.push((ep.isend(a_base + dst, tags::DATA, payload)?, retained));
-        if obs.obs.is_enabled() {
-            obs.isends.add(1);
-            obs.obs.sample(
-                &format!("O{}", ep.rank()),
-                "inflight_sends",
-                inflight.len() as u64,
-            );
-        }
-        // Test cached requests; completed ones recycle their slot (and
-        // offer their payload back to the SPL pool).
-        ep.progress();
-        inflight.retain_mut(|(r, payload)| {
-            if !r.is_done() {
-                return true;
+    while let Ok(cmd) = queue.recv() {
+        match cmd {
+            SendCmd::Finish => break,
+            SendCmd::Abort => {
+                // Settle the aborted attempt's transmits (the receiver
+                // discards them on ABORT), reclaim their buffers, then
+                // roll the attempt.
+                let (mut reqs, payloads): (Vec<SendRequest>, Vec<Bytes>) =
+                    std::mem::take(&mut inflight).into_iter().unzip();
+                ep.waitall(&mut reqs)?;
+                for payload in payloads {
+                    offer(recycle.as_ref(), payload, obs);
+                }
+                state.abort(ep, a_base)?;
             }
-            offer(
-                recycle.as_ref(),
-                std::mem::replace(payload, Bytes::new()),
-                obs,
-            );
-            false
-        });
+            SendCmd::Partition { dst, payload } => {
+                let bytes = payload.len() as u64;
+                stats.send_events.push((job_start.elapsed(), bytes));
+                let retained = payload.clone();
+                let tag = tags::with_attempt(tags::DATA, state.attempt);
+                inflight.push((ep.isend(a_base + dst, tag, payload)?, retained));
+                state.record_send(dst);
+                if obs.obs.is_enabled() {
+                    obs.isends.add(1);
+                    obs.obs.sample(
+                        &format!("O{}", ep.rank()),
+                        "inflight_sends",
+                        inflight.len() as u64,
+                    );
+                }
+                // Test cached requests; completed ones recycle their slot
+                // (and offer their payload back to the SPL pool).
+                ep.progress();
+                inflight.retain_mut(|(r, payload)| {
+                    if !r.is_done() {
+                        return true;
+                    }
+                    offer(
+                        recycle.as_ref(),
+                        std::mem::replace(payload, Bytes::new()),
+                        obs,
+                    );
+                    false
+                });
+            }
+        }
     }
     let (mut reqs, payloads): (Vec<SendRequest>, Vec<Bytes>) = inflight.into_iter().unzip();
     ep.waitall(&mut reqs)?;
     for payload in payloads {
         offer(recycle.as_ref(), payload, obs);
     }
-    for a in 0..a_tasks {
-        ep.send(a_base + a, tags::EOF, Bytes::new())?;
-    }
+    state.finish(ep, a_base)?;
     Ok(stats)
 }
 
@@ -206,23 +289,30 @@ fn run_blocking(
     obs: &EngineObs,
 ) -> Result<SenderStats> {
     let mut stats = SenderStats::default();
+    let mut state = AttemptState::new(a_tasks);
     let mut finished = false;
     while !finished {
         // Gather one round: block for the first command, then drain
-        // whatever else is immediately available.
+        // whatever else is immediately available. An Abort closes the
+        // round early — everything gathered so far belongs to the old
+        // attempt and is still sent (the receiver discards it on ABORT).
         let mut round: Vec<(usize, Bytes)> = Vec::new();
+        let mut abort_after_round = false;
         // hdm-allow(unbounded-blocking): in-process command queue — the O task owns the sender and always sends Finish or drops it, so recv unblocks with Err
         match queue.recv() {
             Ok(SendCmd::Partition { dst, payload }) => round.push((dst, payload)),
+            Ok(SendCmd::Abort) => abort_after_round = true,
             Ok(SendCmd::Finish) | Err(_) => break,
         }
-        while let Ok(cmd) = queue.try_recv() {
-            match cmd {
-                SendCmd::Partition { dst, payload } => round.push((dst, payload)),
-                SendCmd::Finish => {
+        while !abort_after_round {
+            match queue.try_recv() {
+                Ok(SendCmd::Partition { dst, payload }) => round.push((dst, payload)),
+                Ok(SendCmd::Abort) => abort_after_round = true,
+                Ok(SendCmd::Finish) => {
                     finished = true;
                     break;
                 }
+                Err(_) => break,
             }
         }
         // Send the round, then block until every destination acknowledged
@@ -230,12 +320,14 @@ fn run_blocking(
         let mut reqs = Vec::with_capacity(round.len());
         let mut acks_due: Vec<usize> = Vec::new();
         let mut sent_payloads: Vec<Bytes> = Vec::with_capacity(round.len());
+        let tag = tags::with_attempt(tags::DATA, state.attempt);
         for (dst, payload) in round {
             stats
                 .send_events
                 .push((job_start.elapsed(), payload.len() as u64));
             sent_payloads.push(payload.clone());
-            reqs.push(ep.isend(a_base + dst, tags::DATA, payload)?);
+            reqs.push(ep.isend(a_base + dst, tag, payload)?);
+            state.record_send(dst);
             if obs.obs.is_enabled() {
                 obs.isends.add(1);
             }
@@ -256,10 +348,11 @@ fn run_blocking(
         for payload in sent_payloads {
             offer(recycle.as_ref(), payload, obs);
         }
+        if abort_after_round {
+            state.abort(ep, a_base)?;
+        }
     }
-    for a in 0..a_tasks {
-        ep.send(a_base + a, tags::EOF, Bytes::new())?;
-    }
+    state.finish(ep, a_base)?;
     Ok(stats)
 }
 
@@ -281,7 +374,7 @@ mod tests {
     /// Drive a 1-O/2-A world through `run_sender` and a hand-rolled A
     /// loop; returns pairs received per A.
     fn exercise(style: ShuffleStyle) -> Vec<Vec<KvPair>> {
-        let world = World::new(3, WorldConfig::default());
+        let world = World::new(3, WorldConfig::default()).unwrap();
         let style = Arc::new(style);
         let out = world.run(move |mut ep| {
             let rank = ep.rank();
@@ -291,9 +384,10 @@ mod tests {
                 let sender = std::thread::spawn({
                     let style = *style;
                     move || {
+                        let mut ep = ep;
                         run_sender(
                             style,
-                            ep,
+                            &mut ep,
                             rx,
                             1,
                             2,

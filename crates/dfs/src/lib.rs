@@ -93,6 +93,9 @@ pub struct Dfs {
     inner: Arc<RwLock<Namespace>>,
     config: DfsConfig,
     metrics: Arc<DfsMetrics>,
+    /// Chaos source for transient ranged-read failures; shared across
+    /// clones (like `metrics`) so attaching once covers every handle.
+    faults: Arc<RwLock<hdm_faults::FaultPlan>>,
 }
 
 impl Dfs {
@@ -107,6 +110,7 @@ impl Dfs {
             inner: Arc::new(RwLock::new(Namespace::new())),
             config,
             metrics: Arc::new(DfsMetrics::new(config.num_nodes)),
+            faults: Arc::new(RwLock::new(hdm_faults::FaultPlan::disabled())),
         }
     }
 
@@ -130,6 +134,15 @@ impl Dfs {
     /// [`DfsMetrics::attach_obs`].
     pub fn attach_obs(&self, obs: &hdm_obs::ObsHandle) {
         self.metrics.attach_obs(obs);
+    }
+
+    /// Arm fault injection for ranged reads (the split-read path that
+    /// executes inside retryable task attempts). Whole-file reads are
+    /// deliberately not injected: they serve driver-side planning, which
+    /// has no task-level retry around it. Attaching a disabled plan
+    /// restores clean reads.
+    pub fn attach_faults(&self, plan: &hdm_faults::FaultPlan) {
+        *self.faults.write() = plan.clone();
     }
 
     /// Open a new file for writing. Fails if the path already exists.
@@ -174,6 +187,35 @@ impl Dfs {
     /// # Errors
     /// [`HdmError::Dfs`] on missing file or out-of-range read.
     pub fn read_range(
+        &self,
+        path: &str,
+        offset: u64,
+        len: u64,
+        reader_node: Option<NodeId>,
+    ) -> Result<Vec<u8>> {
+        if let Some(e) = self.faults.read().storage_error(path) {
+            return Err(e);
+        }
+        self.read_range_uninjected(path, offset, len, reader_node)
+    }
+
+    /// [`Self::read_range`] for driver-side planning reads (file footers,
+    /// split enumeration): exempt from fault injection like [`Self::read_all`],
+    /// because planning runs outside any retryable task attempt.
+    ///
+    /// # Errors
+    /// [`HdmError::Dfs`] on missing file or out-of-range read.
+    pub fn read_range_planning(
+        &self,
+        path: &str,
+        offset: u64,
+        len: u64,
+        reader_node: Option<NodeId>,
+    ) -> Result<Vec<u8>> {
+        self.read_range_uninjected(path, offset, len, reader_node)
+    }
+
+    fn read_range_uninjected(
         &self,
         path: &str,
         offset: u64,
@@ -529,6 +571,44 @@ mod tests {
         assert_eq!(dfs.metrics().total_bytes_written(), 50);
         dfs.read_all("/m").unwrap();
         assert_eq!(dfs.metrics().total_bytes_read(), 25);
+    }
+
+    #[test]
+    fn attached_faults_inject_transient_range_read_errors() {
+        let dfs = small_fs();
+        let plan = hdm_faults::FaultPlan::with_seed(3);
+        // Find a path the plan marks flaky before creating it.
+        let path = (0..512)
+            .map(|i| format!("/warehouse/t/part-{i}"))
+            .find(|p| {
+                hdm_faults::FaultPlan::with_seed(3)
+                    .storage_error(p)
+                    .is_some()
+            })
+            .expect("no flaky path in 512 candidates");
+        let mut w = dfs.create(&path, NodeId(0)).unwrap();
+        w.write(&[7u8; 10]).unwrap();
+        w.close().unwrap();
+        dfs.attach_faults(&plan);
+        // The flaky path fails at most twice, then heals; whole-file
+        // reads are never injected.
+        let mut failures = 0;
+        let data = loop {
+            match dfs.read_range(&path, 0, 10, None) {
+                Ok(d) => break d,
+                Err(e) => {
+                    assert_eq!(e.subsystem(), "dfs");
+                    failures += 1;
+                    assert!(failures <= 2, "injected fault never heals");
+                }
+            }
+        };
+        assert_eq!(data, vec![7u8; 10]);
+        assert!(failures >= 1, "chosen path must actually be flaky");
+        assert!(dfs.read_all(&path).is_ok());
+        // Detaching (a disabled plan) restores clean reads everywhere.
+        dfs.attach_faults(&hdm_faults::FaultPlan::disabled());
+        assert!(dfs.read_range(&path, 0, 10, None).is_ok());
     }
 
     #[test]

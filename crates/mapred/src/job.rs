@@ -9,6 +9,7 @@ use bytes::Bytes;
 use hdm_common::error::{HdmError, Result};
 use hdm_common::kv::{ComparatorRef, KvPair};
 use hdm_common::partition::PartitionerRef;
+use hdm_faults::{FaultPlan, Site};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -21,6 +22,10 @@ pub struct MapContext {
     partitioner: PartitionerRef,
     stats: MapTaskStats,
     job_start: Instant,
+    /// Injected-crash countdown for this attempt: `Some(0)` fails the
+    /// next `collect`. Always `None` when fault injection is off.
+    crash_countdown: Option<u64>,
+    faults: FaultPlan,
 }
 
 impl std::fmt::Debug for MapContext {
@@ -47,8 +52,19 @@ impl MapContext {
     ///
     /// # Errors
     /// [`HdmError::MapRed`] if the partitioner routes the key outside
-    /// `0..num_reducers`.
+    /// `0..num_reducers`; [`HdmError::RankFailed`] when an injected
+    /// crash fires.
     pub fn collect(&mut self, kv: KvPair) -> Result<()> {
+        if let Some(countdown) = self.crash_countdown.as_mut() {
+            if *countdown == 0 {
+                self.faults.note_injected(Site::MapTask);
+                return Err(HdmError::RankFailed(format!(
+                    "M{}: injected crash mid-collect",
+                    self.rank
+                )));
+            }
+            *countdown -= 1;
+        }
         let partition = self.partitioner.partition(&kv.key, self.num_reducers);
         if partition >= self.num_reducers {
             return Err(HdmError::MapRed(format!(
@@ -167,19 +183,50 @@ where
             let task_start = Instant::now();
             let track = format!("M{rank}");
             let _task_span = config.obs.span(&track, "task", "map-task");
-            let mut ctx = MapContext {
-                rank,
-                num_reducers: config.reduce_tasks,
-                buffer: SortBuffer::new(
-                    config.sort_buffer_bytes,
-                    Arc::clone(&comparator),
-                    combiner.clone(),
-                ),
-                partitioner: Arc::clone(&partitioner),
-                stats: MapTaskStats::new(rank),
-                job_start,
+            let faults = &config.faults;
+            let max_attempts = if faults.is_enabled() {
+                config.recovery.max_attempts.max(1)
+            } else {
+                1
             };
-            let user = map_fn(rank, &mut ctx);
+            let mut attempt = 0u32;
+            // Attempt supervisor: a failed attempt is re-executed with a
+            // fresh sort buffer (its spills are discarded with it), so a
+            // replayed split is idempotent — nothing is published until
+            // the final attempt finishes.
+            let (user, ctx) = loop {
+                let _attempt_span =
+                    (attempt > 0).then(|| config.obs.span(&track, "recovery", "map-task-retry"));
+                if let Some(stall) = faults.stall(Site::MapTask, rank, attempt) {
+                    faults.note_injected(Site::MapTask);
+                    std::thread::sleep(stall);
+                }
+                let mut ctx = MapContext {
+                    rank,
+                    num_reducers: config.reduce_tasks,
+                    buffer: SortBuffer::new(
+                        config.sort_buffer_bytes,
+                        Arc::clone(&comparator),
+                        combiner.clone(),
+                    ),
+                    partitioner: Arc::clone(&partitioner),
+                    stats: MapTaskStats::new(rank),
+                    job_start,
+                    crash_countdown: faults.crash_after(Site::MapTask, rank, attempt),
+                    faults: faults.clone(),
+                };
+                let user = map_fn(rank, &mut ctx);
+                if user.is_err() && attempt + 1 < max_attempts {
+                    faults.note_detected(Site::MapTask);
+                    faults.note_retry(Site::MapTask);
+                    let delay = config.recovery.backoff_delay(attempt);
+                    attempt += 1;
+                    std::thread::sleep(delay);
+                    faults.observe_backoff(Site::MapTask, delay);
+                    continue;
+                }
+                break (user, ctx);
+            };
             let mut stats = ctx.stats;
             stats.spill.spills = ctx.buffer.spill_count() as u64;
             stats.spill.spill_bytes = ctx.buffer.spill_bytes();
@@ -227,6 +274,8 @@ where
         let store = Arc::clone(&store);
         let reduce_fn = Arc::clone(&reduce_fn);
         let obs = config.obs.clone();
+        let faults = config.faults.clone();
+        let recovery = config.recovery.clone();
         move |rank| {
             let task_start = Instant::now();
             let track = format!("R{rank}");
@@ -276,11 +325,60 @@ where
             }
             stats.groups = groups.len() as u64;
             drop(merge_span);
-            let mut ctx = ReduceContext {
-                rank,
-                groups: groups.into_iter(),
+            // Attempt supervisor: the copy phase is idempotent (segments
+            // stay in the map-output store), so a failed reduce attempt
+            // replays over the already-merged groups.
+            let max_attempts = if faults.is_enabled() {
+                recovery.max_attempts.max(1)
+            } else {
+                1
             };
-            let user = reduce_fn(rank, &mut ctx);
+            let mut attempt = 0u32;
+            let user = loop {
+                let _attempt_span =
+                    (attempt > 0).then(|| obs.span(&track, "recovery", "reduce-task-retry"));
+                if let Some(stall) = faults.stall(Site::ReduceTask, rank, attempt) {
+                    faults.note_injected(Site::ReduceTask);
+                    std::thread::sleep(stall);
+                }
+                let more_attempts = attempt + 1 < max_attempts;
+                // Clone the merged input only while a later attempt could
+                // still need it (Bytes clones are refcounted views).
+                let input = if more_attempts {
+                    groups.clone()
+                } else {
+                    std::mem::take(&mut groups)
+                };
+                let res = if faults
+                    .crash_after(Site::ReduceTask, rank, attempt)
+                    .is_some()
+                {
+                    faults.note_injected(Site::ReduceTask);
+                    Err(HdmError::RankFailed(format!(
+                        "R{rank}: injected crash before reduce"
+                    )))
+                } else {
+                    let mut ctx = ReduceContext {
+                        rank,
+                        groups: input.into_iter(),
+                    };
+                    reduce_fn(rank, &mut ctx)
+                };
+                match res {
+                    Ok(v) => break Ok(v),
+                    Err(e) => {
+                        if !more_attempts {
+                            break Err(e);
+                        }
+                        faults.note_detected(Site::ReduceTask);
+                        faults.note_retry(Site::ReduceTask);
+                        let delay = recovery.backoff_delay(attempt);
+                        attempt += 1;
+                        std::thread::sleep(delay);
+                        faults.observe_backoff(Site::ReduceTask, delay);
+                    }
+                }
+            };
             stats.elapsed = task_start.elapsed();
             (user, stats)
         }
@@ -491,6 +589,78 @@ mod tests {
             combined.report.total_shuffle_bytes(),
             plain.report.total_shuffle_bytes()
         );
+    }
+
+    fn word_count_total(config: &MapRedConfig) -> Result<u64> {
+        let outcome = run_mapreduce(
+            config,
+            Arc::new(BytesComparator),
+            Arc::new(HashPartitioner),
+            Arc::new(|_rank, ctx: &mut MapContext| {
+                for i in 0..200u32 {
+                    ctx.collect(KvPair::new(format!("w{}", i % 13).into_bytes(), vec![1]))?;
+                }
+                Ok(())
+            }),
+            Arc::new(|_rank, ctx: &mut ReduceContext| {
+                let mut n = 0u64;
+                while let Some((_key, values)) = ctx.next_group() {
+                    n += values.len() as u64;
+                }
+                Ok(n)
+            }),
+        )?;
+        Ok(outcome.reduce_results.iter().sum())
+    }
+
+    /// A seed whose plan crashes at least one of the first three map
+    /// attempts within the 200 records each map collects.
+    fn map_crashing_seed() -> u64 {
+        (0..1024u64)
+            .find(|&s| {
+                let p = hdm_faults::FaultPlan::with_seed(s);
+                (0..3).any(|r| matches!(p.crash_after(Site::MapTask, r, 0), Some(c) if c < 200))
+            })
+            .expect("no map-crashing seed in 1024 candidates")
+    }
+
+    #[test]
+    fn injected_map_crash_recovers_with_identical_results() {
+        let obs = hdm_obs::ObsHandle::enabled_with_stride(1);
+        let conf = hdm_common::conf::JobConf::new()
+            .with(hdm_common::conf::KEY_FT_ENABLED, "true")
+            .with(hdm_common::conf::KEY_FT_SEED, map_crashing_seed() as i64);
+        let faults = FaultPlan::from_conf(&conf, &obs).unwrap();
+        let config = MapRedConfig {
+            faults,
+            ..base_config(3, 2)
+        };
+        assert_eq!(word_count_total(&config).unwrap(), 600);
+        let snap = obs.snapshot();
+        let count = |name: &str| {
+            snap.counters
+                .iter()
+                .filter(|(n, _, _)| n == name)
+                .map(|(_, _, v)| *v)
+                .sum::<u64>()
+        };
+        assert!(count("ft.injected") >= 1, "crash was never injected");
+        assert!(count("ft.retries") >= 1, "no task retried");
+    }
+
+    #[test]
+    fn exhausted_map_attempts_surface_as_rank_failure() {
+        let config = MapRedConfig {
+            faults: hdm_faults::FaultPlan::with_seed(map_crashing_seed()),
+            recovery: hdm_faults::RecoveryPolicy {
+                max_attempts: 1,
+                ..hdm_faults::RecoveryPolicy::default()
+            },
+            ..base_config(3, 2)
+        };
+        let err = word_count_total(&config).unwrap_err();
+        assert_eq!(err.subsystem(), "rank-failed");
+        assert!(err.message().contains("injected crash"));
     }
 
     #[test]

@@ -92,6 +92,13 @@ pub struct MapRedConfig {
     /// flow here. Defaults to a disabled handle whose per-site cost is
     /// one relaxed atomic load.
     pub obs: hdm_obs::ObsHandle,
+    /// Fault-injection plan (`hive.ft.*`); disabled by default. When
+    /// enabled, map and reduce attempts can be crashed or stalled and are
+    /// re-executed under [`Self::recovery`] — Hadoop's own attempt model,
+    /// which this engine reproduces natively.
+    pub faults: hdm_faults::FaultPlan,
+    /// Retry/backoff policy for failed task attempts.
+    pub recovery: hdm_faults::RecoveryPolicy,
 }
 
 impl Default for MapRedConfig {
@@ -103,6 +110,8 @@ impl Default for MapRedConfig {
             // The paper's testbed: 7 worker nodes × 4 slots.
             concurrency: 28,
             obs: hdm_obs::ObsHandle::default(),
+            faults: hdm_faults::FaultPlan::disabled(),
+            recovery: hdm_faults::RecoveryPolicy::default(),
         }
     }
 }

@@ -5,10 +5,11 @@ use crate::{Rank, Tag};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use hdm_common::error::{HdmError, Result};
+use hdm_faults::{FaultPlan, Site};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A delivered message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +76,16 @@ pub struct Endpoint {
     pending: VecDeque<PendingSend>,
     metrics: Arc<WorldMetrics>,
     barrier: Arc<std::sync::Barrier>,
+    /// Shared per-rank failure flags: a crashed rank raises its own flag
+    /// so peers blocked on it fail fast instead of waiting out a timeout.
+    poisoned: Arc<Vec<AtomicBool>>,
+    faults: FaultPlan,
+    /// Default deadline applied by blocking `recv`/`wait`; `None` blocks
+    /// forever (the pre-fault-tolerance semantics).
+    recv_timeout: Option<Duration>,
+    /// Messages handed to `isend` so far; keys the fault plan's
+    /// per-message drop/delay decisions.
+    send_seq: u64,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -88,12 +99,16 @@ impl std::fmt::Debug for Endpoint {
 }
 
 impl Endpoint {
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor mirroring World's wiring
     pub(crate) fn new(
         rank: Rank,
         incoming: Receiver<Msg>,
         outgoing: Vec<Sender<Msg>>,
         metrics: Arc<WorldMetrics>,
         barrier: Arc<std::sync::Barrier>,
+        poisoned: Arc<Vec<AtomicBool>>,
+        faults: FaultPlan,
+        recv_timeout: Option<Duration>,
     ) -> Endpoint {
         Endpoint {
             rank,
@@ -103,6 +118,10 @@ impl Endpoint {
             pending: VecDeque::new(),
             metrics,
             barrier,
+            poisoned,
+            faults,
+            recv_timeout,
+            send_seq: 0,
         }
     }
 
@@ -114,6 +133,28 @@ impl Endpoint {
     /// Number of ranks in the world.
     pub fn world_size(&self) -> usize {
         self.outgoing.len()
+    }
+
+    /// Mark this rank as failed. Peers that block on it (matched `recv`,
+    /// or any `recv` once their mailbox is dry) fail fast with
+    /// [`HdmError::RankFailed`] instead of waiting out their deadline.
+    pub fn poison(&self) {
+        if let Some(flag) = self.poisoned.get(self.rank) {
+            flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether `rank` declared itself failed.
+    pub fn is_poisoned(&self, rank: Rank) -> bool {
+        self.poisoned
+            .get(rank)
+            .map(|flag| flag.load(Ordering::Acquire))
+            .unwrap_or(false)
+    }
+
+    /// The deadline blocking `recv`/`wait` calls apply by default.
+    pub fn default_recv_timeout(&self) -> Option<Duration> {
+        self.recv_timeout
     }
 
     /// Non-blocking send (`MPI_Isend`). The returned request completes
@@ -129,6 +170,22 @@ impl Endpoint {
                 "isend to invalid rank {dst} (world size {})",
                 self.outgoing.len()
             )));
+        }
+        if self.faults.is_enabled() {
+            let seq = self.send_seq;
+            self.send_seq += 1;
+            if self.faults.should_drop(Site::MpiSend, self.rank, seq) {
+                // The message vanishes on the wire: the send "completes"
+                // (the buffer is reusable) but nothing ever arrives.
+                self.faults.note_injected(Site::MpiSend);
+                return Ok(SendRequest {
+                    done: Arc::new(AtomicBool::new(true)),
+                });
+            }
+            if let Some(delay) = self.faults.send_delay(Site::MpiSend, self.rank, seq) {
+                self.faults.note_injected(Site::MpiSend);
+                std::thread::sleep(delay);
+            }
         }
         let done = Arc::new(AtomicBool::new(false));
         self.metrics
@@ -210,13 +267,25 @@ impl Endpoint {
         req.is_done()
     }
 
-    /// Wait for one send request (`MPI_Wait`).
+    /// Wait for one send request (`MPI_Wait`), honoring the endpoint's
+    /// default deadline when one is configured.
     ///
     /// # Errors
-    /// [`HdmError::Mpi`] if the destination channel disconnected.
+    /// [`HdmError::Mpi`] if the destination channel disconnected;
+    /// [`HdmError::Timeout`] if a configured deadline expires first.
     pub fn wait_send(&mut self, req: &mut SendRequest) -> Result<()> {
+        let deadline = self.recv_timeout.map(|t| Instant::now() + t);
         while !req.is_done() {
             if self.progress() == 0 {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        self.faults.note_detected(Site::MpiSend);
+                        return Err(HdmError::Timeout(format!(
+                            "rank {}: send not accepted within {:?}",
+                            self.rank, self.recv_timeout
+                        )));
+                    }
+                }
                 // Channel full: drain one incoming message into the
                 // mailbox to avoid deadlock, or back off briefly.
                 if !self.poll_incoming() {
@@ -256,18 +325,56 @@ impl Endpoint {
         Ok(None)
     }
 
-    /// Blocking receive (`MPI_Recv`) with optional source/tag matching.
+    /// Blocking receive (`MPI_Recv`) with optional source/tag matching,
+    /// bounded by the endpoint's default deadline when one is configured.
     ///
     /// # Errors
     /// [`HdmError::Mpi`] if all senders disconnected with no match
-    /// buffered (the message can never arrive).
+    /// buffered (the message can never arrive); [`HdmError::RankFailed`]
+    /// if the awaited source is poisoned; [`HdmError::Timeout`] if a
+    /// configured deadline expires first.
     pub fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Result<Msg> {
+        self.recv_deadline(src, tag, self.recv_timeout)
+    }
+
+    /// [`Endpoint::recv`] with an explicit deadline (`None` blocks
+    /// forever), overriding the endpoint default.
+    ///
+    /// # Errors
+    /// As [`Endpoint::recv`].
+    pub fn recv_deadline(
+        &mut self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: Option<Duration>,
+    ) -> Result<Msg> {
+        let deadline = timeout.map(|t| Instant::now() + t);
         loop {
             self.progress();
             self.drain_incoming();
             if let Some(pos) = self.match_mailbox(src, tag) {
                 if let Some(msg) = self.mailbox.remove(pos) {
                     return Ok(msg);
+                }
+            }
+            // A poisoned source can never deliver the awaited message:
+            // fail fast rather than waiting out the deadline.
+            if let Some(s) = src {
+                if self.is_poisoned(s) {
+                    self.faults.note_detected(Site::MpiSend);
+                    return Err(HdmError::RankFailed(format!(
+                        "rank {}: peer rank {s} failed (endpoint poisoned)",
+                        self.rank
+                    )));
+                }
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    self.faults.note_detected(Site::MpiSend);
+                    return Err(HdmError::Timeout(format!(
+                        "rank {}: recv timed out after {:?} (src {:?}, tag {:?})",
+                        self.rank, timeout, src, tag
+                    )));
                 }
             }
             // Block briefly for the next arrival, keeping the progress
@@ -335,7 +442,8 @@ mod tests {
                 channel_capacity: 2,
                 ..WorldConfig::default()
             },
-        );
+        )
+        .unwrap();
         let out = world.run(|mut ep| {
             if ep.rank() == 0 {
                 let mut reqs = Vec::new();
@@ -356,7 +464,7 @@ mod tests {
 
     #[test]
     fn recv_any_source_matches_first_arrival() {
-        let world = World::new(3, WorldConfig::default());
+        let world = World::new(3, WorldConfig::default()).unwrap();
         let out = world.run(|mut ep| {
             if ep.rank() == 0 {
                 let mut srcs = vec![
@@ -381,7 +489,8 @@ mod tests {
                 channel_capacity: 1,
                 ..WorldConfig::default()
             },
-        );
+        )
+        .unwrap();
         let out = world.run(|mut ep| {
             // Two self-sends with capacity 1: the second parks.
             let _a = ep.isend(0, Tag(0), Bytes::from_static(b"a")).unwrap();

@@ -26,12 +26,19 @@
 //! * **Per-link byte accounting** ([`WorldMetrics`]) consumed by the
 //!   discrete-event cluster model to charge network time.
 //!
+//! * **Fault awareness**: a [`WorldConfig`] can carry an
+//!   [`hdm_faults::FaultPlan`] (message drops/delays on `isend`) and a
+//!   receive deadline; endpoints of crashed ranks can be **poisoned** so
+//!   peers fail fast with
+//!   [`HdmError::RankFailed`](hdm_common::error::HdmError::RankFailed)
+//!   instead of blocking forever.
+//!
 //! # Example
 //!
 //! ```
 //! use hdm_mpi::{World, Tag};
 //!
-//! let world = World::new(2, Default::default());
+//! let world = World::new(2, Default::default()).unwrap();
 //! let outputs = world.run(|mut ep| {
 //!     if ep.rank() == 0 {
 //!         ep.send(1, Tag(7), b"ping".as_ref().into()).unwrap();
@@ -51,8 +58,10 @@ pub use endpoint::{Endpoint, Msg, RecvRequest, SendRequest};
 pub use metrics::WorldMetrics;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use std::sync::atomic::AtomicUsize;
+use hdm_common::error::{HdmError, Result};
+use std::sync::atomic::{AtomicBool, AtomicUsize};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Message tag (matching key), like MPI's `tag` argument.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -72,6 +81,14 @@ pub struct WorldConfig {
     /// disabled handle: counter updates compile to one relaxed atomic
     /// check per send.
     pub obs: hdm_obs::ObsHandle,
+    /// Fault plan injecting message drops/delays at the `isend` site.
+    /// Defaults to a disabled plan: one relaxed atomic load per send.
+    pub faults: hdm_faults::FaultPlan,
+    /// Default deadline for blocking `recv`/`wait` calls. `None` (the
+    /// default) keeps the historical block-forever semantics; recovery
+    /// layers set it from `hive.ft.recv.timeout.ms` so a crashed peer
+    /// surfaces as [`HdmError::Timeout`] instead of a hang.
+    pub recv_timeout: Option<Duration>,
 }
 
 impl Default for WorldConfig {
@@ -79,6 +96,8 @@ impl Default for WorldConfig {
         WorldConfig {
             channel_capacity: 1024,
             obs: hdm_obs::ObsHandle::default(),
+            faults: hdm_faults::FaultPlan::default(),
+            recv_timeout: None,
         }
     }
 }
@@ -90,6 +109,9 @@ pub struct World {
     metrics: Arc<WorldMetrics>,
     barrier: Arc<std::sync::Barrier>,
     taken: AtomicUsize,
+    poisoned: Arc<Vec<AtomicBool>>,
+    faults: hdm_faults::FaultPlan,
+    recv_timeout: Option<Duration>,
 }
 
 impl std::fmt::Debug for World {
@@ -103,10 +125,15 @@ impl std::fmt::Debug for World {
 impl World {
     /// Create a world of `size` ranks.
     ///
-    /// # Panics
-    /// Panics if `size` is zero.
-    pub fn new(size: usize, config: WorldConfig) -> World {
-        assert!(size > 0, "world size must be positive");
+    /// # Errors
+    /// [`HdmError::Mpi`] if `size` is zero — an empty communicator has
+    /// no rank to run.
+    pub fn new(size: usize, config: WorldConfig) -> Result<World> {
+        if size == 0 {
+            return Err(HdmError::Mpi(
+                "world size must be positive (got 0 ranks)".to_string(),
+            ));
+        }
         let cap = config.channel_capacity.max(1);
         let mut senders = Vec::with_capacity(size);
         let mut receivers = Vec::with_capacity(size);
@@ -115,13 +142,16 @@ impl World {
             senders.push(tx);
             receivers.push(Some(rx));
         }
-        World {
+        Ok(World {
             senders,
             receivers,
             metrics: Arc::new(WorldMetrics::new(size, config.obs)),
             barrier: Arc::new(std::sync::Barrier::new(size)),
             taken: AtomicUsize::new(0),
-        }
+            poisoned: Arc::new((0..size).map(|_| AtomicBool::new(false)).collect()),
+            faults: config.faults,
+            recv_timeout: config.recv_timeout,
+        })
     }
 
     /// Number of ranks.
@@ -154,6 +184,9 @@ impl World {
             self.senders.clone(),
             Arc::clone(&self.metrics),
             Arc::clone(&self.barrier),
+            Arc::clone(&self.poisoned),
+            self.faults.clone(),
+            self.recv_timeout,
         )
     }
 
@@ -200,7 +233,7 @@ mod tests {
 
     #[test]
     fn ping_pong() {
-        let world = World::new(2, WorldConfig::default());
+        let world = World::new(2, WorldConfig::default()).unwrap();
         let out = world.run(|mut ep| {
             if ep.rank() == 0 {
                 ep.send(1, Tag(1), Bytes::from_static(b"hello")).unwrap();
@@ -218,7 +251,7 @@ mod tests {
 
     #[test]
     fn ordered_delivery_per_pair() {
-        let world = World::new(2, WorldConfig::default());
+        let world = World::new(2, WorldConfig::default()).unwrap();
         let out = world.run(|mut ep| {
             if ep.rank() == 0 {
                 for i in 0..100u32 {
@@ -240,7 +273,7 @@ mod tests {
 
     #[test]
     fn tag_matching_leaves_other_messages() {
-        let world = World::new(2, WorldConfig::default());
+        let world = World::new(2, WorldConfig::default()).unwrap();
         let out = world.run(|mut ep| {
             if ep.rank() == 0 {
                 ep.send(1, Tag(1), Bytes::from_static(b"first")).unwrap();
@@ -267,7 +300,8 @@ mod tests {
                 channel_capacity: 1,
                 ..WorldConfig::default()
             },
-        );
+        )
+        .unwrap();
         let out = world.run(move |mut ep| {
             let me = ep.rank();
             let mut reqs = Vec::new();
@@ -290,7 +324,7 @@ mod tests {
 
     #[test]
     fn isend_completion_via_test() {
-        let world = World::new(2, WorldConfig::default());
+        let world = World::new(2, WorldConfig::default()).unwrap();
         let out = world.run(|mut ep| {
             if ep.rank() == 0 {
                 let mut req = ep.isend(1, Tag(0), Bytes::from_static(b"x")).unwrap();
@@ -308,7 +342,7 @@ mod tests {
 
     #[test]
     fn irecv_completes_when_message_arrives() {
-        let world = World::new(2, WorldConfig::default());
+        let world = World::new(2, WorldConfig::default()).unwrap();
         let out = world.run(|mut ep| {
             if ep.rank() == 1 {
                 let mut rr = ep.irecv(Some(0), Some(Tag(4)));
@@ -333,7 +367,7 @@ mod tests {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let counter = Arc::new(AtomicUsize::new(0));
         let c2 = Arc::clone(&counter);
-        let world = World::new(4, WorldConfig::default());
+        let world = World::new(4, WorldConfig::default()).unwrap();
         let out = world.run(move |ep| {
             c2.fetch_add(1, Ordering::SeqCst);
             ep.barrier();
@@ -345,7 +379,7 @@ mod tests {
 
     #[test]
     fn metrics_count_bytes_per_link() {
-        let world = World::new(2, WorldConfig::default());
+        let world = World::new(2, WorldConfig::default()).unwrap();
         let metrics = world.metrics();
         world.run(|mut ep| {
             if ep.rank() == 0 {
@@ -362,7 +396,7 @@ mod tests {
 
     #[test]
     fn self_send_works() {
-        let world = World::new(1, WorldConfig::default());
+        let world = World::new(1, WorldConfig::default()).unwrap();
         let out = world.run(|mut ep| {
             ep.send(0, Tag(0), Bytes::from_static(b"me")).unwrap();
             ep.recv(Some(0), Some(Tag(0))).unwrap().payload
@@ -383,7 +417,8 @@ mod tests {
                     channel_capacity: 2,
                     ..WorldConfig::default()
                 },
-            );
+            )
+            .unwrap();
             let out = world.run(move |mut ep| {
                 let me = ep.rank();
                 let mut rng = StdRng::seed_from_u64(seed ^ (me as u64) << 8);
@@ -436,8 +471,141 @@ mod tests {
     }
 
     #[test]
+    fn zero_rank_world_is_an_error() {
+        let err = match World::new(0, WorldConfig::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("size 0 must be rejected"),
+        };
+        assert_eq!(err.subsystem(), "mpi");
+        assert!(err.message().contains("0 ranks"), "{err}");
+    }
+
+    #[test]
+    fn recv_deadline_times_out_instead_of_hanging() {
+        let world = World::new(
+            2,
+            WorldConfig {
+                recv_timeout: Some(Duration::from_millis(30)),
+                ..WorldConfig::default()
+            },
+        )
+        .unwrap();
+        let out = world.run(|mut ep| {
+            if ep.rank() == 0 {
+                // Never send: rank 1's recv must hit its deadline.
+                String::new()
+            } else {
+                let start = std::time::Instant::now();
+                let err = ep.recv(Some(0), Some(Tag(1))).unwrap_err();
+                assert!(start.elapsed() >= Duration::from_millis(30));
+                err.subsystem().to_string()
+            }
+        });
+        assert_eq!(out[1], "timeout");
+    }
+
+    #[test]
+    fn explicit_deadline_overrides_endpoint_default() {
+        let world = World::new(2, WorldConfig::default()).unwrap();
+        let out = world.run(|mut ep| {
+            if ep.rank() == 0 {
+                true
+            } else {
+                ep.recv_deadline(Some(0), None, Some(Duration::from_millis(10)))
+                    .is_err()
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn poisoned_peer_fails_fast() {
+        let world = World::new(
+            2,
+            WorldConfig {
+                // A long deadline: the poison check must beat it.
+                recv_timeout: Some(Duration::from_secs(30)),
+                ..WorldConfig::default()
+            },
+        )
+        .unwrap();
+        let out = world.run(|mut ep| {
+            if ep.rank() == 0 {
+                // Crash without sending anything.
+                ep.poison();
+                String::new()
+            } else {
+                let start = std::time::Instant::now();
+                let err = ep.recv(Some(0), Some(Tag(1))).unwrap_err();
+                assert!(
+                    start.elapsed() < Duration::from_secs(5),
+                    "fail-fast took the slow path"
+                );
+                err.subsystem().to_string()
+            }
+        });
+        assert_eq!(out[1], "rank-failed");
+    }
+
+    #[test]
+    fn poison_does_not_eat_already_delivered_messages() {
+        let world = World::new(2, WorldConfig::default()).unwrap();
+        let out = world.run(|mut ep| {
+            if ep.rank() == 0 {
+                ep.send(1, Tag(1), Bytes::from_static(b"last words"))
+                    .unwrap();
+                ep.poison();
+                Bytes::new()
+            } else {
+                // Delivered-before-crash data must still match.
+                ep.recv(Some(0), Some(Tag(1))).unwrap().payload
+            }
+        });
+        assert_eq!(out[1], Bytes::from_static(b"last words"));
+    }
+
+    #[test]
+    fn fault_plan_drops_messages_deterministically() {
+        use hdm_faults::{FaultPlan, Site};
+        // Find a (seed, seq) whose send is dropped, then check the wire.
+        let plan = (0..256u64)
+            .map(FaultPlan::with_seed)
+            .find(|p| (0..64).any(|seq| p.should_drop(Site::MpiSend, 0, seq)))
+            .expect("no dropping seed in 256 candidates");
+        let sends: u64 = 64;
+        let expected: u64 = (0..sends)
+            .filter(|&seq| !plan.should_drop(Site::MpiSend, 0, seq))
+            .count() as u64;
+        assert!(expected < sends, "at least one message must drop");
+        let world = World::new(
+            2,
+            WorldConfig {
+                faults: plan,
+                recv_timeout: Some(Duration::from_millis(200)),
+                ..WorldConfig::default()
+            },
+        )
+        .unwrap();
+        let out = world.run(move |mut ep| {
+            if ep.rank() == 0 {
+                for _ in 0..sends {
+                    ep.send(1, Tag(3), Bytes::from_static(b"x")).unwrap();
+                }
+                0
+            } else {
+                let mut got = 0u64;
+                while ep.recv(Some(0), Some(Tag(3))).is_ok() {
+                    got += 1;
+                }
+                got
+            }
+        });
+        assert_eq!(out[1], expected);
+    }
+
+    #[test]
     fn send_to_invalid_rank_errors() {
-        let world = World::new(1, WorldConfig::default());
+        let world = World::new(1, WorldConfig::default()).unwrap();
         let out = world.run(|mut ep| ep.send(5, Tag(0), Bytes::new()).is_err());
         assert!(out[0]);
     }

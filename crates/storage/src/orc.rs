@@ -500,7 +500,10 @@ fn read_footer(dfs: &Dfs, path: &str) -> Result<(Vec<StripeInfo>, u64)> {
     if file_len < 8 {
         return Err(HdmError::Storage(format!("{path}: too short for ORC")));
     }
-    let trailer = dfs.read_range(path, file_len - 8, 8, None)?;
+    // Planning-path reads (split enumeration happens in the driver, with
+    // no task retry around it) — exempt from storage fault injection;
+    // the stripes' chunk reads in `read_split` stay injected.
+    let trailer = dfs.read_range_planning(path, file_len - 8, 8, None)?;
     if &trailer[4..] != ORC_MAGIC {
         return Err(HdmError::Storage(format!("{path}: bad ORC magic")));
     }
@@ -508,7 +511,7 @@ fn read_footer(dfs: &Dfs, path: &str) -> Result<(Vec<StripeInfo>, u64)> {
     if flen + 8 > file_len {
         return Err(HdmError::Storage(format!("{path}: corrupt footer length")));
     }
-    let raw = dfs.read_range(path, file_len - 8 - flen, flen, None)?;
+    let raw = dfs.read_range_planning(path, file_len - 8 - flen, flen, None)?;
     let mut buf = &raw[..];
     let n_stripes = codec::read_varint(&mut buf)? as usize;
     let mut stripes = Vec::with_capacity(n_stripes);
