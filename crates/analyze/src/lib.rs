@@ -122,6 +122,7 @@ pub fn scope_for(rel: &str) -> FileScope {
             || in_dir("crates/obs/src/")
             || rel.ends_with("crates/core/src/engine.rs")
             || rel.ends_with("crates/core/src/driver.rs")
+            || rel.ends_with("crates/core/src/sched.rs")
             || rel.ends_with("crates/common/src/sortkey.rs")
             || rel.ends_with("crates/common/src/stats.rs"),
         mpisim: in_dir("crates/mpisim/src/"),
@@ -424,6 +425,11 @@ pub fn f(v: &[u8]) -> u8 {
         // Fault-plan decisions run inside send/recv loops and recovery
         // supervisors — a panic there defeats the recovery machinery.
         assert!(check_source("crates/faults/src/lib.rs", src)
+            .iter()
+            .any(|d| d.rule == rules::no_panic::ID));
+        // The stage scheduler dispatches every query's stages; a panic
+        // there strands in-flight workers mid-query.
+        assert!(check_source("crates/core/src/sched.rs", src)
             .iter()
             .any(|d| d.rule == rules::no_panic::ID));
         assert!(check_source("crates/workloads/src/zipf.rs", src).is_empty());

@@ -13,7 +13,18 @@
 //! fault-free and once with `hive.ft.*` armed on that seed, and the
 //! normalized result sets must match. Exit code is nonzero iff any
 //! query errors out or diverges.
+//!
+//! `--only q<N>` (e.g. `--only q9`) switches to the parallel-scheduler
+//! smoke: query N runs on both engines with `hive.exec.parallel` off
+//! and on, and the collected rows must be byte-identical. Mixing
+//! `q<N>` selectors with experiment substrings is an error.
+//!
+//! Everything printed is also appended to `target/repro_output.txt`
+//! (honoring `CARGO_TARGET_DIR`); the log is regenerated per run, not
+//! checked in.
 
+use std::io::Write;
+use std::path::PathBuf;
 use std::process::Command;
 
 use hdm_core::{Driver, EngineKind};
@@ -61,23 +72,102 @@ fn normalize(mut lines: Vec<String>) -> Vec<String> {
     lines
 }
 
-/// Chaos smoke: every TPC-H query under every given fault seed must
-/// match its fault-free result set. Returns the number of failures.
-fn chaos_smoke(seeds: &[u64]) -> usize {
+/// The run log under `target/` (or `CARGO_TARGET_DIR`). Everything the
+/// driver binary prints is duplicated here so a full reproduction run
+/// leaves a reviewable transcript without checking artifacts into git.
+struct RunLog(Option<std::fs::File>);
+
+impl RunLog {
+    fn create() -> (RunLog, PathBuf) {
+        let dir = PathBuf::from(
+            std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+        );
+        let path = dir.join("repro_output.txt");
+        let file = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::File::create(&path))
+            .ok();
+        if file.is_none() {
+            eprintln!("note: could not open {} for writing", path.display());
+        }
+        (RunLog(file), path)
+    }
+
+    fn say(&mut self, line: &str) {
+        println!("{line}");
+        self.append(line);
+    }
+
+    fn warn(&mut self, line: &str) {
+        eprintln!("{line}");
+        self.append(line);
+    }
+
+    fn append(&mut self, line: &str) {
+        if let Some(f) = &mut self.0 {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+/// Parallel-scheduler smoke: each selected TPC-H query must produce
+/// byte-identical rows with `hive.exec.parallel` off and on, on both
+/// engines. Returns the number of failures.
+fn parallel_smoke(queries: &[usize], log: &mut RunLog) -> usize {
     let mut d = Driver::in_memory();
     if let Err(e) = tpch::load(&mut d, 0.002, 20150701, FormatKind::Text) {
-        eprintln!("tpch load failed: {e}");
+        log.warn(&format!("tpch load failed: {e}"));
+        return 1;
+    }
+    let mut failures = 0usize;
+    for &n in queries {
+        for engine in [EngineKind::DataMpi, EngineKind::Hadoop] {
+            let run = |d: &mut Driver, on: bool| {
+                let c = d.conf_mut();
+                c.set(hdm_common::conf::KEY_EXEC_PARALLEL, on);
+                c.set(hdm_common::conf::KEY_EXEC_PARALLEL_THREADS, 8);
+                d.execute_on(tpch::queries::query(n), engine)
+                    .map(|r| r.to_lines())
+            };
+            match (run(&mut d, false), run(&mut d, true)) {
+                (Ok(seq), Ok(par)) if seq == par => {
+                    log.say(&format!(
+                        "Q{n:02} {engine:?}: parallel == sequential ({} rows)",
+                        seq.len()
+                    ));
+                }
+                (Ok(_), Ok(_)) => {
+                    log.warn(&format!("Q{n} {engine:?}: parallel run DIVERGED"));
+                    failures += 1;
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    log.warn(&format!("Q{n} {engine:?}: FAILED: {e}"));
+                    failures += 1;
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Chaos smoke: every TPC-H query under every given fault seed must
+/// match its fault-free result set. Returns the number of failures.
+fn chaos_smoke(seeds: &[u64], log: &mut RunLog) -> usize {
+    let mut d = Driver::in_memory();
+    if let Err(e) = tpch::load(&mut d, 0.002, 20150701, FormatKind::Text) {
+        log.warn(&format!("tpch load failed: {e}"));
         return 1;
     }
     let mut failures = 0usize;
     for &seed in seeds {
-        println!("\n######## chaos smoke, fault seed {seed} ########");
+        log.say(&format!(
+            "\n######## chaos smoke, fault seed {seed} ########"
+        ));
         for n in tpch::queries::all() {
             d.conf_mut().set(hdm_common::conf::KEY_FT_ENABLED, false);
             let clean = match d.execute_on(tpch::queries::query(n), EngineKind::DataMpi) {
                 Ok(r) => normalize(r.to_lines()),
                 Err(e) => {
-                    eprintln!("Q{n} FAILED fault-free: {e}");
+                    log.warn(&format!("Q{n} FAILED fault-free: {e}"));
                     failures += 1;
                     continue;
                 }
@@ -89,14 +179,14 @@ fn chaos_smoke(seeds: &[u64]) -> usize {
             c.set(hdm_common::conf::KEY_FT_RECV_TIMEOUT_MS, 400);
             match d.execute_on(tpch::queries::query(n), EngineKind::DataMpi) {
                 Ok(r) if normalize(r.to_lines()) == clean => {
-                    println!("Q{n:02}: ok ({} rows)", clean.len());
+                    log.say(&format!("Q{n:02}: ok ({} rows)", clean.len()));
                 }
                 Ok(_) => {
-                    eprintln!("Q{n} DIVERGED under fault seed {seed}");
+                    log.warn(&format!("Q{n} DIVERGED under fault seed {seed}"));
                     failures += 1;
                 }
                 Err(e) => {
-                    eprintln!("Q{n} FAILED under fault seed {seed}: {e}");
+                    log.warn(&format!("Q{n} FAILED under fault seed {seed}: {e}"));
                     failures += 1;
                 }
             }
@@ -135,15 +225,42 @@ fn main() {
             }
         }
     }
+    let (mut log, log_path) = RunLog::create();
     if !fault_seeds.is_empty() {
-        let failures = chaos_smoke(&fault_seeds);
+        let failures = chaos_smoke(&fault_seeds, &mut log);
         if failures == 0 {
-            println!(
+            log.say(&format!(
                 "\nchaos smoke passed: 22 queries x {} seed(s), all correct",
                 fault_seeds.len()
-            );
+            ));
         } else {
-            eprintln!("\nchaos smoke: {failures} FAILURE(S)");
+            log.warn(&format!("\nchaos smoke: {failures} FAILURE(S)"));
+            std::process::exit(1);
+        }
+        return;
+    }
+    // `--only q<N>` selectors switch to the parallel-scheduler smoke.
+    let query_nums: Vec<usize> = only
+        .iter()
+        .filter_map(|f| f.strip_prefix('q').and_then(|n| n.parse().ok()))
+        .collect();
+    if !query_nums.is_empty() {
+        if query_nums.len() != only.len() {
+            eprintln!("cannot mix q<N> selectors with experiment filters: {only:?}");
+            std::process::exit(2);
+        }
+        if let Some(bad) = query_nums.iter().find(|&&n| !(1..=22).contains(&n)) {
+            eprintln!("q{bad} is not a TPC-H query (expected q1..q22)");
+            std::process::exit(2);
+        }
+        let failures = parallel_smoke(&query_nums, &mut log);
+        if failures == 0 {
+            log.say(&format!(
+                "\nparallel smoke passed: {} query(ies), both engines, on == off",
+                query_nums.len()
+            ));
+        } else {
+            log.warn(&format!("\nparallel smoke: {failures} FAILURE(S)"));
             std::process::exit(1);
         }
         return;
@@ -158,34 +275,46 @@ fn main() {
         std::process::exit(2);
     }
     // Running as separate processes keeps each experiment's memory
-    // bounded and its output self-contained.
+    // bounded and its output self-contained; captured output is relayed
+    // to the console and the run log.
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
     let mut failures: Vec<String> = Vec::new();
     for bin in &selected {
-        println!("\n######## {bin} ########");
+        log.say(&format!("\n######## {bin} ########"));
         let path = dir.join(bin);
-        match Command::new(&path).status() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                eprintln!("{bin} FAILED with {status}");
-                failures.push(format!("{bin} ({status})"));
+        match Command::new(&path).output() {
+            Ok(out) => {
+                print!("{}", String::from_utf8_lossy(&out.stdout));
+                eprint!("{}", String::from_utf8_lossy(&out.stderr));
+                log.append(String::from_utf8_lossy(&out.stdout).trim_end());
+                if !out.stderr.is_empty() {
+                    log.append(String::from_utf8_lossy(&out.stderr).trim_end());
+                }
+                if !out.status.success() {
+                    log.warn(&format!("{bin} FAILED with {}", out.status));
+                    failures.push(format!("{bin} ({})", out.status));
+                }
             }
             Err(e) => {
-                eprintln!("failed to launch {bin}: {e}");
+                log.warn(&format!("failed to launch {bin}: {e}"));
                 failures.push(format!("{bin} (launch: {e})"));
             }
         }
     }
     if failures.is_empty() {
-        println!("\nall {} selected experiment(s) completed", selected.len());
+        log.say(&format!(
+            "\nall {} selected experiment(s) completed (log: {})",
+            selected.len(),
+            log_path.display()
+        ));
     } else {
-        eprintln!(
+        log.warn(&format!(
             "\n{} of {} experiment(s) FAILED: {}",
             failures.len(),
             selected.len(),
             failures.join(", ")
-        );
+        ));
         std::process::exit(1);
     }
 }

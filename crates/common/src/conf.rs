@@ -80,6 +80,13 @@ pub const KEY_FT_RECV_TIMEOUT_MS: &str = "hive.ft.recv.timeout.ms";
 /// exhausted (`mapreduce`, `datampi`, or `none` to disable the fallback).
 /// Default `mapreduce`, mirroring the paper's engine-plug-in seam.
 pub const KEY_FT_FALLBACK_ENGINE: &str = "hive.ft.fallback.engine";
+/// Whether independent stages of a query DAG run concurrently (Hive's
+/// `hive.exec.parallel`). Default true; `false` restores the strictly
+/// sequential pre-scheduler driver loop.
+pub const KEY_EXEC_PARALLEL: &str = "hive.exec.parallel";
+/// Worker-thread cap for concurrent stage execution (Hive's
+/// `hive.exec.parallel.thread.number`). Default 8.
+pub const KEY_EXEC_PARALLEL_THREADS: &str = "hive.exec.parallel.thread.number";
 
 /// The parallelism strategy of Section IV-D.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -327,6 +334,33 @@ impl JobConf {
         }
     }
 
+    /// Whether independent DAG stages may run concurrently. Default
+    /// **true** (Hive's enterprise-era `hive.exec.parallel` default was
+    /// false for compatibility; our scheduler is differential-tested
+    /// against the sequential path, so it is on by default).
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not a bool.
+    pub fn exec_parallel(&self) -> Result<bool> {
+        self.get_bool(KEY_EXEC_PARALLEL, true)
+    }
+
+    /// Stage-scheduler worker cap. Default **8**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer
+    /// or is less than 1 (the scheduler needs at least one worker to make
+    /// progress).
+    pub fn exec_parallel_threads(&self) -> Result<usize> {
+        let v = self.get_i64(KEY_EXEC_PARALLEL_THREADS, 8)?;
+        if v < 1 {
+            return Err(HdmError::Config(format!(
+                "{KEY_EXEC_PARALLEL_THREADS}: expected a thread count >= 1, got {v}"
+            )));
+        }
+        Ok(v as usize)
+    }
+
     /// Iterate over all `(key, value)` entries in sorted key order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
         self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
@@ -487,6 +521,36 @@ mod tests {
         assert!(err.message().contains("mapreduce|hadoop|datampi|none"));
         let c = JobConf::new().with(KEY_FT_ENABLED, "maybe");
         assert!(c.ft_enabled().is_err());
+    }
+
+    #[test]
+    fn exec_parallel_knobs_default_on_and_validate() {
+        let c = JobConf::new();
+        assert!(c.exec_parallel().unwrap());
+        assert_eq!(c.exec_parallel_threads().unwrap(), 8);
+
+        let c = JobConf::new()
+            .with(KEY_EXEC_PARALLEL, "false")
+            .with(KEY_EXEC_PARALLEL_THREADS, 2);
+        assert!(!c.exec_parallel().unwrap());
+        assert_eq!(c.exec_parallel_threads().unwrap(), 2);
+    }
+
+    #[test]
+    fn exec_parallel_knobs_out_of_range_are_errors() {
+        let c = JobConf::new().with(KEY_EXEC_PARALLEL, "sometimes");
+        assert!(c.exec_parallel().is_err());
+
+        let c = JobConf::new().with(KEY_EXEC_PARALLEL_THREADS, 0);
+        assert!(c
+            .exec_parallel_threads()
+            .unwrap_err()
+            .message()
+            .contains(">= 1"));
+        let c = JobConf::new().with(KEY_EXEC_PARALLEL_THREADS, -4);
+        assert!(c.exec_parallel_threads().is_err());
+        let c = JobConf::new().with(KEY_EXEC_PARALLEL_THREADS, "many");
+        assert!(c.exec_parallel_threads().is_err());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use hdm_common::error::{HdmError, Result};
 use hdm_common::row::Row;
 use hdm_dfs::{Dfs, DfsConfig, NodeId};
 use hdm_storage::format_for;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// The result of one statement.
@@ -326,7 +327,59 @@ impl Driver {
         Ok(results)
     }
 
+    /// Execute a hand-built physical plan on a specific engine — the
+    /// raw entry point for stage DAGs with genuinely parallel branches,
+    /// which the SQL planner (left-deep chains) does not emit. Goes
+    /// through the same scheduler, fault-fallback, obs export, and
+    /// intermediate-cleanup path as compiled statements. When the last
+    /// stage is a `Collect` sink, its rows are read back into the
+    /// result.
+    ///
+    /// # Errors
+    /// Rejects plans whose stage ids are not `0..n` in order (the
+    /// scheduler and intermediate plumbing key on them), and propagates
+    /// execution failures.
+    pub fn execute_raw_plan(
+        &mut self,
+        plan: &crate::physical::QueryPlan,
+        engine: EngineKind,
+    ) -> Result<QueryResult> {
+        if let Some((pos, stage)) = plan
+            .stages
+            .iter()
+            .enumerate()
+            .find(|(pos, stage)| stage.id != *pos)
+        {
+            return Err(HdmError::Plan(format!(
+                "raw plan stage at position {pos} has id {}; stage ids must equal their position",
+                stage.id
+            )));
+        }
+        let stages = self.execute_plan(plan, engine)?;
+        let (rows, columns) = match (plan.stages.last(), stages.last()) {
+            (Some(last_plan), Some(last)) if last_plan.output == StageOutput::Collect => (
+                read_seq_outputs(&self.dfs, &last.output_paths)?,
+                last_plan.out_names.clone(),
+            ),
+            (Some(last_plan), _) => (Vec::new(), last_plan.out_names.clone()),
+            _ => (Vec::new(), Vec::new()),
+        };
+        Ok(QueryResult {
+            rows,
+            columns,
+            stages,
+        })
+    }
+
     /// Run every stage of a plan on one engine, threading intermediates.
+    ///
+    /// Stages are scheduled over the plan's dependency DAG
+    /// ([`crate::physical::QueryPlan::dag`]): with `hive.exec.parallel`
+    /// (default on) independent stages run concurrently on up to
+    /// `hive.exec.parallel.thread.number` workers; with it off the
+    /// scheduler degenerates to the classic sequential loop. Stage
+    /// results come back indexed by stage id, so the returned order is
+    /// identical either way.
     fn run_plan_stages(
         &self,
         plan: &crate::physical::QueryPlan,
@@ -334,30 +387,52 @@ impl Driver {
         query_id: u64,
         obs: &hdm_obs::ObsHandle,
     ) -> Result<Vec<StageResult>> {
-        let mut intermediates: HashMap<usize, Vec<String>> = HashMap::new();
-        let mut dag_intermediates: HashMap<usize, std::sync::Arc<Vec<Row>>> = HashMap::new();
-        let mut results = Vec::new();
-        for stage in &plan.stages {
-            let stage_span = obs.span("driver", "phase", stage.kind.name());
+        let threads = if self.conf.exec_parallel()? {
+            self.conf.exec_parallel_threads()?
+        } else {
+            1
+        };
+        let intermediates: Mutex<HashMap<usize, Vec<String>>> = Mutex::new(HashMap::new());
+        let dag_intermediates: Mutex<HashMap<usize, std::sync::Arc<Vec<Row>>>> =
+            Mutex::new(HashMap::new());
+        crate::sched::run_dag(&plan.dag(), threads, obs, |stage_id| {
+            let stage = plan
+                .stages
+                .get(stage_id)
+                .ok_or_else(|| HdmError::Plan(format!("plan has no stage {stage_id}")))?;
+            // Snapshot the upstream outputs visible to this stage. Its
+            // dependencies completed before it was scheduled, so the
+            // snapshot is complete for every input it will read, and
+            // concurrent siblings publishing their own outputs cannot
+            // race the borrowed maps in StageContext.
+            let inter = intermediates.lock().clone();
+            let dag_inter = dag_intermediates.lock().clone();
+            // Spans live on the stage's own track: concurrent stages
+            // must not interleave into one misordered "driver" row.
+            let track = format!("stage{}", stage.id);
+            let stage_span = obs.span(&track, "phase", stage.kind.name());
             let ctx = StageContext {
                 dfs: &self.dfs,
                 metastore: &self.metastore,
                 conf: &self.conf,
                 engine,
-                intermediates: &intermediates,
-                dag_intermediates: &dag_intermediates,
+                intermediates: &inter,
+                dag_intermediates: &dag_inter,
                 query_id,
                 obs: obs.clone(),
             };
             let result = execute_stage(stage, &ctx)?;
             drop(stage_span);
-            intermediates.insert(stage.id, result.output_paths.clone());
+            intermediates
+                .lock()
+                .insert(stage.id, result.output_paths.clone());
             if let Some(rows) = &result.mem_output {
-                dag_intermediates.insert(stage.id, std::sync::Arc::clone(rows));
+                dag_intermediates
+                    .lock()
+                    .insert(stage.id, std::sync::Arc::clone(rows));
             }
-            results.push(result);
-        }
-        Ok(results)
+            Ok(result)
+        })
     }
 
     /// The engine a failed fault-tolerant query falls back to, from

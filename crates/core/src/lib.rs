@@ -59,5 +59,6 @@ pub mod operators;
 pub mod optimizer;
 pub mod parser;
 pub mod physical;
+pub mod sched;
 
 pub use driver::{Driver, EngineKind, QueryResult};

@@ -160,6 +160,30 @@ pub struct QueryPlan {
     pub stages: Vec<StagePlan>,
 }
 
+impl QueryPlan {
+    /// Inter-stage dependency edges, derived from each stage's inputs:
+    /// `dag()[i]` lists the stage ids whose intermediates stage `i`
+    /// reads (sorted, deduplicated). Base-table scans contribute no
+    /// edge, so stages whose inputs are all tables are DAG roots and
+    /// may run as soon as the scheduler has a free worker.
+    pub fn dag(&self) -> Vec<Vec<usize>> {
+        self.stages
+            .iter()
+            .map(|stage| {
+                let deps: BTreeSet<usize> = stage
+                    .inputs
+                    .iter()
+                    .filter_map(|input| match input.source {
+                        InputSource::Stage(id) => Some(id),
+                        InputSource::Table(_) => None,
+                    })
+                    .collect();
+                deps.into_iter().collect()
+            })
+            .collect()
+    }
+}
+
 /// Column layout of an intermediate relation: which original
 /// `(source, column)` each position holds.
 type Layout = Vec<(usize, usize)>;
@@ -864,6 +888,64 @@ mod tests {
         // Pushdown on the ORC table.
         assert_eq!(p.stages[0].inputs[0].pushdown.len(), 1);
         assert_eq!(p.stages[0].inputs[0].pushdown[0].col, 3);
+    }
+
+    #[test]
+    fn dag_edges_follow_stage_inputs() {
+        // Linear chain: join → aggregate → sort.
+        let p = plan(
+            "SELECT c_mktsegment, SUM(o_totalprice) AS rev FROM customer c \
+             JOIN orders o ON c.c_custkey = o.o_custkey \
+             GROUP BY c_mktsegment ORDER BY rev DESC LIMIT 10",
+        );
+        assert_eq!(p.dag(), vec![vec![], vec![0], vec![1]]);
+
+        // Single map-only stage: one root, no edges.
+        let p = plan("SELECT o_orderkey FROM orders");
+        assert_eq!(p.dag(), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn dag_dedups_and_sorts_multi_input_edges() {
+        // A hand-built diamond: stages 0 and 1 scan tables, stage 2
+        // joins both intermediates (and lists the dependency edges in
+        // descending, duplicated form to exercise normalization).
+        let p = plan("SELECT o_orderkey FROM orders");
+        let base = p.stages.into_iter().next().unwrap();
+        let mk = |id: usize, sources: Vec<InputSource>, is_last: bool| {
+            let mut s = base.clone();
+            s.id = id;
+            s.is_last = is_last;
+            s.output = if is_last {
+                StageOutput::Collect
+            } else {
+                StageOutput::Intermediate
+            };
+            s.inputs = sources
+                .into_iter()
+                .map(|src| MapInput {
+                    source: src,
+                    ..base.inputs[0].clone()
+                })
+                .collect();
+            s
+        };
+        let diamond = QueryPlan {
+            stages: vec![
+                mk(0, vec![InputSource::Table("orders".into())], false),
+                mk(1, vec![InputSource::Table("customer".into())], false),
+                mk(
+                    2,
+                    vec![
+                        InputSource::Stage(1),
+                        InputSource::Stage(0),
+                        InputSource::Stage(1),
+                    ],
+                    true,
+                ),
+            ],
+        };
+        assert_eq!(diamond.dag(), vec![vec![], vec![], vec![0, 1]]);
     }
 
     #[test]

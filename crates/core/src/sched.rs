@@ -1,0 +1,545 @@
+//! DAG-aware concurrent stage scheduler.
+//!
+//! The driver used to run a plan's stages in a strict `for` loop —
+//! pre-`hive.exec.parallel` Hive-on-MapReduce behaviour. This module
+//! topologically schedules stages onto a bounded worker pool instead, so
+//! independent DAG branches (two sides of a join cascade, Q9-style
+//! supplier/part subtrees in hand-built plans) overlap on both engines.
+//!
+//! Shape: a ready-queue + completion-channel scheduler. The calling
+//! thread is the dispatcher; it pushes ready stage ids (lowest id first)
+//! into a work channel, `threads` scoped workers pull, execute, and send
+//! `(id, Result)` back on a completion channel, and the dispatcher
+//! retires completions, unlocking children whose last dependency just
+//! finished. With `threads <= 1` the scheduler degenerates to an inline
+//! sequential loop — no threads are spawned, matching the pre-scheduler
+//! driver loop exactly (this is the `hive.exec.parallel=false` path).
+//!
+//! Determinism: results are keyed by stage id (not completion order),
+//! every stage's execution is itself deterministic given its inputs, and
+//! a stage only starts after all its dependencies completed — so the
+//! returned `Vec<T>` is identical whatever the interleaving. The ready
+//! queue pops the lowest stage id first, which makes the sequential
+//! order exactly the plan order for the linear chains the SQL planner
+//! emits today.
+//!
+//! Failure: when a stage errors the dispatcher stops launching new
+//! stages but keeps draining completions until every in-flight stage
+//! has finished. The caller (driver engine-fallback) can therefore
+//! delete partial outputs without racing still-running sibling stages.
+//!
+//! Observability: each stage gets a `sched.wait` span (ready → start)
+//! and a `sched.run` span on its own `stage{id}` track, and the
+//! `sched.max.concurrent` gauge records the peak number of stages
+//! executing at once (never above the thread cap).
+
+use hdm_common::error::{HdmError, Result};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Instant;
+
+/// Dependency edges: `deps[i]` lists the stages that must complete
+/// before stage `i` may start (what [`QueryPlan::dag`] returns).
+///
+/// [`QueryPlan::dag`]: crate::physical::QueryPlan::dag
+type Deps = [Vec<usize>];
+
+/// Run every node of a dependency DAG through `run`, at most `threads`
+/// at a time, and return the per-stage results indexed by stage id.
+///
+/// `run` must be safe to call from worker threads (`Sync`); it receives
+/// the stage id. Duplicate edges are collapsed.
+///
+/// # Errors
+/// - [`HdmError::Plan`] if `deps` references an out-of-range stage or
+///   contains a cycle (nothing is executed in that case).
+/// - The error of a failed stage, after all in-flight stages have
+///   drained. When several stages fail, the lowest-id failure wins.
+pub fn run_dag<T, F>(
+    deps: &Deps,
+    threads: usize,
+    obs: &hdm_obs::ObsHandle,
+    run: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let shape = Shape::of(deps)?;
+    if shape.n == 0 {
+        return Ok(Vec::new());
+    }
+    let inst = Instruments::new(obs);
+    if threads <= 1 || shape.n == 1 {
+        run_sequential(shape, &inst, &run)
+    } else {
+        run_concurrent(shape, threads, &inst, &run)
+    }
+}
+
+/// Validated DAG shape: per-stage indegrees and forward (child) edges.
+struct Shape {
+    n: usize,
+    indegree: Vec<usize>,
+    children: Vec<Vec<usize>>,
+}
+
+impl Shape {
+    /// Build and validate: rejects out-of-range edges and cycles before
+    /// any stage runs.
+    fn of(deps: &Deps) -> Result<Shape> {
+        let n = deps.len();
+        let mut indegree = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (stage, stage_deps) in deps.iter().enumerate() {
+            let mut seen: Vec<usize> = Vec::with_capacity(stage_deps.len());
+            for &dep in stage_deps {
+                if dep >= n {
+                    return Err(HdmError::Plan(format!(
+                        "stage {stage} depends on unknown stage {dep} (plan has {n} stages)"
+                    )));
+                }
+                if seen.contains(&dep) {
+                    continue; // collapse duplicate edges
+                }
+                seen.push(dep);
+                if let Some(d) = indegree.get_mut(stage) {
+                    *d += 1;
+                }
+                if let Some(c) = children.get_mut(dep) {
+                    c.push(stage);
+                }
+            }
+        }
+        // Kahn pass over a scratch copy: every stage must be reachable
+        // through zero-indegree frontiers, or the "DAG" has a cycle.
+        let mut scratch = indegree.clone();
+        let mut frontier: Vec<usize> = scratch
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(node) = frontier.pop() {
+            visited += 1;
+            for &child in children.get(node).map(Vec::as_slice).unwrap_or_default() {
+                if let Some(d) = scratch.get_mut(child) {
+                    *d -= 1;
+                    if *d == 0 {
+                        frontier.push(child);
+                    }
+                }
+            }
+        }
+        if visited != n {
+            return Err(HdmError::Plan(format!(
+                "stage dependency cycle: only {visited} of {n} stages are schedulable"
+            )));
+        }
+        Ok(Shape {
+            n,
+            indegree,
+            children,
+        })
+    }
+
+    /// Initial ready set: all zero-indegree stages, lowest id first.
+    fn roots(&self) -> BinaryHeap<Reverse<usize>> {
+        self.indegree
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| Reverse(i))
+            .collect()
+    }
+}
+
+/// Shared scheduler instrumentation: the running-stage level (for the
+/// `sched.max.concurrent` high-water gauge) plus the obs handle the
+/// per-stage spans are recorded into. Disabled obs: the gauge is never
+/// registered and every span call is an atomic-load no-op.
+struct Instruments<'a> {
+    obs: &'a hdm_obs::ObsHandle,
+    running: AtomicI64,
+    peak: Option<hdm_obs::Gauge>,
+}
+
+impl Instruments<'_> {
+    fn new(obs: &hdm_obs::ObsHandle) -> Instruments<'_> {
+        Instruments {
+            obs,
+            running: AtomicI64::new(0),
+            peak: obs
+                .is_enabled()
+                .then(|| obs.gauge("sched.max.concurrent", "")),
+        }
+    }
+
+    /// Execute one stage: record its queue wait, track the concurrency
+    /// level, and wrap the execution in a `sched.run` span on the
+    /// stage's own track.
+    fn run_stage<T>(
+        &self,
+        stage: usize,
+        ready_at: Instant,
+        run: &(impl Fn(usize) -> Result<T> + ?Sized),
+    ) -> Result<T> {
+        let track = format!("stage{stage}");
+        if self.obs.is_enabled() {
+            let ready_us = self.obs.micros_since_epoch(ready_at);
+            let now_us = self.obs.micros_since_epoch(Instant::now());
+            self.obs.record_span_at(
+                &track,
+                "sched",
+                "sched.wait",
+                ready_us,
+                now_us.saturating_sub(ready_us),
+            );
+        }
+        let level = self.running.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(peak) = &self.peak {
+            peak.record_max(level);
+        }
+        let span = self.obs.span(&track, "sched", "sched.run");
+        let out = run(stage);
+        drop(span);
+        self.running.fetch_sub(1, Ordering::Relaxed);
+        out
+    }
+}
+
+/// The `threads <= 1` path: the pre-scheduler sequential loop, kept
+/// inline (no worker threads) so `hive.exec.parallel=false` costs
+/// exactly what the old driver loop cost. Stops at the first error —
+/// nothing else is in flight.
+fn run_sequential<T>(
+    shape: Shape,
+    inst: &Instruments<'_>,
+    run: &(impl Fn(usize) -> Result<T> + ?Sized),
+) -> Result<Vec<T>> {
+    let mut ready = shape.roots();
+    let Shape {
+        n,
+        mut indegree,
+        children,
+    } = shape;
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    while let Some(Reverse(stage)) = ready.pop() {
+        let value = inst.run_stage(stage, Instant::now(), run)?;
+        if let Some(slot) = results.get_mut(stage) {
+            *slot = Some(value);
+        }
+        for &child in children.get(stage).map(Vec::as_slice).unwrap_or_default() {
+            if let Some(d) = indegree.get_mut(child) {
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(Reverse(child));
+                }
+            }
+        }
+    }
+    collect(results)
+}
+
+/// The concurrent path: dispatcher on the calling thread, a bounded
+/// scoped worker pool, lowest-ready-id dispatch order, and full drain
+/// of in-flight stages on failure.
+fn run_concurrent<T, F>(
+    shape: Shape,
+    threads: usize,
+    inst: &Instruments<'_>,
+    run: &F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let mut ready = shape.roots();
+    let Shape {
+        n,
+        mut indegree,
+        children,
+    } = shape;
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut failure: Option<(usize, HdmError)> = None;
+
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, Instant)>();
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, Result<T>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                // hdm-allow(unbounded-blocking): in-process work queue;
+                // the dispatcher below provably closes it on exit.
+                while let Ok((stage, ready_at)) = work_rx.recv() {
+                    let out = inst.run_stage(stage, ready_at, run);
+                    if done_tx.send((stage, out)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        // The dispatcher's own clones must go: workers exit when the
+        // last work sender drops, and `done_rx.recv` must see
+        // disconnect (not hang) if every worker is gone.
+        drop(work_rx);
+        drop(done_tx);
+
+        let mut outstanding = 0usize;
+        loop {
+            // Launch everything ready, unless a failure put the
+            // scheduler into drain mode.
+            if failure.is_none() {
+                while let Some(Reverse(stage)) = ready.pop() {
+                    if work_tx.send((stage, Instant::now())).is_err() {
+                        break;
+                    }
+                    outstanding += 1;
+                }
+            }
+            if outstanding == 0 {
+                break;
+            }
+            // hdm-allow(unbounded-blocking): completion channel; every
+            // counted in-flight stage is owned by a live scoped worker.
+            let Ok((stage, out)) = done_rx.recv() else {
+                break;
+            };
+            outstanding -= 1;
+            match out {
+                Ok(value) => {
+                    if let Some(slot) = results.get_mut(stage) {
+                        *slot = Some(value);
+                    }
+                    for &child in children.get(stage).map(Vec::as_slice).unwrap_or_default() {
+                        if let Some(d) = indegree.get_mut(child) {
+                            *d -= 1;
+                            if *d == 0 {
+                                ready.push(Reverse(child));
+                            }
+                        }
+                    }
+                }
+                Err(err) => match &failure {
+                    // Keep the lowest-id failure so the surfaced error
+                    // does not depend on completion interleaving.
+                    Some((first, _)) if *first <= stage => {}
+                    _ => failure = Some((stage, err)),
+                },
+            }
+        }
+        drop(work_tx); // close the queue: idle workers exit their loop
+    });
+
+    match failure {
+        Some((_, err)) => Err(err),
+        None => collect(results),
+    }
+}
+
+/// Turn the id-indexed option table into the final result vector. A
+/// hole is impossible after a clean acyclic run; surface it as a plan
+/// error rather than panicking if an invariant ever breaks.
+fn collect<T>(results: Vec<Option<T>>) -> Result<Vec<T>> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(stage, slot)| {
+            slot.ok_or_else(|| {
+                HdmError::Plan(format!(
+                    "scheduler finished without executing stage {stage}"
+                ))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn obs() -> hdm_obs::ObsHandle {
+        hdm_obs::ObsHandle::enabled_with_stride(1)
+    }
+
+    /// Record execution order; return results = stage id * 10.
+    fn traced(deps: &Deps, threads: usize) -> (Vec<usize>, Vec<usize>, hdm_obs::ObsSnapshot) {
+        let order = Mutex::new(Vec::new());
+        let o = obs();
+        let out = run_dag(deps, threads, &o, |stage| {
+            order.lock().push(stage);
+            Ok(stage * 10)
+        })
+        .unwrap();
+        (out, order.into_inner(), o.snapshot())
+    }
+
+    #[test]
+    fn empty_dag_is_empty() {
+        let r: Vec<usize> = run_dag(&[], 4, &obs(), Ok).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn linear_chain_runs_in_plan_order() {
+        let deps = vec![vec![], vec![0], vec![1], vec![2]];
+        for threads in [1, 2, 8] {
+            let (out, order, _) = traced(&deps, threads);
+            assert_eq!(out, vec![0, 10, 20, 30]);
+            assert_eq!(order, vec![0, 1, 2, 3], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn diamond_respects_dependencies() {
+        // 0 → {1, 2} → 3
+        let deps = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        for threads in [1, 2, 8] {
+            let (out, order, _) = traced(&deps, threads);
+            assert_eq!(out, vec![0, 10, 20, 30]);
+            let pos = |s: usize| order.iter().position(|&x| x == s).unwrap();
+            assert!(pos(0) < pos(1) && pos(0) < pos(2));
+            assert!(pos(1) < pos(3) && pos(2) < pos(3));
+        }
+    }
+
+    #[test]
+    fn sequential_pops_lowest_ready_id_first() {
+        // All independent: sequential order must be 0,1,2,3.
+        let deps = vec![vec![], vec![], vec![], vec![]];
+        let (_, order, _) = traced(&deps, 1);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let deps = vec![vec![], vec![0, 0, 0]];
+        let (out, order, _) = traced(&deps, 4);
+        assert_eq!(out, vec![0, 10]);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn cycle_is_a_plan_error_and_runs_nothing() {
+        let ran = AtomicUsize::new(0);
+        let deps = vec![vec![2], vec![0], vec![1]];
+        let err = run_dag(&deps, 4, &obs(), |s| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            Ok(s)
+        })
+        .unwrap_err();
+        assert!(err.message().contains("cycle"), "{err}");
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+
+        let self_dep = vec![vec![0]];
+        assert!(run_dag(&self_dep, 1, &obs(), Ok).is_err());
+    }
+
+    #[test]
+    fn out_of_range_dep_is_a_plan_error() {
+        let deps = vec![vec![7]];
+        let err = run_dag(&deps, 2, &obs(), Ok).unwrap_err();
+        assert!(err.message().contains("unknown stage 7"), "{err}");
+    }
+
+    #[test]
+    fn independent_stages_overlap_up_to_the_cap() {
+        // 6 independent slow stages, cap 3: peak concurrency must reach
+        // above 1 (they genuinely overlap) and never exceed 3.
+        let deps: Vec<Vec<usize>> = (0..6).map(|_| Vec::new()).collect();
+        let o = obs();
+        run_dag(&deps, 3, &o, |s| {
+            std::thread::sleep(Duration::from_millis(30));
+            Ok(s)
+        })
+        .unwrap();
+        let peak = o
+            .snapshot()
+            .gauges
+            .iter()
+            .find(|(n, _, _)| n == "sched.max.concurrent")
+            .map(|(_, _, v)| *v)
+            .unwrap();
+        assert!((2..=3).contains(&peak), "peak concurrency {peak}");
+    }
+
+    #[test]
+    fn failure_drains_in_flight_siblings_before_returning() {
+        // Stage 0 fails fast; stages 1 and 2 are slow siblings. The
+        // error must not surface until the siblings finished, and no
+        // dependent of the failed stage may start.
+        let deps = vec![vec![], vec![], vec![], vec![0]];
+        let finished = AtomicUsize::new(0);
+        let started_child = AtomicUsize::new(0);
+        let err = run_dag(&deps, 4, &obs(), |s| match s {
+            0 => Err(HdmError::Plan("boom".into())),
+            3 => {
+                started_child.fetch_add(1, Ordering::Relaxed);
+                Ok(s)
+            }
+            _ => {
+                std::thread::sleep(Duration::from_millis(40));
+                finished.fetch_add(1, Ordering::Relaxed);
+                Ok(s)
+            }
+        })
+        .unwrap_err();
+        assert!(err.message().contains("boom"));
+        assert_eq!(
+            finished.load(Ordering::Relaxed),
+            2,
+            "in-flight siblings must drain before the error surfaces"
+        );
+        assert_eq!(
+            started_child.load(Ordering::Relaxed),
+            0,
+            "dependents of a failed stage must never start"
+        );
+    }
+
+    #[test]
+    fn lowest_stage_id_failure_wins() {
+        let deps = vec![vec![], vec![]];
+        for threads in [1, 4] {
+            let err = run_dag(&deps, threads, &obs(), |s: usize| -> Result<usize> {
+                Err(HdmError::Plan(format!("fail{s}")))
+            })
+            .unwrap_err();
+            assert!(err.message().contains("fail0"), "threads={threads}: {err}");
+        }
+    }
+
+    #[test]
+    fn spans_land_on_per_stage_tracks() {
+        let deps = vec![vec![], vec![0]];
+        let (_, _, snap) = traced(&deps, 2);
+        for stage in 0..2 {
+            let track = format!("stage{stage}");
+            let names: Vec<&str> = snap
+                .spans
+                .iter()
+                .filter(|s| s.track == track)
+                .map(|s| s.name.as_str())
+                .collect();
+            assert!(names.contains(&"sched.wait"), "{track}: {names:?}");
+            assert!(names.contains(&"sched.run"), "{track}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn disabled_obs_registers_no_gauge() {
+        let o = hdm_obs::ObsHandle::disabled();
+        let deps = vec![vec![], vec![0]];
+        let out: Vec<usize> = run_dag(&deps, 2, &o, Ok).unwrap();
+        assert_eq!(out, vec![0, 1]);
+        assert!(o.snapshot().gauges.is_empty());
+        assert!(o.snapshot().spans.is_empty());
+    }
+}

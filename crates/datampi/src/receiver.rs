@@ -25,6 +25,22 @@ use std::time::Instant;
 /// Sorted key groups produced by the merge: `(key, values)` in key order.
 pub type KeyGroups = Vec<(Bytes, Vec<Bytes>)>;
 
+/// A cached pair tagged with its provenance — `(source O rank, position
+/// in that source's stream)`. The tag breaks comparator ties in the
+/// spill sorts and the final merge, making the merged order a pure
+/// function of what each O task sent: MPI arrival interleaving across
+/// sources must never reorder a key's values, or float aggregation
+/// accumulates in a different order on every run and results drift at
+/// the ULP level between runs (and between scheduler modes).
+type Tagged = ((usize, u64), KvPair);
+
+/// `(key, provenance)` ordering over tagged pairs.
+fn cmp_tagged(a: &Tagged, b: &Tagged, comparator: &ComparatorRef) -> std::cmp::Ordering {
+    comparator
+        .compare(&a.1.key, &b.1.key)
+        .then_with(|| a.0.cmp(&b.0))
+}
+
 /// Per-O-source staging used when fault tolerance is enabled. A source's
 /// pairs are committed to the shared cache only once its EOF proves the
 /// attempt's stream arrived complete; an ABORT (or a higher-attempt
@@ -72,9 +88,10 @@ pub fn run_receiver(
     let obs_spills = obs.counter("a.spills", &label);
     let recv_span = obs.span(&track, "phase", "receive");
     let mut msgs = 0u64;
-    let mut cache: Vec<KvPair> = Vec::new();
+    let mut cache: Vec<Tagged> = Vec::new();
     let mut cached_bytes: u64 = 0;
-    let mut runs: Vec<Vec<KvPair>> = Vec::new();
+    let mut runs: Vec<Vec<Tagged>> = Vec::new();
+    let mut seqs: Vec<u64> = vec![0; o_tasks];
     let mut eofs = 0usize;
     while eofs < o_tasks {
         let msg = ep.recv(None, None).map_err(|e| {
@@ -122,10 +139,19 @@ pub fn run_receiver(
             tags::DATA => {
                 let src = msg.src;
                 let pairs = SendPartition::decode_payload(&msg.payload)?;
+                let seq = seqs.get_mut(src).ok_or_else(|| {
+                    HdmError::DataMpi(format!(
+                        "A{} received DATA from unexpected rank {src}",
+                        stats.rank
+                    ))
+                })?;
                 stats.records += pairs.len() as u64;
                 stats.bytes += msg.payload.len() as u64;
                 cached_bytes += msg.payload.len() as u64;
-                cache.extend(pairs);
+                for kv in pairs {
+                    cache.push(((src, *seq), kv));
+                    *seq += 1;
+                }
                 stats.cache_peak = stats.cache_peak.max(cached_bytes);
                 msgs += 1;
                 if obs.is_enabled() {
@@ -140,7 +166,7 @@ pub fn run_receiver(
                 if cached_bytes > mem_budget_bytes as u64 {
                     // Spill: sort and seal the current cache as a run.
                     let mut run = std::mem::take(&mut cache);
-                    run.sort_by(|a, b| comparator.compare(&a.key, &b.key));
+                    run.sort_by(|a, b| cmp_tagged(a, b, comparator));
                     stats.spill.record_spill(cached_bytes);
                     if obs.is_enabled() {
                         obs_spills.add(1);
@@ -202,17 +228,26 @@ pub fn run_receiver(
                 }
                 // The attempt's stream is complete: commit it.
                 let done = std::mem::take(slot);
+                let seq = seqs.get_mut(src).ok_or_else(|| {
+                    HdmError::DataMpi(format!(
+                        "A{} received EOF from unexpected rank {src}",
+                        stats.rank
+                    ))
+                })?;
                 stats.records += done.pairs.len() as u64;
                 stats.bytes += done.bytes;
                 cached_bytes += done.bytes;
-                cache.extend(done.pairs);
+                for kv in done.pairs {
+                    cache.push(((src, *seq), kv));
+                    *seq += 1;
+                }
                 stats.cache_peak = stats.cache_peak.max(cached_bytes);
                 if obs.is_enabled() {
                     obs_cache.set(cached_bytes as i64);
                 }
                 if cached_bytes > mem_budget_bytes as u64 {
                     let mut run = std::mem::take(&mut cache);
-                    run.sort_by(|a, b| comparator.compare(&a.key, &b.key));
+                    run.sort_by(|a, b| cmp_tagged(a, b, comparator));
                     stats.spill.record_spill(cached_bytes);
                     if obs.is_enabled() {
                         obs_spills.add(1);
@@ -236,7 +271,7 @@ pub fn run_receiver(
 
     // Final merge: spill runs + live cache, globally sorted, grouped.
     let _merge_span = obs.span(&track, "phase", "merge");
-    cache.sort_by(|a, b| comparator.compare(&a.key, &b.key));
+    cache.sort_by(|a, b| cmp_tagged(a, b, comparator));
     runs.push(cache);
     let merged = merge_runs(runs, comparator);
     let groups = group_sorted(merged, comparator);
@@ -244,15 +279,16 @@ pub fn run_receiver(
     Ok(groups)
 }
 
-/// K-way merge of individually sorted runs, driven by the comparator.
-/// Runs are few (spill count + 1), so repeated selection beats the
-/// bookkeeping cost of a comparator-keyed heap here.
-fn merge_runs(runs: Vec<Vec<KvPair>>, comparator: &ComparatorRef) -> Vec<KvPair> {
+/// K-way merge of individually sorted runs, driven by the comparator
+/// with the provenance tag as tie-break. Runs are few (spill count + 1),
+/// so repeated selection beats the bookkeeping cost of a comparator-keyed
+/// heap here.
+fn merge_runs(runs: Vec<Vec<Tagged>>, comparator: &ComparatorRef) -> Vec<KvPair> {
     let total: usize = runs.iter().map(Vec::len).sum();
     // Reverse once so each run's head is its `last()` element: heads can
     // then be compared in place and consumed by `pop`, with no per-element
     // key clone or Option churn in the selection loop.
-    let mut rev: Vec<Vec<KvPair>> = runs
+    let mut rev: Vec<Vec<Tagged>> = runs
         .into_iter()
         .map(|mut r| {
             r.reverse();
@@ -264,10 +300,10 @@ fn merge_runs(runs: Vec<Vec<KvPair>>, comparator: &ComparatorRef) -> Vec<KvPair>
         let mut best: Option<usize> = None;
         for (r, run) in rev.iter().enumerate() {
             let Some(head) = run.last() else { continue };
-            // Ties keep the earlier run, preserving arrival order within
-            // equal keys.
+            // Equal keys order by `(src, seq)` — which run a pair landed
+            // in (an artifact of spill timing) never affects the output.
             let better = match best.and_then(|b| rev.get(b)).and_then(|b| b.last()) {
-                Some(cur) => comparator.compare(&head.key, &cur.key) == std::cmp::Ordering::Less,
+                Some(cur) => cmp_tagged(head, cur, comparator) == std::cmp::Ordering::Less,
                 None => true,
             };
             if better {
@@ -275,7 +311,7 @@ fn merge_runs(runs: Vec<Vec<KvPair>>, comparator: &ComparatorRef) -> Vec<KvPair>
             }
         }
         match best.and_then(|r| rev.get_mut(r)).and_then(Vec::pop) {
-            Some(kv) => out.push(kv),
+            Some((_, kv)) => out.push(kv),
             None => break,
         }
     }
@@ -318,11 +354,19 @@ mod tests {
         KvPair::new(k.to_vec(), v.to_vec())
     }
 
+    fn tag(src: usize, seq: u64, p: KvPair) -> Tagged {
+        ((src, seq), p)
+    }
+
     #[test]
     fn merge_runs_interleaves_sorted_inputs() {
         let runs = vec![
-            vec![kv(b"a", b"1"), kv(b"c", b"1"), kv(b"e", b"1")],
-            vec![kv(b"b", b"2"), kv(b"c", b"2")],
+            vec![
+                tag(0, 0, kv(b"a", b"1")),
+                tag(0, 1, kv(b"c", b"1")),
+                tag(0, 2, kv(b"e", b"1")),
+            ],
+            vec![tag(1, 0, kv(b"b", b"2")), tag(1, 1, kv(b"c", b"2"))],
             vec![],
         ];
         let merged = merge_runs(runs, &cmp());
@@ -331,14 +375,28 @@ mod tests {
     }
 
     #[test]
-    fn merge_runs_is_stable_across_runs_on_ties() {
-        let runs = vec![
-            vec![kv(b"k", b"run0-a"), kv(b"k", b"run0-b")],
-            vec![kv(b"k", b"run1")],
+    fn merge_runs_orders_ties_by_provenance_not_run() {
+        // The same three pairs split across runs two different ways — as
+        // if spills cut the stream at different points — must merge
+        // identically: by (src, seq), not by which run they sat in.
+        let cuts = [
+            vec![
+                vec![
+                    tag(1, 0, kv(b"k", b"src1-a")),
+                    tag(1, 1, kv(b"k", b"src1-b")),
+                ],
+                vec![tag(0, 0, kv(b"k", b"src0"))],
+            ],
+            vec![
+                vec![tag(1, 0, kv(b"k", b"src1-a"))],
+                vec![tag(0, 0, kv(b"k", b"src0")), tag(1, 1, kv(b"k", b"src1-b"))],
+            ],
         ];
-        let merged = merge_runs(runs, &cmp());
-        let values: Vec<&[u8]> = merged.iter().map(|p| p.value.as_ref()).collect();
-        assert_eq!(values, vec![b"run0-a".as_ref(), b"run0-b", b"run1"]);
+        for runs in cuts {
+            let merged = merge_runs(runs, &cmp());
+            let values: Vec<&[u8]> = merged.iter().map(|p| p.value.as_ref()).collect();
+            assert_eq!(values, vec![b"src0".as_ref(), b"src1-a", b"src1-b"]);
+        }
     }
 
     #[test]

@@ -54,6 +54,13 @@ impl Gauge {
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Raise the gauge to `v` if `v` exceeds the current value — a
+    /// lock-free high-water mark (e.g. peak scheduler concurrency).
+    #[inline]
+    pub fn record_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn value(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
@@ -105,6 +112,28 @@ mod tests {
         assert_eq!(g.value(), 400);
         g.set(-5);
         assert_eq!(g.value(), -5);
+    }
+
+    #[test]
+    fn gauge_record_max_keeps_high_water_mark() {
+        let obs = ObsHandle::enabled_with_stride(1);
+        let g = obs.gauge("peak", "");
+        for v in [3, 1, 7, 2, 7, -9] {
+            g.record_max(v);
+        }
+        assert_eq!(g.value(), 7);
+        // Concurrent racers never lower the mark.
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let g = g.clone();
+                s.spawn(move || {
+                    for v in 0..100 {
+                        g.record_max(t * 100 + v);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.value(), 399);
     }
 
     #[test]

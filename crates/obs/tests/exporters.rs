@@ -114,3 +114,43 @@ fn span_nesting_is_balanced_under_concurrent_o_and_a_tasks() {
     // The concurrent trace still exports to schema-valid JSON.
     chrome::validate_chrome_trace(&chrome::export(&snap)).unwrap();
 }
+
+/// Regression for the driver's scheduler tracks: each stage owns a
+/// `stage{id}` track carrying `sched.wait` → `sched.run` ⊃ the stage's
+/// phase span. Stages scheduled concurrently must still yield balanced
+/// per-track hierarchies and a schema-valid export — concurrency may
+/// interleave tracks, never spans *within* a stage's track.
+#[test]
+fn concurrent_stage_tracks_stay_balanced_and_exportable() {
+    let obs = ObsHandle::enabled_with_stride(1);
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for stage in 0..6u64 {
+            let obs = obs.clone();
+            s.spawn(move || {
+                let track = format!("stage{stage}");
+                // As in the driver: the stage became ready in the past,
+                // waited until now, and its run span opens from now on.
+                let now = obs.micros_since_epoch(t0);
+                let ready = now.saturating_sub(40 + stage);
+                obs.record_span_at(&track, "sched", "sched.wait", ready, now - ready);
+                let _run = obs.span(&track, "sched", "sched.run");
+                let _phase = obs.span(&track, "phase", "map-only");
+                std::hint::black_box(stage);
+            });
+        }
+    });
+    let snap = obs.snapshot();
+    assert_eq!(snap.dropped_spans, 0);
+    assert_eq!(snap.spans.len(), 6 * 3);
+    for stage in 0..6 {
+        let track = format!("stage{stage}");
+        let spans: Vec<&SpanEvent> = snap.spans.iter().filter(|s| s.track == track).collect();
+        assert_eq!(spans.len(), 3, "track {track}");
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"sched.wait"), "track {track}: {names:?}");
+        assert!(names.contains(&"sched.run"), "track {track}: {names:?}");
+        assert_balanced(&track, spans);
+    }
+    chrome::validate_chrome_trace(&chrome::export(&snap)).unwrap();
+}

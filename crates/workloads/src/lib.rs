@@ -16,11 +16,14 @@
 //!   skew, the AGGREGATE and JOIN queries, and a TeraGen record
 //!   generator (the uniform baseline of the paper's Figure 2).
 //! * [`zipf`] — the Zipf sampler behind HiBench's skew.
+//! * [`branch`] — a hand-built two-branch join DAG (the stage
+//!   scheduler's overlap workload; compiled SQL plans are linear).
 //!
 //! Everything is seeded and deterministic: the same `(scale, seed)`
 //! always produces byte-identical tables, which the engine-equivalence
 //! and reproduction tests rely on.
 
+pub mod branch;
 pub mod hibench;
 pub mod tpch;
 pub mod zipf;

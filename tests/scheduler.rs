@@ -1,0 +1,277 @@
+//! Concurrent stage-scheduler harness.
+//!
+//! Three layers of evidence that `hive.exec.parallel` never changes
+//! results:
+//!
+//! 1. **Differential sweep** — all 22 TPC-H queries × both engines ×
+//!    {parallel on, off} must produce *byte-identical* collected rows
+//!    and identical per-stage record volumes (scheduling must not
+//!    perturb any stage's work, only when it runs).
+//! 2. **Property tests** — proptest-generated random DAGs (≤16 stages)
+//!    scheduled under thread caps 1/2/8: every execution is a valid
+//!    topological order, the `sched.max.concurrent` gauge never
+//!    exceeds the cap, and outputs are deterministic.
+//! 3. **Chaos interplay** — seeded `hive.ft.*` fault injection over a
+//!    genuinely branching (diamond) plan: a crashed stage retries (or
+//!    the whole plan falls back) without corrupting concurrently
+//!    running sibling stages' outputs.
+
+use hdm_common::conf as keys;
+use hdm_core::sched::run_dag;
+use hdm_core::{Driver, EngineKind, QueryResult};
+use hdm_obs::ObsHandle;
+use hdm_storage::FormatKind;
+use hdm_workloads::{branch, tpch};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+fn fresh_tpch_driver() -> Driver {
+    let mut d = Driver::in_memory();
+    tpch::load(&mut d, 0.002, 20150701, FormatKind::Text).expect("load tpch");
+    d
+}
+
+fn set_parallel(d: &mut Driver, on: bool, threads: usize) {
+    d.conf_mut().set(keys::KEY_EXEC_PARALLEL, on);
+    d.conf_mut().set(keys::KEY_EXEC_PARALLEL_THREADS, threads);
+}
+
+/// Per-stage `(map task records, reduce task records)` — the volume
+/// signature that must be untouched by scheduling.
+fn stage_record_volumes(r: &QueryResult) -> Vec<(Vec<u64>, Vec<u64>)> {
+    r.stages
+        .iter()
+        .map(|s| {
+            (
+                s.volumes.maps.iter().map(|m| m.records).collect(),
+                s.volumes.reduces.iter().map(|a| a.records).collect(),
+            )
+        })
+        .collect()
+}
+
+/// The differential sweep: 22 queries × {DataMPI, MapReduce} ×
+/// {`hive.exec.parallel` on, off}. Rows must be byte-identical (not
+/// merely set-equal): the scheduler may only reorder stage *wall-clock*
+/// placement, never any stage's inputs, outputs, or the id-indexed
+/// result order.
+#[test]
+fn all_22_queries_identical_parallel_vs_sequential_on_both_engines() {
+    let mut d = fresh_tpch_driver();
+    for n in tpch::queries::all() {
+        for engine in [EngineKind::DataMpi, EngineKind::Hadoop] {
+            set_parallel(&mut d, false, 1);
+            let sequential = d
+                .execute_on(tpch::queries::query(n), engine)
+                .unwrap_or_else(|e| panic!("Q{n} sequential failed on {engine:?}: {e}"));
+            set_parallel(&mut d, true, 8);
+            let parallel = d
+                .execute_on(tpch::queries::query(n), engine)
+                .unwrap_or_else(|e| panic!("Q{n} parallel failed on {engine:?}: {e}"));
+            assert_eq!(
+                sequential.to_lines(),
+                parallel.to_lines(),
+                "Q{n} on {engine:?}: rows diverge between parallel and sequential"
+            );
+            assert_eq!(
+                stage_record_volumes(&sequential),
+                stage_record_volumes(&parallel),
+                "Q{n} on {engine:?}: per-stage record volumes diverge"
+            );
+        }
+    }
+}
+
+/// A genuinely branching DAG (two filter-scan roots feeding a join)
+/// agrees across engines and parallel modes, and its trace shows the
+/// scheduler at work: per-stage span tracks and a concurrency peak
+/// that never exceeds the configured cap.
+#[test]
+fn diamond_plan_identical_across_modes_with_capped_overlap() {
+    let mut d = Driver::in_memory();
+    branch::load(&mut d, 2000).expect("load branch tables");
+    let plan = branch::diamond_plan();
+    let sorted = |r: &QueryResult| {
+        let mut lines = r.to_lines();
+        lines.sort();
+        lines
+    };
+
+    let mut baseline: Option<Vec<String>> = None;
+    for engine in [EngineKind::DataMpi, EngineKind::Hadoop] {
+        set_parallel(&mut d, false, 1);
+        let sequential = d.execute_raw_plan(&plan, engine).expect("sequential run");
+        set_parallel(&mut d, true, 2);
+        d.conf_mut().set(keys::KEY_OBS_ENABLED, true);
+        let parallel = d.execute_raw_plan(&plan, engine).expect("parallel run");
+        d.conf_mut().set(keys::KEY_OBS_ENABLED, false);
+
+        // Same engine: byte-identical. Across engines: same sorted set
+        // (join output order is engine-specific).
+        assert_eq!(sequential.to_lines(), parallel.to_lines(), "{engine:?}");
+        let lines = sorted(&parallel);
+        assert!(!lines.is_empty());
+        if let Some(first) = &baseline {
+            assert_eq!(first, &lines, "engines disagree on the diamond join");
+        } else {
+            baseline = Some(lines);
+        }
+
+        let snap = d.last_obs_snapshot().expect("obs snapshot");
+        let peak = snap
+            .gauges
+            .iter()
+            .find(|(n, _, _)| n == "sched.max.concurrent")
+            .map(|(_, _, v)| *v)
+            .expect("scheduler gauge recorded");
+        assert!(
+            (1..=2).contains(&peak),
+            "{engine:?}: peak concurrency {peak} out of [1, 2]"
+        );
+        // Scheduler + phase spans live on per-stage tracks.
+        for stage in 0..3 {
+            let track = format!("stage{stage}");
+            let names: Vec<&str> = snap
+                .spans
+                .iter()
+                .filter(|s| s.track == track)
+                .map(|s| s.name.as_str())
+                .collect();
+            assert!(
+                names.contains(&"sched.run"),
+                "{engine:?} {track}: {names:?}"
+            );
+            let phase = if stage == 2 { "join" } else { "map-only" };
+            assert!(names.contains(&phase), "{engine:?} {track}: {names:?}");
+        }
+    }
+}
+
+/// Misconfigured scheduler knobs fail queries loudly instead of
+/// silently running sequentially.
+#[test]
+fn invalid_parallel_conf_is_an_error() {
+    let mut d = Driver::in_memory();
+    d.execute("CREATE TABLE t (k BIGINT)").unwrap();
+    d.conf_mut().set(keys::KEY_EXEC_PARALLEL_THREADS, 0);
+    assert!(d.execute("SELECT k FROM t").is_err());
+    d.conf_mut().set(keys::KEY_EXEC_PARALLEL_THREADS, 4);
+    d.conf_mut().set(keys::KEY_EXEC_PARALLEL, "sometimes");
+    assert!(d.execute("SELECT k FROM t").is_err());
+    d.conf_mut().set(keys::KEY_EXEC_PARALLEL, true);
+    assert!(d.execute("SELECT k FROM t").is_ok());
+}
+
+/// Scheduler events: interleaving-accurate start/finish log. A start
+/// push happens strictly after every dependency's finish push (the
+/// dispatcher only readies a child after retiring its last dep), so
+/// scanning the log validates topological execution.
+#[derive(Clone, Copy, PartialEq)]
+enum Ev {
+    Start(usize),
+    Finish(usize),
+}
+
+fn assert_topological(deps: &[Vec<usize>], events: &[Ev]) {
+    let mut finished = vec![false; deps.len()];
+    for ev in events {
+        match *ev {
+            Ev::Start(s) => {
+                for &dep in deps.get(s).map(Vec::as_slice).unwrap_or(&[]) {
+                    assert!(
+                        finished[dep],
+                        "stage {s} started before its dependency {dep} finished"
+                    );
+                }
+            }
+            Ev::Finish(s) => finished[s] = true,
+        }
+    }
+    assert!(finished.iter().all(|&f| f), "not every stage ran");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random DAGs of up to 16 stages with random back-edges, under
+    /// thread caps 1/2/8: the schedule is a valid topological
+    /// execution, the `sched.max.concurrent` gauge never exceeds the
+    /// cap, and the id-indexed outputs are identical on every run.
+    #[test]
+    fn random_dags_schedule_topologically_under_caps(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(0usize..16, 0..4),
+            1..17,
+        )
+    ) {
+        // Stage i may only depend on stages < i: acyclic by construction
+        // (run_dag re-validates independently).
+        let deps: Vec<Vec<usize>> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, ds)| {
+                if i == 0 {
+                    Vec::new()
+                } else {
+                    ds.iter().map(|d| d % i).collect()
+                }
+            })
+            .collect();
+        let expected: Vec<usize> = (0..deps.len()).map(|s| s * 7 + 1).collect();
+        for threads in [1usize, 2, 8] {
+            let obs = ObsHandle::enabled_with_stride(1);
+            let events: Mutex<Vec<Ev>> = Mutex::new(Vec::new());
+            let out = run_dag(&deps, threads, &obs, |stage| {
+                events.lock().unwrap().push(Ev::Start(stage));
+                // A touch of work so schedules genuinely interleave.
+                std::thread::yield_now();
+                events.lock().unwrap().push(Ev::Finish(stage));
+                Ok(stage * 7 + 1)
+            })
+            .unwrap();
+            prop_assert_eq!(&out, &expected, "threads={}", threads);
+            assert_topological(&deps, &events.into_inner().unwrap());
+            let peak = obs
+                .snapshot()
+                .gauges
+                .iter()
+                .find(|(n, _, _)| n == "sched.max.concurrent")
+                .map(|(_, _, v)| *v)
+                .unwrap_or(0);
+            prop_assert!(
+                peak >= 1 && peak <= threads as i64,
+                "cap {} exceeded: peak {}", threads, peak
+            );
+        }
+    }
+
+    /// Chaos interplay: seeded fault injection over the branching
+    /// diamond plan. Whatever the seed crashes — one branch mid-stream,
+    /// the join, storage reads — the run must recover (task retries,
+    /// then engine fallback) and match the fault-free result set:
+    /// a crashed stage never corrupts its concurrently-running
+    /// sibling's output.
+    #[test]
+    fn chaos_diamond_preserves_sibling_outputs(seed in 0u64..1_000_000) {
+        let mut d = Driver::in_memory();
+        branch::load(&mut d, 600).unwrap();
+        set_parallel(&mut d, true, 4);
+        let plan = branch::diamond_plan();
+        let sorted = |r: QueryResult| {
+            let mut lines = r.to_lines();
+            lines.sort();
+            lines
+        };
+        let clean = sorted(d.execute_raw_plan(&plan, EngineKind::DataMpi).unwrap());
+        let c = d.conf_mut();
+        c.set(keys::KEY_OBS_ENABLED, true);
+        c.set(keys::KEY_FT_ENABLED, true);
+        c.set(keys::KEY_FT_SEED, seed);
+        c.set(keys::KEY_FT_BACKOFF_BASE_MS, 1);
+        c.set(keys::KEY_FT_RECV_TIMEOUT_MS, 400);
+        let chaotic = d
+            .execute_raw_plan(&plan, EngineKind::DataMpi)
+            .unwrap_or_else(|e| panic!("diamond failed under fault seed {seed}: {e}"));
+        prop_assert_eq!(clean, sorted(chaotic), "diamond diverged under fault seed {}", seed);
+    }
+}
