@@ -4,22 +4,38 @@
 //! invariants that the Rust type system cannot express: rank threads must
 //! not panic mid-protocol, message tags must not collide, completion flags
 //! must carry acquire/release edges, conf keys must come from one registry,
-//! and communication loops must not block forever. This crate checks those
-//! invariants statically, as custom lints with stable rule IDs, and is run
-//! in CI next to `cargo clippy`.
+//! communication loops must not block forever, lock pairs must be acquired
+//! in one global order, nothing may block while a guard is live, obs spans
+//! must balance on every path, and hot-path `Result`s must not be silently
+//! discarded. This crate checks those invariants statically, as custom
+//! lints with stable rule IDs, and is run in CI next to `cargo clippy`.
 //!
-//! Architecture: a dependency-free token lexer ([`lexer`]) feeds per-file
-//! rule passes ([`rules`]). Rules are scoped by path (e.g. panic rules only
-//! apply to hot-path crates), test code is excluded where the rule says so,
-//! and individual findings can be suppressed in-source with
-//! `// hdm-allow(rule-id): reason` on the same or the preceding line. A
-//! missing reason is itself an error (`allow-syntax`).
+//! Architecture: the analysis is **two-phase**. Phase 1 runs per file — a
+//! dependency-free token lexer ([`lexer`]) feeds the per-file rule passes
+//! ([`rules`]) and extracts lock facts (declarations, acquisition sites,
+//! guard live ranges — [`rules::locks`]). Phase 2 runs over the whole
+//! file set: the union of declared lock names resolves ambiguous
+//! `.read()`/`.write()` acquisition candidates, `blocking-under-lock`
+//! checks each file against its resolved guard ranges, and
+//! `lock-order-graph` joins every file's acquisition chains into one
+//! workspace lock-ordering graph and reports cycles. Single-file entry
+//! points ([`check_source`]) are just the two-phase driver run on a
+//! one-file workspace, so fixtures and unit tests exercise the same code
+//! path as CI.
+//!
+//! Rules are scoped by path (e.g. panic rules only apply to hot-path
+//! crates), test code is excluded where the rule says so, and individual
+//! findings can be suppressed in-source with `// hdm-allow(rule-id):
+//! reason` on the same or the preceding line. A missing reason, an
+//! unknown rule id, or an allow that no longer suppresses anything
+//! (stale) is itself an error (`allow-syntax`).
 
 pub mod lexer;
 pub mod rules;
 
 use lexer::Token;
 use rules::{Ctx, LineRange};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -37,10 +53,21 @@ pub const RULES: &[(&str, &str)] = &[
         rules::unbounded_blocking::ID,
         rules::unbounded_blocking::DESCRIPTION,
     ),
+    (rules::lock_order::ID, rules::lock_order::DESCRIPTION),
+    (
+        rules::blocking_under_lock::ID,
+        rules::blocking_under_lock::DESCRIPTION,
+    ),
+    (rules::span_balance::ID, rules::span_balance::DESCRIPTION),
+    (
+        rules::swallowed_error::ID,
+        rules::swallowed_error::DESCRIPTION,
+    ),
 ];
 
 /// Pseudo-rule for unusable `hdm-allow` comments (bad syntax, unknown rule
-/// id, or empty reason). Not suppressible.
+/// id, empty reason, or a stale allow suppressing nothing). Not
+/// suppressible.
 pub const ALLOW_SYNTAX: &str = "allow-syntax";
 
 /// One finding, formatted `path:line:col: [rule-id] message`.
@@ -63,6 +90,54 @@ impl Diagnostic {
             msg,
         }
     }
+
+    /// One-line JSON object (JSONL record) for machine consumers.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"msg\":\"{}\"}}",
+            json_escape(self.rule),
+            json_escape(&self.path),
+            self.line,
+            self.col,
+            json_escape(&self.msg)
+        )
+    }
+
+    /// GitHub Actions error-annotation command for this finding.
+    pub fn to_github(&self) -> String {
+        // Workflow-command property/data escaping per the Actions spec.
+        let esc = |s: &str| {
+            s.replace('%', "%25")
+                .replace('\r', "%0D")
+                .replace('\n', "%0A")
+        };
+        format!(
+            "::error file={},line={},col={}::[{}] {}",
+            esc(&self.path),
+            self.line,
+            self.col,
+            self.rule,
+            esc(&self.msg)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for Diagnostic {
@@ -82,8 +157,18 @@ pub struct FileScope {
     pub hot_path: bool,
     /// `atomic-ordering` applies (mpisim).
     pub mpisim: bool,
-    /// `unbounded-blocking` applies (datampi + mpisim).
+    /// `unbounded-blocking` applies (datampi + mpisim + the scheduler).
     pub blocking: bool,
+    /// Lock facts are extracted for the workspace graph (all non-test
+    /// production code — `lock-order-graph` joins across every crate).
+    pub lock_extract: bool,
+    /// `blocking-under-lock` applies (driver/sched/engine + datampi +
+    /// mapred + mpisim — the crates whose threads contend on shared state).
+    pub blocking_lock: bool,
+    /// `obs-span-balance` applies (anywhere spans are opened).
+    pub span_balance: bool,
+    /// `swallowed-error` applies (same hot-path set as `blocking_lock`).
+    pub swallowed: bool,
     /// File IS the conf registry — exempt from `conf-key-registry`.
     pub conf_registry: bool,
     /// Whole file is test/bench/example code.
@@ -95,7 +180,7 @@ pub struct FileScope {
 /// Derive a [`FileScope`] from a workspace-relative path (with `/`
 /// separators).
 pub fn scope_for(rel: &str) -> FileScope {
-    // Fixture files (crates/analyze/tests/fixtures/<rule-id>/*.rs) exercise
+    // Fixture files (crates/analyze/tests/fixtures/<rule-id>/**.rs) exercise
     // exactly the rule named by their directory, with path gates forced on.
     if let Some(idx) = rel.find("tests/fixtures/") {
         let tail = &rel[idx + "tests/fixtures/".len()..];
@@ -105,6 +190,10 @@ pub fn scope_for(rel: &str) -> FileScope {
                     hot_path: true,
                     mpisim: true,
                     blocking: true,
+                    lock_extract: true,
+                    blocking_lock: true,
+                    span_balance: true,
+                    swallowed: true,
                     conf_registry: false,
                     test_file: false,
                     only_rule: Some(id),
@@ -114,6 +203,18 @@ pub fn scope_for(rel: &str) -> FileScope {
     }
 
     let in_dir = |d: &str| rel.contains(d);
+    let test_file = rel
+        .split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples");
+    // Crates whose threads contend on shared locks while also talking to
+    // channels/workers: the driver+scheduler+engine, the comm layer, the
+    // mapred executors, and the simulator.
+    let contended = in_dir("crates/datampi/src/")
+        || in_dir("crates/mpisim/src/")
+        || in_dir("crates/mapred/src/")
+        || rel.ends_with("crates/core/src/engine.rs")
+        || rel.ends_with("crates/core/src/driver.rs")
+        || rel.ends_with("crates/core/src/sched.rs");
     FileScope {
         hot_path: in_dir("crates/datampi/src/")
             || in_dir("crates/mpisim/src/")
@@ -126,84 +227,220 @@ pub fn scope_for(rel: &str) -> FileScope {
             || rel.ends_with("crates/common/src/sortkey.rs")
             || rel.ends_with("crates/common/src/stats.rs"),
         mpisim: in_dir("crates/mpisim/src/"),
-        blocking: in_dir("crates/datampi/src/") || in_dir("crates/mpisim/src/"),
+        // The stage scheduler's dispatch loop blocks on worker channels
+        // just like the comm layer does, so it is in scope since PR 6.
+        blocking: in_dir("crates/datampi/src/")
+            || in_dir("crates/mpisim/src/")
+            || rel.ends_with("crates/core/src/sched.rs"),
+        lock_extract: !test_file,
+        blocking_lock: contended,
+        span_balance: true,
+        swallowed: contended,
         conf_registry: rel.ends_with("common/src/conf.rs"),
-        test_file: rel
-            .split('/')
-            .any(|c| c == "tests" || c == "benches" || c == "examples"),
+        test_file,
         only_rule: None,
     }
 }
 
-/// Check one file's source. `rel` is the path used in diagnostics and for
-/// scoping; see [`scope_for`].
+/// One file handed to the two-phase driver: workspace-relative path (used
+/// for scoping and diagnostics) plus its source text.
+pub struct SourceFile {
+    pub rel: String,
+    pub src: String,
+}
+
+/// Check one file's source. Equivalent to [`check_sources`] on a
+/// single-file workspace; cross-file joins degenerate to intra-file ones.
 pub fn check_source(rel: &str, src: &str) -> Vec<Diagnostic> {
-    let scope = scope_for(rel);
-    let lexed = lexer::lex(src);
-    let test_regions = find_test_regions(&lexed.tokens);
-    let tags_regions = find_tags_regions(&lexed.tokens);
-    let ctx = Ctx {
-        rel,
-        tokens: &lexed.tokens,
-        test_regions: &test_regions,
-        tags_regions: &tags_regions,
-        test_file: scope.test_file,
-    };
+    check_sources(&[SourceFile {
+        rel: rel.to_string(),
+        src: src.to_string(),
+    }])
+}
 
-    let mut out = Vec::new();
-    let run = |id: &str| scope.only_rule.is_none_or(|only| only == id);
-
-    if run(rules::no_panic::ID) && (scope.hot_path || scope.only_rule.is_some()) {
-        rules::no_panic::check(&ctx, &mut out);
-    }
-    if run(rules::conf_keys::ID) && !scope.conf_registry {
-        rules::conf_keys::check(&ctx, &mut out);
-    }
-    if run(rules::tag_registry::ID) {
-        rules::tag_registry::check(&ctx, &mut out);
-    }
-    if run(rules::atomic_ordering::ID) && (scope.mpisim || scope.only_rule.is_some()) {
-        rules::atomic_ordering::check(&ctx, &mut out);
-    }
-    if run(rules::unbounded_blocking::ID) && (scope.blocking || scope.only_rule.is_some()) {
-        rules::unbounded_blocking::check(&ctx, &mut out);
+/// The two-phase analysis driver.
+///
+/// Phase 1 (per file): lex, locate test/tags regions, run the per-file
+/// rules, and extract lock facts. Phase 2 (workspace): union the declared
+/// lock names, resolve `.read()`/`.write()` acquisition candidates against
+/// them, run `blocking-under-lock` over each file's resolved guard ranges,
+/// and run the `lock-order-graph` cycle pass over all files' acquisition
+/// chains joined on lock identity. Suppressions are applied last so that
+/// allows can target phase-2 findings too — and so the driver knows which
+/// allows suppressed nothing (stale) this run.
+pub fn check_sources(files: &[SourceFile]) -> Vec<Diagnostic> {
+    struct Analyzed {
+        scope: FileScope,
+        lexed: lexer::Lexed,
+        test_regions: Vec<LineRange>,
+        tags_regions: Vec<LineRange>,
+        lock_facts: rules::locks::LockFacts,
+        diags: Vec<Diagnostic>,
     }
 
-    // Apply hdm-allow suppressions: an allow on line L covers findings for
-    // its rule on line L (trailing comment) or line L+1 (comment above).
-    out.retain(|d| {
-        !lexed
-            .allows
-            .iter()
-            .any(|a| a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line))
-    });
+    // ---- Phase 1: per-file passes + lock-fact extraction.
+    let mut analyzed: Vec<Analyzed> = Vec::with_capacity(files.len());
+    for f in files {
+        let scope = scope_for(&f.rel);
+        let lexed = lexer::lex(&f.src);
+        let test_regions = find_test_regions(&lexed.tokens);
+        let tags_regions = find_tags_regions(&lexed.tokens);
+        let mut diags = Vec::new();
+        let mut lock_facts = rules::locks::LockFacts::default();
+        {
+            let ctx = Ctx {
+                rel: &f.rel,
+                tokens: &lexed.tokens,
+                test_regions: &test_regions,
+                tags_regions: &tags_regions,
+                test_file: scope.test_file,
+            };
+            let forced = scope.only_rule.is_some();
+            let run = |id: &str| scope.only_rule.is_none_or(|only| only == id);
 
-    // Malformed allows are findings in their own right.
-    for bad in &lexed.malformed_allows {
-        out.push(Diagnostic::new(
-            ALLOW_SYNTAX,
-            rel,
-            bad.line,
-            1,
-            format!(
-                "malformed hdm-allow comment ({}); expected `// hdm-allow(rule-id): reason`",
-                bad.detail
-            ),
-        ));
+            if run(rules::no_panic::ID) && (scope.hot_path || forced) {
+                rules::no_panic::check(&ctx, &mut diags);
+            }
+            if run(rules::conf_keys::ID) && !scope.conf_registry {
+                rules::conf_keys::check(&ctx, &mut diags);
+            }
+            if run(rules::tag_registry::ID) {
+                rules::tag_registry::check(&ctx, &mut diags);
+            }
+            if run(rules::atomic_ordering::ID) && (scope.mpisim || forced) {
+                rules::atomic_ordering::check(&ctx, &mut diags);
+            }
+            if run(rules::unbounded_blocking::ID) && (scope.blocking || forced) {
+                rules::unbounded_blocking::check(&ctx, &mut diags);
+            }
+            if run(rules::span_balance::ID) && (scope.span_balance || forced) {
+                rules::span_balance::check(&ctx, &mut diags);
+            }
+            if run(rules::swallowed_error::ID) && (scope.swallowed || forced) {
+                rules::swallowed_error::check(&ctx, &mut diags);
+            }
+            if (scope.lock_extract && !scope.test_file) || forced {
+                lock_facts = rules::locks::extract(&ctx);
+            }
+        }
+        analyzed.push(Analyzed {
+            scope,
+            lexed,
+            test_regions,
+            tags_regions,
+            lock_facts,
+            diags,
+        });
     }
-    for allow in &lexed.allows {
-        if !RULES.iter().any(|(id, _)| *id == allow.rule) {
-            out.push(Diagnostic::new(
-                ALLOW_SYNTAX,
-                rel,
-                allow.line,
-                1,
-                format!("hdm-allow references unknown rule `{}`", allow.rule),
-            ));
+
+    // ---- Phase 2: workspace passes over the joined lock facts.
+    let known: BTreeSet<String> = analyzed
+        .iter()
+        .flat_map(|a| a.lock_facts.decls.iter().cloned())
+        .collect();
+    for a in analyzed.iter_mut() {
+        a.lock_facts.resolve(&known);
+    }
+
+    for (f, a) in files.iter().zip(analyzed.iter_mut()) {
+        let forced = a.scope.only_rule.is_some();
+        let run = a
+            .scope
+            .only_rule
+            .is_none_or(|only| only == rules::blocking_under_lock::ID);
+        if run && (a.scope.blocking_lock || forced) {
+            let ctx = Ctx {
+                rel: &f.rel,
+                tokens: &a.lexed.tokens,
+                test_regions: &a.test_regions,
+                tags_regions: &a.tags_regions,
+                test_file: a.scope.test_file,
+            };
+            rules::blocking_under_lock::check(&ctx, &a.lock_facts, &mut a.diags);
         }
     }
 
-    out.sort_by_key(|d| (d.line, d.col));
+    let cycle_diags = {
+        let file_facts: Vec<rules::lock_order::FileFacts<'_>> = files
+            .iter()
+            .zip(analyzed.iter())
+            .map(|(f, a)| rules::lock_order::FileFacts {
+                rel: &f.rel,
+                facts: &a.lock_facts,
+                report: a
+                    .scope
+                    .only_rule
+                    .is_none_or(|only| only == rules::lock_order::ID),
+            })
+            .collect();
+        rules::lock_order::check_workspace(&file_facts)
+    };
+    for (fi, d) in cycle_diags {
+        analyzed[fi].diags.push(d);
+    }
+
+    // ---- Suppressions + allow audit, per file.
+    let mut out = Vec::new();
+    for (f, a) in files.iter().zip(analyzed) {
+        let mut diags = a.diags;
+        let allows = &a.lexed.allows;
+        // An allow on line L covers findings for its rule on line L
+        // (trailing comment) or line L+1 (comment above). Track which
+        // allows actually fired so stale ones can be reported.
+        let mut used = vec![false; allows.len()];
+        diags.retain(|d| {
+            let mut suppressed = false;
+            for (i, al) in allows.iter().enumerate() {
+                if al.rule == d.rule && (al.line == d.line || al.line + 1 == d.line) {
+                    used[i] = true;
+                    suppressed = true;
+                }
+            }
+            !suppressed
+        });
+
+        // Malformed allows are findings in their own right.
+        for bad in &a.lexed.malformed_allows {
+            diags.push(Diagnostic::new(
+                ALLOW_SYNTAX,
+                &f.rel,
+                bad.line,
+                1,
+                format!(
+                    "malformed hdm-allow comment ({}); expected `// hdm-allow(rule-id): reason`",
+                    bad.detail
+                ),
+            ));
+        }
+        for (i, allow) in allows.iter().enumerate() {
+            if !RULES.iter().any(|(id, _)| *id == allow.rule) {
+                diags.push(Diagnostic::new(
+                    ALLOW_SYNTAX,
+                    &f.rel,
+                    allow.line,
+                    1,
+                    format!("hdm-allow references unknown rule `{}`", allow.rule),
+                ));
+            } else if !used[i] {
+                diags.push(Diagnostic::new(
+                    ALLOW_SYNTAX,
+                    &f.rel,
+                    allow.line,
+                    1,
+                    format!(
+                        "hdm-allow({}) suppresses nothing on this or the next line — \
+                         stale suppression, remove it (or move it to the finding it \
+                         was meant to cover)",
+                        allow.rule
+                    ),
+                ));
+            }
+        }
+
+        out.extend(diags);
+    }
+
+    out.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
     out
 }
 
@@ -332,14 +569,15 @@ pub fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<
     Ok(())
 }
 
-/// Check a set of files or directories. Paths in diagnostics are made
-/// relative to `base` when possible.
+/// Check a set of files or directories as ONE workspace (the cross-file
+/// passes join facts across everything collected here). Paths in
+/// diagnostics are made relative to `base` when possible.
 pub fn check_paths(base: &Path, paths: &[PathBuf]) -> std::io::Result<Vec<Diagnostic>> {
     let mut files = Vec::new();
     for p in paths {
         collect_rs_files(p, &mut files)?;
     }
-    let mut out = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for file in files {
         let rel = file
             .strip_prefix(base)
@@ -347,10 +585,9 @@ pub fn check_paths(base: &Path, paths: &[PathBuf]) -> std::io::Result<Vec<Diagno
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(&file)?;
-        out.extend(check_source(&rel, &src));
+        sources.push(SourceFile { rel, src });
     }
-    out.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
-    Ok(out)
+    Ok(check_sources(&sources))
 }
 
 #[cfg(test)]
@@ -404,6 +641,35 @@ pub fn f(v: &[u8]) -> u8 {
     }
 
     #[test]
+    fn stale_allow_is_flagged() {
+        // A well-formed allow for a real rule that suppresses nothing is
+        // itself a finding — dead suppressions hide future regressions.
+        let diags = check_source(
+            "crates/common/src/lib.rs",
+            "// hdm-allow(tag-registry): the finding this covered is long gone\nfn f() {}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, ALLOW_SYNTAX);
+        assert!(diags[0].msg.contains("stale"), "{}", diags[0].msg);
+    }
+
+    #[test]
+    fn live_allow_is_not_stale() {
+        let rel = "crates/mpisim/src/endpoint.rs";
+        let src = "
+pub fn f(v: &[u8]) -> u8 {
+    // hdm-allow(no-panic-in-hot-path): bounds established by caller
+    v[0]
+}
+";
+        let diags = check_source(rel, src);
+        assert!(
+            diags.is_empty(),
+            "a used allow must not be stale: {diags:?}"
+        );
+    }
+
+    #[test]
     fn scoping_limits_panic_rule_to_hot_paths() {
         let src = "pub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
         assert!(check_source("crates/mpisim/src/endpoint.rs", src)
@@ -444,5 +710,144 @@ pub fn f(v: &[u8]) -> u8 {
         assert!(diags.iter().any(|d| d.rule == rules::no_panic::ID));
         // conf-key-registry is NOT run in this fixture's scope.
         assert!(!diags.iter().any(|d| d.rule == rules::conf_keys::ID));
+    }
+
+    #[test]
+    fn lock_order_cycle_detected_within_one_file() {
+        let rel = "crates/core/src/engine.rs";
+        let src = "
+pub fn forward(s: &S) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    use_both(&a, &b);
+}
+pub fn backward(s: &S) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    use_both(&a, &b);
+}
+";
+        let diags = check_source(rel, src);
+        let cyc: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == rules::lock_order::ID)
+            .collect();
+        assert_eq!(cyc.len(), 1, "{diags:?}");
+        assert!(cyc[0].msg.contains("alpha") && cyc[0].msg.contains("beta"));
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let rel = "crates/core/src/engine.rs";
+        let src = "
+pub fn one(s: &S) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    use_both(&a, &b);
+}
+pub fn two(s: &S) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    use_both(&a, &b);
+}
+";
+        let diags = check_source(rel, src);
+        assert!(
+            !diags.iter().any(|d| d.rule == rules::lock_order::ID),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn blocking_under_named_guard_is_flagged() {
+        let rel = "crates/mapred/src/store.rs";
+        let src = "
+pub fn publish(s: &S, tx: &Sender<u64>) {
+    let g = s.table.lock();
+    tx.send(g.len() as u64);
+}
+";
+        let diags = check_source(rel, src);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == rules::blocking_under_lock::ID),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn blocking_after_temporary_guard_is_clean() {
+        let rel = "crates/mapred/src/store.rs";
+        let src = "
+pub fn publish(s: &S, tx: &Sender<u64>) {
+    let n = s.table.lock().len() as u64;
+    tx.send(n);
+}
+";
+        let diags = check_source(rel, src);
+        assert!(
+            !diags
+                .iter()
+                .any(|d| d.rule == rules::blocking_under_lock::ID),
+            "the guard dies at the statement boundary: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn rw_acquisitions_require_a_declared_lock() {
+        // `.write()` on something never declared as a lock anywhere in the
+        // workspace is io, not a guard — no blocking-under-lock finding.
+        let rel = "crates/mapred/src/store.rs";
+        let src = "
+pub fn io_like(s: &S, tx: &Sender<u64>) {
+    let g = s.sink.write();
+    tx.send(1);
+}
+";
+        let diags = check_source(rel, src);
+        assert!(
+            !diags
+                .iter()
+                .any(|d| d.rule == rules::blocking_under_lock::ID),
+            "{diags:?}"
+        );
+        // Declare it a RwLock in the same workspace and the same source
+        // becomes a finding.
+        let decl = SourceFile {
+            rel: "crates/mapred/src/lib.rs".into(),
+            src: "pub struct S { pub sink: RwLock<Vec<u64>> }\n".into(),
+        };
+        let body = SourceFile {
+            rel: rel.to_string(),
+            src: src.to_string(),
+        };
+        let diags = check_sources(&[decl, body]);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == rules::blocking_under_lock::ID),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn diagnostic_json_and_github_formats() {
+        let d = Diagnostic::new(
+            "tag-registry",
+            "crates/x/src/lib.rs",
+            3,
+            7,
+            "a \"b\"\nc".into(),
+        );
+        assert_eq!(
+            d.to_json(),
+            "{\"rule\":\"tag-registry\",\"path\":\"crates/x/src/lib.rs\",\
+             \"line\":3,\"col\":7,\"msg\":\"a \\\"b\\\"\\nc\"}"
+        );
+        assert_eq!(
+            d.to_github(),
+            "::error file=crates/x/src/lib.rs,line=3,col=7::[tag-registry] a \"b\"%0Ac"
+        );
     }
 }

@@ -4,23 +4,39 @@
 //! hdm-analyze                 # scan the workspace's crates/ tree
 //! hdm-analyze PATH..          # scan specific files or directories
 //! hdm-analyze --list-rules    # print the rule registry
+//! hdm-analyze --rule ID       # only report findings for one rule
+//! hdm-analyze --json          # one JSON object per finding (JSONL)
+//! hdm-analyze --github        # GitHub Actions ::error annotations
 //! ```
 //!
-//! Exits non-zero iff any violation is found. Diagnostics are formatted
-//! `path:line:col: [rule-id] message`; suppress an individual finding with
-//! `// hdm-allow(rule-id): reason` on the same or the preceding line.
+//! Exits non-zero iff any violation is found. Human diagnostics are
+//! formatted `path:line:col: [rule-id] message`; suppress an individual
+//! finding with `// hdm-allow(rule-id): reason` on the same or the
+//! preceding line. Note the cross-file passes join facts over everything
+//! scanned, so scanning a single file sees only that file's lock graph.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Json,
+    Github,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "usage: hdm-analyze [--list-rules] [PATH..]\n\n\
+            "usage: hdm-analyze [--list-rules] [--rule ID] [--json | --github] [PATH..]\n\n\
              Checks HDM workspace invariants. With no PATH, scans the crates/\n\
-             tree of the enclosing workspace. Exits 1 if violations are found."
+             tree of the enclosing workspace. Exits 1 if violations are found.\n\n\
+             Options:\n\
+             \x20 --list-rules   print the rule registry and exit\n\
+             \x20 --rule ID      only report findings for rule ID\n\
+             \x20 --json         one JSON object per finding, one per line\n\
+             \x20 --github       GitHub Actions ::error annotations"
         );
         return ExitCode::SUCCESS;
     }
@@ -30,12 +46,41 @@ fn main() -> ExitCode {
             println!("{id:<24} {desc}");
         }
         let allow_desc =
-            "hdm-allow comments must be `// hdm-allow(rule-id): reason` with a known rule id";
+            "hdm-allow comments must be `// hdm-allow(rule-id): reason` with a known, live rule id";
         println!("{:<24} {allow_desc}", hdm_analyze::ALLOW_SYNTAX);
         return ExitCode::SUCCESS;
     }
 
-    let (base, targets) = if args.is_empty() {
+    let mut format = Format::Human;
+    let mut rule_filter: Option<String> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => format = Format::Json,
+            "--github" => format = Format::Github,
+            "--rule" => {
+                let Some(id) = it.next() else {
+                    eprintln!("hdm-analyze: --rule needs a rule id (see --list-rules)");
+                    return ExitCode::FAILURE;
+                };
+                let known = hdm_analyze::RULES.iter().any(|(r, _)| r == id)
+                    || id == hdm_analyze::ALLOW_SYNTAX;
+                if !known {
+                    eprintln!("hdm-analyze: unknown rule `{id}` (see --list-rules)");
+                    return ExitCode::FAILURE;
+                }
+                rule_filter = Some(id.clone());
+            }
+            other if other.starts_with('-') => {
+                eprintln!("hdm-analyze: unknown option `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let (base, targets) = if paths.is_empty() {
         let Some(root) = find_workspace_root() else {
             eprintln!("hdm-analyze: could not locate workspace root (no Cargo.toml with [workspace] above cwd)");
             return ExitCode::FAILURE;
@@ -44,19 +89,34 @@ fn main() -> ExitCode {
         (root.clone(), vec![crates])
     } else {
         let base = find_workspace_root().unwrap_or_else(|| PathBuf::from("."));
-        (base, args.iter().map(PathBuf::from).collect())
+        (base, paths)
     };
 
     match hdm_analyze::check_paths(&base, &targets) {
-        Ok(diags) => {
+        Ok(mut diags) => {
+            if let Some(rule) = &rule_filter {
+                diags.retain(|d| d.rule == rule.as_str());
+            }
             for d in &diags {
-                println!("{d}");
+                match format {
+                    Format::Human => println!("{d}"),
+                    Format::Json => println!("{}", d.to_json()),
+                    Format::Github => println!("{}", d.to_github()),
+                }
+            }
+            // In machine formats keep stdout pure; the summary goes to
+            // stderr so `--json > report.jsonl` stays parseable.
+            let summary_ok = format!("hdm-analyze: ok ({} rules)", hdm_analyze::RULES.len());
+            let summary_bad = format!("hdm-analyze: {} violation(s)", diags.len());
+            match (&format, diags.is_empty()) {
+                (Format::Human, true) => println!("{summary_ok}"),
+                (Format::Human, false) => println!("{summary_bad}"),
+                (_, true) => eprintln!("{summary_ok}"),
+                (_, false) => eprintln!("{summary_bad}"),
             }
             if diags.is_empty() {
-                println!("hdm-analyze: ok ({} rules)", hdm_analyze::RULES.len());
                 ExitCode::SUCCESS
             } else {
-                println!("hdm-analyze: {} violation(s)", diags.len());
                 ExitCode::FAILURE
             }
         }

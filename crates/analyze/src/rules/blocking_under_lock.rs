@@ -1,0 +1,93 @@
+//! `blocking-under-lock`: hot-path code (driver, scheduler, engine,
+//! datampi, mapred, mpisim) must not perform potentially-unbounded waits
+//! while a `Mutex`/`RwLock` guard is live. A channel `send` on a full
+//! bounded queue, a `recv`, a `JoinHandle::join`, a sleep, or file I/O
+//! under a lock turns one slow peer into a convoy: every thread that
+//! needs the lock stalls behind the waiter, and if the awaited party
+//! itself needs the lock, the job deadlocks outright. The PR 5 scheduler
+//! made this real — driver closures holding snapshot locks now run on a
+//! worker pool next to channel-owning siblings.
+//!
+//! The fix is almost always mechanical: clone/snapshot under the guard,
+//! drop it, then block (exactly what the driver's Mutex-snapshotted
+//! intermediates do). Sites where blocking under the guard is provably
+//! safe carry `// hdm-allow(blocking-under-lock): reason`.
+
+use super::locks::LockFacts;
+use super::Ctx;
+use crate::lexer::{Kind, Token};
+use crate::Diagnostic;
+use std::collections::BTreeSet;
+
+pub const ID: &str = "blocking-under-lock";
+pub const DESCRIPTION: &str =
+    "no channel send/recv, join, sleep, or file I/O while a Mutex/RwLock \
+     guard is live in hot-path crates; snapshot, drop the guard, then block";
+
+pub fn check(ctx: &Ctx<'_>, facts: &LockFacts, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens;
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    for a in &facts.acqs {
+        for j in a.start..a.end.min(toks.len()) {
+            if ctx.in_test(toks[j].line) {
+                continue;
+            }
+            let Some(what) = blocking_op(toks, j) else {
+                continue;
+            };
+            if !seen.insert(j) {
+                continue; // already reported under an outer guard
+            }
+            out.push(Diagnostic::new(
+                ID,
+                ctx.rel,
+                toks[j].line,
+                toks[j].col,
+                format!(
+                    "{what} while the guard on `{}` (acquired line {}) is live — \
+                     blocking under a lock convoys every contender; snapshot, drop \
+                     the guard, then block",
+                    a.key, a.line
+                ),
+            ));
+        }
+    }
+}
+
+/// Classify the token at `j` as a blocking operation, if it is one.
+fn blocking_op(toks: &[Token], j: usize) -> Option<&'static str> {
+    let t = &toks[j];
+    if t.kind != Kind::Ident {
+        return None;
+    }
+    let called = toks.get(j + 1).is_some_and(|n| n.is_punct('('));
+    if !called {
+        return None;
+    }
+    let method = j > 0 && toks[j - 1].is_punct('.');
+    let pathed = |head: &str| {
+        j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].is_ident(head)
+    };
+    match t.text.as_str() {
+        "send" | "recv" | "recv_timeout" if method => Some("channel send/recv"),
+        // Zero-argument `.join()` is JoinHandle::join; `Path::join(p)`
+        // and `slice::join(sep)` take an argument and do not match.
+        "join" if method && toks.get(j + 2).is_some_and(|n| n.is_punct(')')) => {
+            Some("JoinHandle::join")
+        }
+        "wait" | "wait_timeout" if method => Some("condvar/barrier wait"),
+        "sleep" if method || pathed("thread") => Some("thread sleep"),
+        "read_to_string" | "read_exact" | "write_all" | "sync_all" if method => Some("file I/O"),
+        "open" | "create" if pathed("File") => Some("file I/O"),
+        "read" | "write" | "read_to_string" | "copy" | "rename" | "remove_file"
+        | "create_dir_all"
+            if pathed("fs") =>
+        {
+            Some("file I/O")
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,195 @@
+//! `lock-order-graph`: every pair of locks held together must be
+//! acquired in one global order, workspace-wide. Two threads taking the
+//! same pair in opposite orders is the classic AB/BA deadlock — and with
+//! the PR 5 stage scheduler running driver closures on a worker pool,
+//! nested guards in different crates can now genuinely interleave.
+//!
+//! The pass consumes the per-file [`locks`](super::locks) facts: each
+//! acquisition performed while another guard is live contributes a
+//! directed edge *held-lock → acquired-lock*, keyed by lock identity
+//! (field or binding name — the cross-file join key). Any cycle in the
+//! resulting graph is reported once, anchored at its first edge site,
+//! with the opposing acquisition chain cited so both halves of the
+//! inversion are visible in one diagnostic. A self-cycle (re-acquiring a
+//! lock whose guard is still live, through the same receiver chain) is
+//! an unconditional deadlock with the non-reentrant `parking_lot` locks
+//! this workspace uses and is reported directly.
+
+use super::locks::LockFacts;
+use crate::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const ID: &str = "lock-order-graph";
+pub const DESCRIPTION: &str =
+    "Mutex/RwLock pairs must be acquired in one global order: a cycle in \
+     the workspace lock graph is a potential AB/BA deadlock";
+
+/// One file's contribution to the workspace pass.
+pub struct FileFacts<'a> {
+    pub rel: &'a str,
+    pub facts: &'a LockFacts,
+    /// Whether diagnostics may be anchored in this file (rule scoping).
+    pub report: bool,
+}
+
+struct Edge {
+    from: String,
+    to: String,
+    file: usize,
+    line: usize,
+    col: usize,
+    held_line: usize,
+}
+
+/// Run the workspace graph pass. Returns `(file_index, diagnostic)`
+/// pairs for the caller to merge into per-file diagnostic streams.
+pub fn check_workspace(files: &[FileFacts<'_>]) -> Vec<(usize, Diagnostic)> {
+    let mut out = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut seen_edges: BTreeSet<(String, String, usize, usize, usize)> = BTreeSet::new();
+    let mut seen_self: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
+
+    for (fi, f) in files.iter().enumerate() {
+        let acqs = &f.facts.acqs;
+        for (ai, a) in acqs.iter().enumerate() {
+            for (bi, b) in acqs.iter().enumerate() {
+                if ai == bi || b.tok < a.start || b.tok >= a.end {
+                    continue;
+                }
+                if a.key == b.key {
+                    // Same identity: only a certain deadlock when the
+                    // receiver chains match exactly (two distinct objects
+                    // may share a field name).
+                    if a.chain == b.chain && f.report && seen_self.insert((fi, b.line, b.col)) {
+                        out.push((
+                            fi,
+                            Diagnostic::new(
+                                ID,
+                                f.rel,
+                                b.line,
+                                b.col,
+                                format!(
+                                    "re-acquires `{}` while its guard from line {} is still \
+                                     live — self-deadlock with a non-reentrant lock; drop the \
+                                     first guard before taking the lock again",
+                                    b.key, a.line
+                                ),
+                            ),
+                        ));
+                    }
+                    continue;
+                }
+                if seen_edges.insert((a.key.clone(), b.key.clone(), fi, b.line, b.col)) {
+                    edges.push(Edge {
+                        from: a.key.clone(),
+                        to: b.key.clone(),
+                        file: fi,
+                        line: b.line,
+                        col: b.col,
+                        held_line: a.line,
+                    });
+                }
+            }
+        }
+    }
+
+    // Adjacency over lock identities; deterministic order throughout.
+    let mut adj: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, e) in edges.iter().enumerate() {
+        adj.entry(&e.from).or_default().push(i);
+    }
+
+    // For each edge A→B, a path B ⤳ A closes a cycle. Report each cycle
+    // (by node set) once, anchored at its lexicographically first edge.
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_by_key(|&i| (files[edges[i].file].rel, edges[i].line, edges[i].col));
+    for &ei in &order {
+        let e = &edges[ei];
+        if !files[e.file].report {
+            continue;
+        }
+        let Some(path) = shortest_path(&edges, &adj, &e.to, &e.from) else {
+            continue;
+        };
+        let mut nodes: Vec<String> = path.iter().map(|&pi| edges[pi].from.clone()).collect();
+        nodes.push(e.from.clone());
+        nodes.sort();
+        nodes.dedup();
+        if !reported.insert(nodes) {
+            continue;
+        }
+        let opposing = path
+            .iter()
+            .map(|&pi| {
+                let p = &edges[pi];
+                format!(
+                    "`{}` is held when `{}` is acquired at {}:{}",
+                    p.from, p.to, files[p.file].rel, p.line
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", and ");
+        let ring: Vec<&str> = std::iter::once(e.from.as_str())
+            .chain(path.iter().map(|&pi| edges[pi].from.as_str()))
+            .chain(std::iter::once(e.from.as_str()))
+            .collect();
+        out.push((
+            e.file,
+            Diagnostic::new(
+                ID,
+                files[e.file].rel,
+                e.line,
+                e.col,
+                format!(
+                    "acquires `{}` while holding `{}` (acquired line {}), but {} — \
+                     lock-order cycle {} risks deadlock; pick one global order",
+                    e.to,
+                    e.from,
+                    e.held_line,
+                    opposing,
+                    ring.join("\u{2192}")
+                ),
+            ),
+        ));
+    }
+    out
+}
+
+/// BFS shortest edge-path from lock `from` to lock `to`; edges in
+/// insertion (deterministic) order.
+fn shortest_path(
+    edges: &[Edge],
+    adj: &BTreeMap<&str, Vec<usize>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<usize>> {
+    let mut prev: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut queue: std::collections::VecDeque<&str> = std::collections::VecDeque::new();
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    visited.insert(from);
+    queue.push_back(from);
+    while let Some(node) = queue.pop_front() {
+        for &ei in adj.get(node).map(Vec::as_slice).unwrap_or_default() {
+            let nxt = edges[ei].to.as_str();
+            if !visited.insert(nxt) {
+                continue;
+            }
+            prev.insert(nxt, ei);
+            if nxt == to {
+                // Reconstruct the edge path from `from` to `to`.
+                let mut path = Vec::new();
+                let mut cur = nxt;
+                while cur != from {
+                    let ei = prev.get(cur).copied()?;
+                    path.push(ei);
+                    cur = edges[ei].from.as_str();
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(nxt);
+        }
+    }
+    None
+}

@@ -1,0 +1,296 @@
+//! Shared lock-fact extraction for the concurrency rules.
+//!
+//! Both `lock-order-graph` and `blocking-under-lock` need the same three
+//! facts about a file, recovered from the token stream alone:
+//!
+//! 1. **Declarations** — which identifiers are lock-typed (`Mutex<..>` /
+//!    `RwLock<..>` fields, statics, and `let`-bound `Mutex::new(..)`
+//!    values). These names gate `.read()` / `.write()` acquisition
+//!    candidates, which are otherwise ambiguous with `io::Read`/`Write`
+//!    (the io methods take a buffer argument, the lock methods are
+//!    zero-argument — but the declaration check keeps e.g. a zero-arg
+//!    builder `.write()` from masquerading as a lock).
+//! 2. **Acquisition sites** — `X.lock()`, `X.read()`, `X.write()` calls,
+//!    keyed by lock identity: the last receiver-chain component (the
+//!    field or binding name), which is also the cross-file join key for
+//!    the workspace lock graph.
+//! 3. **Guard live ranges** — the token span during which the returned
+//!    guard is held. `let g = x.lock();` lives to the end of its
+//!    enclosing block (or an explicit `drop(g)`); anything else is a
+//!    statement temporary that dies at the statement boundary.
+//!
+//! The extractor is intra-procedural and name-based, like every other
+//! rule in this crate: it never chases calls, so a lock taken inside a
+//! callee is invisible at the caller. That under-approximation is the
+//! price of a dependency-free token analysis; the workspace graph pass
+//! recovers the cross-*file* (not cross-*call*) structure by joining
+//! acquisition chains on lock identity.
+
+use super::Ctx;
+use crate::lexer::{Kind, Token};
+use std::collections::BTreeSet;
+
+/// One lock acquisition with its guard's live token range.
+#[derive(Debug, Clone)]
+pub struct Acq {
+    /// Join key for the workspace graph: the last receiver-chain
+    /// component (field or binding name), or a synthesized unique name
+    /// when the receiver is a call/index expression.
+    pub key: String,
+    /// Full receiver chain (minus a leading `self`), for self-deadlock
+    /// precision: `a.inner` and `b.inner` share a key but not a chain.
+    pub chain: String,
+    pub line: usize,
+    pub col: usize,
+    /// Token index of the `lock`/`read`/`write` method identifier.
+    pub tok: usize,
+    /// First token index at which the guard is live (just past `()`).
+    pub start: usize,
+    /// Exclusive token index at which the guard dies.
+    pub end: usize,
+    /// Acquired via `.read()`/`.write()` — only a lock if the key is a
+    /// declared lock name somewhere in the workspace.
+    pub rw: bool,
+}
+
+/// Per-file lock facts: declared lock names plus acquisition sites.
+#[derive(Debug, Default)]
+pub struct LockFacts {
+    pub decls: BTreeSet<String>,
+    pub acqs: Vec<Acq>,
+}
+
+impl LockFacts {
+    /// Phase-2 resolution: drop `.read()`/`.write()` candidates whose
+    /// receiver is not a declared lock anywhere in the workspace.
+    pub fn resolve(&mut self, known: &BTreeSet<String>) {
+        self.acqs.retain(|a| !a.rw || known.contains(&a.key));
+    }
+}
+
+/// Extract lock facts from one file. Test code contributes nothing: a
+/// lock order that exists only inside `#[cfg(test)]` cannot deadlock
+/// the production data path and would drown the graph in fixtures.
+pub fn extract(ctx: &Ctx<'_>) -> LockFacts {
+    let toks = ctx.tokens;
+    let mut facts = LockFacts::default();
+
+    for (i, tok) in toks.iter().enumerate() {
+        if ctx.in_test(tok.line) {
+            continue;
+        }
+
+        if tok.is_ident("Mutex") || tok.is_ident("RwLock") {
+            if let Some(name) = decl_name(toks, i) {
+                facts.decls.insert(name);
+            }
+            continue;
+        }
+
+        // `.lock()` / `.read()` / `.write()` — zero-argument calls only,
+        // which is what rules out `io::Read::read(&mut buf)` et al.
+        let is_acq = tok.kind == Kind::Ident
+            && matches!(tok.text.as_str(), "lock" | "read" | "write")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(')'));
+        if !is_acq {
+            continue;
+        }
+
+        let (key, chain, chain_start) = receiver(ctx.rel, toks, i);
+        let start = i + 3;
+        let end = guard_end(toks, chain_start, start);
+        facts.acqs.push(Acq {
+            key,
+            chain,
+            line: tok.line,
+            col: tok.col,
+            tok: i,
+            start,
+            end,
+            rw: tok.text != "lock",
+        });
+    }
+    facts
+}
+
+/// Recover the declared name for a `Mutex`/`RwLock` token at `i`.
+/// Handles field/let type ascriptions (`name: Arc<Mutex<..>>`), struct
+/// literal inits (`name: Mutex::new(..)`), and `let name = Mutex::new(..)`.
+fn decl_name(toks: &[Token], i: usize) -> Option<String> {
+    // Walk back over wrapper tokens to a `name :` ascription.
+    let mut j = i;
+    while j > 0 {
+        let t = &toks[j - 1];
+        let wrapper = t.is_punct('<')
+            || t.is_punct('(')
+            || t.is_ident("Arc")
+            || t.is_ident("Box")
+            || t.is_ident("Option")
+            || t.is_ident("Some")
+            || t.is_ident("std")
+            || t.is_ident("sync")
+            || t.is_ident("parking_lot")
+            || t.is_ident("new");
+        if wrapper {
+            j -= 1;
+            continue;
+        }
+        if t.is_punct(':') {
+            if j >= 2 && toks[j - 2].is_punct(':') {
+                j -= 2; // a `::` path separator, keep walking
+                continue;
+            }
+            // `name : ...` — field declaration or typed binding.
+            return (j >= 2 && toks[j - 2].kind == Kind::Ident).then(|| toks[j - 2].text.clone());
+        }
+        break;
+    }
+    // Fall back to the statement's `let [mut] name` binding.
+    let s = stmt_start(toks, i);
+    if toks.get(s).is_some_and(|t| t.is_ident("let")) {
+        let mut k = s + 1;
+        if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        if let Some(t) = toks.get(k) {
+            if t.kind == Kind::Ident && t.text != "_" {
+                return Some(t.text.clone());
+            }
+        }
+    }
+    None
+}
+
+/// Index of the first token of the statement containing token `i`
+/// (the token right after the previous `;`, `{`, or `}`).
+pub fn stmt_start(toks: &[Token], i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        j -= 1;
+    }
+    j
+}
+
+/// Identity of the receiver chain ending at the `.` before method token
+/// `m`: `(key, full_chain, chain_start_index)`. A non-path receiver
+/// (`foo().lock()`) gets a synthesized per-site key so it can hold
+/// edges but never join a cycle by accident.
+fn receiver(rel: &str, toks: &[Token], m: usize) -> (String, String, usize) {
+    let mut parts: Vec<&str> = Vec::new();
+    let mut j = m - 1; // the `.`
+    let mut start = m - 1;
+    loop {
+        if j == 0 {
+            break;
+        }
+        let t = &toks[j - 1];
+        if t.kind == Kind::Ident || t.kind == Kind::Int {
+            parts.push(&t.text);
+            start = j - 1;
+            // continue down the chain if another `.` precedes
+            if j >= 2 && toks[j - 2].is_punct('.') {
+                j -= 2;
+                continue;
+            }
+        }
+        break;
+    }
+    parts.reverse();
+    if let Some(first) = parts.first() {
+        if *first == "self" {
+            parts.remove(0);
+        }
+    }
+    match parts.last() {
+        Some(last) => (last.to_string(), parts.join("."), start),
+        None => {
+            let line = toks[m].line;
+            let key = format!("<expr>@{rel}:{line}");
+            (key.clone(), key, start)
+        }
+    }
+}
+
+/// Exclusive token index at which the guard from the acquisition at
+/// method token `m` dies.
+fn guard_end(toks: &[Token], chain_start: usize, start: usize) -> usize {
+    // Named guard: the statement is exactly `let [mut] g = <chain>.lock();`
+    // — guard lives to the end of its enclosing block or `drop(g)`.
+    let s = stmt_start(toks, chain_start);
+    let named = if toks.get(s).is_some_and(|t| t.is_ident("let"))
+        && toks.get(start).is_some_and(|t| t.is_punct(';'))
+    {
+        let mut k = s + 1;
+        if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        toks.get(k)
+            .filter(|t| t.kind == Kind::Ident && t.text != "_")
+            .map(|t| t.text.clone())
+    } else {
+        None
+    };
+
+    if let Some(name) = named {
+        let mut depth = 0i32;
+        let mut j = start;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth < 0 {
+                    break; // enclosing block closed
+                }
+            } else if t.is_ident("drop")
+                && toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+                && toks.get(j + 2).is_some_and(|t| t.is_ident(&name))
+                && toks.get(j + 3).is_some_and(|t| t.is_punct(')'))
+            {
+                return j;
+            }
+            j += 1;
+        }
+        return j;
+    }
+
+    // Temporary: dies at the statement boundary — the `;`, or the close
+    // of a statement-level `{..}` block (if/match statements) unless the
+    // block is continued by `else` or a method call.
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            if depth == 0 {
+                break; // the statement was itself inside an argument list
+            }
+            depth -= 1;
+        } else if t.is_punct('}') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+            if depth == 0 {
+                match toks.get(j + 1) {
+                    Some(n) if n.is_ident("else") || n.is_punct('.') || n.is_punct('?') => {}
+                    _ => return j + 1,
+                }
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    j
+}

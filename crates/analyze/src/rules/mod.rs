@@ -3,8 +3,13 @@
 //! to which files and applies `hdm-allow` suppressions afterwards.
 
 pub mod atomic_ordering;
+pub mod blocking_under_lock;
 pub mod conf_keys;
+pub mod lock_order;
+pub mod locks;
 pub mod no_panic;
+pub mod span_balance;
+pub mod swallowed_error;
 pub mod tag_registry;
 pub mod unbounded_blocking;
 

@@ -1,0 +1,129 @@
+//! `obs-span-balance`: every obs span that is opened must close exactly
+//! around the work it names, on every path — including early `return`s
+//! and `?` propagation. The span API is RAII ([`SpanGuard`] records on
+//! drop), so balance is a *binding* question, checkable from tokens:
+//!
+//! - `obs.span(..);` as a bare statement, or `let _ = obs.span(..)`,
+//!   drops the guard immediately — the Chrome trace gets a zero-width
+//!   span *before* the work instead of one covering it, which nests
+//!   wrongly under concurrent per-stage tracks.
+//! - `mem::forget(guard)` leaks the enter with no exit: the span is
+//!   silently never recorded, and everything that should have nested
+//!   inside it reparents to the enclosing span.
+//!
+//! Binding the guard (`let _plan_span = obs.span(..)`), returning it,
+//! or dropping it explicitly at the intended close point are all
+//! balanced by construction and accepted.
+//!
+//! [`SpanGuard`]: ../../../obs/span/struct.SpanGuard.html
+
+use super::locks::stmt_start;
+use super::Ctx;
+use crate::lexer::{Kind, Token};
+use crate::Diagnostic;
+
+pub const ID: &str = "obs-span-balance";
+pub const DESCRIPTION: &str = "obs span guards must be bound for the span's full extent: no \
+     immediately-dropped `obs.span(..);` / `let _ =`, no mem::forget";
+
+pub fn check(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens;
+    let mut guard_names: Vec<String> = Vec::new();
+
+    for (i, tok) in toks.iter().enumerate() {
+        let is_span_call = tok.is_ident("span")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if !is_span_call || ctx.in_test(tok.line) {
+            continue;
+        }
+        let close = match_paren(toks, i + 1);
+
+        let s = stmt_start(toks, i);
+        if toks.get(s).is_some_and(|t| t.is_ident("let")) {
+            let mut k = s + 1;
+            if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            match toks.get(k) {
+                Some(t) if t.kind == Kind::Ident && t.text == "_" => {
+                    out.push(Diagnostic::new(
+                        ID,
+                        ctx.rel,
+                        tok.line,
+                        tok.col,
+                        "span guard discarded with `let _ =` — the span closes before \
+                         the work it names; bind it (`let _work_span = ..`) for the \
+                         span's full extent"
+                            .into(),
+                    ));
+                }
+                Some(t) if t.kind == Kind::Ident => guard_names.push(t.text.clone()),
+                _ => {}
+            }
+            continue;
+        }
+
+        // Bare statement: the guard is the statement's value and drops
+        // at the `;` — a zero-width span recorded before the work runs.
+        let stmt_value = toks.get(close + 1).is_some_and(|t| t.is_punct(';'))
+            && !toks.get(s).is_some_and(|t| t.is_ident("return"));
+        if stmt_value {
+            out.push(Diagnostic::new(
+                ID,
+                ctx.rel,
+                tok.line,
+                tok.col,
+                "span guard dropped at end of statement — the span records \
+                 zero-width instead of covering the work; bind it to a local \
+                 that lives for the span's extent"
+                    .into(),
+            ));
+        }
+    }
+
+    // `mem::forget` on a span guard (or a fresh span call) is an enter
+    // with no exit: the span is never recorded at all.
+    for (i, tok) in toks.iter().enumerate() {
+        if !tok.is_ident("forget")
+            || !toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            || ctx.in_test(tok.line)
+        {
+            continue;
+        }
+        let close = match_paren(toks, i + 1);
+        let leaked = toks[i + 2..close.min(toks.len())]
+            .iter()
+            .any(|t| t.is_ident("span") || guard_names.iter().any(|g| t.is_ident(g)));
+        if leaked {
+            out.push(Diagnostic::new(
+                ID,
+                ctx.rel,
+                tok.line,
+                tok.col,
+                "span guard leaked via mem::forget — the span enter has no exit \
+                 and is never recorded; drop the guard at the intended close point"
+                    .into(),
+            ));
+        }
+    }
+
+    out.sort_by_key(|d| (d.line, d.col));
+}
+
+/// Index of the `)` matching the `(` at `open` (or the last token).
+fn match_paren(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}

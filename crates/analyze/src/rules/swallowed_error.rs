@@ -1,0 +1,71 @@
+//! `swallowed-error`: hot-path code must not silently discard a
+//! `Result`. A `let _ = tx.send(..)` that starts failing under fault
+//! injection is invisible — no error propagates, no counter moves, and
+//! the first symptom is a consumer hanging on data that never arrived.
+//! PR 4 hit exactly this in `OContext::send`, where a discarded recycle
+//! send hid channel shutdown; the fix (count the discard through obs, or
+//! propagate) is the template this rule enforces:
+//!
+//! - `let _ = expr;` — the canonical silent discard.
+//! - `expr.ok();` as a statement — same effect, different spelling.
+//!
+//! Legitimate fire-and-forget sites keep the information: either
+//! propagate (`?`), branch on `is_err()` and bump an obs counter, or
+//! carry an `// hdm-allow(swallowed-error): reason` stating why losing
+//! the error is safe.
+
+use super::Ctx;
+use crate::lexer::Kind;
+use crate::Diagnostic;
+
+pub const ID: &str = "swallowed-error";
+pub const DESCRIPTION: &str = "hot-path code must not discard Results via `let _ =` or a bare \
+     `.ok();` — propagate, or count the discard through obs";
+
+pub fn check(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if ctx.in_test(tok.line) {
+            continue;
+        }
+
+        // `let _ = ...;` (exactly `_`, not a named `_foo` binding).
+        if tok.is_ident("let")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == Kind::Ident && t.text == "_")
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+        {
+            out.push(Diagnostic::new(
+                ID,
+                ctx.rel,
+                tok.line,
+                tok.col,
+                "`let _ =` swallows the Result on a hot path — propagate the \
+                 error, or count the discard through obs (see the OContext::send \
+                 recycle-drop precedent)"
+                    .into(),
+            ));
+            continue;
+        }
+
+        // Statement-terminated `.ok();`.
+        if tok.is_ident("ok")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(';'))
+        {
+            out.push(Diagnostic::new(
+                ID,
+                ctx.rel,
+                tok.line,
+                tok.col,
+                "bare `.ok();` silently discards the Result — propagate the \
+                 error, or count the discard through obs"
+                    .into(),
+            ));
+        }
+    }
+}

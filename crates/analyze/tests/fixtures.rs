@@ -64,3 +64,84 @@ fn tag_fail_fixture_reports_duplicate_and_stray() {
     assert!(diags.iter().any(|d| d.msg.contains("duplicate tag value")));
     assert!(diags.iter().any(|d| d.msg.contains("outside a `mod tags`")));
 }
+
+#[test]
+fn lock_order_fail_fixture_reports_cycle_and_self_deadlock() {
+    let diags = check_fixture("lock-order-graph", "fail.rs");
+    assert!(
+        diags.iter().any(|d| d.msg.contains("lock-order cycle")),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.msg.contains("self-deadlock")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn lock_order_cycle_joins_across_files() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lock-order-graph/cross");
+    let load = |name: &str| hdm_analyze::SourceFile {
+        rel: format!("crates/analyze/tests/fixtures/lock-order-graph/cross/{name}"),
+        src: std::fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}")),
+    };
+    let a = load("cycle_a.rs");
+    let b = load("cycle_b.rs");
+
+    // Each half alone has only forward edges — no cycle, no findings.
+    for half in [&a, &b] {
+        let alone = hdm_analyze::check_source(&half.rel, &half.src);
+        assert!(alone.is_empty(), "{}: {alone:?}", half.rel);
+    }
+
+    // Joined, the maps→spills edge in one file and the spills→maps edge
+    // in the other close a cycle; the diagnostic must cite the opposing
+    // file so both halves of the inversion are visible.
+    let joined = hdm_analyze::check_sources(&[a, b]);
+    let cyc: Vec<_> = joined
+        .iter()
+        .filter(|d| d.rule == "lock-order-graph")
+        .collect();
+    assert_eq!(cyc.len(), 1, "{joined:?}");
+    assert!(
+        cyc[0].msg.contains("cycle_b.rs") || cyc[0].path.contains("cycle_b.rs"),
+        "diagnostic should cite the opposing file: {}",
+        cyc[0]
+    );
+}
+
+#[test]
+fn blocking_under_lock_fail_fixture_reports_each_class() {
+    let diags = check_fixture("blocking-under-lock", "fail.rs");
+    let msgs: Vec<&str> = diags.iter().map(|d| d.msg.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("channel send/recv")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("JoinHandle::join")),
+        "{msgs:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains("thread sleep")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("file I/O")), "{msgs:?}");
+}
+
+#[test]
+fn span_balance_fail_fixture_reports_each_unbalance() {
+    let diags = check_fixture("obs-span-balance", "fail.rs");
+    let msgs: Vec<&str> = diags.iter().map(|d| d.msg.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("end of statement")),
+        "{msgs:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains("let _ =")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("mem::forget")), "{msgs:?}");
+}
+
+#[test]
+fn swallowed_error_fail_fixture_reports_both_spellings() {
+    let diags = check_fixture("swallowed-error", "fail.rs");
+    let msgs: Vec<&str> = diags.iter().map(|d| d.msg.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("`let _ =`")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("`.ok();`")), "{msgs:?}");
+}

@@ -1,0 +1,23 @@
+//! Fail fixture: every class of blocking operation performed while a
+//! lock guard is live — channel ops, JoinHandle::join, sleeps, file I/O.
+
+pub fn drain(s: &Shared, tx: &Sender<u64>, rx: &Receiver<u64>) {
+    let g = s.pending.lock();
+    for v in g.iter() {
+        tx.send(*v);
+    }
+    let _ack = rx.recv();
+}
+
+pub fn wait_for_worker(s: &Shared, h: JoinHandle<()>) {
+    let g = s.pending.lock();
+    h.join();
+    std::thread::sleep(Duration::from_millis(1));
+    drop(g);
+}
+
+pub fn spill(s: &Shared) {
+    let g = s.pending.lock();
+    let _bytes = std::fs::read("spill.bin");
+    drop(g);
+}

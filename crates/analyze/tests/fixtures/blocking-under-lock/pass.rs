@@ -1,0 +1,24 @@
+//! Pass fixture: the snapshot-then-block discipline. Guards are scoped
+//! to the shared-state access; channel ops, joins, and I/O happen only
+//! after the guard is dead.
+
+pub fn drain(s: &Shared, tx: &Sender<u64>) {
+    let snapshot: Vec<u64> = {
+        let g = s.pending.lock();
+        g.clone()
+    };
+    for v in snapshot {
+        tx.send(v);
+    }
+}
+
+pub fn wait_for_worker(s: &Shared, h: JoinHandle<()>) {
+    let n = s.pending.lock().len();
+    h.join();
+    std::thread::sleep(Duration::from_millis(n as u64));
+}
+
+pub fn spill(s: &Shared) {
+    let snapshot = s.pending.lock().clone();
+    std::fs::write("spill.bin", encode(&snapshot));
+}

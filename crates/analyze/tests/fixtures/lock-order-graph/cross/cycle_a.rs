@@ -1,0 +1,18 @@
+//! Half of the cross-file cycle fixture: this file only ever takes
+//! maps → spills. Analyzed alone it is clean; joined with `cycle_b.rs`
+//! (which takes spills → maps) the workspace graph pass must report a
+//! cycle, proving acquisition chains join across files on lock identity
+//! (field name), not on the local receiver spelling.
+
+pub struct VolumeTracker {
+    pub maps: parking_lot::Mutex<Vec<u64>>,
+    pub spills: parking_lot::Mutex<Vec<u64>>,
+}
+
+impl VolumeTracker {
+    pub fn absorb(&self) -> usize {
+        let maps = self.maps.lock();
+        let spills = self.spills.lock();
+        maps.len() + spills.len()
+    }
+}

@@ -1,0 +1,9 @@
+//! Other half of the cross-file cycle fixture: takes spills → maps,
+//! through a differently-spelled receiver (`state.spills`, not
+//! `self.spills`) — the join key is the field name.
+
+pub fn rebalance(state: &crate::VolumeTracker) -> usize {
+    let spills = state.spills.lock();
+    let maps = state.maps.lock();
+    spills.len() + maps.len()
+}

@@ -1,0 +1,30 @@
+//! Fail fixture: the two classic lock-graph cycles. `forward` takes
+//! plan → stats while `backward` takes stats → plan (AB/BA inversion),
+//! and `reentrant` re-acquires a lock whose guard is still live — an
+//! unconditional self-deadlock with non-reentrant parking_lot locks.
+
+pub struct Shared {
+    pub plan: parking_lot::Mutex<Vec<u64>>,
+    pub stats: parking_lot::Mutex<Vec<u64>>,
+}
+
+/// Takes `plan`, then `stats`.
+pub fn forward(s: &Shared) -> usize {
+    let plan = s.plan.lock();
+    let stats = s.stats.lock();
+    plan.len() + stats.len()
+}
+
+/// Takes `stats`, then `plan`: the opposing order closes the cycle.
+pub fn backward(s: &Shared) -> usize {
+    let stats = s.stats.lock();
+    let plan = s.plan.lock();
+    plan.len() + stats.len()
+}
+
+/// Re-acquires `plan` while the first guard is live.
+pub fn reentrant(s: &Shared) -> usize {
+    let first = s.plan.lock();
+    let second = s.plan.lock();
+    first.len() + second.len()
+}

@@ -1,0 +1,41 @@
+//! Pass fixture: every function that holds both locks takes them in the
+//! same global order (plan before stats), releases via `drop` before
+//! re-acquiring in the other direction, or never overlaps guards at all.
+
+pub struct Shared {
+    pub plan: parking_lot::Mutex<Vec<u64>>,
+    pub stats: parking_lot::Mutex<Vec<u64>>,
+}
+
+pub fn forward(s: &Shared) -> usize {
+    let plan = s.plan.lock();
+    let stats = s.stats.lock();
+    plan.len() + stats.len()
+}
+
+pub fn also_forward(s: &Shared) -> usize {
+    let plan = s.plan.lock();
+    let stats = s.stats.lock();
+    stats.len() + plan.len()
+}
+
+/// Guards scoped so they never overlap: no edges at all.
+pub fn sequential(s: &Shared) -> usize {
+    let plan_len = {
+        let g = s.plan.lock();
+        g.len()
+    };
+    let stats_len = s.stats.lock().len();
+    plan_len + stats_len
+}
+
+/// The stats guard is dropped before plan is taken, so the would-be
+/// stats → plan edge (which would close a cycle against `forward`)
+/// never exists.
+pub fn explicit_drop(s: &Shared) -> usize {
+    let stats = s.stats.lock();
+    let n = stats.len();
+    drop(stats);
+    let plan = s.plan.lock();
+    n + plan.len()
+}

@@ -1,0 +1,11 @@
+//! Fail fixture: the three ways to unbalance an RAII span — dropping the
+//! guard at the statement boundary (zero-width span before the work),
+//! discarding it with `let _ =`, and leaking the enter via mem::forget.
+
+pub fn stage(obs: &OContextObs) -> u64 {
+    obs.span("stages", "map", "map-0");
+    let _ = obs.span("stages", "sort", "sort-0");
+    let guard = obs.span("stages", "spill", "spill-0");
+    std::mem::forget(guard);
+    do_work()
+}

@@ -1,0 +1,28 @@
+//! Pass fixture: balanced spans. Guards are bound for the span's full
+//! extent, closed early with an explicit drop at the intended boundary,
+//! nested lexically, or handed to the caller who owns the close.
+
+pub fn stage(obs: &OContextObs) -> u64 {
+    let _stage_span = obs.span("stages", "map", "map-0");
+    do_work()
+}
+
+pub fn early_close(obs: &OContextObs) -> u64 {
+    let setup_span = obs.span("stages", "setup", "setup-0");
+    let plan = build_plan();
+    drop(setup_span);
+    execute(plan)
+}
+
+pub fn nested(obs: &OContextObs) -> u64 {
+    let _outer = obs.span("stages", "reduce", "reduce-0");
+    let merged = {
+        let _inner = obs.span("stages", "merge", "merge-0");
+        merge_runs()
+    };
+    finish(merged)
+}
+
+pub fn handed_to_caller(obs: &OContextObs) -> SpanGuard {
+    obs.span("stages", "shuffle", "shuffle-0")
+}

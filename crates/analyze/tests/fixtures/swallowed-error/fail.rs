@@ -1,0 +1,7 @@
+//! Fail fixture: silently discarded Results — the `let _ =` form that
+//! hid the OContext::send recycle failure, and its `.ok();` spelling.
+
+pub fn finish(tx: &Sender<Cmd>, sink: &mut Sink) {
+    let _ = tx.send(Cmd::Finish);
+    sink.flush().ok();
+}

@@ -1,0 +1,11 @@
+//! Pass fixture: every Result keeps its information — propagated with
+//! `?`, or discarded deliberately with the failure counted through obs
+//! (the OContext::send recycle-drop pattern).
+
+pub fn finish(tx: &Sender<Cmd>, sink: &mut Sink, drops: &Counter) -> Result<(), Error> {
+    sink.flush()?;
+    if tx.send(Cmd::Finish).is_err() {
+        drops.add(1);
+    }
+    Ok(())
+}

@@ -1,8 +1,30 @@
 //! The acceptance gate: `hdm-analyze` run over the workspace's own
-//! `crates/` tree must come back clean. Any new violation either gets
-//! fixed or earns an explicit `// hdm-allow(rule-id): reason`.
+//! `crates/` tree must come back clean — across all nine rules, including
+//! the cross-file lock-order graph and the stale-allow audit. Any new
+//! violation either gets fixed or earns an explicit
+//! `// hdm-allow(rule-id): reason` that provably suppresses it.
 
 use std::path::Path;
+
+#[test]
+fn registry_has_all_nine_rules() {
+    let ids: Vec<&str> = hdm_analyze::RULES.iter().map(|(id, _)| *id).collect();
+    assert_eq!(
+        ids,
+        [
+            "no-panic-in-hot-path",
+            "conf-key-registry",
+            "tag-registry",
+            "atomic-ordering",
+            "unbounded-blocking",
+            "lock-order-graph",
+            "blocking-under-lock",
+            "obs-span-balance",
+            "swallowed-error",
+        ],
+        "rule IDs are a stable interface; additions go at the end"
+    );
+}
 
 #[test]
 fn workspace_has_no_violations() {
@@ -14,7 +36,8 @@ fn workspace_has_no_violations() {
     let diags = hdm_analyze::check_paths(root, &[crates]).expect("scan workspace");
     assert!(
         diags.is_empty(),
-        "workspace must be clean; violations:\n{}",
+        "workspace must be clean across all {} rules; violations:\n{}",
+        hdm_analyze::RULES.len(),
         diags
             .iter()
             .map(|d| d.to_string())

@@ -273,8 +273,7 @@ where
             let work_rx = work_rx.clone();
             let done_tx = done_tx.clone();
             scope.spawn(move || {
-                // hdm-allow(unbounded-blocking): in-process work queue;
-                // the dispatcher below provably closes it on exit.
+                // hdm-allow(unbounded-blocking): in-process work queue; the dispatcher below provably closes it on exit
                 while let Ok((stage, ready_at)) = work_rx.recv() {
                     let out = inst.run_stage(stage, ready_at, run);
                     if done_tx.send((stage, out)).is_err() {
@@ -304,8 +303,7 @@ where
             if outstanding == 0 {
                 break;
             }
-            // hdm-allow(unbounded-blocking): completion channel; every
-            // counted in-flight stage is owned by a live scoped worker.
+            // hdm-allow(unbounded-blocking): completion channel; every counted in-flight stage is owned by a live scoped worker
             let Ok((stage, out)) = done_rx.recv() else {
                 break;
             };

@@ -380,12 +380,21 @@ fn run_o_rank<RO, RA>(
         let flush = if user.is_ok() || !faults.is_enabled() {
             ctx.flush()
         } else {
-            let _ = ctx.queue.send(SendCmd::Abort);
+            // The abort only fails if the shuffle engine is already gone —
+            // the split is being dropped either way, but the drop must not
+            // be silent (same contract as the recycle path above).
+            if ctx.queue.send(SendCmd::Abort).is_err() {
+                obs.counter("spl.abort.drops", &label).add(1);
+            }
             Ok(())
         };
         break (user, flush, ctx.stats);
     };
-    let _ = tx.send(SendCmd::Finish);
+    if tx.send(SendCmd::Finish).is_err() {
+        // Engine hung up before Finish: sender.join() below surfaces the
+        // real error; the counter keeps the lost EOF visible in obs.
+        obs.counter("spl.finish.drops", &label).add(1);
+    }
     let sender_res = sender
         .join()
         .unwrap_or_else(|_| Err(HdmError::DataMpi("shuffle engine thread panicked".into())));
