@@ -214,7 +214,8 @@ pub fn scope_for(rel: &str) -> FileScope {
         || in_dir("crates/mapred/src/")
         || rel.ends_with("crates/core/src/engine.rs")
         || rel.ends_with("crates/core/src/driver.rs")
-        || rel.ends_with("crates/core/src/sched.rs");
+        || rel.ends_with("crates/core/src/sched.rs")
+        || rel.ends_with("crates/core/src/stream.rs");
     FileScope {
         hot_path: in_dir("crates/datampi/src/")
             || in_dir("crates/mpisim/src/")
@@ -224,14 +225,17 @@ pub fn scope_for(rel: &str) -> FileScope {
             || rel.ends_with("crates/core/src/engine.rs")
             || rel.ends_with("crates/core/src/driver.rs")
             || rel.ends_with("crates/core/src/sched.rs")
+            || rel.ends_with("crates/core/src/stream.rs")
             || rel.ends_with("crates/common/src/sortkey.rs")
             || rel.ends_with("crates/common/src/stats.rs"),
         mpisim: in_dir("crates/mpisim/src/"),
         // The stage scheduler's dispatch loop blocks on worker channels
-        // just like the comm layer does, so it is in scope since PR 6.
+        // just like the comm layer does, so it is in scope since PR 6;
+        // the pipelined stream's condvar waits joined in PR 7.
         blocking: in_dir("crates/datampi/src/")
             || in_dir("crates/mpisim/src/")
-            || rel.ends_with("crates/core/src/sched.rs"),
+            || rel.ends_with("crates/core/src/sched.rs")
+            || rel.ends_with("crates/core/src/stream.rs"),
         lock_extract: !test_file,
         blocking_lock: contended,
         span_balance: true,

@@ -110,8 +110,11 @@ impl RunLog {
 }
 
 /// Parallel-scheduler smoke: each selected TPC-H query must produce
-/// byte-identical rows with `hive.exec.parallel` off and on, on both
-/// engines. Returns the number of failures.
+/// byte-identical rows with `hive.exec.parallel` off and on (both arms
+/// pipelined, the default), plus the same normalized result set with
+/// `hive.exec.pipelined` off (streaming may repartition downstream
+/// tasks, so that arm is compared order-insensitively). Returns the
+/// number of failures.
 fn parallel_smoke(queries: &[usize], log: &mut RunLog) -> usize {
     let mut d = Driver::in_memory();
     if let Err(e) = tpch::load(&mut d, 0.002, 20150701, FormatKind::Text) {
@@ -121,25 +124,34 @@ fn parallel_smoke(queries: &[usize], log: &mut RunLog) -> usize {
     let mut failures = 0usize;
     for &n in queries {
         for engine in [EngineKind::DataMpi, EngineKind::Hadoop] {
-            let run = |d: &mut Driver, on: bool| {
+            let run = |d: &mut Driver, parallel: bool, pipelined: bool| {
                 let c = d.conf_mut();
-                c.set(hdm_common::conf::KEY_EXEC_PARALLEL, on);
+                c.set(hdm_common::conf::KEY_EXEC_PARALLEL, parallel);
                 c.set(hdm_common::conf::KEY_EXEC_PARALLEL_THREADS, 8);
+                c.set(hdm_common::conf::KEY_EXEC_PIPELINED, pipelined);
                 d.execute_on(tpch::queries::query(n), engine)
                     .map(|r| r.to_lines())
             };
-            match (run(&mut d, false), run(&mut d, true)) {
-                (Ok(seq), Ok(par)) if seq == par => {
-                    log.say(&format!(
-                        "Q{n:02} {engine:?}: parallel == sequential ({} rows)",
-                        seq.len()
-                    ));
+            match (
+                run(&mut d, false, true),
+                run(&mut d, true, true),
+                run(&mut d, true, false),
+            ) {
+                (Ok(seq), Ok(par), Ok(mat)) => {
+                    if seq != par {
+                        log.warn(&format!("Q{n} {engine:?}: parallel run DIVERGED"));
+                        failures += 1;
+                    } else if normalize(par.clone()) != normalize(mat) {
+                        log.warn(&format!("Q{n} {engine:?}: pipelined run DIVERGED"));
+                        failures += 1;
+                    } else {
+                        log.say(&format!(
+                            "Q{n:02} {engine:?}: parallel == sequential, pipelined == materialized ({} rows)",
+                            seq.len()
+                        ));
+                    }
                 }
-                (Ok(_), Ok(_)) => {
-                    log.warn(&format!("Q{n} {engine:?}: parallel run DIVERGED"));
-                    failures += 1;
-                }
-                (Err(e), _) | (_, Err(e)) => {
+                (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
                     log.warn(&format!("Q{n} {engine:?}: FAILED: {e}"));
                     failures += 1;
                 }

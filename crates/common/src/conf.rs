@@ -87,6 +87,14 @@ pub const KEY_EXEC_PARALLEL: &str = "hive.exec.parallel";
 /// Worker-thread cap for concurrent stage execution (Hive's
 /// `hive.exec.parallel.thread.number`). Default 8.
 pub const KEY_EXEC_PARALLEL_THREADS: &str = "hive.exec.parallel.thread.number";
+/// Whether dependent stages stream intermediates partition-by-partition
+/// (the Tez-style pipelined stage boundary). Default true; `false`
+/// restores full materialization at every stage barrier.
+pub const KEY_EXEC_PIPELINED: &str = "hive.exec.pipelined";
+/// Backpressure cap for pipelined stage hand-off: the maximum number of
+/// committed-but-unconsumed partitions a producer stage may buffer
+/// before its commits block. Default 4.
+pub const KEY_EXEC_PIPELINED_BUFFER: &str = "hive.exec.pipelined.buffer.partitions";
 
 /// The parallelism strategy of Section IV-D.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -361,6 +369,33 @@ impl JobConf {
         Ok(v as usize)
     }
 
+    /// Whether dependent stages stream intermediates partition-by-
+    /// partition instead of materializing at a stage barrier. Default
+    /// **true** (the pipelined path is differential-tested against the
+    /// barrier path across both engines and all 22 TPC-H queries).
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not a bool.
+    pub fn exec_pipelined(&self) -> Result<bool> {
+        self.get_bool(KEY_EXEC_PIPELINED, true)
+    }
+
+    /// Pipelined hand-off buffer cap, in partitions. Default **4**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an
+    /// integer or is less than 1 (a zero-partition buffer could never
+    /// pass data through — the producer's first commit would deadlock).
+    pub fn exec_pipelined_buffer(&self) -> Result<usize> {
+        let v = self.get_i64(KEY_EXEC_PIPELINED_BUFFER, 4)?;
+        if v < 1 {
+            return Err(HdmError::Config(format!(
+                "{KEY_EXEC_PIPELINED_BUFFER}: expected a partition count >= 1, got {v}"
+            )));
+        }
+        Ok(v as usize)
+    }
+
     /// Iterate over all `(key, value)` entries in sorted key order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
         self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
@@ -551,6 +586,36 @@ mod tests {
         assert!(c.exec_parallel_threads().is_err());
         let c = JobConf::new().with(KEY_EXEC_PARALLEL_THREADS, "many");
         assert!(c.exec_parallel_threads().is_err());
+    }
+
+    #[test]
+    fn exec_pipelined_knobs_default_on_and_validate() {
+        let c = JobConf::new();
+        assert!(c.exec_pipelined().unwrap());
+        assert_eq!(c.exec_pipelined_buffer().unwrap(), 4);
+
+        let c = JobConf::new()
+            .with(KEY_EXEC_PIPELINED, "false")
+            .with(KEY_EXEC_PIPELINED_BUFFER, 16);
+        assert!(!c.exec_pipelined().unwrap());
+        assert_eq!(c.exec_pipelined_buffer().unwrap(), 16);
+    }
+
+    #[test]
+    fn exec_pipelined_knobs_out_of_range_are_errors() {
+        let c = JobConf::new().with(KEY_EXEC_PIPELINED, "perhaps");
+        assert!(c.exec_pipelined().is_err());
+
+        let c = JobConf::new().with(KEY_EXEC_PIPELINED_BUFFER, 0);
+        assert!(c
+            .exec_pipelined_buffer()
+            .unwrap_err()
+            .message()
+            .contains(">= 1"));
+        let c = JobConf::new().with(KEY_EXEC_PIPELINED_BUFFER, -3);
+        assert!(c.exec_pipelined_buffer().is_err());
+        let c = JobConf::new().with(KEY_EXEC_PIPELINED_BUFFER, "lots");
+        assert!(c.exec_pipelined_buffer().is_err());
     }
 
     #[test]

@@ -74,6 +74,13 @@ pub struct StageContext<'a> {
     /// In-memory intermediate outputs of earlier stages (DAG mode; see
     /// [`dag_mode_enabled`]), by stage id.
     pub dag_intermediates: &'a HashMap<usize, Arc<Vec<Row>>>,
+    /// Pipelined inputs by producer stage id: partitions are taken from
+    /// these streams as the (possibly still running) producers commit
+    /// them, instead of reading part files (DESIGN.md §15).
+    pub in_streams: &'a HashMap<usize, crate::stream::StreamedIntermediate>,
+    /// Pipelined output: when set, this stage commits its output
+    /// partitions here instead of materializing part files.
+    pub out_stream: Option<crate::stream::StreamedIntermediate>,
     /// Unique query id (namespaces temp paths).
     pub query_id: u64,
     /// Observability sink shared across the query's stages (spans,
@@ -195,6 +202,9 @@ struct TaskSpec {
     split: Option<FileSplit>, // None = synthesized empty task or memory chunk
     /// DAG mode: read rows `[start, end)` of an in-memory intermediate.
     mem: Option<(usize, usize, usize)>, // (stage_id, start, end)
+    /// Pipelined mode: take this `(producer_stage, partition)` from the
+    /// producer's stream as it commits.
+    stream: Option<(usize, usize)>,
     /// Logical size of a memory chunk (drives the reducer-count policy,
     /// which otherwise sees no split bytes in DAG mode).
     est_bytes: u64,
@@ -217,6 +227,42 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 let paths = ctx.metastore.storage.parts(ctx.dfs, name);
                 (fmt, meta.schema.clone(), paths)
             }
+            InputSource::Stage(id) if ctx.in_streams.contains_key(id) => {
+                // Pipelined mode: one task per producer partition. The
+                // producer declares its partition count as soon as its
+                // own parallelism is decided, so this wait ends long
+                // before the producer finishes running. The byte hint is
+                // the producer's input volume spread across partitions —
+                // the same order of magnitude file splits would report,
+                // so the reducer-count policy below behaves like the
+                // materialized path instead of seeing zero bytes.
+                let Some(stream) = ctx.in_streams.get(id) else {
+                    return Err(HdmError::Plan(format!("stage {id} stream missing")));
+                };
+                let (parts, est_total) = stream.await_partitions()?;
+                let per_part = est_total / parts.max(1) as u64;
+                for part in 0..parts {
+                    tasks.push(TaskSpec {
+                        input_idx: i,
+                        split: None,
+                        mem: None,
+                        stream: Some((*id, part)),
+                        est_bytes: per_part,
+                    });
+                }
+                if parts == 0 {
+                    tasks.push(TaskSpec {
+                        input_idx: i,
+                        split: None,
+                        mem: None,
+                        stream: None,
+                        est_bytes: 0,
+                    });
+                }
+                formats.push(Arc::new(SeqFormat));
+                table_schemas.push(input.read_schema.clone());
+                continue;
+            }
             InputSource::Stage(id)
                 if dag_mode_enabled(ctx) && ctx.dag_intermediates.contains_key(id) =>
             {
@@ -236,6 +282,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                         input_idx: i,
                         split: None,
                         mem: Some((*id, start, end)),
+                        stream: None,
                         est_bytes,
                     });
                     start = end;
@@ -246,6 +293,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                         input_idx: i,
                         split: None,
                         mem: Some((*id, 0, 0)),
+                        stream: None,
                         est_bytes: 0,
                     });
                 }
@@ -269,6 +317,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                     input_idx: i,
                     split: Some(s),
                     mem: None,
+                    stream: None,
                     est_bytes: 0,
                 });
                 any = true;
@@ -279,6 +328,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 input_idx: i,
                 split: None,
                 mem: None,
+                stream: None,
                 est_bytes: 0,
             });
         }
@@ -324,6 +374,24 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             }
         },
     };
+    // Pipelined producer: declare the output partition count now, so
+    // the consumer stage can enumerate its tasks and start pulling
+    // while this stage is still executing. Output bytes are unknown
+    // until the data exists; this stage's input volume is the hint.
+    if let Some(out) = &ctx.out_stream {
+        let input_bytes: u64 = tasks
+            .iter()
+            .map(|t| t.split.as_ref().map(|s| s.len).unwrap_or(t.est_bytes))
+            .sum();
+        out.declare(
+            if matches!(stage.kind, StageKind::MapOnly) {
+                map_tasks
+            } else {
+                reduce_tasks
+            },
+            input_bytes,
+        );
+    }
 
     // ---- output sink ---------------------------------------------------------
     let out_dir = match &stage.output {
@@ -382,10 +450,12 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
 
     // Reads a task's rows and drives the pipeline into `emit`.
     let dag_rows: HashMap<usize, Arc<Vec<Row>>> = ctx.dag_intermediates.clone();
+    let in_streams: HashMap<usize, crate::stream::StreamedIntermediate> = ctx.in_streams.clone();
     let map_logic = {
         let stage = Arc::clone(&stage_arc);
         let tasks = Arc::clone(&tasks_arc);
         let dag_rows = dag_rows.clone();
+        let in_streams = in_streams.clone();
         let formats = formats.clone();
         let table_schemas = table_schemas.clone();
         let dfs = dfs.clone();
@@ -402,6 +472,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             out_paths: Arc::clone(&out_paths),
             out_bytes: Arc::clone(&out_bytes),
             buffers: Arc::new(Mutex::new(HashMap::new())),
+            out_stream: ctx.out_stream.clone(),
         };
         let obs = ctx.obs.clone();
         // Engine-matched track names so the pipeline span nests inside
@@ -431,39 +502,51 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 local_fraction: 1.0,
                 ..Default::default()
             };
-            let rows = match (&spec.split, &spec.mem) {
-                (None, Some((stage_id, start, end))) => {
-                    // DAG mode: rows arrive from memory, no DFS read.
-                    dag_rows
-                        .get(stage_id)
-                        .and_then(|r| r.get(*start..*end))
-                        .map(<[Row]>::to_vec)
-                        .unwrap_or_default()
-                }
-                (None, None) => Vec::new(),
-                (Some(split), _) => {
-                    let node = split.hosts.first().copied().unwrap_or(NodeId(0));
-                    let no_pushdown = [];
-                    let fmt = formats.get(spec.input_idx).ok_or_else(|| {
-                        HdmError::Plan(format!("input {} has no format", spec.input_idx))
-                    })?;
-                    let schema = table_schemas.get(spec.input_idx).ok_or_else(|| {
-                        HdmError::Plan(format!("input {} has no schema", spec.input_idx))
-                    })?;
-                    let src = fmt.read_split(
-                        &dfs,
-                        split,
-                        schema,
-                        input.read_projection.as_deref(),
-                        if pushdown_enabled {
-                            &input.pushdown
-                        } else {
-                            &no_pushdown
-                        },
-                        Some(node),
-                    )?;
-                    vol.input_bytes = src.bytes_read;
-                    src.rows
+            let rows = if let Some((src, part)) = spec.stream {
+                // Pipelined mode: block until the producer commits this
+                // partition, then consume it from memory (no DFS read —
+                // input_bytes stays 0, same as DAG-mode memory chunks).
+                // A replayed task (fault recovery) re-takes the retained
+                // rows, byte-identically.
+                let stream = in_streams.get(&src).ok_or_else(|| {
+                    HdmError::Plan(format!("map task {task_idx}: stage {src} stream missing"))
+                })?;
+                stream.take(part)?.as_ref().clone()
+            } else {
+                match (&spec.split, &spec.mem) {
+                    (None, Some((stage_id, start, end))) => {
+                        // DAG mode: rows arrive from memory, no DFS read.
+                        dag_rows
+                            .get(stage_id)
+                            .and_then(|r| r.get(*start..*end))
+                            .map(<[Row]>::to_vec)
+                            .unwrap_or_default()
+                    }
+                    (None, None) => Vec::new(),
+                    (Some(split), _) => {
+                        let node = split.hosts.first().copied().unwrap_or(NodeId(0));
+                        let no_pushdown = [];
+                        let fmt = formats.get(spec.input_idx).ok_or_else(|| {
+                            HdmError::Plan(format!("input {} has no format", spec.input_idx))
+                        })?;
+                        let schema = table_schemas.get(spec.input_idx).ok_or_else(|| {
+                            HdmError::Plan(format!("input {} has no schema", spec.input_idx))
+                        })?;
+                        let src = fmt.read_split(
+                            &dfs,
+                            split,
+                            schema,
+                            input.read_projection.as_deref(),
+                            if pushdown_enabled {
+                                &input.pushdown
+                            } else {
+                                &no_pushdown
+                            },
+                            Some(node),
+                        )?;
+                        vol.input_bytes = src.bytes_read;
+                        src.rows
+                    }
                 }
             };
             // Map-side partial aggregation (Hive's hash-GBY operator).
@@ -549,6 +632,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
         };
     let reduce_logic = {
         let dag_sink = dag_sink.clone();
+        let out_stream = ctx.out_stream.clone();
         let stage = Arc::clone(&stage_arc);
         let dfs = dfs.clone();
         let out_dir = out_dir.clone();
@@ -647,6 +731,12 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             if obs.is_enabled() {
                 obs.counter("stage.reduce.rows", &stage_label)
                     .add(rows_out.len() as u64);
+            }
+            // Pipelined mode: commit this partition to the consumer
+            // stage's stream — it starts (or continues) consuming
+            // immediately, while sibling partitions are still reducing.
+            if let Some(out) = &out_stream {
+                return out.commit(rank, groups.attempt(), Arc::new(rows_out));
             }
             // DAG mode: hand the rows to the next stage in memory.
             if let Some(sink) = &dag_sink {
@@ -766,17 +856,32 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
 pub trait GroupSource {
     /// Next `(key, values)` group in comparator order.
     fn next_group(&mut self) -> Option<(Bytes, Vec<Bytes>)>;
+
+    /// Which recovery attempt of this reduce/A task is running (0 for
+    /// the first). Streamed commits carry it so a replayed partition
+    /// cannot regress a fresher one.
+    fn attempt(&self) -> u32 {
+        0
+    }
 }
 
 impl GroupSource for hdm_mapred::ReduceContext {
     fn next_group(&mut self) -> Option<(Bytes, Vec<Bytes>)> {
         hdm_mapred::ReduceContext::next_group(self)
     }
+
+    fn attempt(&self) -> u32 {
+        hdm_mapred::ReduceContext::attempt(self)
+    }
 }
 
 impl GroupSource for hdm_datampi::AContext {
     fn next_group(&mut self) -> Option<(Bytes, Vec<Bytes>)> {
         hdm_datampi::AContext::next_group(self)
+    }
+
+    fn attempt(&self) -> u32 {
+        hdm_datampi::AContext::attempt(self)
     }
 }
 
@@ -993,6 +1098,9 @@ struct MapOnlySink {
     out_paths: Arc<Mutex<Vec<(usize, String)>>>,
     out_bytes: Arc<Mutex<HashMap<usize, u64>>>,
     buffers: Arc<Mutex<HashMap<usize, Vec<Row>>>>,
+    /// Pipelined mode: commit each task's buffered rows as a stream
+    /// partition on close instead of writing a part file.
+    out_stream: Option<crate::stream::StreamedIntermediate>,
 }
 
 impl MapOnlySink {
@@ -1012,6 +1120,12 @@ impl MapOnlySink {
 
     fn close(&self, task: usize) -> Result<()> {
         let rows = self.buffers.lock().remove(&task).unwrap_or_default();
+        if let Some(out) = &self.out_stream {
+            // Map-only attempts reset their buffer on replay and only
+            // reach close() after a clean run, so attempt 0 is always
+            // the right tag: a replayed commit reproduces the same rows.
+            return out.commit(task, 0, Arc::new(rows));
+        }
         let path = format!("{}part-{task:05}", self.out_dir);
         let mut sink = self.out_format.create(
             &self.dfs,

@@ -60,5 +60,6 @@ pub mod optimizer;
 pub mod parser;
 pub mod physical;
 pub mod sched;
+pub mod stream;
 
 pub use driver::{Driver, EngineKind, QueryResult};

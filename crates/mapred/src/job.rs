@@ -84,6 +84,7 @@ impl MapContext {
 /// The context a reduce function consumes: sorted `(key, values)` groups.
 pub struct ReduceContext {
     rank: usize,
+    attempt: u32,
     groups: std::vec::IntoIter<(Bytes, Vec<Bytes>)>,
 }
 
@@ -99,6 +100,11 @@ impl ReduceContext {
     /// Reduce task index.
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// Which recovery attempt is running (0 for the first execution).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
     }
 
     /// Next key group in comparator order.
@@ -360,6 +366,7 @@ where
                 } else {
                     let mut ctx = ReduceContext {
                         rank,
+                        attempt,
                         groups: input.into_iter(),
                     };
                     reduce_fn(rank, &mut ctx)

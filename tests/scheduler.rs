@@ -36,6 +36,38 @@ fn set_parallel(d: &mut Driver, on: bool, threads: usize) {
     d.conf_mut().set(keys::KEY_EXEC_PARALLEL_THREADS, threads);
 }
 
+fn set_pipelined(d: &mut Driver, on: bool) {
+    d.conf_mut().set(keys::KEY_EXEC_PIPELINED, on);
+}
+
+/// Canonicalize a result for comparison *across* pipelining arms.
+///
+/// Within one arm the scheduler guarantees byte-identical rows, but
+/// between `hive.exec.pipelined` on and off the consumer's task count
+/// heuristic sees different input-size estimates (streamed partitions
+/// carry no byte sizes), so reduce partitioning — and with it row order
+/// and float accumulation order — may legitimately differ. Sort the
+/// lines and canonicalize float cells before comparing.
+fn normalize(r: &QueryResult) -> Vec<String> {
+    let mut lines: Vec<String> = r
+        .to_lines()
+        .iter()
+        .map(|l| {
+            l.split('\t')
+                .map(
+                    |cell| match cell.contains('.').then(|| cell.parse::<f64>()) {
+                        Some(Ok(v)) => format!("{v:.5e}"),
+                        _ => cell.to_string(),
+                    },
+                )
+                .collect::<Vec<_>>()
+                .join("\t")
+        })
+        .collect();
+    lines.sort();
+    lines
+}
+
 /// Per-stage `(map task records, reduce task records)` — the volume
 /// signature that must be untouched by scheduling.
 fn stage_record_volumes(r: &QueryResult) -> Vec<(Vec<u64>, Vec<u64>)> {
@@ -145,6 +177,109 @@ fn diamond_plan_identical_across_modes_with_capped_overlap() {
             assert!(names.contains(&phase), "{engine:?} {track}: {names:?}");
         }
     }
+}
+
+/// The pipelined differential sweep: 22 queries × {DataMPI, MapReduce}
+/// × {`hive.exec.pipelined` on, off}. Streaming intermediates across
+/// stage boundaries may repartition downstream work but must never
+/// change the result set (on the Hadoop engine the knob is a no-op and
+/// both arms are the barrier scheduler).
+#[test]
+fn all_22_queries_identical_pipelined_vs_materialized_on_both_engines() {
+    let mut d = fresh_tpch_driver();
+    set_parallel(&mut d, true, 8);
+    for n in tpch::queries::all() {
+        for engine in [EngineKind::DataMpi, EngineKind::Hadoop] {
+            set_pipelined(&mut d, false);
+            let materialized = d
+                .execute_on(tpch::queries::query(n), engine)
+                .unwrap_or_else(|e| panic!("Q{n} materialized failed on {engine:?}: {e}"));
+            set_pipelined(&mut d, true);
+            let pipelined = d
+                .execute_on(tpch::queries::query(n), engine)
+                .unwrap_or_else(|e| panic!("Q{n} pipelined failed on {engine:?}: {e}"));
+            assert_eq!(
+                normalize(&materialized),
+                normalize(&pipelined),
+                "Q{n} on {engine:?}: rows diverge between pipelined and materialized"
+            );
+        }
+    }
+}
+
+/// The deep linear chain (scan → 4 aggregates → sort) produces one
+/// canonical result set across engines × pipelining × thread caps —
+/// the workload where pipelining streams *every* stage boundary, so
+/// any buffering/replay/ordering bug shows up as a row diff here.
+#[test]
+fn deep_chain_identical_across_engines_and_pipelining_modes() {
+    let mut d = Driver::in_memory();
+    branch::load_deep(&mut d, 500).expect("load deep chain table");
+    let plan = branch::deep_chain_plan(4);
+    let mut baseline: Option<Vec<String>> = None;
+    for engine in [EngineKind::DataMpi, EngineKind::Hadoop] {
+        for pipelined in [false, true] {
+            for (par, threads) in [(false, 1), (true, 8)] {
+                set_parallel(&mut d, par, threads);
+                set_pipelined(&mut d, pipelined);
+                let r = d.execute_raw_plan(&plan, engine).unwrap_or_else(|e| {
+                    panic!("deep chain failed on {engine:?} pipelined={pipelined} threads={threads}: {e}")
+                });
+                let lines = normalize(&r);
+                assert_eq!(lines.len(), 500);
+                if let Some(first) = &baseline {
+                    assert_eq!(
+                        first, &lines,
+                        "{engine:?} pipelined={pipelined} threads={threads} diverges"
+                    );
+                } else {
+                    baseline = Some(lines);
+                }
+            }
+        }
+    }
+}
+
+/// Structural evidence that pipelining actually streams: on the DataMPI
+/// engine every intermediate stage of the deep chain hands its
+/// partitions over in memory (no part files) and the stream counters
+/// record the traffic.
+#[test]
+fn pipelined_deep_chain_streams_partitions_without_files() {
+    let mut d = Driver::in_memory();
+    branch::load_deep(&mut d, 400).expect("load deep chain table");
+    set_parallel(&mut d, true, 8);
+    d.conf_mut().set(keys::KEY_OBS_ENABLED, true);
+    let plan = branch::deep_chain_plan(3);
+    let r = d
+        .execute_raw_plan(&plan, EngineKind::DataMpi)
+        .expect("pipelined deep chain");
+    assert_eq!(r.rows.len(), 400);
+    let last = r.stages.len() - 1;
+    for stage in &r.stages[..last] {
+        assert!(
+            stage.output_paths.is_empty(),
+            "streamed stage wrote part files: {:?}",
+            stage.output_paths
+        );
+    }
+    assert!(
+        !r.stages[last].output_paths.is_empty(),
+        "the collect stage still materializes its result"
+    );
+    let snap = d.last_obs_snapshot().expect("obs snapshot");
+    let counter = |name: &str| -> u64 {
+        snap.counters
+            .iter()
+            .filter(|(n, _, _)| n == name)
+            .map(|(_, _, v)| *v)
+            .sum()
+    };
+    assert!(counter("pipe.partitions.committed") > 0);
+    assert!(
+        counter("pipe.rows.streamed") >= 400 * 4,
+        "four streamed boundaries × 400 rows"
+    );
 }
 
 /// Misconfigured scheduler knobs fail queries loudly instead of
@@ -273,5 +408,33 @@ proptest! {
             .execute_raw_plan(&plan, EngineKind::DataMpi)
             .unwrap_or_else(|e| panic!("diamond failed under fault seed {seed}: {e}"));
         prop_assert_eq!(clean, sorted(chaotic), "diamond diverged under fault seed {}", seed);
+    }
+
+    /// Chaos × pipelining: fault injection over the fully-streamed deep
+    /// chain. A crashed task's retry must *replay* its partition into
+    /// the live stream (attempt-aware commit) — or the whole plan falls
+    /// back — without the downstream consumer ever observing a mix of
+    /// attempts. The clean arm runs pipelined too, so this is
+    /// stream-replay vs stream, not stream vs files.
+    #[test]
+    fn chaos_deep_chain_replays_streamed_partitions(seed in 0u64..1_000_000) {
+        let mut d = Driver::in_memory();
+        branch::load_deep(&mut d, 300).unwrap();
+        set_parallel(&mut d, true, 4);
+        let plan = branch::deep_chain_plan(3);
+        let clean = normalize(&d.execute_raw_plan(&plan, EngineKind::DataMpi).unwrap());
+        let c = d.conf_mut();
+        c.set(keys::KEY_FT_ENABLED, true);
+        c.set(keys::KEY_FT_SEED, seed);
+        c.set(keys::KEY_FT_BACKOFF_BASE_MS, 1);
+        c.set(keys::KEY_FT_RECV_TIMEOUT_MS, 400);
+        let chaotic = d
+            .execute_raw_plan(&plan, EngineKind::DataMpi)
+            .unwrap_or_else(|e| panic!("deep chain failed under fault seed {seed}: {e}"));
+        prop_assert_eq!(
+            clean,
+            normalize(&chaotic),
+            "deep chain diverged under fault seed {}", seed
+        );
     }
 }
