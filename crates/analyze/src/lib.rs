@@ -212,6 +212,7 @@ pub fn scope_for(rel: &str) -> FileScope {
     let contended = in_dir("crates/datampi/src/")
         || in_dir("crates/mpisim/src/")
         || in_dir("crates/mapred/src/")
+        || in_dir("crates/server/src/")
         || rel.ends_with("crates/core/src/engine.rs")
         || rel.ends_with("crates/core/src/driver.rs")
         || rel.ends_with("crates/core/src/sched.rs")
@@ -222,6 +223,7 @@ pub fn scope_for(rel: &str) -> FileScope {
             || in_dir("crates/faults/src/")
             || in_dir("crates/mapred/src/")
             || in_dir("crates/obs/src/")
+            || in_dir("crates/server/src/")
             || rel.ends_with("crates/core/src/engine.rs")
             || rel.ends_with("crates/core/src/driver.rs")
             || rel.ends_with("crates/core/src/sched.rs")
@@ -231,9 +233,11 @@ pub fn scope_for(rel: &str) -> FileScope {
         mpisim: in_dir("crates/mpisim/src/"),
         // The stage scheduler's dispatch loop blocks on worker channels
         // just like the comm layer does, so it is in scope since PR 6;
-        // the pipelined stream's condvar waits joined in PR 7.
+        // the pipelined stream's condvar waits joined in PR 7, and the
+        // serving layer's admission gate in PR 8.
         blocking: in_dir("crates/datampi/src/")
             || in_dir("crates/mpisim/src/")
+            || in_dir("crates/server/src/")
             || rel.ends_with("crates/core/src/sched.rs")
             || rel.ends_with("crates/core/src/stream.rs"),
         lock_extract: !test_file,

@@ -116,7 +116,7 @@ fn bench_orc(c: &mut Criterion) {
         g.bench_function(format!("write_scan_2k_rows_{fmt}"), |b| {
             b.iter_batched(
                 || {
-                    let mut d = Driver::in_memory();
+                    let d = Driver::in_memory();
                     d.execute(&format!(
                         "CREATE TABLE t (a BIGINT, b STRING, c DOUBLE, d DATE) STORED AS {fmt}"
                     ))
@@ -125,7 +125,7 @@ fn bench_orc(c: &mut Criterion) {
                     d.load_rows("t", &rows).expect("load");
                     d
                 },
-                |mut d| {
+                |d| {
                     d.execute("SELECT a FROM t WHERE a < 100")
                         .expect("scan")
                         .rows

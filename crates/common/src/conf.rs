@@ -95,6 +95,23 @@ pub const KEY_EXEC_PIPELINED: &str = "hive.exec.pipelined";
 /// committed-but-unconsumed partitions a producer stage may buffer
 /// before its commits block. Default 4.
 pub const KEY_EXEC_PIPELINED_BUFFER: &str = "hive.exec.pipelined.buffer.partitions";
+/// Maximum queries hdm-server executes concurrently (the session-pool
+/// worker bound; HiveServer2's `hive.server2.tez.sessions.per.default.queue`
+/// analogue). Default 8.
+pub const KEY_SERVER_POOL_SIZE: &str = "hive.server.pool.size";
+/// Maximum queries allowed to *wait* for admission across all tenants;
+/// arrivals beyond this bound are rejected instead of queued. Default 64.
+pub const KEY_SERVER_QUEUE_MAX: &str = "hive.server.queue.max";
+/// Byte budget (in MiB) of the shared LLAP-style ORC data/metadata
+/// cache. 0 disables the cache entirely. Default 64.
+pub const KEY_SERVER_IO_CACHE_MB: &str = "hive.server.io.cache.mb";
+/// Whether the server-side result cache (keyed on normalized query
+/// text plus table versions) serves repeat queries without
+/// re-execution. Default true.
+pub const KEY_SERVER_RESULT_CACHE: &str = "hive.server.result.cache";
+/// Entry cap for the result cache (LRU beyond it). 0 disables result
+/// caching just like [`KEY_SERVER_RESULT_CACHE`] = false. Default 256.
+pub const KEY_SERVER_RESULT_CACHE_ENTRIES: &str = "hive.server.result.cache.entries";
 
 /// The parallelism strategy of Section IV-D.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -396,6 +413,78 @@ impl JobConf {
         Ok(v as usize)
     }
 
+    /// hdm-server session-pool size (max concurrently running queries).
+    /// Default **8**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer
+    /// or is less than 1 (a pool that can run nothing serves nothing).
+    pub fn server_pool_size(&self) -> Result<usize> {
+        let v = self.get_i64(KEY_SERVER_POOL_SIZE, 8)?;
+        if v < 1 {
+            return Err(HdmError::Config(format!(
+                "{KEY_SERVER_POOL_SIZE}: expected a pool size >= 1, got {v}"
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    /// hdm-server admission-queue bound (max waiting queries). Default
+    /// **64**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer
+    /// or is less than 1 (a zero-length queue could never absorb a burst,
+    /// making admission control equivalent to plain rejection).
+    pub fn server_queue_max(&self) -> Result<usize> {
+        let v = self.get_i64(KEY_SERVER_QUEUE_MAX, 64)?;
+        if v < 1 {
+            return Err(HdmError::Config(format!(
+                "{KEY_SERVER_QUEUE_MAX}: expected a queue bound >= 1, got {v}"
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    /// hdm-server shared ORC data/metadata cache budget in MiB. Default
+    /// **64**; **0** turns the cache off.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer
+    /// or is negative.
+    pub fn server_io_cache_mb(&self) -> Result<u64> {
+        let v = self.get_i64(KEY_SERVER_IO_CACHE_MB, 64)?;
+        if v < 0 {
+            return Err(HdmError::Config(format!(
+                "{KEY_SERVER_IO_CACHE_MB}: expected a budget >= 0 MiB, got {v}"
+            )));
+        }
+        Ok(v as u64)
+    }
+
+    /// Whether the hdm-server result cache is on. Default **true**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not a bool.
+    pub fn server_result_cache(&self) -> Result<bool> {
+        self.get_bool(KEY_SERVER_RESULT_CACHE, true)
+    }
+
+    /// Result-cache entry cap (0 disables caching). Default **256**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer
+    /// or is negative.
+    pub fn server_result_cache_entries(&self) -> Result<usize> {
+        let v = self.get_i64(KEY_SERVER_RESULT_CACHE_ENTRIES, 256)?;
+        if v < 0 {
+            return Err(HdmError::Config(format!(
+                "{KEY_SERVER_RESULT_CACHE_ENTRIES}: expected an entry cap >= 0, got {v}"
+            )));
+        }
+        Ok(v as usize)
+    }
+
     /// Iterate over all `(key, value)` entries in sorted key order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
         self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
@@ -616,6 +705,61 @@ mod tests {
         assert!(c.exec_pipelined_buffer().is_err());
         let c = JobConf::new().with(KEY_EXEC_PIPELINED_BUFFER, "lots");
         assert!(c.exec_pipelined_buffer().is_err());
+    }
+
+    #[test]
+    fn server_knobs_default_and_validate() {
+        let c = JobConf::new();
+        assert_eq!(c.server_pool_size().unwrap(), 8);
+        assert_eq!(c.server_queue_max().unwrap(), 64);
+        assert_eq!(c.server_io_cache_mb().unwrap(), 64);
+        assert!(c.server_result_cache().unwrap());
+        assert_eq!(c.server_result_cache_entries().unwrap(), 256);
+
+        let c = JobConf::new()
+            .with(KEY_SERVER_POOL_SIZE, 2)
+            .with(KEY_SERVER_QUEUE_MAX, 5)
+            .with(KEY_SERVER_IO_CACHE_MB, 0)
+            .with(KEY_SERVER_RESULT_CACHE, "false")
+            .with(KEY_SERVER_RESULT_CACHE_ENTRIES, 0);
+        assert_eq!(c.server_pool_size().unwrap(), 2);
+        assert_eq!(c.server_queue_max().unwrap(), 5);
+        assert_eq!(c.server_io_cache_mb().unwrap(), 0);
+        assert!(!c.server_result_cache().unwrap());
+        assert_eq!(c.server_result_cache_entries().unwrap(), 0);
+    }
+
+    #[test]
+    fn server_knobs_out_of_range_are_errors() {
+        let c = JobConf::new().with(KEY_SERVER_POOL_SIZE, 0);
+        assert!(c.server_pool_size().unwrap_err().message().contains(">= 1"));
+        let c = JobConf::new().with(KEY_SERVER_POOL_SIZE, -2);
+        assert!(c.server_pool_size().is_err());
+        let c = JobConf::new().with(KEY_SERVER_POOL_SIZE, "big");
+        assert!(c.server_pool_size().is_err());
+
+        let c = JobConf::new().with(KEY_SERVER_QUEUE_MAX, 0);
+        assert!(c.server_queue_max().unwrap_err().message().contains(">= 1"));
+        let c = JobConf::new().with(KEY_SERVER_QUEUE_MAX, -1);
+        assert!(c.server_queue_max().is_err());
+
+        let c = JobConf::new().with(KEY_SERVER_IO_CACHE_MB, -64);
+        assert!(c
+            .server_io_cache_mb()
+            .unwrap_err()
+            .message()
+            .contains(">= 0"));
+        let c = JobConf::new().with(KEY_SERVER_IO_CACHE_MB, "huge");
+        assert!(c.server_io_cache_mb().is_err());
+
+        let c = JobConf::new().with(KEY_SERVER_RESULT_CACHE, "maybe");
+        assert!(c.server_result_cache().is_err());
+        let c = JobConf::new().with(KEY_SERVER_RESULT_CACHE_ENTRIES, -5);
+        assert!(c
+            .server_result_cache_entries()
+            .unwrap_err()
+            .message()
+            .contains(">= 0"));
     }
 
     #[test]

@@ -1,11 +1,21 @@
 //! The Metastore: table metadata (schemas, formats, storage paths).
+//!
+//! Since the hdm-server PR the metastore is a *shared* handle: cloning a
+//! [`Metastore`] yields another view of the same catalog (like Hive's
+//! remote Metastore service, which every HiveServer2 session talks to).
+//! Interior mutability lets concurrent sessions plan against it with
+//! `&self`, and a monotonic per-table **version counter** — bumped on
+//! every data-changing operation and surviving drop/recreate — gives the
+//! server's result cache a sound invalidation key.
 
 use hdm_common::error::{HdmError, Result};
 use hdm_common::row::Schema;
 use hdm_common::value::DataType;
 use hdm_dfs::Dfs;
 use hdm_storage::{FormatKind, TableStorage};
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Metadata of one table.
 #[derive(Debug, Clone)]
@@ -18,13 +28,24 @@ pub struct TableMeta {
     pub format: FormatKind,
 }
 
+#[derive(Debug, Default)]
+struct CatalogState {
+    tables: BTreeMap<String, TableMeta>,
+    /// Monotonic data-version per table name. Never removed — a table
+    /// dropped and recreated continues its old counter, so a cached
+    /// result keyed on the pre-drop version can never match the
+    /// recreated table.
+    versions: BTreeMap<String, u64>,
+}
+
 /// The Metastore: a name → [`TableMeta`] map plus the warehouse layout.
 ///
 /// Like Hive's Metastore it stores *metadata only*; the rows live in the
 /// DFS under [`TableStorage`]'s `warehouse/<table>/part-N` convention.
-#[derive(Debug, Default)]
+/// Clones share the same catalog state.
+#[derive(Debug, Clone, Default)]
 pub struct Metastore {
-    tables: BTreeMap<String, TableMeta>,
+    state: Arc<RwLock<CatalogState>>,
     /// Warehouse directory layout.
     pub storage: TableStorage,
 }
@@ -35,59 +56,71 @@ impl Metastore {
         Metastore::default()
     }
 
-    /// Register a new table.
+    /// Register a new table. Bumps the table's data version.
     ///
     /// # Errors
     /// [`HdmError::Plan`] if the name is taken (unless `if_not_exists`).
     pub fn create_table(
-        &mut self,
+        &self,
         name: &str,
         columns: Vec<(String, DataType)>,
         format: FormatKind,
         if_not_exists: bool,
     ) -> Result<()> {
         let key = name.to_ascii_lowercase();
-        if self.tables.contains_key(&key) {
+        let mut state = self.state.write();
+        if state.tables.contains_key(&key) {
             if if_not_exists {
                 return Ok(());
             }
             return Err(HdmError::Plan(format!("table already exists: {name}")));
         }
         let schema = Schema::new(columns);
-        self.tables.insert(
+        state.tables.insert(
             key.clone(),
             TableMeta {
-                name: key,
+                name: key.clone(),
                 schema,
                 format,
             },
         );
+        *state.versions.entry(key).or_insert(0) += 1;
         Ok(())
     }
 
-    /// Look up a table.
+    /// Look up a table (an owned snapshot of its metadata).
     ///
     /// # Errors
     /// [`HdmError::Plan`] if missing.
-    pub fn table(&self, name: &str) -> Result<&TableMeta> {
-        self.tables
+    pub fn table(&self, name: &str) -> Result<TableMeta> {
+        self.state
+            .read()
+            .tables
             .get(&name.to_ascii_lowercase())
+            .cloned()
             .ok_or_else(|| HdmError::Plan(format!("no such table: {name}")))
     }
 
     /// True if the table exists.
     pub fn contains(&self, name: &str) -> bool {
-        self.tables.contains_key(&name.to_ascii_lowercase())
+        self.state
+            .read()
+            .tables
+            .contains_key(&name.to_ascii_lowercase())
     }
 
-    /// Drop a table's metadata and its data files.
+    /// Drop a table's metadata and its data files. Bumps the version.
     ///
     /// # Errors
     /// [`HdmError::Plan`] if missing (unless `if_exists`).
-    pub fn drop_table(&mut self, dfs: &Dfs, name: &str, if_exists: bool) -> Result<()> {
+    pub fn drop_table(&self, dfs: &Dfs, name: &str, if_exists: bool) -> Result<()> {
         let key = name.to_ascii_lowercase();
-        if self.tables.remove(&key).is_none() && !if_exists {
-            return Err(HdmError::Plan(format!("no such table: {name}")));
+        {
+            let mut state = self.state.write();
+            if state.tables.remove(&key).is_none() && !if_exists {
+                return Err(HdmError::Plan(format!("no such table: {name}")));
+            }
+            *state.versions.entry(key.clone()).or_insert(0) += 1;
         }
         self.storage.drop_table(dfs, &key);
         Ok(())
@@ -95,7 +128,37 @@ impl Metastore {
 
     /// All table names, sorted.
     pub fn table_names(&self) -> Vec<String> {
-        self.tables.keys().cloned().collect()
+        self.state.read().tables.keys().cloned().collect()
+    }
+
+    /// The current data version of `name` (0 if never written).
+    pub fn version(&self, name: &str) -> u64 {
+        self.state
+            .read()
+            .versions
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Record a data change on `name`: increments its version counter.
+    pub fn bump_version(&self, name: &str) {
+        let key = name.to_ascii_lowercase();
+        *self.state.write().versions.entry(key).or_insert(0) += 1;
+    }
+
+    /// Snapshot `(name, version)` pairs for the given tables, in input
+    /// order. Unknown tables report version 0.
+    pub fn versions_of(&self, names: &[String]) -> Vec<(String, u64)> {
+        let state = self.state.read();
+        names
+            .iter()
+            .map(|n| {
+                let key = n.to_ascii_lowercase();
+                let v = state.versions.get(&key).copied().unwrap_or(0);
+                (key, v)
+            })
+            .collect()
     }
 }
 
@@ -106,7 +169,7 @@ mod tests {
 
     #[test]
     fn create_lookup_drop() {
-        let mut ms = Metastore::new();
+        let ms = Metastore::new();
         ms.create_table(
             "Orders",
             vec![("o_orderkey".into(), DataType::Long)],
@@ -152,7 +215,7 @@ mod tests {
 
     #[test]
     fn table_names_sorted() {
-        let mut ms = Metastore::new();
+        let ms = Metastore::new();
         for n in ["zeta", "alpha"] {
             ms.create_table(
                 n,
@@ -165,6 +228,58 @@ mod tests {
         assert_eq!(
             ms.table_names(),
             vec!["alpha".to_string(), "zeta".to_string()]
+        );
+    }
+
+    #[test]
+    fn clones_share_catalog_state() {
+        let ms = Metastore::new();
+        let view = ms.clone();
+        ms.create_table(
+            "shared",
+            vec![("c".into(), DataType::Long)],
+            FormatKind::Text,
+            false,
+        )
+        .unwrap();
+        assert!(view.contains("shared"));
+        view.bump_version("shared");
+        assert_eq!(ms.version("shared"), 2);
+    }
+
+    #[test]
+    fn versions_are_monotonic_across_drop_and_recreate() {
+        let ms = Metastore::new();
+        let dfs = Dfs::new(DfsConfig {
+            block_size: 64,
+            replication: 1,
+            num_nodes: 1,
+        });
+        assert_eq!(ms.version("t"), 0);
+        ms.create_table(
+            "t",
+            vec![("c".into(), DataType::Long)],
+            FormatKind::Text,
+            false,
+        )
+        .unwrap();
+        let v1 = ms.version("t");
+        ms.bump_version("t"); // e.g. an INSERT
+        let v2 = ms.version("t");
+        ms.drop_table(&dfs, "t", false).unwrap();
+        let v3 = ms.version("t");
+        ms.create_table(
+            "t",
+            vec![("c".into(), DataType::Long)],
+            FormatKind::Text,
+            false,
+        )
+        .unwrap();
+        let v4 = ms.version("t");
+        assert!(v1 < v2 && v2 < v3 && v3 < v4, "{v1} {v2} {v3} {v4}");
+        assert_eq!(
+            ms.versions_of(&["T".to_string(), "missing".to_string()]),
+            vec![("t".to_string(), v4), ("missing".to_string(), 0)]
         );
     }
 }

@@ -23,6 +23,8 @@ use hdm_dfs::{Dfs, DfsConfig, NodeId};
 use hdm_storage::format_for;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The result of one statement.
 #[derive(Debug, Clone, Default)]
@@ -43,14 +45,24 @@ impl QueryResult {
 }
 
 /// A Hive session.
+///
+/// Execution is `&self` throughout: statements mutate only shared,
+/// interior-mutable state (the DFS namespace, the metastore catalog).
+/// [`Driver::session`] derives another session over the *same* executor
+/// state — same filesystem, same catalog, same query-id counter — with
+/// its own conf and engine selection, which is what lets hdm-server run
+/// many sessions concurrently against one warehouse.
 #[derive(Debug)]
 pub struct Driver {
     dfs: Dfs,
     metastore: Metastore,
     conf: JobConf,
     engine: EngineKind,
-    next_query_id: u64,
-    last_obs: Option<hdm_obs::ObsSnapshot>,
+    /// Shared across sessions of one executor: `/tmp/q{id}` scratch
+    /// directories must be unique across *all* concurrent queries on the
+    /// same DFS, not merely within one session.
+    next_query_id: Arc<AtomicU64>,
+    last_obs: Mutex<Option<hdm_obs::ObsSnapshot>>,
 }
 
 impl Driver {
@@ -61,8 +73,8 @@ impl Driver {
             metastore: Metastore::new(),
             conf: JobConf::new(),
             engine: EngineKind::Hadoop,
-            next_query_id: 1,
-            last_obs: None,
+            next_query_id: Arc::new(AtomicU64::new(1)),
+            last_obs: Mutex::new(None),
         }
     }
 
@@ -107,11 +119,25 @@ impl Driver {
         self.engine
     }
 
+    /// A new session over the same executor state: shared filesystem,
+    /// shared metastore, shared query-id counter — but its own copy of
+    /// the conf, its own engine selection, and its own obs snapshot slot.
+    pub fn session(&self) -> Driver {
+        Driver {
+            dfs: self.dfs.clone(),
+            metastore: self.metastore.clone(),
+            conf: self.conf.clone(),
+            engine: self.engine,
+            next_query_id: Arc::clone(&self.next_query_id),
+            last_obs: Mutex::new(None),
+        }
+    }
+
     /// The observability snapshot of the most recent query that ran with
     /// `hive.obs.enabled` — fault-tolerance counters (`ft.*`) included.
     /// `None` until an instrumented query has run.
-    pub fn last_obs_snapshot(&self) -> Option<&hdm_obs::ObsSnapshot> {
-        self.last_obs.as_ref()
+    pub fn last_obs_snapshot(&self) -> Option<hdm_obs::ObsSnapshot> {
+        self.last_obs.lock().clone()
     }
 
     /// Execute a script (one or more `;`-separated statements) on the
@@ -119,7 +145,7 @@ impl Driver {
     ///
     /// # Errors
     /// Parse/plan/execution failures.
-    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         self.execute_on(sql, self.engine)
     }
 
@@ -128,7 +154,7 @@ impl Driver {
     ///
     /// # Errors
     /// Parse/plan/execution failures.
-    pub fn execute_on(&mut self, sql: &str, engine: EngineKind) -> Result<QueryResult> {
+    pub fn execute_on(&self, sql: &str, engine: EngineKind) -> Result<QueryResult> {
         let stmts = parse_script(sql)?;
         if stmts.is_empty() {
             return Err(HdmError::Parse("empty statement".into()));
@@ -144,14 +170,14 @@ impl Driver {
     ///
     /// # Errors
     /// Parse/plan/execution failures.
-    pub fn execute_script(&mut self, sql: &str, engine: EngineKind) -> Result<Vec<QueryResult>> {
+    pub fn execute_script(&self, sql: &str, engine: EngineKind) -> Result<Vec<QueryResult>> {
         parse_script(sql)?
             .into_iter()
             .map(|stmt| self.run_statement(stmt, engine))
             .collect()
     }
 
-    fn run_statement(&mut self, stmt: Statement, engine: EngineKind) -> Result<QueryResult> {
+    fn run_statement(&self, stmt: Statement, engine: EngineKind) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable {
                 name,
@@ -169,10 +195,11 @@ impl Driver {
             }
             Statement::InsertValues { table, rows } => {
                 self.insert_values(&table, rows)?;
+                self.metastore.bump_version(&table);
                 Ok(QueryResult::default())
             }
             Statement::InsertOverwrite { table, query } => {
-                let meta = self.metastore.table(&table)?.clone();
+                let meta = self.metastore.table(&table)?;
                 // Overwrite semantics: clear old data first.
                 self.metastore.storage.drop_table(&self.dfs, &table);
                 let (stages, _) = self.run_select(
@@ -183,6 +210,7 @@ impl Driver {
                     },
                     engine,
                 )?;
+                self.metastore.bump_version(&table);
                 Ok(QueryResult {
                     rows: Vec::new(),
                     columns: meta
@@ -223,6 +251,10 @@ impl Driver {
                     .collect();
                 self.metastore.create_table(&name, columns, format, false)?;
                 let stages = self.execute_plan(&plan, engine)?;
+                // The CTAS data landed after the create bumped the
+                // version; bump again so results cached against the
+                // still-empty table cannot survive.
+                self.metastore.bump_version(&name);
                 Ok(QueryResult {
                     rows: Vec::new(),
                     columns: last.out_names.clone(),
@@ -246,7 +278,7 @@ impl Driver {
     /// and, for Collect sinks, the result rows.
     #[allow(clippy::type_complexity)]
     fn run_select(
-        &mut self,
+        &self,
         query: &crate::ast::SelectStmt,
         sink: StageOutput,
         engine: EngineKind,
@@ -275,12 +307,11 @@ impl Driver {
     }
 
     fn execute_plan(
-        &mut self,
+        &self,
         plan: &crate::physical::QueryPlan,
         engine: EngineKind,
     ) -> Result<Vec<StageResult>> {
-        let query_id = self.next_query_id;
-        self.next_query_id += 1;
+        let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
         // One obs handle per query, configured by the `hive.obs.*` knobs;
         // every layer below (engines, shuffle, receiver, DFS) records
         // into it. Disabled (the default) it is a no-op sink.
@@ -321,7 +352,7 @@ impl Driver {
             }
         }
         if obs.is_enabled() {
-            self.last_obs = Some(obs.snapshot());
+            *self.last_obs.lock() = Some(obs.snapshot());
         }
         self.export_obs(&obs)?;
         Ok(results)
@@ -340,7 +371,7 @@ impl Driver {
     /// scheduler and intermediate plumbing key on them), and propagates
     /// execution failures.
     pub fn execute_raw_plan(
-        &mut self,
+        &self,
         plan: &crate::physical::QueryPlan,
         engine: EngineKind,
     ) -> Result<QueryResult> {
@@ -610,8 +641,8 @@ impl Driver {
     ///
     /// # Errors
     /// Fails if the table is unknown or a row's arity mismatches.
-    pub fn load_rows(&mut self, table: &str, rows: &[Row]) -> Result<u64> {
-        let meta = self.metastore.table(table)?.clone();
+    pub fn load_rows(&self, table: &str, rows: &[Row]) -> Result<u64> {
+        let meta = self.metastore.table(table)?;
         let part = self.metastore.storage.parts(&self.dfs, table).len();
         let path = self.metastore.storage.part_path(table, part);
         let fmt = format_for(meta.format);
@@ -626,11 +657,13 @@ impl Driver {
             }
             sink.write_row(r)?;
         }
-        sink.close()
+        let written = sink.close()?;
+        self.metastore.bump_version(table);
+        Ok(written)
     }
 
-    fn insert_values(&mut self, table: &str, rows: Vec<Vec<crate::ast::Expr>>) -> Result<()> {
-        let meta = self.metastore.table(table)?.clone();
+    fn insert_values(&self, table: &str, rows: Vec<Vec<crate::ast::Expr>>) -> Result<()> {
+        let meta = self.metastore.table(table)?;
         let no_columns = |_: Option<&str>, _: &str| -> Option<usize> { None };
         let mut out_rows = Vec::with_capacity(rows.len());
         for exprs in rows {
@@ -754,7 +787,7 @@ mod tests {
     use hdm_common::value::Value;
 
     fn driver() -> Driver {
-        let mut d = Driver::in_memory();
+        let d = Driver::in_memory();
         d.execute(
             "CREATE TABLE t (k BIGINT, s STRING, v DOUBLE); \
              INSERT INTO t VALUES \
@@ -773,7 +806,7 @@ mod tests {
 
     #[test]
     fn select_star_roundtrips() {
-        let mut d = driver();
+        let d = driver();
         let r = d.execute("SELECT * FROM t").unwrap();
         assert_eq!(r.rows.len(), 5);
         assert_eq!(r.columns, vec!["k", "s", "v"]);
@@ -781,7 +814,7 @@ mod tests {
 
     #[test]
     fn filter_and_projection() {
-        let mut d = driver();
+        let d = driver();
         let r = d.execute("SELECT s FROM t WHERE k = 1").unwrap();
         let mut vals: Vec<String> = r.rows.iter().map(|r| r.to_string()).collect();
         vals.sort();
@@ -790,7 +823,7 @@ mod tests {
 
     #[test]
     fn group_by_on_both_engines_matches() {
-        let mut d = driver();
+        let d = driver();
         let sql = "SELECT k, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY k ORDER BY k";
         let hadoop = d.execute_on(sql, EngineKind::Hadoop).unwrap();
         let datampi = d.execute_on(sql, EngineKind::DataMpi).unwrap();
@@ -803,7 +836,7 @@ mod tests {
 
     #[test]
     fn join_works() {
-        let mut d = driver();
+        let d = driver();
         d.execute("CREATE TABLE names (k BIGINT, label STRING)")
             .unwrap();
         d.execute("INSERT INTO names VALUES (1, 'one'), (2, 'two')")
@@ -817,7 +850,7 @@ mod tests {
 
     #[test]
     fn order_by_desc_with_limit() {
-        let mut d = driver();
+        let d = driver();
         let r = d
             .execute("SELECT s, v FROM t ORDER BY v DESC LIMIT 2")
             .unwrap();
@@ -828,7 +861,7 @@ mod tests {
 
     #[test]
     fn ctas_and_requery() {
-        let mut d = driver();
+        let d = driver();
         d.execute("CREATE TABLE agg STORED AS ORC AS SELECT k, SUM(v) AS total FROM t GROUP BY k")
             .unwrap();
         let meta = d.metastore().table("agg").unwrap();
@@ -841,7 +874,7 @@ mod tests {
 
     #[test]
     fn insert_overwrite_replaces() {
-        let mut d = driver();
+        let d = driver();
         d.execute("CREATE TABLE dst (k BIGINT, n BIGINT)").unwrap();
         d.execute("INSERT OVERWRITE TABLE dst SELECT k, COUNT(*) AS c FROM t GROUP BY k")
             .unwrap();
@@ -858,7 +891,7 @@ mod tests {
 
     #[test]
     fn stage_volumes_measured() {
-        let mut d = driver();
+        let d = driver();
         let r = d
             .execute("SELECT k, COUNT(*) AS n FROM t GROUP BY k ORDER BY k")
             .unwrap();
@@ -990,7 +1023,7 @@ mod tests {
 
     #[test]
     fn errors_surface() {
-        let mut d = driver();
+        let d = driver();
         assert!(d.execute("SELECT nope FROM t").is_err());
         assert!(d.execute("SELECT * FROM missing").is_err());
         assert!(d.execute("INSERT INTO t VALUES (1)").is_err());

@@ -629,7 +629,7 @@ mod tests {
     use hdm_storage::FormatKind;
 
     fn metastore() -> Metastore {
-        let mut ms = Metastore::new();
+        let ms = Metastore::new();
         ms.create_table(
             "orders",
             vec![
@@ -728,7 +728,7 @@ mod tests {
 
     #[test]
     fn ambiguous_and_unknown_columns() {
-        let mut ms = metastore();
+        let ms = metastore();
         ms.create_table(
             "c2",
             vec![("c_custkey".into(), DataType::Long)],

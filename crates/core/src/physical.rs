@@ -848,7 +848,7 @@ mod tests {
     use crate::parser::parse_statement;
 
     fn metastore() -> Metastore {
-        let mut ms = Metastore::new();
+        let ms = Metastore::new();
         ms.create_table(
             "orders",
             vec![

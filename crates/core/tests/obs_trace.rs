@@ -5,7 +5,7 @@
 use hdm_core::{Driver, EngineKind};
 
 fn seeded_driver() -> Driver {
-    let mut d = Driver::in_memory();
+    let d = Driver::in_memory();
     d.execute(
         "CREATE TABLE orders (ok BIGINT, cust BIGINT, total DOUBLE); \
          CREATE TABLE customer (ck BIGINT, seg STRING)",

@@ -87,6 +87,23 @@ impl Default for DfsConfig {
     }
 }
 
+/// A pluggable read-through cache for ranged reads (the LLAP-style
+/// shared data/metadata cache seam). The filesystem consults the cache
+/// *before* touching blocks — a hit bypasses disk entirely (and hence
+/// byte accounting, locality accounting, and fault injection, exactly
+/// as a daemon-resident cache bypasses the datanode) — and offers every
+/// miss back for admission. Mutating operations (`delete`, `rename`,
+/// writer close) invalidate the affected path so the cache can never
+/// serve stale bytes for a recreated file.
+pub trait RangeCache: std::fmt::Debug + Send + Sync {
+    /// Return the cached bytes for `(path, offset, len)` if present.
+    fn lookup(&self, path: &str, offset: u64, len: u64) -> Option<Vec<u8>>;
+    /// Offer freshly-read bytes for admission (the cache may decline).
+    fn admit(&self, path: &str, offset: u64, len: u64, bytes: &[u8]);
+    /// Drop every entry belonging to `path`.
+    fn invalidate_path(&self, path: &str);
+}
+
 /// A cheaply-cloneable handle to the simulated filesystem.
 #[derive(Debug, Clone)]
 pub struct Dfs {
@@ -96,6 +113,9 @@ pub struct Dfs {
     /// Chaos source for transient ranged-read failures; shared across
     /// clones (like `metrics`) so attaching once covers every handle.
     faults: Arc<RwLock<hdm_faults::FaultPlan>>,
+    /// Optional read-through cache; shared across clones so the server
+    /// can attach one cache that covers every session's handle.
+    read_cache: Arc<RwLock<Option<Arc<dyn RangeCache>>>>,
 }
 
 impl Dfs {
@@ -111,6 +131,7 @@ impl Dfs {
             config,
             metrics: Arc::new(DfsMetrics::new(config.num_nodes)),
             faults: Arc::new(RwLock::new(hdm_faults::FaultPlan::disabled())),
+            read_cache: Arc::new(RwLock::new(None)),
         }
     }
 
@@ -143,6 +164,18 @@ impl Dfs {
     /// restores clean reads.
     pub fn attach_faults(&self, plan: &hdm_faults::FaultPlan) {
         *self.faults.write() = plan.clone();
+    }
+
+    /// Install (or with `None`, remove) a read-through cache for ranged
+    /// reads. Shared across clones of this handle.
+    pub fn attach_read_cache(&self, cache: Option<Arc<dyn RangeCache>>) {
+        *self.read_cache.write() = cache;
+    }
+
+    /// Clone the cache handle out of its lock so cache calls never run
+    /// under a dfs lock (keeps the lock-order graph acyclic).
+    fn cache_handle(&self) -> Option<Arc<dyn RangeCache>> {
+        self.read_cache.read().clone()
     }
 
     /// Open a new file for writing. Fails if the path already exists.
@@ -193,6 +226,19 @@ impl Dfs {
         len: u64,
         reader_node: Option<NodeId>,
     ) -> Result<Vec<u8>> {
+        // A cache hit is served from daemon memory: no disk touched, so
+        // no storage fault can fire and no I/O is accounted.
+        if let Some(cache) = self.cache_handle() {
+            if let Some(bytes) = cache.lookup(path, offset, len) {
+                return Ok(bytes);
+            }
+            if let Some(e) = self.faults.read().storage_error(path) {
+                return Err(e);
+            }
+            let bytes = self.read_range_uninjected(path, offset, len, reader_node)?;
+            cache.admit(path, offset, len, &bytes);
+            return Ok(bytes);
+        }
         if let Some(e) = self.faults.read().storage_error(path) {
             return Err(e);
         }
@@ -212,6 +258,14 @@ impl Dfs {
         len: u64,
         reader_node: Option<NodeId>,
     ) -> Result<Vec<u8>> {
+        if let Some(cache) = self.cache_handle() {
+            if let Some(bytes) = cache.lookup(path, offset, len) {
+                return Ok(bytes);
+            }
+            let bytes = self.read_range_uninjected(path, offset, len, reader_node)?;
+            cache.admit(path, offset, len, &bytes);
+            return Ok(bytes);
+        }
         self.read_range_uninjected(path, offset, len, reader_node)
     }
 
@@ -298,20 +352,33 @@ impl Dfs {
     /// Delete a file; deleting a missing file is not an error (mirrors
     /// `fs -rm -f`). Returns whether something was removed.
     pub fn delete(&self, path: &str) -> bool {
-        self.inner.write().remove(path)
+        let removed = self.inner.write().remove(path);
+        if removed {
+            if let Some(cache) = self.cache_handle() {
+                cache.invalidate_path(path);
+            }
+        }
+        removed
     }
 
     /// Delete every file under a prefix; returns the number removed.
     pub fn delete_prefix(&self, prefix: &str) -> usize {
         let files = self.list(prefix);
-        let mut ns = self.inner.write();
-        let mut n = 0;
-        for f in files {
-            if ns.remove(&f) {
-                n += 1;
+        let mut removed = Vec::with_capacity(files.len());
+        {
+            let mut ns = self.inner.write();
+            for f in files {
+                if ns.remove(&f) {
+                    removed.push(f);
+                }
             }
         }
-        n
+        if let Some(cache) = self.cache_handle() {
+            for f in &removed {
+                cache.invalidate_path(f);
+            }
+        }
+        removed.len()
     }
 
     /// Rename a file.
@@ -319,7 +386,12 @@ impl Dfs {
     /// # Errors
     /// [`HdmError::Dfs`] if `from` is missing or `to` exists.
     pub fn rename(&self, from: &str, to: &str) -> Result<()> {
-        self.inner.write().rename(from, to)
+        self.inner.write().rename(from, to)?;
+        if let Some(cache) = self.cache_handle() {
+            cache.invalidate_path(from);
+            cache.invalidate_path(to);
+        }
+        Ok(())
     }
 
     /// Total bytes stored across all closed files.
@@ -337,6 +409,11 @@ impl Dfs {
 
     fn finish_file(&self, path: &str, blocks: Vec<namespace::Block>, len: u64) {
         self.inner.write().close_file(path, blocks, len);
+        // A freshly-published file may reuse a previously-cached path
+        // (e.g. INSERT OVERWRITE recreating the same part files).
+        if let Some(cache) = self.cache_handle() {
+            cache.invalidate_path(path);
+        }
     }
 
     /// Deterministic replica placement: first replica on the writer's
@@ -609,6 +686,79 @@ mod tests {
         // Detaching (a disabled plan) restores clean reads everywhere.
         dfs.attach_faults(&hdm_faults::FaultPlan::disabled());
         assert!(dfs.read_range(&path, 0, 10, None).is_ok());
+    }
+
+    #[derive(Debug, Default)]
+    struct RecordingCache {
+        entries: std::sync::Mutex<std::collections::HashMap<(String, u64, u64), Vec<u8>>>,
+        hits: std::sync::atomic::AtomicU64,
+    }
+
+    impl RangeCache for RecordingCache {
+        fn lookup(&self, path: &str, offset: u64, len: u64) -> Option<Vec<u8>> {
+            let got = self
+                .entries
+                .lock()
+                .unwrap()
+                .get(&(path.to_string(), offset, len))
+                .cloned();
+            if got.is_some() {
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            got
+        }
+        fn admit(&self, path: &str, offset: u64, len: u64, bytes: &[u8]) {
+            self.entries
+                .lock()
+                .unwrap()
+                .insert((path.to_string(), offset, len), bytes.to_vec());
+        }
+        fn invalidate_path(&self, path: &str) {
+            self.entries.lock().unwrap().retain(|k, _| k.0 != path);
+        }
+    }
+
+    #[test]
+    fn read_cache_serves_hits_and_is_invalidated_on_mutation() {
+        let dfs = small_fs();
+        let mut w = dfs.create("/warehouse/t/part-0", NodeId(0)).unwrap();
+        w.write(b"0123456789").unwrap();
+        w.close().unwrap();
+
+        let cache = Arc::new(RecordingCache::default());
+        dfs.attach_read_cache(Some(cache.clone()));
+
+        // Miss + admit, then a hit served without touching disk metrics.
+        let before = dfs.metrics().total_bytes_read();
+        assert_eq!(
+            dfs.read_range("/warehouse/t/part-0", 2, 5, None).unwrap(),
+            b"23456"
+        );
+        let after_miss = dfs.metrics().total_bytes_read();
+        assert_eq!(after_miss - before, 5);
+        assert_eq!(
+            dfs.read_range("/warehouse/t/part-0", 2, 5, None).unwrap(),
+            b"23456"
+        );
+        assert_eq!(dfs.metrics().total_bytes_read(), after_miss);
+        assert_eq!(cache.hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+
+        // Rewriting the path (delete + recreate) must invalidate.
+        assert!(dfs.delete("/warehouse/t/part-0"));
+        let mut w = dfs.create("/warehouse/t/part-0", NodeId(0)).unwrap();
+        w.write(b"abcdefghij").unwrap();
+        w.close().unwrap();
+        assert_eq!(
+            dfs.read_range("/warehouse/t/part-0", 2, 5, None).unwrap(),
+            b"cdefg"
+        );
+
+        // Detach restores the uncached path.
+        dfs.attach_read_cache(None);
+        assert_eq!(
+            dfs.read_range("/warehouse/t/part-0", 0, 3, None).unwrap(),
+            b"abc"
+        );
     }
 
     #[test]

@@ -1,0 +1,377 @@
+#![warn(missing_docs)]
+
+//! # hdm-server
+//!
+//! Multi-tenant query serving over long-lived shared executor state —
+//! the HiveServer2 + LLAP split for this reproduction.
+//!
+//! One [`HdmServer`] wraps one executor ([`hdm_core::Driver`]) and hands
+//! out lightweight [`Session`]s. Every session shares:
+//!
+//! * the **filesystem and metastore** (via [`Driver::session`]);
+//! * a bounded **admission gate** with per-tenant fair queueing
+//!   ([`admission::AdmissionGate`]) sized by `hive.server.pool.size` and
+//!   `hive.server.queue.max`;
+//! * the **ORC data/metadata cache** ([`hdm_storage::OrcDataCache`],
+//!   budget `hive.server.io.cache.mb`), attached to the DFS as a
+//!   read-through [`hdm_dfs::RangeCache`] so every session's scans hit
+//!   the same daemon-resident bytes;
+//! * the **result cache** ([`result_cache::ResultCache`]), keyed on
+//!   normalized query text + engine + session conf + the data versions
+//!   of every referenced table, invalidated lazily when a reload bumps
+//!   a version.
+//!
+//! The differential contract: rows served through a session — cached or
+//! not, queued or not — are byte-identical to a solo single-session run
+//! of the same statement with the same conf and engine.
+//!
+//! ```
+//! use hdm_core::Driver;
+//! use hdm_server::HdmServer;
+//!
+//! let driver = Driver::in_memory();
+//! driver.execute("CREATE TABLE t (k BIGINT); INSERT INTO t VALUES (1), (2)").unwrap();
+//! let server = HdmServer::over(driver).unwrap();
+//! let session = server.session("tenant-a");
+//! let r = session.execute("SELECT k FROM t ORDER BY k").unwrap();
+//! assert_eq!(r.to_lines(), vec!["1", "2"]);
+//! // The repeat comes from the result cache — byte-identical.
+//! let again = session.execute("SELECT k FROM t ORDER BY k").unwrap();
+//! assert_eq!(again.to_lines(), r.to_lines());
+//! assert_eq!(server.stats().result_hits, 1);
+//! ```
+
+pub mod admission;
+pub mod result_cache;
+
+pub use admission::{AdmissionGate, Permit};
+pub use result_cache::{ResultCache, ResultCacheStats};
+
+use hdm_common::error::Result;
+use hdm_core::ast::Statement;
+use hdm_core::parser::parse_script;
+use hdm_core::{Driver, EngineKind, QueryResult};
+use hdm_storage::{CacheStats, OrcDataCache};
+use result_cache::cache_key;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Point-in-time counters of an [`HdmServer`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Queries granted a permit (after queueing or not).
+    pub admitted: u64,
+    /// Admitted queries that waited in the queue first.
+    pub queued: u64,
+    /// Queries rejected because the wait queue was full.
+    pub rejected: u64,
+    /// Queries answered entirely from the result cache.
+    pub result_hits: u64,
+    /// Cacheable queries that had to execute.
+    pub result_misses: u64,
+    /// ORC data-cache counters, when the cache is enabled.
+    pub io: Option<CacheStats>,
+}
+
+#[derive(Debug)]
+struct ServerShared {
+    base: Driver,
+    gate: AdmissionGate,
+    results: Option<ResultCache>,
+    io_cache: Option<Arc<OrcDataCache>>,
+    obs: hdm_obs::ObsHandle,
+    next_session: AtomicU64,
+    admitted: AtomicU64,
+    queued: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// The serving frontend: session pool + admission + shared caches.
+///
+/// Cloning shares the same server state (like an `Arc`).
+#[derive(Debug, Clone)]
+pub struct HdmServer {
+    inner: Arc<ServerShared>,
+}
+
+impl HdmServer {
+    /// Stand a server up over an executor. Reads every `hive.server.*`
+    /// knob from the driver's conf; attaches the ORC cache to the
+    /// driver's DFS when `hive.server.io.cache.mb` > 0.
+    ///
+    /// # Errors
+    /// [`hdm_common::error::HdmError::Config`] on malformed or
+    /// out-of-range `hive.server.*` values.
+    pub fn over(driver: Driver) -> Result<HdmServer> {
+        let conf = driver.conf();
+        let pool = conf.server_pool_size()?;
+        let queue_max = conf.server_queue_max()?;
+        let io_mb = conf.server_io_cache_mb()?;
+        let result_entries = if conf.server_result_cache()? {
+            conf.server_result_cache_entries()?
+        } else {
+            0
+        };
+        let io_cache = if io_mb > 0 {
+            let root = driver.metastore().storage.root.trim_end_matches('/');
+            let prefix = format!("{root}/");
+            let cache = Arc::new(OrcDataCache::new(io_mb * 1024 * 1024, &prefix));
+            driver
+                .dfs()
+                .attach_read_cache(Some(cache.clone() as Arc<dyn hdm_dfs::RangeCache>));
+            Some(cache)
+        } else {
+            None
+        };
+        Ok(HdmServer {
+            inner: Arc::new(ServerShared {
+                base: driver,
+                gate: AdmissionGate::new(pool, queue_max),
+                results: (result_entries > 0).then(|| ResultCache::new(result_entries)),
+                io_cache,
+                // The server's own track set is always on: per-session
+                // spans and `server.*` metrics are the serving layer's
+                // product, independent of per-query `hive.obs.enabled`.
+                obs: hdm_obs::ObsHandle::enabled_with_stride(1),
+                next_session: AtomicU64::new(1),
+                admitted: AtomicU64::new(0),
+                queued: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Open a session for `tenant`. Sessions are cheap; each carries its
+    /// own conf/engine copied from the server's base driver.
+    pub fn session(&self, tenant: &str) -> Session {
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        Session {
+            server: Arc::clone(&self.inner),
+            driver: self.inner.base.session(),
+            tenant: tenant.to_string(),
+            track: format!("session{id}"),
+            id,
+        }
+    }
+
+    /// Aggregate serving counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            admitted: self.inner.admitted.load(Ordering::Relaxed),
+            queued: self.inner.queued.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            result_hits: self.inner.results.as_ref().map_or(0, |r| r.stats().hits),
+            result_misses: self.inner.results.as_ref().map_or(0, |r| r.stats().misses),
+            io: self.inner.io_cache.as_ref().map(|c| c.stats()),
+        }
+    }
+
+    /// ORC data-cache counters (None when the cache is off).
+    pub fn io_cache_stats(&self) -> Option<CacheStats> {
+        self.inner.io_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Result-cache counters (None when the cache is off).
+    pub fn result_cache_stats(&self) -> Option<ResultCacheStats> {
+        self.inner.results.as_ref().map(|r| r.stats())
+    }
+
+    /// Snapshot the server's observability state — per-session tracks
+    /// plus `server.*` counters and gauges, with the cache counters
+    /// synced in as gauges first.
+    pub fn obs_snapshot(&self) -> hdm_obs::ObsSnapshot {
+        let obs = &self.inner.obs;
+        if let Some(io) = self.io_cache_stats() {
+            obs.gauge("server.io.cache.hit", "").set(io.hits as i64);
+            obs.gauge("server.io.cache.miss", "").set(io.misses as i64);
+            obs.gauge("server.io.cache.evictions", "")
+                .set(io.evictions as i64);
+            obs.gauge("server.io.cache.bytes", "").set(io.bytes as i64);
+        }
+        if let Some(rc) = self.result_cache_stats() {
+            obs.gauge("server.result.cache.entries", "")
+                .set(rc.entries as i64);
+        }
+        obs.snapshot()
+    }
+}
+
+/// One tenant-scoped session over the shared executor state.
+#[derive(Debug)]
+pub struct Session {
+    server: Arc<ServerShared>,
+    driver: Driver,
+    tenant: String,
+    track: String,
+    id: u64,
+}
+
+impl Session {
+    /// This session's id (also its obs track, `session{id}`).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The tenant this session belongs to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The session's private driver (own conf + engine over the shared
+    /// filesystem/catalog).
+    pub fn driver(&self) -> &Driver {
+        &self.driver
+    }
+
+    /// Mutable session configuration (affects only this session; the
+    /// result-cache key includes the conf, so tuned sessions never share
+    /// entries with differently-tuned ones).
+    pub fn conf_mut(&mut self) -> &mut hdm_common::conf::JobConf {
+        self.driver.conf_mut()
+    }
+
+    /// Set this session's default engine.
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        self.driver.set_engine(engine);
+    }
+
+    /// Execute a script on the session's default engine.
+    ///
+    /// # Errors
+    /// Admission rejection (queue full), parse/plan/execution failures.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_on(sql, self.driver.engine())
+    }
+
+    /// Execute a script on a specific engine, through admission control
+    /// and the shared caches.
+    ///
+    /// # Errors
+    /// Admission rejection (queue full), parse/plan/execution failures.
+    pub fn execute_on(&self, sql: &str, engine: EngineKind) -> Result<QueryResult> {
+        let server = &*self.server;
+        // A single SELECT is cacheable; anything else (DDL, DML,
+        // multi-statement scripts) always executes.
+        let cacheable_tables = server.results.as_ref().and_then(|_| select_tables(sql));
+        let key = cacheable_tables
+            .as_ref()
+            .map(|_| cache_key(sql, engine, self.driver.conf()));
+
+        // Result-cache probe: a hit is served straight from daemon
+        // memory — no admission, no execution, no stages.
+        if let (Some(results), Some(key)) = (server.results.as_ref(), key.as_deref()) {
+            let _probe = server.obs.span(&self.track, "serve", "result-cache-probe");
+            if let Some((rows, columns)) = results.lookup(key, self.driver.metastore()) {
+                server
+                    .obs
+                    .counter(
+                        "server.result.cache.hit",
+                        &format!("tenant={}", self.tenant),
+                    )
+                    .add(1);
+                return Ok(QueryResult {
+                    rows,
+                    columns,
+                    stages: Vec::new(),
+                });
+            }
+            server
+                .obs
+                .counter(
+                    "server.result.cache.miss",
+                    &format!("tenant={}", self.tenant),
+                )
+                .add(1);
+        }
+
+        // Pin the version snapshot *before* execution: if a concurrent
+        // write lands mid-query, insert() sees the mismatch and refuses
+        // to publish possibly-stale rows.
+        let versions = cacheable_tables
+            .as_ref()
+            .map(|tables| self.driver.metastore().versions_of(tables));
+
+        let permit = {
+            let _wait = server.obs.span(&self.track, "serve", "admit");
+            match server.gate.admit(&self.tenant) {
+                Ok(p) => p,
+                Err(e) => {
+                    server.rejected.fetch_add(1, Ordering::Relaxed);
+                    server
+                        .obs
+                        .counter("server.rejected", &format!("tenant={}", self.tenant))
+                        .add(1);
+                    return Err(e);
+                }
+            }
+        };
+        server.admitted.fetch_add(1, Ordering::Relaxed);
+        server
+            .obs
+            .counter("server.admitted", &format!("tenant={}", self.tenant))
+            .add(1);
+        if permit.waited() {
+            server.queued.fetch_add(1, Ordering::Relaxed);
+            server
+                .obs
+                .counter("server.queued", &format!("tenant={}", self.tenant))
+                .add(1);
+        }
+        server
+            .obs
+            .gauge("server.queue.depth", "")
+            .record_max(permit.depth_at_arrival() as i64);
+
+        let result = {
+            let _exec = server.obs.span(&self.track, "serve", "exec");
+            self.driver.execute_on(sql, engine)
+        };
+        drop(permit);
+
+        if let (Ok(result), Some(results), Some(key), Some(versions)) =
+            (&result, server.results.as_ref(), key.as_deref(), versions)
+        {
+            results.insert(
+                key,
+                versions,
+                result.rows.clone(),
+                result.columns.clone(),
+                self.driver.metastore(),
+            );
+        }
+        result
+    }
+}
+
+/// The referenced table names iff `sql` is a single SELECT statement
+/// (the cacheable shape). `None` for DDL/DML, scripts, or unparsable
+/// input — those always execute.
+fn select_tables(sql: &str) -> Option<Vec<String>> {
+    let stmts = parse_script(sql).ok()?;
+    match stmts.as_slice() {
+        [Statement::Select(stmt)] => {
+            let mut tables = vec![stmt.from.base.name.clone()];
+            for join in &stmt.from.joins {
+                tables.push(join.table.name.clone());
+            }
+            tables.sort();
+            tables.dedup();
+            Some(tables)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_tables_extracts_base_and_joins() {
+        let t = select_tables("SELECT * FROM a JOIN b ON a.k = b.k JOIN c ON a.k = c.k").unwrap();
+        assert_eq!(t, vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+        assert!(select_tables("CREATE TABLE t (k BIGINT)").is_none());
+        assert!(select_tables("SELECT 1 FROM t; SELECT 2 FROM t").is_none());
+        assert!(select_tables("not sql").is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! The query result cache, keyed on normalized query text and the data
+//! versions of every table the query reads.
+//!
+//! Hive's result cache (`hive.query.results.cache.enabled`) answers a
+//! repeated query from a previous run's output, as long as none of the
+//! inputs changed. Here an entry records the `(table, version)` snapshot
+//! taken **before** the producing execution started; a lookup re-checks
+//! every pinned version against the live metastore, so any reload —
+//! `INSERT`, `INSERT OVERWRITE`, `DROP`/recreate, bulk load — that
+//! bumped a version lazily invalidates every dependent entry. Admission
+//! back into the cache re-validates the snapshot too, so a query that
+//! raced a concurrent write never publishes stale rows.
+
+use hdm_common::conf::JobConf;
+use hdm_common::row::Row;
+use hdm_core::catalog::Metastore;
+use hdm_core::EngineKind;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Collapse whitespace runs so formatting differences (newlines,
+/// indentation) share a cache entry. Case is preserved: lowering it
+/// would merge `'a'` and `'A'` string literals into one key.
+pub fn normalize_sql(sql: &str) -> String {
+    sql.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// The full cache key: normalized text, engine, and every conf entry
+/// (any knob may change results — engine tuning, pushdown, limits).
+pub fn cache_key(sql: &str, engine: EngineKind, conf: &JobConf) -> String {
+    let mut key = String::with_capacity(sql.len() + 64);
+    key.push_str(engine.name());
+    key.push('\n');
+    for (k, v) in conf.iter() {
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+        key.push('\x1f');
+    }
+    key.push('\n');
+    key.push_str(&normalize_sql(sql));
+    key
+}
+
+/// A cached query answer.
+#[derive(Debug, Clone)]
+struct ResultEntry {
+    rows: Vec<Row>,
+    columns: Vec<String>,
+    /// `(table, version)` pinned before the producing run executed.
+    versions: Vec<(String, u64)>,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct ResultInner {
+    map: HashMap<String, ResultEntry>,
+    lru: BTreeMap<u64, String>,
+    tick: u64,
+}
+
+impl ResultInner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn remove_key(&mut self, key: &str) {
+        if let Some(entry) = self.map.remove(key) {
+            self.lru.remove(&entry.tick);
+        }
+    }
+}
+
+/// Point-in-time counters of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Cacheable queries that had to execute.
+    pub misses: u64,
+    /// Entries dropped because a pinned table version moved on.
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// LRU result cache bounded by entry count
+/// (`hive.server.result.cache.entries`).
+#[derive(Debug)]
+pub struct ResultCache {
+    cap: usize,
+    inner: Mutex<ResultInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `cap` entries.
+    pub fn new(cap: usize) -> ResultCache {
+        ResultCache {
+            cap,
+            inner: Mutex::new(ResultInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ResultCacheStats {
+        let entries = self.inner.lock().map.len() as u64;
+        ResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Serve `key` if present *and* every pinned table version still
+    /// matches the live metastore; a version mismatch drops the entry
+    /// (lazy invalidation) and reports a miss.
+    pub fn lookup(&self, key: &str, metastore: &Metastore) -> Option<(Vec<Row>, Vec<String>)> {
+        let mut inner = self.inner.lock();
+        let Some(entry) = inner.map.get(key) else {
+            drop(inner);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let fresh = entry
+            .versions
+            .iter()
+            .all(|(table, v)| metastore.version(table) == *v);
+        if !fresh {
+            inner.remove_key(key);
+            drop(inner);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let out = (entry.rows.clone(), entry.columns.clone());
+        let tick = inner.next_tick();
+        if let Some(entry) = inner.map.get_mut(key) {
+            let prev = std::mem::replace(&mut entry.tick, tick);
+            inner.lru.remove(&prev);
+            inner.lru.insert(tick, key.to_string());
+        }
+        drop(inner);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(out)
+    }
+
+    /// Admit an answer produced against the `versions` snapshot. The
+    /// snapshot is re-validated against the live metastore first: if any
+    /// table moved on while the query executed, the rows may already be
+    /// stale and the entry is not stored.
+    pub fn insert(
+        &self,
+        key: &str,
+        versions: Vec<(String, u64)>,
+        rows: Vec<Row>,
+        columns: Vec<String>,
+        metastore: &Metastore,
+    ) {
+        if self.cap == 0 {
+            return;
+        }
+        if versions
+            .iter()
+            .any(|(table, v)| metastore.version(table) != *v)
+        {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.remove_key(key);
+        let tick = inner.next_tick();
+        inner.map.insert(
+            key.to_string(),
+            ResultEntry {
+                rows,
+                columns,
+                versions,
+                tick,
+            },
+        );
+        inner.lru.insert(tick, key.to_string());
+        while inner.map.len() > self.cap {
+            let victim = match inner.lru.iter().next() {
+                Some((_, k)) => k.clone(),
+                None => break,
+            };
+            inner.remove_key(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_common::value::DataType;
+    use hdm_storage::FormatKind;
+
+    fn ms_with(tables: &[&str]) -> Metastore {
+        let ms = Metastore::new();
+        for t in tables {
+            ms.create_table(
+                t,
+                vec![("c".into(), DataType::Long)],
+                FormatKind::Text,
+                false,
+            )
+            .unwrap();
+        }
+        ms
+    }
+
+    fn row(n: i64) -> Row {
+        Row::from(vec![hdm_common::value::Value::Long(n)])
+    }
+
+    #[test]
+    fn hit_roundtrip_and_version_invalidation() {
+        let ms = ms_with(&["t"]);
+        let cache = ResultCache::new(8);
+        let key = "k1";
+        let versions = ms.versions_of(&["t".to_string()]);
+        cache.insert(key, versions, vec![row(1)], vec!["c".into()], &ms);
+        let (rows, cols) = cache.lookup(key, &ms).expect("fresh entry hits");
+        assert_eq!(rows, vec![row(1)]);
+        assert_eq!(cols, vec!["c".to_string()]);
+        // A reload bumps the version: the entry lazily invalidates.
+        ms.bump_version("t");
+        assert!(cache.lookup(key, &ms).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.invalidations, s.entries), (1, 1, 0));
+    }
+
+    #[test]
+    fn insert_is_skipped_when_a_table_moved_during_execution() {
+        let ms = ms_with(&["t"]);
+        let cache = ResultCache::new(8);
+        let versions = ms.versions_of(&["t".to_string()]);
+        ms.bump_version("t"); // concurrent write lands mid-query
+        cache.insert("k", versions, vec![row(1)], vec!["c".into()], &ms);
+        assert!(cache.lookup("k", &ms).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_beyond_cap() {
+        let ms = ms_with(&["t"]);
+        let cache = ResultCache::new(2);
+        let versions = ms.versions_of(&["t".to_string()]);
+        for (k, n) in [("a", 1), ("b", 2)] {
+            cache.insert(k, versions.clone(), vec![row(n)], vec!["c".into()], &ms);
+        }
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.lookup("a", &ms).is_some());
+        cache.insert("c", versions, vec![row(3)], vec!["c".into()], &ms);
+        assert!(cache.lookup("a", &ms).is_some());
+        assert!(cache.lookup("b", &ms).is_none());
+        assert!(cache.lookup("c", &ms).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn key_separates_sql_engine_and_conf() {
+        let conf = JobConf::new();
+        let base = cache_key("SELECT  1", EngineKind::DataMpi, &conf);
+        assert_eq!(base, cache_key("SELECT 1", EngineKind::DataMpi, &conf));
+        assert_ne!(base, cache_key("SELECT 1", EngineKind::Hadoop, &conf));
+        assert_ne!(base, cache_key("select 1", EngineKind::DataMpi, &conf));
+        let tuned = JobConf::new().with(hdm_common::conf::KEY_COMBINER, false);
+        assert_ne!(base, cache_key("SELECT 1", EngineKind::DataMpi, &tuned));
+    }
+}

@@ -1,0 +1,249 @@
+//! Shared ORC data/metadata cache (the LLAP daemon-cache analogue).
+//!
+//! Enterprise Hive moved hot ORC bytes out of the per-query process into
+//! a long-lived daemon: LLAP caches footers and row-group byte ranges so
+//! concurrent queries over the same tables skip the datanode entirely.
+//! [`OrcDataCache`] reproduces that shape over [`hdm_dfs::RangeCache`]:
+//!
+//! * entries are keyed on the exact `(path, offset, len)` ranges the ORC
+//!   reader issues — footer reads and per-column chunk reads are
+//!   deterministic for a given file, so exact-range keying hits on every
+//!   re-read without any sub-range assembly;
+//! * only paths under the warehouse root are cached — `/tmp` stage
+//!   intermediates are written once and read once, and would otherwise
+//!   flush the budget on every query;
+//! * the budget (`hive.server.io.cache.mb`) is enforced in bytes with
+//!   strict LRU eviction; an entry larger than the whole budget is never
+//!   admitted;
+//! * hit/miss/eviction counters are relaxed atomics so the serving layer
+//!   can export `server.io.cache.*` gauges without taking the cache lock.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+type RangeKey = (String, u64, u64);
+
+/// Point-in-time counters of an [`OrcDataCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups for cacheable paths that had to go to disk.
+    pub misses: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub bytes: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Resident entries: range key -> (bytes, lru tick).
+    map: HashMap<RangeKey, (Vec<u8>, u64)>,
+    /// Recency order: lru tick -> range key (oldest tick first).
+    lru: BTreeMap<u64, RangeKey>,
+    bytes: u64,
+    tick: u64,
+}
+
+impl CacheInner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn remove_key(&mut self, key: &RangeKey) {
+        if let Some((bytes, tick)) = self.map.remove(key) {
+            self.lru.remove(&tick);
+            self.bytes = self.bytes.saturating_sub(bytes.len() as u64);
+        }
+    }
+}
+
+/// Byte-budgeted LRU cache over the ranged reads the ORC reader issues.
+///
+/// Plugs into [`hdm_dfs::Dfs::attach_read_cache`]; shared across every
+/// session of an hdm-server instance.
+#[derive(Debug)]
+pub struct OrcDataCache {
+    budget: u64,
+    prefix: String,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl OrcDataCache {
+    /// A cache holding at most `budget_bytes` of data for paths under
+    /// `prefix` (the warehouse root; stage intermediates elsewhere are
+    /// never admitted).
+    pub fn new(budget_bytes: u64, prefix: &str) -> OrcDataCache {
+        OrcDataCache {
+            budget: budget_bytes,
+            prefix: prefix.to_string(),
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let (bytes, entries) = {
+            let inner = self.inner.lock();
+            (inner.bytes, inner.map.len() as u64)
+        };
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes,
+            entries,
+        }
+    }
+
+    fn cacheable(&self, path: &str) -> bool {
+        self.budget > 0 && path.starts_with(&self.prefix)
+    }
+}
+
+impl hdm_dfs::RangeCache for OrcDataCache {
+    fn lookup(&self, path: &str, offset: u64, len: u64) -> Option<Vec<u8>> {
+        if !self.cacheable(path) {
+            return None;
+        }
+        let key: RangeKey = (path.to_string(), offset, len);
+        let mut inner = self.inner.lock();
+        let tick = inner.next_tick();
+        if let Some((bytes, old_tick)) = inner.map.get_mut(&key) {
+            let out = bytes.clone();
+            let prev = std::mem::replace(old_tick, tick);
+            inner.lru.remove(&prev);
+            inner.lru.insert(tick, key);
+            drop(inner);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(out);
+        }
+        drop(inner);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn admit(&self, path: &str, offset: u64, len: u64, bytes: &[u8]) {
+        if !self.cacheable(path) || bytes.len() as u64 > self.budget {
+            return;
+        }
+        let key: RangeKey = (path.to_string(), offset, len);
+        let mut evicted = 0u64;
+        {
+            let mut inner = self.inner.lock();
+            // Replace a racing duplicate instead of double-counting it.
+            inner.remove_key(&key);
+            let tick = inner.next_tick();
+            inner.bytes += bytes.len() as u64;
+            inner.map.insert(key.clone(), (bytes.to_vec(), tick));
+            inner.lru.insert(tick, key);
+            while inner.bytes > self.budget {
+                let victim = match inner.lru.iter().next() {
+                    Some((_, k)) => k.clone(),
+                    None => break,
+                };
+                inner.remove_key(&victim);
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    fn invalidate_path(&self, path: &str) {
+        let mut inner = self.inner.lock();
+        let stale: Vec<RangeKey> = inner.map.keys().filter(|k| k.0 == path).cloned().collect();
+        for key in &stale {
+            inner.remove_key(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdm_dfs::RangeCache;
+
+    #[test]
+    fn hit_after_admit_and_miss_counting() {
+        let c = OrcDataCache::new(1024, "/warehouse/");
+        assert!(c.lookup("/warehouse/t/part-0", 0, 4).is_none());
+        c.admit("/warehouse/t/part-0", 0, 4, b"abcd");
+        assert_eq!(c.lookup("/warehouse/t/part-0", 0, 4).unwrap(), b"abcd");
+        // A different range of the same file is its own entry.
+        assert!(c.lookup("/warehouse/t/part-0", 4, 4).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.bytes), (1, 2, 1, 4));
+    }
+
+    #[test]
+    fn non_warehouse_paths_are_ignored() {
+        let c = OrcDataCache::new(1024, "/warehouse/");
+        c.admit("/tmp/q1/stage0/part-0", 0, 4, b"abcd");
+        assert!(c.lookup("/tmp/q1/stage0/part-0", 0, 4).is_none());
+        let s = c.stats();
+        // Intermediates neither occupy space nor pollute miss counts.
+        assert_eq!((s.misses, s.entries, s.bytes), (0, 0, 0));
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let c = OrcDataCache::new(10, "/warehouse/");
+        c.admit("/warehouse/a", 0, 4, b"aaaa");
+        c.admit("/warehouse/b", 0, 4, b"bbbb");
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(c.lookup("/warehouse/a", 0, 4).is_some());
+        c.admit("/warehouse/c", 0, 4, b"cccc");
+        assert!(c.lookup("/warehouse/a", 0, 4).is_some());
+        assert!(c.lookup("/warehouse/b", 0, 4).is_none());
+        assert!(c.lookup("/warehouse/c", 0, 4).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.stats().bytes <= 10);
+    }
+
+    #[test]
+    fn oversized_entries_are_never_admitted() {
+        let c = OrcDataCache::new(3, "/warehouse/");
+        c.admit("/warehouse/a", 0, 4, b"aaaa");
+        assert!(c.lookup("/warehouse/a", 0, 4).is_none());
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn zero_budget_disables_everything() {
+        let c = OrcDataCache::new(0, "/warehouse/");
+        c.admit("/warehouse/a", 0, 4, b"aaaa");
+        assert!(c.lookup("/warehouse/a", 0, 4).is_none());
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn invalidate_path_drops_all_ranges_of_that_path_only() {
+        let c = OrcDataCache::new(1024, "/warehouse/");
+        c.admit("/warehouse/a", 0, 4, b"aaaa");
+        c.admit("/warehouse/a", 4, 4, b"AAAA");
+        c.admit("/warehouse/b", 0, 4, b"bbbb");
+        c.invalidate_path("/warehouse/a");
+        assert!(c.lookup("/warehouse/a", 0, 4).is_none());
+        assert!(c.lookup("/warehouse/a", 4, 4).is_none());
+        assert!(c.lookup("/warehouse/b", 0, 4).is_some());
+        assert_eq!(c.stats().entries, 1);
+    }
+}

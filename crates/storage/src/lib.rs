@@ -27,10 +27,12 @@
 //! layer can treat tables uniformly; see [`format::TableStorage`] for the
 //! `warehouse/<table>/part-N` directory convention.
 
+pub mod cache;
 pub mod format;
 pub mod orc;
 pub mod seq;
 pub mod text;
 
+pub use cache::{CacheStats, OrcDataCache};
 pub use format::{format_for, FileFormat, FormatKind, RowSink, RowSource, TableStorage};
 pub use orc::{CmpOp, Predicate};

@@ -12,7 +12,7 @@ use hdm_core::{Driver, EngineKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A Driver is a Hive session: metastore + DFS + configuration.
-    let mut driver = Driver::in_memory();
+    let driver = Driver::in_memory();
 
     driver.execute("CREATE TABLE sales (region STRING, item STRING, amount DOUBLE, day DATE)")?;
     driver.execute(

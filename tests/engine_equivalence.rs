@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn driver_with_random_tables(seed: u64, rows_a: usize, rows_b: usize) -> Driver {
-    let mut d = Driver::in_memory();
+    let d = Driver::in_memory();
     d.execute("CREATE TABLE ta (k BIGINT, grp STRING, x DOUBLE)")
         .expect("ddl a");
     d.execute("CREATE TABLE tb (k BIGINT, label STRING)")
@@ -144,7 +144,7 @@ fn normalized_keys_agree_with_row_codec_keys() {
     // `hive.shuffle.normalized.keys` changes the wire encoding of every
     // ReduceSink key (memcmp-comparable sortkey bytes vs the plain row
     // codec) — results must be bit-identical either way, on both engines.
-    let mut with_norm = driver_with_random_tables(7, 110, 50);
+    let with_norm = driver_with_random_tables(7, 110, 50);
     let mut without = driver_with_random_tables(7, 110, 50);
     without
         .conf_mut()
