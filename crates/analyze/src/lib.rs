@@ -243,7 +243,13 @@ pub fn scope_for(rel: &str) -> FileScope {
         lock_extract: !test_file,
         blocking_lock: contended,
         span_balance: true,
-        swallowed: contended,
+        // PR 9 widened this beyond the contended set to the rest of the
+        // cancellation spine: a silently dropped Result on a cancel path
+        // (token wiring, recovery backoff) turns "cancel" into "hang" —
+        // the error that would have explained the stall never surfaces.
+        swallowed: contended
+            || rel.ends_with("crates/common/src/cancel.rs")
+            || in_dir("crates/faults/src/"),
         conf_registry: rel.ends_with("common/src/conf.rs"),
         test_file,
         only_rule: None,

@@ -144,4 +144,33 @@ fn swallowed_error_fail_fixture_reports_both_spellings() {
     let msgs: Vec<&str> = diags.iter().map(|d| d.msg.as_str()).collect();
     assert!(msgs.iter().any(|m| m.contains("`let _ =`")), "{msgs:?}");
     assert!(msgs.iter().any(|m| m.contains("`.ok();`")), "{msgs:?}");
+    // Both discard spellings must also be caught on the cancellation
+    // path (the dropped `bail_if_cancelled()` / `.ok();`-ed recv pair):
+    // 2 sites in `finish` + 2 in `poll_cancel`.
+    assert_eq!(diags.len(), 4, "{msgs:?}");
+}
+
+/// The PR 9 scope widening: the cancellation spine outside the
+/// contended crates — the token itself and the recovery/backoff layer —
+/// is checked for swallowed Results; unrelated crates stay out of scope.
+#[test]
+fn swallowed_error_scope_covers_cancellation_spine() {
+    let discard = "pub fn f(c: &CancelToken) { let _ = c.bail_if_cancelled(); }\n";
+    for covered in [
+        "crates/common/src/cancel.rs",
+        "crates/faults/src/lib.rs",
+        "crates/core/src/driver.rs",
+        "crates/server/src/lib.rs",
+    ] {
+        let diags = hdm_analyze::check_source(covered, discard);
+        assert!(
+            diags.iter().any(|d| d.rule == "swallowed-error"),
+            "{covered} must be in swallowed-error scope: {diags:?}"
+        );
+    }
+    let out_of_scope = hdm_analyze::check_source("crates/workloads/src/lib.rs", discard);
+    assert!(
+        !out_of_scope.iter().any(|d| d.rule == "swallowed-error"),
+        "{out_of_scope:?}"
+    );
 }

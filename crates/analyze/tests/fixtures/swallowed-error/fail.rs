@@ -1,7 +1,17 @@
 //! Fail fixture: silently discarded Results — the `let _ =` form that
 //! hid the OContext::send recycle failure, and its `.ok();` spelling.
+//! The cancellation-path variant is the PR 9 motivation: dropping the
+//! Result of `bail_if_cancelled()` keeps running a query whose token
+//! already fired, turning a cancel into a hang (or a wasted retry).
 
 pub fn finish(tx: &Sender<Cmd>, sink: &mut Sink) {
     let _ = tx.send(Cmd::Finish);
     sink.flush().ok();
+}
+
+pub fn poll_cancel(cancel: &CancelToken, world: &Endpoint) {
+    // The fired-token error is the ONLY signal that this attempt must
+    // stop; eating it here resumes the wave as if nothing happened.
+    let _ = cancel.bail_if_cancelled();
+    world.recv_deadline(0).ok();
 }

@@ -1,11 +1,18 @@
 //! Pass fixture: every Result keeps its information — propagated with
 //! `?`, or discarded deliberately with the failure counted through obs
-//! (the OContext::send recycle-drop pattern).
+//! (the OContext::send recycle-drop pattern). Cancellation paths
+//! propagate the fired-token error so the attempt actually stops.
 
 pub fn finish(tx: &Sender<Cmd>, sink: &mut Sink, drops: &Counter) -> Result<(), Error> {
     sink.flush()?;
     if tx.send(Cmd::Finish).is_err() {
         drops.add(1);
     }
+    Ok(())
+}
+
+pub fn poll_cancel(cancel: &CancelToken, world: &Endpoint) -> Result<(), Error> {
+    cancel.bail_if_cancelled()?;
+    world.recv_deadline(0)?;
     Ok(())
 }

@@ -396,6 +396,61 @@ fn bench_ft_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cost of the cancellation token on the hot path: the same SPL-shaped
+/// fill loop as `spl_cycle`, bare vs polling a never-fired token once
+/// per pair (the production default — `hive.query.timeout.ms` off and
+/// no caller token still pays exactly this one relaxed load per poll
+/// site). The two arms must stay within noise of each other.
+fn bench_cancel_overhead(c: &mut Criterion) {
+    use hdm_common::CancelToken;
+    use hdm_datampi::buffer::SendPartitionList;
+    let pairs: Vec<(usize, KvPair)> = (0..1000)
+        .map(|i| {
+            (
+                i % 4,
+                KvPair::new(vec![(i % 251) as u8], vec![(i % 256) as u8; 24]),
+            )
+        })
+        .collect();
+    let mut g = c.benchmark_group("cancel_overhead_1k_pairs");
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    g.bench_function("no_token", |b| {
+        b.iter_batched(
+            || SendPartitionList::new(4, 2 << 10),
+            |mut spl| {
+                let mut flushed = 0usize;
+                for (dst, kv) in &pairs {
+                    if spl.push(*dst, kv).expect("in-range dst").is_some() {
+                        flushed += 1;
+                    }
+                }
+                flushed
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("unfired_token_polled", |b| {
+        let token = CancelToken::default();
+        b.iter_batched(
+            || SendPartitionList::new(4, 2 << 10),
+            |mut spl| {
+                let mut flushed = 0usize;
+                for (dst, kv) in &pairs {
+                    if token.is_cancelled() {
+                        break;
+                    }
+                    if spl.push(*dst, kv).expect("in-range dst").is_some() {
+                        flushed += 1;
+                    }
+                }
+                flushed
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_expr_eval(c: &mut Criterion) {
     use hdm_core::parser::parse_statement;
     let stmt = parse_statement("SELECT a FROM t WHERE a * 2 + 1 > 10 AND b LIKE 'customer%'")
@@ -462,10 +517,16 @@ fn bench_sched_overlap(c: &mut Criterion) {
     for (label, threads) in [("sequential", 1usize), ("two_workers", 2)] {
         g.bench_function(format!("diamond_{label}"), |b| {
             b.iter(|| {
-                sched::run_dag(&deps, threads, &obs, |stage| {
-                    std::thread::sleep(stage_wait[stage]);
-                    Ok(stage)
-                })
+                sched::run_dag(
+                    &deps,
+                    threads,
+                    &obs,
+                    &hdm_common::CancelToken::default(),
+                    |stage| {
+                        std::thread::sleep(stage_wait[stage]);
+                        Ok(stage)
+                    },
+                )
                 .expect("dag run")
             })
         });
@@ -486,6 +547,7 @@ criterion_group!(
     bench_spl_cycle,
     bench_obs_overhead,
     bench_ft_overhead,
+    bench_cancel_overhead,
     bench_expr_eval,
     bench_sched_overlap
 );

@@ -192,10 +192,16 @@ fn replay(profiles: &[StageProfile], pipelined: bool) -> u128 {
     let obs = ObsHandle::disabled();
     let t = Instant::now();
     if !pipelined {
-        sched::run_dag(&deps, 8, &obs, |stage| {
-            std::thread::sleep(profiles[stage].latency);
-            Ok(stage)
-        })
+        sched::run_dag(
+            &deps,
+            8,
+            &obs,
+            &hdm_common::CancelToken::default(),
+            |stage| {
+                std::thread::sleep(profiles[stage].latency);
+                Ok(stage)
+            },
+        )
         .expect("barrier replay");
         return t.elapsed().as_nanos();
     }
@@ -219,45 +225,52 @@ fn replay(profiles: &[StageProfile], pipelined: bool) -> u128 {
         }
     }
     let empty: Arc<Vec<Row>> = Arc::new(Vec::new());
-    sched::run_dag_pipelined(&hard, &soft, 8, &obs, |stage| {
-        let parts = profiles[stage].partitions;
-        let per_part = profiles[stage].latency / parts as u32;
-        let input = (stage > 0)
-            .then(|| {
-                streams
-                    .get(&(stage - 1))
-                    .map(|s| (profiles[stage - 1].partitions, s))
-            })
-            .flatten();
-        let out = streams.get(&stage);
-        if let Some(o) = out {
-            o.declare(parts, 0);
-        }
-        if let Some((_, s)) = input {
-            s.attach();
-        }
-        let mut taken = 0usize;
-        for p in 0..parts {
-            if let Some((src_parts, s)) = input {
-                let need = ((p + 1) * src_parts).div_ceil(parts).min(src_parts);
-                while taken < need {
-                    s.take(taken)?;
-                    taken += 1;
+    sched::run_dag_pipelined(
+        &hard,
+        &soft,
+        8,
+        &obs,
+        &hdm_common::CancelToken::default(),
+        |stage| {
+            let parts = profiles[stage].partitions;
+            let per_part = profiles[stage].latency / parts as u32;
+            let input = (stage > 0)
+                .then(|| {
+                    streams
+                        .get(&(stage - 1))
+                        .map(|s| (profiles[stage - 1].partitions, s))
+                })
+                .flatten();
+            let out = streams.get(&stage);
+            if let Some(o) = out {
+                o.declare(parts, 0);
+            }
+            if let Some((_, s)) = input {
+                s.attach();
+            }
+            let mut taken = 0usize;
+            for p in 0..parts {
+                if let Some((src_parts, s)) = input {
+                    let need = ((p + 1) * src_parts).div_ceil(parts).min(src_parts);
+                    while taken < need {
+                        s.take(taken)?;
+                        taken += 1;
+                    }
+                }
+                std::thread::sleep(per_part);
+                if let Some(o) = out {
+                    o.commit(p, 0, Arc::clone(&empty))?;
                 }
             }
-            std::thread::sleep(per_part);
-            if let Some(o) = out {
-                o.commit(p, 0, Arc::clone(&empty))?;
+            if let Some((_, s)) = input {
+                s.detach();
             }
-        }
-        if let Some((_, s)) = input {
-            s.detach();
-        }
-        if let Some(o) = out {
-            o.finish();
-        }
-        Ok(stage)
-    })
+            if let Some(o) = out {
+                o.finish();
+            }
+            Ok(stage)
+        },
+    )
     .expect("pipelined replay");
     t.elapsed().as_nanos()
 }

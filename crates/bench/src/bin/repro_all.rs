@@ -19,6 +19,14 @@
 //! and on, and the collected rows must be byte-identical. Mixing
 //! `q<N>` selectors with experiment substrings is an error.
 //!
+//! `--faults <seed> --cancel` switches the chaos smoke to the
+//! cancellation arm: for each seed, every TPC-H query runs on both
+//! engines, pipelined off and on, with a cancel token fired at a
+//! seeded random point. Each arm must finish under a watchdog (no
+//! hang), end in exactly Ok(baseline rows) or the typed cancelled
+//! error, and — when cancelled — a clean rerun must still match the
+//! baseline (no partial warehouse output, no cache poisoning).
+//!
 //! Everything printed is also appended to `target/repro_output.txt`
 //! (honoring `CARGO_TARGET_DIR`); the log is regenerated per run, not
 //! checked in.
@@ -207,9 +215,137 @@ fn chaos_smoke(seeds: &[u64], log: &mut RunLog) -> usize {
     failures
 }
 
+/// Deterministic per-arm PRNG stream (splitmix64 finalizer): the cancel
+/// fire point for an arm depends only on (seed, query, engine,
+/// pipelined), so a failing arm replays exactly.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Cancellation chaos smoke: fire a token at a seeded random point into
+/// every (query, engine, pipelined) arm and require a bounded, typed,
+/// state-clean outcome. Returns the number of failures.
+fn cancel_chaos_smoke(seeds: &[u64], log: &mut RunLog) -> usize {
+    use std::time::Duration;
+
+    let mut d = Driver::in_memory();
+    if let Err(e) = tpch::load(&mut d, 0.002, 20150701, FormatKind::Text) {
+        log.warn(&format!("tpch load failed: {e}"));
+        return 1;
+    }
+    let mut failures = 0usize;
+    for &seed in seeds {
+        log.say(&format!(
+            "\n######## cancellation chaos smoke, seed {seed} ########"
+        ));
+        let (mut cancelled, mut completed) = (0usize, 0usize);
+        for n in tpch::queries::all() {
+            for (ei, engine) in [EngineKind::DataMpi, EngineKind::Hadoop]
+                .into_iter()
+                .enumerate()
+            {
+                for pipelined in [true, false] {
+                    let arm = format!("Q{n:02} {engine:?} pipelined={pipelined}");
+                    let run = |d: &Driver, token: &hdm_common::CancelToken| {
+                        let mut s = d.session();
+                        s.conf_mut()
+                            .set(hdm_common::conf::KEY_EXEC_PIPELINED, pipelined);
+                        s.execute_on_cancellable(tpch::queries::query(n), engine, token)
+                            .map(|r| r.to_lines())
+                    };
+                    let baseline = match run(&d, &hdm_common::CancelToken::default()) {
+                        Ok(lines) => normalize(lines),
+                        Err(e) => {
+                            log.warn(&format!("{arm}: FAILED fault-free: {e}"));
+                            failures += 1;
+                            continue;
+                        }
+                    };
+                    // Fire point: 0..40ms into the run — straddling the
+                    // runtime of a scale-0.002 query, so across the sweep
+                    // arms land before, during, and after execution.
+                    let delay_us =
+                        mix64(seed ^ (n as u64) << 8 ^ (ei as u64) << 4 ^ pipelined as u64)
+                            % 40_000;
+                    let token = hdm_common::CancelToken::new();
+                    let (tx, rx) = std::sync::mpsc::channel();
+                    let runner = {
+                        let session = d.session();
+                        let token = token.clone();
+                        let tx = tx.clone();
+                        std::thread::spawn(move || {
+                            let mut s = session;
+                            s.conf_mut()
+                                .set(hdm_common::conf::KEY_EXEC_PIPELINED, pipelined);
+                            let out = s
+                                .execute_on_cancellable(tpch::queries::query(n), engine, &token)
+                                .map(|r| r.to_lines());
+                            if tx.send(out).is_err() {
+                                // Watchdog already gave up on this arm.
+                            }
+                        })
+                    };
+                    std::thread::sleep(Duration::from_micros(delay_us));
+                    token.cancel("chaos: seeded cancellation point");
+                    // Watchdog: a cooperative cancel must unwind promptly;
+                    // a hang here is exactly the regression this smoke exists
+                    // to catch.
+                    let outcome = rx.recv_timeout(Duration::from_secs(60));
+                    match outcome {
+                        Ok(Ok(lines)) if normalize(lines.clone()) == baseline => completed += 1,
+                        Ok(Ok(_)) => {
+                            log.warn(&format!("{arm}: completed-under-cancel run DIVERGED"));
+                            failures += 1;
+                        }
+                        Ok(Err(e)) if e.is_cancelled() => {
+                            cancelled += 1;
+                            // State check: a clean rerun after the cancel
+                            // must still match the baseline.
+                            match run(&d, &hdm_common::CancelToken::default()).map(normalize) {
+                                Ok(lines) if lines == baseline => {}
+                                Ok(_) => {
+                                    log.warn(&format!("{arm}: post-cancel rerun DIVERGED"));
+                                    failures += 1;
+                                }
+                                Err(e) => {
+                                    log.warn(&format!("{arm}: post-cancel rerun FAILED: {e}"));
+                                    failures += 1;
+                                }
+                            }
+                        }
+                        Ok(Err(e)) => {
+                            log.warn(&format!("{arm}: non-cancelled error under cancel: {e}"));
+                            failures += 1;
+                        }
+                        Err(_) => {
+                            log.warn(&format!("{arm}: HANG (no result within watchdog)"));
+                            failures += 1;
+                            // Leak the runner thread: joining a hung arm
+                            // would hang the smoke itself.
+                            continue;
+                        }
+                    }
+                    if runner.join().is_err() {
+                        log.warn(&format!("{arm}: runner thread panicked"));
+                        failures += 1;
+                    }
+                }
+            }
+        }
+        log.say(&format!(
+            "seed {seed}: {cancelled} arm(s) cancelled mid-flight, {completed} completed clean"
+        ));
+    }
+    failures
+}
+
 fn main() {
     let mut only: Vec<String> = Vec::new();
     let mut fault_seeds: Vec<u64> = Vec::new();
+    let mut cancel_mode = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -227,8 +363,9 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--cancel" => cancel_mode = true,
             "--help" | "-h" => {
-                println!("usage: repro_all [--only <substr>]... [--faults <seed>]...");
+                println!("usage: repro_all [--only <substr>]... [--faults <seed>]... [--cancel]");
                 return;
             }
             other => {
@@ -237,16 +374,29 @@ fn main() {
             }
         }
     }
+    if cancel_mode && fault_seeds.is_empty() {
+        eprintln!("--cancel requires at least one --faults <seed>");
+        std::process::exit(2);
+    }
     let (mut log, log_path) = RunLog::create();
     if !fault_seeds.is_empty() {
-        let failures = chaos_smoke(&fault_seeds, &mut log);
+        let failures = if cancel_mode {
+            cancel_chaos_smoke(&fault_seeds, &mut log)
+        } else {
+            chaos_smoke(&fault_seeds, &mut log)
+        };
+        let kind = if cancel_mode {
+            "cancellation chaos"
+        } else {
+            "chaos"
+        };
         if failures == 0 {
             log.say(&format!(
-                "\nchaos smoke passed: 22 queries x {} seed(s), all correct",
+                "\n{kind} smoke passed: 22 queries x {} seed(s), all correct",
                 fault_seeds.len()
             ));
         } else {
-            log.warn(&format!("\nchaos smoke: {failures} FAILURE(S)"));
+            log.warn(&format!("\n{kind} smoke: {failures} FAILURE(S)"));
             std::process::exit(1);
         }
         return;

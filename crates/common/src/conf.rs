@@ -112,6 +112,19 @@ pub const KEY_SERVER_RESULT_CACHE: &str = "hive.server.result.cache";
 /// Entry cap for the result cache (LRU beyond it). 0 disables result
 /// caching just like [`KEY_SERVER_RESULT_CACHE`] = false. Default 256.
 pub const KEY_SERVER_RESULT_CACHE_ENTRIES: &str = "hive.server.result.cache.entries";
+/// Per-query deadline in milliseconds: once a query has been running
+/// this long the server fires its [`crate::CancelToken`] and it unwinds
+/// with [`HdmError::Cancelled`]. 0 disables the deadline. Default 0.
+pub const KEY_QUERY_TIMEOUT_MS: &str = "hive.query.timeout.ms";
+/// Overload-shedding threshold in milliseconds: a queued request whose
+/// *projected* admission wait exceeds this bound is rejected early with
+/// [`HdmError::Overloaded`] instead of parking. 0 disables shedding.
+/// Default 0.
+pub const KEY_SERVER_SHED_WAIT_MS: &str = "hive.server.shed.queue.wait.ms";
+/// Consecutive-failure count at which an engine's circuit breaker opens
+/// and new queries flip to the fallback engine. 0 disables the breaker.
+/// Default 0.
+pub const KEY_SERVER_BREAKER_FAILURES: &str = "hive.server.breaker.failures";
 
 /// The parallelism strategy of Section IV-D.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -485,6 +498,55 @@ impl JobConf {
         Ok(v as usize)
     }
 
+    /// Per-query deadline in milliseconds; **0** (the default) turns the
+    /// deadline off entirely.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer
+    /// or is negative (a negative deadline would cancel every query
+    /// before it started; disable with 0 instead).
+    pub fn query_timeout_ms(&self) -> Result<u64> {
+        let v = self.get_i64(KEY_QUERY_TIMEOUT_MS, 0)?;
+        if v < 0 {
+            return Err(HdmError::Config(format!(
+                "{KEY_QUERY_TIMEOUT_MS}: expected a timeout >= 0 ms (0 = disabled), got {v}"
+            )));
+        }
+        Ok(v as u64)
+    }
+
+    /// Overload-shedding bound on projected queue wait, in milliseconds;
+    /// **0** (the default) turns shedding off.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer
+    /// or is negative.
+    pub fn server_shed_wait_ms(&self) -> Result<u64> {
+        let v = self.get_i64(KEY_SERVER_SHED_WAIT_MS, 0)?;
+        if v < 0 {
+            return Err(HdmError::Config(format!(
+                "{KEY_SERVER_SHED_WAIT_MS}: expected a wait bound >= 0 ms (0 = disabled), got {v}"
+            )));
+        }
+        Ok(v as u64)
+    }
+
+    /// Consecutive engine failures before the per-engine circuit breaker
+    /// opens; **0** (the default) turns the breaker off.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an integer
+    /// or is negative.
+    pub fn server_breaker_failures(&self) -> Result<u64> {
+        let v = self.get_i64(KEY_SERVER_BREAKER_FAILURES, 0)?;
+        if v < 0 {
+            return Err(HdmError::Config(format!(
+                "{KEY_SERVER_BREAKER_FAILURES}: expected a failure count >= 0 (0 = disabled), got {v}"
+            )));
+        }
+        Ok(v as u64)
+    }
+
     /// Iterate over all `(key, value)` entries in sorted key order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
         self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
@@ -760,6 +822,53 @@ mod tests {
             .unwrap_err()
             .message()
             .contains(">= 0"));
+    }
+
+    #[test]
+    fn lifecycle_knobs_default_to_disabled_sentinel() {
+        let c = JobConf::new();
+        assert_eq!(c.query_timeout_ms().unwrap(), 0);
+        assert_eq!(c.server_shed_wait_ms().unwrap(), 0);
+        assert_eq!(c.server_breaker_failures().unwrap(), 0);
+
+        // An explicit 0 is the documented "disabled" sentinel, not an error.
+        let c = JobConf::new()
+            .with(KEY_QUERY_TIMEOUT_MS, 0)
+            .with(KEY_SERVER_SHED_WAIT_MS, 0)
+            .with(KEY_SERVER_BREAKER_FAILURES, 0);
+        assert_eq!(c.query_timeout_ms().unwrap(), 0);
+        assert_eq!(c.server_shed_wait_ms().unwrap(), 0);
+        assert_eq!(c.server_breaker_failures().unwrap(), 0);
+
+        let c = JobConf::new()
+            .with(KEY_QUERY_TIMEOUT_MS, 30_000)
+            .with(KEY_SERVER_SHED_WAIT_MS, 750)
+            .with(KEY_SERVER_BREAKER_FAILURES, 3);
+        assert_eq!(c.query_timeout_ms().unwrap(), 30_000);
+        assert_eq!(c.server_shed_wait_ms().unwrap(), 750);
+        assert_eq!(c.server_breaker_failures().unwrap(), 3);
+    }
+
+    #[test]
+    fn lifecycle_knobs_out_of_range_are_errors() {
+        let c = JobConf::new().with(KEY_QUERY_TIMEOUT_MS, -1);
+        let err = c.query_timeout_ms().unwrap_err();
+        assert!(err.message().contains(KEY_QUERY_TIMEOUT_MS), "{err}");
+        assert!(err.message().contains(">= 0"), "{err}");
+        let c = JobConf::new().with(KEY_QUERY_TIMEOUT_MS, "forever");
+        assert!(c.query_timeout_ms().is_err());
+
+        let c = JobConf::new().with(KEY_SERVER_SHED_WAIT_MS, -250);
+        let err = c.server_shed_wait_ms().unwrap_err();
+        assert!(err.message().contains(KEY_SERVER_SHED_WAIT_MS), "{err}");
+        let c = JobConf::new().with(KEY_SERVER_SHED_WAIT_MS, "soon");
+        assert!(c.server_shed_wait_ms().is_err());
+
+        let c = JobConf::new().with(KEY_SERVER_BREAKER_FAILURES, -3);
+        let err = c.server_breaker_failures().unwrap_err();
+        assert!(err.message().contains(KEY_SERVER_BREAKER_FAILURES), "{err}");
+        let c = JobConf::new().with(KEY_SERVER_BREAKER_FAILURES, "few");
+        assert!(c.server_breaker_failures().is_err());
     }
 
     #[test]

@@ -39,6 +39,15 @@ pub enum HdmError {
     /// A bounded wait expired: a `recv`/`wait` with a deadline saw no
     /// matching message before `hive.ft.recv.timeout.ms` elapsed.
     Timeout(String),
+    /// The query was cooperatively cancelled (deadline, kill, server
+    /// shutdown). Deliberately distinct from every fault-retryable
+    /// variant: cancellation must never trigger the retry/fallback
+    /// machinery — the work is unwanted, not broken.
+    Cancelled(String),
+    /// The server shed the request before execution: the projected
+    /// queue wait exceeded `hive.server.shed.queue.wait.ms`, or an
+    /// engine circuit breaker had no healthy engine left.
+    Overloaded(String),
     /// Anything else.
     Other(String),
 }
@@ -59,8 +68,17 @@ impl HdmError {
             HdmError::Codec(_) => "codec",
             HdmError::RankFailed(_) => "rank-failed",
             HdmError::Timeout(_) => "timeout",
+            HdmError::Cancelled(_) => "cancelled",
+            HdmError::Overloaded(_) => "overloaded",
             HdmError::Other(_) => "other",
         }
+    }
+
+    /// Is this a cooperative cancellation? Retry supervisors and engine
+    /// fallback must treat cancellation as terminal, never as a fault to
+    /// recover from.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, HdmError::Cancelled(_))
     }
 
     /// The message carried by the error.
@@ -78,6 +96,8 @@ impl HdmError {
             | HdmError::Codec(m)
             | HdmError::RankFailed(m)
             | HdmError::Timeout(m)
+            | HdmError::Cancelled(m)
+            | HdmError::Overloaded(m)
             | HdmError::Other(m) => m,
         }
     }
@@ -122,12 +142,21 @@ mod tests {
             HdmError::Codec(String::new()),
             HdmError::RankFailed(String::new()),
             HdmError::Timeout(String::new()),
+            HdmError::Cancelled(String::new()),
+            HdmError::Overloaded(String::new()),
             HdmError::Other(String::new()),
         ];
         let mut tags: Vec<_> = all.iter().map(|e| e.subsystem()).collect();
         tags.sort_unstable();
         tags.dedup();
         assert_eq!(tags.len(), all.len());
+    }
+
+    #[test]
+    fn cancelled_is_terminal_not_retryable() {
+        assert!(HdmError::Cancelled("deadline".into()).is_cancelled());
+        assert!(!HdmError::Timeout("recv".into()).is_cancelled());
+        assert!(!HdmError::RankFailed("crash".into()).is_cancelled());
     }
 
     #[test]

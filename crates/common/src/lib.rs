@@ -37,6 +37,7 @@
 //! assert_eq!(row.get(0), &Value::Long(42));
 //! ```
 
+pub mod cancel;
 pub mod codec;
 pub mod conf;
 pub mod error;
@@ -47,6 +48,7 @@ pub mod sortkey;
 pub mod stats;
 pub mod value;
 
+pub use cancel::CancelToken;
 pub use conf::JobConf;
 pub use error::{HdmError, Result};
 pub use row::{Row, Schema};

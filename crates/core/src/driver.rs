@@ -19,6 +19,7 @@ use hdm_cluster::{simulate_datampi, simulate_hadoop, ClusterSpec, DataMpiSimOpti
 use hdm_common::conf::JobConf;
 use hdm_common::error::{HdmError, Result};
 use hdm_common::row::Row;
+use hdm_common::CancelToken;
 use hdm_dfs::{Dfs, DfsConfig, NodeId};
 use hdm_storage::format_for;
 use parking_lot::Mutex;
@@ -155,13 +156,31 @@ impl Driver {
     /// # Errors
     /// Parse/plan/execution failures.
     pub fn execute_on(&self, sql: &str, engine: EngineKind) -> Result<QueryResult> {
+        self.execute_on_cancellable(sql, engine, &CancelToken::default())
+    }
+
+    /// [`Driver::execute_on`] under a cooperative [`CancelToken`]: when
+    /// the token fires mid-flight the execution spine stops launching
+    /// stages, drains what is running, deletes any partial warehouse
+    /// output, and surfaces [`HdmError::Cancelled`]. The default token
+    /// never fires and costs one relaxed load per safe-point poll.
+    ///
+    /// # Errors
+    /// Parse/plan/execution failures, or [`HdmError::Cancelled`].
+    pub fn execute_on_cancellable(
+        &self,
+        sql: &str,
+        engine: EngineKind,
+        cancel: &CancelToken,
+    ) -> Result<QueryResult> {
         let stmts = parse_script(sql)?;
         if stmts.is_empty() {
             return Err(HdmError::Parse("empty statement".into()));
         }
         let mut last = QueryResult::default();
         for stmt in stmts {
-            last = self.run_statement(stmt, engine)?;
+            cancel.bail_if_cancelled()?;
+            last = self.run_statement(stmt, engine, cancel)?;
         }
         Ok(last)
     }
@@ -173,11 +192,16 @@ impl Driver {
     pub fn execute_script(&self, sql: &str, engine: EngineKind) -> Result<Vec<QueryResult>> {
         parse_script(sql)?
             .into_iter()
-            .map(|stmt| self.run_statement(stmt, engine))
+            .map(|stmt| self.run_statement(stmt, engine, &CancelToken::default()))
             .collect()
     }
 
-    fn run_statement(&self, stmt: Statement, engine: EngineKind) -> Result<QueryResult> {
+    fn run_statement(
+        &self,
+        stmt: Statement,
+        engine: EngineKind,
+        cancel: &CancelToken,
+    ) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable {
                 name,
@@ -209,6 +233,7 @@ impl Driver {
                         format: meta.format,
                     },
                     engine,
+                    cancel,
                 )?;
                 self.metastore.bump_version(&table);
                 Ok(QueryResult {
@@ -250,7 +275,7 @@ impl Driver {
                     .zip(last.out_types.iter().copied())
                     .collect();
                 self.metastore.create_table(&name, columns, format, false)?;
-                let stages = self.execute_plan(&plan, engine)?;
+                let stages = self.execute_plan(&plan, engine, cancel)?;
                 // The CTAS data landed after the create bumped the
                 // version; bump again so results cached against the
                 // still-empty table cannot survive.
@@ -262,7 +287,8 @@ impl Driver {
                 })
             }
             Statement::Select(query) => {
-                let (stages, collected) = self.run_select(&query, StageOutput::Collect, engine)?;
+                let (stages, collected) =
+                    self.run_select(&query, StageOutput::Collect, engine, cancel)?;
                 let (rows, columns) = collected
                     .ok_or_else(|| HdmError::Plan("collect sink returned no result rows".into()))?;
                 Ok(QueryResult {
@@ -282,13 +308,14 @@ impl Driver {
         query: &crate::ast::SelectStmt,
         sink: StageOutput,
         engine: EngineKind,
+        cancel: &CancelToken,
     ) -> Result<(Vec<StageResult>, Option<(Vec<Row>, Vec<String>)>)> {
         let qb = analyze(query, &self.metastore)?;
         let mut plan = plan_select(&qb, sink.clone())?;
         for stage in &mut plan.stages {
             crate::optimizer::optimize_stage(stage);
         }
-        let stages = self.execute_plan(&plan, engine)?;
+        let stages = self.execute_plan(&plan, engine, cancel)?;
         let collected = if matches!(sink, StageOutput::Collect) {
             let (last, last_plan) = match (stages.last(), plan.stages.last()) {
                 (Some(s), Some(p)) => (s, p),
@@ -310,6 +337,7 @@ impl Driver {
         &self,
         plan: &crate::physical::QueryPlan,
         engine: EngineKind,
+        cancel: &CancelToken,
     ) -> Result<Vec<StageResult>> {
         let query_id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
         // One obs handle per query, configured by the `hive.obs.*` knobs;
@@ -321,29 +349,43 @@ impl Driver {
         // storage reads see the same seeded schedule as the engines.
         let faults = hdm_faults::FaultPlan::from_conf(&self.conf, &obs)?;
         self.dfs.attach_faults(&faults);
-        let run = match self.run_plan_stages(plan, engine, query_id, &obs) {
+        let run = match self.run_plan_stages(plan, engine, query_id, &obs, cancel) {
             Ok(results) => Ok(results),
             // Task-level recovery inside the engine is exhausted. With
             // fault tolerance on, the driver re-runs the whole query
             // plan on the configured fallback engine (DataMPI jobs that
             // cannot recover fall back to the stock MapReduce path)
-            // instead of aborting the job.
-            Err(err) => match self
-                .fallback_engine(engine)?
-                .filter(|_| faults.is_enabled())
-            {
-                None => Err(err),
-                Some(fb) => {
-                    faults.note_fallback(engine.name(), fb.name());
-                    self.cleanup_partial_outputs(plan, query_id);
-                    let _fb_span = obs.span("driver", "recovery", "engine-fallback");
-                    self.run_plan_stages(plan, fb, query_id, &obs)
+            // instead of aborting the job. A *cancelled* query never
+            // falls back: the work is unwanted, not broken.
+            Err(err) => {
+                let fallback = self
+                    .fallback_engine(engine)?
+                    .filter(|_| faults.is_enabled() && !err.is_cancelled());
+                match fallback {
+                    None => Err(err),
+                    Some(fb) => {
+                        faults.note_fallback(engine.name(), fb.name());
+                        self.cleanup_partial_outputs(plan, query_id);
+                        let _fb_span = obs.span("driver", "recovery", "engine-fallback");
+                        self.run_plan_stages(plan, fb, query_id, &obs, cancel)
+                    }
                 }
-            },
+            }
         };
         // Disarm DFS fault injection before surfacing the outcome.
         self.dfs.attach_faults(&hdm_faults::FaultPlan::disabled());
-        let results = run?;
+        let results = match run {
+            Ok(results) => results,
+            Err(err) => {
+                if err.is_cancelled() {
+                    // No partial warehouse output may survive a cancelled
+                    // query: scrub scratch space and any half-written
+                    // table directories so a rerun starts clean.
+                    self.cleanup_partial_outputs(plan, query_id);
+                }
+                return Err(err);
+            }
+        };
         // Clean intermediate temp files (keep the final output).
         for stage in &plan.stages {
             if stage.output == StageOutput::Intermediate {
@@ -386,7 +428,7 @@ impl Driver {
                 stage.id
             )));
         }
-        let stages = self.execute_plan(plan, engine)?;
+        let stages = self.execute_plan(plan, engine, &CancelToken::default())?;
         let (rows, columns) = match (plan.stages.last(), stages.last()) {
             (Some(last_plan), Some(last)) if last_plan.output == StageOutput::Collect => (
                 read_seq_outputs(&self.dfs, &last.output_paths)?,
@@ -425,6 +467,7 @@ impl Driver {
         engine: EngineKind,
         query_id: u64,
         obs: &hdm_obs::ObsHandle,
+        cancel: &CancelToken,
     ) -> Result<Vec<StageResult>> {
         let threads = if self.conf.exec_parallel()? {
             self.conf.exec_parallel_threads()?
@@ -447,7 +490,7 @@ impl Driver {
         let intermediates: Mutex<HashMap<usize, Vec<String>>> = Mutex::new(HashMap::new());
         let dag_intermediates: Mutex<HashMap<usize, std::sync::Arc<Vec<Row>>>> =
             Mutex::new(HashMap::new());
-        crate::sched::run_dag_pipelined(&hard, &soft, threads, obs, |stage_id| {
+        crate::sched::run_dag_pipelined(&hard, &soft, threads, obs, cancel, |stage_id| {
             let stage = plan
                 .stages
                 .get(stage_id)
@@ -500,12 +543,22 @@ impl Driver {
                 out_stream: out_stream.clone(),
                 query_id,
                 obs: obs.clone(),
+                cancel: cancel.clone(),
             };
             let result = execute_stage(stage, &ctx);
             match &result {
                 Ok(_) => {
                     if let Some(out) = &out_stream {
                         out.finish();
+                    }
+                }
+                Err(e) if e.is_cancelled() => {
+                    // Cancelled stages move their stream to the
+                    // Cancelled terminal state, so a blocked consumer
+                    // unwinds as cancelled too instead of seeing a
+                    // fault-shaped upstream failure.
+                    if let Some(out) = &out_stream {
+                        out.cancel(e.message());
                     }
                 }
                 Err(e) => {

@@ -87,6 +87,11 @@ pub struct StageContext<'a> {
     /// counters, resource samples). Disabled handles cost one relaxed
     /// atomic load per instrumented site.
     pub obs: hdm_obs::ObsHandle,
+    /// Cooperative cancellation token threaded from the driver: task
+    /// loops poll it (one relaxed load) and unwind with
+    /// [`hdm_common::error::HdmError::Cancelled`] when it fires. The
+    /// default token never fires.
+    pub cancel: hdm_common::CancelToken,
 }
 
 /// Is the DAG execution mode active for this stage context?
@@ -475,6 +480,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             out_stream: ctx.out_stream.clone(),
         };
         let obs = ctx.obs.clone();
+        let cancel = ctx.cancel.clone();
         // Engine-matched track names so the pipeline span nests inside
         // the engine's own task span (Hadoop map task vs DataMPI O task).
         let op_track = match ctx.engine {
@@ -564,6 +570,9 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 emit(kv)
             };
             for row in rows {
+                // One relaxed load per row: the cooperative cancellation
+                // safe point inside the map pipeline.
+                cancel.bail_if_cancelled()?;
                 if let Some(f) = &input.filter {
                     if !f.eval_predicate(&row)? {
                         continue;
@@ -648,6 +657,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 .map(|a| a.has_distinct())
                 .unwrap_or(false);
         let obs = ctx.obs.clone();
+        let cancel = ctx.cancel.clone();
         let red_track = match ctx.engine {
             EngineKind::Hadoop => "R",
             EngineKind::DataMpi => "A",
@@ -666,6 +676,9 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                     ..
                 } => {
                     while let Some((_key, values)) = groups.next_group() {
+                        // Per-group cancellation safe point (one relaxed
+                        // load), mirroring the map pipeline's per-row poll.
+                        cancel.bail_if_cancelled()?;
                         let mut lefts = Vec::new();
                         let mut rights = Vec::new();
                         for v in values {
@@ -695,6 +708,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                         HdmError::Plan("aggregate stage without an aggregator".into())
                     })?;
                     while let Some((key, values)) = groups.next_group() {
+                        cancel.bail_if_cancelled()?;
                         let key_row = key_codec.decode_key(&key)?;
                         let mut states = agg.new_states();
                         for v in values {
@@ -717,6 +731,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 }
                 StageKind::Sort { limit, .. } => {
                     'outer: while let Some((_key, values)) = groups.next_group() {
+                        cancel.bail_if_cancelled()?;
                         for v in values {
                             rows_out.push(Row::decode(&mut v.clone())?);
                             if let Some(l) = limit {
@@ -786,6 +801,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             EngineKind::Hadoop => run_on_hadoop(
                 ctx.conf,
                 &ctx.obs,
+                &ctx.cancel,
                 map_tasks,
                 reduce_tasks,
                 comparator,
@@ -797,6 +813,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             EngineKind::DataMpi => run_on_datampi(
                 ctx.conf,
                 &ctx.obs,
+                &ctx.cancel,
                 map_tasks,
                 reduce_tasks,
                 comparator,
@@ -890,6 +907,7 @@ impl GroupSource for hdm_datampi::AContext {
 fn run_on_hadoop(
     conf: &JobConf,
     obs: &hdm_obs::ObsHandle,
+    cancel: &hdm_common::CancelToken,
     map_tasks: usize,
     reduce_tasks: usize,
     comparator: ComparatorRef,
@@ -906,6 +924,7 @@ fn run_on_hadoop(
         obs: obs.clone(),
         faults: hdm_faults::FaultPlan::from_conf(conf, obs)?,
         recovery: hdm_faults::RecoveryPolicy::from_conf(conf)?,
+        cancel: cancel.clone(),
     };
     let outcome = run_mapreduce(
         &config,
@@ -949,6 +968,7 @@ fn run_on_hadoop(
 fn run_on_datampi(
     conf: &JobConf,
     obs: &hdm_obs::ObsHandle,
+    cancel: &hdm_common::CancelToken,
     o_tasks: usize,
     a_tasks: usize,
     comparator: ComparatorRef,
@@ -973,6 +993,7 @@ fn run_on_datampi(
         obs: obs.clone(),
         faults: hdm_faults::FaultPlan::from_conf(conf, obs)?,
         recovery: hdm_faults::RecoveryPolicy::from_conf(conf)?,
+        cancel: cancel.clone(),
     };
     let outcome = run_bipartite(
         &config,
@@ -1065,7 +1086,9 @@ fn run_map_only(
                     };
                     match map_logic(i, &mut sink_err) {
                         Ok(()) => break,
-                        Err(_) if attempt + 1 < max_attempts => {
+                        // Cancellation is terminal, never a retryable fault:
+                        // replaying a cancelled attempt would fight the token.
+                        Err(e) if !e.is_cancelled() && attempt + 1 < max_attempts => {
                             faults.note_detected(hdm_faults::Site::MapTask);
                             faults.note_retry(hdm_faults::Site::MapTask);
                             let delay = recovery.backoff_delay(attempt);

@@ -43,6 +43,7 @@
 //! the sequential barrier loop runs unchanged.
 
 use hdm_common::error::{HdmError, Result};
+use hdm_common::CancelToken;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -65,10 +66,15 @@ type Deps = [Vec<usize>];
 ///   contains a cycle (nothing is executed in that case).
 /// - The error of a failed stage, after all in-flight stages have
 ///   drained. When several stages fail, the lowest-id failure wins.
+/// - [`HdmError::Cancelled`] if `cancel` fired: the dispatcher stops
+///   launching ready stages, drains everything in flight, and the
+///   cancellation shadows any stage error (a torn-down query must not
+///   look like a fault to the retry/fallback machinery).
 pub fn run_dag<T, F>(
     deps: &Deps,
     threads: usize,
     obs: &hdm_obs::ObsHandle,
+    cancel: &CancelToken,
     run: F,
 ) -> Result<Vec<T>>
 where
@@ -81,9 +87,9 @@ where
     }
     let inst = Instruments::new(obs);
     if threads <= 1 || shape.n == 1 {
-        run_sequential(shape, &inst, &run)
+        run_sequential(shape, &inst, cancel, &run)
     } else {
-        run_concurrent(shape, threads, &inst, &run)
+        run_concurrent(shape, threads, &inst, cancel, &run)
     }
 }
 
@@ -105,11 +111,14 @@ where
 ///   cycle (nothing is executed in that case).
 /// - The error of a failed stage, after all in-flight stages have
 ///   drained; the lowest-id failure wins.
+/// - [`HdmError::Cancelled`] if `cancel` fired (same drain semantics as
+///   [`run_dag`]; cancellation shadows stage errors).
 pub fn run_dag_pipelined<T, F>(
     hard: &Deps,
     soft: &Deps,
     threads: usize,
     obs: &hdm_obs::ObsHandle,
+    cancel: &CancelToken,
     run: F,
 ) -> Result<Vec<T>>
 where
@@ -136,9 +145,9 @@ where
     }
     let inst = Instruments::new(obs);
     if threads <= 1 || shape.n == 1 {
-        run_sequential(shape, &inst, &run)
+        run_sequential(shape, &inst, cancel, &run)
     } else {
-        run_concurrent_pipelined(shape.n, hard, soft, threads, &inst, &run)
+        run_concurrent_pipelined(shape.n, hard, soft, threads, &inst, cancel, &run)
     }
 }
 
@@ -215,6 +224,7 @@ fn run_concurrent_pipelined<T, F>(
     soft: &Deps,
     threads: usize,
     inst: &Instruments<'_>,
+    cancel: &CancelToken,
     run: &F,
 ) -> Result<Vec<T>>
 where
@@ -236,7 +246,13 @@ where
             scope.spawn(move || {
                 // hdm-allow(unbounded-blocking): in-process work queue; the dispatcher below provably closes it on exit
                 while let Ok((stage, ready_at)) = work_rx.recv() {
-                    let out = inst.run_stage(stage, ready_at, run);
+                    // Same drain rule as run_concurrent: a stage still in
+                    // the queue when the token fires never starts.
+                    let out = if cancel.is_cancelled() {
+                        Err(cancel.as_error())
+                    } else {
+                        inst.run_stage(stage, ready_at, run)
+                    };
                     if done_tx.send((stage, out)).is_err() {
                         return;
                     }
@@ -248,6 +264,11 @@ where
 
         let mut outstanding = 0usize;
         loop {
+            if failure.is_none() && cancel.is_cancelled() {
+                // Cancellation = drain mode: launch nothing further,
+                // keep retiring whatever is in flight below.
+                failure = Some((usize::MAX, cancel.as_error()));
+            }
             if failure.is_none() {
                 while let Some(Reverse(stage)) = ready.pop() {
                     if work_tx.send((stage, Instant::now())).is_err() {
@@ -308,6 +329,11 @@ where
         drop(work_tx);
     });
 
+    if cancel.is_cancelled() {
+        // Cancellation shadows whatever the stages returned: the caller
+        // must see a terminal Cancelled, never a retryable fault.
+        return Err(cancel.as_error());
+    }
     match failure {
         Some((_, err)) => Err(err),
         None => collect(results),
@@ -453,6 +479,7 @@ impl Instruments<'_> {
 fn run_sequential<T>(
     shape: Shape,
     inst: &Instruments<'_>,
+    cancel: &CancelToken,
     run: &(impl Fn(usize) -> Result<T> + ?Sized),
 ) -> Result<Vec<T>> {
     let mut ready = shape.roots();
@@ -463,6 +490,7 @@ fn run_sequential<T>(
     } = shape;
     let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
     while let Some(Reverse(stage)) = ready.pop() {
+        cancel.bail_if_cancelled()?;
         let value = inst.run_stage(stage, Instant::now(), run)?;
         if let Some(slot) = results.get_mut(stage) {
             *slot = Some(value);
@@ -486,6 +514,7 @@ fn run_concurrent<T, F>(
     shape: Shape,
     threads: usize,
     inst: &Instruments<'_>,
+    cancel: &CancelToken,
     run: &F,
 ) -> Result<Vec<T>>
 where
@@ -511,7 +540,14 @@ where
             scope.spawn(move || {
                 // hdm-allow(unbounded-blocking): in-process work queue; the dispatcher below provably closes it on exit
                 while let Ok((stage, ready_at)) = work_rx.recv() {
-                    let out = inst.run_stage(stage, ready_at, run);
+                    // The dispatcher queues every ready stage eagerly, so
+                    // "stop launching on cancel" is enforced here: a
+                    // queued-but-unstarted stage is retired untouched.
+                    let out = if cancel.is_cancelled() {
+                        Err(cancel.as_error())
+                    } else {
+                        inst.run_stage(stage, ready_at, run)
+                    };
                     if done_tx.send((stage, out)).is_err() {
                         return;
                     }
@@ -526,6 +562,11 @@ where
 
         let mut outstanding = 0usize;
         loop {
+            if failure.is_none() && cancel.is_cancelled() {
+                // Cancellation = drain mode: launch nothing further,
+                // keep retiring whatever is in flight below.
+                failure = Some((usize::MAX, cancel.as_error()));
+            }
             // Launch everything ready, unless a failure put the
             // scheduler into drain mode.
             if failure.is_none() {
@@ -569,6 +610,11 @@ where
         drop(work_tx); // close the queue: idle workers exit their loop
     });
 
+    if cancel.is_cancelled() {
+        // Cancellation shadows whatever the stages returned: the caller
+        // must see a terminal Cancelled, never a retryable fault.
+        return Err(cancel.as_error());
+    }
     match failure {
         Some((_, err)) => Err(err),
         None => collect(results),
@@ -603,11 +649,16 @@ mod tests {
         hdm_obs::ObsHandle::enabled_with_stride(1)
     }
 
+    /// A token that never fires — the no-cancellation default.
+    fn never() -> CancelToken {
+        CancelToken::default()
+    }
+
     /// Record execution order; return results = stage id * 10.
     fn traced(deps: &Deps, threads: usize) -> (Vec<usize>, Vec<usize>, hdm_obs::ObsSnapshot) {
         let order = Mutex::new(Vec::new());
         let o = obs();
-        let out = run_dag(deps, threads, &o, |stage| {
+        let out = run_dag(deps, threads, &o, &never(), |stage| {
             order.lock().push(stage);
             Ok(stage * 10)
         })
@@ -617,7 +668,7 @@ mod tests {
 
     #[test]
     fn empty_dag_is_empty() {
-        let r: Vec<usize> = run_dag(&[], 4, &obs(), Ok).unwrap();
+        let r: Vec<usize> = run_dag(&[], 4, &obs(), &never(), Ok).unwrap();
         assert!(r.is_empty());
     }
 
@@ -664,7 +715,7 @@ mod tests {
     fn cycle_is_a_plan_error_and_runs_nothing() {
         let ran = AtomicUsize::new(0);
         let deps = vec![vec![2], vec![0], vec![1]];
-        let err = run_dag(&deps, 4, &obs(), |s| {
+        let err = run_dag(&deps, 4, &obs(), &never(), |s| {
             ran.fetch_add(1, Ordering::Relaxed);
             Ok(s)
         })
@@ -673,13 +724,13 @@ mod tests {
         assert_eq!(ran.load(Ordering::Relaxed), 0);
 
         let self_dep = vec![vec![0]];
-        assert!(run_dag(&self_dep, 1, &obs(), Ok).is_err());
+        assert!(run_dag(&self_dep, 1, &obs(), &never(), Ok).is_err());
     }
 
     #[test]
     fn out_of_range_dep_is_a_plan_error() {
         let deps = vec![vec![7]];
-        let err = run_dag(&deps, 2, &obs(), Ok).unwrap_err();
+        let err = run_dag(&deps, 2, &obs(), &never(), Ok).unwrap_err();
         assert!(err.message().contains("unknown stage 7"), "{err}");
     }
 
@@ -689,7 +740,7 @@ mod tests {
         // above 1 (they genuinely overlap) and never exceed 3.
         let deps: Vec<Vec<usize>> = (0..6).map(|_| Vec::new()).collect();
         let o = obs();
-        run_dag(&deps, 3, &o, |s| {
+        run_dag(&deps, 3, &o, &never(), |s| {
             std::thread::sleep(Duration::from_millis(30));
             Ok(s)
         })
@@ -712,7 +763,7 @@ mod tests {
         let deps = vec![vec![], vec![], vec![], vec![0]];
         let finished = AtomicUsize::new(0);
         let started_child = AtomicUsize::new(0);
-        let err = run_dag(&deps, 4, &obs(), |s| match s {
+        let err = run_dag(&deps, 4, &obs(), &never(), |s| match s {
             0 => Err(HdmError::Plan("boom".into())),
             3 => {
                 started_child.fetch_add(1, Ordering::Relaxed);
@@ -742,12 +793,118 @@ mod tests {
     fn lowest_stage_id_failure_wins() {
         let deps = vec![vec![], vec![]];
         for threads in [1, 4] {
-            let err = run_dag(&deps, threads, &obs(), |s: usize| -> Result<usize> {
-                Err(HdmError::Plan(format!("fail{s}")))
-            })
+            let err = run_dag(
+                &deps,
+                threads,
+                &obs(),
+                &never(),
+                |s: usize| -> Result<usize> { Err(HdmError::Plan(format!("fail{s}"))) },
+            )
             .unwrap_err();
             assert!(err.message().contains("fail0"), "threads={threads}: {err}");
         }
+    }
+
+    #[test]
+    fn cancel_stops_launching_and_drains_in_flight() {
+        // Two slow independent roots hold both workers; two more stages
+        // wait in the ready heap. Firing the token mid-run must (a)
+        // surface Cancelled, (b) let the in-flight pair finish, and (c)
+        // never launch the still-queued pair.
+        let deps: Vec<Vec<usize>> = vec![vec![]; 4];
+        let token = CancelToken::new();
+        let finished = AtomicUsize::new(0);
+        let started_late = AtomicUsize::new(0);
+        let both_running = std::sync::Barrier::new(2);
+        let t = token.clone();
+        let err = run_dag(&deps, 2, &obs(), &token, |s| {
+            if s < 2 {
+                // Both workers are provably mid-stage before the token
+                // fires, so neither can be retired from the queue.
+                both_running.wait();
+                t.cancel("test kill");
+                std::thread::sleep(Duration::from_millis(30));
+                finished.fetch_add(1, Ordering::Relaxed);
+            } else {
+                started_late.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(s)
+        })
+        .unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
+        assert!(err.message().contains("test kill"), "{err}");
+        assert_eq!(
+            finished.load(Ordering::Relaxed),
+            2,
+            "in-flight stages must drain, not be abandoned"
+        );
+        assert_eq!(
+            started_late.load(Ordering::Relaxed),
+            0,
+            "ready-but-unlaunched stages must not start after cancel"
+        );
+    }
+
+    #[test]
+    fn cancel_shadows_stage_errors() {
+        // A stage failing *because* the query is being torn down must
+        // not leak its fault-shaped error past the scheduler.
+        let deps = vec![vec![], vec![]];
+        let token = CancelToken::new();
+        token.cancel("shutdown");
+        for threads in [1, 4] {
+            let err = run_dag(
+                &deps,
+                threads,
+                &obs(),
+                &token,
+                |s: usize| -> Result<usize> { Err(HdmError::Mpi(format!("rank {s} torn down"))) },
+            )
+            .unwrap_err();
+            assert!(err.is_cancelled(), "threads={threads}: {err}");
+        }
+    }
+
+    #[test]
+    fn pre_fired_token_runs_nothing_sequentially() {
+        let deps = vec![vec![], vec![0]];
+        let token = CancelToken::new();
+        token.cancel("dead on arrival");
+        let ran = AtomicUsize::new(0);
+        let err = run_dag(&deps, 1, &obs(), &token, |s| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            Ok(s)
+        })
+        .unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn pipelined_cancel_unwinds_without_hanging() {
+        // Soft producer/consumer pair: the consumer parks on a channel
+        // the producer only feeds after firing the token. Both drain;
+        // the scheduler reports Cancelled.
+        let (tx, rx) = crossbeam::channel::bounded::<()>(1);
+        let hard = vec![vec![], vec![]];
+        let soft = vec![vec![], vec![0]];
+        let token = CancelToken::new();
+        let t = token.clone();
+        let err = run_dag_pipelined(&hard, &soft, 2, &obs(), &token, |stage| {
+            match stage {
+                0 => {
+                    t.cancel("pipelined kill");
+                    tx.send(()).map_err(|e| HdmError::Plan(e.to_string()))?;
+                }
+                _ => {
+                    rx.recv_timeout(Duration::from_secs(5))
+                        .map_err(|e| HdmError::Plan(format!("producer never ran: {e:?}")))?;
+                }
+            }
+            Ok(stage)
+        })
+        .unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
     }
 
     #[test]
@@ -776,7 +933,7 @@ mod tests {
         let (ack_tx, ack_rx) = crossbeam::channel::bounded::<()>(1);
         let hard = vec![vec![], vec![]];
         let soft = vec![vec![], vec![0]];
-        let out = run_dag_pipelined(&hard, &soft, 2, &obs(), |stage| {
+        let out = run_dag_pipelined(&hard, &soft, 2, &obs(), &never(), |stage| {
             match stage {
                 0 => {
                     token_tx
@@ -806,7 +963,7 @@ mod tests {
         let order = Mutex::new(Vec::new());
         let hard = vec![vec![], vec![], vec![0]];
         let soft = vec![vec![], vec![0], vec![1]];
-        let out = run_dag_pipelined(&hard, &soft, 1, &obs(), |stage| {
+        let out = run_dag_pipelined(&hard, &soft, 1, &obs(), &never(), |stage| {
             order.lock().push(stage);
             Ok(stage)
         })
@@ -823,7 +980,7 @@ mod tests {
         let hard: Vec<Vec<usize>> = vec![vec![]; 4];
         let soft = vec![vec![], vec![0], vec![1], vec![2]];
         let o = obs();
-        let out = run_dag_pipelined(&hard, &soft, 4, &o, |stage| {
+        let out = run_dag_pipelined(&hard, &soft, 4, &o, &never(), |stage| {
             std::thread::sleep(Duration::from_millis(15));
             Ok(stage * 10)
         })
@@ -846,7 +1003,7 @@ mod tests {
         let hard = vec![vec![], vec![], vec![0]];
         let soft = vec![vec![], vec![0], vec![]];
         let started_hard_child = AtomicUsize::new(0);
-        let err = run_dag_pipelined(&hard, &soft, 2, &obs(), |stage| match stage {
+        let err = run_dag_pipelined(&hard, &soft, 2, &obs(), &never(), |stage| match stage {
             0 => Err(HdmError::Plan("producer boom".into())),
             2 => {
                 started_hard_child.fetch_add(1, Ordering::Relaxed);
@@ -865,7 +1022,7 @@ mod tests {
         let ran = AtomicUsize::new(0);
         let hard = vec![vec![1], vec![]];
         let soft = vec![vec![], vec![0]];
-        let err = run_dag_pipelined(&hard, &soft, 4, &obs(), |s| {
+        let err = run_dag_pipelined(&hard, &soft, 4, &obs(), &never(), |s| {
             ran.fetch_add(1, Ordering::Relaxed);
             Ok(s)
         })
@@ -873,7 +1030,8 @@ mod tests {
         assert!(err.message().contains("cycle"), "{err}");
         assert_eq!(ran.load(Ordering::Relaxed), 0);
 
-        let err = run_dag_pipelined(&[vec![]], &[], 4, &obs(), Ok::<usize, _>).unwrap_err();
+        let err =
+            run_dag_pipelined(&[vec![]], &[], 4, &obs(), &never(), Ok::<usize, _>).unwrap_err();
         assert!(err.message().contains("disagree"), "{err}");
     }
 
@@ -882,9 +1040,10 @@ mod tests {
         let deps = vec![vec![], vec![0], vec![0], vec![1, 2]];
         let empty: Vec<Vec<usize>> = vec![vec![]; 4];
         for threads in [1, 2, 8] {
-            let plain: Vec<usize> = run_dag(&deps, threads, &obs(), |s| Ok(s * 7)).unwrap();
+            let plain: Vec<usize> =
+                run_dag(&deps, threads, &obs(), &never(), |s| Ok(s * 7)).unwrap();
             let piped: Vec<usize> =
-                run_dag_pipelined(&deps, &empty, threads, &obs(), |s| Ok(s * 7)).unwrap();
+                run_dag_pipelined(&deps, &empty, threads, &obs(), &never(), |s| Ok(s * 7)).unwrap();
             assert_eq!(plain, piped, "threads={threads}");
         }
     }
@@ -893,7 +1052,7 @@ mod tests {
     fn disabled_obs_registers_no_gauge() {
         let o = hdm_obs::ObsHandle::disabled();
         let deps = vec![vec![], vec![0]];
-        let out: Vec<usize> = run_dag(&deps, 2, &o, Ok).unwrap();
+        let out: Vec<usize> = run_dag(&deps, 2, &o, &never(), Ok).unwrap();
         assert_eq!(out, vec![0, 1]);
         assert!(o.snapshot().gauges.is_empty());
         assert!(o.snapshot().spans.is_empty());

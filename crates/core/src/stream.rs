@@ -57,6 +57,10 @@ struct State {
     consumers: usize,
     finished: bool,
     failed: Option<String>,
+    /// Terminal cancelled state: distinct from `failed` so a blocked
+    /// peer unwinds with [`HdmError::Cancelled`] (never retried, never
+    /// fed to the fallback engine) instead of a fault-shaped error.
+    cancelled: Option<String>,
 }
 
 struct Inner {
@@ -94,6 +98,7 @@ impl StreamedIntermediate {
                     consumers: 0,
                     finished: false,
                     failed: None,
+                    cancelled: None,
                 }),
                 takers: Condvar::new(),
                 producers: Condvar::new(),
@@ -129,6 +134,9 @@ impl StreamedIntermediate {
     pub fn await_partitions(&self) -> Result<(usize, u64)> {
         let mut g = self.inner.state.lock();
         loop {
+            if let Some(reason) = &g.cancelled {
+                return Err(HdmError::Cancelled(reason.clone()));
+            }
             if let Some(msg) = &g.failed {
                 return Err(HdmError::DataMpi(format!(
                     "pipelined input {}: upstream failed: {msg}",
@@ -162,7 +170,8 @@ impl StreamedIntermediate {
         // slot that is already buffered, so it must never park (the
         // consumer it would wait on may be waiting on *it*).
         let mut waited = false;
-        while g.failed.is_none()
+        while g.cancelled.is_none()
+            && g.failed.is_none()
             && g.consumers > 0
             && g.buffered >= inner.cap
             && !g.slots.contains_key(&partition)
@@ -173,6 +182,9 @@ impl StreamedIntermediate {
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
             };
+        }
+        if let Some(reason) = &g.cancelled {
+            return Err(HdmError::Cancelled(reason.clone()));
         }
         if let Some(msg) = &g.failed {
             return Err(HdmError::DataMpi(format!(
@@ -241,6 +253,9 @@ impl StreamedIntermediate {
         let inner = &self.inner;
         let mut g = inner.state.lock();
         while !g.slots.contains_key(&partition) {
+            if let Some(reason) = &g.cancelled {
+                return Err(HdmError::Cancelled(reason.clone()));
+            }
             if let Some(msg) = &g.failed {
                 return Err(HdmError::DataMpi(format!(
                     "pipelined input {}: upstream failed: {msg}",
@@ -303,6 +318,22 @@ impl StreamedIntermediate {
         let mut g = self.inner.state.lock();
         if g.failed.is_none() {
             g.failed = Some(msg.to_string());
+        }
+        drop(g);
+        self.inner.takers.notify_all();
+        self.inner.producers.notify_all();
+    }
+
+    /// Move the stream to the `Cancelled` terminal state: every blocked
+    /// producer and consumer wakes with [`HdmError::Cancelled`]
+    /// (`reason`), and all further commits/takes bail immediately. Wins
+    /// over a concurrent `fail` — the cancellation check comes first in
+    /// every wait loop — so a query torn down mid-flight unwinds as
+    /// cancelled, not as a retryable fault.
+    pub fn cancel(&self, reason: &str) {
+        let mut g = self.inner.state.lock();
+        if g.cancelled.is_none() {
+            g.cancelled = Some(reason.to_string());
         }
         drop(g);
         self.inner.takers.notify_all();
@@ -450,6 +481,52 @@ mod tests {
         let s = StreamedIntermediate::new("stage2", 4, &obs());
         s.fail("boom");
         assert!(s.await_partitions().is_err());
+    }
+
+    #[test]
+    fn cancel_wakes_blocked_peers_into_cancelled_terminal_state() {
+        // A consumer parked in take() and a backpressured producer parked
+        // in commit() must both wake with HdmError::Cancelled — not hang,
+        // not see a fault-shaped error the retry machinery would chase.
+        let s = StreamedIntermediate::new("stage1", 1, &obs());
+        s.declare(3, 0);
+        s.attach();
+        s.commit(0, 0, rows(1)).unwrap();
+        let consumer = {
+            let s = s.clone();
+            std::thread::spawn(move || s.take(2))
+        };
+        let producer = {
+            let s = s.clone();
+            std::thread::spawn(move || s.commit(1, 0, rows(1)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!consumer.is_finished());
+        assert!(!producer.is_finished());
+        s.cancel("deadline exceeded");
+        let err = consumer.join().unwrap().unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
+        assert!(err.message().contains("deadline exceeded"), "{err}");
+        let err = producer.join().unwrap().unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
+        // Terminal: later traffic bails immediately, and await_partitions
+        // reports cancellation too.
+        assert!(s.commit(2, 0, rows(1)).unwrap_err().is_cancelled());
+        assert!(s.take(2).unwrap_err().is_cancelled());
+        assert!(s.await_partitions().unwrap_err().is_cancelled());
+        // Already-committed data stays takeable: cancellation interrupts
+        // waits, it does not eat delivered partitions.
+        assert!(s.take(0).is_ok());
+    }
+
+    #[test]
+    fn cancel_wins_over_concurrent_fail() {
+        let s = StreamedIntermediate::new("stage1", 4, &obs());
+        s.declare(1, 0);
+        s.fail("task exploded");
+        s.cancel("server shutdown");
+        let err = s.take(0).unwrap_err();
+        assert!(err.is_cancelled(), "cancel must shadow fail: {err}");
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub struct OContext {
     /// nothing on the per-record path.
     crash_countdown: Option<u64>,
     faults: FaultPlan,
+    /// Cooperative cancellation: polled once per `send` (one relaxed
+    /// atomic load, same discipline as the disabled-faults path).
+    cancel: hdm_common::CancelToken,
     // Registry handles fetched once at task setup; the per-record path
     // never touches them — only the flush branch does, behind one
     // relaxed `is_enabled` load.
@@ -73,8 +76,10 @@ impl OContext {
     ///
     /// # Errors
     /// [`HdmError::DataMpi`] if the shuffle engine died;
-    /// [`HdmError::RankFailed`] when an injected crash fires.
+    /// [`HdmError::RankFailed`] when an injected crash fires;
+    /// [`HdmError::Cancelled`] once the job's token fires.
     pub fn send(&mut self, kv: KvPair) -> Result<()> {
+        self.cancel.bail_if_cancelled()?;
         if let Some(countdown) = self.crash_countdown.as_mut() {
             if *countdown == 0 {
                 self.faults.note_injected(Site::OTask);
@@ -233,6 +238,7 @@ where
                 .faults
                 .is_enabled()
                 .then_some(config.recovery.recv_timeout),
+            cancel: config.cancel.clone(),
         },
     )?;
     let metrics = world.metrics();
@@ -358,6 +364,7 @@ fn run_o_rank<RO, RA>(
             job_start,
             crash_countdown: faults.crash_after(Site::OTask, rank, attempt),
             faults: faults.clone(),
+            cancel: config.cancel.clone(),
             obs_flushes: obs.counter("spl.flushes", &label),
             obs_flush_bytes: obs.counter("spl.flush.bytes", &label),
             obs_queue_wait: obs.timer("spl.queue.wait.us", &label, hdm_obs::TIMER_US_BUCKET),
@@ -365,14 +372,19 @@ fn run_o_rank<RO, RA>(
             obs_recycle_drops: obs.counter("spl.recycle.drops", &label),
         };
         let user = o_fn(rank, &mut ctx);
-        if user.is_err() && attempt + 1 < max_attempts {
+        // Cancellation is terminal: never burn recovery attempts (or
+        // backoff sleeps) replaying a cancelled split.
+        let retryable = user.as_ref().err().is_some_and(|e| !e.is_cancelled());
+        if retryable && attempt + 1 < max_attempts {
             // Roll the attempt: A tasks discard this attempt's partial
             // stream, we back off, then replay the split.
             if ctx.queue.send(SendCmd::Abort).is_err() {
                 break (user, Ok(()), ctx.stats); // shuffle engine died
             }
             faults.note_retry(Site::OTask);
-            let delay = config.recovery.backoff_delay(attempt);
+            let delay = config
+                .recovery
+                .backoff_delay_jittered(attempt, (rank as u64) | (2 << 32));
             attempt += 1;
             std::thread::sleep(delay);
             faults.observe_backoff(Site::OTask, delay);
@@ -516,12 +528,15 @@ fn run_a_attempts<RA>(
         match user {
             Ok(v) => return Ok(v),
             Err(e) => {
-                if !more_attempts {
+                // A cancelled attempt is terminal, not a fault.
+                if !more_attempts || e.is_cancelled() {
                     return Err(e);
                 }
                 faults.note_detected(Site::ATask);
                 faults.note_retry(Site::ATask);
-                let delay = config.recovery.backoff_delay(attempt);
+                let delay = config
+                    .recovery
+                    .backoff_delay_jittered(attempt, (a_rank as u64) | (3 << 32));
                 attempt += 1;
                 std::thread::sleep(delay);
                 faults.observe_backoff(Site::ATask, delay);

@@ -132,6 +132,12 @@ pub struct DataMpiConfig {
     /// Retry/backoff/timeout policy used when [`Self::faults`] is
     /// enabled (and for real failures once detection is armed).
     pub recovery: hdm_faults::RecoveryPolicy,
+    /// Cooperative cancellation token. O/A supervisors poll it between
+    /// attempts and the shuffle layer polls it per receive slice (one
+    /// relaxed load); a fired token unwinds the bipartite job with a
+    /// terminal `Cancelled` error without poisoning sibling endpoints.
+    /// Defaults to a token that never fires.
+    pub cancel: hdm_common::CancelToken,
 }
 
 impl Default for DataMpiConfig {
@@ -147,6 +153,7 @@ impl Default for DataMpiConfig {
             obs: hdm_obs::ObsHandle::default(),
             faults: hdm_faults::FaultPlan::disabled(),
             recovery: hdm_faults::RecoveryPolicy::default(),
+            cancel: hdm_common::CancelToken::default(),
         }
     }
 }

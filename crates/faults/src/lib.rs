@@ -383,6 +383,29 @@ impl RecoveryPolicy {
         let shifted = self.backoff_base * (1u32 << attempt.min(BACKOFF_MAX_SHIFT));
         shifted.min(BACKOFF_CAP)
     }
+
+    /// [`Self::backoff_delay`] with seed-deterministic jitter, so tasks
+    /// that fail together do not all retry on the same beat. `key` mixes
+    /// in whatever identifies the retrier (fault seed, site, rank); the
+    /// same `(key, attempt)` always draws the same delay, keeping chaos
+    /// runs replayable. The jittered delay lands in
+    /// `[backoff_delay / 2, backoff_delay]`: staggered, but never past
+    /// the pinned schedule bound.
+    pub fn backoff_delay_jittered(&self, attempt: u32, key: u64) -> Duration {
+        let full = self.backoff_delay(attempt);
+        let micros = full.as_micros() as u64;
+        if micros < 2 {
+            return full;
+        }
+        // splitmix64 finalizer over (key, attempt) — no wall clock, no
+        // shared RNG state.
+        let mut z = key.wrapping_add((u64::from(attempt) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let span = micros / 2;
+        Duration::from_micros(micros - span + z % (span + 1))
+    }
 }
 
 #[cfg(test)]
@@ -491,6 +514,40 @@ mod tests {
             ..RecoveryPolicy::default()
         };
         assert_eq!(big.backoff_delay(4), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let pol = RecoveryPolicy {
+            backoff_base: Duration::from_millis(10),
+            ..RecoveryPolicy::default()
+        };
+        let mut diverged = false;
+        for attempt in 0..8u32 {
+            let full = pol.backoff_delay(attempt);
+            for key in 0..64u64 {
+                let d = pol.backoff_delay_jittered(attempt, key);
+                // Replayable: the same (key, attempt) draws the same delay.
+                assert_eq!(d, pol.backoff_delay_jittered(attempt, key));
+                // Bounded: staggered within [full/2, full], never past the
+                // pinned exponential schedule.
+                assert!(d <= full, "attempt {attempt} key {key}: {d:?} > {full:?}");
+                assert!(
+                    d >= full / 2,
+                    "attempt {attempt} key {key}: {d:?} < {:?}",
+                    full / 2
+                );
+                if d != pol.backoff_delay_jittered(attempt, key + 1) {
+                    diverged = true;
+                }
+            }
+        }
+        assert!(diverged, "jitter never separated any two keys");
+        let zero = RecoveryPolicy {
+            backoff_base: Duration::ZERO,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(zero.backoff_delay_jittered(3, 9), Duration::ZERO);
     }
 
     #[test]

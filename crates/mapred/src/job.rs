@@ -26,6 +26,9 @@ pub struct MapContext {
     /// next `collect`. Always `None` when fault injection is off.
     crash_countdown: Option<u64>,
     faults: FaultPlan,
+    /// Cooperative cancellation: polled once per `collect` (one relaxed
+    /// atomic load, same discipline as the disabled-faults path).
+    cancel: hdm_common::CancelToken,
 }
 
 impl std::fmt::Debug for MapContext {
@@ -53,8 +56,9 @@ impl MapContext {
     /// # Errors
     /// [`HdmError::MapRed`] if the partitioner routes the key outside
     /// `0..num_reducers`; [`HdmError::RankFailed`] when an injected
-    /// crash fires.
+    /// crash fires; [`HdmError::Cancelled`] once the job's token fires.
     pub fn collect(&mut self, kv: KvPair) -> Result<()> {
+        self.cancel.bail_if_cancelled()?;
         if let Some(countdown) = self.crash_countdown.as_mut() {
             if *countdown == 0 {
                 self.faults.note_injected(Site::MapTask);
@@ -220,12 +224,16 @@ where
                     job_start,
                     crash_countdown: faults.crash_after(Site::MapTask, rank, attempt),
                     faults: faults.clone(),
+                    cancel: config.cancel.clone(),
                 };
                 let user = map_fn(rank, &mut ctx);
-                if user.is_err() && attempt + 1 < max_attempts {
+                // Cancellation is terminal: never burn recovery attempts
+                // (or backoff sleeps) replaying a cancelled task.
+                let retryable = user.as_ref().err().is_some_and(|e| !e.is_cancelled());
+                if retryable && attempt + 1 < max_attempts {
                     faults.note_detected(Site::MapTask);
                     faults.note_retry(Site::MapTask);
-                    let delay = config.recovery.backoff_delay(attempt);
+                    let delay = config.recovery.backoff_delay_jittered(attempt, rank as u64);
                     attempt += 1;
                     std::thread::sleep(delay);
                     faults.observe_backoff(Site::MapTask, delay);
@@ -272,6 +280,9 @@ where
     if let Some(e) = first_err {
         return Err(e);
     }
+    // Wave boundary safe point: a token fired late in the map wave must
+    // not launch the reduce wave at all.
+    config.cancel.bail_if_cancelled()?;
 
     // ---- Reduce wave ----------------------------------------------------
     let maps = config.map_tasks;
@@ -374,12 +385,14 @@ where
                 match res {
                     Ok(v) => break Ok(v),
                     Err(e) => {
-                        if !more_attempts {
+                        // A cancelled attempt is terminal, not a fault.
+                        if !more_attempts || e.is_cancelled() {
                             break Err(e);
                         }
                         faults.note_detected(Site::ReduceTask);
                         faults.note_retry(Site::ReduceTask);
-                        let delay = recovery.backoff_delay(attempt);
+                        let delay =
+                            recovery.backoff_delay_jittered(attempt, (rank as u64) | (1 << 32));
                         attempt += 1;
                         std::thread::sleep(delay);
                         faults.observe_backoff(Site::ReduceTask, delay);

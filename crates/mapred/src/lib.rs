@@ -99,6 +99,11 @@ pub struct MapRedConfig {
     pub faults: hdm_faults::FaultPlan,
     /// Retry/backoff policy for failed task attempts.
     pub recovery: hdm_faults::RecoveryPolicy,
+    /// Cooperative cancellation token. Task supervisors poll it between
+    /// waves and attempts (one relaxed load); a fired token makes every
+    /// in-flight attempt bail with a terminal, non-retryable
+    /// `Cancelled` error. Defaults to a token that never fires.
+    pub cancel: hdm_common::CancelToken,
 }
 
 impl Default for MapRedConfig {
@@ -112,6 +117,7 @@ impl Default for MapRedConfig {
             obs: hdm_obs::ObsHandle::default(),
             faults: hdm_faults::FaultPlan::disabled(),
             recovery: hdm_faults::RecoveryPolicy::default(),
+            cancel: hdm_common::CancelToken::default(),
         }
     }
 }

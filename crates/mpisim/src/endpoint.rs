@@ -83,6 +83,10 @@ pub struct Endpoint {
     /// Default deadline applied by blocking `recv`/`wait`; `None` blocks
     /// forever (the pre-fault-tolerance semantics).
     recv_timeout: Option<Duration>,
+    /// Cooperative cancellation, polled once per blocking-wait slice. A
+    /// fired token interrupts `recv`/`wait_send` with `Cancelled`; it
+    /// never poisons, so sibling queries sharing the process stay clean.
+    cancel: hdm_common::CancelToken,
     /// Messages handed to `isend` so far; keys the fault plan's
     /// per-message drop/delay decisions.
     send_seq: u64,
@@ -109,6 +113,7 @@ impl Endpoint {
         poisoned: Arc<Vec<AtomicBool>>,
         faults: FaultPlan,
         recv_timeout: Option<Duration>,
+        cancel: hdm_common::CancelToken,
     ) -> Endpoint {
         Endpoint {
             rank,
@@ -121,6 +126,7 @@ impl Endpoint {
             poisoned,
             faults,
             recv_timeout,
+            cancel,
             send_seq: 0,
         }
     }
@@ -276,6 +282,9 @@ impl Endpoint {
     pub fn wait_send(&mut self, req: &mut SendRequest) -> Result<()> {
         let deadline = self.recv_timeout.map(|t| Instant::now() + t);
         while !req.is_done() {
+            // Cancelled queries stop waiting for channel room; the token
+            // outranks the deadline and never poisons the endpoint.
+            self.cancel.bail_if_cancelled()?;
             if self.progress() == 0 {
                 if let Some(d) = deadline {
                     if Instant::now() >= d {
@@ -357,6 +366,10 @@ impl Endpoint {
                     return Ok(msg);
                 }
             }
+            // A fired token interrupts the wait before the deadline and
+            // without touching poison flags: cancellation must tear down
+            // only this query's world, never a sibling's.
+            self.cancel.bail_if_cancelled()?;
             // A poisoned source can never deliver the awaited message:
             // fail fast rather than waiting out the deadline.
             if let Some(s) = src {

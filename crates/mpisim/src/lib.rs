@@ -89,6 +89,13 @@ pub struct WorldConfig {
     /// layers set it from `hive.ft.recv.timeout.ms` so a crashed peer
     /// surfaces as [`HdmError::Timeout`] instead of a hang.
     pub recv_timeout: Option<Duration>,
+    /// Cooperative cancellation token. Blocking `recv`/`wait` calls poll
+    /// it once per progress slice (one relaxed atomic load) and return
+    /// [`HdmError::Cancelled`](hdm_common::error::HdmError::Cancelled)
+    /// when it fires — *without* poisoning any endpoint, so a cancelled
+    /// query tears down its world while sibling queries sharing the
+    /// process stay healthy. Defaults to a token that never fires.
+    pub cancel: hdm_common::CancelToken,
 }
 
 impl Default for WorldConfig {
@@ -98,6 +105,7 @@ impl Default for WorldConfig {
             obs: hdm_obs::ObsHandle::default(),
             faults: hdm_faults::FaultPlan::default(),
             recv_timeout: None,
+            cancel: hdm_common::CancelToken::default(),
         }
     }
 }
@@ -112,6 +120,7 @@ pub struct World {
     poisoned: Arc<Vec<AtomicBool>>,
     faults: hdm_faults::FaultPlan,
     recv_timeout: Option<Duration>,
+    cancel: hdm_common::CancelToken,
 }
 
 impl std::fmt::Debug for World {
@@ -151,6 +160,7 @@ impl World {
             poisoned: Arc::new((0..size).map(|_| AtomicBool::new(false)).collect()),
             faults: config.faults,
             recv_timeout: config.recv_timeout,
+            cancel: config.cancel,
         })
     }
 
@@ -187,6 +197,7 @@ impl World {
             Arc::clone(&self.poisoned),
             self.faults.clone(),
             self.recv_timeout,
+            self.cancel.clone(),
         )
     }
 
@@ -601,6 +612,42 @@ mod tests {
             }
         });
         assert_eq!(out[1], expected);
+    }
+
+    #[test]
+    fn cancel_interrupts_blocked_recv_without_poisoning() {
+        let cancel = hdm_common::CancelToken::default();
+        let world = World::new(
+            2,
+            WorldConfig {
+                // A long deadline: the token must beat it.
+                recv_timeout: Some(Duration::from_secs(30)),
+                cancel: cancel.clone(),
+                ..WorldConfig::default()
+            },
+        )
+        .unwrap();
+        let out = world.run(move |mut ep| {
+            if ep.rank() == 0 {
+                // Never send; fire the token instead of crashing.
+                std::thread::sleep(Duration::from_millis(10));
+                cancel.cancel("query abandoned");
+                String::new()
+            } else {
+                let start = std::time::Instant::now();
+                let err = ep.recv(Some(0), Some(crate::Tag(1))).unwrap_err();
+                assert!(
+                    start.elapsed() < Duration::from_secs(5),
+                    "cancel took the slow path"
+                );
+                // Interrupted, not poisoned: sibling queries sharing the
+                // process must see clean endpoints.
+                assert!(!ep.is_poisoned(0));
+                assert!(!ep.is_poisoned(1));
+                err.subsystem().to_string()
+            }
+        });
+        assert_eq!(out[1], "cancelled");
     }
 
     #[test]

@@ -15,9 +15,11 @@
 //!   own queries keep their submission order.
 
 use hdm_common::error::{HdmError, Result};
+use hdm_common::CancelToken;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::{Arc, Condvar};
+use std::time::{Duration, Instant};
 
 #[derive(Debug, Default)]
 struct GateState {
@@ -33,6 +35,14 @@ struct GateState {
     rr: VecDeque<String>,
     /// Tickets dispatched but not yet observed by their waiter.
     granted: BTreeSet<u64>,
+    /// Shutdown phase 1: new arrivals are rejected; parked waiters keep
+    /// draining normally.
+    closing: bool,
+    /// Shutdown phase 2 (drain window exceeded): every remaining waiter
+    /// is being rejected. A permit dropped now must NOT re-dispatch —
+    /// a grant handed to a waiter that bails would leak its running
+    /// slot and wedge the gate just short of idle.
+    expelled: bool,
 }
 
 impl GateState {
@@ -119,7 +129,13 @@ impl Drop for Permit {
         self.released = true;
         let mut state = self.gate.state.lock();
         state.running = state.running.saturating_sub(1);
-        state.dispatch(self.gate.pool);
+        // Once waiters are being expelled, a freed slot must not be
+        // re-dispatched: the grant would land on a waiter that is about
+        // to reject itself, leaking the running slot forever and leaving
+        // the gate permanently one short of idle.
+        if !state.expelled {
+            state.dispatch(self.gate.pool);
+        }
         self.gate.cv.notify_all();
     }
 }
@@ -152,10 +168,28 @@ impl AdmissionGate {
     /// reject immediately when the wait queue is full.
     ///
     /// # Errors
-    /// [`HdmError::Other`] when `queue_max` queries are already waiting.
+    /// [`HdmError::Other`] when `queue_max` queries are already waiting;
+    /// [`HdmError::Cancelled`] when the gate is closing.
     pub fn admit(&self, tenant: &str) -> Result<Permit> {
+        self.admit_cancellable(tenant, &CancelToken::default())
+    }
+
+    /// [`AdmissionGate::admit`] bounded by a cancellation token: a query
+    /// whose token fires while parked in the wait queue gives its ticket
+    /// back and returns `Cancelled` instead of waiting for a permit it
+    /// no longer wants.
+    ///
+    /// # Errors
+    /// As [`AdmissionGate::admit`], plus [`HdmError::Cancelled`] when
+    /// `cancel` fires mid-wait (or the gate expels its waiters).
+    pub fn admit_cancellable(&self, tenant: &str, cancel: &CancelToken) -> Result<Permit> {
         let shared = &self.inner;
         let mut state = shared.state.lock();
+        if state.closing {
+            return Err(HdmError::Cancelled(
+                "admission closed (server shutting down)".to_string(),
+            ));
+        }
         let depth_at_arrival = state.waiting;
         let ticket = state.next_ticket;
         state.next_ticket += 1;
@@ -187,10 +221,13 @@ impl AdmissionGate {
             )));
         }
         loop {
+            // The short timeout doubles as the cancellation poll period
+            // for parked waiters (queued queries hold no thread that
+            // could poll the token otherwise).
             // hdm-allow(blocking-under-lock): condvar wait — the guard is released while parked and reacquired on wake
-            state = match shared.cv.wait(state) {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
+            state = match shared.cv.wait_timeout(state, Duration::from_millis(2)) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
             };
             if state.granted.remove(&ticket) {
                 return Ok(Permit {
@@ -200,7 +237,65 @@ impl AdmissionGate {
                     released: false,
                 });
             }
+            if cancel.is_cancelled() || state.expelled {
+                // The grant check above ran under this same lock, so the
+                // ticket is provably still queued (not granted): abandon
+                // cleanly — no running slot was taken on our behalf.
+                state.abandon(tenant, ticket);
+                return Err(if cancel.is_cancelled() {
+                    cancel.as_error()
+                } else {
+                    HdmError::Cancelled(
+                        "admission wait expelled (server drain window exceeded)".to_string(),
+                    )
+                });
+            }
         }
+    }
+
+    /// Shutdown phase 1: reject new arrivals. Parked waiters keep
+    /// draining through the pool normally.
+    pub fn close(&self) {
+        self.inner.state.lock().closing = true;
+        self.inner.cv.notify_all();
+    }
+
+    /// Whether [`AdmissionGate::close`] was called.
+    pub fn is_closing(&self) -> bool {
+        self.inner.state.lock().closing
+    }
+
+    /// Shutdown phase 2: reject every parked waiter. Returns how many
+    /// waiters were expelled. From this point a dropped permit no longer
+    /// re-dispatches (see [`Permit`]'s drop).
+    pub fn expel_waiters(&self) -> usize {
+        let mut state = self.inner.state.lock();
+        state.closing = true;
+        state.expelled = true;
+        let expelled = state.waiting;
+        self.inner.cv.notify_all();
+        expelled
+    }
+
+    /// Block until the gate is idle (nothing running, nothing waiting)
+    /// or `timeout` elapses. Returns whether idle was reached.
+    pub fn await_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let shared = &self.inner;
+        let mut state = shared.state.lock();
+        while state.running > 0 || state.waiting > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let step = left.min(Duration::from_millis(5));
+            // hdm-allow(blocking-under-lock): condvar wait — the guard is released while parked and reacquired on wake
+            state = match shared.cv.wait_timeout(state, step) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+        true
     }
 }
 
@@ -290,6 +385,83 @@ mod tests {
         assert!(err.message().contains("admission rejected"), "{err}");
         drop(running);
         parked.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn cancelled_waiter_returns_its_ticket_and_errors_cancelled() {
+        let gate = AdmissionGate::new(1, 8);
+        let runner = gate.admit("a").unwrap();
+        let token = CancelToken::new();
+        let waiter = {
+            let (gate, token) = (gate.clone(), token.clone());
+            std::thread::spawn(move || gate.admit_cancellable("a", &token).map(drop))
+        };
+        while gate.queue_depth() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        token.cancel("caller gave up");
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
+        // The abandoned ticket must not linger in the queue.
+        assert_eq!(gate.queue_depth(), 0);
+        drop(runner);
+        assert_eq!(gate.running(), 0);
+    }
+
+    #[test]
+    fn close_rejects_new_arrivals_but_drains_parked_waiters() {
+        let gate = AdmissionGate::new(1, 8);
+        let runner = gate.admit("a").unwrap();
+        let waiter = {
+            let gate = gate.clone();
+            std::thread::spawn(move || gate.admit("a").map(drop))
+        };
+        while gate.queue_depth() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        gate.close();
+        let err = gate.admit("b").unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
+        // Phase 1 is drain, not expel: the parked waiter still gets the
+        // freed slot and completes normally.
+        drop(runner);
+        waiter.join().unwrap().unwrap();
+        assert!(gate.await_idle(Duration::from_secs(2)));
+    }
+
+    #[test]
+    fn permit_drop_during_expulsion_does_not_leak_the_running_slot() {
+        // The shutdown race: a permit released while waiters are being
+        // expelled must NOT re-dispatch its slot. If it did, the grant
+        // would land on a waiter that is rejecting itself, the running
+        // count would stay at 1 forever, and the gate would never idle.
+        let gate = AdmissionGate::new(1, 8);
+        let runner = gate.admit("a").unwrap();
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let gate = gate.clone();
+                std::thread::spawn(move || gate.admit("a").map(drop))
+            })
+            .collect();
+        while gate.queue_depth() < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(gate.expel_waiters(), 3);
+        // Release the running permit while the expelled waiters race to
+        // reject themselves.
+        drop(runner);
+        for w in waiters {
+            let err = w.join().unwrap().unwrap_err();
+            assert!(err.is_cancelled(), "{err}");
+        }
+        assert!(
+            gate.await_idle(Duration::from_secs(2)),
+            "gate must reach idle: running={} waiting={}",
+            gate.running(),
+            gate.queue_depth()
+        );
+        assert_eq!(gate.running(), 0);
+        assert_eq!(gate.queue_depth(), 0);
     }
 
     #[test]

@@ -356,7 +356,7 @@ proptest! {
         for threads in [1usize, 2, 8] {
             let obs = ObsHandle::enabled_with_stride(1);
             let events: Mutex<Vec<Ev>> = Mutex::new(Vec::new());
-            let out = run_dag(&deps, threads, &obs, |stage| {
+            let out = run_dag(&deps, threads, &obs, &hdm_common::CancelToken::default(), |stage| {
                 events.lock().unwrap().push(Ev::Start(stage));
                 // A touch of work so schedules genuinely interleave.
                 std::thread::yield_now();
