@@ -228,6 +228,9 @@ pub fn scope_for(rel: &str) -> FileScope {
             || rel.ends_with("crates/core/src/driver.rs")
             || rel.ends_with("crates/core/src/sched.rs")
             || rel.ends_with("crates/core/src/stream.rs")
+            // PR 10: the vectorized kernels run per batch on the scan
+            // hot path — a panic there takes down a map task.
+            || rel.ends_with("crates/core/src/batch.rs")
             || rel.ends_with("crates/common/src/sortkey.rs")
             || rel.ends_with("crates/common/src/stats.rs"),
         mpisim: in_dir("crates/mpisim/src/"),
@@ -705,6 +708,11 @@ pub fn f(v: &[u8]) -> u8 {
         // Fault-plan decisions run inside send/recv loops and recovery
         // supervisors — a panic there defeats the recovery machinery.
         assert!(check_source("crates/faults/src/lib.rs", src)
+            .iter()
+            .any(|d| d.rule == rules::no_panic::ID));
+        // The vectorized kernels run once per 1024-row batch on every
+        // columnar scan — a panic there takes down the map task.
+        assert!(check_source("crates/core/src/batch.rs", src)
             .iter()
             .any(|d| d.rule == rules::no_panic::ID));
         // The stage scheduler dispatches every query's stages; a panic

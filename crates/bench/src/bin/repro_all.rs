@@ -177,6 +177,15 @@ fn chaos_smoke(seeds: &[u64], log: &mut RunLog) -> usize {
         log.warn(&format!("tpch load failed: {e}"));
         return 1;
     }
+    // Vectorized arm: the batched columnar read path shares
+    // `dfs.read_range` with the row path, so storage faults must be
+    // survivable there too — and with identical results whether the
+    // batch kernels are on or off.
+    let mut orc = Driver::in_memory();
+    if let Err(e) = tpch::load(&mut orc, 0.002, 20150701, FormatKind::Orc) {
+        log.warn(&format!("tpch orc load failed: {e}"));
+        return 1;
+    }
     let mut failures = 0usize;
     for &seed in seeds {
         log.say(&format!(
@@ -211,6 +220,50 @@ fn chaos_smoke(seeds: &[u64], log: &mut RunLog) -> usize {
                 }
             }
         }
+        log.say(&format!(
+            "---- vectorized (ORC) arm, fault seed {seed} ----"
+        ));
+        for n in tpch::queries::all() {
+            let c = orc.conf_mut();
+            c.set(hdm_common::conf::KEY_FT_ENABLED, false);
+            c.set(hdm_common::conf::KEY_VECTORIZED, true);
+            let clean = match orc.execute_on(tpch::queries::query(n), EngineKind::DataMpi) {
+                Ok(r) => normalize(r.to_lines()),
+                Err(e) => {
+                    log.warn(&format!("Q{n} (orc) FAILED fault-free: {e}"));
+                    failures += 1;
+                    continue;
+                }
+            };
+            for vectorized in [true, false] {
+                let c = orc.conf_mut();
+                c.set(hdm_common::conf::KEY_FT_ENABLED, true);
+                c.set(hdm_common::conf::KEY_FT_SEED, seed);
+                c.set(hdm_common::conf::KEY_FT_BACKOFF_BASE_MS, 1);
+                c.set(hdm_common::conf::KEY_FT_RECV_TIMEOUT_MS, 400);
+                c.set(hdm_common::conf::KEY_VECTORIZED, vectorized);
+                match orc.execute_on(tpch::queries::query(n), EngineKind::DataMpi) {
+                    Ok(r) if normalize(r.to_lines()) == clean => {
+                        log.say(&format!(
+                            "Q{n:02} vectorized={vectorized}: ok ({} rows)",
+                            clean.len()
+                        ));
+                    }
+                    Ok(_) => {
+                        log.warn(&format!(
+                            "Q{n} vectorized={vectorized} DIVERGED under fault seed {seed}"
+                        ));
+                        failures += 1;
+                    }
+                    Err(e) => {
+                        log.warn(&format!(
+                            "Q{n} vectorized={vectorized} FAILED under fault seed {seed}: {e}"
+                        ));
+                        failures += 1;
+                    }
+                }
+            }
+        }
     }
     failures
 }
@@ -226,13 +279,15 @@ fn mix64(mut x: u64) -> u64 {
 }
 
 /// Cancellation chaos smoke: fire a token at a seeded random point into
-/// every (query, engine, pipelined) arm and require a bounded, typed,
-/// state-clean outcome. Returns the number of failures.
+/// every (query, engine, pipelined, vectorized) arm and require a
+/// bounded, typed, state-clean outcome. Tables are loaded as ORC so the
+/// vectorized arms genuinely run the batched columnar path. Returns the
+/// number of failures.
 fn cancel_chaos_smoke(seeds: &[u64], log: &mut RunLog) -> usize {
     use std::time::Duration;
 
     let mut d = Driver::in_memory();
-    if let Err(e) = tpch::load(&mut d, 0.002, 20150701, FormatKind::Text) {
+    if let Err(e) = tpch::load(&mut d, 0.002, 20150701, FormatKind::Orc) {
         log.warn(&format!("tpch load failed: {e}"));
         return 1;
     }
@@ -247,12 +302,17 @@ fn cancel_chaos_smoke(seeds: &[u64], log: &mut RunLog) -> usize {
                 .into_iter()
                 .enumerate()
             {
-                for pipelined in [true, false] {
-                    let arm = format!("Q{n:02} {engine:?} pipelined={pipelined}");
+                for (pipelined, vectorized) in
+                    [(true, true), (true, false), (false, true), (false, false)]
+                {
+                    let arm =
+                        format!("Q{n:02} {engine:?} pipelined={pipelined} vectorized={vectorized}");
                     let run = |d: &Driver, token: &hdm_common::CancelToken| {
                         let mut s = d.session();
                         s.conf_mut()
                             .set(hdm_common::conf::KEY_EXEC_PIPELINED, pipelined);
+                        s.conf_mut()
+                            .set(hdm_common::conf::KEY_VECTORIZED, vectorized);
                         s.execute_on_cancellable(tpch::queries::query(n), engine, token)
                             .map(|r| r.to_lines())
                     };
@@ -267,9 +327,12 @@ fn cancel_chaos_smoke(seeds: &[u64], log: &mut RunLog) -> usize {
                     // Fire point: 0..40ms into the run — straddling the
                     // runtime of a scale-0.002 query, so across the sweep
                     // arms land before, during, and after execution.
-                    let delay_us =
-                        mix64(seed ^ (n as u64) << 8 ^ (ei as u64) << 4 ^ pipelined as u64)
-                            % 40_000;
+                    let delay_us = mix64(
+                        seed ^ (n as u64) << 8
+                            ^ (ei as u64) << 4
+                            ^ (pipelined as u64) << 1
+                            ^ vectorized as u64,
+                    ) % 40_000;
                     let token = hdm_common::CancelToken::new();
                     let (tx, rx) = std::sync::mpsc::channel();
                     let runner = {
@@ -280,6 +343,8 @@ fn cancel_chaos_smoke(seeds: &[u64], log: &mut RunLog) -> usize {
                             let mut s = session;
                             s.conf_mut()
                                 .set(hdm_common::conf::KEY_EXEC_PIPELINED, pipelined);
+                            s.conf_mut()
+                                .set(hdm_common::conf::KEY_VECTORIZED, vectorized);
                             let out = s
                                 .execute_on_cancellable(tpch::queries::query(n), engine, &token)
                                 .map(|r| r.to_lines());

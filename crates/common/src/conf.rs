@@ -95,6 +95,14 @@ pub const KEY_EXEC_PIPELINED: &str = "hive.exec.pipelined";
 /// committed-but-unconsumed partitions a producer stage may buffer
 /// before its commits block. Default 4.
 pub const KEY_EXEC_PIPELINED_BUFFER: &str = "hive.exec.pipelined.buffer.partitions";
+/// Whether eligible scan stages run the vectorized columnar pipeline
+/// (batched ORC decode + column-at-a-time Filter/Select/GroupBy
+/// kernels). Default true; ineligible operators (DISTINCT aggregates,
+/// join residuals) and non-columnar sources always take the row path.
+pub const KEY_VECTORIZED: &str = "hive.vectorized.execution.enabled";
+/// Rows per vectorized batch (selection-vector granularity). Default
+/// 1024; must be >= 1.
+pub const KEY_VECTORIZED_BATCH_SIZE: &str = "hive.vectorized.batch.size";
 /// Maximum queries hdm-server executes concurrently (the session-pool
 /// worker bound; HiveServer2's `hive.server2.tez.sessions.per.default.queue`
 /// analogue). Default 8.
@@ -421,6 +429,31 @@ impl JobConf {
         if v < 1 {
             return Err(HdmError::Config(format!(
                 "{KEY_EXEC_PIPELINED_BUFFER}: expected a partition count >= 1, got {v}"
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    /// Whether the vectorized columnar pipeline is enabled. Default
+    /// **true**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not a bool.
+    pub fn vectorized_enabled(&self) -> Result<bool> {
+        self.get_bool(KEY_VECTORIZED, true)
+    }
+
+    /// Rows per vectorized batch. Default **1024**.
+    ///
+    /// # Errors
+    /// Returns [`HdmError::Config`] if the stored value is not an
+    /// integer or is less than 1 (an empty batch could never drain a
+    /// stripe — the scan loop would spin forever).
+    pub fn vectorized_batch_size(&self) -> Result<usize> {
+        let v = self.get_i64(KEY_VECTORIZED_BATCH_SIZE, 1024)?;
+        if v < 1 {
+            return Err(HdmError::Config(format!(
+                "{KEY_VECTORIZED_BATCH_SIZE}: expected a batch size >= 1, got {v}"
             )));
         }
         Ok(v as usize)
@@ -767,6 +800,36 @@ mod tests {
         assert!(c.exec_pipelined_buffer().is_err());
         let c = JobConf::new().with(KEY_EXEC_PIPELINED_BUFFER, "lots");
         assert!(c.exec_pipelined_buffer().is_err());
+    }
+
+    #[test]
+    fn vectorized_knobs_default_on_and_validate() {
+        let c = JobConf::new();
+        assert!(c.vectorized_enabled().unwrap());
+        assert_eq!(c.vectorized_batch_size().unwrap(), 1024);
+
+        let c = JobConf::new()
+            .with(KEY_VECTORIZED, "false")
+            .with(KEY_VECTORIZED_BATCH_SIZE, 64);
+        assert!(!c.vectorized_enabled().unwrap());
+        assert_eq!(c.vectorized_batch_size().unwrap(), 64);
+    }
+
+    #[test]
+    fn vectorized_knobs_out_of_range_are_errors() {
+        let c = JobConf::new().with(KEY_VECTORIZED, "maybe");
+        assert!(c.vectorized_enabled().is_err());
+
+        let c = JobConf::new().with(KEY_VECTORIZED_BATCH_SIZE, 0);
+        assert!(c
+            .vectorized_batch_size()
+            .unwrap_err()
+            .message()
+            .contains(">= 1"));
+        let c = JobConf::new().with(KEY_VECTORIZED_BATCH_SIZE, -8);
+        assert!(c.vectorized_batch_size().is_err());
+        let c = JobConf::new().with(KEY_VECTORIZED_BATCH_SIZE, "many");
+        assert!(c.vectorized_batch_size().is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! ([`hdm_cluster::JobVolumes`]) so the discrete-event cluster model can
 //! replay the stage at paper scale.
 
+use crate::batch::{filter_batch, gather_projected, project_batch, GroupTable, RowBatch};
 use crate::operators::{process_join_group, project_row, tag_row, untag_row, Aggregator};
 use crate::physical::{InputSource, MapInput, StageKind, StagePlan};
 use bytes::Bytes;
@@ -221,6 +222,10 @@ struct TaskSpec {
 /// Propagates planning/IO/engine failures.
 pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageResult> {
     // ---- enumerate input splits -------------------------------------------
+    let pushdown_enabled = ctx
+        .conf
+        .get_bool(hdm_common::conf::KEY_ORC_PUSHDOWN, true)?;
+    let stage_label = format!("stage={}", stage.id);
     let mut tasks: Vec<TaskSpec> = Vec::new();
     let mut formats: Vec<Arc<dyn FileFormat>> = Vec::new();
     let mut table_schemas: Vec<Schema> = Vec::new();
@@ -316,8 +321,20 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             }
         };
         let mut any = false;
+        // Planning-side predicate pushdown: stripes the stats disprove
+        // never become (part of) a task at all.
+        let preds: &[hdm_storage::Predicate] = if pushdown_enabled {
+            &input.pushdown
+        } else {
+            &[]
+        };
+        let mut pruned_stripes = 0u64;
+        let mut pruned_rows = 0u64;
         for p in &paths {
-            for s in fmt.splits(ctx.dfs, p)? {
+            let planned = fmt.plan_splits(ctx.dfs, p, preds)?;
+            pruned_stripes += planned.pruned_stripes;
+            pruned_rows += planned.pruned_rows;
+            for s in planned.splits {
                 tasks.push(TaskSpec {
                     input_idx: i,
                     split: Some(s),
@@ -327,6 +344,14 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 });
                 any = true;
             }
+        }
+        if ctx.obs.is_enabled() {
+            ctx.obs
+                .counter("orc.stripes.pruned", &stage_label)
+                .add(pruned_stripes);
+            ctx.obs
+                .counter("orc.rows.pruned", &stage_label)
+                .add(pruned_rows);
         }
         if !any {
             tasks.push(TaskSpec {
@@ -434,9 +459,11 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
     let kv_sizes: Arc<Mutex<hdm_common::stats::Histogram>> = Arc::new(Mutex::new(
         hdm_common::stats::Histogram::with_width(hdm_obs::KV_HIST_BUCKET),
     ));
-    let pushdown_enabled = ctx
-        .conf
-        .get_bool(hdm_common::conf::KEY_ORC_PUSHDOWN, true)?;
+    // Vectorized execution: per-operator eligibility decided by the
+    // planner shape, batch size validated here (config errors surface
+    // before any task runs).
+    let vectorized = ctx.conf.vectorized_enabled()? && stage.vectorizable();
+    let batch_size = ctx.conf.vectorized_batch_size()?;
     let out_paths: Arc<Mutex<Vec<(usize, String)>>> = Arc::new(Mutex::new(Vec::new()));
     let out_bytes: Arc<Mutex<HashMap<usize, u64>>> = Arc::new(Mutex::new(HashMap::new()));
 
@@ -487,7 +514,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
             EngineKind::Hadoop => "M",
             EngineKind::DataMpi => "O",
         };
-        let stage_label = format!("stage={}", stage.id);
+        let stage_label = stage_label.clone();
         move |task_idx: usize, emit: &mut dyn FnMut(KvPair) -> Result<()>| -> Result<()> {
             let _op_span = obs.span(&format!("{op_track}{task_idx}"), "operator", "map-pipeline");
             if matches!(stage.kind, StageKind::MapOnly) {
@@ -508,6 +535,10 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 local_fraction: 1.0,
                 ..Default::default()
             };
+            // Vectorized scan: when the format can hand back columns
+            // (ORC) and the stage is eligible, rows stay columnar and
+            // the batch kernels below replace the row loop.
+            let mut columnar: Option<hdm_storage::ColumnarSource> = None;
             let rows = if let Some((src, part)) = spec.stream {
                 // Pipelined mode: block until the producer commits this
                 // partition, then consume it from memory (no DFS read —
@@ -538,20 +569,39 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                         let schema = table_schemas.get(spec.input_idx).ok_or_else(|| {
                             HdmError::Plan(format!("input {} has no schema", spec.input_idx))
                         })?;
-                        let src = fmt.read_split(
-                            &dfs,
-                            split,
-                            schema,
-                            input.read_projection.as_deref(),
-                            if pushdown_enabled {
-                                &input.pushdown
-                            } else {
-                                &no_pushdown
-                            },
-                            Some(node),
-                        )?;
-                        vol.input_bytes = src.bytes_read;
-                        src.rows
+                        let preds: &[hdm_storage::Predicate] = if pushdown_enabled {
+                            &input.pushdown
+                        } else {
+                            &no_pushdown
+                        };
+                        if vectorized {
+                            columnar = fmt.read_split_columns(
+                                &dfs,
+                                split,
+                                schema,
+                                input.read_projection.as_deref(),
+                                preds,
+                                Some(node),
+                            )?;
+                        }
+                        match &columnar {
+                            Some(src) => {
+                                vol.input_bytes = src.bytes_read;
+                                Vec::new()
+                            }
+                            None => {
+                                let src = fmt.read_split(
+                                    &dfs,
+                                    split,
+                                    schema,
+                                    input.read_projection.as_deref(),
+                                    preds,
+                                    Some(node),
+                                )?;
+                                vol.input_bytes = src.bytes_read;
+                                src.rows
+                            }
+                        }
                     }
                 }
             };
@@ -562,13 +612,85 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                     .as_ref()
                     .map(|a| !a.has_distinct())
                     .unwrap_or(false);
-            let mut hash_agg: HashMap<Row, Vec<crate::operators::AggState>> = HashMap::new();
+            let mut hash_agg = GroupTable::new();
 
             let mut local_hist = hdm_common::stats::Histogram::with_width(hdm_obs::KV_HIST_BUCKET);
             let mut emit = |kv: KvPair| -> Result<()> {
                 local_hist.record(kv.wire_size() as u64);
                 emit(kv)
             };
+            let mut vec_batches = 0u64;
+            if let Some(src) = &columnar {
+                // ---- vectorized batch pipeline -------------------------
+                // Same rows in the same order as the row loop below; the
+                // kernel-equivalence contract lives in `crate::batch`.
+                for stripe in &src.stripes {
+                    let mut start = 0usize;
+                    while start < stripe.rows {
+                        // One cancellation safe point per batch (the row
+                        // path checks per row).
+                        cancel.bail_if_cancelled()?;
+                        let end = (start + batch_size).min(stripe.rows);
+                        let rb = RowBatch::new(
+                            stripe
+                                .columns
+                                .iter()
+                                .map(|c| c.get(start..end).unwrap_or(&[]))
+                                .collect(),
+                            end - start,
+                        )?;
+                        vec_batches += 1;
+                        let sel = filter_batch(input.filter.as_ref(), &rb)?;
+                        start = end;
+                        if sel.is_empty() {
+                            continue;
+                        }
+                        vol.records += sel.len() as u64;
+                        let value_cols = project_batch(&input.value_exprs, &rb, &sel)?;
+                        match &stage.kind {
+                            StageKind::MapOnly => {
+                                for i in 0..sel.len() {
+                                    map_only_ctx
+                                        .write(task_idx, &gather_projected(&value_cols, i))?;
+                                }
+                            }
+                            StageKind::Join { .. } => {
+                                let key_cols = project_batch(&input.key_exprs, &rb, &sel)?;
+                                for i in 0..sel.len() {
+                                    let key = gather_projected(&key_cols, i);
+                                    let value = gather_projected(&value_cols, i);
+                                    emit(key_codec.pair(&key, &tag_row(input.tag, &value)))?;
+                                }
+                            }
+                            StageKind::Aggregate { .. } => {
+                                let key_cols = project_batch(&input.key_exprs, &rb, &sel)?;
+                                if partial {
+                                    let agg = aggregator.as_ref().ok_or_else(|| {
+                                        HdmError::Plan(
+                                            "aggregate stage without an aggregator".into(),
+                                        )
+                                    })?;
+                                    hash_agg.update_batch(agg, &key_cols, &value_cols, sel.len());
+                                } else {
+                                    for i in 0..sel.len() {
+                                        let key = gather_projected(&key_cols, i);
+                                        let value = gather_projected(&value_cols, i);
+                                        emit(key_codec.pair(&key, &value))?;
+                                    }
+                                }
+                            }
+                            StageKind::Sort { .. } => {
+                                let key_cols = project_batch(&input.key_exprs, &rb, &sel)?;
+                                for i in 0..sel.len() {
+                                    let key = gather_projected(&key_cols, i);
+                                    let value = gather_projected(&value_cols, i);
+                                    emit(key_codec.pair(&key, &value))?;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
             for row in rows {
                 // One relaxed load per row: the cooperative cancellation
                 // safe point inside the map pipeline.
@@ -594,8 +716,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                             let agg = aggregator.as_ref().ok_or_else(|| {
                                 HdmError::Plan("aggregate stage without an aggregator".into())
                             })?;
-                            let states = hash_agg.entry(key).or_insert_with(|| agg.new_states());
-                            agg.update_raw(states, &value);
+                            hash_agg.update_row(agg, key, &value);
                         } else {
                             emit(key_codec.pair(&key, &value))?;
                         }
@@ -610,7 +731,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                 let agg = aggregator.as_ref().ok_or_else(|| {
                     HdmError::Plan("aggregate stage without an aggregator".into())
                 })?;
-                for (key, states) in hash_agg {
+                for (key, states) in hash_agg.into_groups() {
                     emit(key_codec.pair(&key, &agg.states_to_row(&states)))?;
                 }
             }
@@ -622,6 +743,7 @@ pub fn execute_stage(stage: &StagePlan, ctx: &StageContext<'_>) -> Result<StageR
                     .add(vol.records);
                 obs.counter("stage.map.input.bytes", &stage_label)
                     .add(vol.input_bytes);
+                obs.counter("vec.batches", &stage_label).add(vec_batches);
             }
             if let Some(slot) = map_vols.lock().get_mut(task_idx) {
                 *slot = vol;

@@ -475,7 +475,7 @@ impl RExpr {
     }
 }
 
-fn kleene_and(l: &Value, r: &Value) -> Value {
+pub(crate) fn kleene_and(l: &Value, r: &Value) -> Value {
     match (l.as_bool(), r.as_bool()) {
         (Some(false), _) | (_, Some(false)) => Value::Boolean(false),
         (Some(true), Some(true)) => Value::Boolean(true),
@@ -483,7 +483,7 @@ fn kleene_and(l: &Value, r: &Value) -> Value {
     }
 }
 
-fn kleene_or(l: &Value, r: &Value) -> Value {
+pub(crate) fn kleene_or(l: &Value, r: &Value) -> Value {
     match (l.as_bool(), r.as_bool()) {
         (Some(true), _) | (_, Some(true)) => Value::Boolean(true),
         (Some(false), Some(false)) => Value::Boolean(false),
@@ -493,7 +493,7 @@ fn kleene_or(l: &Value, r: &Value) -> Value {
 
 /// Coerce a comparison pair: strings compared against dates parse as
 /// dates (Hive's implicit conversion for `d >= '1994-01-01'`).
-fn coerce_pair(a: &Value, b: &Value) -> (Value, Value) {
+pub(crate) fn coerce_pair(a: &Value, b: &Value) -> (Value, Value) {
     match (a, b) {
         (Value::Date(_), Value::Str(s)) => (a.clone(), Value::parse_date(s).unwrap_or(Value::Null)),
         (Value::Str(s), Value::Date(_)) => (Value::parse_date(s).unwrap_or(Value::Null), b.clone()),
@@ -501,7 +501,7 @@ fn coerce_pair(a: &Value, b: &Value) -> (Value, Value) {
     }
 }
 
-fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+pub(crate) fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     if op.is_comparison() {
         if l.is_null() || r.is_null() {
             return Ok(Value::Null);

@@ -49,6 +49,7 @@
 //! [`engine`]).
 
 pub mod ast;
+pub mod batch;
 pub mod catalog;
 pub mod driver;
 pub mod engine;

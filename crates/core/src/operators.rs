@@ -77,6 +77,15 @@ impl Aggregator {
         }
     }
 
+    /// Update the `idx`-th aggregate from a single input value. The
+    /// vectorized path feeds projected *columns* instead of rows, one
+    /// cell at a time; semantics match [`Self::update_raw`] cell `idx`.
+    pub fn update_value(&self, states: &mut [AggState], idx: usize, v: &Value) {
+        if let Some(state) = states.get_mut(idx) {
+            update_one(state, v);
+        }
+    }
+
     /// Merge a serialized *partial state row* into states.
     ///
     /// # Errors

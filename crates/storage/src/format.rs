@@ -3,6 +3,7 @@
 use crate::{orc, text};
 use hdm_common::error::Result;
 use hdm_common::row::{Row, Schema};
+use hdm_common::value::Value;
 use hdm_dfs::{Dfs, FileSplit, NodeId};
 
 /// Which on-disk format a table uses.
@@ -58,6 +59,39 @@ pub struct RowSource {
     pub bytes_read: u64,
 }
 
+/// Split enumeration with planning-side pruning accounting: formats
+/// that keep per-stripe statistics can drop whole stripes from the
+/// split set before any task is scheduled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedSplits {
+    /// Splits covering the stripes that may contain matching rows.
+    pub splits: Vec<FileSplit>,
+    /// Stripes dropped at planning time by predicate statistics.
+    pub pruned_stripes: u64,
+    /// Rows contained in the pruned stripes.
+    pub pruned_rows: u64,
+}
+
+/// One decoded stripe kept column-wise: `columns[c][r]` is row `r` of
+/// projected column `c`. Row order matches the row-at-a-time read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarStripe {
+    /// Per-column value vectors, all of length `rows`.
+    pub columns: Vec<Vec<Value>>,
+    /// Rows in this stripe (kept explicitly for zero-width projections).
+    pub rows: usize,
+}
+
+/// A columnar read of one split: stripes in file order plus the bytes
+/// fetched. Transposing each stripe yields exactly [`RowSource::rows`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarSource {
+    /// Decoded stripes in file order.
+    pub stripes: Vec<ColumnarStripe>,
+    /// Bytes physically read from the DFS.
+    pub bytes_read: u64,
+}
+
 /// One file format: how rows get onto and off the simulated DFS.
 pub trait FileFormat: Send + Sync {
     /// The format tag.
@@ -98,6 +132,46 @@ pub trait FileFormat: Send + Sync {
     /// # Errors
     /// Fails if the file is missing.
     fn splits(&self, dfs: &Dfs, path: &str) -> Result<Vec<FileSplit>>;
+
+    /// Input splits with planning-side predicate pruning. Formats with
+    /// per-stripe statistics (ORC) drop stripes no predicate admits and
+    /// report how much was skipped; the default ignores the predicates.
+    ///
+    /// # Errors
+    /// Fails if the file is missing.
+    fn plan_splits(
+        &self,
+        dfs: &Dfs,
+        path: &str,
+        predicates: &[orc::Predicate],
+    ) -> Result<PlannedSplits> {
+        let _ = predicates;
+        Ok(PlannedSplits {
+            splits: self.splits(dfs, path)?,
+            pruned_stripes: 0,
+            pruned_rows: 0,
+        })
+    }
+
+    /// Read one split column-wise, if the format stores columns natively.
+    /// Returns `Ok(None)` for row-oriented formats; callers must fall
+    /// back to [`FileFormat::read_split`]. Projection and predicate
+    /// semantics match `read_split` exactly (same stripes, same order).
+    ///
+    /// # Errors
+    /// Propagates DFS/decode failures.
+    fn read_split_columns(
+        &self,
+        dfs: &Dfs,
+        split: &FileSplit,
+        schema: &Schema,
+        projection: Option<&[usize]>,
+        predicates: &[orc::Predicate],
+        reader_node: Option<NodeId>,
+    ) -> Result<Option<ColumnarSource>> {
+        let _ = (dfs, split, schema, projection, predicates, reader_node);
+        Ok(None)
+    }
 }
 
 /// Construct the format implementation for a tag.

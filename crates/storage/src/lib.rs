@@ -34,5 +34,8 @@ pub mod seq;
 pub mod text;
 
 pub use cache::{CacheStats, OrcDataCache};
-pub use format::{format_for, FileFormat, FormatKind, RowSink, RowSource, TableStorage};
-pub use orc::{CmpOp, Predicate};
+pub use format::{
+    format_for, ColumnarSource, ColumnarStripe, FileFormat, FormatKind, PlannedSplits, RowSink,
+    RowSource, TableStorage,
+};
+pub use orc::{CmpOp, ColumnStats, Predicate};

@@ -120,6 +120,14 @@ pub fn load_with_stats(
     format: FormatKind,
 ) -> Result<LoadStats> {
     let data = dbgen::generate(scale, seed);
+    load_generated(driver, &data, format)
+}
+
+fn load_generated(
+    driver: &mut Driver,
+    data: &std::collections::HashMap<&'static str, Vec<hdm_common::row::Row>>,
+    format: FormatKind,
+) -> Result<LoadStats> {
     let mut text_bytes = 0u64;
     for table in TABLES {
         for row in &data[table] {
@@ -158,6 +166,36 @@ pub fn load_with_stats(
 /// Propagates DDL/load failures.
 pub fn load(driver: &mut Driver, scale: f64, seed: u64, format: FormatKind) -> Result<u64> {
     Ok(load_with_stats(driver, scale, seed, format)?.stored_bytes)
+}
+
+/// [`load`] with date-clustered fact tables: `lineitem` is sorted by
+/// `l_shipdate` and `orders` by `o_orderdate` before loading.
+///
+/// Clustering narrows each ORC stripe's date min/max range so that
+/// planner-side predicate pushdown can prune whole stripes on date
+/// filters (e.g. Q6's one-year shipdate window). Query results are
+/// unaffected — base-table row order is not part of any query contract.
+///
+/// # Errors
+/// Propagates DDL/load failures.
+pub fn load_clustered(
+    driver: &mut Driver,
+    scale: f64,
+    seed: u64,
+    format: FormatKind,
+) -> Result<u64> {
+    let mut data = dbgen::generate(scale, seed);
+    for (table, col) in [("lineitem", 10usize), ("orders", 4usize)] {
+        if let Some(rows) = data.get_mut(table) {
+            rows.sort_by(|a, b| {
+                let null = hdm_common::value::Value::Null;
+                let l = a.values().get(col).unwrap_or(&null);
+                let r = b.values().get(col).unwrap_or(&null);
+                l.total_cmp(r)
+            });
+        }
+    }
+    Ok(load_generated(driver, &data, format)?.stored_bytes)
 }
 
 /// Drop all TPC-H tables (ignoring missing ones).
